@@ -1,0 +1,143 @@
+/// \file bench_a1_meos_ops.cpp
+/// \brief Ablation A1 — the cost of the MEOS operations NebulaMEOS calls
+/// per record/window, and the value of STBox/grid pruning.
+///
+/// The paper's premise is that MEOS's "optimized implementation allows
+/// MEOS to run on low-end edge devices". These microbenchmarks measure the
+/// operator costs that premise rests on: `edwithin` (hit/miss — the miss
+/// path is the box-pruned fast path), `tpoint_at_stbox`, point-in-polygon,
+/// speed, `tdwithin`, and the geofence lookup with the grid index on vs
+/// off (linear scan).
+
+#include <benchmark/benchmark.h>
+
+#include "meos/tgeompoint.hpp"
+#include "nebulameos/geofence.hpp"
+#include "sncb/network.hpp"
+
+namespace {
+
+using namespace nebulameos;        // NOLINT
+using namespace nebulameos::meos;  // NOLINT
+
+// A 512-instant trajectory heading north through Brussels.
+TGeomPointSeq MakeTrajectory(size_t n = 512) {
+  std::vector<TInstant<Point>> instants;
+  instants.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    instants.push_back({Point{4.35 + 1e-5 * static_cast<double>(i % 7),
+                              50.70 + 1e-4 * static_cast<double>(i)},
+                        static_cast<Timestamp>(i) * Seconds(1)});
+  }
+  auto seq = TGeomPointSeq::Make(std::move(instants));
+  return *seq;
+}
+
+void BM_EdwithinHit(benchmark::State& state) {
+  const TGeomPointSeq traj = MakeTrajectory();
+  const Point target{4.351, 50.72};  // on the corridor
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        EverDWithin(traj, target, 500.0, Metric::kWgs84));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EdwithinHit);
+
+void BM_EdwithinMissBoxPruned(benchmark::State& state) {
+  const TGeomPointSeq traj = MakeTrajectory();
+  const Point target{5.9, 49.6};  // far away: pruned by the bounding box
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        EverDWithin(traj, target, 500.0, Metric::kWgs84));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EdwithinMissBoxPruned);
+
+void BM_EdwithinMissNearBox(benchmark::State& state) {
+  const TGeomPointSeq traj = MakeTrajectory();
+  // ~67 m past the trajectory's north end: inside the (conservatively)
+  // expanded box, but beyond the 50 m distance — the exact per-segment
+  // path must run and still answer false.
+  const Point target{4.35, 50.7517};
+  for (auto _ : state) {
+    const bool within = EverDWithin(traj, target, 50.0, Metric::kWgs84);
+    benchmark::DoNotOptimize(within);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EdwithinMissNearBox);
+
+void BM_TPointAtStbox(benchmark::State& state) {
+  const TGeomPointSeq traj = MakeTrajectory();
+  auto box = STBox::Make(4.30, 50.71, 4.40, 50.73,
+                         Period(Seconds(50), Seconds(400)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AtStbox(traj, *box));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TPointAtStbox);
+
+void BM_Speed(benchmark::State& state) {
+  const TGeomPointSeq traj = MakeTrajectory();
+  for (auto _ : state) {
+    auto speed = Speed(traj, Metric::kWgs84);
+    benchmark::DoNotOptimize(speed);
+  }
+  state.SetItemsProcessed(state.iterations() * 512);
+}
+BENCHMARK(BM_Speed);
+
+void BM_TDwithin(benchmark::State& state) {
+  const TGeomPointSeq traj = MakeTrajectory();
+  const Point target{4.351, 50.72};
+  for (auto _ : state) {
+    auto tb = TDwithin(traj, target, 800.0, Metric::kWgs84);
+    benchmark::DoNotOptimize(tb);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TDwithin);
+
+void BM_PointInPolygon(benchmark::State& state) {
+  // Polygon with `range` vertices.
+  std::vector<Point> ring;
+  const int n = static_cast<int>(state.range(0));
+  for (int i = 0; i < n; ++i) {
+    const double a = 2.0 * M_PI * i / n;
+    ring.push_back({4.35 + 0.1 * std::cos(a), 50.8 + 0.1 * std::sin(a)});
+  }
+  auto poly = Polygon::Make(std::move(ring));
+  const Point inside{4.36, 50.82};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(poly->Contains(inside));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PointInPolygon)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_GeofenceLookup(benchmark::State& state) {
+  using namespace nebulameos::integration;  // NOLINT
+  const sncb::RailNetwork network = sncb::BuildBelgianNetwork();
+  GeofenceRegistry registry;
+  sncb::PopulateSncbGeofences(network, &registry);
+  registry.SetIndexEnabled(state.range(0) == 1);
+  // Sweep probe points across Belgium.
+  std::vector<Point> probes;
+  for (int i = 0; i < 64; ++i) {
+    probes.push_back({2.6 + 0.05 * i, 49.5 + 0.03 * i});
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(registry.InAnyZone(probes[i++ % probes.size()]));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(state.range(0) == 1 ? "grid-index" : "linear-scan");
+}
+BENCHMARK(BM_GeofenceLookup)->Arg(1)->Arg(0);
+
+}  // namespace
+
+BENCHMARK_MAIN();

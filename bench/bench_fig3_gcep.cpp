@@ -1,0 +1,146 @@
+/// \file bench_fig3_gcep.cpp
+/// \brief Experiment Fig. 3e-3h — the GCEP queries' visualizations.
+///
+/// Runs Q5-Q8 in collect mode and regenerates the data series behind the
+/// four GCEP panels of Figure 3 (battery deviation windows, heavy-load
+/// windows, unscheduled stops, repeated emergency braking), written as CSV
+/// under ./fig3_output/.
+
+#include <sys/stat.h>
+
+#include <cstdio>
+
+#include "queries/queries.hpp"
+
+using namespace nebulameos;           // NOLINT
+using namespace nebulameos::nebula;   // NOLINT
+using namespace nebulameos::queries;  // NOLINT
+
+namespace {
+
+std::vector<std::vector<Value>> RunCollect(const DemoEnvironment& env,
+                                           int number, uint64_t events,
+                                           QueryOptions options = {}) {
+  options.max_events = events;
+  options.sink = SinkMode::kCollect;
+  auto built = BuildQuery(number, env, options);
+  if (!built.ok()) {
+    std::fprintf(stderr, "build Q%d: %s\n", number,
+                 built.status().ToString().c_str());
+    return {};
+  }
+  NodeEngine engine;
+  auto id = engine.Submit(std::move(built->query));
+  if (!id.ok() || !engine.RunToCompletion(*id).ok()) return {};
+  return built->collect->Rows();
+}
+
+void WriteCsv(const std::string& path, const std::vector<std::string>& header,
+              const std::vector<std::vector<Value>>& rows) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return;
+  std::string line;
+  for (size_t i = 0; i < header.size(); ++i) {
+    if (i > 0) line += ',';
+    line += header[i];
+  }
+  std::fprintf(f, "%s\n", line.c_str());
+  for (const auto& row : rows) {
+    line.clear();
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) line += ',';
+      line += ValueToString(row[i]);
+    }
+    std::fprintf(f, "%s\n", line.c_str());
+  }
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t events = 600'000;
+  if (argc > 1) events = std::strtoull(argv[1], nullptr, 10);
+  auto env = DemoEnvironment::Create();
+  if (!env.ok()) {
+    std::fprintf(stderr, "environment: %s\n", env.status().ToString().c_str());
+    return 1;
+  }
+  ::mkdir("fig3_output", 0755);
+
+  std::printf("Fig.3e-3h: GCEP query visualizations (%llu events)\n\n",
+              static_cast<unsigned long long>(events));
+
+  // Panel (e): battery monitoring — deviation windows + nearest workshop.
+  {
+    const auto rows = RunCollect(**env, 5, events);
+    WriteCsv("fig3_output/fig3e_battery_monitoring.csv",
+             {"train_id", "window_start", "window_end", "avg_deviation_v",
+              "max_deviation_v", "max_temp_c", "lon", "lat", "samples",
+              "workshop_id", "workshop_dist_m"},
+             rows);
+    double worst_dev = 0.0, nearest_ws = 1e18;
+    for (const auto& row : rows) {
+      worst_dev = std::max(worst_dev, ValueAsDouble(row[4]));
+      nearest_ws = std::min(nearest_ws, ValueAsDouble(row[10]));
+    }
+    std::printf("(e) battery monitoring: %zu deviation windows | worst "
+                "%.2f V | nearest workshop %.1f km\n",
+                rows.size(), worst_dev,
+                rows.empty() ? 0.0 : nearest_ws / 1000.0);
+  }
+  // Panel (f): heavy passenger load.
+  {
+    const auto rows = RunCollect(**env, 6, events);
+    WriteCsv("fig3_output/fig3f_heavy_load.csv",
+             {"train_id", "window_start", "window_end", "avg_passengers",
+              "max_passengers", "seats", "avg_cabin_temp_c", "samples"},
+             rows);
+    double peak = 0.0;
+    for (const auto& row : rows) {
+      peak = std::max(peak, ValueAsDouble(row[4]));
+    }
+    std::printf("(f) heavy load: %zu overload windows (extra train "
+                "suggested) | peak %d passengers\n",
+                rows.size(), static_cast<int>(peak));
+  }
+  // Panel (g): unscheduled stops (stop probability raised so the panel has
+  // content at this stream length, as in the demo video).
+  {
+    QueryOptions options;
+    options.fleet.unscheduled_stop_prob = 4e-4;
+    const auto rows = RunCollect(**env, 7, events, options);
+    WriteCsv("fig3_output/fig3g_unscheduled_stops.csv",
+             {"train_id", "match_start", "match_end", "stop_events",
+              "stop_lon", "stop_lat"},
+             rows);
+    std::printf("(g) unscheduled stops: %zu flagged stops outside "
+                "stations/workshops\n",
+                rows.size());
+  }
+  // Panel (h): brake monitoring.
+  {
+    const auto rows = RunCollect(**env, 8, events);
+    WriteCsv("fig3_output/fig3h_brake_monitoring.csv",
+             {"train_id", "match_start", "match_end", "first_min_bar",
+              "second_min_bar", "first_lon", "first_lat"},
+             rows);
+    int64_t per_train[8] = {0};
+    for (const auto& row : rows) {
+      ++per_train[ValueAsInt64(row[0]) % 8];
+    }
+    std::printf("(h) brake monitoring: %zu repeated-emergency matches | "
+                "per train:",
+                rows.size());
+    for (int t = 0; t < 6; ++t) {
+      std::printf(" %lld", static_cast<long long>(per_train[t]));
+    }
+    std::printf("\n");
+  }
+  std::printf("\nseries written to fig3_output/fig3{e,f,g,h}_*.csv\n");
+  std::printf("Shape check: (e) flags only the degraded-battery train; "
+              "(f) windows cluster in rush hours;\n(g) stops lie outside "
+              "station/workshop zones; (h) matches concentrate on the "
+              "degraded-brake train.\n");
+  return 0;
+}

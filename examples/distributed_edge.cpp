@@ -1,0 +1,99 @@
+/// \file distributed_edge.cpp
+/// \brief Figure 1 as a runnable program: the fleet topology, operator
+/// placement on the train's edge device, and the uplink traffic the
+/// placement saves.
+///
+/// Run: `example_distributed_edge [events]` (default 200000).
+
+#include <cstdio>
+
+#include "nebula/topology.hpp"
+#include "queries/queries.hpp"
+
+using namespace nebulameos;           // NOLINT
+using namespace nebulameos::nebula;   // NOLINT
+using namespace nebulameos::queries;  // NOLINT
+
+int main(int argc, char** argv) {
+  uint64_t events = 200'000;
+  if (argc > 1) events = std::strtoull(argv[1], nullptr, 10);
+
+  auto env = DemoEnvironment::Create();
+  if (!env.ok()) {
+    std::fprintf(stderr, "environment: %s\n", env.status().ToString().c_str());
+    return 1;
+  }
+
+  // The reference deployment: a coordinator and a cloud worker in the data
+  // center, six Intel-Atom-class edge workers aboard the trains, cellular
+  // uplinks (1 MB/s, 60 ms).
+  const Topology topo = Topology::SncbReference(6, 1e6, Millis(60));
+  std::printf("topology:\n");
+  for (const auto& node : topo.nodes()) {
+    const char* kind = node.kind == NodeKind::kCoordinator ? "coordinator"
+                       : node.kind == NodeKind::kCloudWorker ? "cloud-worker"
+                                                             : "edge-worker";
+    std::printf("  node %d  %-14s %s (cpu x%.1f)\n", node.id, kind,
+                node.name.c_str(), node.cpu_factor);
+  }
+  std::printf("  %zu links (cellular uplinks: 1.0 MB/s, 60 ms)\n\n",
+              topo.links().size());
+
+  // Run Q1 on the engine to measure real per-operator flow, then price the
+  // two placements.
+  QueryOptions options;
+  options.max_events = events;
+  options.sink = SinkMode::kCounting;
+  auto built = BuildQ1AlertFiltering(**env, options);
+  if (!built.ok()) {
+    std::fprintf(stderr, "build: %s\n", built.status().ToString().c_str());
+    return 1;
+  }
+  NodeEngine engine;
+  auto id = engine.Submit(std::move(built->query));
+  if (!id.ok() || !engine.RunToCompletion(*id).ok()) {
+    std::fprintf(stderr, "run failed\n");
+    return 1;
+  }
+  auto stats = engine.Stats(*id);
+  std::printf("query: Q1 alert filtering over %llu events (%.1f MB raw)\n",
+              static_cast<unsigned long long>(stats->events_ingested),
+              static_cast<double>(stats->bytes_ingested) / 1e6);
+  std::printf("operator flow:\n");
+  std::printf("  %-14s %12s %12s %12s\n", "operator", "events in",
+              "events out", "selectivity");
+  for (const auto& [name, op] : stats->operator_stats) {
+    std::printf("  %-14s %12llu %12llu %11.4f%%\n", name.c_str(),
+                static_cast<unsigned long long>(op.events_in),
+                static_cast<unsigned long long>(op.events_out),
+                op.Selectivity() * 100.0);
+  }
+
+  const size_t chain = stats->operator_stats.size();
+  auto edge = SimulateDeployment(topo, stats->operator_stats,
+                                 stats->bytes_ingested,
+                                 EdgePushdownPlacement(chain, 2, 1));
+  auto cloud = SimulateDeployment(topo, stats->operator_stats,
+                                  stats->bytes_ingested,
+                                  CloudPlacement(chain, 2, 1));
+  if (!edge.ok() || !cloud.ok()) {
+    std::fprintf(stderr, "deployment simulation failed\n");
+    return 1;
+  }
+  std::printf("\nplacement comparison (train-0 -> cloud uplink):\n");
+  std::printf("  ship raw to cloud : %10.3f MB uplink, %8.2f s transfer\n",
+              static_cast<double>(cloud->uplink_bytes) / 1e6,
+              cloud->total_transfer_seconds);
+  std::printf("  edge pushdown     : %10.3f MB uplink, %8.2f s transfer\n",
+              static_cast<double>(edge->uplink_bytes) / 1e6,
+              edge->total_transfer_seconds);
+  if (edge->uplink_bytes > 0) {
+    std::printf("  reduction         : %9.1fx\n",
+                static_cast<double>(cloud->uplink_bytes) /
+                    static_cast<double>(edge->uplink_bytes));
+  }
+  std::printf("\nThis is the paper's Figure-1 claim made measurable: "
+              "processing on the train ships\nonly alerts, not the raw "
+              "sensor stream.\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+/// \file logging.hpp
+/// \brief Minimal leveled logger.
+///
+/// The engine logs sparingly (query lifecycle, errors). Logging is
+/// process-global, thread-safe, and off below the configured level.
+
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace nebulameos {
+
+/// Log severities in increasing order.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global minimum level that is emitted (default: kWarn, so tests
+/// and benchmarks stay quiet).
+void SetLogLevel(LogLevel level);
+
+/// Current global log level.
+LogLevel GetLogLevel();
+
+/// Emits \p message at \p level if enabled. Thread-safe.
+void LogMessage(LogLevel level, const std::string& message);
+
+namespace internal {
+
+/// Stream-style log line that emits on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { LogMessage(level_, stream_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+}  // namespace nebulameos
+
+#define NM_LOG_DEBUG() ::nebulameos::internal::LogLine(::nebulameos::LogLevel::kDebug)
+#define NM_LOG_INFO() ::nebulameos::internal::LogLine(::nebulameos::LogLevel::kInfo)
+#define NM_LOG_WARN() ::nebulameos::internal::LogLine(::nebulameos::LogLevel::kWarn)
+#define NM_LOG_ERROR() ::nebulameos::internal::LogLine(::nebulameos::LogLevel::kError)

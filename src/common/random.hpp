@@ -1,0 +1,91 @@
+/// \file random.hpp
+/// \brief Deterministic, seedable random generators.
+///
+/// All stochastic components (sensor noise, dropouts, weather) draw from
+/// `SplitMix64`/`Xoroshiro128pp` so that every experiment in the repository
+/// is reproducible from a single seed.
+
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace nebulameos {
+
+/// \brief SplitMix64: tiny, high-quality 64-bit generator; used for seeding.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  /// Next 64 random bits.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// \brief Xoroshiro128++: fast general-purpose PRNG with uniform/normal
+/// helpers. Deterministic for a given seed.
+class Rng {
+ public:
+  /// Constructs a generator; distinct seeds yield independent streams.
+  explicit Rng(uint64_t seed = 0x5eed5eed5eedULL) {
+    SplitMix64 sm(seed);
+    s0_ = sm.Next();
+    s1_ = sm.Next();
+  }
+
+  /// Next 64 random bits.
+  uint64_t Next() {
+    const uint64_t a = s0_;
+    uint64_t b = s1_;
+    const uint64_t result = Rotl(a + b, 17) + a;
+    b ^= a;
+    s0_ = Rotl(a, 49) ^ b ^ (b << 21);
+    s1_ = Rotl(b, 28);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double Uniform() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+  /// Uniform integer in [0, n). \p n must be > 0.
+  uint64_t UniformInt(uint64_t n) { return Next() % n; }
+
+  /// Standard normal deviate (Box–Muller; one value per call).
+  double Normal() {
+    // Avoid log(0).
+    double u1 = Uniform();
+    if (u1 < 1e-300) u1 = 1e-300;
+    const double u2 = Uniform();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+  /// Normal deviate with the given \p mean and \p stddev.
+  double Normal(double mean, double stddev) {
+    return mean + stddev * Normal();
+  }
+
+  /// Bernoulli trial with success probability \p p.
+  bool Bernoulli(double p) { return Uniform() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+}  // namespace nebulameos

@@ -1,0 +1,180 @@
+/// \file status.hpp
+/// \brief Error-handling primitives used across NebulaMEOS.
+///
+/// Hot paths do not throw; fallible functions return `Status` or
+/// `Result<T>` (a value-or-status sum type), mirroring the convention of
+/// production database codebases (Arrow, RocksDB).
+
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace nebulameos {
+
+/// Machine-readable error category carried by a `Status`.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kResourceExhausted,
+  kUnimplemented,
+  kInternal,
+  kCancelled,
+  kParseError,
+};
+
+/// \brief Human-readable name of a status code (e.g. "InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+/// \brief Success-or-error result of an operation that yields no value.
+///
+/// `Status` is cheap to copy in the success case (no allocation) and carries
+/// a code plus message otherwise.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given \p code and \p message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Returns an OK status.
+  static Status OK() { return Status(); }
+  /// Returns an InvalidArgument status with \p msg.
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  /// Returns an OutOfRange status with \p msg.
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  /// Returns a NotFound status with \p msg.
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  /// Returns an AlreadyExists status with \p msg.
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  /// Returns a FailedPrecondition status with \p msg.
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  /// Returns a ResourceExhausted status with \p msg.
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  /// Returns an Unimplemented status with \p msg.
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  /// Returns an Internal status with \p msg.
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  /// Returns a Cancelled status with \p msg.
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  /// Returns a ParseError status with \p msg.
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+
+  /// True iff the status is OK.
+  bool ok() const { return code_ == StatusCode::kOk; }
+  /// The status code.
+  StatusCode code() const { return code_; }
+  /// The error message (empty for OK).
+  const std::string& message() const { return message_; }
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// \brief Value-or-status sum type for fallible computations.
+///
+/// A `Result<T>` holds either a `T` (success) or a non-OK `Status`.
+/// Accessing the value of an errored result is a programming error
+/// (checked by assertion in debug builds).
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result holding \p value.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT: implicit by design
+  /// Constructs a failed result from a non-OK \p status.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(repr_).ok() && "Result from OK status");
+  }
+
+  /// True iff the result holds a value.
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The status: OK if a value is held, the error otherwise.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  /// The held value; must only be called when `ok()`.
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  /// The held value (mutable); must only be called when `ok()`.
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  /// Moves the held value out; must only be called when `ok()`.
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  /// Returns the value or \p fallback when errored.
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(repr_) : std::move(fallback);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+/// Propagates a non-OK status from the current function.
+#define NM_RETURN_NOT_OK(expr)            \
+  do {                                    \
+    ::nebulameos::Status _s = (expr);     \
+    if (!_s.ok()) return _s;              \
+  } while (0)
+
+#define NM_INTERNAL_CONCAT2(a, b) a##b
+#define NM_INTERNAL_CONCAT(a, b) NM_INTERNAL_CONCAT2(a, b)
+
+/// Assigns the value of a `Result` expression or propagates its error.
+#define NM_ASSIGN_OR_RETURN(lhs, expr)                   \
+  auto NM_INTERNAL_CONCAT(_nm_res_, __LINE__) = (expr);  \
+  if (!NM_INTERNAL_CONCAT(_nm_res_, __LINE__).ok())      \
+    return NM_INTERNAL_CONCAT(_nm_res_, __LINE__).status(); \
+  lhs = std::move(NM_INTERNAL_CONCAT(_nm_res_, __LINE__)).value();
+
+}  // namespace nebulameos

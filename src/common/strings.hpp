@@ -1,0 +1,37 @@
+/// \file strings.hpp
+/// \brief Small string helpers (splitting, trimming, joining, CSV rows,
+/// number formatting) used by sources, sinks and IO code.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace nebulameos {
+
+/// Splits \p text on \p sep. Keeps empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view text);
+
+/// Joins \p parts with \p sep.
+std::string Join(const std::vector<std::string>& parts, const std::string& sep);
+
+/// True iff \p text starts with \p prefix.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// Parses a double, rejecting trailing garbage.
+Result<double> ParseDouble(std::string_view text);
+
+/// Parses a signed 64-bit integer, rejecting trailing garbage.
+Result<int64_t> ParseInt64(std::string_view text);
+
+/// Formats a double with up to \p precision significant decimals, without a
+/// trailing ".0" (WKT-style numeric output).
+std::string FormatDouble(double v, int precision = 12);
+
+}  // namespace nebulameos

@@ -1,0 +1,109 @@
+#include "common/time.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+namespace nebulameos {
+
+namespace {
+
+// Days since the Unix epoch for a proleptic Gregorian civil date.
+// Algorithm by Howard Hinnant (public domain).
+int64_t DaysFromCivil(int y, int m, int d) {
+  y -= m <= 2;
+  const int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);            // [0, 399]
+  const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;  // [0, 365]
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;           // [0, 146096]
+  return era * 146097 + static_cast<int64_t>(doe) - 719468;
+}
+
+// Inverse of DaysFromCivil.
+void CivilFromDays(int64_t z, int* y, unsigned* m, unsigned* d) {
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);  // [0, 146096]
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t yy = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);  // [0, 365]
+  const unsigned mp = (5 * doy + 2) / 153;                       // [0, 11]
+  *d = doy - (153 * mp + 2) / 5 + 1;                             // [1, 31]
+  *m = mp + (mp < 10 ? 3 : -9);                                  // [1, 12]
+  *y = static_cast<int>(yy + (*m <= 2));
+}
+
+}  // namespace
+
+Timestamp MakeTimestamp(int year, int month, int day, int hour, int minute,
+                        int second, int micro) {
+  const int64_t days = DaysFromCivil(year, month, day);
+  int64_t secs = days * 86400 + hour * 3600 + minute * 60 + second;
+  return secs * kMicrosPerSecond + micro;
+}
+
+std::string FormatTimestamp(Timestamp ts) {
+  int64_t micros = ts % kMicrosPerSecond;
+  int64_t secs = ts / kMicrosPerSecond;
+  if (micros < 0) {
+    micros += kMicrosPerSecond;
+    secs -= 1;
+  }
+  int64_t days = secs / 86400;
+  int64_t sod = secs % 86400;
+  if (sod < 0) {
+    sod += 86400;
+    days -= 1;
+  }
+  int y;
+  unsigned m, d;
+  CivilFromDays(days, &y, &m, &d);
+  const int hh = static_cast<int>(sod / 3600);
+  const int mm = static_cast<int>((sod % 3600) / 60);
+  const int ss = static_cast<int>(sod % 60);
+  char buf[48];
+  if (micros != 0) {
+    std::snprintf(buf, sizeof(buf), "%04d-%02u-%02u %02d:%02d:%02d.%06lld", y,
+                  m, d, hh, mm, ss, static_cast<long long>(micros));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%04d-%02u-%02u %02d:%02d:%02d", y, m, d,
+                  hh, mm, ss);
+  }
+  return buf;
+}
+
+Result<Timestamp> ParseTimestamp(const std::string& text) {
+  int y = 0, mo = 0, d = 0, h = 0, mi = 0, s = 0;
+  long micros = 0;
+  char frac[8] = {0};
+  int n = std::sscanf(text.c_str(), "%d-%d-%d %d:%d:%d.%6s", &y, &mo, &d, &h,
+                      &mi, &s, frac);
+  if (n < 3) {
+    return Status::ParseError("cannot parse timestamp: '" + text + "'");
+  }
+  if (mo < 1 || mo > 12 || d < 1 || d > 31 || h < 0 || h > 23 || mi < 0 ||
+      mi > 59 || s < 0 || s > 60) {
+    return Status::ParseError("timestamp field out of range: '" + text + "'");
+  }
+  if (n == 7) {
+    // Right-pad the fractional part to 6 digits.
+    char padded[7] = {'0', '0', '0', '0', '0', '0', 0};
+    for (int i = 0; i < 6 && frac[i]; ++i) padded[i] = frac[i];
+    micros = std::strtol(padded, nullptr, 10);
+  }
+  return MakeTimestamp(y, mo, d, h, mi, s, static_cast<int>(micros));
+}
+
+Timestamp WallClockNow() {
+  using namespace std::chrono;
+  return duration_cast<microseconds>(system_clock::now().time_since_epoch())
+      .count();
+}
+
+int64_t MonotonicNowMicros() {
+  using namespace std::chrono;
+  return duration_cast<microseconds>(steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace nebulameos

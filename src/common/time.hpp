@@ -1,0 +1,68 @@
+/// \file time.hpp
+/// \brief Timestamp model shared by the stream engine and the mobility
+/// library.
+///
+/// All event time is `Timestamp`: microseconds since the Unix epoch, as in
+/// MEOS/MobilityDB (PostgreSQL timestamps). Durations are `Duration`
+/// (microseconds). Helpers convert to/from ISO-8601-like strings and
+/// human-readable units.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.hpp"
+
+namespace nebulameos {
+
+/// Event time: microseconds since the Unix epoch.
+using Timestamp = int64_t;
+/// Time span in microseconds.
+using Duration = int64_t;
+
+/// Number of microseconds in one second.
+inline constexpr Duration kMicrosPerSecond = 1'000'000;
+/// Number of microseconds in one millisecond.
+inline constexpr Duration kMicrosPerMilli = 1'000;
+/// Number of microseconds in one minute.
+inline constexpr Duration kMicrosPerMinute = 60 * kMicrosPerSecond;
+/// Number of microseconds in one hour.
+inline constexpr Duration kMicrosPerHour = 60 * kMicrosPerMinute;
+/// Number of microseconds in one day.
+inline constexpr Duration kMicrosPerDay = 24 * kMicrosPerHour;
+
+/// Builds a Duration from whole seconds.
+constexpr Duration Seconds(int64_t s) { return s * kMicrosPerSecond; }
+/// Builds a Duration from whole milliseconds.
+constexpr Duration Millis(int64_t ms) { return ms * kMicrosPerMilli; }
+/// Builds a Duration from whole minutes.
+constexpr Duration Minutes(int64_t m) { return m * kMicrosPerMinute; }
+/// Builds a Duration from whole hours.
+constexpr Duration Hours(int64_t h) { return h * kMicrosPerHour; }
+
+/// Converts a duration to fractional seconds.
+constexpr double ToSeconds(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kMicrosPerSecond);
+}
+
+/// \brief Builds a timestamp from a civil date-time (UTC).
+/// \param year four-digit year, \p month 1-12, \p day 1-31, etc.
+/// Proleptic Gregorian; no leap seconds.
+Timestamp MakeTimestamp(int year, int month, int day, int hour = 0,
+                        int minute = 0, int second = 0, int micro = 0);
+
+/// \brief Formats \p ts as "YYYY-MM-DD HH:MM:SS[.ffffff]" (UTC).
+std::string FormatTimestamp(Timestamp ts);
+
+/// \brief Parses "YYYY-MM-DD HH:MM:SS[.ffffff]" (UTC) into a timestamp.
+Result<Timestamp> ParseTimestamp(const std::string& text);
+
+/// \brief Wall-clock now in microseconds since the epoch (for metrics only;
+/// all query semantics use event time).
+Timestamp WallClockNow();
+
+/// \brief Monotonic clock in microseconds (for measuring elapsed time).
+int64_t MonotonicNowMicros();
+
+}  // namespace nebulameos

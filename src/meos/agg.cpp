@@ -1,0 +1,104 @@
+#include "meos/agg.hpp"
+
+#include <algorithm>
+
+namespace nebulameos::meos {
+
+void ExtentAggregator::Add(const TGeomPointSeq& seq) {
+  const STBox box = BoundingBox(seq);
+  extent_ = extent_ ? extent_->Union(box) : box;
+}
+
+void ExtentAggregator::AddPoint(const Point& p, Timestamp t) {
+  GeoBox gb = GeoBox::Empty();
+  gb.Extend(p);
+  const STBox box = STBox::FromGeoBox(gb, Period::Instant(t));
+  extent_ = extent_ ? extent_->Union(box) : box;
+}
+
+void ExtentAggregator::Merge(const ExtentAggregator& other) {
+  if (!other.extent_) return;
+  extent_ = extent_ ? extent_->Union(*other.extent_) : other.extent_;
+}
+
+void TwAvgAggregator::Add(const TFloatSeq& seq) {
+  if (seq.DurationMicros() == 0) {
+    instant_sum_ += seq.StartValue();
+    instant_count_ += 1;
+    return;
+  }
+  integral_ += Integral(seq);
+  seconds_ += ToSeconds(seq.DurationMicros());
+}
+
+void TwAvgAggregator::Merge(const TwAvgAggregator& other) {
+  integral_ += other.integral_;
+  seconds_ += other.seconds_;
+  instant_sum_ += other.instant_sum_;
+  instant_count_ += other.instant_count_;
+}
+
+std::optional<double> TwAvgAggregator::Value() const {
+  if (seconds_ > 0.0) return integral_ / seconds_;
+  if (instant_count_ > 0) {
+    return instant_sum_ / static_cast<double>(instant_count_);
+  }
+  return std::nullopt;
+}
+
+void TCountAggregator::Add(const Period& period) { periods_.push_back(period); }
+
+std::optional<TIntSeq> TCountAggregator::Profile() const {
+  if (periods_.empty()) return std::nullopt;
+  // Sweep over period boundaries.
+  std::vector<Timestamp> cuts;
+  cuts.reserve(periods_.size() * 2);
+  for (const Period& p : periods_) {
+    cuts.push_back(p.lower());
+    cuts.push_back(p.upper());
+  }
+  std::sort(cuts.begin(), cuts.end());
+  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+  std::vector<TInstant<int64_t>> out;
+  out.reserve(cuts.size());
+  for (size_t i = 0; i < cuts.size(); ++i) {
+    // Step semantics: the value at cut i holds on [cuts[i], cuts[i+1]), so
+    // count the periods covering that cell's midpoint; the final cut counts
+    // the instant itself.
+    const Timestamp probe = i + 1 < cuts.size()
+                                ? cuts[i] + (cuts[i + 1] - cuts[i]) / 2
+                                : cuts[i];
+    int64_t n = 0;
+    for (const Period& p : periods_) {
+      if (p.Contains(probe)) ++n;
+    }
+    out.push_back({n, cuts[i]});
+  }
+  auto res = TIntSeq::Make(std::move(out), true, true, Interp::kStep);
+  if (!res.ok()) return std::nullopt;
+  return *res;
+}
+
+int64_t TCountAggregator::MaxCount() const {
+  auto profile = Profile();
+  if (!profile) return 0;
+  int64_t best = 0;
+  for (const auto& ins : profile->instants()) {
+    best = std::max(best, ins.value);
+  }
+  return best;
+}
+
+void MinMaxAggregator::Add(const TFloatSeq& seq) {
+  const double lo = MinValue(seq);
+  const double hi = MaxValue(seq);
+  min_ = min_ ? std::min(*min_, lo) : lo;
+  max_ = max_ ? std::max(*max_, hi) : hi;
+}
+
+void MinMaxAggregator::Merge(const MinMaxAggregator& other) {
+  if (other.min_) min_ = min_ ? std::min(*min_, *other.min_) : *other.min_;
+  if (other.max_) max_ = max_ ? std::max(*max_, *other.max_) : *other.max_;
+}
+
+}  // namespace nebulameos::meos

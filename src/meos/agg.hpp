@@ -1,0 +1,85 @@
+/// \file agg.hpp
+/// \brief Temporal aggregates over sequences.
+///
+/// The incremental aggregate states used by window operators when grouping
+/// spatiotemporal data: spatiotemporal extent, event counting over time, and
+/// time-weighted numeric aggregation across many sequences. Each aggregator
+/// is a small value type with `Add` / `Merge` / result accessors, so the
+/// stream engine can keep one per window pane.
+
+#pragma once
+
+#include <optional>
+
+#include "meos/stbox.hpp"
+#include "meos/tfloat_ops.hpp"
+#include "meos/tgeompoint.hpp"
+
+namespace nebulameos::meos {
+
+/// \brief Spatiotemporal extent: the STBox union of everything added.
+class ExtentAggregator {
+ public:
+  /// Adds one temporal point.
+  void Add(const TGeomPointSeq& seq);
+  /// Adds one positioned instant.
+  void AddPoint(const Point& p, Timestamp t);
+  /// Merges another aggregator's state.
+  void Merge(const ExtentAggregator& other);
+  /// The accumulated box; nullopt when nothing was added.
+  const std::optional<STBox>& extent() const { return extent_; }
+
+ private:
+  std::optional<STBox> extent_;
+};
+
+/// \brief Time-weighted average over many float sequences.
+///
+/// Accumulates `∫value dt` and `∫dt`; `Result()` is the overall
+/// time-weighted mean (instantaneous sequences fall back to plain
+/// averaging so they are not silently dropped).
+class TwAvgAggregator {
+ public:
+  /// Adds one float sequence.
+  void Add(const TFloatSeq& seq);
+  /// Merges another aggregator's state.
+  void Merge(const TwAvgAggregator& other);
+  /// The aggregated time-weighted average; nullopt when empty.
+  std::optional<double> Value() const;
+
+ private:
+  double integral_ = 0.0;
+  double seconds_ = 0.0;
+  double instant_sum_ = 0.0;
+  int64_t instant_count_ = 0;
+};
+
+/// \brief Count of sequences active over time (MEOS `tcount`): a step
+/// temporal int over the merged timeline.
+class TCountAggregator {
+ public:
+  /// Adds one sequence's period.
+  void Add(const Period& period);
+  /// The count profile as a step sequence; nullopt when empty.
+  std::optional<TIntSeq> Profile() const;
+  /// The maximum simultaneous count.
+  int64_t MaxCount() const;
+
+ private:
+  std::vector<Period> periods_;
+};
+
+/// \brief Min/max over float sequences (interpolation-aware per sequence).
+class MinMaxAggregator {
+ public:
+  void Add(const TFloatSeq& seq);
+  void Merge(const MinMaxAggregator& other);
+  std::optional<double> Min() const { return min_; }
+  std::optional<double> Max() const { return max_; }
+
+ private:
+  std::optional<double> min_;
+  std::optional<double> max_;
+};
+
+}  // namespace nebulameos::meos

@@ -1,0 +1,328 @@
+#include "meos/geo.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <limits>
+
+#include "common/strings.hpp"
+
+namespace nebulameos::meos {
+
+// ---------------------------------------------------------------------------
+// GeoBox
+// ---------------------------------------------------------------------------
+
+GeoBox GeoBox::Empty() {
+  GeoBox b;
+  b.xmin = b.ymin = std::numeric_limits<double>::infinity();
+  b.xmax = b.ymax = -std::numeric_limits<double>::infinity();
+  return b;
+}
+
+bool GeoBox::IsEmpty() const { return xmin > xmax || ymin > ymax; }
+
+void GeoBox::Extend(const Point& p) {
+  xmin = std::min(xmin, p.x);
+  ymin = std::min(ymin, p.y);
+  xmax = std::max(xmax, p.x);
+  ymax = std::max(ymax, p.y);
+}
+
+void GeoBox::ExtendBox(const GeoBox& other) {
+  if (other.IsEmpty()) return;
+  xmin = std::min(xmin, other.xmin);
+  ymin = std::min(ymin, other.ymin);
+  xmax = std::max(xmax, other.xmax);
+  ymax = std::max(ymax, other.ymax);
+}
+
+bool GeoBox::Contains(const Point& p) const {
+  return p.x >= xmin && p.x <= xmax && p.y >= ymin && p.y <= ymax;
+}
+
+bool GeoBox::Overlaps(const GeoBox& other) const {
+  if (IsEmpty() || other.IsEmpty()) return false;
+  return xmin <= other.xmax && other.xmin <= xmax && ymin <= other.ymax &&
+         other.ymin <= ymax;
+}
+
+GeoBox GeoBox::Expanded(double margin) const {
+  GeoBox b = *this;
+  b.xmin -= margin;
+  b.ymin -= margin;
+  b.xmax += margin;
+  b.ymax += margin;
+  return b;
+}
+
+// ---------------------------------------------------------------------------
+// Polygon
+// ---------------------------------------------------------------------------
+
+Result<Polygon> Polygon::Make(std::vector<Point> ring) {
+  if (ring.size() >= 2 && ApproxEquals(ring.front(), ring.back())) {
+    ring.pop_back();  // accept closed WKT rings
+  }
+  // Drop consecutive duplicates.
+  std::vector<Point> clean;
+  clean.reserve(ring.size());
+  for (const Point& p : ring) {
+    if (clean.empty() || !ApproxEquals(clean.back(), p)) clean.push_back(p);
+  }
+  if (clean.size() < 3) {
+    return Status::InvalidArgument("polygon needs at least 3 distinct vertices");
+  }
+  Polygon poly;
+  poly.ring_ = std::move(clean);
+  poly.bbox_ = GeoBox::Empty();
+  for (const Point& p : poly.ring_) poly.bbox_.Extend(p);
+  return poly;
+}
+
+bool Polygon::Contains(const Point& p) const {
+  if (!bbox_.Contains(p)) return false;
+  // Even-odd ray casting with an explicit on-edge check so boundary points
+  // count as inside regardless of ray orientation.
+  const size_t n = ring_.size();
+  bool inside = false;
+  for (size_t i = 0, j = n - 1; i < n; j = i++) {
+    const Point& pi = ring_[i];
+    const Point& pj = ring_[j];
+    // On-edge check (collinear and within bounding range).
+    const double cross =
+        (pj.x - pi.x) * (p.y - pi.y) - (pj.y - pi.y) * (p.x - pi.x);
+    if (std::fabs(cross) < 1e-15 &&
+        p.x >= std::min(pi.x, pj.x) - 1e-15 &&
+        p.x <= std::max(pi.x, pj.x) + 1e-15 &&
+        p.y >= std::min(pi.y, pj.y) - 1e-15 &&
+        p.y <= std::max(pi.y, pj.y) + 1e-15) {
+      return true;
+    }
+    const bool intersects = ((pi.y > p.y) != (pj.y > p.y)) &&
+                            (p.x < (pj.x - pi.x) * (p.y - pi.y) / (pj.y - pi.y) +
+                                       pi.x);
+    if (intersects) inside = !inside;
+  }
+  return inside;
+}
+
+double Polygon::SignedArea() const {
+  double acc = 0.0;
+  const size_t n = ring_.size();
+  for (size_t i = 0, j = n - 1; i < n; j = i++) {
+    acc += (ring_[j].x * ring_[i].y) - (ring_[i].x * ring_[j].y);
+  }
+  return acc / 2.0;
+}
+
+// ---------------------------------------------------------------------------
+// Metric operations
+// ---------------------------------------------------------------------------
+
+double CartesianDistance(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+double HaversineMeters(const Point& a, const Point& b) {
+  constexpr double kDegToRad = M_PI / 180.0;
+  const double lat1 = a.y * kDegToRad;
+  const double lat2 = b.y * kDegToRad;
+  const double dlat = (b.y - a.y) * kDegToRad;
+  const double dlon = (b.x - a.x) * kDegToRad;
+  const double s1 = std::sin(dlat / 2.0);
+  const double s2 = std::sin(dlon / 2.0);
+  const double h = s1 * s1 + std::cos(lat1) * std::cos(lat2) * s2 * s2;
+  return 2.0 * kEarthRadiusMeters * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+double PointDistance(const Point& a, const Point& b, Metric metric) {
+  return metric == Metric::kCartesian ? CartesianDistance(a, b)
+                                      : HaversineMeters(a, b);
+}
+
+LocalProjection::LocalProjection(const Point& origin, Metric metric)
+    : origin_(origin) {
+  if (metric == Metric::kWgs84) {
+    my_ = kMetersPerDegreeLat;
+    mx_ = kMetersPerDegreeLat * std::cos(origin.y * M_PI / 180.0);
+  }
+}
+
+Point LocalProjection::Project(const Point& p) const {
+  return Point{(p.x - origin_.x) * mx_, (p.y - origin_.y) * my_};
+}
+
+Point LocalProjection::Unproject(const Point& p) const {
+  return Point{origin_.x + p.x / mx_, origin_.y + p.y / my_};
+}
+
+namespace {
+
+// Planar closest-point fraction along segment ab for point p.
+double PlanarClosestFraction(const Point& p, const Point& a, const Point& b) {
+  const double vx = b.x - a.x;
+  const double vy = b.y - a.y;
+  const double len2 = vx * vx + vy * vy;
+  if (len2 <= 0.0) return 0.0;
+  const double t = ((p.x - a.x) * vx + (p.y - a.y) * vy) / len2;
+  return std::clamp(t, 0.0, 1.0);
+}
+
+double PlanarPointSegmentDistance(const Point& p, const Segment& s) {
+  const double t = PlanarClosestFraction(p, s.a, s.b);
+  return CartesianDistance(p, Lerp(s.a, s.b, t));
+}
+
+}  // namespace
+
+double ClosestPointFraction(const Point& p, const Segment& s, Metric metric) {
+  if (metric == Metric::kCartesian) return PlanarClosestFraction(p, s.a, s.b);
+  const LocalProjection proj(p, metric);
+  return PlanarClosestFraction(proj.Project(p), proj.Project(s.a),
+                               proj.Project(s.b));
+}
+
+double PointSegmentDistance(const Point& p, const Segment& s, Metric metric) {
+  if (metric == Metric::kCartesian) return PlanarPointSegmentDistance(p, s);
+  const LocalProjection proj(p, metric);
+  return PlanarPointSegmentDistance(
+      proj.Project(p), Segment{proj.Project(s.a), proj.Project(s.b)});
+}
+
+double SegmentSegmentDistance(const Segment& s1, const Segment& s2,
+                              Metric metric) {
+  Segment a = s1;
+  Segment b = s2;
+  if (metric == Metric::kWgs84) {
+    const LocalProjection proj(s1.a, metric);
+    a = Segment{proj.Project(s1.a), proj.Project(s1.b)};
+    b = Segment{proj.Project(s2.a), proj.Project(s2.b)};
+  }
+  if (SegmentIntersection(a, b).has_value()) return 0.0;
+  double d = PlanarPointSegmentDistance(a.a, b);
+  d = std::min(d, PlanarPointSegmentDistance(a.b, b));
+  d = std::min(d, PlanarPointSegmentDistance(b.a, a));
+  d = std::min(d, PlanarPointSegmentDistance(b.b, a));
+  return d;
+}
+
+std::optional<std::pair<double, double>> SegmentIntersection(
+    const Segment& s1, const Segment& s2) {
+  const double rx = s1.b.x - s1.a.x;
+  const double ry = s1.b.y - s1.a.y;
+  const double sx = s2.b.x - s2.a.x;
+  const double sy = s2.b.y - s2.a.y;
+  const double denom = rx * sy - ry * sx;
+  if (std::fabs(denom) < 1e-18) return std::nullopt;  // parallel/collinear
+  const double qpx = s2.a.x - s1.a.x;
+  const double qpy = s2.a.y - s1.a.y;
+  const double t = (qpx * sy - qpy * sx) / denom;
+  const double u = (qpx * ry - qpy * rx) / denom;
+  if (t < -1e-12 || t > 1.0 + 1e-12 || u < -1e-12 || u > 1.0 + 1e-12) {
+    return std::nullopt;
+  }
+  return std::make_pair(std::clamp(t, 0.0, 1.0), std::clamp(u, 0.0, 1.0));
+}
+
+double PointPolygonDistance(const Point& p, const Polygon& poly,
+                            Metric metric) {
+  if (poly.Contains(p)) return 0.0;
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < poly.size(); ++i) {
+    best = std::min(best, PointSegmentDistance(p, poly.Edge(i), metric));
+  }
+  return best;
+}
+
+double PointCircleDistance(const Point& p, const Circle& c, Metric metric) {
+  const double d = PointDistance(p, c.center, metric);
+  return d <= c.radius ? 0.0 : d - c.radius;
+}
+
+// ---------------------------------------------------------------------------
+// WKT
+// ---------------------------------------------------------------------------
+
+std::string PointToWkt(const Point& p) {
+  return "POINT(" + FormatDouble(p.x) + " " + FormatDouble(p.y) + ")";
+}
+
+std::string PolygonToWkt(const Polygon& poly) {
+  std::string out = "POLYGON((";
+  const auto& ring = poly.ring();
+  for (size_t i = 0; i < ring.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += FormatDouble(ring[i].x) + " " + FormatDouble(ring[i].y);
+  }
+  // Close the ring per the WKT convention.
+  out += ", " + FormatDouble(ring[0].x) + " " + FormatDouble(ring[0].y);
+  out += "))";
+  return out;
+}
+
+namespace {
+
+// Case-insensitive scan for `tag` at the start of trimmed `text`; returns the
+// remainder after the tag, or nullopt.
+std::optional<std::string_view> ConsumeTag(std::string_view text,
+                                           std::string_view tag) {
+  text = Trim(text);
+  if (text.size() < tag.size()) return std::nullopt;
+  for (size_t i = 0; i < tag.size(); ++i) {
+    if (std::toupper(static_cast<unsigned char>(text[i])) != tag[i]) {
+      return std::nullopt;
+    }
+  }
+  return text.substr(tag.size());
+}
+
+Result<Point> ParseCoordPair(std::string_view text) {
+  // "x y" with arbitrary internal whitespace.
+  std::string buf(Trim(text));
+  size_t sep = buf.find_first_of(" \t");
+  if (sep == std::string::npos) {
+    return Status::ParseError("bad coordinate pair: '" + buf + "'");
+  }
+  auto x = ParseDouble(buf.substr(0, sep));
+  auto y = ParseDouble(buf.substr(sep + 1));
+  if (!x.ok()) return x.status();
+  if (!y.ok()) return y.status();
+  return Point{*x, *y};
+}
+
+}  // namespace
+
+Result<Point> PointFromWkt(const std::string& wkt) {
+  auto rest = ConsumeTag(wkt, "POINT");
+  if (!rest) return Status::ParseError("expected POINT: '" + wkt + "'");
+  std::string_view body = Trim(*rest);
+  if (body.empty() || body.front() != '(' || body.back() != ')') {
+    return Status::ParseError("expected POINT(x y): '" + wkt + "'");
+  }
+  return ParseCoordPair(body.substr(1, body.size() - 2));
+}
+
+Result<Polygon> PolygonFromWkt(const std::string& wkt) {
+  auto rest = ConsumeTag(wkt, "POLYGON");
+  if (!rest) return Status::ParseError("expected POLYGON: '" + wkt + "'");
+  std::string_view body = Trim(*rest);
+  if (body.size() < 4 || body.front() != '(' || body.back() != ')') {
+    return Status::ParseError("expected POLYGON((...)): '" + wkt + "'");
+  }
+  body = Trim(body.substr(1, body.size() - 2));
+  if (body.empty() || body.front() != '(' || body.back() != ')') {
+    return Status::ParseError("expected POLYGON((...)): '" + wkt + "'");
+  }
+  body = body.substr(1, body.size() - 2);
+  std::vector<Point> ring;
+  for (const std::string& part : Split(body, ',')) {
+    auto p = ParseCoordPair(part);
+    if (!p.ok()) return p.status();
+    ring.push_back(*p);
+  }
+  return Polygon::Make(std::move(ring));
+}
+
+}  // namespace nebulameos::meos

@@ -1,0 +1,213 @@
+/// \file geo.hpp
+/// \brief Geometry kernel of the mobility engine.
+///
+/// 2D points, segments, axis-aligned boxes, simple polygons and circles,
+/// with the metric operations the temporal-point algebra builds on:
+/// point/segment/polygon distances, containment tests, and segment
+/// intersection parameters. Two metrics are supported:
+///
+/// * `Metric::kCartesian` — planar coordinates, Euclidean distance;
+/// * `Metric::kWgs84`     — x = longitude / y = latitude in degrees.
+///   Point–point distance is haversine; segment-level operations use a
+///   local equirectangular projection (exact enough at rail-corridor
+///   scale, the regime the paper operates in).
+///
+/// This mirrors the geometry layer MEOS borrows from PostGIS, scoped to the
+/// operations NebulaMEOS needs.
+
+#pragma once
+
+#include <cmath>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace nebulameos::meos {
+
+/// Coordinate interpretation for distance computations.
+enum class Metric {
+  kCartesian,  ///< planar x/y, Euclidean distance
+  kWgs84,      ///< x = lon°, y = lat°; metric distances in meters
+};
+
+/// Mean Earth radius in meters (IUGG).
+inline constexpr double kEarthRadiusMeters = 6371008.8;
+
+/// Meters per degree of latitude (spherical approximation).
+inline constexpr double kMetersPerDegreeLat =
+    kEarthRadiusMeters * M_PI / 180.0;
+
+/// \brief A 2D point. In WGS84 mode `x` is longitude and `y` latitude.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  bool operator==(const Point& o) const { return x == o.x && y == o.y; }
+  bool operator!=(const Point& o) const { return !(*this == o); }
+};
+
+/// True iff points are within \p eps in both coordinates.
+inline bool ApproxEquals(const Point& a, const Point& b, double eps = 1e-9) {
+  return std::fabs(a.x - b.x) <= eps && std::fabs(a.y - b.y) <= eps;
+}
+
+/// Linear interpolation between \p a and \p b at fraction \p f in [0,1].
+inline Point Lerp(const Point& a, const Point& b, double f) {
+  return Point{a.x + (b.x - a.x) * f, a.y + (b.y - a.y) * f};
+}
+
+/// \brief A directed straight segment between two points.
+struct Segment {
+  Point a;
+  Point b;
+};
+
+/// \brief An axis-aligned 2D box (the spatial part of an `STBox`).
+struct GeoBox {
+  double xmin = 0.0;
+  double ymin = 0.0;
+  double xmax = 0.0;
+  double ymax = 0.0;
+
+  /// A box that contains nothing; `Extend` grows it.
+  static GeoBox Empty();
+  /// True for the `Empty()` box.
+  bool IsEmpty() const;
+  /// Grows the box to contain \p p.
+  void Extend(const Point& p);
+  /// Grows the box to contain \p other.
+  void ExtendBox(const GeoBox& other);
+  /// True iff \p p lies inside or on the boundary.
+  bool Contains(const Point& p) const;
+  /// True iff the boxes share at least one point.
+  bool Overlaps(const GeoBox& other) const;
+  /// Box grown by \p margin on every side.
+  GeoBox Expanded(double margin) const;
+  /// Width (x extent) of the box.
+  double Width() const { return xmax - xmin; }
+  /// Height (y extent) of the box.
+  double Height() const { return ymax - ymin; }
+};
+
+/// \brief A simple polygon (single outer ring, no holes).
+///
+/// The ring is stored open (first vertex not repeated); edges close the ring
+/// implicitly. Vertex order may be CW or CCW.
+class Polygon {
+ public:
+  Polygon() = default;
+
+  /// Builds a polygon from ring vertices. Fails if fewer than 3 distinct
+  /// vertices are given. A repeated final vertex (closed WKT ring) is
+  /// dropped.
+  static Result<Polygon> Make(std::vector<Point> ring);
+
+  /// Ring vertices (open).
+  const std::vector<Point>& ring() const { return ring_; }
+  /// Number of vertices.
+  size_t size() const { return ring_.size(); }
+  /// Bounding box of the ring.
+  const GeoBox& bbox() const { return bbox_; }
+
+  /// Even-odd containment test; boundary points count as inside.
+  bool Contains(const Point& p) const;
+
+  /// Edge \p i as a segment (wraps around).
+  Segment Edge(size_t i) const {
+    return Segment{ring_[i], ring_[(i + 1) % ring_.size()]};
+  }
+
+  /// Signed area (positive for CCW rings); planar coordinates.
+  double SignedArea() const;
+
+ private:
+  std::vector<Point> ring_;
+  GeoBox bbox_;
+};
+
+/// \brief A circular zone (center + metric radius), used for radius
+/// geofences.
+struct Circle {
+  Point center;
+  double radius = 0.0;  ///< meters in kWgs84, coordinate units in kCartesian
+};
+
+// ---------------------------------------------------------------------------
+// Metric operations
+// ---------------------------------------------------------------------------
+
+/// Euclidean distance in the plane.
+double CartesianDistance(const Point& a, const Point& b);
+
+/// Great-circle distance in meters between lon/lat-degree points.
+double HaversineMeters(const Point& a, const Point& b);
+
+/// Distance between points under \p metric (meters for kWgs84).
+double PointDistance(const Point& a, const Point& b, Metric metric);
+
+/// \brief Local equirectangular projection centered at \p origin.
+///
+/// Maps lon/lat degrees to meters east/north of the origin, so planar
+/// algorithms apply locally. In kCartesian mode it is the identity.
+class LocalProjection {
+ public:
+  LocalProjection(const Point& origin, Metric metric);
+
+  /// Projects a point to local planar coordinates.
+  Point Project(const Point& p) const;
+  /// Inverse projection back to the input coordinate space.
+  Point Unproject(const Point& p) const;
+
+ private:
+  Point origin_;
+  double mx_ = 1.0;  // meters per degree of longitude at origin (or 1)
+  double my_ = 1.0;  // meters per degree of latitude (or 1)
+};
+
+/// Shortest distance from \p p to segment \p s under \p metric.
+double PointSegmentDistance(const Point& p, const Segment& s, Metric metric);
+
+/// Fraction in [0,1] along \p s of the point closest to \p p (planar for
+/// kCartesian, in local projection for kWgs84).
+double ClosestPointFraction(const Point& p, const Segment& s, Metric metric);
+
+/// Shortest distance between two segments under \p metric.
+double SegmentSegmentDistance(const Segment& s1, const Segment& s2,
+                              Metric metric);
+
+/// \brief Proper intersection of two segments in the plane.
+///
+/// Returns the parameters (t, u) in [0,1]² with
+/// `s1.a + t*(s1.b-s1.a) == s2.a + u*(s2.b-s2.a)` when the (non-collinear)
+/// segments intersect; `nullopt` otherwise. Collinear overlap returns
+/// `nullopt` (callers handle it by endpoint containment).
+std::optional<std::pair<double, double>> SegmentIntersection(
+    const Segment& s1, const Segment& s2);
+
+/// Distance from \p p to the polygon: 0 when inside, else distance to the
+/// nearest edge.
+double PointPolygonDistance(const Point& p, const Polygon& poly,
+                            Metric metric);
+
+/// Distance from \p p to the circle boundary-or-interior: 0 when inside.
+double PointCircleDistance(const Point& p, const Circle& c, Metric metric);
+
+// ---------------------------------------------------------------------------
+// WKT
+// ---------------------------------------------------------------------------
+
+/// Formats "POINT(x y)".
+std::string PointToWkt(const Point& p);
+
+/// Formats "POLYGON((x1 y1, x2 y2, ...))" (ring closed in the output).
+std::string PolygonToWkt(const Polygon& poly);
+
+/// Parses "POINT(x y)" (case-insensitive tag, flexible whitespace).
+Result<Point> PointFromWkt(const std::string& wkt);
+
+/// Parses "POLYGON((x1 y1, ...))" — outer ring only.
+Result<Polygon> PolygonFromWkt(const std::string& wkt);
+
+}  // namespace nebulameos::meos

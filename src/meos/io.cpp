@@ -1,0 +1,188 @@
+#include "meos/io.hpp"
+
+#include "common/strings.hpp"
+
+namespace nebulameos::meos {
+
+namespace {
+
+// Shared sequence formatter: `prefix[v@t, ...]` with bound brackets.
+template <typename Seq, typename ValueFormatter>
+std::string FormatSequence(const Seq& seq, const ValueFormatter& fmt,
+                           bool step_is_default) {
+  std::string out;
+  if ((seq.interp() == Interp::kStep) != step_is_default) {
+    out += seq.interp() == Interp::kStep ? "Interp=Step;" : "Interp=Linear;";
+  }
+  out += seq.lower_inc() ? '[' : '(';
+  for (size_t i = 0; i < seq.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += fmt(seq.instant(i).value);
+    out += '@';
+    out += FormatTimestamp(seq.instant(i).t);
+  }
+  out += seq.upper_inc() ? ']' : ')';
+  return out;
+}
+
+struct ParsedEnvelope {
+  std::string body;
+  bool lower_inc = true;
+  bool upper_inc = true;
+  std::optional<Interp> interp;
+};
+
+Result<ParsedEnvelope> ParseEnvelope(const std::string& text) {
+  ParsedEnvelope env;
+  std::string_view sv = Trim(text);
+  if (StartsWith(sv, "Interp=Step;")) {
+    env.interp = Interp::kStep;
+    sv = sv.substr(12);
+  } else if (StartsWith(sv, "Interp=Linear;")) {
+    env.interp = Interp::kLinear;
+    sv = sv.substr(14);
+  }
+  sv = Trim(sv);
+  if (sv.size() < 2) return Status::ParseError("sequence literal too short");
+  if (sv.front() == '[') {
+    env.lower_inc = true;
+  } else if (sv.front() == '(') {
+    env.lower_inc = false;
+  } else {
+    return Status::ParseError("sequence literal must start with [ or (");
+  }
+  if (sv.back() == ']') {
+    env.upper_inc = true;
+  } else if (sv.back() == ')') {
+    env.upper_inc = false;
+  } else {
+    return Status::ParseError("sequence literal must end with ] or )");
+  }
+  env.body = std::string(sv.substr(1, sv.size() - 2));
+  return env;
+}
+
+// Splits "v@t, v@t, ..." at top-level commas (commas inside parentheses —
+// POINT(x y) — are skipped).
+std::vector<std::string> SplitTopLevel(const std::string& body) {
+  std::vector<std::string> parts;
+  int depth = 0;
+  std::string cur;
+  for (char c : body) {
+    if (c == '(') ++depth;
+    if (c == ')') --depth;
+    if (c == ',' && depth == 0) {
+      parts.push_back(cur);
+      cur.clear();
+      continue;
+    }
+    cur += c;
+  }
+  if (!Trim(cur).empty() || parts.empty()) parts.push_back(cur);
+  return parts;
+}
+
+// Splits "value@timestamp" at the last '@'.
+Result<std::pair<std::string, Timestamp>> SplitInstant(const std::string& part) {
+  const size_t at = part.rfind('@');
+  if (at == std::string::npos) {
+    return Status::ParseError("instant missing '@': '" + part + "'");
+  }
+  auto ts = ParseTimestamp(std::string(Trim(part.substr(at + 1))));
+  if (!ts.ok()) return ts.status();
+  return std::make_pair(std::string(Trim(part.substr(0, at))), *ts);
+}
+
+}  // namespace
+
+std::string TFloatToString(const TFloatSeq& seq) {
+  return FormatSequence(
+      seq, [](double v) { return FormatDouble(v); },
+      /*step_is_default=*/false);
+}
+
+std::string TBoolToString(const TBoolSeq& seq) {
+  return FormatSequence(
+      seq, [](bool v) { return std::string(v ? "t" : "f"); },
+      /*step_is_default=*/true);
+}
+
+std::string TPointToString(const TGeomPointSeq& seq) {
+  return FormatSequence(
+      seq, [](const Point& p) { return PointToWkt(p); },
+      /*step_is_default=*/false);
+}
+
+Result<TFloatSeq> TFloatFromString(const std::string& text) {
+  auto env = ParseEnvelope(text);
+  if (!env.ok()) return env.status();
+  std::vector<TInstant<double>> instants;
+  for (const std::string& part : SplitTopLevel(env->body)) {
+    auto split = SplitInstant(part);
+    if (!split.ok()) return split.status();
+    auto v = ParseDouble(split->first);
+    if (!v.ok()) return v.status();
+    instants.push_back({*v, split->second});
+  }
+  return TFloatSeq::Make(std::move(instants), env->lower_inc, env->upper_inc,
+                         env->interp.value_or(Interp::kLinear));
+}
+
+Result<TGeomPointSeq> TPointFromString(const std::string& text) {
+  auto env = ParseEnvelope(text);
+  if (!env.ok()) return env.status();
+  std::vector<TInstant<Point>> instants;
+  for (const std::string& part : SplitTopLevel(env->body)) {
+    auto split = SplitInstant(part);
+    if (!split.ok()) return split.status();
+    auto p = PointFromWkt(split->first);
+    if (!p.ok()) return p.status();
+    instants.push_back({*p, split->second});
+  }
+  return TGeomPointSeq::Make(std::move(instants), env->lower_inc,
+                             env->upper_inc,
+                             env->interp.value_or(Interp::kLinear));
+}
+
+std::string TPointToGeoJson(const TGeomPointSeq& seq, const std::string& id) {
+  std::string out = "{\"type\":\"Feature\",";
+  if (!id.empty()) out += "\"id\":\"" + id + "\",";
+  out += "\"geometry\":{\"type\":\"LineString\",\"coordinates\":[";
+  for (size_t i = 0; i < seq.size(); ++i) {
+    if (i > 0) out += ',';
+    out += '[' + FormatDouble(seq.instant(i).value.x) + ',' +
+           FormatDouble(seq.instant(i).value.y) + ']';
+  }
+  out += "]},\"properties\":{\"times\":[";
+  for (size_t i = 0; i < seq.size(); ++i) {
+    if (i > 0) out += ',';
+    out += std::to_string(seq.instant(i).t);
+  }
+  out += "]}}";
+  return out;
+}
+
+std::string TPointToMfJson(const TGeomPointSeq& seq) {
+  std::string out =
+      "{\"type\":\"MovingPoint\",\"interpolation\":\"";
+  out += seq.interp() == Interp::kLinear ? "Linear" : "Step";
+  out += "\",\"coordinates\":[";
+  for (size_t i = 0; i < seq.size(); ++i) {
+    if (i > 0) out += ',';
+    out += '[' + FormatDouble(seq.instant(i).value.x) + ',' +
+           FormatDouble(seq.instant(i).value.y) + ']';
+  }
+  out += "],\"datetimes\":[";
+  for (size_t i = 0; i < seq.size(); ++i) {
+    if (i > 0) out += ',';
+    out += '"' + FormatTimestamp(seq.instant(i).t) + '"';
+  }
+  out += "],\"lower_inc\":";
+  out += seq.lower_inc() ? "true" : "false";
+  out += ",\"upper_inc\":";
+  out += seq.upper_inc() ? "true" : "false";
+  out += '}';
+  return out;
+}
+
+}  // namespace nebulameos::meos

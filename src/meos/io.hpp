@@ -1,0 +1,40 @@
+/// \file io.hpp
+/// \brief Text serialization for temporal types.
+///
+/// MobilityDB-style literals — `[v1@t1, v2@t2)` for sequences, with
+/// `Interp=Step;` prefix for non-default interpolation — plus GeoJSON/MF-JSON
+/// emitters used by the visualization exporters (Figures 2 and 3).
+
+#pragma once
+
+#include <string>
+
+#include "meos/tgeompoint.hpp"
+
+namespace nebulameos::meos {
+
+/// Formats a temporal float, e.g. "[1.5@2023-06-01 08:00:00, 2@...)".
+std::string TFloatToString(const TFloatSeq& seq);
+
+/// Formats a temporal bool, e.g. "[t@..., f@...]".
+std::string TBoolToString(const TBoolSeq& seq);
+
+/// Formats a temporal point, e.g. "[POINT(4.35 50.84)@..., ...]".
+std::string TPointToString(const TGeomPointSeq& seq);
+
+/// Parses a temporal float literal produced by `TFloatToString`.
+Result<TFloatSeq> TFloatFromString(const std::string& text);
+
+/// Parses a temporal point literal produced by `TPointToString`.
+Result<TGeomPointSeq> TPointFromString(const std::string& text);
+
+/// \brief GeoJSON `LineString` feature for a trajectory, with per-vertex
+/// epoch-microsecond timestamps in `properties.times` (Deck.gl TripsLayer
+/// convention).
+std::string TPointToGeoJson(const TGeomPointSeq& seq,
+                            const std::string& id = "");
+
+/// MF-JSON-style `MovingPoint` document for a trajectory.
+std::string TPointToMfJson(const TGeomPointSeq& seq);
+
+}  // namespace nebulameos::meos

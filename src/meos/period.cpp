@@ -1,0 +1,266 @@
+#include "meos/period.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace nebulameos::meos {
+
+// ---------------------------------------------------------------------------
+// Period
+// ---------------------------------------------------------------------------
+
+Result<Period> Period::Make(Timestamp lower, Timestamp upper, bool lower_inc,
+                            bool upper_inc) {
+  if (lower > upper) {
+    return Status::InvalidArgument("period lower bound after upper bound");
+  }
+  if (lower == upper && !(lower_inc && upper_inc)) {
+    return Status::InvalidArgument(
+        "instantaneous period must be inclusive on both bounds");
+  }
+  Period p;
+  p.lower_ = lower;
+  p.upper_ = upper;
+  p.lower_inc_ = lower_inc;
+  p.upper_inc_ = upper_inc;
+  return p;
+}
+
+bool Period::Contains(Timestamp t) const {
+  if (t < lower_ || t > upper_) return false;
+  if (t == lower_ && !lower_inc_) return false;
+  if (t == upper_ && !upper_inc_) return false;
+  return true;
+}
+
+bool Period::ContainsPeriod(const Period& other) const {
+  // Lower bound must not start before ours (respecting inclusivity).
+  if (other.lower_ < lower_) return false;
+  if (other.lower_ == lower_ && other.lower_inc_ && !lower_inc_) return false;
+  if (other.upper_ > upper_) return false;
+  if (other.upper_ == upper_ && other.upper_inc_ && !upper_inc_) return false;
+  return true;
+}
+
+bool Period::Overlaps(const Period& other) const {
+  if (upper_ < other.lower_ || other.upper_ < lower_) return false;
+  if (upper_ == other.lower_ && !(upper_inc_ && other.lower_inc_)) {
+    return false;
+  }
+  if (other.upper_ == lower_ && !(other.upper_inc_ && lower_inc_)) {
+    return false;
+  }
+  return true;
+}
+
+bool Period::IsAdjacent(const Period& other) const {
+  if (upper_ == other.lower_) return upper_inc_ != other.lower_inc_;
+  if (other.upper_ == lower_) return other.upper_inc_ != lower_inc_;
+  return false;
+}
+
+std::optional<Period> Period::Intersection(const Period& other) const {
+  if (!Overlaps(other)) return std::nullopt;
+  Timestamp lo;
+  bool lo_inc;
+  if (lower_ > other.lower_) {
+    lo = lower_;
+    lo_inc = lower_inc_;
+  } else if (lower_ < other.lower_) {
+    lo = other.lower_;
+    lo_inc = other.lower_inc_;
+  } else {
+    lo = lower_;
+    lo_inc = lower_inc_ && other.lower_inc_;
+  }
+  Timestamp hi;
+  bool hi_inc;
+  if (upper_ < other.upper_) {
+    hi = upper_;
+    hi_inc = upper_inc_;
+  } else if (upper_ > other.upper_) {
+    hi = other.upper_;
+    hi_inc = other.upper_inc_;
+  } else {
+    hi = upper_;
+    hi_inc = upper_inc_ && other.upper_inc_;
+  }
+  auto res = Make(lo, hi, lo_inc, hi_inc);
+  if (!res.ok()) return std::nullopt;  // degenerate touch with open bounds
+  return *res;
+}
+
+Period Period::Union(const Period& other) const {
+  Timestamp lo;
+  bool lo_inc;
+  if (lower_ < other.lower_) {
+    lo = lower_;
+    lo_inc = lower_inc_;
+  } else if (lower_ > other.lower_) {
+    lo = other.lower_;
+    lo_inc = other.lower_inc_;
+  } else {
+    lo = lower_;
+    lo_inc = lower_inc_ || other.lower_inc_;
+  }
+  Timestamp hi;
+  bool hi_inc;
+  if (upper_ > other.upper_) {
+    hi = upper_;
+    hi_inc = upper_inc_;
+  } else if (upper_ < other.upper_) {
+    hi = other.upper_;
+    hi_inc = other.upper_inc_;
+  } else {
+    hi = upper_;
+    hi_inc = upper_inc_ || other.upper_inc_;
+  }
+  auto res = Make(lo, hi, lo_inc, hi_inc);
+  assert(res.ok());
+  return *res;
+}
+
+Period Period::Shifted(Duration delta) const {
+  Period p = *this;
+  p.lower_ += delta;
+  p.upper_ += delta;
+  return p;
+}
+
+std::string Period::ToString() const {
+  std::string out;
+  out += lower_inc_ ? '[' : '(';
+  out += FormatTimestamp(lower_);
+  out += ", ";
+  out += FormatTimestamp(upper_);
+  out += upper_inc_ ? ']' : ')';
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// TimestampSet
+// ---------------------------------------------------------------------------
+
+TimestampSet::TimestampSet(std::vector<Timestamp> times)
+    : times_(std::move(times)) {
+  std::sort(times_.begin(), times_.end());
+  times_.erase(std::unique(times_.begin(), times_.end()), times_.end());
+}
+
+bool TimestampSet::Contains(Timestamp t) const {
+  return std::binary_search(times_.begin(), times_.end(), t);
+}
+
+Period TimestampSet::Extent() const {
+  assert(!times_.empty());
+  return Period(times_.front(), times_.back());
+}
+
+// ---------------------------------------------------------------------------
+// PeriodSet
+// ---------------------------------------------------------------------------
+
+PeriodSet::PeriodSet(std::vector<Period> periods) {
+  if (periods.empty()) return;
+  std::sort(periods.begin(), periods.end(),
+            [](const Period& a, const Period& b) {
+              if (a.lower() != b.lower()) return a.lower() < b.lower();
+              // Inclusive lower bound sorts first at equal timestamps.
+              return a.lower_inc() && !b.lower_inc();
+            });
+  periods_.push_back(periods[0]);
+  for (size_t i = 1; i < periods.size(); ++i) {
+    Period& last = periods_.back();
+    const Period& cur = periods[i];
+    if (last.Overlaps(cur) || last.IsAdjacent(cur)) {
+      last = last.Union(cur);
+    } else {
+      periods_.push_back(cur);
+    }
+  }
+}
+
+Duration PeriodSet::TotalDuration() const {
+  Duration total = 0;
+  for (const Period& p : periods_) total += p.DurationMicros();
+  return total;
+}
+
+bool PeriodSet::Contains(Timestamp t) const {
+  // Binary search over disjoint sorted periods.
+  auto it = std::upper_bound(
+      periods_.begin(), periods_.end(), t,
+      [](Timestamp v, const Period& p) { return v < p.lower(); });
+  if (it == periods_.begin()) return false;
+  return std::prev(it)->Contains(t);
+}
+
+Period PeriodSet::Extent() const {
+  assert(!periods_.empty());
+  auto res = Period::Make(periods_.front().lower(), periods_.back().upper(),
+                          periods_.front().lower_inc(),
+                          periods_.back().upper_inc());
+  assert(res.ok());
+  return *res;
+}
+
+PeriodSet PeriodSet::UnionWith(const PeriodSet& other) const {
+  std::vector<Period> all = periods_;
+  all.insert(all.end(), other.periods_.begin(), other.periods_.end());
+  return PeriodSet(std::move(all));
+}
+
+PeriodSet PeriodSet::IntersectionWith(const PeriodSet& other) const {
+  std::vector<Period> out;
+  size_t i = 0, j = 0;
+  while (i < periods_.size() && j < other.periods_.size()) {
+    if (auto inter = periods_[i].Intersection(other.periods_[j])) {
+      out.push_back(*inter);
+    }
+    if (periods_[i].upper() < other.periods_[j].upper()) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return PeriodSet(std::move(out));
+}
+
+PeriodSet PeriodSet::Difference(const PeriodSet& other) const {
+  std::vector<Period> out;
+  for (const Period& base : periods_) {
+    // Carve every overlapping period of `other` out of `base`.
+    std::vector<Period> pieces = {base};
+    for (const Period& cut : other.periods_) {
+      std::vector<Period> next;
+      for (const Period& piece : pieces) {
+        auto inter = piece.Intersection(cut);
+        if (!inter) {
+          next.push_back(piece);
+          continue;
+        }
+        // Left remainder: [piece.lower, inter.lower) (flip inclusivity).
+        if (piece.lower() < inter->lower() ||
+            (piece.lower() == inter->lower() && piece.lower_inc() &&
+             !inter->lower_inc())) {
+          auto left = Period::Make(piece.lower(), inter->lower(),
+                                   piece.lower_inc(), !inter->lower_inc());
+          if (left.ok()) next.push_back(*left);
+        }
+        // Right remainder: (inter.upper, piece.upper].
+        if (inter->upper() < piece.upper() ||
+            (inter->upper() == piece.upper() && piece.upper_inc() &&
+             !inter->upper_inc())) {
+          auto right = Period::Make(inter->upper(), piece.upper(),
+                                    !inter->upper_inc(), piece.upper_inc());
+          if (right.ok()) next.push_back(*right);
+        }
+      }
+      pieces = std::move(next);
+    }
+    out.insert(out.end(), pieces.begin(), pieces.end());
+  }
+  return PeriodSet(std::move(out));
+}
+
+}  // namespace nebulameos::meos

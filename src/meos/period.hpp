@@ -1,0 +1,143 @@
+/// \file period.hpp
+/// \brief Time types of the mobility engine: `Period`, `TimestampSet`,
+/// `PeriodSet`.
+///
+/// A `Period` is a time interval with independently inclusive/exclusive
+/// bounds, exactly as in MEOS/MobilityDB. `PeriodSet` is a normalized
+/// (sorted, disjoint, non-adjacent) list of periods and supports the set
+/// algebra used by restriction operations on temporal types.
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/time.hpp"
+
+namespace nebulameos::meos {
+
+/// \brief A bounded time interval `[lower, upper]` with per-bound
+/// inclusivity.
+///
+/// Invariants: `lower <= upper`; when `lower == upper` both bounds are
+/// inclusive (an instantaneous period).
+class Period {
+ public:
+  /// Builds a period; normalizes nothing, validates the invariants.
+  static Result<Period> Make(Timestamp lower, Timestamp upper,
+                             bool lower_inc = true, bool upper_inc = true);
+
+  /// Convenience: inclusive-inclusive period. `lower <= upper` required
+  /// (asserted in debug builds).
+  Period(Timestamp lower, Timestamp upper)
+      : lower_(lower), upper_(upper), lower_inc_(true), upper_inc_(true) {}
+
+  /// An instantaneous period `[t, t]`.
+  static Period Instant(Timestamp t) { return Period(t, t); }
+
+  Period() = default;
+
+  Timestamp lower() const { return lower_; }
+  Timestamp upper() const { return upper_; }
+  bool lower_inc() const { return lower_inc_; }
+  bool upper_inc() const { return upper_inc_; }
+
+  /// `upper - lower` in microseconds.
+  Duration DurationMicros() const { return upper_ - lower_; }
+
+  /// True iff the period contains the timestamp.
+  bool Contains(Timestamp t) const;
+
+  /// True iff `other` is fully contained in this period.
+  bool ContainsPeriod(const Period& other) const;
+
+  /// True iff the periods share at least one instant.
+  bool Overlaps(const Period& other) const;
+
+  /// True iff this period ends exactly where `other` starts (or vice versa)
+  /// with complementary bound flags, i.e. their union is a single period but
+  /// they share no instant.
+  bool IsAdjacent(const Period& other) const;
+
+  /// Intersection; nullopt when disjoint.
+  std::optional<Period> Intersection(const Period& other) const;
+
+  /// Smallest period containing both.
+  Period Union(const Period& other) const;
+
+  /// Shifts both bounds by \p delta.
+  Period Shifted(Duration delta) const;
+
+  /// "[2023-01-01 00:00:00, 2023-01-01 01:00:00)"-style text.
+  std::string ToString() const;
+
+  bool operator==(const Period& o) const {
+    return lower_ == o.lower_ && upper_ == o.upper_ &&
+           lower_inc_ == o.lower_inc_ && upper_inc_ == o.upper_inc_;
+  }
+
+ private:
+  Timestamp lower_ = 0;
+  Timestamp upper_ = 0;
+  bool lower_inc_ = true;
+  bool upper_inc_ = true;
+};
+
+/// \brief A finite, sorted set of distinct timestamps.
+class TimestampSet {
+ public:
+  TimestampSet() = default;
+  /// Builds a set; sorts and deduplicates the input.
+  explicit TimestampSet(std::vector<Timestamp> times);
+
+  const std::vector<Timestamp>& times() const { return times_; }
+  size_t size() const { return times_.size(); }
+  bool empty() const { return times_.empty(); }
+  bool Contains(Timestamp t) const;
+
+  /// Span from first to last timestamp (inclusive). Requires non-empty.
+  Period Extent() const;
+
+ private:
+  std::vector<Timestamp> times_;
+};
+
+/// \brief A normalized union of periods: sorted, pairwise disjoint and
+/// non-adjacent.
+class PeriodSet {
+ public:
+  PeriodSet() = default;
+  /// Builds a set from arbitrary periods; merges overlapping/adjacent ones.
+  explicit PeriodSet(std::vector<Period> periods);
+
+  const std::vector<Period>& periods() const { return periods_; }
+  size_t size() const { return periods_.size(); }
+  bool empty() const { return periods_.empty(); }
+
+  /// Sum of the member durations.
+  Duration TotalDuration() const;
+
+  /// True iff any member period contains \p t.
+  bool Contains(Timestamp t) const;
+
+  /// Smallest single period covering the set. Requires non-empty.
+  Period Extent() const;
+
+  /// Set union (normalized).
+  PeriodSet UnionWith(const PeriodSet& other) const;
+
+  /// Set intersection (normalized).
+  PeriodSet IntersectionWith(const PeriodSet& other) const;
+
+  /// This set minus \p other (normalized).
+  PeriodSet Difference(const PeriodSet& other) const;
+
+  bool operator==(const PeriodSet& o) const { return periods_ == o.periods_; }
+
+ private:
+  std::vector<Period> periods_;
+};
+
+}  // namespace nebulameos::meos

@@ -1,0 +1,146 @@
+#include "meos/stbox.hpp"
+
+#include "common/strings.hpp"
+
+namespace nebulameos::meos {
+
+Result<STBox> STBox::Make(double xmin, double ymin, double xmax, double ymax,
+                          const Period& period) {
+  if (xmin > xmax || ymin > ymax) {
+    return Status::InvalidArgument("stbox: min exceeds max");
+  }
+  STBox b;
+  b.box_ = GeoBox{xmin, ymin, xmax, ymax};
+  b.period_ = period;
+  b.has_space_ = true;
+  b.has_time_ = true;
+  return b;
+}
+
+Result<STBox> STBox::MakeSpatial(double xmin, double ymin, double xmax,
+                                 double ymax) {
+  if (xmin > xmax || ymin > ymax) {
+    return Status::InvalidArgument("stbox: min exceeds max");
+  }
+  STBox b;
+  b.box_ = GeoBox{xmin, ymin, xmax, ymax};
+  b.has_space_ = true;
+  return b;
+}
+
+STBox STBox::MakeTemporal(const Period& period) {
+  STBox b;
+  b.period_ = period;
+  b.has_time_ = true;
+  return b;
+}
+
+STBox STBox::FromGeoBox(const GeoBox& box, const std::optional<Period>& period) {
+  STBox b;
+  b.box_ = box;
+  b.has_space_ = true;
+  if (period) {
+    b.period_ = *period;
+    b.has_time_ = true;
+  }
+  return b;
+}
+
+bool STBox::Contains(const Point& p, Timestamp t) const {
+  return ContainsPoint(p) && ContainsTime(t);
+}
+
+bool STBox::ContainsPoint(const Point& p) const {
+  return !has_space_ || box_.Contains(p);
+}
+
+bool STBox::ContainsTime(Timestamp t) const {
+  return !has_time_ || period_.Contains(t);
+}
+
+bool STBox::Overlaps(const STBox& other) const {
+  if (has_space_ && other.has_space_ && !box_.Overlaps(other.box_)) {
+    return false;
+  }
+  if (has_time_ && other.has_time_ && !period_.Overlaps(other.period_)) {
+    return false;
+  }
+  return true;
+}
+
+bool STBox::ContainsBox(const STBox& other) const {
+  if (has_space_ && other.has_space_) {
+    if (other.box_.xmin < box_.xmin || other.box_.xmax > box_.xmax ||
+        other.box_.ymin < box_.ymin || other.box_.ymax > box_.ymax) {
+      return false;
+    }
+  }
+  if (has_time_ && other.has_time_ &&
+      !period_.ContainsPeriod(other.period_)) {
+    return false;
+  }
+  return true;
+}
+
+STBox STBox::Expanded(double dspace, Duration dtime) const {
+  STBox b = *this;
+  if (has_space_) b.box_ = box_.Expanded(dspace);
+  if (has_time_ && dtime != 0) {
+    auto p = Period::Make(period_.lower() - dtime, period_.upper() + dtime,
+                          period_.lower_inc(), period_.upper_inc());
+    if (p.ok()) b.period_ = *p;
+  }
+  return b;
+}
+
+STBox STBox::Union(const STBox& other) const {
+  STBox b = *this;
+  if (other.has_space_) {
+    if (b.has_space_) {
+      b.box_.ExtendBox(other.box_);
+    } else {
+      b.box_ = other.box_;
+      b.has_space_ = true;
+    }
+  }
+  if (other.has_time_) {
+    if (b.has_time_) {
+      b.period_ = b.period_.Union(other.period_);
+    } else {
+      b.period_ = other.period_;
+      b.has_time_ = true;
+    }
+  }
+  return b;
+}
+
+std::string STBox::ToString() const {
+  std::string out = "STBOX ";
+  if (has_space_ && has_time_) {
+    out += "XT(((" + FormatDouble(box_.xmin) + "," + FormatDouble(box_.ymin) +
+           "),(" + FormatDouble(box_.xmax) + "," + FormatDouble(box_.ymax) +
+           "))," + period_.ToString() + ")";
+  } else if (has_space_) {
+    out += "X(((" + FormatDouble(box_.xmin) + "," + FormatDouble(box_.ymin) +
+           "),(" + FormatDouble(box_.xmax) + "," + FormatDouble(box_.ymax) +
+           ")))";
+  } else if (has_time_) {
+    out += "T(" + period_.ToString() + ")";
+  } else {
+    out += "()";
+  }
+  return out;
+}
+
+bool STBox::operator==(const STBox& o) const {
+  if (has_space_ != o.has_space_ || has_time_ != o.has_time_) return false;
+  if (has_space_ &&
+      (box_.xmin != o.box_.xmin || box_.ymin != o.box_.ymin ||
+       box_.xmax != o.box_.xmax || box_.ymax != o.box_.ymax)) {
+    return false;
+  }
+  if (has_time_ && !(period_ == o.period_)) return false;
+  return true;
+}
+
+}  // namespace nebulameos::meos

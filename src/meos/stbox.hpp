@@ -1,0 +1,93 @@
+/// \file stbox.hpp
+/// \brief Spatiotemporal bounding boxes (`STBox`).
+///
+/// An `STBox` combines an optional spatial extent (x/y ranges) with an
+/// optional temporal extent (a `Period`). It is MEOS's central pruning
+/// structure: every temporal point keeps its `STBox`, and predicates first
+/// test boxes before touching exact geometry. `tpoint_at_stbox` — one of the
+/// two operators the paper integrates — restricts a temporal point to such a
+/// box.
+
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "meos/geo.hpp"
+#include "meos/period.hpp"
+
+namespace nebulameos::meos {
+
+/// \brief A spatiotemporal box: spatial extent and/or temporal extent.
+///
+/// At least one dimension must be present. Boxes with only a spatial part
+/// act as 2D boxes; boxes with only a temporal part act as periods.
+class STBox {
+ public:
+  STBox() = default;
+
+  /// Box with both spatial and temporal extents.
+  static Result<STBox> Make(double xmin, double ymin, double xmax, double ymax,
+                            const Period& period);
+
+  /// Spatial-only box.
+  static Result<STBox> MakeSpatial(double xmin, double ymin, double xmax,
+                                   double ymax);
+
+  /// Temporal-only box.
+  static STBox MakeTemporal(const Period& period);
+
+  /// Smallest box containing a geometry's bbox and, optionally, a period.
+  static STBox FromGeoBox(const GeoBox& box,
+                          const std::optional<Period>& period = std::nullopt);
+
+  bool has_space() const { return has_space_; }
+  bool has_time() const { return has_time_; }
+
+  /// Spatial extent; only meaningful when `has_space()`.
+  const GeoBox& box() const { return box_; }
+  /// Temporal extent; only meaningful when `has_time()`.
+  const Period& period() const { return period_; }
+
+  double xmin() const { return box_.xmin; }
+  double ymin() const { return box_.ymin; }
+  double xmax() const { return box_.xmax; }
+  double ymax() const { return box_.ymax; }
+  Timestamp tmin() const { return period_.lower(); }
+  Timestamp tmax() const { return period_.upper(); }
+
+  /// True iff (p, t) lies inside the box (all present dimensions).
+  bool Contains(const Point& p, Timestamp t) const;
+
+  /// True iff \p p lies inside the spatial extent (true when no space).
+  bool ContainsPoint(const Point& p) const;
+
+  /// True iff \p t lies inside the temporal extent (true when no time).
+  bool ContainsTime(Timestamp t) const;
+
+  /// True iff the boxes overlap in every dimension both possess.
+  bool Overlaps(const STBox& other) const;
+
+  /// True iff \p other is fully inside this box in shared dimensions.
+  bool ContainsBox(const STBox& other) const;
+
+  /// Box expanded by \p dspace on each spatial side and \p dtime on each
+  /// temporal side.
+  STBox Expanded(double dspace, Duration dtime = 0) const;
+
+  /// Smallest box containing both.
+  STBox Union(const STBox& other) const;
+
+  /// "STBOX XT(((xmin,ymin),(xmax,ymax)),[t1, t2])"-style text.
+  std::string ToString() const;
+
+  bool operator==(const STBox& o) const;
+
+ private:
+  GeoBox box_;
+  Period period_;
+  bool has_space_ = false;
+  bool has_time_ = false;
+};
+
+}  // namespace nebulameos::meos

@@ -1,0 +1,316 @@
+/// \file temporal.hpp
+/// \brief Temporal types: `TInstant<T>` and `TSequence<T>`.
+///
+/// A temporal value models the evolution of a value of type `T` over time,
+/// following the MEOS/MobilityDB data model:
+///
+/// * a **temporal instant** is a (value, timestamp) pair;
+/// * a **temporal sequence** is an ordered list of instants with strictly
+///   increasing timestamps, per-bound inclusivity flags, and an
+///   interpolation mode (`kStep` or `kLinear`);
+/// * a **sequence set** (gaps allowed) is represented as
+///   `std::vector<TSequence<T>>`, the result type of restriction
+///   operations that can split a sequence.
+///
+/// Instantiations used in NebulaMEOS: `TFloatSeq` (`double`), `TBoolSeq`
+/// (`bool`, step-only), `TIntSeq` (`int64_t`, step-only) and `TGeomPointSeq`
+/// (`geo::Point`, declared in tgeompoint.hpp).
+
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <optional>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/time.hpp"
+#include "meos/geo.hpp"
+#include "meos/period.hpp"
+
+namespace nebulameos::meos {
+
+/// Interpolation mode of a temporal sequence.
+enum class Interp {
+  kStep,    ///< value holds from an instant until (exclusive) the next
+  kLinear,  ///< value varies linearly between consecutive instants
+};
+
+/// \brief Interpolation behaviour per base type.
+///
+/// Types without a meaningful linear interpolation (bool, integers, text)
+/// specialize with `kSupportsLinear = false`; sequences over them are forced
+/// to step interpolation.
+template <typename T>
+struct InterpTraits {
+  static constexpr bool kSupportsLinear = false;
+  static T Interpolate(const T& a, const T& /*b*/, double /*f*/) { return a; }
+};
+
+template <>
+struct InterpTraits<double> {
+  static constexpr bool kSupportsLinear = true;
+  static double Interpolate(double a, double b, double f) {
+    return a + (b - a) * f;
+  }
+};
+
+template <>
+struct InterpTraits<Point> {
+  static constexpr bool kSupportsLinear = true;
+  static Point Interpolate(const Point& a, const Point& b, double f) {
+    return Lerp(a, b, f);
+  }
+};
+
+/// \brief A value observed at one timestamp.
+template <typename T>
+struct TInstant {
+  T value{};
+  Timestamp t = 0;
+
+  bool operator==(const TInstant& o) const {
+    return value == o.value && t == o.t;
+  }
+};
+
+/// \brief A temporal sequence: instants + bounds + interpolation.
+template <typename T>
+class TSequence {
+ public:
+  using Instant = TInstant<T>;
+
+  TSequence() = default;
+
+  /// Builds a sequence. Fails unless timestamps strictly increase, the
+  /// sequence is non-empty, single-instant sequences have inclusive bounds,
+  /// and linear interpolation is only requested for types that support it.
+  static Result<TSequence> Make(std::vector<Instant> instants,
+                                bool lower_inc = true, bool upper_inc = true,
+                                Interp interp = DefaultInterp()) {
+    if (instants.empty()) {
+      return Status::InvalidArgument("temporal sequence needs >= 1 instant");
+    }
+    for (size_t i = 1; i < instants.size(); ++i) {
+      if (instants[i - 1].t >= instants[i].t) {
+        return Status::InvalidArgument(
+            "temporal sequence timestamps must strictly increase");
+      }
+    }
+    if (instants.size() == 1 && !(lower_inc && upper_inc)) {
+      return Status::InvalidArgument(
+          "single-instant sequence must have inclusive bounds");
+    }
+    if (interp == Interp::kLinear && !InterpTraits<T>::kSupportsLinear) {
+      return Status::InvalidArgument(
+          "linear interpolation unsupported for this base type");
+    }
+    TSequence seq;
+    seq.instants_ = std::move(instants);
+    seq.lower_inc_ = lower_inc;
+    seq.upper_inc_ = upper_inc;
+    seq.interp_ = interp;
+    return seq;
+  }
+
+  /// Builds a sequence from parallel value/time vectors.
+  static Result<TSequence> FromValues(const std::vector<T>& values,
+                                      const std::vector<Timestamp>& times,
+                                      Interp interp = DefaultInterp()) {
+    if (values.size() != times.size()) {
+      return Status::InvalidArgument("values/times size mismatch");
+    }
+    std::vector<Instant> ins;
+    ins.reserve(values.size());
+    for (size_t i = 0; i < values.size(); ++i) {
+      ins.push_back(Instant{values[i], times[i]});
+    }
+    return Make(std::move(ins), true, true, interp);
+  }
+
+  /// The natural interpolation for `T` (linear when supported).
+  static constexpr Interp DefaultInterp() {
+    return InterpTraits<T>::kSupportsLinear ? Interp::kLinear : Interp::kStep;
+  }
+
+  // --- Accessors -----------------------------------------------------------
+
+  const std::vector<Instant>& instants() const { return instants_; }
+  size_t size() const { return instants_.size(); }
+  bool empty() const { return instants_.empty(); }
+  const Instant& instant(size_t i) const { return instants_[i]; }
+  Interp interp() const { return interp_; }
+  bool lower_inc() const { return lower_inc_; }
+  bool upper_inc() const { return upper_inc_; }
+
+  const T& StartValue() const { return instants_.front().value; }
+  const T& EndValue() const { return instants_.back().value; }
+  Timestamp StartTime() const { return instants_.front().t; }
+  Timestamp EndTime() const { return instants_.back().t; }
+
+  /// The sequence's time extent with its bound flags.
+  Period period() const {
+    auto p = Period::Make(StartTime(), EndTime(), lower_inc_, upper_inc_);
+    assert(p.ok());
+    return *p;
+  }
+
+  /// `EndTime() - StartTime()`.
+  Duration DurationMicros() const { return EndTime() - StartTime(); }
+
+  // --- Value access --------------------------------------------------------
+
+  /// Value at \p t, or nullopt when \p t is outside the (bound-respecting)
+  /// period. Step sequences return the left instant's value.
+  std::optional<T> ValueAt(Timestamp t) const {
+    if (!period().Contains(t)) return std::nullopt;
+    return ValueAtUnchecked(t);
+  }
+
+  /// Value at \p t assuming `StartTime() <= t <= EndTime()`; ignores bound
+  /// exclusivity (used internally for boundary interpolation).
+  T ValueAtUnchecked(Timestamp t) const {
+    // Index of the last instant with timestamp <= t.
+    const size_t i = IndexAtOrBefore(t);
+    if (instants_[i].t == t || i + 1 == instants_.size()) {
+      if (interp_ == Interp::kStep || instants_[i].t == t) {
+        return instants_[i].value;
+      }
+    }
+    if (interp_ == Interp::kStep) return instants_[i].value;
+    const Instant& a = instants_[i];
+    const Instant& b = instants_[i + 1];
+    const double f =
+        static_cast<double>(t - a.t) / static_cast<double>(b.t - a.t);
+    return InterpTraits<T>::Interpolate(a.value, b.value, f);
+  }
+
+  /// Index of the last instant at or before \p t (requires t >= StartTime()).
+  size_t IndexAtOrBefore(Timestamp t) const {
+    assert(t >= StartTime());
+    auto it = std::upper_bound(
+        instants_.begin(), instants_.end(), t,
+        [](Timestamp v, const Instant& ins) { return v < ins.t; });
+    return static_cast<size_t>(std::distance(instants_.begin(), it)) - 1;
+  }
+
+  // --- Restriction ---------------------------------------------------------
+
+  /// Restriction to a period; interpolates boundary instants for linear
+  /// sequences, takes the left value for step sequences. Returns nullopt
+  /// when the intersection is empty.
+  std::optional<TSequence> AtPeriod(const Period& p) const {
+    auto inter = period().Intersection(p);
+    if (!inter) return std::nullopt;
+    if (inter->lower() == inter->upper()) {
+      // Instantaneous restriction.
+      if (!period().Contains(inter->lower())) return std::nullopt;
+      std::vector<Instant> one = {
+          Instant{ValueAtUnchecked(inter->lower()), inter->lower()}};
+      auto seq = Make(std::move(one), true, true, interp_);
+      assert(seq.ok());
+      return *seq;
+    }
+    std::vector<Instant> out;
+    // Boundary instant at inter.lower.
+    out.push_back(Instant{ValueAtUnchecked(inter->lower()), inter->lower()});
+    // Interior instants.
+    for (const Instant& ins : instants_) {
+      if (ins.t > inter->lower() && ins.t < inter->upper()) {
+        out.push_back(ins);
+      }
+    }
+    // Boundary instant at inter.upper.
+    out.push_back(Instant{ValueAtUnchecked(inter->upper()), inter->upper()});
+    auto seq = Make(std::move(out), inter->lower_inc(), inter->upper_inc(),
+                    interp_);
+    assert(seq.ok());
+    return *seq;
+  }
+
+  /// Restriction to a period set; may split the sequence.
+  std::vector<TSequence> AtPeriodSet(const PeriodSet& ps) const {
+    std::vector<TSequence> out;
+    for (const Period& p : ps.periods()) {
+      if (auto seq = AtPeriod(p)) out.push_back(std::move(*seq));
+    }
+    return out;
+  }
+
+  /// The sequence minus a period set (the complement restriction).
+  std::vector<TSequence> MinusPeriodSet(const PeriodSet& ps) const {
+    PeriodSet mine(std::vector<Period>{period()});
+    return AtPeriodSet(mine.Difference(ps));
+  }
+
+  // --- Predicates ----------------------------------------------------------
+
+  /// True iff the value \p v is attained at some instant of the sequence
+  /// (exact equality; numeric "ever" comparisons with interpolation live in
+  /// tfloat_ops.hpp).
+  bool EverValueEq(const T& v) const {
+    for (const Instant& ins : instants_) {
+      if (ins.value == v) return true;
+    }
+    return false;
+  }
+
+  /// True iff every instant's value equals \p v.
+  bool AlwaysValueEq(const T& v) const {
+    for (const Instant& ins : instants_) {
+      if (!(ins.value == v)) return false;
+    }
+    return true;
+  }
+
+  // --- Transformation ------------------------------------------------------
+
+  /// Sequence with all timestamps shifted by \p delta.
+  TSequence Shifted(Duration delta) const {
+    TSequence s = *this;
+    for (Instant& ins : s.instants_) ins.t += delta;
+    return s;
+  }
+
+  /// Appends an instant at the end (streaming construction). Fails unless
+  /// its timestamp is after the current end.
+  Status Append(Instant ins) {
+    if (!instants_.empty() && ins.t <= EndTime()) {
+      return Status::InvalidArgument("append timestamp must increase");
+    }
+    instants_.push_back(std::move(ins));
+    return Status::OK();
+  }
+
+  bool operator==(const TSequence& o) const {
+    return instants_ == o.instants_ && lower_inc_ == o.lower_inc_ &&
+           upper_inc_ == o.upper_inc_ && interp_ == o.interp_;
+  }
+
+ private:
+  std::vector<Instant> instants_;
+  bool lower_inc_ = true;
+  bool upper_inc_ = true;
+  Interp interp_ = DefaultInterp();
+};
+
+/// Temporal float sequence (linear by default).
+using TFloatSeq = TSequence<double>;
+/// Temporal boolean sequence (step interpolation).
+using TBoolSeq = TSequence<bool>;
+/// Temporal integer sequence (step interpolation).
+using TIntSeq = TSequence<int64_t>;
+
+/// A sequence set: result of restrictions that may split a sequence.
+template <typename T>
+using TSeqSet = std::vector<TSequence<T>>;
+
+/// Total duration covered by a sequence set.
+template <typename T>
+Duration SeqSetDuration(const TSeqSet<T>& set) {
+  Duration d = 0;
+  for (const auto& s : set) d += s.DurationMicros();
+  return d;
+}
+
+}  // namespace nebulameos::meos

@@ -1,0 +1,418 @@
+#include "meos/tfloat_ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nebulameos::meos {
+
+bool EvalCmp(CmpOp op, double a, double b) {
+  switch (op) {
+    case CmpOp::kLt:
+      return a < b;
+    case CmpOp::kLe:
+      return a <= b;
+    case CmpOp::kGt:
+      return a > b;
+    case CmpOp::kGe:
+      return a >= b;
+    case CmpOp::kEq:
+      return a == b;
+    case CmpOp::kNe:
+      return a != b;
+  }
+  return false;
+}
+
+namespace {
+
+CmpOp Negate(CmpOp op) {
+  switch (op) {
+    case CmpOp::kLt:
+      return CmpOp::kGe;
+    case CmpOp::kLe:
+      return CmpOp::kGt;
+    case CmpOp::kGt:
+      return CmpOp::kLe;
+    case CmpOp::kGe:
+      return CmpOp::kLt;
+    case CmpOp::kEq:
+      return CmpOp::kNe;
+    case CmpOp::kNe:
+      return CmpOp::kEq;
+  }
+  return CmpOp::kNe;
+}
+
+// Applies `fn` value-wise to a sequence.
+TFloatSeq MapValues(const TFloatSeq& seq,
+                    const std::function<double(double)>& fn) {
+  std::vector<TInstant<double>> out;
+  out.reserve(seq.size());
+  for (const auto& ins : seq.instants()) {
+    out.push_back({fn(ins.value), ins.t});
+  }
+  auto res = TFloatSeq::Make(std::move(out), seq.lower_inc(), seq.upper_inc(),
+                             seq.interp());
+  assert(res.ok());
+  return *res;
+}
+
+// Generic synchronization: restrict both sequences to the common period and
+// resample each at the union of instants.
+template <typename T>
+std::optional<std::pair<TSequence<T>, TSequence<T>>> SynchronizeSeq(
+    const TSequence<T>& a, const TSequence<T>& b) {
+  auto inter = a.period().Intersection(b.period());
+  if (!inter) return std::nullopt;
+  auto ra = a.AtPeriod(*inter);
+  auto rb = b.AtPeriod(*inter);
+  if (!ra || !rb) return std::nullopt;
+  std::vector<Timestamp> times;
+  times.reserve(ra->size() + rb->size());
+  for (const auto& ins : ra->instants()) times.push_back(ins.t);
+  for (const auto& ins : rb->instants()) times.push_back(ins.t);
+  std::sort(times.begin(), times.end());
+  times.erase(std::unique(times.begin(), times.end()), times.end());
+  std::vector<TInstant<T>> ia, ib;
+  ia.reserve(times.size());
+  ib.reserve(times.size());
+  for (Timestamp t : times) {
+    ia.push_back({ra->ValueAtUnchecked(t), t});
+    ib.push_back({rb->ValueAtUnchecked(t), t});
+  }
+  auto sa = TSequence<T>::Make(std::move(ia), inter->lower_inc(),
+                               inter->upper_inc(), a.interp());
+  auto sb = TSequence<T>::Make(std::move(ib), inter->lower_inc(),
+                               inter->upper_inc(), b.interp());
+  assert(sa.ok() && sb.ok());
+  return std::make_pair(*sa, *sb);
+}
+
+// Instant-wise binary combination of two synchronized sequences.
+TFloatSeq CombineSynced(const TFloatSeq& a, const TFloatSeq& b,
+                        const std::function<double(double, double)>& fn) {
+  assert(a.size() == b.size());
+  std::vector<TInstant<double>> out;
+  out.reserve(a.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    out.push_back({fn(a.instant(i).value, b.instant(i).value),
+                   a.instant(i).t});
+  }
+  const Interp interp = (a.interp() == Interp::kLinear &&
+                         b.interp() == Interp::kLinear)
+                            ? Interp::kLinear
+                            : Interp::kStep;
+  auto res = TFloatSeq::Make(std::move(out), a.lower_inc(), a.upper_inc(),
+                             interp);
+  assert(res.ok());
+  return *res;
+}
+
+// Builds a step TBoolSeq from truth breakpoints spanning `seq`'s period,
+// merging consecutive equal values.
+TBoolSeq MakeBoolSeq(const TFloatSeq& seq,
+                     std::vector<TInstant<bool>> raw) {
+  std::vector<TInstant<bool>> merged;
+  for (auto& ins : raw) {
+    if (merged.size() >= 1 && merged.back().value == ins.value &&
+        ins.t != seq.EndTime()) {
+      continue;  // same truth continues
+    }
+    if (!merged.empty() && merged.back().t == ins.t) {
+      merged.back().value = ins.value;
+      continue;
+    }
+    merged.push_back(ins);
+  }
+  auto res = TBoolSeq::Make(std::move(merged), seq.lower_inc(),
+                            seq.upper_inc(), Interp::kStep);
+  assert(res.ok());
+  return *res;
+}
+
+}  // namespace
+
+TFloatSeq AddConst(const TFloatSeq& seq, double c) {
+  return MapValues(seq, [c](double v) { return v + c; });
+}
+
+TFloatSeq MulConst(const TFloatSeq& seq, double c) {
+  return MapValues(seq, [c](double v) { return v * c; });
+}
+
+std::optional<std::pair<TFloatSeq, TFloatSeq>> Synchronize(const TFloatSeq& a,
+                                                           const TFloatSeq& b) {
+  return SynchronizeSeq(a, b);
+}
+
+std::optional<TFloatSeq> Add(const TFloatSeq& a, const TFloatSeq& b) {
+  auto sync = Synchronize(a, b);
+  if (!sync) return std::nullopt;
+  return CombineSynced(sync->first, sync->second,
+                       [](double x, double y) { return x + y; });
+}
+
+std::optional<TFloatSeq> Sub(const TFloatSeq& a, const TFloatSeq& b) {
+  auto sync = Synchronize(a, b);
+  if (!sync) return std::nullopt;
+  return CombineSynced(sync->first, sync->second,
+                       [](double x, double y) { return x - y; });
+}
+
+TBoolSeq CmpConst(const TFloatSeq& seq, CmpOp op, double c) {
+  // Breakpoints: all instants plus (for linear interpolation) the exact
+  // crossing timestamps of value c inside each segment, rounded to the
+  // microsecond grid.
+  std::vector<Timestamp> breaks;
+  breaks.reserve(seq.size() + 4);
+  for (const auto& ins : seq.instants()) breaks.push_back(ins.t);
+  if (seq.interp() == Interp::kLinear) {
+    for (size_t i = 0; i + 1 < seq.size(); ++i) {
+      const auto& a = seq.instant(i);
+      const auto& b = seq.instant(i + 1);
+      const double va = a.value, vb = b.value;
+      if ((va < c && vb > c) || (va > c && vb < c)) {
+        const double f = (c - va) / (vb - va);
+        const Timestamp t = a.t + static_cast<Timestamp>(std::llround(
+                                      f * static_cast<double>(b.t - a.t)));
+        if (t > a.t && t < b.t) breaks.push_back(t);
+      }
+    }
+    std::sort(breaks.begin(), breaks.end());
+    breaks.erase(std::unique(breaks.begin(), breaks.end()), breaks.end());
+  }
+  // Truth on [breaks[k], breaks[k+1]) sampled at the interval midpoint; the
+  // final instant is evaluated exactly at the end time.
+  std::vector<TInstant<bool>> raw;
+  raw.reserve(breaks.size());
+  for (size_t k = 0; k + 1 < breaks.size(); ++k) {
+    const Timestamp mid = breaks[k] + (breaks[k + 1] - breaks[k]) / 2;
+    raw.push_back({EvalCmp(op, seq.ValueAtUnchecked(mid), c), breaks[k]});
+  }
+  raw.push_back(
+      {EvalCmp(op, seq.ValueAtUnchecked(seq.EndTime()), c), seq.EndTime()});
+  return MakeBoolSeq(seq, std::move(raw));
+}
+
+std::optional<TBoolSeq> Cmp(const TFloatSeq& a, CmpOp op, const TFloatSeq& b) {
+  auto diff = Sub(a, b);
+  if (!diff) return std::nullopt;
+  return CmpConst(*diff, op, 0.0);
+}
+
+namespace {
+
+// Per-segment "ever" evaluation; `start_attained`/`end_attained` indicate
+// whether the endpoint values are actually attained (bound inclusivity).
+bool SegmentEver(CmpOp op, double va, double vb, bool start_attained,
+                 bool end_attained, Interp interp, double c) {
+  if (interp == Interp::kStep) {
+    // va holds on a positive-width interval, hence always attained.
+    if (EvalCmp(op, va, c)) return true;
+    if (end_attained && EvalCmp(op, vb, c)) return true;
+    return false;
+  }
+  const double lo = std::min(va, vb);
+  const double hi = std::max(va, vb);
+  const bool lo_attained = (va == lo && start_attained) ||
+                           (vb == lo && end_attained) || (va == vb);
+  const bool hi_attained = (va == hi && start_attained) ||
+                           (vb == hi && end_attained) || (va == vb);
+  switch (op) {
+    case CmpOp::kLt:
+      return lo < c || (lo_attained && lo < c);  // open interval above lo
+    case CmpOp::kLe:
+      return lo < c || (lo == c && lo_attained);
+    case CmpOp::kGt:
+      return hi > c;
+    case CmpOp::kGe:
+      return hi > c || (hi == c && hi_attained);
+    case CmpOp::kEq:
+      if (va == vb) return va == c;
+      return (c > lo && c < hi) || (c == lo && lo_attained) ||
+             (c == hi && hi_attained);
+    case CmpOp::kNe:
+      if (va == vb) return va != c;
+      return true;  // a non-constant segment attains values != c
+  }
+  return false;
+}
+
+}  // namespace
+
+bool Ever(const TFloatSeq& seq, CmpOp op, double c) {
+  const size_t n = seq.size();
+  if (n == 1) return EvalCmp(op, seq.StartValue(), c);
+  for (size_t i = 0; i + 1 < n; ++i) {
+    const bool start_attained = (i > 0) || seq.lower_inc();
+    const bool end_attained = (i + 2 < n) || seq.upper_inc();
+    if (SegmentEver(op, seq.instant(i).value, seq.instant(i + 1).value,
+                    start_attained, end_attained, seq.interp(), c)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Always(const TFloatSeq& seq, CmpOp op, double c) {
+  return !Ever(seq, Negate(op), c);
+}
+
+double MinValue(const TFloatSeq& seq) {
+  double m = seq.StartValue();
+  for (const auto& ins : seq.instants()) m = std::min(m, ins.value);
+  return m;
+}
+
+double MaxValue(const TFloatSeq& seq) {
+  double m = seq.StartValue();
+  for (const auto& ins : seq.instants()) m = std::max(m, ins.value);
+  return m;
+}
+
+TSeqSet<double> AtRange(const TFloatSeq& seq, double lo, double hi) {
+  const PeriodSet above = WhenCmp(seq, CmpOp::kGe, lo);
+  const PeriodSet below = WhenCmp(seq, CmpOp::kLe, hi);
+  TSeqSet<double> parts = seq.AtPeriodSet(above.IntersectionWith(below));
+  // Crossing instants round to the microsecond grid, so interpolated
+  // boundary values can overshoot [lo, hi] by the value change within less
+  // than a microsecond. Snap boundary instants onto the range — the exact
+  // crossing value.
+  for (TFloatSeq& part : parts) {
+    std::vector<TInstant<double>> instants(part.instants());
+    for (size_t idx : {size_t{0}, instants.size() - 1}) {
+      instants[idx].value = std::clamp(instants[idx].value, lo, hi);
+    }
+    auto snapped = TFloatSeq::Make(std::move(instants), part.lower_inc(),
+                                   part.upper_inc(), part.interp());
+    assert(snapped.ok());
+    part = *snapped;
+  }
+  return parts;
+}
+
+PeriodSet WhenCmp(const TFloatSeq& seq, CmpOp op, double c) {
+  return WhenTrue(CmpConst(seq, op, c));
+}
+
+double Integral(const TFloatSeq& seq) {
+  double acc = 0.0;
+  for (size_t i = 0; i + 1 < seq.size(); ++i) {
+    const auto& a = seq.instant(i);
+    const auto& b = seq.instant(i + 1);
+    const double dt = ToSeconds(b.t - a.t);
+    if (seq.interp() == Interp::kLinear) {
+      acc += 0.5 * (a.value + b.value) * dt;
+    } else {
+      acc += a.value * dt;
+    }
+  }
+  return acc;
+}
+
+double TwAvg(const TFloatSeq& seq) {
+  const Duration d = seq.DurationMicros();
+  if (d == 0) return seq.StartValue();
+  return Integral(seq) / ToSeconds(d);
+}
+
+Result<TFloatSeq> Derivative(const TFloatSeq& seq) {
+  if (seq.interp() != Interp::kLinear) {
+    return Status::InvalidArgument("derivative requires linear interpolation");
+  }
+  if (seq.size() < 2) {
+    return Status::InvalidArgument("derivative requires >= 2 instants");
+  }
+  std::vector<TInstant<double>> out;
+  out.reserve(seq.size());
+  for (size_t i = 0; i + 1 < seq.size(); ++i) {
+    const auto& a = seq.instant(i);
+    const auto& b = seq.instant(i + 1);
+    const double slope =
+        (b.value - a.value) / ToSeconds(b.t - a.t);
+    out.push_back({slope, a.t});
+  }
+  out.push_back({out.back().value, seq.EndTime()});
+  return TFloatSeq::Make(std::move(out), seq.lower_inc(), seq.upper_inc(),
+                         Interp::kStep);
+}
+
+std::optional<TBoolSeq> TAnd(const TBoolSeq& a, const TBoolSeq& b) {
+  auto sync = SynchronizeSeq(a, b);
+  if (!sync) return std::nullopt;
+  std::vector<TInstant<bool>> out;
+  out.reserve(sync->first.size());
+  for (size_t i = 0; i < sync->first.size(); ++i) {
+    out.push_back({sync->first.instant(i).value && sync->second.instant(i).value,
+                   sync->first.instant(i).t});
+  }
+  auto res = TBoolSeq::Make(std::move(out), sync->first.lower_inc(),
+                            sync->first.upper_inc(), Interp::kStep);
+  assert(res.ok());
+  return *res;
+}
+
+std::optional<TBoolSeq> TOr(const TBoolSeq& a, const TBoolSeq& b) {
+  auto sync = SynchronizeSeq(a, b);
+  if (!sync) return std::nullopt;
+  std::vector<TInstant<bool>> out;
+  out.reserve(sync->first.size());
+  for (size_t i = 0; i < sync->first.size(); ++i) {
+    out.push_back({sync->first.instant(i).value || sync->second.instant(i).value,
+                   sync->first.instant(i).t});
+  }
+  auto res = TBoolSeq::Make(std::move(out), sync->first.lower_inc(),
+                            sync->first.upper_inc(), Interp::kStep);
+  assert(res.ok());
+  return *res;
+}
+
+TBoolSeq TNot(const TBoolSeq& seq) {
+  std::vector<TInstant<bool>> out;
+  out.reserve(seq.size());
+  for (const auto& ins : seq.instants()) out.push_back({!ins.value, ins.t});
+  auto res = TBoolSeq::Make(std::move(out), seq.lower_inc(), seq.upper_inc(),
+                            Interp::kStep);
+  assert(res.ok());
+  return *res;
+}
+
+PeriodSet WhenTrue(const TBoolSeq& seq) {
+  std::vector<Period> periods;
+  const size_t n = seq.size();
+  if (n == 1) {
+    if (seq.StartValue()) periods.push_back(Period::Instant(seq.StartTime()));
+    return PeriodSet(std::move(periods));
+  }
+  for (size_t i = 0; i + 1 < n; ++i) {
+    if (!seq.instant(i).value) continue;
+    // Step semantics: the value holds on [t_i, t_{i+1}).
+    const bool lower_inc = (i > 0) || seq.lower_inc();
+    auto p = Period::Make(seq.instant(i).t, seq.instant(i + 1).t, lower_inc,
+                          /*upper_inc=*/false);
+    if (p.ok()) periods.push_back(*p);
+  }
+  if (seq.instant(n - 1).value && seq.upper_inc()) {
+    periods.push_back(Period::Instant(seq.EndTime()));
+  }
+  return PeriodSet(std::move(periods));
+}
+
+bool EverTrue(const TBoolSeq& seq) {
+  // The final instant's value only holds if the upper bound is inclusive.
+  for (size_t i = 0; i + 1 < seq.size(); ++i) {
+    if (seq.instant(i).value) return true;
+  }
+  if (seq.size() == 1) return seq.StartValue();
+  return seq.upper_inc() && seq.EndValue();
+}
+
+bool AlwaysTrue(const TBoolSeq& seq) {
+  for (size_t i = 0; i + 1 < seq.size(); ++i) {
+    if (!seq.instant(i).value) return false;
+  }
+  if (seq.size() == 1) return seq.StartValue();
+  return !seq.upper_inc() || seq.EndValue();
+}
+
+}  // namespace nebulameos::meos

@@ -1,0 +1,111 @@
+/// \file tfloat_ops.hpp
+/// \brief Numeric algebra over temporal floats and booleans.
+///
+/// Implements the lifted operations MEOS provides on `tfloat`/`tbool`:
+/// arithmetic with constants and between synchronized sequences, temporal
+/// comparisons that compute exact crossing instants for linear sequences
+/// (`tfloat < c` yields a `tbool` that switches exactly where the value
+/// crosses `c`), ever/always predicates, value restriction, integrals and
+/// time-weighted averages, and the boolean combinators used to turn
+/// predicates into alert periods (`WhenTrue`).
+
+#pragma once
+
+#include <functional>
+
+#include "meos/temporal.hpp"
+
+namespace nebulameos::meos {
+
+/// Comparison operators for temporal comparisons.
+enum class CmpOp { kLt, kLe, kGt, kGe, kEq, kNe };
+
+/// Applies \p op to (\p a, \p b).
+bool EvalCmp(CmpOp op, double a, double b);
+
+// --- Arithmetic ------------------------------------------------------------
+
+/// seq + c.
+TFloatSeq AddConst(const TFloatSeq& seq, double c);
+/// seq * c.
+TFloatSeq MulConst(const TFloatSeq& seq, double c);
+
+/// \brief Synchronizes two sequences onto their common period and the union
+/// of their instants (plus interpolated values), so binary operations can be
+/// applied instant-wise. Returns nullopt when the periods do not overlap.
+std::optional<std::pair<TFloatSeq, TFloatSeq>> Synchronize(
+    const TFloatSeq& a, const TFloatSeq& b);
+
+/// a + b on the synchronized domain; nullopt when disjoint in time.
+std::optional<TFloatSeq> Add(const TFloatSeq& a, const TFloatSeq& b);
+/// a - b on the synchronized domain; nullopt when disjoint in time.
+std::optional<TFloatSeq> Sub(const TFloatSeq& a, const TFloatSeq& b);
+
+// --- Temporal comparison (exact crossings) ---------------------------------
+
+/// \brief Temporal comparison `seq op c` as a step `tbool`.
+///
+/// For linear sequences the result switches exactly at the crossing
+/// timestamps (rounded to the microsecond grid); for step sequences it
+/// switches at the instants.
+TBoolSeq CmpConst(const TFloatSeq& seq, CmpOp op, double c);
+
+/// Temporal comparison between two synchronized sequences.
+std::optional<TBoolSeq> Cmp(const TFloatSeq& a, CmpOp op, const TFloatSeq& b);
+
+// --- Ever / always ---------------------------------------------------------
+
+/// True iff `seq op c` holds at some instant (interpolation-aware).
+bool Ever(const TFloatSeq& seq, CmpOp op, double c);
+/// True iff `seq op c` holds at every instant of the sequence's period.
+bool Always(const TFloatSeq& seq, CmpOp op, double c);
+
+/// Minimum value attained by the sequence.
+double MinValue(const TFloatSeq& seq);
+/// Maximum value attained by the sequence.
+double MaxValue(const TFloatSeq& seq);
+
+// --- Restriction by value --------------------------------------------------
+
+/// Portions of the sequence where the value lies in [lo, hi]; may split the
+/// sequence. Exact boundaries for linear interpolation.
+TSeqSet<double> AtRange(const TFloatSeq& seq, double lo, double hi);
+
+/// The time during which `seq op c` holds.
+PeriodSet WhenCmp(const TFloatSeq& seq, CmpOp op, double c);
+
+// --- Aggregation -----------------------------------------------------------
+
+/// Time integral of the sequence (value · seconds).
+double Integral(const TFloatSeq& seq);
+
+/// Time-weighted average over the sequence's period (value at an instant for
+/// instantaneous sequences).
+double TwAvg(const TFloatSeq& seq);
+
+// --- Derivative ------------------------------------------------------------
+
+/// \brief Per-segment derivative (units per second) as a step sequence.
+///
+/// Defined for linear sequences with >= 2 instants; the last instant repeats
+/// the final slope so the result spans the same period.
+Result<TFloatSeq> Derivative(const TFloatSeq& seq);
+
+// --- Boolean combinators ---------------------------------------------------
+
+/// Logical AND of two synchronized boolean sequences.
+std::optional<TBoolSeq> TAnd(const TBoolSeq& a, const TBoolSeq& b);
+/// Logical OR of two synchronized boolean sequences.
+std::optional<TBoolSeq> TOr(const TBoolSeq& a, const TBoolSeq& b);
+/// Logical NOT.
+TBoolSeq TNot(const TBoolSeq& seq);
+
+/// The set of periods during which the boolean sequence is true.
+PeriodSet WhenTrue(const TBoolSeq& seq);
+
+/// True iff the sequence is ever true.
+bool EverTrue(const TBoolSeq& seq);
+/// True iff the sequence is always true.
+bool AlwaysTrue(const TBoolSeq& seq);
+
+}  // namespace nebulameos::meos

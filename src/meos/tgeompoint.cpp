@@ -1,0 +1,612 @@
+#include "meos/tgeompoint.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace nebulameos::meos {
+
+namespace {
+
+// Rounds a fractional position within [a, b] to the microsecond grid.
+Timestamp FracToTime(Timestamp a, Timestamp b, double f) {
+  const Timestamp t =
+      a + static_cast<Timestamp>(std::llround(f * static_cast<double>(b - a)));
+  return std::clamp(t, a, b);
+}
+
+// Liang–Barsky: the parameter interval [f0, f1] ⊆ [0, 1] for which the
+// moving point a + f·(b−a) lies inside the closed box. Returns false when
+// the segment misses the box.
+bool ClipSegmentToBox(const Point& a, const Point& b, const GeoBox& box,
+                      double* f0, double* f1) {
+  double t0 = 0.0, t1 = 1.0;
+  const double dx = b.x - a.x;
+  const double dy = b.y - a.y;
+  const double p[4] = {-dx, dx, -dy, dy};
+  const double q[4] = {a.x - box.xmin, box.xmax - a.x, a.y - box.ymin,
+                       box.ymax - a.y};
+  for (int i = 0; i < 4; ++i) {
+    if (p[i] == 0.0) {
+      if (q[i] < 0.0) return false;  // parallel and outside
+      continue;
+    }
+    const double r = q[i] / p[i];
+    if (p[i] < 0.0) {
+      if (r > t1) return false;
+      t0 = std::max(t0, r);
+    } else {
+      if (r < t0) return false;
+      t1 = std::min(t1, r);
+    }
+  }
+  if (t0 > t1) return false;
+  *f0 = t0;
+  *f1 = t1;
+  return true;
+}
+
+// Collects the "inside" time intervals of `seq` for a containment test
+// given per-segment parameter intervals from `clip(a, b, &f0, &f1)`.
+template <typename ClipFn>
+std::vector<Period> InsideIntervalsLinear(const TGeomPointSeq& seq,
+                                          const ClipFn& clip) {
+  std::vector<Period> out;
+  if (seq.size() == 1) {
+    double f0, f1;
+    if (clip(seq.StartValue(), seq.StartValue(), &f0, &f1)) {
+      out.push_back(Period::Instant(seq.StartTime()));
+    }
+    return out;
+  }
+  for (size_t i = 0; i + 1 < seq.size(); ++i) {
+    const auto& a = seq.instant(i);
+    const auto& b = seq.instant(i + 1);
+    double f0, f1;
+    if (!clip(a.value, b.value, &f0, &f1)) continue;
+    const Timestamp s = FracToTime(a.t, b.t, f0);
+    const Timestamp e = FracToTime(a.t, b.t, f1);
+    auto p = Period::Make(s, e, true, true);
+    if (p.ok()) out.push_back(*p);
+  }
+  return out;
+}
+
+// Step-interpolated variant: the value at instant i holds on [t_i, t_{i+1}).
+std::vector<Period> InsideIntervalsStep(
+    const TGeomPointSeq& seq, const std::function<bool(const Point&)>& inside) {
+  std::vector<Period> out;
+  const size_t n = seq.size();
+  for (size_t i = 0; i + 1 < n; ++i) {
+    if (!inside(seq.instant(i).value)) continue;
+    auto p = Period::Make(seq.instant(i).t, seq.instant(i + 1).t,
+                          (i > 0) || seq.lower_inc(), false);
+    if (p.ok()) out.push_back(*p);
+  }
+  if (inside(seq.instant(n - 1).value) && (n == 1 || seq.upper_inc())) {
+    out.push_back(Period::Instant(seq.EndTime()));
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Bounding boxes
+// ---------------------------------------------------------------------------
+
+STBox BoundingBox(const TGeomPointSeq& seq) {
+  GeoBox box = GeoBox::Empty();
+  for (const auto& ins : seq.instants()) box.Extend(ins.value);
+  return STBox::FromGeoBox(box, seq.period());
+}
+
+double MetersToDegreeMargin(double meters, double ref_lat) {
+  const double cos_lat =
+      std::max(0.1, std::cos(ref_lat * M_PI / 180.0));
+  return meters / (kMetersPerDegreeLat * cos_lat);
+}
+
+// ---------------------------------------------------------------------------
+// Measures
+// ---------------------------------------------------------------------------
+
+double Length(const TGeomPointSeq& seq, Metric metric) {
+  double acc = 0.0;
+  for (size_t i = 0; i + 1 < seq.size(); ++i) {
+    acc += PointDistance(seq.instant(i).value, seq.instant(i + 1).value,
+                         metric);
+  }
+  return acc;
+}
+
+TFloatSeq CumulativeLength(const TGeomPointSeq& seq, Metric metric) {
+  std::vector<TInstant<double>> out;
+  out.reserve(seq.size());
+  double acc = 0.0;
+  out.push_back({0.0, seq.StartTime()});
+  for (size_t i = 0; i + 1 < seq.size(); ++i) {
+    acc += PointDistance(seq.instant(i).value, seq.instant(i + 1).value,
+                         metric);
+    out.push_back({acc, seq.instant(i + 1).t});
+  }
+  auto res = TFloatSeq::Make(std::move(out), seq.lower_inc(), seq.upper_inc(),
+                             Interp::kLinear);
+  assert(res.ok());
+  return *res;
+}
+
+Result<TFloatSeq> Speed(const TGeomPointSeq& seq, Metric metric) {
+  if (seq.size() < 2) {
+    return Status::InvalidArgument("speed requires >= 2 instants");
+  }
+  std::vector<TInstant<double>> out;
+  out.reserve(seq.size());
+  for (size_t i = 0; i + 1 < seq.size(); ++i) {
+    const auto& a = seq.instant(i);
+    const auto& b = seq.instant(i + 1);
+    const double d = PointDistance(a.value, b.value, metric);
+    out.push_back({d / ToSeconds(b.t - a.t), a.t});
+  }
+  out.push_back({out.back().value, seq.EndTime()});
+  return TFloatSeq::Make(std::move(out), seq.lower_inc(), seq.upper_inc(),
+                         Interp::kStep);
+}
+
+Point TwCentroid(const TGeomPointSeq& seq) {
+  if (seq.size() == 1 || seq.DurationMicros() == 0) return seq.StartValue();
+  double wx = 0.0, wy = 0.0, wt = 0.0;
+  for (size_t i = 0; i + 1 < seq.size(); ++i) {
+    const auto& a = seq.instant(i);
+    const auto& b = seq.instant(i + 1);
+    const double dt = ToSeconds(b.t - a.t);
+    if (seq.interp() == Interp::kLinear) {
+      wx += 0.5 * (a.value.x + b.value.x) * dt;
+      wy += 0.5 * (a.value.y + b.value.y) * dt;
+    } else {
+      wx += a.value.x * dt;
+      wy += a.value.y * dt;
+    }
+    wt += dt;
+  }
+  return Point{wx / wt, wy / wt};
+}
+
+// ---------------------------------------------------------------------------
+// Restriction
+// ---------------------------------------------------------------------------
+
+PeriodSet WhenInsideBox(const TGeomPointSeq& seq, const GeoBox& box) {
+  if (seq.interp() == Interp::kLinear) {
+    return PeriodSet(InsideIntervalsLinear(
+        seq, [&box](const Point& a, const Point& b, double* f0, double* f1) {
+          return ClipSegmentToBox(a, b, box, f0, f1);
+        }));
+  }
+  return PeriodSet(InsideIntervalsStep(
+      seq, [&box](const Point& p) { return box.Contains(p); }));
+}
+
+namespace {
+
+// Parameter sub-intervals of segment (a→b) inside `poly`: crossing
+// parameters against every edge, then midpoint containment per cell.
+std::vector<std::pair<double, double>> SegmentInsidePolygon(
+    const Point& a, const Point& b, const Polygon& poly) {
+  std::vector<std::pair<double, double>> out;
+  GeoBox seg_box = GeoBox::Empty();
+  seg_box.Extend(a);
+  seg_box.Extend(b);
+  if (!seg_box.Overlaps(poly.bbox())) {
+    return out;  // box pruning
+  }
+  std::vector<double> cuts = {0.0, 1.0};
+  const Segment seg{a, b};
+  for (size_t e = 0; e < poly.size(); ++e) {
+    if (auto hit = SegmentIntersection(seg, poly.Edge(e))) {
+      cuts.push_back(hit->first);
+    }
+  }
+  std::sort(cuts.begin(), cuts.end());
+  cuts.erase(std::unique(cuts.begin(), cuts.end(),
+                         [](double x, double y) { return std::fabs(x - y) < 1e-12; }),
+             cuts.end());
+  for (size_t i = 0; i + 1 < cuts.size(); ++i) {
+    const double mid = 0.5 * (cuts[i] + cuts[i + 1]);
+    if (poly.Contains(Lerp(a, b, mid))) {
+      if (!out.empty() && std::fabs(out.back().second - cuts[i]) < 1e-12) {
+        out.back().second = cuts[i + 1];  // merge touching cells
+      } else {
+        out.emplace_back(cuts[i], cuts[i + 1]);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+PeriodSet WhenInsidePolygon(const TGeomPointSeq& seq, const Polygon& poly) {
+  if (seq.interp() != Interp::kLinear) {
+    return PeriodSet(InsideIntervalsStep(
+        seq, [&poly](const Point& p) { return poly.Contains(p); }));
+  }
+  std::vector<Period> periods;
+  if (seq.size() == 1) {
+    if (poly.Contains(seq.StartValue())) {
+      periods.push_back(Period::Instant(seq.StartTime()));
+    }
+    return PeriodSet(std::move(periods));
+  }
+  for (size_t i = 0; i + 1 < seq.size(); ++i) {
+    const auto& a = seq.instant(i);
+    const auto& b = seq.instant(i + 1);
+    for (const auto& [f0, f1] : SegmentInsidePolygon(a.value, b.value, poly)) {
+      const Timestamp s = FracToTime(a.t, b.t, f0);
+      const Timestamp e = FracToTime(a.t, b.t, f1);
+      auto p = Period::Make(s, e, true, true);
+      if (p.ok()) periods.push_back(*p);
+    }
+  }
+  return PeriodSet(std::move(periods));
+}
+
+PeriodSet WhenInsideCircle(const TGeomPointSeq& seq, const Circle& circle,
+                           Metric metric) {
+  auto tb = TDwithin(seq, circle.center, circle.radius, metric);
+  if (!tb.ok()) {
+    // Single-instant sequence: containment test on the lone point.
+    std::vector<Period> periods;
+    if (PointCircleDistance(seq.StartValue(), circle, metric) == 0.0) {
+      periods.push_back(Period::Instant(seq.StartTime()));
+    }
+    return PeriodSet(std::move(periods));
+  }
+  return WhenTrue(*tb);
+}
+
+TSeqSet<Point> AtStbox(const TGeomPointSeq& seq, const STBox& box) {
+  // Temporal restriction first.
+  const TGeomPointSeq* base = &seq;
+  std::optional<TGeomPointSeq> restricted;
+  if (box.has_time()) {
+    restricted = seq.AtPeriod(box.period());
+    if (!restricted) return {};
+    base = &*restricted;
+  }
+  if (!box.has_space()) {
+    return {*base};
+  }
+  TSeqSet<Point> parts = base->AtPeriodSet(WhenInsideBox(*base, box.box()));
+  // Crossing instants are rounded to the microsecond grid, so interpolated
+  // boundary positions can overshoot the box by the distance travelled in
+  // less than a microsecond. Snap boundary instants onto the (closed) box —
+  // the exact clipped geometry.
+  for (TGeomPointSeq& part : parts) {
+    if (part.empty()) continue;
+    std::vector<TInstant<Point>> instants(part.instants());
+    for (size_t idx : {size_t{0}, instants.size() - 1}) {
+      Point& p = instants[idx].value;
+      p.x = std::clamp(p.x, box.xmin(), box.xmax());
+      p.y = std::clamp(p.y, box.ymin(), box.ymax());
+    }
+    auto snapped = TGeomPointSeq::Make(std::move(instants), part.lower_inc(),
+                                       part.upper_inc(), part.interp());
+    assert(snapped.ok());
+    part = *snapped;
+  }
+  return parts;
+}
+
+TSeqSet<Point> AtGeometry(const TGeomPointSeq& seq, const Polygon& poly) {
+  return seq.AtPeriodSet(WhenInsidePolygon(seq, poly));
+}
+
+TSeqSet<Point> MinusStbox(const TGeomPointSeq& seq, const STBox& box) {
+  PeriodSet inside;
+  if (box.has_space()) {
+    inside = WhenInsideBox(seq, box.box());
+    if (box.has_time()) {
+      inside = inside.IntersectionWith(
+          PeriodSet(std::vector<Period>{box.period()}));
+    }
+  } else if (box.has_time()) {
+    inside = PeriodSet(std::vector<Period>{box.period()});
+  }
+  return seq.MinusPeriodSet(inside);
+}
+
+// ---------------------------------------------------------------------------
+// Distance predicates
+// ---------------------------------------------------------------------------
+
+bool EverDWithin(const TGeomPointSeq& seq, const Point& target, double dist,
+                 Metric metric) {
+  // STBox pruning: expand the trajectory box by the distance and test the
+  // target against it.
+  const STBox bb = BoundingBox(seq);
+  const double margin = metric == Metric::kWgs84
+                            ? MetersToDegreeMargin(dist, target.y)
+                            : dist;
+  if (!bb.Expanded(margin).ContainsPoint(target)) return false;
+  if (seq.size() == 1) {
+    return PointDistance(seq.StartValue(), target, metric) <= dist;
+  }
+  for (size_t i = 0; i + 1 < seq.size(); ++i) {
+    const Segment s{seq.instant(i).value, seq.instant(i + 1).value};
+    if (PointSegmentDistance(target, s, metric) <= dist) return true;
+  }
+  return false;
+}
+
+bool EverDWithin(const TGeomPointSeq& seq, const Polygon& target, double dist,
+                 Metric metric) {
+  const STBox bb = BoundingBox(seq);
+  const double margin =
+      metric == Metric::kWgs84
+          ? MetersToDegreeMargin(dist, target.bbox().ymin)
+          : dist;
+  if (!bb.box().Expanded(margin).Overlaps(target.bbox())) return false;
+  if (seq.size() == 1) {
+    return PointPolygonDistance(seq.StartValue(), target, metric) <= dist;
+  }
+  for (size_t i = 0; i + 1 < seq.size(); ++i) {
+    const Segment s{seq.instant(i).value, seq.instant(i + 1).value};
+    if (target.Contains(s.a) || target.Contains(s.b)) return true;
+    for (size_t e = 0; e < target.size(); ++e) {
+      if (SegmentSegmentDistance(s, target.Edge(e), metric) <= dist) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+namespace {
+
+// Resamples two temporal points onto their common period and the union of
+// their instants so positions can be compared index-wise.
+std::optional<std::pair<TGeomPointSeq, TGeomPointSeq>> SynchronizePoints(
+    const TGeomPointSeq& a, const TGeomPointSeq& b) {
+  auto inter = a.period().Intersection(b.period());
+  if (!inter) return std::nullopt;
+  auto ra = a.AtPeriod(*inter);
+  auto rb = b.AtPeriod(*inter);
+  if (!ra || !rb) return std::nullopt;
+  std::vector<Timestamp> times;
+  for (const auto& ins : ra->instants()) times.push_back(ins.t);
+  for (const auto& ins : rb->instants()) times.push_back(ins.t);
+  std::sort(times.begin(), times.end());
+  times.erase(std::unique(times.begin(), times.end()), times.end());
+  std::vector<TInstant<Point>> ia, ib;
+  for (Timestamp t : times) {
+    ia.push_back({ra->ValueAtUnchecked(t), t});
+    ib.push_back({rb->ValueAtUnchecked(t), t});
+  }
+  auto sa = TGeomPointSeq::Make(std::move(ia));
+  auto sb = TGeomPointSeq::Make(std::move(ib));
+  if (!sa.ok() || !sb.ok()) return std::nullopt;
+  return std::make_pair(*sa, *sb);
+}
+
+}  // namespace
+
+double MovingMinDistance(const TGeomPointSeq& a, const TGeomPointSeq& b,
+                         Metric metric) {
+  // Between common instants both points move linearly, so their distance is
+  // minimized either at an instant or at the interior minimum of the
+  // relative-motion quadratic |R0 + f·dR|².
+  auto sync = SynchronizePoints(a, b);
+  if (!sync) return std::numeric_limits<double>::infinity();
+  const auto& sa = sync->first;
+  const auto& sb = sync->second;
+  const LocalProjection proj(sa.StartValue(), metric);
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < sa.size(); ++i) {
+    best = std::min(
+        best, PointDistance(sa.instant(i).value, sb.instant(i).value, metric));
+  }
+  for (size_t i = 0; i + 1 < sa.size(); ++i) {
+    const Point a0 = proj.Project(sa.instant(i).value);
+    const Point a1 = proj.Project(sa.instant(i + 1).value);
+    const Point b0 = proj.Project(sb.instant(i).value);
+    const Point b1 = proj.Project(sb.instant(i + 1).value);
+    const double rx = b0.x - a0.x, ry = b0.y - a0.y;
+    const double dx = (b1.x - a1.x) - rx, dy = (b1.y - a1.y) - ry;
+    const double denom = dx * dx + dy * dy;
+    if (denom <= 0.0) continue;
+    const double f = std::clamp(-(rx * dx + ry * dy) / denom, 0.0, 1.0);
+    const double mx = rx + f * dx, my = ry + f * dy;
+    best = std::min(best, std::sqrt(mx * mx + my * my));
+  }
+  return best;
+}
+
+bool EverDWithin(const TGeomPointSeq& a, const TGeomPointSeq& b, double dist,
+                 Metric metric) {
+  return MovingMinDistance(a, b, metric) <= dist;
+}
+
+Result<TBoolSeq> TDwithin(const TGeomPointSeq& seq, const Point& target,
+                          double dist, Metric metric) {
+  if (seq.size() < 2) {
+    return Status::InvalidArgument("tdwithin requires >= 2 instants");
+  }
+  // Work in a local planar frame centered at the target so the quadratic
+  // |P(f) - T|^2 = dist^2 is exact in both metrics.
+  const LocalProjection proj(target, metric);
+  const Point t_loc = proj.Project(target);
+  std::vector<Timestamp> breaks;
+  for (const auto& ins : seq.instants()) breaks.push_back(ins.t);
+  for (size_t i = 0; i + 1 < seq.size(); ++i) {
+    const auto& a = seq.instant(i);
+    const auto& b = seq.instant(i + 1);
+    const Point pa = proj.Project(a.value);
+    const Point pb = proj.Project(b.value);
+    const double ex = pa.x - t_loc.x, ey = pa.y - t_loc.y;
+    const double dx = pb.x - pa.x, dy = pb.y - pa.y;
+    // |e + f d|^2 = dist^2  =>  (d·d) f^2 + 2 (e·d) f + (e·e − dist²) = 0.
+    const double qa = dx * dx + dy * dy;
+    const double qb = 2.0 * (ex * dx + ey * dy);
+    const double qc = ex * ex + ey * ey - dist * dist;
+    if (qa <= 0.0) continue;  // stationary segment
+    const double disc = qb * qb - 4.0 * qa * qc;
+    if (disc <= 0.0) continue;  // no crossing (tangent counts as none)
+    const double sq = std::sqrt(disc);
+    for (const double f : {(-qb - sq) / (2.0 * qa), (-qb + sq) / (2.0 * qa)}) {
+      if (f > 0.0 && f < 1.0) {
+        const Timestamp t = FracToTime(a.t, b.t, f);
+        if (t > a.t && t < b.t) breaks.push_back(t);
+      }
+    }
+  }
+  std::sort(breaks.begin(), breaks.end());
+  breaks.erase(std::unique(breaks.begin(), breaks.end()), breaks.end());
+  std::vector<TInstant<bool>> raw;
+  auto within = [&](Timestamp t) {
+    return PointDistance(seq.ValueAtUnchecked(t), target, metric) <= dist;
+  };
+  for (size_t k = 0; k + 1 < breaks.size(); ++k) {
+    const Timestamp mid = breaks[k] + (breaks[k + 1] - breaks[k]) / 2;
+    raw.push_back({within(mid), breaks[k]});
+  }
+  raw.push_back({within(seq.EndTime()), seq.EndTime()});
+  // Merge consecutive equal truth values.
+  std::vector<TInstant<bool>> merged;
+  for (auto& ins : raw) {
+    if (!merged.empty() && merged.back().value == ins.value &&
+        ins.t != seq.EndTime()) {
+      continue;
+    }
+    if (!merged.empty() && merged.back().t == ins.t) {
+      merged.back().value = ins.value;
+      continue;
+    }
+    merged.push_back(ins);
+  }
+  return TBoolSeq::Make(std::move(merged), seq.lower_inc(), seq.upper_inc(),
+                        Interp::kStep);
+}
+
+Result<TFloatSeq> DistanceToPoint(const TGeomPointSeq& seq,
+                                  const Point& target, Metric metric) {
+  if (seq.empty()) {
+    return Status::InvalidArgument("distance of empty sequence");
+  }
+  // Sample at instants plus per-segment closest-approach instants.
+  std::vector<Timestamp> times;
+  for (const auto& ins : seq.instants()) times.push_back(ins.t);
+  for (size_t i = 0; i + 1 < seq.size(); ++i) {
+    const auto& a = seq.instant(i);
+    const auto& b = seq.instant(i + 1);
+    const double f =
+        ClosestPointFraction(target, Segment{a.value, b.value}, metric);
+    if (f > 0.0 && f < 1.0) {
+      const Timestamp t = FracToTime(a.t, b.t, f);
+      if (t > a.t && t < b.t) times.push_back(t);
+    }
+  }
+  std::sort(times.begin(), times.end());
+  times.erase(std::unique(times.begin(), times.end()), times.end());
+  std::vector<TInstant<double>> out;
+  out.reserve(times.size());
+  for (Timestamp t : times) {
+    out.push_back({PointDistance(seq.ValueAtUnchecked(t), target, metric), t});
+  }
+  return TFloatSeq::Make(std::move(out), seq.lower_inc(), seq.upper_inc(),
+                         Interp::kLinear);
+}
+
+double NearestApproachDistance(const TGeomPointSeq& seq, const Point& target,
+                               Metric metric) {
+  if (seq.size() == 1) {
+    return PointDistance(seq.StartValue(), target, metric);
+  }
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i + 1 < seq.size(); ++i) {
+    const Segment s{seq.instant(i).value, seq.instant(i + 1).value};
+    best = std::min(best, PointSegmentDistance(target, s, metric));
+  }
+  return best;
+}
+
+Timestamp NearestApproachInstant(const TGeomPointSeq& seq, const Point& target,
+                                 Metric metric) {
+  if (seq.size() == 1) return seq.StartTime();
+  double best = std::numeric_limits<double>::infinity();
+  Timestamp best_t = seq.StartTime();
+  for (size_t i = 0; i + 1 < seq.size(); ++i) {
+    const auto& a = seq.instant(i);
+    const auto& b = seq.instant(i + 1);
+    const Segment s{a.value, b.value};
+    const double f = ClosestPointFraction(target, s, metric);
+    const Timestamp t = FracToTime(a.t, b.t, f);
+    const double d = PointDistance(seq.ValueAtUnchecked(t), target, metric);
+    if (d < best) {
+      best = d;
+      best_t = t;
+    }
+  }
+  return best_t;
+}
+
+namespace {
+
+// Recursive Douglas–Peucker over instants [lo, hi]; marks kept indices.
+void SimplifyRange(const std::vector<TInstant<Point>>& instants, size_t lo,
+                   size_t hi, double epsilon, Metric metric,
+                   std::vector<bool>* keep) {
+  if (hi <= lo + 1) return;
+  const Segment chord{instants[lo].value, instants[hi].value};
+  double worst = -1.0;
+  size_t worst_idx = lo;
+  for (size_t i = lo + 1; i < hi; ++i) {
+    const double d = PointSegmentDistance(instants[i].value, chord, metric);
+    if (d > worst) {
+      worst = d;
+      worst_idx = i;
+    }
+  }
+  if (worst > epsilon) {
+    (*keep)[worst_idx] = true;
+    SimplifyRange(instants, lo, worst_idx, epsilon, metric, keep);
+    SimplifyRange(instants, worst_idx, hi, epsilon, metric, keep);
+  }
+}
+
+}  // namespace
+
+TGeomPointSeq Simplify(const TGeomPointSeq& seq, double epsilon,
+                       Metric metric) {
+  if (seq.size() <= 2) return seq;
+  const auto& instants = seq.instants();
+  std::vector<bool> keep(instants.size(), false);
+  keep.front() = keep.back() = true;
+  SimplifyRange(instants, 0, instants.size() - 1, epsilon, metric, &keep);
+  std::vector<TInstant<Point>> kept;
+  for (size_t i = 0; i < instants.size(); ++i) {
+    if (keep[i]) kept.push_back(instants[i]);
+  }
+  auto out = TGeomPointSeq::Make(std::move(kept), seq.lower_inc(),
+                                 seq.upper_inc(), seq.interp());
+  assert(out.ok());
+  return *out;
+}
+
+bool EverIntersects(const TGeomPointSeq& seq, const Polygon& poly) {
+  GeoBox bb = GeoBox::Empty();
+  for (const auto& ins : seq.instants()) bb.Extend(ins.value);
+  if (!bb.Overlaps(poly.bbox())) return false;
+  for (const auto& ins : seq.instants()) {
+    if (poly.Contains(ins.value)) return true;
+  }
+  for (size_t i = 0; i + 1 < seq.size(); ++i) {
+    const Segment s{seq.instant(i).value, seq.instant(i + 1).value};
+    for (size_t e = 0; e < poly.size(); ++e) {
+      if (SegmentIntersection(s, poly.Edge(e))) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace nebulameos::meos

@@ -1,0 +1,139 @@
+/// \file tgeompoint.hpp
+/// \brief Temporal points (`tgeompoint`) and their spatiotemporal operations.
+///
+/// A temporal point is `TSequence<Point>` with linear interpolation: the
+/// object moves in a straight line at constant speed between consecutive
+/// instants. This module provides the operations the paper integrates into
+/// NebulaStream —
+///
+/// * `EverDWithin` — the `edwithin` predicate: does the moving point *ever*
+///   come within a distance of a geometry?
+/// * `AtStbox` — the `tpoint_at_stbox` restriction: the portions of the
+///   movement inside a spatiotemporal box (exact entry/exit instants);
+///
+/// plus the supporting algebra: trajectory length, speed, time-weighted
+/// centroid, restriction to polygons, temporal distance, temporal
+/// within-distance (`tdwithin`) and nearest-approach queries. All geometry
+/// predicates prune with bounding boxes before exact tests, as MEOS does.
+
+#pragma once
+
+#include "meos/geo.hpp"
+#include "meos/stbox.hpp"
+#include "meos/temporal.hpp"
+#include "meos/tfloat_ops.hpp"
+
+namespace nebulameos::meos {
+
+/// Temporal point sequence (linear interpolation by default).
+using TGeomPointSeq = TSequence<Point>;
+
+// --- Bounding boxes ---------------------------------------------------------
+
+/// Spatiotemporal bounding box of a temporal point.
+STBox BoundingBox(const TGeomPointSeq& seq);
+
+/// Conservative degree margin equivalent to \p meters at latitude \p ref_lat
+/// (used to expand boxes for metric predicates in WGS84).
+double MetersToDegreeMargin(double meters, double ref_lat);
+
+// --- Measures ---------------------------------------------------------------
+
+/// Length of the trajectory under \p metric (meters in kWgs84).
+double Length(const TGeomPointSeq& seq, Metric metric);
+
+/// Cumulative trajectory length as a temporal float (linear per segment).
+TFloatSeq CumulativeLength(const TGeomPointSeq& seq, Metric metric);
+
+/// \brief Speed of the moving point as a step temporal float (units/second;
+/// m/s in kWgs84). Requires >= 2 instants.
+Result<TFloatSeq> Speed(const TGeomPointSeq& seq, Metric metric);
+
+/// Time-weighted centroid of the movement.
+Point TwCentroid(const TGeomPointSeq& seq);
+
+// --- Restriction ------------------------------------------------------------
+
+/// Time during which the moving point lies inside the (closed) 2D box.
+PeriodSet WhenInsideBox(const TGeomPointSeq& seq, const GeoBox& box);
+
+/// Time during which the moving point lies inside the polygon.
+PeriodSet WhenInsidePolygon(const TGeomPointSeq& seq, const Polygon& poly);
+
+/// Time during which the moving point lies within the circle (metric radius).
+PeriodSet WhenInsideCircle(const TGeomPointSeq& seq, const Circle& circle,
+                           Metric metric);
+
+/// \brief `tpoint_at_stbox`: restriction of the temporal point to an STBox.
+///
+/// Applies the temporal extent first, then clips each linear segment against
+/// the spatial extent (Liang–Barsky), producing exact entry/exit instants on
+/// the microsecond grid. The result is a sequence set (the movement may
+/// leave and re-enter the box).
+TSeqSet<Point> AtStbox(const TGeomPointSeq& seq, const STBox& box);
+
+/// Restriction of the temporal point to a polygon (sequence set).
+TSeqSet<Point> AtGeometry(const TGeomPointSeq& seq, const Polygon& poly);
+
+/// Complement restriction: the movement outside the box.
+TSeqSet<Point> MinusStbox(const TGeomPointSeq& seq, const STBox& box);
+
+// --- Distance predicates ----------------------------------------------------
+
+/// \brief `edwithin`(tpoint, point): true iff the moving point ever comes
+/// within \p dist of \p target. Exact (per-segment closest approach).
+bool EverDWithin(const TGeomPointSeq& seq, const Point& target, double dist,
+                 Metric metric);
+
+/// `edwithin`(tpoint, polygon): ever within \p dist of the polygon
+/// (0 inside). Box-pruned, then exact segment/edge distances.
+bool EverDWithin(const TGeomPointSeq& seq, const Polygon& target, double dist,
+                 Metric metric);
+
+/// `edwithin`(tpoint, tpoint): ever within \p dist of another moving point
+/// (synchronized comparison; exact for the common-instant grid).
+bool EverDWithin(const TGeomPointSeq& a, const TGeomPointSeq& b, double dist,
+                 Metric metric);
+
+/// \brief Smallest distance ever between two moving points (their nearest
+/// approach over the common period): per-segment minimum of the relative
+/// motion in a local planar frame. Returns +inf when the periods are
+/// disjoint in time.
+double MovingMinDistance(const TGeomPointSeq& a, const TGeomPointSeq& b,
+                         Metric metric);
+
+/// \brief `tdwithin`(tpoint, point): temporal boolean that is true exactly
+/// while the moving point is within \p dist of \p target. Crossing instants
+/// are computed from the per-segment quadratic (microsecond grid).
+Result<TBoolSeq> TDwithin(const TGeomPointSeq& seq, const Point& target,
+                          double dist, Metric metric);
+
+/// Temporal distance to a fixed point, sampled at the sequence instants plus
+/// each segment's closest-approach instant (so min/ever queries on the
+/// result are exact).
+Result<TFloatSeq> DistanceToPoint(const TGeomPointSeq& seq,
+                                  const Point& target, Metric metric);
+
+/// Smallest distance ever between the moving point and \p target.
+double NearestApproachDistance(const TGeomPointSeq& seq, const Point& target,
+                               Metric metric);
+
+/// Timestamp at which the moving point is nearest to \p target (first of
+/// ties).
+Timestamp NearestApproachInstant(const TGeomPointSeq& seq, const Point& target,
+                                 Metric metric);
+
+/// True iff the movement ever enters the polygon.
+bool EverIntersects(const TGeomPointSeq& seq, const Polygon& poly);
+
+// --- Simplification -----------------------------------------------------------
+
+/// \brief Douglas–Peucker trajectory simplification (MEOS's
+/// `temporal_simplify`): keeps the subset of instants whose removal would
+/// displace the spatial path by more than \p epsilon (meters in kWgs84).
+/// Endpoints are always kept; timestamps are preserved. Edge deployments
+/// use this to cut uplink bytes before shipping trajectories.
+TGeomPointSeq Simplify(const TGeomPointSeq& seq, double epsilon,
+                       Metric metric);
+
+}  // namespace nebulameos::meos

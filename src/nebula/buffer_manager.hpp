@@ -1,0 +1,56 @@
+/// \file buffer_manager.hpp
+/// \brief Pooled tuple-buffer allocation.
+///
+/// A `BufferManager` owns a bounded pool of same-shaped `TupleBuffer`s.
+/// `Acquire` blocks when the pool is exhausted (natural backpressure for
+/// sources on memory-constrained edge nodes); `TryAcquire` does not.
+/// Returned handles recycle the buffer into the pool on destruction.
+
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "nebula/tuple_buffer.hpp"
+
+namespace nebulameos::nebula {
+
+/// \brief Bounded pool of tuple buffers for one schema.
+class BufferManager : public std::enable_shared_from_this<BufferManager> {
+ public:
+  /// Creates a pool of \p pool_size buffers, each holding
+  /// \p tuples_per_buffer records of \p schema.
+  static std::shared_ptr<BufferManager> Create(Schema schema,
+                                               size_t tuples_per_buffer,
+                                               size_t pool_size);
+
+  /// Blocks until a buffer is available, then returns it (empty, reset).
+  TupleBufferPtr Acquire();
+
+  /// Returns a buffer if one is immediately available, else nullptr.
+  TupleBufferPtr TryAcquire();
+
+  /// Buffers currently available in the pool.
+  size_t available() const;
+
+  /// Total buffers owned by the pool.
+  size_t pool_size() const { return pool_size_; }
+
+  /// The schema buffers are shaped for.
+  const Schema& schema() const { return schema_; }
+
+ private:
+  BufferManager(Schema schema, size_t tuples_per_buffer, size_t pool_size);
+
+  TupleBufferPtr Wrap(std::unique_ptr<TupleBuffer> buf);
+  void Recycle(std::unique_ptr<TupleBuffer> buf);
+
+  Schema schema_;
+  size_t tuples_per_buffer_;
+  size_t pool_size_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<std::unique_ptr<TupleBuffer>> free_;
+};
+
+}  // namespace nebulameos::nebula

@@ -1,0 +1,295 @@
+#include "nebula/engine.hpp"
+
+#include <condition_variable>
+#include <deque>
+
+#include "common/logging.hpp"
+
+namespace nebulameos::nebula {
+
+namespace {
+
+/// Bounded blocking queue for the pipelined hand-off between the source
+/// thread and the processing thread.
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity) {}
+
+  void Push(TupleBufferPtr buf) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock, [this] { return items_.size() < capacity_ || closed_; });
+    if (closed_) return;
+    items_.push_back(std::move(buf));
+    not_empty_.notify_one();
+  }
+
+  /// Pops the next buffer; returns nullptr when closed and drained.
+  TupleBufferPtr Pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [this] { return !items_.empty() || closed_; });
+    if (items_.empty()) return nullptr;
+    TupleBufferPtr buf = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return buf;
+  }
+
+  void Close() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+ private:
+  size_t capacity_;
+  std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<TupleBufferPtr> items_;
+  bool closed_ = false;
+};
+
+}  // namespace
+
+struct NodeEngine::RunningQuery {
+  int id = 0;
+  SourcePtr source;
+  std::vector<OperatorPtr> operators;  // chain excluding sink
+  std::shared_ptr<SinkOperator> sink;
+  std::unique_ptr<ExecutionContext> ctx;
+  std::unique_ptr<BoundedQueue> queue;  // pipelined mode only
+
+  std::thread worker;
+  std::thread source_thread;  // pipelined mode only
+  std::atomic<bool> cancel{false};
+  std::atomic<bool> started{false};
+  std::atomic<bool> finished{false};
+  Status run_status;
+  // Written by the source thread (pipelined mode) strictly before it closes
+  // the queue; read by the pipeline thread only after the queue drains.
+  Status source_status;
+
+  // Ingest-side counters (source output).
+  std::atomic<uint64_t> events_ingested{0};
+  std::atomic<uint64_t> bytes_ingested{0};
+  int64_t started_at = 0;
+  int64_t finished_at = 0;
+
+  // Pushes a buffer through operators [from..] and into the sink.
+  Status PushThrough(size_t from, const TupleBufferPtr& buf) {
+    if (from >= operators.size()) {
+      return sink->Process(buf, [](const TupleBufferPtr&) {});
+    }
+    Status inner = Status::OK();
+    Status s = operators[from]->Process(
+        buf, [this, from, &inner](const TupleBufferPtr& out) {
+          Status st = PushThrough(from + 1, out);
+          if (!st.ok() && inner.ok()) inner = st;
+        });
+    if (!s.ok()) return s;
+    return inner;
+  }
+
+  // End-of-stream: cascade Finish through the chain.
+  Status FinishAll() {
+    for (size_t i = 0; i < operators.size(); ++i) {
+      Status inner = Status::OK();
+      Status s = operators[i]->Finish(
+          [this, i, &inner](const TupleBufferPtr& out) {
+            Status st = PushThrough(i + 1, out);
+            if (!st.ok() && inner.ok()) inner = st;
+          });
+      if (!s.ok()) return s;
+      if (!inner.ok()) return inner;
+    }
+    return Status::OK();
+  }
+};
+
+NodeEngine::NodeEngine(EngineOptions options) : options_(options) {}
+
+NodeEngine::~NodeEngine() {
+  std::vector<int> ids;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [id, rq] : queries_) ids.push_back(id);
+  }
+  for (int id : ids) (void)Cancel(id);
+}
+
+Result<int> NodeEngine::Submit(Query query) {
+  if (query.source() == nullptr) {
+    return Status::InvalidArgument("query has no source");
+  }
+  if (!query.sink()) {
+    return Status::InvalidArgument("query has no sink");
+  }
+  auto rq = std::make_unique<RunningQuery>();
+  NM_ASSIGN_OR_RETURN(rq->operators,
+                      CompilePlan(query.source()->schema(), query));
+  rq->sink = query.sink();
+  rq->source = query.TakeSource();
+  rq->ctx = std::make_unique<ExecutionContext>(options_.tuples_per_buffer,
+                                               options_.pool_size);
+  for (OperatorPtr& op : rq->operators) {
+    NM_RETURN_NOT_OK(op->Open(rq->ctx.get()));
+  }
+  NM_RETURN_NOT_OK(rq->sink->Open(rq->ctx.get()));
+  std::lock_guard<std::mutex> lock(mutex_);
+  const int id = next_id_++;
+  rq->id = id;
+  queries_[id] = std::move(rq);
+  return id;
+}
+
+void NodeEngine::SourceLoop(RunningQuery* rq) {
+  // Pipelined mode: fill buffers and hand them to the processing thread.
+  while (!rq->cancel.load()) {
+    TupleBufferPtr buf = rq->ctx->Allocate(rq->source->schema());
+    auto more = rq->source->Fill(buf.get());
+    if (!more.ok()) {
+      rq->source_status = more.status();
+      break;
+    }
+    rq->events_ingested.fetch_add(buf->size());
+    rq->bytes_ingested.fetch_add(buf->SizeBytes());
+    if (!buf->empty()) rq->queue->Push(std::move(buf));
+    if (!*more) break;
+  }
+  rq->queue->Close();
+}
+
+void NodeEngine::RunLoop(RunningQuery* rq) {
+  rq->started_at = MonotonicNowMicros();
+  Status status = Status::OK();
+  if (options_.pipelined) {
+    while (true) {
+      TupleBufferPtr buf = rq->queue->Pop();
+      if (!buf) break;
+      status = rq->PushThrough(0, buf);
+      if (!status.ok() || rq->cancel.load()) break;
+    }
+    // The queue only closes after the source thread recorded its status.
+    if (status.ok() && !rq->source_status.ok()) {
+      status = rq->source_status;
+    }
+  } else {
+    while (!rq->cancel.load()) {
+      TupleBufferPtr buf = rq->ctx->Allocate(rq->source->schema());
+      auto more = rq->source->Fill(buf.get());
+      if (!more.ok()) {
+        status = more.status();
+        break;
+      }
+      rq->events_ingested.fetch_add(buf->size());
+      rq->bytes_ingested.fetch_add(buf->SizeBytes());
+      if (!buf->empty()) {
+        status = rq->PushThrough(0, buf);
+        if (!status.ok()) break;
+      }
+      if (!*more) break;
+    }
+  }
+  if (status.ok()) status = rq->FinishAll();
+  if (!status.ok()) {
+    NM_LOG_ERROR() << "query " << rq->id << " failed: " << status.ToString();
+  }
+  rq->run_status = status;
+  rq->finished_at = MonotonicNowMicros();
+  rq->finished.store(true);
+}
+
+Status NodeEngine::Start(int query_id) {
+  RunningQuery* rq = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = queries_.find(query_id);
+    if (it == queries_.end()) {
+      return Status::NotFound("unknown query id");
+    }
+    rq = it->second.get();
+  }
+  if (rq->started.exchange(true)) {
+    return Status::FailedPrecondition("query already started");
+  }
+  if (options_.pipelined) {
+    rq->queue = std::make_unique<BoundedQueue>(options_.queue_capacity);
+    rq->source_thread = std::thread([this, rq] { SourceLoop(rq); });
+  }
+  rq->worker = std::thread([this, rq] { RunLoop(rq); });
+  return Status::OK();
+}
+
+Status NodeEngine::Wait(int query_id) {
+  RunningQuery* rq = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = queries_.find(query_id);
+    if (it == queries_.end()) {
+      return Status::NotFound("unknown query id");
+    }
+    rq = it->second.get();
+  }
+  if (!rq->started.load()) {
+    return Status::FailedPrecondition("query not started");
+  }
+  if (rq->source_thread.joinable()) rq->source_thread.join();
+  if (rq->worker.joinable()) rq->worker.join();
+  return rq->run_status;
+}
+
+Status NodeEngine::Cancel(int query_id) {
+  RunningQuery* rq = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = queries_.find(query_id);
+    if (it == queries_.end()) {
+      return Status::NotFound("unknown query id");
+    }
+    rq = it->second.get();
+  }
+  rq->cancel.store(true);
+  if (rq->queue) rq->queue->Close();
+  if (!rq->started.load()) return Status::OK();
+  return Wait(query_id);
+}
+
+Status NodeEngine::RunToCompletion(int query_id) {
+  NM_RETURN_NOT_OK(Start(query_id));
+  return Wait(query_id);
+}
+
+Result<QueryStats> NodeEngine::Stats(int query_id) const {
+  const RunningQuery* rq = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = queries_.find(query_id);
+    if (it == queries_.end()) {
+      return Status::NotFound("unknown query id");
+    }
+    rq = it->second.get();
+  }
+  QueryStats stats;
+  stats.events_ingested = rq->events_ingested.load();
+  stats.bytes_ingested = rq->bytes_ingested.load();
+  stats.events_emitted = rq->sink->stats().events_in;
+  stats.bytes_emitted = rq->sink->stats().bytes_in;
+  if (rq->finished.load()) {
+    stats.elapsed_micros = rq->finished_at - rq->started_at;
+  } else if (rq->started.load()) {
+    stats.elapsed_micros = MonotonicNowMicros() - rq->started_at;
+  }
+  for (const OperatorPtr& op : rq->operators) {
+    stats.operator_stats.emplace_back(op->name(), op->stats());
+  }
+  stats.operator_stats.emplace_back(rq->sink->name(), rq->sink->stats());
+  return stats;
+}
+
+size_t NodeEngine::NumQueries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queries_.size();
+}
+
+}  // namespace nebulameos::nebula

@@ -1,0 +1,559 @@
+#include "nebula/expr.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/strings.hpp"
+
+namespace nebulameos::nebula {
+
+double ValueAsDouble(const Value& v) {
+  switch (v.index()) {
+    case 0:
+      return std::get<bool>(v) ? 1.0 : 0.0;
+    case 1:
+      return static_cast<double>(std::get<int64_t>(v));
+    case 2:
+      return std::get<double>(v);
+    default:
+      return 0.0;
+  }
+}
+
+bool ValueAsBool(const Value& v) {
+  switch (v.index()) {
+    case 0:
+      return std::get<bool>(v);
+    case 1:
+      return std::get<int64_t>(v) != 0;
+    case 2:
+      return std::get<double>(v) != 0.0;
+    default:
+      return !std::get<std::string>(v).empty();
+  }
+}
+
+int64_t ValueAsInt64(const Value& v) {
+  switch (v.index()) {
+    case 0:
+      return std::get<bool>(v) ? 1 : 0;
+    case 1:
+      return std::get<int64_t>(v);
+    case 2:
+      return static_cast<int64_t>(std::get<double>(v));
+    default:
+      return 0;
+  }
+}
+
+std::string ValueToString(const Value& v) {
+  switch (v.index()) {
+    case 0:
+      return std::get<bool>(v) ? "true" : "false";
+    case 1:
+      return std::to_string(std::get<int64_t>(v));
+    case 2:
+      return FormatDouble(std::get<double>(v));
+    default:
+      return std::get<std::string>(v);
+  }
+}
+
+namespace {
+
+// --- Field reference --------------------------------------------------------
+
+class FieldExpr : public Expression {
+ public:
+  explicit FieldExpr(std::string name) : name_(std::move(name)) {}
+
+  Status Bind(const Schema& schema) override {
+    NM_ASSIGN_OR_RETURN(index_, schema.IndexOf(name_));
+    type_ = schema.field(index_).type;
+    bound_ = true;
+    return Status::OK();
+  }
+
+  Value Eval(const RecordView& rec) const override {
+    assert(bound_);
+    switch (type_) {
+      case DataType::kBool:
+        return rec.GetBool(index_);
+      case DataType::kInt64:
+      case DataType::kTimestamp:
+        return rec.GetInt64(index_);
+      case DataType::kDouble:
+        return rec.GetDouble(index_);
+      case DataType::kText16:
+      case DataType::kText32:
+        return rec.GetText(index_);
+    }
+    return int64_t{0};
+  }
+
+  DataType output_type() const override { return type_; }
+  std::string ToString() const override { return name_; }
+
+ private:
+  std::string name_;
+  size_t index_ = 0;
+  DataType type_ = DataType::kInt64;
+  bool bound_ = false;
+};
+
+// --- Literal ----------------------------------------------------------------
+
+class LiteralExpr : public Expression {
+ public:
+  LiteralExpr(Value v, DataType type) : value_(std::move(v)), type_(type) {}
+
+  Status Bind(const Schema&) override { return Status::OK(); }
+  Value Eval(const RecordView&) const override { return value_; }
+  DataType output_type() const override { return type_; }
+  std::string ToString() const override { return ValueToString(value_); }
+  std::optional<Value> ConstantValue() const override { return value_; }
+
+ private:
+  Value value_;
+  DataType type_;
+};
+
+// --- Arithmetic -------------------------------------------------------------
+
+class ArithExpr : public Expression {
+ public:
+  ArithExpr(ArithOp op, ExprPtr lhs, ExprPtr rhs)
+      : op_(op), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+
+  Status Bind(const Schema& schema) override {
+    NM_RETURN_NOT_OK(lhs_->Bind(schema));
+    NM_RETURN_NOT_OK(rhs_->Bind(schema));
+    const bool both_int = lhs_->output_type() != DataType::kDouble &&
+                          rhs_->output_type() != DataType::kDouble;
+    int_result_ = both_int && op_ != ArithOp::kDiv;
+    return Status::OK();
+  }
+
+  Value Eval(const RecordView& rec) const override {
+    const Value lv = lhs_->Eval(rec);
+    const Value rv = rhs_->Eval(rec);
+    if (int_result_) {
+      const int64_t a = ValueAsInt64(lv);
+      const int64_t b = ValueAsInt64(rv);
+      switch (op_) {
+        case ArithOp::kAdd:
+          return a + b;
+        case ArithOp::kSub:
+          return a - b;
+        case ArithOp::kMul:
+          return a * b;
+        case ArithOp::kMod:
+          return b == 0 ? int64_t{0} : a % b;
+        case ArithOp::kDiv:
+          break;  // handled as double below
+      }
+    }
+    const double a = ValueAsDouble(lv);
+    const double b = ValueAsDouble(rv);
+    switch (op_) {
+      case ArithOp::kAdd:
+        return a + b;
+      case ArithOp::kSub:
+        return a - b;
+      case ArithOp::kMul:
+        return a * b;
+      case ArithOp::kDiv:
+        return b == 0.0 ? 0.0 : a / b;
+      case ArithOp::kMod:
+        return b == 0.0 ? 0.0 : std::fmod(a, b);
+    }
+    return 0.0;
+  }
+
+  DataType output_type() const override {
+    return int_result_ ? DataType::kInt64 : DataType::kDouble;
+  }
+
+  std::string ToString() const override {
+    static const char* kOps[] = {"+", "-", "*", "/", "%"};
+    return "(" + lhs_->ToString() + " " + kOps[static_cast<int>(op_)] + " " +
+           rhs_->ToString() + ")";
+  }
+
+ private:
+  ArithOp op_;
+  ExprPtr lhs_;
+  ExprPtr rhs_;
+  bool int_result_ = false;
+};
+
+// --- Comparison -------------------------------------------------------------
+
+class CompareExpr : public Expression {
+ public:
+  CompareExpr(CompareOp op, ExprPtr lhs, ExprPtr rhs)
+      : op_(op), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+
+  Status Bind(const Schema& schema) override {
+    NM_RETURN_NOT_OK(lhs_->Bind(schema));
+    NM_RETURN_NOT_OK(rhs_->Bind(schema));
+    text_compare_ = !IsNumericish(lhs_->output_type()) &&
+                    !IsNumericish(rhs_->output_type());
+    return Status::OK();
+  }
+
+  Value Eval(const RecordView& rec) const override {
+    if (text_compare_) {
+      const std::string a = ValueToString(lhs_->Eval(rec));
+      const std::string b = ValueToString(rhs_->Eval(rec));
+      return EvalOrdered(a.compare(b));
+    }
+    const double a = ValueAsDouble(lhs_->Eval(rec));
+    const double b = ValueAsDouble(rhs_->Eval(rec));
+    return EvalOrdered(a < b ? -1 : (a > b ? 1 : 0));
+  }
+
+  DataType output_type() const override { return DataType::kBool; }
+
+  std::string ToString() const override {
+    static const char* kOps[] = {"<", "<=", ">", ">=", "==", "!="};
+    return "(" + lhs_->ToString() + " " + kOps[static_cast<int>(op_)] + " " +
+           rhs_->ToString() + ")";
+  }
+
+ private:
+  static bool IsNumericish(DataType t) {
+    return IsNumeric(t) || t == DataType::kBool;
+  }
+
+  bool EvalOrdered(int cmp) const {
+    switch (op_) {
+      case CompareOp::kLt:
+        return cmp < 0;
+      case CompareOp::kLe:
+        return cmp <= 0;
+      case CompareOp::kGt:
+        return cmp > 0;
+      case CompareOp::kGe:
+        return cmp >= 0;
+      case CompareOp::kEq:
+        return cmp == 0;
+      case CompareOp::kNe:
+        return cmp != 0;
+    }
+    return false;
+  }
+
+  CompareOp op_;
+  ExprPtr lhs_;
+  ExprPtr rhs_;
+  bool text_compare_ = false;
+};
+
+// --- Logical ----------------------------------------------------------------
+
+class LogicalExpr : public Expression {
+ public:
+  enum class Kind { kAnd, kOr };
+
+  LogicalExpr(Kind kind, ExprPtr lhs, ExprPtr rhs)
+      : kind_(kind), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+
+  Status Bind(const Schema& schema) override {
+    NM_RETURN_NOT_OK(lhs_->Bind(schema));
+    return rhs_->Bind(schema);
+  }
+
+  Value Eval(const RecordView& rec) const override {
+    const bool a = ValueAsBool(lhs_->Eval(rec));
+    if (kind_ == Kind::kAnd) {
+      return a && ValueAsBool(rhs_->Eval(rec));
+    }
+    return a || ValueAsBool(rhs_->Eval(rec));
+  }
+
+  DataType output_type() const override { return DataType::kBool; }
+
+  std::string ToString() const override {
+    return "(" + lhs_->ToString() +
+           (kind_ == Kind::kAnd ? " AND " : " OR ") + rhs_->ToString() + ")";
+  }
+
+ private:
+  Kind kind_;
+  ExprPtr lhs_;
+  ExprPtr rhs_;
+};
+
+class NotExpr : public Expression {
+ public:
+  explicit NotExpr(ExprPtr inner) : inner_(std::move(inner)) {}
+
+  Status Bind(const Schema& schema) override { return inner_->Bind(schema); }
+
+  Value Eval(const RecordView& rec) const override {
+    return !ValueAsBool(inner_->Eval(rec));
+  }
+
+  DataType output_type() const override { return DataType::kBool; }
+  std::string ToString() const override {
+    return "NOT " + inner_->ToString();
+  }
+
+ private:
+  ExprPtr inner_;
+};
+
+// --- Built-in math functions --------------------------------------------------
+
+class MathFn : public FunctionExpression {
+ public:
+  using Impl = std::function<double(const std::vector<Value>&)>;
+
+  MathFn(std::string name, std::vector<ExprPtr> args, Impl impl)
+      : FunctionExpression(std::move(name), std::move(args),
+                           DataType::kDouble),
+        impl_(std::move(impl)) {}
+
+ protected:
+  Value EvalFn(const std::vector<Value>& args) const override {
+    return impl_(args);
+  }
+
+ private:
+  Impl impl_;
+};
+
+Result<ExprPtr> MakeMathFn(const std::string& name, std::vector<ExprPtr> args,
+                           size_t arity, MathFn::Impl impl) {
+  if (args.size() != arity) {
+    return Status::InvalidArgument(name + " expects " + std::to_string(arity) +
+                                   " arguments");
+  }
+  return ExprPtr(std::make_shared<MathFn>(name, std::move(args), impl));
+}
+
+}  // namespace
+
+// --- Public constructors ------------------------------------------------------
+
+ExprPtr Attribute(std::string name) {
+  return std::make_shared<FieldExpr>(std::move(name));
+}
+
+ExprPtr Lit(bool v) {
+  return std::make_shared<LiteralExpr>(Value(v), DataType::kBool);
+}
+ExprPtr Lit(int64_t v) {
+  return std::make_shared<LiteralExpr>(Value(v), DataType::kInt64);
+}
+ExprPtr Lit(int v) { return Lit(static_cast<int64_t>(v)); }
+ExprPtr Lit(double v) {
+  return std::make_shared<LiteralExpr>(Value(v), DataType::kDouble);
+}
+ExprPtr Lit(std::string v) {
+  return std::make_shared<LiteralExpr>(Value(std::move(v)), DataType::kText32);
+}
+
+ExprPtr Arith(ArithOp op, ExprPtr lhs, ExprPtr rhs) {
+  return std::make_shared<ArithExpr>(op, std::move(lhs), std::move(rhs));
+}
+ExprPtr Add(ExprPtr lhs, ExprPtr rhs) {
+  return Arith(ArithOp::kAdd, std::move(lhs), std::move(rhs));
+}
+ExprPtr Sub(ExprPtr lhs, ExprPtr rhs) {
+  return Arith(ArithOp::kSub, std::move(lhs), std::move(rhs));
+}
+ExprPtr Mul(ExprPtr lhs, ExprPtr rhs) {
+  return Arith(ArithOp::kMul, std::move(lhs), std::move(rhs));
+}
+ExprPtr Div(ExprPtr lhs, ExprPtr rhs) {
+  return Arith(ArithOp::kDiv, std::move(lhs), std::move(rhs));
+}
+
+ExprPtr Compare(CompareOp op, ExprPtr lhs, ExprPtr rhs) {
+  return std::make_shared<CompareExpr>(op, std::move(lhs), std::move(rhs));
+}
+ExprPtr Lt(ExprPtr lhs, ExprPtr rhs) {
+  return Compare(CompareOp::kLt, std::move(lhs), std::move(rhs));
+}
+ExprPtr Le(ExprPtr lhs, ExprPtr rhs) {
+  return Compare(CompareOp::kLe, std::move(lhs), std::move(rhs));
+}
+ExprPtr Gt(ExprPtr lhs, ExprPtr rhs) {
+  return Compare(CompareOp::kGt, std::move(lhs), std::move(rhs));
+}
+ExprPtr Ge(ExprPtr lhs, ExprPtr rhs) {
+  return Compare(CompareOp::kGe, std::move(lhs), std::move(rhs));
+}
+ExprPtr Eq(ExprPtr lhs, ExprPtr rhs) {
+  return Compare(CompareOp::kEq, std::move(lhs), std::move(rhs));
+}
+ExprPtr Ne(ExprPtr lhs, ExprPtr rhs) {
+  return Compare(CompareOp::kNe, std::move(lhs), std::move(rhs));
+}
+
+ExprPtr And(ExprPtr lhs, ExprPtr rhs) {
+  return std::make_shared<LogicalExpr>(LogicalExpr::Kind::kAnd,
+                                       std::move(lhs), std::move(rhs));
+}
+ExprPtr Or(ExprPtr lhs, ExprPtr rhs) {
+  return std::make_shared<LogicalExpr>(LogicalExpr::Kind::kOr, std::move(lhs),
+                                       std::move(rhs));
+}
+ExprPtr Not(ExprPtr inner) { return std::make_shared<NotExpr>(std::move(inner)); }
+
+// --- FunctionExpression --------------------------------------------------------
+
+Status FunctionExpression::Bind(const Schema& schema) {
+  for (const ExprPtr& arg : args_) {
+    NM_RETURN_NOT_OK(arg->Bind(schema));
+  }
+  return OnBind(schema);
+}
+
+Status FunctionExpression::OnBind(const Schema&) { return Status::OK(); }
+
+Value FunctionExpression::Eval(const RecordView& rec) const {
+  std::vector<Value> vals;
+  vals.reserve(args_.size());
+  for (const ExprPtr& arg : args_) vals.push_back(arg->Eval(rec));
+  return EvalFn(vals);
+}
+
+std::string FunctionExpression::ToString() const {
+  std::string out = name_ + "(";
+  for (size_t i = 0; i < args_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += args_[i]->ToString();
+  }
+  out += ")";
+  return out;
+}
+
+// --- Registry -------------------------------------------------------------------
+
+ExpressionRegistry& ExpressionRegistry::Global() {
+  static ExpressionRegistry* registry = new ExpressionRegistry();
+  return *registry;
+}
+
+Status ExpressionRegistry::Register(const std::string& name, Factory factory) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (factories_.count(name) != 0) {
+    return Status::AlreadyExists("function already registered: " + name);
+  }
+  factories_[name] = std::move(factory);
+  return Status::OK();
+}
+
+bool ExpressionRegistry::Contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return factories_.count(name) != 0;
+}
+
+Result<ExprPtr> ExpressionRegistry::Create(const std::string& name,
+                                           std::vector<ExprPtr> args) const {
+  Factory factory;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = factories_.find(name);
+    if (it == factories_.end()) {
+      return Status::NotFound("no registered function: " + name);
+    }
+    factory = it->second;
+  }
+  return factory(std::move(args));
+}
+
+std::vector<std::string> ExpressionRegistry::RegisteredNames() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& [name, _] : factories_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+ExprPtr Fn(const std::string& name, std::vector<ExprPtr> args) {
+  auto res = ExpressionRegistry::Global().Create(name, std::move(args));
+  assert(res.ok());
+  return *res;
+}
+
+namespace {
+
+class LambdaFn : public FunctionExpression {
+ public:
+  using Impl = std::function<Value(const std::vector<Value>&)>;
+
+  LambdaFn(std::string name, std::vector<ExprPtr> args, DataType output_type,
+           Impl impl)
+      : FunctionExpression(std::move(name), std::move(args), output_type),
+        impl_(std::move(impl)) {}
+
+ protected:
+  Value EvalFn(const std::vector<Value>& args) const override {
+    return impl_(args);
+  }
+
+ private:
+  Impl impl_;
+};
+
+}  // namespace
+
+ExprPtr MakeLambdaExpr(std::string name, std::vector<ExprPtr> args,
+                       DataType output_type,
+                       std::function<Value(const std::vector<Value>&)> fn) {
+  return std::make_shared<LambdaFn>(std::move(name), std::move(args),
+                                    output_type, std::move(fn));
+}
+
+Status RegisterLambdaFunction(
+    const std::string& name, size_t arity, DataType output_type,
+    std::function<Value(const std::vector<Value>&)> fn) {
+  return ExpressionRegistry::Global().Register(
+      name, [name, arity, output_type,
+             fn](std::vector<ExprPtr> args) -> Result<ExprPtr> {
+        if (args.size() != arity) {
+          return Status::InvalidArgument(
+              name + " expects " + std::to_string(arity) + " arguments");
+        }
+        return MakeLambdaExpr(name, std::move(args), output_type, fn);
+      });
+}
+
+void RegisterBuiltinFunctions() {
+  auto& reg = ExpressionRegistry::Global();
+  if (reg.Contains("abs")) return;  // already registered
+  (void)reg.Register("abs", [](std::vector<ExprPtr> args) {
+    return MakeMathFn("abs", std::move(args), 1, [](const auto& v) {
+      return std::fabs(ValueAsDouble(v[0]));
+    });
+  });
+  (void)reg.Register("sqrt", [](std::vector<ExprPtr> args) {
+    return MakeMathFn("sqrt", std::move(args), 1, [](const auto& v) {
+      return std::sqrt(std::max(0.0, ValueAsDouble(v[0])));
+    });
+  });
+  (void)reg.Register("least", [](std::vector<ExprPtr> args) {
+    return MakeMathFn("least", std::move(args), 2, [](const auto& v) {
+      return std::min(ValueAsDouble(v[0]), ValueAsDouble(v[1]));
+    });
+  });
+  (void)reg.Register("greatest", [](std::vector<ExprPtr> args) {
+    return MakeMathFn("greatest", std::move(args), 2, [](const auto& v) {
+      return std::max(ValueAsDouble(v[0]), ValueAsDouble(v[1]));
+    });
+  });
+  (void)reg.Register("clamp", [](std::vector<ExprPtr> args) {
+    return MakeMathFn("clamp", std::move(args), 3, [](const auto& v) {
+      return std::clamp(ValueAsDouble(v[0]), ValueAsDouble(v[1]),
+                        ValueAsDouble(v[2]));
+    });
+  });
+}
+
+}  // namespace nebulameos::nebula

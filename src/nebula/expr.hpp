@@ -1,0 +1,200 @@
+/// \file expr.hpp
+/// \brief The expression framework: typed expression trees over records,
+/// with a dynamic function registry.
+///
+/// This is NebulaStream's extension mechanism as the paper uses it: custom
+/// operators and functions are "developed through inheritance and
+/// composition", and "runtime operator definition through dynamic
+/// registration" lets third-party libraries contribute domain logic. The
+/// MEOS integration registers `edwithin`, `tpoint_at_stbox` and friends as
+/// `FunctionExpression`s in the global `ExpressionRegistry`
+/// (see src/nebulameos/meos_expressions.hpp).
+///
+/// Expressions are built unbound (field names), then `Bind(schema)` resolves
+/// names to indices/types once per query before execution.
+
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <variant>
+
+#include "nebula/tuple_buffer.hpp"
+
+namespace nebulameos::nebula {
+
+/// Runtime value produced by expression evaluation.
+using Value = std::variant<bool, int64_t, double, std::string>;
+
+/// Numeric widening read of a value (bool → 0/1, text → error-free 0).
+double ValueAsDouble(const Value& v);
+/// Truthiness of a value.
+bool ValueAsBool(const Value& v);
+/// Integer read (doubles truncate).
+int64_t ValueAsInt64(const Value& v);
+/// Display form of a value.
+std::string ValueToString(const Value& v);
+
+class Expression;
+/// Shared expression handle (trees are immutable after Bind).
+using ExprPtr = std::shared_ptr<Expression>;
+
+/// \brief Base class of all expression nodes.
+class Expression {
+ public:
+  virtual ~Expression() = default;
+
+  /// Resolves field references against \p schema. Must be called before
+  /// `Eval`. Idempotent.
+  virtual Status Bind(const Schema& schema) = 0;
+
+  /// Evaluates the expression on one record. Requires a prior `Bind`.
+  virtual Value Eval(const RecordView& rec) const = 0;
+
+  /// The output type after binding.
+  virtual DataType output_type() const = 0;
+
+  /// Debug/display form, e.g. "(speed > 22.2)".
+  virtual std::string ToString() const = 0;
+
+  /// The compile-time constant value of this node, when it is a literal.
+  /// Extension functions use this to resolve configuration arguments (zone
+  /// names, box bounds) once at bind time.
+  virtual std::optional<Value> ConstantValue() const { return std::nullopt; }
+};
+
+// --- Node constructors -------------------------------------------------------
+
+/// Reference to the record field \p name (NebulaStream's `Attribute`).
+ExprPtr Attribute(std::string name);
+
+/// Boolean literal.
+ExprPtr Lit(bool v);
+/// Integer literal.
+ExprPtr Lit(int64_t v);
+/// Integer literal (convenience for int).
+ExprPtr Lit(int v);
+/// Double literal.
+ExprPtr Lit(double v);
+/// Text literal.
+ExprPtr Lit(std::string v);
+
+/// Arithmetic operators.
+enum class ArithOp { kAdd, kSub, kMul, kDiv, kMod };
+/// Binary arithmetic node (int64 when both sides are integers and the
+/// operation is closed; double otherwise).
+ExprPtr Arith(ArithOp op, ExprPtr lhs, ExprPtr rhs);
+ExprPtr Add(ExprPtr lhs, ExprPtr rhs);
+ExprPtr Sub(ExprPtr lhs, ExprPtr rhs);
+ExprPtr Mul(ExprPtr lhs, ExprPtr rhs);
+ExprPtr Div(ExprPtr lhs, ExprPtr rhs);
+
+/// Comparison operators.
+enum class CompareOp { kLt, kLe, kGt, kGe, kEq, kNe };
+/// Binary comparison node (numeric sides compare as doubles; two text sides
+/// compare lexicographically).
+ExprPtr Compare(CompareOp op, ExprPtr lhs, ExprPtr rhs);
+ExprPtr Lt(ExprPtr lhs, ExprPtr rhs);
+ExprPtr Le(ExprPtr lhs, ExprPtr rhs);
+ExprPtr Gt(ExprPtr lhs, ExprPtr rhs);
+ExprPtr Ge(ExprPtr lhs, ExprPtr rhs);
+ExprPtr Eq(ExprPtr lhs, ExprPtr rhs);
+ExprPtr Ne(ExprPtr lhs, ExprPtr rhs);
+
+/// Logical conjunction (short-circuit).
+ExprPtr And(ExprPtr lhs, ExprPtr rhs);
+/// Logical disjunction (short-circuit).
+ExprPtr Or(ExprPtr lhs, ExprPtr rhs);
+/// Logical negation.
+ExprPtr Not(ExprPtr inner);
+
+// --- Extensible functions ----------------------------------------------------
+
+/// \brief Base class for registered n-ary functions.
+///
+/// Subclasses implement `EvalFn` over evaluated argument values and declare
+/// their output type; `Bind` recursively binds arguments. Domain extensions
+/// (the MEOS operators) subclass this — composition with any other
+/// expression node comes for free.
+class FunctionExpression : public Expression {
+ public:
+  FunctionExpression(std::string name, std::vector<ExprPtr> args,
+                     DataType output_type)
+      : name_(std::move(name)),
+        args_(std::move(args)),
+        output_type_(output_type) {}
+
+  Status Bind(const Schema& schema) override;
+  Value Eval(const RecordView& rec) const override;
+  DataType output_type() const override { return output_type_; }
+  std::string ToString() const override;
+
+  const std::string& name() const { return name_; }
+  const std::vector<ExprPtr>& args() const { return args_; }
+
+ protected:
+  /// Implements the function over already-evaluated argument values.
+  virtual Value EvalFn(const std::vector<Value>& args) const = 0;
+
+  /// Hook called at the end of `Bind` (argument types are known).
+  virtual Status OnBind(const Schema& schema);
+
+ private:
+  std::string name_;
+  std::vector<ExprPtr> args_;
+  DataType output_type_;
+};
+
+/// \brief Global registry mapping function names to factories — the runtime
+/// plugin mechanism.
+class ExpressionRegistry {
+ public:
+  /// Factory: builds a function expression from argument expressions.
+  using Factory =
+      std::function<Result<ExprPtr>(std::vector<ExprPtr> args)>;
+
+  /// The process-wide registry.
+  static ExpressionRegistry& Global();
+
+  /// Registers \p factory under \p name; fails when already registered.
+  Status Register(const std::string& name, Factory factory);
+
+  /// True iff \p name is registered.
+  bool Contains(const std::string& name) const;
+
+  /// Instantiates the function \p name with \p args.
+  Result<ExprPtr> Create(const std::string& name,
+                         std::vector<ExprPtr> args) const;
+
+  /// All registered names (sorted).
+  std::vector<std::string> RegisteredNames() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, Factory> factories_;
+};
+
+/// Instantiates a registered function from the global registry (asserts
+/// existence; use `ExpressionRegistry::Create` for fallible lookup).
+ExprPtr Fn(const std::string& name, std::vector<ExprPtr> args);
+
+/// \brief Builds a function expression from a plain callable — the
+/// lightweight path for runtime operator definition (no subclass needed).
+/// \p fn receives the evaluated argument values.
+ExprPtr MakeLambdaExpr(std::string name, std::vector<ExprPtr> args,
+                       DataType output_type,
+                       std::function<Value(const std::vector<Value>&)> fn);
+
+/// \brief Registers a lambda-backed function of fixed \p arity under
+/// \p name in the global registry.
+Status RegisterLambdaFunction(
+    const std::string& name, size_t arity, DataType output_type,
+    std::function<Value(const std::vector<Value>&)> fn);
+
+/// Registers the built-in math functions ("abs", "sqrt", "least",
+/// "greatest", "clamp"). Called once from the engine; safe to call again.
+void RegisterBuiltinFunctions();
+
+}  // namespace nebulameos::nebula

@@ -1,0 +1,109 @@
+/// \file operator.hpp
+/// \brief The physical operator interface and execution context.
+///
+/// Queries compile into chains of `Operator`s executed inside one pipeline
+/// (operator fusion: a buffer flows through the whole chain without
+/// queueing, as in NebulaStream's compiled pipelines). Operators are
+/// constructed with their *input schema* — expression binding happens at
+/// build time, so malformed queries fail at submission, not mid-stream.
+///
+/// `ExecutionContext` provides pooled buffer allocation (one
+/// `BufferManager` per distinct output schema) and is shared by all
+/// operators of a running query.
+
+#pragma once
+
+#include <map>
+
+#include "nebula/buffer_manager.hpp"
+#include "nebula/expr.hpp"
+
+namespace nebulameos::nebula {
+
+/// \brief Per-operator flow counters (events and bytes in/out).
+struct OperatorStats {
+  uint64_t events_in = 0;
+  uint64_t events_out = 0;
+  uint64_t bytes_in = 0;
+  uint64_t bytes_out = 0;
+
+  /// Fraction of input events that produced output (1.0 when no input).
+  double Selectivity() const {
+    return events_in == 0
+               ? 1.0
+               : static_cast<double>(events_out) /
+                     static_cast<double>(events_in);
+  }
+};
+
+/// \brief Shared runtime services for one query execution.
+class ExecutionContext {
+ public:
+  /// \p tuples_per_buffer and \p pool_size shape every pool this context
+  /// creates (one pool per distinct schema).
+  explicit ExecutionContext(size_t tuples_per_buffer = 1024,
+                            size_t pool_size = 128)
+      : tuples_per_buffer_(tuples_per_buffer), pool_size_(pool_size) {}
+
+  /// Allocates an empty pooled buffer shaped for \p schema (blocking when
+  /// the pool is exhausted — backpressure).
+  TupleBufferPtr Allocate(const Schema& schema);
+
+  size_t tuples_per_buffer() const { return tuples_per_buffer_; }
+
+ private:
+  size_t tuples_per_buffer_;
+  size_t pool_size_;
+  std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<BufferManager>> pools_;
+};
+
+/// \brief Base class of all physical operators.
+class Operator {
+ public:
+  /// Downstream hand-off: the operator calls this for each output buffer.
+  using EmitFn = std::function<void(const TupleBufferPtr&)>;
+
+  virtual ~Operator() = default;
+
+  /// Operator display name ("Filter", "WindowAgg", ...).
+  virtual std::string name() const = 0;
+
+  /// Schema of the buffers this operator emits.
+  virtual const Schema& output_schema() const = 0;
+
+  /// Called once before processing; stores the execution context.
+  virtual Status Open(ExecutionContext* ctx) {
+    ctx_ = ctx;
+    return Status::OK();
+  }
+
+  /// Processes one input buffer, emitting zero or more output buffers.
+  virtual Status Process(const TupleBufferPtr& input, const EmitFn& emit) = 0;
+
+  /// End-of-stream: flush any remaining state (window panes, open runs).
+  virtual Status Finish(const EmitFn& /*emit*/) { return Status::OK(); }
+
+  /// Flow counters.
+  const OperatorStats& stats() const { return stats_; }
+
+ protected:
+  /// Records an input buffer in the stats.
+  void CountIn(const TupleBuffer& buf) {
+    stats_.events_in += buf.size();
+    stats_.bytes_in += buf.SizeBytes();
+  }
+
+  /// Records an output buffer in the stats.
+  void CountOut(const TupleBuffer& buf) {
+    stats_.events_out += buf.size();
+    stats_.bytes_out += buf.SizeBytes();
+  }
+
+  ExecutionContext* ctx_ = nullptr;
+  OperatorStats stats_;
+};
+
+using OperatorPtr = std::unique_ptr<Operator>;
+
+}  // namespace nebulameos::nebula

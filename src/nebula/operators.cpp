@@ -1,0 +1,659 @@
+#include "nebula/operators.hpp"
+
+#include <algorithm>
+
+#include "common/strings.hpp"
+
+namespace nebulameos::nebula {
+
+TupleBufferPtr ExecutionContext::Allocate(const Schema& schema) {
+  std::shared_ptr<BufferManager> pool;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto& slot = pools_[schema.ToString()];
+    if (!slot) {
+      slot = BufferManager::Create(schema, tuples_per_buffer_, pool_size_);
+    }
+    pool = slot;
+  }
+  return pool->Acquire();
+}
+
+// --- Filter -------------------------------------------------------------------
+
+Result<OperatorPtr> FilterOperator::Make(const Schema& input,
+                                         ExprPtr predicate) {
+  if (!predicate) return Status::InvalidArgument("filter without predicate");
+  NM_RETURN_NOT_OK(predicate->Bind(input));
+  return OperatorPtr(new FilterOperator(input, std::move(predicate)));
+}
+
+Status FilterOperator::Process(const TupleBufferPtr& input,
+                               const EmitFn& emit) {
+  CountIn(*input);
+  TupleBufferPtr out = ctx_->Allocate(schema_);
+  out->set_watermark(input->watermark());
+  out->set_sequence_number(input->sequence_number());
+  for (size_t i = 0; i < input->size(); ++i) {
+    const RecordView rec = input->At(i);
+    if (!ValueAsBool(predicate_->Eval(rec))) continue;
+    if (out->full()) {
+      CountOut(*out);
+      emit(out);
+      out = ctx_->Allocate(schema_);
+      out->set_watermark(input->watermark());
+    }
+    out->Append().CopyFrom(rec);
+  }
+  if (!out->empty() || input->watermark() > 0) {
+    CountOut(*out);
+    emit(out);
+  }
+  return Status::OK();
+}
+
+// --- Map ----------------------------------------------------------------------
+
+Result<OperatorPtr> MapOperator::Make(const Schema& input,
+                                      std::vector<MapSpec> specs) {
+  if (specs.empty()) return Status::InvalidArgument("map without specs");
+  auto op = std::unique_ptr<MapOperator>(new MapOperator());
+  op->input_schema_ = input;
+  // Bind expressions against the *input* schema.
+  for (MapSpec& spec : specs) {
+    if (!spec.expr) return Status::InvalidArgument("map spec without expr");
+    NM_RETURN_NOT_OK(spec.expr->Bind(input));
+  }
+  // Output schema: input fields (possibly replaced), then new fields in
+  // spec order.
+  std::vector<Field> fields = input.fields();
+  std::vector<int> copy_from(fields.size());
+  std::vector<int> expr_of(fields.size(), -1);
+  for (size_t i = 0; i < fields.size(); ++i) copy_from[i] = static_cast<int>(i);
+  for (size_t s = 0; s < specs.size(); ++s) {
+    const MapSpec& spec = specs[s];
+    bool replaced = false;
+    for (size_t i = 0; i < fields.size(); ++i) {
+      if (fields[i].name == spec.name) {
+        fields[i].type = spec.expr->output_type();
+        copy_from[i] = -1;
+        expr_of[i] = static_cast<int>(s);
+        replaced = true;
+        break;
+      }
+    }
+    if (!replaced) {
+      fields.push_back({spec.name, spec.expr->output_type()});
+      copy_from.push_back(-1);
+      expr_of.push_back(static_cast<int>(s));
+    }
+  }
+  NM_ASSIGN_OR_RETURN(op->output_schema_, Schema::Make(std::move(fields)));
+  op->copy_from_ = std::move(copy_from);
+  op->expr_of_ = std::move(expr_of);
+  for (MapSpec& spec : specs) op->exprs_.push_back(std::move(spec.expr));
+  return OperatorPtr(std::move(op));
+}
+
+Status MapOperator::Process(const TupleBufferPtr& input, const EmitFn& emit) {
+  CountIn(*input);
+  TupleBufferPtr out = ctx_->Allocate(output_schema_);
+  out->set_watermark(input->watermark());
+  out->set_sequence_number(input->sequence_number());
+  for (size_t i = 0; i < input->size(); ++i) {
+    const RecordView rec = input->At(i);
+    if (out->full()) {
+      CountOut(*out);
+      emit(out);
+      out = ctx_->Allocate(output_schema_);
+      out->set_watermark(input->watermark());
+    }
+    RecordWriter w = out->Append();
+    for (size_t f = 0; f < output_schema_.num_fields(); ++f) {
+      if (copy_from_[f] >= 0) {
+        const size_t src = static_cast<size_t>(copy_from_[f]);
+        switch (output_schema_.field(f).type) {
+          case DataType::kBool:
+            w.SetBool(f, rec.GetBool(src));
+            break;
+          case DataType::kInt64:
+          case DataType::kTimestamp:
+            w.SetInt64(f, rec.GetInt64(src));
+            break;
+          case DataType::kDouble:
+            w.SetDouble(f, rec.GetDouble(src));
+            break;
+          case DataType::kText16:
+          case DataType::kText32:
+            w.SetText(f, rec.GetText(src));
+            break;
+        }
+        continue;
+      }
+      const Value v = exprs_[expr_of_[f]]->Eval(rec);
+      switch (output_schema_.field(f).type) {
+        case DataType::kBool:
+          w.SetBool(f, ValueAsBool(v));
+          break;
+        case DataType::kInt64:
+        case DataType::kTimestamp:
+          w.SetInt64(f, ValueAsInt64(v));
+          break;
+        case DataType::kDouble:
+          w.SetDouble(f, ValueAsDouble(v));
+          break;
+        case DataType::kText16:
+        case DataType::kText32:
+          w.SetText(f, ValueToString(v));
+          break;
+      }
+    }
+  }
+  CountOut(*out);
+  emit(out);
+  return Status::OK();
+}
+
+// --- Project ------------------------------------------------------------------
+
+Result<OperatorPtr> ProjectOperator::Make(const Schema& input,
+                                          std::vector<std::string> names) {
+  if (names.empty()) return Status::InvalidArgument("project without fields");
+  auto op = std::unique_ptr<ProjectOperator>(new ProjectOperator());
+  std::vector<Field> fields;
+  for (const std::string& name : names) {
+    NM_ASSIGN_OR_RETURN(size_t idx, input.IndexOf(name));
+    op->indices_.push_back(idx);
+    fields.push_back(input.field(idx));
+  }
+  NM_ASSIGN_OR_RETURN(op->output_schema_, Schema::Make(std::move(fields)));
+  return OperatorPtr(std::move(op));
+}
+
+Status ProjectOperator::Process(const TupleBufferPtr& input,
+                                const EmitFn& emit) {
+  CountIn(*input);
+  TupleBufferPtr out = ctx_->Allocate(output_schema_);
+  out->set_watermark(input->watermark());
+  for (size_t i = 0; i < input->size(); ++i) {
+    const RecordView rec = input->At(i);
+    if (out->full()) {
+      CountOut(*out);
+      emit(out);
+      out = ctx_->Allocate(output_schema_);
+      out->set_watermark(input->watermark());
+    }
+    RecordWriter w = out->Append();
+    for (size_t f = 0; f < indices_.size(); ++f) {
+      const size_t src = indices_[f];
+      switch (output_schema_.field(f).type) {
+        case DataType::kBool:
+          w.SetBool(f, rec.GetBool(src));
+          break;
+        case DataType::kInt64:
+        case DataType::kTimestamp:
+          w.SetInt64(f, rec.GetInt64(src));
+          break;
+        case DataType::kDouble:
+          w.SetDouble(f, rec.GetDouble(src));
+          break;
+        case DataType::kText16:
+        case DataType::kText32:
+          w.SetText(f, rec.GetText(src));
+          break;
+      }
+    }
+  }
+  CountOut(*out);
+  emit(out);
+  return Status::OK();
+}
+
+// --- WindowAgg helpers ----------------------------------------------------------
+
+namespace {
+
+// Builds the window-result schema shared by time and threshold windows:
+// [key] + window_start + window_end + aggregates + custom fields.
+Result<Schema> MakeWindowOutputSchema(
+    const Schema& input, const std::string& key_field,
+    const std::vector<AggregateSpec>& aggs,
+    const std::vector<CustomAggregatorFactory>& customs,
+    size_t* custom_first_field) {
+  std::vector<Field> fields;
+  if (!key_field.empty()) {
+    NM_ASSIGN_OR_RETURN(size_t key_idx, input.IndexOf(key_field));
+    fields.push_back(input.field(key_idx));
+  }
+  fields.push_back({"window_start", DataType::kTimestamp});
+  fields.push_back({"window_end", DataType::kTimestamp});
+  for (const AggregateSpec& spec : aggs) {
+    const DataType out_type =
+        spec.kind == AggKind::kCount ? DataType::kInt64 : DataType::kDouble;
+    fields.push_back({spec.output_name, out_type});
+  }
+  *custom_first_field = fields.size();
+  for (const CustomAggregatorFactory& factory : customs) {
+    auto agg = factory();
+    NM_RETURN_NOT_OK(agg->Bind(input));
+    for (const Field& f : agg->OutputFields()) fields.push_back(f);
+  }
+  return Schema::Make(std::move(fields));
+}
+
+// Resolves aggregate input-field indices (kCount uses the time field).
+Result<std::vector<size_t>> ResolveAggFields(
+    const Schema& input, const std::vector<AggregateSpec>& aggs,
+    size_t time_index) {
+  std::vector<size_t> out;
+  out.reserve(aggs.size());
+  for (const AggregateSpec& spec : aggs) {
+    if (spec.kind == AggKind::kCount && spec.field.empty()) {
+      out.push_back(time_index);
+      continue;
+    }
+    NM_ASSIGN_OR_RETURN(size_t idx, input.IndexOf(spec.field));
+    if (!IsNumeric(input.field(idx).type) &&
+        input.field(idx).type != DataType::kBool) {
+      return Status::InvalidArgument("aggregate over non-numeric field: " +
+                                     spec.field);
+    }
+    out.push_back(idx);
+  }
+  return out;
+}
+
+void WriteKey(RecordWriter* w, size_t field, DataType type,
+              const std::variant<int64_t, std::string>& key) {
+  if (std::holds_alternative<int64_t>(key)) {
+    w->SetInt64(field, std::get<int64_t>(key));
+  } else if (type == DataType::kText16 || type == DataType::kText32) {
+    w->SetText(field, std::get<std::string>(key));
+  }
+}
+
+}  // namespace
+
+// --- WindowAggOperator ------------------------------------------------------------
+
+Result<OperatorPtr> WindowAggOperator::Make(const Schema& input,
+                                            WindowAggOptions options) {
+  if (std::holds_alternative<ThresholdWindowSpec>(options.window)) {
+    return Status::InvalidArgument(
+        "use ThresholdWindowOperator for threshold windows");
+  }
+  auto op = std::unique_ptr<WindowAggOperator>(new WindowAggOperator());
+  op->input_schema_ = input;
+  NM_ASSIGN_OR_RETURN(op->assigner_, WindowAssigner::Make(options.window));
+  op->keyed_ = !options.key_field.empty();
+  if (op->keyed_) {
+    NM_ASSIGN_OR_RETURN(op->key_index_, input.IndexOf(options.key_field));
+    op->key_type_ = input.field(op->key_index_).type;
+  }
+  if (options.time_field.empty()) {
+    return Status::InvalidArgument("window aggregation needs a time field");
+  }
+  NM_ASSIGN_OR_RETURN(op->time_index_, input.IndexOf(options.time_field));
+  NM_ASSIGN_OR_RETURN(
+      op->agg_field_index_,
+      ResolveAggFields(input, options.aggregates, op->time_index_));
+  NM_ASSIGN_OR_RETURN(
+      op->output_schema_,
+      MakeWindowOutputSchema(input, options.key_field, options.aggregates,
+                             options.custom_aggregators,
+                             &op->custom_first_field_));
+  op->options_ = std::move(options);
+  return OperatorPtr(std::move(op));
+}
+
+WindowAggOperator::Pane WindowAggOperator::MakePane() const {
+  Pane pane;
+  pane.states.resize(options_.aggregates.size());
+  for (const CustomAggregatorFactory& factory : options_.custom_aggregators) {
+    auto agg = factory();
+    Status s = agg->Bind(input_schema_);
+    assert(s.ok());  // validated in Make
+    (void)s;
+    pane.customs.push_back(std::move(agg));
+  }
+  return pane;
+}
+
+WindowAggOperator::KeyValue WindowAggOperator::KeyOf(
+    const RecordView& rec) const {
+  if (!keyed_) return int64_t{0};
+  if (key_type_ == DataType::kText16 || key_type_ == DataType::kText32) {
+    return rec.GetText(key_index_);
+  }
+  return rec.GetInt64(key_index_);
+}
+
+void WindowAggOperator::WritePane(const PaneKey& key, Pane& pane,
+                                  TupleBuffer* out) const {
+  RecordWriter w = out->Append();
+  size_t f = 0;
+  if (keyed_) {
+    WriteKey(&w, f, key_type_, key.second);
+    ++f;
+  }
+  w.SetInt64(f++, key.first);
+  w.SetInt64(f++, key.first + assigner_.size());
+  for (size_t a = 0; a < options_.aggregates.size(); ++a) {
+    const double v = pane.states[a].Result(options_.aggregates[a].kind);
+    if (options_.aggregates[a].kind == AggKind::kCount) {
+      w.SetInt64(f++, static_cast<int64_t>(v));
+    } else {
+      w.SetDouble(f++, v);
+    }
+  }
+  size_t custom_field = custom_first_field_;
+  for (auto& agg : pane.customs) {
+    agg->WriteResult(&w, custom_field);
+    custom_field += agg->OutputFields().size();
+  }
+}
+
+Status WindowAggOperator::FireUpTo(Timestamp watermark, const EmitFn& emit) {
+  TupleBufferPtr out;
+  auto it = panes_.begin();
+  while (it != panes_.end()) {
+    const Timestamp window_end = it->first.first + assigner_.size();
+    if (window_end > watermark) {
+      // Panes are ordered by window start; later starts may still be open,
+      // but all panes with start < watermark - size are closed. Iterate on:
+      // only skip, since keys interleave.
+      ++it;
+      continue;
+    }
+    if (!out) out = ctx_->Allocate(output_schema_);
+    if (out->full()) {
+      CountOut(*out);
+      emit(out);
+      out = ctx_->Allocate(output_schema_);
+    }
+    WritePane(it->first, it->second, out.get());
+    it = panes_.erase(it);
+  }
+  if (out && !out->empty()) {
+    CountOut(*out);
+    emit(out);
+  }
+  return Status::OK();
+}
+
+Status WindowAggOperator::Process(const TupleBufferPtr& input,
+                                  const EmitFn& emit) {
+  CountIn(*input);
+  for (size_t i = 0; i < input->size(); ++i) {
+    const RecordView rec = input->At(i);
+    const Timestamp t = rec.GetInt64(time_index_);
+    max_event_time_ = std::max(max_event_time_, t);
+    assigner_.AssignWindows(t, &scratch_starts_);
+    const KeyValue key = KeyOf(rec);
+    for (Timestamp start : scratch_starts_) {
+      auto [it, inserted] = panes_.try_emplace({start, key});
+      if (inserted) it->second = MakePane();
+      Pane& pane = it->second;
+      for (size_t a = 0; a < options_.aggregates.size(); ++a) {
+        pane.states[a].Add(rec.GetNumeric(agg_field_index_[a]), t);
+      }
+      for (auto& agg : pane.customs) agg->Add(rec, t);
+    }
+  }
+  // Watermark: the max event time seen, minus allowed lateness.
+  if (max_event_time_ != std::numeric_limits<Timestamp>::min()) {
+    return FireUpTo(max_event_time_ - options_.allowed_lateness, emit);
+  }
+  return Status::OK();
+}
+
+Status WindowAggOperator::Finish(const EmitFn& emit) {
+  return FireUpTo(std::numeric_limits<Timestamp>::max(), emit);
+}
+
+// --- ThresholdWindowOperator --------------------------------------------------------
+
+Result<OperatorPtr> ThresholdWindowOperator::Make(
+    const Schema& input, ThresholdWindowOptions options) {
+  if (!options.predicate) {
+    return Status::InvalidArgument("threshold window needs a predicate");
+  }
+  NM_RETURN_NOT_OK(options.predicate->Bind(input));
+  auto op =
+      std::unique_ptr<ThresholdWindowOperator>(new ThresholdWindowOperator());
+  op->input_schema_ = input;
+  op->keyed_ = !options.key_field.empty();
+  if (op->keyed_) {
+    NM_ASSIGN_OR_RETURN(op->key_index_, input.IndexOf(options.key_field));
+    op->key_type_ = input.field(op->key_index_).type;
+  }
+  if (options.time_field.empty()) {
+    return Status::InvalidArgument("threshold window needs a time field");
+  }
+  NM_ASSIGN_OR_RETURN(op->time_index_, input.IndexOf(options.time_field));
+  NM_ASSIGN_OR_RETURN(
+      op->agg_field_index_,
+      ResolveAggFields(input, options.aggregates, op->time_index_));
+  NM_ASSIGN_OR_RETURN(
+      op->output_schema_,
+      MakeWindowOutputSchema(input, options.key_field, options.aggregates,
+                             options.custom_aggregators,
+                             &op->custom_first_field_));
+  op->options_ = std::move(options);
+  return OperatorPtr(std::move(op));
+}
+
+ThresholdWindowOperator::OpenWindow ThresholdWindowOperator::MakeWindow(
+    Timestamp start) const {
+  OpenWindow win;
+  win.start = start;
+  win.last = start;
+  win.states.resize(options_.aggregates.size());
+  for (const CustomAggregatorFactory& factory : options_.custom_aggregators) {
+    auto agg = factory();
+    Status s = agg->Bind(input_schema_);
+    assert(s.ok());
+    (void)s;
+    win.customs.push_back(std::move(agg));
+  }
+  return win;
+}
+
+void ThresholdWindowOperator::CloseInto(const KeyValue& key, OpenWindow& win,
+                                        TupleBuffer* out) const {
+  RecordWriter w = out->Append();
+  size_t f = 0;
+  if (keyed_) {
+    WriteKey(&w, f, key_type_, key);
+    ++f;
+  }
+  w.SetInt64(f++, win.start);
+  w.SetInt64(f++, win.last);
+  for (size_t a = 0; a < options_.aggregates.size(); ++a) {
+    const double v = win.states[a].Result(options_.aggregates[a].kind);
+    if (options_.aggregates[a].kind == AggKind::kCount) {
+      w.SetInt64(f++, static_cast<int64_t>(v));
+    } else {
+      w.SetDouble(f++, v);
+    }
+  }
+  size_t custom_field = custom_first_field_;
+  for (auto& agg : win.customs) {
+    agg->WriteResult(&w, custom_field);
+    custom_field += agg->OutputFields().size();
+  }
+}
+
+Status ThresholdWindowOperator::Process(const TupleBufferPtr& input,
+                                        const EmitFn& emit) {
+  CountIn(*input);
+  TupleBufferPtr out;
+  for (size_t i = 0; i < input->size(); ++i) {
+    const RecordView rec = input->At(i);
+    const Timestamp t = rec.GetInt64(time_index_);
+    KeyValue key = keyed_ ? (key_type_ == DataType::kText16 ||
+                                     key_type_ == DataType::kText32
+                                 ? KeyValue(rec.GetText(key_index_))
+                                 : KeyValue(rec.GetInt64(key_index_)))
+                          : KeyValue(int64_t{0});
+    const bool holds = ValueAsBool(options_.predicate->Eval(rec));
+    auto it = open_.find(key);
+    if (holds) {
+      if (it == open_.end()) {
+        it = open_.emplace(std::move(key), MakeWindow(t)).first;
+      }
+      OpenWindow& win = it->second;
+      win.last = std::max(win.last, t);
+      for (size_t a = 0; a < options_.aggregates.size(); ++a) {
+        win.states[a].Add(rec.GetNumeric(agg_field_index_[a]), t);
+      }
+      for (auto& agg : win.customs) agg->Add(rec, t);
+    } else if (it != open_.end()) {
+      // Close the window; emit when long enough.
+      if (it->second.last - it->second.start >= options_.min_duration) {
+        if (!out) out = ctx_->Allocate(output_schema_);
+        if (out->full()) {
+          CountOut(*out);
+          emit(out);
+          out = ctx_->Allocate(output_schema_);
+        }
+        CloseInto(it->first, it->second, out.get());
+      }
+      open_.erase(it);
+    }
+  }
+  if (out && !out->empty()) {
+    CountOut(*out);
+    emit(out);
+  }
+  return Status::OK();
+}
+
+Status ThresholdWindowOperator::Finish(const EmitFn& emit) {
+  TupleBufferPtr out;
+  for (auto& [key, win] : open_) {
+    if (win.last - win.start < options_.min_duration) continue;
+    if (!out) out = ctx_->Allocate(output_schema_);
+    if (out->full()) {
+      CountOut(*out);
+      emit(out);
+      out = ctx_->Allocate(output_schema_);
+    }
+    CloseInto(key, win, out.get());
+  }
+  open_.clear();
+  if (out && !out->empty()) {
+    CountOut(*out);
+    emit(out);
+  }
+  return Status::OK();
+}
+
+// --- Sinks -------------------------------------------------------------------
+
+Status SinkOperator::Process(const TupleBufferPtr& input, const EmitFn&) {
+  CountIn(*input);
+  return Consume(*input);
+}
+
+std::vector<std::vector<Value>> CollectSink::Rows() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return rows_;
+}
+
+size_t CollectSink::RowCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return rows_.size();
+}
+
+Status CollectSink::Consume(const TupleBuffer& buffer) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (size_t i = 0; i < buffer.size(); ++i) {
+    if (rows_.size() >= max_rows_) {
+      return Status::ResourceExhausted("collect sink row cap reached");
+    }
+    const RecordView rec = buffer.At(i);
+    std::vector<Value> row;
+    row.reserve(schema_.num_fields());
+    for (size_t f = 0; f < schema_.num_fields(); ++f) {
+      switch (schema_.field(f).type) {
+        case DataType::kBool:
+          row.emplace_back(rec.GetBool(f));
+          break;
+        case DataType::kInt64:
+        case DataType::kTimestamp:
+          row.emplace_back(rec.GetInt64(f));
+          break;
+        case DataType::kDouble:
+          row.emplace_back(rec.GetDouble(f));
+          break;
+        case DataType::kText16:
+        case DataType::kText32:
+          row.emplace_back(rec.GetText(f));
+          break;
+      }
+    }
+    rows_.push_back(std::move(row));
+  }
+  return Status::OK();
+}
+
+Status CountingSink::Consume(const TupleBuffer& buffer) {
+  events_.fetch_add(buffer.size());
+  bytes_.fetch_add(buffer.SizeBytes());
+  return Status::OK();
+}
+
+Result<std::shared_ptr<CsvSink>> CsvSink::Open(Schema schema,
+                                               const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal("cannot open csv sink file: " + path);
+  }
+  // Header line.
+  std::string header;
+  for (size_t i = 0; i < schema.num_fields(); ++i) {
+    if (i > 0) header += ',';
+    header += schema.field(i).name;
+  }
+  header += '\n';
+  std::fputs(header.c_str(), f);
+  return std::shared_ptr<CsvSink>(new CsvSink(std::move(schema), f));
+}
+
+CsvSink::~CsvSink() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status CsvSink::Consume(const TupleBuffer& buffer) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string line;
+  for (size_t i = 0; i < buffer.size(); ++i) {
+    const RecordView rec = buffer.At(i);
+    line.clear();
+    for (size_t f = 0; f < schema_.num_fields(); ++f) {
+      if (f > 0) line += ',';
+      switch (schema_.field(f).type) {
+        case DataType::kBool:
+          line += rec.GetBool(f) ? "true" : "false";
+          break;
+        case DataType::kInt64:
+        case DataType::kTimestamp:
+          line += std::to_string(rec.GetInt64(f));
+          break;
+        case DataType::kDouble:
+          line += FormatDouble(rec.GetDouble(f));
+          break;
+        case DataType::kText16:
+        case DataType::kText32:
+          line += rec.GetText(f);
+          break;
+      }
+    }
+    line += '\n';
+    std::fputs(line.c_str(), file_);
+  }
+  return Status::OK();
+}
+
+}  // namespace nebulameos::nebula

@@ -1,0 +1,268 @@
+/// \file operators.hpp
+/// \brief Concrete stream operators: filter, map, project, window
+/// aggregation (tumbling/sliding and threshold), and sinks.
+///
+/// Every operator is built through a fallible `Make` that receives the
+/// *input schema*, binds its expressions, and derives the output schema.
+
+#pragma once
+
+#include <atomic>
+#include <cstdio>
+#include <limits>
+#include <mutex>
+
+#include "nebula/operator.hpp"
+#include "nebula/window.hpp"
+
+namespace nebulameos::nebula {
+
+// --- Filter -------------------------------------------------------------------
+
+/// \brief Emits only records for which the predicate evaluates true.
+class FilterOperator : public Operator {
+ public:
+  static Result<OperatorPtr> Make(const Schema& input, ExprPtr predicate);
+
+  std::string name() const override { return "Filter"; }
+  const Schema& output_schema() const override { return schema_; }
+  Status Process(const TupleBufferPtr& input, const EmitFn& emit) override;
+
+ private:
+  FilterOperator(Schema schema, ExprPtr predicate)
+      : schema_(std::move(schema)), predicate_(std::move(predicate)) {}
+  Schema schema_;
+  ExprPtr predicate_;
+};
+
+// --- Map ----------------------------------------------------------------------
+
+/// One computed field: `expr AS name` (replaces `name` when it exists).
+struct MapSpec {
+  std::string name;
+  ExprPtr expr;
+};
+
+/// \brief Adds or replaces computed fields.
+class MapOperator : public Operator {
+ public:
+  static Result<OperatorPtr> Make(const Schema& input,
+                                  std::vector<MapSpec> specs);
+
+  std::string name() const override { return "Map"; }
+  const Schema& output_schema() const override { return output_schema_; }
+  Status Process(const TupleBufferPtr& input, const EmitFn& emit) override;
+
+ private:
+  MapOperator() = default;
+  Schema input_schema_;
+  Schema output_schema_;
+  // For each output field: either copy input field `copy_from[i]` (>= 0) or
+  // evaluate `exprs[expr_of[i]]`.
+  std::vector<int> copy_from_;
+  std::vector<int> expr_of_;
+  std::vector<ExprPtr> exprs_;
+};
+
+// --- Project ------------------------------------------------------------------
+
+/// \brief Keeps only the named fields, in the given order.
+class ProjectOperator : public Operator {
+ public:
+  static Result<OperatorPtr> Make(const Schema& input,
+                                  std::vector<std::string> fields);
+
+  std::string name() const override { return "Project"; }
+  const Schema& output_schema() const override { return output_schema_; }
+  Status Process(const TupleBufferPtr& input, const EmitFn& emit) override;
+
+ private:
+  ProjectOperator() = default;
+  Schema output_schema_;
+  std::vector<size_t> indices_;
+};
+
+// --- Windowed aggregation -------------------------------------------------------
+
+/// \brief Configuration of a keyed time-window aggregation.
+struct WindowAggOptions {
+  std::string key_field;   ///< "" = global (unkeyed)
+  std::string time_field;  ///< event-time field (kTimestamp or kInt64)
+  WindowSpec window;       ///< tumbling or sliding
+  std::vector<AggregateSpec> aggregates;
+  std::vector<CustomAggregatorFactory> custom_aggregators;
+  Duration allowed_lateness = 0;  ///< watermark slack
+};
+
+/// \brief Event-time keyed window aggregation with watermark-based firing.
+///
+/// Output schema: [key] + window_start + window_end + aggregate fields +
+/// custom-aggregator fields. Panes fire when the watermark (max event time −
+/// allowed lateness) passes their window end; `Finish` flushes the rest in
+/// deterministic (window, key) order.
+class WindowAggOperator : public Operator {
+ public:
+  static Result<OperatorPtr> Make(const Schema& input,
+                                  WindowAggOptions options);
+
+  std::string name() const override { return "WindowAgg"; }
+  const Schema& output_schema() const override { return output_schema_; }
+  Status Process(const TupleBufferPtr& input, const EmitFn& emit) override;
+  Status Finish(const EmitFn& emit) override;
+
+ private:
+  struct Pane {
+    std::vector<AggState> states;
+    std::vector<std::unique_ptr<CustomAggregator>> customs;
+  };
+  using KeyValue = std::variant<int64_t, std::string>;
+  using PaneKey = std::pair<Timestamp, KeyValue>;  // (window_start, key)
+
+  WindowAggOperator() = default;
+
+  Pane MakePane() const;
+  KeyValue KeyOf(const RecordView& rec) const;
+  void WritePane(const PaneKey& key, Pane& pane, TupleBuffer* out) const;
+  Status FireUpTo(Timestamp watermark, const EmitFn& emit);
+
+  Schema input_schema_;
+  Schema output_schema_;
+  WindowAggOptions options_;
+  WindowAssigner assigner_{WindowAssigner::Make(TumblingWindowSpec{1}).value()};
+  bool keyed_ = false;
+  size_t key_index_ = 0;
+  DataType key_type_ = DataType::kInt64;
+  size_t time_index_ = 0;
+  std::vector<size_t> agg_field_index_;
+  size_t custom_first_field_ = 0;
+  std::map<PaneKey, Pane> panes_;
+  Timestamp max_event_time_ = std::numeric_limits<Timestamp>::min();
+  std::vector<Timestamp> scratch_starts_;
+};
+
+// --- Threshold window -------------------------------------------------------------
+
+/// \brief Configuration of a keyed threshold-window aggregation.
+struct ThresholdWindowOptions {
+  ExprPtr predicate;       ///< window is open (per key) while this holds
+  Duration min_duration = 0;
+  std::string key_field;   ///< "" = global
+  std::string time_field;
+  std::vector<AggregateSpec> aggregates;
+  std::vector<CustomAggregatorFactory> custom_aggregators;
+};
+
+/// \brief Data-driven windows: one window per maximal run of records
+/// satisfying the predicate (per key); runs shorter than `min_duration`
+/// are dropped.
+///
+/// Output schema: [key] + window_start + window_end + aggregates + customs.
+class ThresholdWindowOperator : public Operator {
+ public:
+  static Result<OperatorPtr> Make(const Schema& input,
+                                  ThresholdWindowOptions options);
+
+  std::string name() const override { return "ThresholdWindow"; }
+  const Schema& output_schema() const override { return output_schema_; }
+  Status Process(const TupleBufferPtr& input, const EmitFn& emit) override;
+  Status Finish(const EmitFn& emit) override;
+
+ private:
+  struct OpenWindow {
+    Timestamp start = 0;
+    Timestamp last = 0;
+    std::vector<AggState> states;
+    std::vector<std::unique_ptr<CustomAggregator>> customs;
+  };
+  using KeyValue = std::variant<int64_t, std::string>;
+
+  ThresholdWindowOperator() = default;
+
+  OpenWindow MakeWindow(Timestamp start) const;
+  void CloseInto(const KeyValue& key, OpenWindow& win, TupleBuffer* out) const;
+
+  Schema input_schema_;
+  Schema output_schema_;
+  ThresholdWindowOptions options_;
+  bool keyed_ = false;
+  size_t key_index_ = 0;
+  DataType key_type_ = DataType::kInt64;
+  size_t time_index_ = 0;
+  std::vector<size_t> agg_field_index_;
+  size_t custom_first_field_ = 0;
+  std::map<KeyValue, OpenWindow> open_;
+};
+
+// --- Sinks -------------------------------------------------------------------
+
+/// \brief Terminal operator; consumes buffers. Concrete sinks override
+/// `Consume`.
+class SinkOperator : public Operator {
+ public:
+  const Schema& output_schema() const override { return schema_; }
+  Status Process(const TupleBufferPtr& input, const EmitFn& emit) override;
+
+ protected:
+  explicit SinkOperator(Schema schema) : schema_(std::move(schema)) {}
+  virtual Status Consume(const TupleBuffer& buffer) = 0;
+  Schema schema_;
+};
+
+/// \brief Collects result rows as `Value` vectors (thread-safe reads).
+class CollectSink : public SinkOperator {
+ public:
+  explicit CollectSink(Schema schema, size_t max_rows = 1 << 22)
+      : SinkOperator(std::move(schema)), max_rows_(max_rows) {}
+
+  std::string name() const override { return "CollectSink"; }
+
+  /// Snapshot of collected rows.
+  std::vector<std::vector<Value>> Rows() const;
+  /// Number of rows collected so far.
+  size_t RowCount() const;
+
+ protected:
+  Status Consume(const TupleBuffer& buffer) override;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::vector<Value>> rows_;
+  size_t max_rows_;
+};
+
+/// \brief Counts events and bytes only (benchmark sink).
+class CountingSink : public SinkOperator {
+ public:
+  explicit CountingSink(Schema schema) : SinkOperator(std::move(schema)) {}
+  std::string name() const override { return "CountingSink"; }
+
+  uint64_t events() const { return events_.load(); }
+  uint64_t bytes() const { return bytes_.load(); }
+
+ protected:
+  Status Consume(const TupleBuffer& buffer) override;
+
+ private:
+  std::atomic<uint64_t> events_{0};
+  std::atomic<uint64_t> bytes_{0};
+};
+
+/// \brief Writes rows as CSV (header + one line per record).
+class CsvSink : public SinkOperator {
+ public:
+  static Result<std::shared_ptr<CsvSink>> Open(Schema schema,
+                                               const std::string& path);
+  ~CsvSink() override;
+  std::string name() const override { return "CsvSink"; }
+
+ protected:
+  Status Consume(const TupleBuffer& buffer) override;
+
+ private:
+  CsvSink(Schema schema, FILE* file)
+      : SinkOperator(std::move(schema)), file_(file) {}
+  FILE* file_;
+  std::mutex mutex_;
+};
+
+}  // namespace nebulameos::nebula

@@ -1,0 +1,126 @@
+/// \file query.hpp
+/// \brief The declarative query API: a fluent builder producing a logical
+/// plan.
+///
+/// Mirrors NebulaStream's query interface:
+///
+/// ```cpp
+/// Query q = Query::From(std::move(source))
+///               .Filter(Lt(Attribute("speed"), Lit(22.2)))
+///               .Map("speed_kmh", Mul(Attribute("speed"), Lit(3.6)))
+///               .KeyBy("train_id")
+///               .TumblingWindow(Minutes(1), "ts")
+///               .Aggregate({AggregateSpec::Avg("speed", "avg_speed")})
+///               .To(sink);
+/// ```
+///
+/// The plan is compiled into physical operators by the `NodeEngine`
+/// (engine.hpp). Compilation is where schemas propagate and expressions
+/// bind, so invalid plans are rejected at submission.
+
+#pragma once
+
+#include "nebula/cep.hpp"
+#include "nebula/join.hpp"
+#include "nebula/operators.hpp"
+#include "nebula/source.hpp"
+
+namespace nebulameos::nebula {
+
+/// \brief One logical step of a query plan.
+struct LogicalStep {
+  enum class Kind {
+    kFilter,
+    kMap,
+    kProject,
+    kWindowAgg,
+    kThresholdWindow,
+    kCep,
+    kLookupJoin,
+  };
+
+  Kind kind;
+  // Populated according to kind:
+  ExprPtr predicate;                       // kFilter
+  std::vector<MapSpec> map_specs;          // kMap
+  std::vector<std::string> project_fields; // kProject
+  WindowAggOptions window_options;         // kWindowAgg
+  ThresholdWindowOptions threshold_options;// kThresholdWindow
+  Pattern pattern;                         // kCep
+  std::vector<Measure> measures;           // kCep
+  TemporalLookupJoinOptions join_options;  // kLookupJoin
+};
+
+/// \brief A complete logical query: source → steps → sink.
+class Query {
+ public:
+  /// Starts a query from a source (takes ownership).
+  static Query From(SourcePtr source);
+
+  /// Adds a filter step.
+  Query&& Filter(ExprPtr predicate) &&;
+
+  /// Adds one computed field.
+  Query&& Map(std::string name, ExprPtr expr) &&;
+
+  /// Adds several computed fields at once.
+  Query&& MapAll(std::vector<MapSpec> specs) &&;
+
+  /// Keeps only the named fields.
+  Query&& Project(std::vector<std::string> fields) &&;
+
+  /// Sets the partitioning key for the next window/CEP step.
+  Query&& KeyBy(std::string field) &&;
+
+  /// Starts a tumbling-window aggregation (finish with `Aggregate`).
+  Query&& TumblingWindow(Duration size, std::string time_field) &&;
+
+  /// Starts a sliding-window aggregation (finish with `Aggregate`).
+  Query&& SlidingWindow(Duration size, Duration slide,
+                        std::string time_field) &&;
+
+  /// Starts a threshold-window aggregation (finish with `Aggregate`).
+  Query&& ThresholdWindow(ExprPtr predicate, Duration min_duration,
+                          std::string time_field) &&;
+
+  /// Completes the pending window with aggregates (and optional custom
+  /// aggregators).
+  Query&& Aggregate(std::vector<AggregateSpec> aggs,
+                    std::vector<CustomAggregatorFactory> customs = {}) &&;
+
+  /// Adds a CEP step.
+  Query&& Detect(Pattern pattern, std::vector<Measure> measures) &&;
+
+  /// Adds a temporal lookup join: enriches each record with the
+  /// time-nearest matching record of a bounded side stream.
+  Query&& JoinLookup(TemporalLookupJoinOptions options) &&;
+
+  /// Terminates the query with a sink (shared so callers can inspect
+  /// results after the run).
+  Query&& To(std::shared_ptr<SinkOperator> sink) &&;
+
+  // --- Accessors used by the engine ---
+
+  Source* source() const { return source_.get(); }
+  SourcePtr TakeSource() { return std::move(source_); }
+  const std::vector<LogicalStep>& steps() const { return steps_; }
+  const std::shared_ptr<SinkOperator>& sink() const { return sink_; }
+
+ private:
+  Query() = default;
+
+  SourcePtr source_;
+  std::vector<LogicalStep> steps_;
+  std::shared_ptr<SinkOperator> sink_;
+  std::string pending_key_;
+  // Pending window awaiting Aggregate().
+  std::optional<LogicalStep> pending_window_;
+};
+
+/// \brief Compiles a logical query into a physical operator chain
+/// (schemas propagate source → sink; expressions bind along the way).
+/// On success the query's source has been consumed.
+Result<std::vector<OperatorPtr>> CompilePlan(const Schema& source_schema,
+                                             const Query& query);
+
+}  // namespace nebulameos::nebula

@@ -1,0 +1,108 @@
+#include "nebula/schema.hpp"
+
+#include <cassert>
+#include <unordered_set>
+
+namespace nebulameos::nebula {
+
+size_t DataTypeSize(DataType type) {
+  switch (type) {
+    case DataType::kBool:
+      return 1;
+    case DataType::kInt64:
+    case DataType::kDouble:
+    case DataType::kTimestamp:
+      return 8;
+    case DataType::kText16:
+      return 16;
+    case DataType::kText32:
+      return 32;
+  }
+  return 0;
+}
+
+const char* DataTypeName(DataType type) {
+  switch (type) {
+    case DataType::kBool:
+      return "BOOL";
+    case DataType::kInt64:
+      return "INT64";
+    case DataType::kDouble:
+      return "DOUBLE";
+    case DataType::kTimestamp:
+      return "TIMESTAMP";
+    case DataType::kText16:
+      return "TEXT16";
+    case DataType::kText32:
+      return "TEXT32";
+  }
+  return "?";
+}
+
+bool IsNumeric(DataType type) {
+  return type == DataType::kInt64 || type == DataType::kDouble ||
+         type == DataType::kTimestamp;
+}
+
+Result<Schema> Schema::Make(std::vector<Field> fields) {
+  std::unordered_set<std::string> seen;
+  for (const Field& f : fields) {
+    if (f.name.empty()) {
+      return Status::InvalidArgument("schema field with empty name");
+    }
+    if (!seen.insert(f.name).second) {
+      return Status::InvalidArgument("duplicate schema field: " + f.name);
+    }
+  }
+  Schema s;
+  s.fields_ = std::move(fields);
+  s.offsets_.reserve(s.fields_.size());
+  size_t off = 0;
+  for (const Field& f : s.fields_) {
+    s.offsets_.push_back(off);
+    off += DataTypeSize(f.type);
+  }
+  s.record_size_ = off;
+  return s;
+}
+
+Schema Schema::Builder::Finish() const {
+  auto res = Schema::Make(fields_);
+  assert(res.ok());
+  return *res;
+}
+
+Result<size_t> Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return i;
+  }
+  return Status::NotFound("no field named '" + name + "'");
+}
+
+bool Schema::HasField(const std::string& name) const {
+  return IndexOf(name).ok();
+}
+
+bool Schema::operator==(const Schema& other) const {
+  if (fields_.size() != other.fields_.size()) return false;
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name != other.fields_[i].name ||
+        fields_[i].type != other.fields_[i].type) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Schema::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += fields_[i].name;
+    out += ':';
+    out += DataTypeName(fields_[i].type);
+  }
+  return out;
+}
+
+}  // namespace nebulameos::nebula

@@ -1,0 +1,120 @@
+/// \file schema.hpp
+/// \brief Stream schemas and the row memory layout.
+///
+/// A `Schema` is an ordered list of typed fields. Records are fixed-size
+/// rows (text fields are inline, fixed-width), so a `TupleBuffer` holds
+/// `capacity = buffer_size / record_size` tuples — the layout NebulaStream
+/// uses for its row memory layout on edge devices.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/time.hpp"
+
+namespace nebulameos::nebula {
+
+/// Physical field types. All fixed-width so records have a static layout.
+enum class DataType : uint8_t {
+  kBool,       ///< 1 byte
+  kInt64,      ///< 8 bytes
+  kDouble,     ///< 8 bytes
+  kTimestamp,  ///< 8 bytes, microseconds since epoch
+  kText16,     ///< 16 bytes inline, NUL-padded
+  kText32,     ///< 32 bytes inline, NUL-padded
+};
+
+/// Byte width of a data type.
+size_t DataTypeSize(DataType type);
+
+/// Human-readable type name ("INT64", ...).
+const char* DataTypeName(DataType type);
+
+/// True for kInt64 / kDouble / kTimestamp.
+bool IsNumeric(DataType type);
+
+/// \brief One schema field: name + physical type.
+struct Field {
+  std::string name;
+  DataType type;
+};
+
+/// \brief An ordered, named collection of fields with computed offsets.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Builds a schema; fails on duplicate or empty field names.
+  static Result<Schema> Make(std::vector<Field> fields);
+
+  /// Fluent construction used by query code:
+  /// `Schema::Build().AddInt64("id").AddDouble("lon")...Finish()`.
+  class Builder {
+   public:
+    Builder& Add(std::string name, DataType type) {
+      fields_.push_back({std::move(name), type});
+      return *this;
+    }
+    Builder& AddBool(std::string name) {
+      return Add(std::move(name), DataType::kBool);
+    }
+    Builder& AddInt64(std::string name) {
+      return Add(std::move(name), DataType::kInt64);
+    }
+    Builder& AddDouble(std::string name) {
+      return Add(std::move(name), DataType::kDouble);
+    }
+    Builder& AddTimestamp(std::string name) {
+      return Add(std::move(name), DataType::kTimestamp);
+    }
+    Builder& AddText16(std::string name) {
+      return Add(std::move(name), DataType::kText16);
+    }
+    Builder& AddText32(std::string name) {
+      return Add(std::move(name), DataType::kText32);
+    }
+    /// Finalizes the schema (asserts validity; use `Schema::Make` for
+    /// fallible construction).
+    Schema Finish() const;
+
+   private:
+    std::vector<Field> fields_;
+  };
+
+  /// Starts a fluent builder.
+  static Builder Build() { return Builder(); }
+
+  const std::vector<Field>& fields() const { return fields_; }
+  size_t num_fields() const { return fields_.size(); }
+
+  /// Bytes per record.
+  size_t record_size() const { return record_size_; }
+
+  /// Byte offset of field \p i within a record.
+  size_t offset(size_t i) const { return offsets_[i]; }
+
+  /// Index of the field named \p name.
+  Result<size_t> IndexOf(const std::string& name) const;
+
+  /// True iff a field named \p name exists.
+  bool HasField(const std::string& name) const;
+
+  /// Field by index.
+  const Field& field(size_t i) const { return fields_[i]; }
+
+  /// Schema equality (names and types).
+  bool operator==(const Schema& other) const;
+
+  /// "name:TYPE, ..." description.
+  std::string ToString() const;
+
+ private:
+  std::vector<Field> fields_;
+  std::vector<size_t> offsets_;
+  size_t record_size_ = 0;
+};
+
+}  // namespace nebulameos::nebula

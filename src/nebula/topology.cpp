@@ -1,0 +1,151 @@
+#include "nebula/topology.hpp"
+
+namespace nebulameos::nebula {
+
+Status Topology::AddNode(TopologyNode node) {
+  for (const TopologyNode& n : nodes_) {
+    if (n.id == node.id) {
+      return Status::AlreadyExists("duplicate node id " +
+                                   std::to_string(node.id));
+    }
+  }
+  nodes_.push_back(std::move(node));
+  return Status::OK();
+}
+
+Status Topology::AddLink(TopologyLink link) {
+  if (link.bandwidth_bytes_per_sec <= 0.0) {
+    return Status::InvalidArgument("link bandwidth must be > 0");
+  }
+  if (!GetNode(link.from).ok() || !GetNode(link.to).ok()) {
+    return Status::InvalidArgument("link endpoint unknown");
+  }
+  links_.push_back(link);
+  return Status::OK();
+}
+
+Result<TopologyNode> Topology::GetNode(int id) const {
+  for (const TopologyNode& n : nodes_) {
+    if (n.id == id) return n;
+  }
+  return Status::NotFound("no node " + std::to_string(id));
+}
+
+Result<TopologyLink> Topology::GetLink(int from, int to) const {
+  for (const TopologyLink& l : links_) {
+    if (l.from == from && l.to == to) return l;
+  }
+  return Status::NotFound("no link " + std::to_string(from) + "->" +
+                          std::to_string(to));
+}
+
+Topology Topology::SncbReference(int num_trains, double uplink_bytes_per_sec,
+                                 Duration uplink_latency) {
+  Topology topo;
+  (void)topo.AddNode({0, NodeKind::kCoordinator, "coordinator", 4.0});
+  (void)topo.AddNode({1, NodeKind::kCloudWorker, "cloud-worker", 4.0});
+  // Coordinator <-> cloud worker on a fast datacenter link.
+  (void)topo.AddLink({1, 0, 1e9, Millis(1)});
+  (void)topo.AddLink({0, 1, 1e9, Millis(1)});
+  for (int i = 0; i < num_trains; ++i) {
+    const int id = 2 + i;
+    (void)topo.AddNode(
+        {id, NodeKind::kEdgeWorker, "train-" + std::to_string(i), 1.0});
+    // Cellular uplink/downlink between the train and the cloud.
+    (void)topo.AddLink({id, 1, uplink_bytes_per_sec, uplink_latency});
+    (void)topo.AddLink({1, id, uplink_bytes_per_sec, uplink_latency});
+  }
+  return topo;
+}
+
+Result<DeploymentReport> SimulateDeployment(
+    const Topology& topology,
+    const std::vector<std::pair<std::string, OperatorStats>>& op_stats,
+    uint64_t source_bytes, const Placement& placement) {
+  DeploymentReport report;
+  const int chain_length = static_cast<int>(op_stats.size());
+  // Bytes flowing on chain edge (i -> i+1): output of element i, where
+  // i == -1 is the source.
+  for (int i = -1; i < chain_length - 1; ++i) {
+    auto from_it = placement.node_of.find(i);
+    auto to_it = placement.node_of.find(i + 1);
+    if (from_it == placement.node_of.end() ||
+        to_it == placement.node_of.end()) {
+      return Status::InvalidArgument("placement missing operator " +
+                                     std::to_string(i));
+    }
+    if (from_it->second == to_it->second) continue;  // same node: free
+    NM_ASSIGN_OR_RETURN(TopologyLink link,
+                        topology.GetLink(from_it->second, to_it->second));
+    const uint64_t bytes = i < 0
+                               ? source_bytes
+                               : op_stats[static_cast<size_t>(i)].second.bytes_out;
+    const auto key = std::make_pair(link.from, link.to);
+    report.link_bytes[key] += bytes;
+    const double seconds = static_cast<double>(bytes) /
+                               link.bandwidth_bytes_per_sec +
+                           ToSeconds(link.latency);
+    report.link_seconds[key] += seconds;
+    report.total_transfer_seconds += seconds;
+    NM_ASSIGN_OR_RETURN(TopologyNode from_node,
+                        topology.GetNode(link.from));
+    NM_ASSIGN_OR_RETURN(TopologyNode to_node, topology.GetNode(link.to));
+    if (from_node.kind == NodeKind::kEdgeWorker &&
+        to_node.kind != NodeKind::kEdgeWorker) {
+      report.uplink_bytes += bytes;
+    }
+  }
+  return report;
+}
+
+Placement EdgePushdownPlacement(size_t chain_length, int edge_node,
+                                int cloud_node) {
+  Placement p;
+  p.node_of[-1] = edge_node;
+  for (size_t i = 0; i + 1 < chain_length; ++i) {
+    p.node_of[static_cast<int>(i)] = edge_node;
+  }
+  // The sink (last chain element) runs in the cloud: results ship up.
+  if (chain_length > 0) {
+    p.node_of[static_cast<int>(chain_length - 1)] = cloud_node;
+  }
+  return p;
+}
+
+Placement CloudPlacement(size_t chain_length, int edge_node, int cloud_node) {
+  Placement p;
+  p.node_of[-1] = edge_node;  // sensors are on the train
+  for (size_t i = 0; i < chain_length; ++i) {
+    p.node_of[static_cast<int>(i)] = cloud_node;
+  }
+  return p;
+}
+
+Placement OptimizeCutPlacement(
+    const std::vector<std::pair<std::string, OperatorStats>>& op_stats,
+    uint64_t source_bytes, int edge_node, int cloud_node,
+    uint64_t* out_uplink_bytes) {
+  const int n = static_cast<int>(op_stats.size());
+  // Cut after element `cut` (−1 = source only on the edge); the bytes that
+  // cross are that element's output. The sink (element n−1) stays cloud-side,
+  // so cuts range over [−1, n−2].
+  int best_cut = -1;
+  uint64_t best_bytes = source_bytes;
+  for (int cut = 0; cut <= n - 2; ++cut) {
+    const uint64_t bytes = op_stats[static_cast<size_t>(cut)].second.bytes_out;
+    if (bytes < best_bytes) {
+      best_bytes = bytes;
+      best_cut = cut;
+    }
+  }
+  Placement p;
+  p.node_of[-1] = edge_node;
+  for (int i = 0; i < n; ++i) {
+    p.node_of[i] = i <= best_cut ? edge_node : cloud_node;
+  }
+  if (n > 0) p.node_of[n - 1] = cloud_node;  // sink in the cloud
+  if (out_uplink_bytes != nullptr) *out_uplink_bytes = best_bytes;
+  return p;
+}
+
+}  // namespace nebulameos::nebula

@@ -1,0 +1,130 @@
+/// \file topology.hpp
+/// \brief Simulated IoT topology: coordinator, edge and cloud workers,
+/// links, and operator placement.
+///
+/// The paper's architecture (Figure 1) runs NebulaMEOS on an Intel-Atom
+/// edge device aboard the train, shipping only processed results to a
+/// server. This module reproduces that architecture as a measurable
+/// simulation: a topology of nodes and links, a placement of a compiled
+/// query's operators onto nodes, and a deployment report that prices the
+/// traffic each link carries using the engine's per-operator flow counters.
+/// The `bench_fig1_edge_vs_cloud` benchmark compares edge pushdown against
+/// ship-everything-to-cloud on exactly this model.
+
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/time.hpp"
+#include "nebula/operator.hpp"
+
+namespace nebulameos::nebula {
+
+/// Role of a topology node.
+enum class NodeKind { kCoordinator, kEdgeWorker, kCloudWorker };
+
+/// \brief One physical (simulated) node.
+struct TopologyNode {
+  int id = 0;
+  NodeKind kind = NodeKind::kEdgeWorker;
+  std::string name;
+  /// Relative compute speed (1.0 = reference edge device).
+  double cpu_factor = 1.0;
+};
+
+/// \brief A directed link with bandwidth and propagation latency.
+struct TopologyLink {
+  int from = 0;
+  int to = 0;
+  double bandwidth_bytes_per_sec = 0.0;
+  Duration latency = 0;
+};
+
+/// \brief A topology: nodes + links with lookup helpers.
+class Topology {
+ public:
+  /// Adds a node; fails on duplicate id.
+  Status AddNode(TopologyNode node);
+
+  /// Adds a link; fails when an endpoint is unknown or bandwidth <= 0.
+  Status AddLink(TopologyLink link);
+
+  const std::vector<TopologyNode>& nodes() const { return nodes_; }
+  const std::vector<TopologyLink>& links() const { return links_; }
+
+  /// Node by id.
+  Result<TopologyNode> GetNode(int id) const;
+
+  /// Direct link from \p from to \p to.
+  Result<TopologyLink> GetLink(int from, int to) const;
+
+  /// Builds the paper's reference topology: one coordinator (cloud), one
+  /// cloud worker, and \p num_trains edge workers, each connected to the
+  /// cloud worker by a constrained cellular uplink.
+  static Topology SncbReference(int num_trains, double uplink_bytes_per_sec,
+                                Duration uplink_latency);
+
+ private:
+  std::vector<TopologyNode> nodes_;
+  std::vector<TopologyLink> links_;
+};
+
+/// \brief Placement of a compiled chain onto nodes: `node_of[i]` is the node
+/// executing operator `i`; index `-1` denotes the source, `size` the sink.
+struct Placement {
+  std::map<int, int> node_of;
+
+  /// Node of operator \p op_index (must be present).
+  int NodeOf(int op_index) const { return node_of.at(op_index); }
+};
+
+/// \brief Traffic and latency accounting of one deployed query.
+struct DeploymentReport {
+  /// Bytes crossing each used link, keyed by (from, to).
+  std::map<std::pair<int, int>, uint64_t> link_bytes;
+  /// Serialization+propagation seconds per link.
+  std::map<std::pair<int, int>, double> link_seconds;
+  /// Total bytes entering cloud nodes from edge nodes.
+  uint64_t uplink_bytes = 0;
+  /// Sum over links of bytes/bandwidth + latency (sequential path model).
+  double total_transfer_seconds = 0.0;
+};
+
+/// \brief Prices a placement using measured per-operator flow.
+///
+/// \p op_stats is the engine's chain-ordered stats (operators then sink);
+/// \p source_bytes is what the source produced. Each chain edge whose two
+/// endpoints are placed on different nodes ships the upstream operator's
+/// output bytes across the connecting link.
+Result<DeploymentReport> SimulateDeployment(
+    const Topology& topology,
+    const std::vector<std::pair<std::string, OperatorStats>>& op_stats,
+    uint64_t source_bytes, const Placement& placement);
+
+/// All-on-edge placement: every operator on \p edge_node, sink on
+/// \p cloud_node (results ship up).
+Placement EdgePushdownPlacement(size_t chain_length, int edge_node,
+                                int cloud_node);
+
+/// Ship-raw placement: source on \p edge_node, everything else on
+/// \p cloud_node.
+Placement CloudPlacement(size_t chain_length, int edge_node, int cloud_node);
+
+/// \brief Incremental placement optimization: chooses the pipeline cut
+/// (edge prefix → cloud suffix) that minimizes uplink bytes, using the
+/// measured per-operator flow. The sink (final chain element) stays in the
+/// cloud — results must reach the operations center. Returns the placement
+/// and, through \p out_uplink_bytes (optional), its uplink cost.
+///
+/// This is the decision NebulaStream's incremental query placement makes
+/// per operator; here it reduces to the optimal single cut of a linear
+/// chain.
+Placement OptimizeCutPlacement(
+    const std::vector<std::pair<std::string, OperatorStats>>& op_stats,
+    uint64_t source_bytes, int edge_node, int cloud_node,
+    uint64_t* out_uplink_bytes = nullptr);
+
+}  // namespace nebulameos::nebula

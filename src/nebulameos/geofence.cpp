@@ -1,0 +1,203 @@
+#include "nebulameos/geofence.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+namespace nebulameos::integration {
+
+const char* ZoneKindName(ZoneKind kind) {
+  switch (kind) {
+    case ZoneKind::kMaintenance:
+      return "maintenance";
+    case ZoneKind::kStation:
+      return "station";
+    case ZoneKind::kWorkshop:
+      return "workshop";
+    case ZoneKind::kNoiseSensitive:
+      return "noise_sensitive";
+    case ZoneKind::kHighRisk:
+      return "high_risk";
+    case ZoneKind::kWeather:
+      return "weather";
+  }
+  return "?";
+}
+
+meos::GeoBox Zone::BoundingBox() const {
+  if (const auto* poly = std::get_if<Polygon>(&shape)) {
+    return poly->bbox();
+  }
+  const Circle& c = std::get<Circle>(shape);
+  // Conservative degree margin for the metric radius.
+  const double margin = meos::MetersToDegreeMargin(c.radius, c.center.y);
+  meos::GeoBox box = meos::GeoBox::Empty();
+  box.Extend(c.center);
+  return box.Expanded(margin);
+}
+
+bool Zone::Contains(const Point& p) const {
+  if (const auto* poly = std::get_if<Polygon>(&shape)) {
+    return poly->Contains(p);
+  }
+  const Circle& c = std::get<Circle>(shape);
+  return meos::PointCircleDistance(p, c, Metric::kWgs84) == 0.0;
+}
+
+double Zone::DistanceTo(const Point& p) const {
+  if (const auto* poly = std::get_if<Polygon>(&shape)) {
+    return meos::PointPolygonDistance(p, *poly, Metric::kWgs84);
+  }
+  return meos::PointCircleDistance(p, std::get<Circle>(shape),
+                                   Metric::kWgs84);
+}
+
+GeofenceRegistry::GeofenceRegistry(Metric metric, double cell_deg)
+    : metric_(metric), cell_deg_(cell_deg) {}
+
+int64_t GeofenceRegistry::AddPolygonZone(std::string name, ZoneKind kind,
+                                         Polygon polygon,
+                                         double speed_limit_kmh) {
+  Zone zone;
+  zone.id = static_cast<int64_t>(zones_.size());
+  zone.name = std::move(name);
+  zone.kind = kind;
+  zone.shape = std::move(polygon);
+  zone.speed_limit_kmh = speed_limit_kmh;
+  zones_.push_back(std::move(zone));
+  IndexZone(zones_.size() - 1);
+  return zones_.back().id;
+}
+
+int64_t GeofenceRegistry::AddCircleZone(std::string name, ZoneKind kind,
+                                        Circle circle,
+                                        double speed_limit_kmh) {
+  Zone zone;
+  zone.id = static_cast<int64_t>(zones_.size());
+  zone.name = std::move(name);
+  zone.kind = kind;
+  zone.shape = circle;
+  zone.speed_limit_kmh = speed_limit_kmh;
+  zones_.push_back(std::move(zone));
+  IndexZone(zones_.size() - 1);
+  return zones_.back().id;
+}
+
+int64_t GeofenceRegistry::AddPoi(std::string name, std::string kind,
+                                 Point location) {
+  Poi poi;
+  poi.id = static_cast<int64_t>(pois_.size());
+  poi.name = std::move(name);
+  poi.kind = std::move(kind);
+  poi.location = location;
+  pois_.push_back(std::move(poi));
+  return pois_.back().id;
+}
+
+const Zone* GeofenceRegistry::FindZone(const std::string& name) const {
+  for (const Zone& z : zones_) {
+    if (z.name == name) return &z;
+  }
+  return nullptr;
+}
+
+const Zone* GeofenceRegistry::FindZone(int64_t id) const {
+  if (id < 0 || static_cast<size_t>(id) >= zones_.size()) return nullptr;
+  return &zones_[static_cast<size_t>(id)];
+}
+
+const Poi* GeofenceRegistry::FindPoi(const std::string& name) const {
+  for (const Poi& p : pois_) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+GeofenceRegistry::CellKey GeofenceRegistry::CellOf(double x, double y) const {
+  return CellKey{static_cast<int32_t>(std::floor(x / cell_deg_)),
+                 static_cast<int32_t>(std::floor(y / cell_deg_))};
+}
+
+void GeofenceRegistry::IndexZone(size_t zone_index) {
+  const meos::GeoBox box = zones_[zone_index].BoundingBox();
+  const CellKey lo = CellOf(box.xmin, box.ymin);
+  const CellKey hi = CellOf(box.xmax, box.ymax);
+  for (int32_t cx = lo.cx; cx <= hi.cx; ++cx) {
+    for (int32_t cy = lo.cy; cy <= hi.cy; ++cy) {
+      grid_[CellKey{cx, cy}].push_back(zone_index);
+    }
+  }
+}
+
+std::vector<const Zone*> GeofenceRegistry::ZonesContaining(
+    const Point& p, std::optional<ZoneKind> kind) const {
+  std::vector<const Zone*> out;
+  auto consider = [&](const Zone& z) {
+    if (kind && z.kind != *kind) return;
+    if (z.Contains(p)) out.push_back(&z);
+  };
+  if (index_enabled_) {
+    auto it = grid_.find(CellOf(p.x, p.y));
+    if (it == grid_.end()) return out;
+    for (size_t idx : it->second) consider(zones_[idx]);
+  } else {
+    for (const Zone& z : zones_) consider(z);
+  }
+  return out;
+}
+
+bool GeofenceRegistry::InAnyZone(const Point& p,
+                                 std::optional<ZoneKind> kind) const {
+  auto matches = [&](const Zone& z) {
+    return (!kind || z.kind == *kind) && z.Contains(p);
+  };
+  if (index_enabled_) {
+    auto it = grid_.find(CellOf(p.x, p.y));
+    if (it == grid_.end()) return false;
+    for (size_t idx : it->second) {
+      if (matches(zones_[idx])) return true;
+    }
+    return false;
+  }
+  for (const Zone& z : zones_) {
+    if (matches(z)) return true;
+  }
+  return false;
+}
+
+int64_t GeofenceRegistry::ZoneIdAt(const Point& p,
+                                   std::optional<ZoneKind> kind) const {
+  const auto zones = ZonesContaining(p, kind);
+  return zones.empty() ? -1 : zones.front()->id;
+}
+
+double GeofenceRegistry::SpeedLimitAt(const Point& p,
+                                      double default_kmh) const {
+  double limit = default_kmh;
+  for (const Zone* z : ZonesContaining(p)) {
+    if (z->speed_limit_kmh > 0.0) limit = std::min(limit, z->speed_limit_kmh);
+  }
+  return limit;
+}
+
+const Poi* GeofenceRegistry::NearestPoi(const Point& p,
+                                        const std::string& kind,
+                                        double* out_distance) const {
+  const Poi* best = nullptr;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (const Poi& poi : pois_) {
+    if (!kind.empty() && poi.kind != kind) continue;
+    const double d = meos::PointDistance(p, poi.location, metric_);
+    if (d < best_d) {
+      best_d = d;
+      best = &poi;
+    }
+  }
+  if (out_distance != nullptr) {
+    *out_distance = best ? best_d : std::numeric_limits<double>::infinity();
+  }
+  return best;
+}
+
+}  // namespace nebulameos::integration

@@ -1,0 +1,32 @@
+#include "nebulameos/plugin.hpp"
+
+namespace nebulameos::integration {
+
+Status RegisterMeosPlugin(
+    std::shared_ptr<const GeofenceRegistry> geofences) {
+  if (geofences) SetActiveGeofences(std::move(geofences));
+  nebula::RegisterBuiltinFunctions();
+  auto& registry = nebula::ExpressionRegistry::Global();
+  if (registry.Contains("edwithin")) return Status::OK();  // idempotent
+  NM_RETURN_NOT_OK(registry.Register("edwithin", EdwithinExpression::Make));
+  NM_RETURN_NOT_OK(
+      registry.Register("tpoint_at_stbox", MeosAtStboxExpression::Make));
+  NM_RETURN_NOT_OK(registry.Register("in_zone", InZoneExpression::Make));
+  NM_RETURN_NOT_OK(
+      registry.Register("in_zone_kind", InZoneKindExpression::Make));
+  NM_RETURN_NOT_OK(registry.Register("zone_id", ZoneIdExpression::Make));
+  NM_RETURN_NOT_OK(
+      registry.Register("zone_speed_limit", ZoneSpeedLimitExpression::Make));
+  NM_RETURN_NOT_OK(registry.Register("nearest_poi_distance",
+                                     NearestPoiDistanceExpression::Make));
+  NM_RETURN_NOT_OK(
+      registry.Register("nearest_poi_id", NearestPoiIdExpression::Make));
+  NM_RETURN_NOT_OK(registry.Register("haversine_m", HaversineExpression::Make));
+  return Status::OK();
+}
+
+bool MeosPluginRegistered() {
+  return nebula::ExpressionRegistry::Global().Contains("edwithin");
+}
+
+}  // namespace nebulameos::integration

@@ -1,0 +1,30 @@
+/// \file plugin.hpp
+/// \brief NebulaMEOS plugin registration.
+///
+/// "NebulaStream implements a plugin-based architecture that facilitates
+/// the integration of external components" (§2.3). This is that plugin:
+/// one call registers every MEOS function expression into the engine's
+/// global `ExpressionRegistry`, making them addressable by name from any
+/// query (`Fn("edwithin", {...})`). Registration is idempotent.
+
+#pragma once
+
+#include "nebulameos/geofence.hpp"
+#include "nebulameos/meos_expressions.hpp"
+
+namespace nebulameos::integration {
+
+/// \brief Registers the MEOS expression suite (and the engine's built-in
+/// math functions) in the global registry, and installs \p geofences as the
+/// active catalog when non-null.
+///
+/// Registered names: `edwithin`, `tpoint_at_stbox`, `in_zone`,
+/// `in_zone_kind`, `zone_id`, `zone_speed_limit`, `nearest_poi_distance`,
+/// `nearest_poi_id`, `haversine_m`.
+Status RegisterMeosPlugin(
+    std::shared_ptr<const GeofenceRegistry> geofences = nullptr);
+
+/// True iff the plugin's functions are present in the global registry.
+bool MeosPluginRegistered();
+
+}  // namespace nebulameos::integration

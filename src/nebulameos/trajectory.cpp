@@ -1,0 +1,245 @@
+#include "nebulameos/trajectory.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "meos/tfloat_ops.hpp"
+#include "nebulameos/meos_expressions.hpp"
+
+namespace nebulameos::integration {
+
+using nebula::DataType;
+using nebula::Field;
+
+// --- TrajectoryAggregatorBase ----------------------------------------------
+
+Status TrajectoryAggregatorBase::Bind(const nebula::Schema& schema) {
+  NM_ASSIGN_OR_RETURN(lon_index_, schema.IndexOf(fields_.lon));
+  NM_ASSIGN_OR_RETURN(lat_index_, schema.IndexOf(fields_.lat));
+  NM_ASSIGN_OR_RETURN(time_index_, schema.IndexOf(fields_.time));
+  return Status::OK();
+}
+
+void TrajectoryAggregatorBase::Add(const nebula::RecordView& rec,
+                                   Timestamp /*event_time*/) {
+  instants_.push_back({meos::Point{rec.GetDouble(lon_index_),
+                                   rec.GetDouble(lat_index_)},
+                       rec.GetInt64(time_index_)});
+}
+
+std::optional<meos::TGeomPointSeq> TrajectoryAggregatorBase::BuildTrajectory()
+    const {
+  if (instants_.empty()) return std::nullopt;
+  std::sort(instants_.begin(), instants_.end(),
+            [](const meos::TInstant<meos::Point>& a,
+               const meos::TInstant<meos::Point>& b) { return a.t < b.t; });
+  // Deduplicate equal timestamps (keep the first observation).
+  std::vector<meos::TInstant<meos::Point>> unique;
+  unique.reserve(instants_.size());
+  for (const auto& ins : instants_) {
+    if (unique.empty() || ins.t > unique.back().t) unique.push_back(ins);
+  }
+  auto seq = meos::TGeomPointSeq::Make(std::move(unique));
+  if (!seq.ok()) return std::nullopt;
+  return *seq;
+}
+
+// --- TrajectoryMetricsAggregator ---------------------------------------------
+
+std::vector<Field> TrajectoryMetricsAggregator::OutputFields() const {
+  return {{"traj_points", DataType::kInt64},
+          {"traj_length_m", DataType::kDouble},
+          {"traj_avg_speed_ms", DataType::kDouble},
+          {"traj_max_speed_ms", DataType::kDouble}};
+}
+
+void TrajectoryMetricsAggregator::WriteResult(nebula::RecordWriter* out,
+                                              size_t f) {
+  auto traj = BuildTrajectory();
+  if (!traj) {
+    out->SetInt64(f, 0);
+    out->SetDouble(f + 1, 0.0);
+    out->SetDouble(f + 2, 0.0);
+    out->SetDouble(f + 3, 0.0);
+    return;
+  }
+  const double length = meos::Length(*traj, Metric::kWgs84);
+  double avg_speed = 0.0;
+  double max_speed = 0.0;
+  if (traj->size() >= 2) {
+    const double seconds = ToSeconds(traj->DurationMicros());
+    if (seconds > 0.0) avg_speed = length / seconds;
+    auto speed = meos::Speed(*traj, Metric::kWgs84);
+    if (speed.ok()) max_speed = meos::MaxValue(*speed);
+  }
+  out->SetInt64(f, static_cast<int64_t>(traj->size()));
+  out->SetDouble(f + 1, length);
+  out->SetDouble(f + 2, avg_speed);
+  out->SetDouble(f + 3, max_speed);
+}
+
+nebula::CustomAggregatorFactory TrajectoryMetricsAggregator::Factory(
+    TrajectoryFields fields) {
+  return [fields]() {
+    return std::make_unique<TrajectoryMetricsAggregator>(fields);
+  };
+}
+
+// --- EdwithinAggregator ---------------------------------------------------------
+
+EdwithinAggregator::EdwithinAggregator(std::string target, double dist_m,
+                                       std::string prefix,
+                                       TrajectoryFields fields)
+    : TrajectoryAggregatorBase(std::move(fields)),
+      target_(std::move(target)),
+      dist_m_(dist_m),
+      prefix_(std::move(prefix)) {}
+
+Status EdwithinAggregator::Bind(const nebula::Schema& schema) {
+  NM_RETURN_NOT_OK(TrajectoryAggregatorBase::Bind(schema));
+  auto registry = ActiveGeofences();
+  if (!registry) {
+    return Status::FailedPrecondition(
+        "EdwithinAggregator: no active geofence registry");
+  }
+  zone_ = registry->FindZone(target_);
+  poi_ = zone_ ? nullptr : registry->FindPoi(target_);
+  if (zone_ == nullptr && poi_ == nullptr) {
+    return Status::NotFound("EdwithinAggregator: unknown target '" + target_ +
+                            "'");
+  }
+  return Status::OK();
+}
+
+std::vector<Field> EdwithinAggregator::OutputFields() const {
+  return {{prefix_ + "_edwithin", DataType::kBool},
+          {prefix_ + "_min_dist_m", DataType::kDouble}};
+}
+
+void EdwithinAggregator::WriteResult(nebula::RecordWriter* out, size_t f) {
+  auto traj = BuildTrajectory();
+  if (!traj) {
+    out->SetBool(f, false);
+    out->SetDouble(f + 1, std::numeric_limits<double>::infinity());
+    return;
+  }
+  bool within = false;
+  double min_dist = std::numeric_limits<double>::infinity();
+  if (poi_ != nullptr) {
+    within = meos::EverDWithin(*traj, poi_->location, dist_m_,
+                               Metric::kWgs84);
+    min_dist =
+        meos::NearestApproachDistance(*traj, poi_->location, Metric::kWgs84);
+  } else if (const auto* poly = std::get_if<Polygon>(&zone_->shape)) {
+    within = meos::EverDWithin(*traj, *poly, dist_m_, Metric::kWgs84);
+    // Min distance over instants (exact segment distance used for within).
+    for (const auto& ins : traj->instants()) {
+      min_dist = std::min(
+          min_dist, meos::PointPolygonDistance(ins.value, *poly,
+                                               Metric::kWgs84));
+    }
+  } else {
+    const Circle& c = std::get<Circle>(zone_->shape);
+    within = meos::EverDWithin(*traj, c.center, dist_m_ + c.radius,
+                               Metric::kWgs84);
+    min_dist = std::max(0.0, meos::NearestApproachDistance(
+                                 *traj, c.center, Metric::kWgs84) -
+                                 c.radius);
+  }
+  out->SetBool(f, within);
+  out->SetDouble(f + 1, min_dist);
+}
+
+nebula::CustomAggregatorFactory EdwithinAggregator::Factory(
+    std::string target, double dist_m, std::string prefix,
+    TrajectoryFields fields) {
+  return [target, dist_m, prefix, fields]() {
+    return std::make_unique<EdwithinAggregator>(target, dist_m, prefix,
+                                                fields);
+  };
+}
+
+// --- ZoneDwellAggregator ---------------------------------------------------------
+
+ZoneDwellAggregator::ZoneDwellAggregator(std::string zone, std::string prefix,
+                                         TrajectoryFields fields)
+    : TrajectoryAggregatorBase(std::move(fields)),
+      zone_name_(std::move(zone)),
+      prefix_(std::move(prefix)) {}
+
+Status ZoneDwellAggregator::Bind(const nebula::Schema& schema) {
+  NM_RETURN_NOT_OK(TrajectoryAggregatorBase::Bind(schema));
+  auto registry = ActiveGeofences();
+  if (!registry) {
+    return Status::FailedPrecondition(
+        "ZoneDwellAggregator: no active geofence registry");
+  }
+  zone_ = registry->FindZone(zone_name_);
+  if (zone_ == nullptr) {
+    return Status::NotFound("ZoneDwellAggregator: unknown zone '" +
+                            zone_name_ + "'");
+  }
+  return Status::OK();
+}
+
+std::vector<Field> ZoneDwellAggregator::OutputFields() const {
+  return {{prefix_ + "_seconds", DataType::kDouble},
+          {prefix_ + "_entered", DataType::kBool}};
+}
+
+void ZoneDwellAggregator::WriteResult(nebula::RecordWriter* out, size_t f) {
+  auto traj = BuildTrajectory();
+  if (!traj) {
+    out->SetDouble(f, 0.0);
+    out->SetBool(f + 1, false);
+    return;
+  }
+  meos::PeriodSet inside;
+  if (const auto* poly = std::get_if<Polygon>(&zone_->shape)) {
+    inside = meos::WhenInsidePolygon(*traj, *poly);
+  } else {
+    inside = meos::WhenInsideCircle(*traj, std::get<Circle>(zone_->shape),
+                                    Metric::kWgs84);
+  }
+  out->SetDouble(f, ToSeconds(inside.TotalDuration()));
+  out->SetBool(f + 1, !inside.empty());
+}
+
+nebula::CustomAggregatorFactory ZoneDwellAggregator::Factory(
+    std::string zone, std::string prefix, TrajectoryFields fields) {
+  return [zone, prefix, fields]() {
+    return std::make_unique<ZoneDwellAggregator>(zone, prefix, fields);
+  };
+}
+
+// --- ExtentAggregatorAdapter --------------------------------------------------------
+
+std::vector<Field> ExtentAggregatorAdapter::OutputFields() const {
+  return {{"extent_xmin", DataType::kDouble},
+          {"extent_ymin", DataType::kDouble},
+          {"extent_xmax", DataType::kDouble},
+          {"extent_ymax", DataType::kDouble}};
+}
+
+void ExtentAggregatorAdapter::WriteResult(nebula::RecordWriter* out,
+                                          size_t f) {
+  auto traj = BuildTrajectory();
+  if (!traj) {
+    for (size_t i = 0; i < 4; ++i) out->SetDouble(f + i, 0.0);
+    return;
+  }
+  const meos::STBox box = meos::BoundingBox(*traj);
+  out->SetDouble(f, box.xmin());
+  out->SetDouble(f + 1, box.ymin());
+  out->SetDouble(f + 2, box.xmax());
+  out->SetDouble(f + 3, box.ymax());
+}
+
+nebula::CustomAggregatorFactory ExtentAggregatorAdapter::Factory(
+    TrajectoryFields fields) {
+  return [fields]() {
+    return std::make_unique<ExtentAggregatorAdapter>(fields);
+  };
+}
+
+}  // namespace nebulameos::integration

@@ -1,0 +1,132 @@
+/// \file trajectory.hpp
+/// \brief Spatiotemporal window aggregators: streams → MEOS trajectories.
+///
+/// These `CustomAggregator`s plug into the engine's window operators
+/// (tumbling/sliding/threshold) and assemble the position records of each
+/// window pane into a `meos::TGeomPointSeq`. The *exact* MEOS operations
+/// then run on the assembled trajectory — this is where the windowed
+/// ("ever") semantics of `edwithin`, zone dwell time via restriction, and
+/// the trajectory measures (length, speed, extent) live, complementing the
+/// per-record expression lifts in meos_expressions.hpp.
+///
+/// Records may arrive out of order within a pane; instants are sorted (and
+/// deduplicated by timestamp) when the trajectory is finalized.
+
+#pragma once
+
+#include "meos/agg.hpp"
+#include "nebula/window.hpp"
+#include "nebulameos/geofence.hpp"
+
+namespace nebulameos::integration {
+
+/// Field names of the position attributes in the input schema.
+struct TrajectoryFields {
+  std::string lon = "lon";
+  std::string lat = "lat";
+  std::string time = "ts";
+};
+
+/// \brief Shared base: collects (lon, lat, t) instants and finalizes them
+/// into a temporal point.
+class TrajectoryAggregatorBase : public nebula::CustomAggregator {
+ public:
+  explicit TrajectoryAggregatorBase(TrajectoryFields fields)
+      : fields_(std::move(fields)) {}
+
+  Status Bind(const nebula::Schema& schema) override;
+  void Add(const nebula::RecordView& rec, Timestamp event_time) override;
+
+ protected:
+  /// Sorted, deduplicated trajectory of the pane; nullopt when empty.
+  std::optional<meos::TGeomPointSeq> BuildTrajectory() const;
+
+  TrajectoryFields fields_;
+
+ private:
+  size_t lon_index_ = 0;
+  size_t lat_index_ = 0;
+  size_t time_index_ = 0;
+  mutable std::vector<meos::TInstant<meos::Point>> instants_;
+};
+
+/// \brief Outputs the pane trajectory's measures:
+/// `traj_points` (INT64), `traj_length_m`, `traj_avg_speed_ms`,
+/// `traj_max_speed_ms` (DOUBLE).
+class TrajectoryMetricsAggregator : public TrajectoryAggregatorBase {
+ public:
+  explicit TrajectoryMetricsAggregator(TrajectoryFields fields = {})
+      : TrajectoryAggregatorBase(std::move(fields)) {}
+
+  std::vector<nebula::Field> OutputFields() const override;
+  void WriteResult(nebula::RecordWriter* out, size_t first_index) override;
+
+  /// Factory for window options.
+  static nebula::CustomAggregatorFactory Factory(TrajectoryFields fields = {});
+};
+
+/// \brief Windowed `edwithin`: did the pane trajectory ever come within
+/// `dist_m` of the named zone/POI? Outputs `<prefix>_edwithin` (BOOL) and
+/// `<prefix>_min_dist_m` (DOUBLE; distance to a POI target, 0-aware for
+/// zones).
+class EdwithinAggregator : public TrajectoryAggregatorBase {
+ public:
+  EdwithinAggregator(std::string target, double dist_m, std::string prefix,
+                     TrajectoryFields fields = {});
+
+  Status Bind(const nebula::Schema& schema) override;
+  std::vector<nebula::Field> OutputFields() const override;
+  void WriteResult(nebula::RecordWriter* out, size_t first_index) override;
+
+  static nebula::CustomAggregatorFactory Factory(std::string target,
+                                                 double dist_m,
+                                                 std::string prefix,
+                                                 TrajectoryFields fields = {});
+
+ private:
+  std::string target_;
+  double dist_m_;
+  std::string prefix_;
+  const Zone* zone_ = nullptr;
+  const Poi* poi_ = nullptr;
+};
+
+/// \brief Zone dwell via exact MEOS restriction: seconds the pane
+/// trajectory spent inside the named zone (`<prefix>_seconds` DOUBLE) and
+/// whether it entered at all (`<prefix>_entered` BOOL).
+///
+/// Polygon zones use `WhenInsidePolygon` (segment/edge crossing instants);
+/// circle zones use `tdwithin` against the center.
+class ZoneDwellAggregator : public TrajectoryAggregatorBase {
+ public:
+  ZoneDwellAggregator(std::string zone, std::string prefix,
+                      TrajectoryFields fields = {});
+
+  Status Bind(const nebula::Schema& schema) override;
+  std::vector<nebula::Field> OutputFields() const override;
+  void WriteResult(nebula::RecordWriter* out, size_t first_index) override;
+
+  static nebula::CustomAggregatorFactory Factory(std::string zone,
+                                                 std::string prefix,
+                                                 TrajectoryFields fields = {});
+
+ private:
+  std::string zone_name_;
+  std::string prefix_;
+  const Zone* zone_ = nullptr;
+};
+
+/// \brief Spatiotemporal extent of the pane trajectory: `extent_xmin`,
+/// `extent_ymin`, `extent_xmax`, `extent_ymax` (DOUBLE).
+class ExtentAggregatorAdapter : public TrajectoryAggregatorBase {
+ public:
+  explicit ExtentAggregatorAdapter(TrajectoryFields fields = {})
+      : TrajectoryAggregatorBase(std::move(fields)) {}
+
+  std::vector<nebula::Field> OutputFields() const override;
+  void WriteResult(nebula::RecordWriter* out, size_t first_index) override;
+
+  static nebula::CustomAggregatorFactory Factory(TrajectoryFields fields = {});
+};
+
+}  // namespace nebulameos::integration

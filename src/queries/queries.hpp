@@ -1,0 +1,128 @@
+/// \file queries.hpp
+/// \brief The paper's eight demonstration queries (§3.1 geofencing,
+/// §3.2 geospatial complex event processing), built on the public API.
+///
+/// Each builder returns a ready-to-submit `nebula::Query` plus a handle to
+/// its sink. Queries Q1–Q4 run on the 112-byte geofencing stream, Q5 on the
+/// 76-byte battery stream, Q6 on the 115-byte passenger stream, Q7 on the
+/// 40-byte position stream and Q8 on the geofencing stream again — matching
+/// the paper's per-query throughput ratios (records.hpp).
+
+#pragma once
+
+#include "nebula/engine.hpp"
+#include "nebulameos/plugin.hpp"
+#include "sncb/records.hpp"
+
+namespace nebulameos::queries {
+
+/// \brief Shared demo environment: network + geofences + plugin
+/// registration.
+///
+/// Construction builds the Belgian network, populates the geofence
+/// registry, installs it as the active catalog and registers the MEOS
+/// plugin (plus the Q4 `weather_speed_limit` lambda function).
+class DemoEnvironment {
+ public:
+  static Result<std::shared_ptr<DemoEnvironment>> Create();
+
+  const sncb::RailNetwork& network() const { return network_; }
+  const std::shared_ptr<integration::GeofenceRegistry>& geofences() const {
+    return geofences_;
+  }
+
+ private:
+  DemoEnvironment() = default;
+  sncb::RailNetwork network_;
+  std::shared_ptr<integration::GeofenceRegistry> geofences_;
+};
+
+/// How the built query terminates.
+enum class SinkMode {
+  kCollect,   ///< rows retrievable for inspection (tests, Figure 3 series)
+  kCounting,  ///< counters only (throughput benchmarks)
+};
+
+/// \brief Options shared by all builders.
+struct QueryOptions {
+  uint64_t max_events = 200'000;  ///< events the source produces
+  SinkMode sink = SinkMode::kCollect;
+  sncb::FleetConfig fleet;        ///< simulator configuration
+  /// When > 0, the source is wall-clock paced to this many events/second
+  /// (offered-load reproduction of the paper's reported rates).
+  double pace_events_per_second = 0.0;
+};
+
+/// \brief A built query plus its sink handles (exactly one is non-null,
+/// matching `QueryOptions::sink`).
+struct BuiltQuery {
+  nebula::Query query;
+  std::shared_ptr<nebula::CollectSink> collect;
+  std::shared_ptr<nebula::CountingSink> counting;
+
+  BuiltQuery(nebula::Query q, std::shared_ptr<nebula::CollectSink> c,
+             std::shared_ptr<nebula::CountingSink> n)
+      : query(std::move(q)), collect(std::move(c)), counting(std::move(n)) {}
+};
+
+/// Q1 — location-based alert filtering: onboard alerts survive unless the
+/// train is inside a maintenance zone.
+Result<BuiltQuery> BuildQ1AlertFiltering(const DemoEnvironment& env,
+                                         const QueryOptions& options);
+
+/// Q2 — location-based noise monitoring: per-zone tumbling-window noise
+/// statistics inside noise-sensitive neighbourhoods.
+Result<BuiltQuery> BuildQ2NoiseMonitoring(const DemoEnvironment& env,
+                                          const QueryOptions& options);
+
+/// Q3 — dynamic speed limit: events exceeding the advisory zone limit.
+Result<BuiltQuery> BuildQ3DynamicSpeedLimit(const DemoEnvironment& env,
+                                            const QueryOptions& options);
+
+/// Q4 — weather-based speed zones: events exceeding the weather-conditioned
+/// limit (synthetic OpenMeteo feed carried on the event).
+Result<BuiltQuery> BuildQ4WeatherSpeedZones(const DemoEnvironment& env,
+                                            const QueryOptions& options);
+
+/// Q4 (join variant) — the same advisory computed by *joining* the train
+/// stream with a separate weather-observation stream (temporal lookup join
+/// on the weather cell, nearest observation within one hour). Demonstrates
+/// the OpenMeteo integration as a true two-stream query.
+Result<BuiltQuery> BuildQ4WeatherJoin(const DemoEnvironment& env,
+                                      const QueryOptions& options);
+
+/// Q5 — battery monitoring: threshold windows over charge-curve deviations
+/// while on battery power, annotated with the nearest workshop.
+Result<BuiltQuery> BuildQ5BatteryMonitoring(const DemoEnvironment& env,
+                                            const QueryOptions& options);
+
+/// Q6 — heavy passenger load: sliding-window average load above seat
+/// capacity suggests an extra train.
+Result<BuiltQuery> BuildQ6HeavyLoad(const DemoEnvironment& env,
+                                    const QueryOptions& options);
+
+/// Q7 — unscheduled stops: CEP pattern (moving → sustained halt outside
+/// stations/workshops → moving).
+Result<BuiltQuery> BuildQ7UnscheduledStops(const DemoEnvironment& env,
+                                           const QueryOptions& options);
+
+/// Q8 — brake monitoring: CEP pattern of repeated emergency braking within
+/// a time bound per train.
+Result<BuiltQuery> BuildQ8BrakeMonitoring(const DemoEnvironment& env,
+                                          const QueryOptions& options);
+
+/// Builds query \p number (1–8).
+Result<BuiltQuery> BuildQuery(int number, const DemoEnvironment& env,
+                              const QueryOptions& options);
+
+/// Short name of query \p number ("Q1 Alert Filtering", ...).
+const char* QueryName(int number);
+
+/// The paper's reported throughput for query \p number.
+struct PaperThroughput {
+  double megabytes_per_s = 0.0;
+  double kilo_events_per_s = 0.0;
+};
+PaperThroughput PaperReportedThroughput(int number);
+
+}  // namespace nebulameos::queries

@@ -1,0 +1,193 @@
+#include "sncb/network.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nebulameos::sncb {
+
+using integration::GeofenceRegistry;
+using integration::ZoneKind;
+using meos::Circle;
+using meos::Metric;
+using meos::Polygon;
+
+size_t RailNetwork::AddStation(Station station) {
+  stations_.push_back(std::move(station));
+  return stations_.size() - 1;
+}
+
+size_t RailNetwork::AddLine(RailLine line) {
+  std::vector<double> cumulative;
+  cumulative.reserve(line.path.size());
+  double acc = 0.0;
+  cumulative.push_back(0.0);
+  for (size_t i = 1; i < line.path.size(); ++i) {
+    acc += meos::HaversineMeters(line.path[i - 1], line.path[i]);
+    cumulative.push_back(acc);
+  }
+  lines_.push_back(std::move(line));
+  line_length_.push_back(acc);
+  cumulative_.push_back(std::move(cumulative));
+  return lines_.size() - 1;
+}
+
+Point RailNetwork::PositionAlong(size_t i, double meters) const {
+  const RailLine& line = lines_[i];
+  const std::vector<double>& cum = cumulative_[i];
+  if (meters <= 0.0) return line.path.front();
+  if (meters >= line_length_[i]) return line.path.back();
+  // Binary search the segment containing `meters`.
+  auto it = std::upper_bound(cum.begin(), cum.end(), meters);
+  const size_t seg = static_cast<size_t>(std::distance(cum.begin(), it)) - 1;
+  const double seg_len = cum[seg + 1] - cum[seg];
+  const double f = seg_len <= 0.0 ? 0.0 : (meters - cum[seg]) / seg_len;
+  return meos::Lerp(line.path[seg], line.path[seg + 1], f);
+}
+
+std::vector<std::pair<double, size_t>> RailNetwork::StationsAlong(
+    size_t i, double snap_meters) const {
+  std::vector<std::pair<double, size_t>> out;
+  const RailLine& line = lines_[i];
+  for (size_t s = 0; s < stations_.size(); ++s) {
+    // Closest approach of the line to the station.
+    double best_d = snap_meters + 1.0;
+    double best_offset = 0.0;
+    for (size_t seg = 0; seg + 1 < line.path.size(); ++seg) {
+      const meos::Segment sg{line.path[seg], line.path[seg + 1]};
+      const double d =
+          meos::PointSegmentDistance(stations_[s].location, sg, Metric::kWgs84);
+      if (d < best_d) {
+        best_d = d;
+        const double f = meos::ClosestPointFraction(stations_[s].location, sg,
+                                                    Metric::kWgs84);
+        best_offset =
+            cumulative_[i][seg] + f * (cumulative_[i][seg + 1] -
+                                       cumulative_[i][seg]);
+      }
+    }
+    if (best_d <= snap_meters) out.emplace_back(best_offset, s);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+RailNetwork BuildBelgianNetwork() {
+  RailNetwork net;
+  // Approximate Belgian city coordinates (lon, lat).
+  const size_t brussels = net.AddStation({"Brussels-Midi", {4.3355, 50.8357}, 3.0});
+  const size_t antwerp = net.AddStation({"Antwerpen-Centraal", {4.4210, 51.2172}, 2.5});
+  const size_t ghent = net.AddStation({"Gent-Sint-Pieters", {3.7105, 51.0362}, 2.0});
+  const size_t liege = net.AddStation({"Liège-Guillemins", {5.5666, 50.6243}, 2.0});
+  const size_t charleroi = net.AddStation({"Charleroi-Sud", {4.4384, 50.4047}, 1.5});
+  const size_t namur = net.AddStation({"Namur", {4.8622, 50.4687}, 1.3});
+  const size_t leuven = net.AddStation({"Leuven", {4.7158, 50.8812}, 1.5});
+  const size_t bruges = net.AddStation({"Brugge", {3.2166, 51.1972}, 1.4});
+  const size_t ostend = net.AddStation({"Oostende", {2.9252, 51.2282}, 1.0});
+  const size_t hasselt = net.AddStation({"Hasselt", {5.3277, 50.9305}, 1.0});
+  const size_t mons = net.AddStation({"Mons", {3.9530, 50.4536}, 1.0});
+  const size_t arlon = net.AddStation({"Arlon", {5.8091, 49.6794}, 0.7});
+
+  const auto& st = net.stations();
+  auto at = [&](size_t s) { return st[s].location; };
+  auto mid = [](const Point& a, const Point& b, double bulge_x,
+                double bulge_y) {
+    return Point{(a.x + b.x) / 2 + bulge_x, (a.y + b.y) / 2 + bulge_y};
+  };
+
+  // Six lines, one per demo train. Intermediate shape points introduce the
+  // gentle curvature that high-risk "sharp curve" zones sit on.
+  net.AddLine({"IC-1 Oostende–Brussels–Liège",
+               {at(ostend), at(bruges), mid(at(bruges), at(ghent), 0.0, 0.02),
+                at(ghent), mid(at(ghent), at(brussels), 0.02, -0.01),
+                at(brussels), at(leuven),
+                mid(at(leuven), at(liege), 0.03, 0.04), at(liege)}});
+  net.AddLine({"IC-2 Antwerpen–Brussels–Charleroi",
+               {at(antwerp), mid(at(antwerp), at(brussels), -0.03, 0.0),
+                at(brussels), mid(at(brussels), at(charleroi), -0.02, -0.02),
+                at(charleroi)}});
+  net.AddLine({"IC-3 Brussels–Namur–Arlon",
+               {at(brussels), mid(at(brussels), at(namur), 0.04, -0.03),
+                at(namur), mid(at(namur), at(arlon), 0.08, -0.10),
+                at(arlon)}});
+  net.AddLine({"IC-4 Gent–Brussels–Hasselt",
+               {at(ghent), at(brussels), at(leuven),
+                mid(at(leuven), at(hasselt), 0.02, 0.03), at(hasselt)}});
+  net.AddLine({"IC-5 Mons–Brussels–Antwerpen",
+               {at(mons), mid(at(mons), at(brussels), 0.03, 0.02),
+                at(brussels), mid(at(brussels), at(antwerp), 0.02, 0.01),
+                at(antwerp)}});
+  net.AddLine({"L-6 Charleroi–Namur–Liège",
+               {at(charleroi), at(namur),
+                mid(at(namur), at(liege), 0.02, -0.04), at(liege)}});
+  return net;
+}
+
+namespace {
+
+// Axis-aligned rectangle polygon around a center.
+Polygon RectAround(const Point& center, double half_w_deg, double half_h_deg) {
+  auto poly = Polygon::Make({{center.x - half_w_deg, center.y - half_h_deg},
+                             {center.x + half_w_deg, center.y - half_h_deg},
+                             {center.x + half_w_deg, center.y + half_h_deg},
+                             {center.x - half_w_deg, center.y + half_h_deg}});
+  assert(poly.ok());
+  return *poly;
+}
+
+}  // namespace
+
+void PopulateSncbGeofences(const RailNetwork& network,
+                           GeofenceRegistry* registry) {
+  // Station zones: 400 m circles.
+  for (const Station& s : network.stations()) {
+    registry->AddCircleZone("station:" + s.name, ZoneKind::kStation,
+                            Circle{s.location, 400.0}, 30.0);
+  }
+  // Workshops near three hubs (zone + POI at the gate).
+  const struct {
+    const char* name;
+    Point loc;
+  } kWorkshops[] = {
+      {"workshop:Schaarbeek", {4.3780, 50.8790}},
+      {"workshop:Antwerpen-Noord", {4.4330, 51.2450}},
+      {"workshop:Kinkempois", {5.5590, 50.5980}},
+  };
+  for (const auto& w : kWorkshops) {
+    registry->AddCircleZone(w.name, ZoneKind::kWorkshop, Circle{w.loc, 600.0},
+                            20.0);
+    registry->AddPoi(std::string(w.name) + ":gate", "workshop", w.loc);
+  }
+  // Maintenance polygons on two line segments (between Brussels–Leuven and
+  // Gent–Brussels).
+  registry->AddPolygonZone("maintenance:leuven-west", ZoneKind::kMaintenance,
+                           RectAround({4.58, 50.87}, 0.045, 0.03), 40.0);
+  registry->AddPolygonZone("maintenance:gent-east", ZoneKind::kMaintenance,
+                           RectAround({3.95, 50.97}, 0.05, 0.035), 40.0);
+  // Noise-sensitive neighbourhoods near the three largest cities.
+  registry->AddPolygonZone("noise:brussels-south", ZoneKind::kNoiseSensitive,
+                           RectAround({4.33, 50.81}, 0.04, 0.025));
+  registry->AddPolygonZone("noise:antwerp-center", ZoneKind::kNoiseSensitive,
+                           RectAround({4.42, 51.20}, 0.035, 0.025));
+  registry->AddPolygonZone("noise:liege-center", ZoneKind::kNoiseSensitive,
+                           RectAround({5.57, 50.63}, 0.035, 0.025));
+  // High-risk curve/construction zones with advisory limits (km/h).
+  registry->AddCircleZone("curve:leuven-liege", ZoneKind::kHighRisk,
+                          Circle{{5.05, 50.82}, 3000.0}, 80.0);
+  registry->AddCircleZone("curve:namur-arlon", ZoneKind::kHighRisk,
+                          Circle{{5.35, 50.05}, 4000.0}, 70.0);
+  registry->AddCircleZone("construction:mons-brussels", ZoneKind::kHighRisk,
+                          Circle{{4.15, 50.63}, 2500.0}, 60.0);
+  // Weather zones: a coarse 2x3 grid over the country.
+  int weather_id = 0;
+  for (int gy = 0; gy < 2; ++gy) {
+    for (int gx = 0; gx < 3; ++gx) {
+      const double x0 = 2.5 + gx * 1.2;
+      const double y0 = 49.4 + gy * 1.0;
+      registry->AddPolygonZone(
+          "weather:cell-" + std::to_string(weather_id++), ZoneKind::kWeather,
+          RectAround({x0 + 0.6, y0 + 0.5}, 0.6, 0.5));
+    }
+  }
+}
+
+}  // namespace nebulameos::sncb

@@ -1,0 +1,83 @@
+/// \file network.hpp
+/// \brief A Belgian-rail-like network: stations, polyline lines, and the
+/// geofence inventory built on top of them.
+///
+/// The paper's dataset comes from six SNCB trains running on the Belgian
+/// network for six months — proprietary data we substitute with a
+/// deterministic model (DESIGN.md §2). Coordinates approximate real Belgian
+/// cities so Figure-2-style exports render plausibly; geometry is what the
+/// queries exercise (zone crossings, station stops, curve segments), not
+/// the exact track alignment.
+
+#pragma once
+
+#include "meos/geo.hpp"
+#include "nebulameos/geofence.hpp"
+
+namespace nebulameos::sncb {
+
+using meos::Point;
+
+/// \brief A station: name + location + relative popularity (drives
+/// passenger boarding).
+struct Station {
+  std::string name;
+  Point location;
+  double popularity = 1.0;
+};
+
+/// \brief A line: named polyline through intermediate shape points.
+struct RailLine {
+  std::string name;
+  std::vector<Point> path;  ///< >= 2 points, WGS84 lon/lat
+};
+
+/// \brief The network: stations, lines, and arc-length positioning along
+/// lines.
+class RailNetwork {
+ public:
+  /// Adds a station; returns its index.
+  size_t AddStation(Station station);
+
+  /// Adds a line; returns its index. Precomputes metric segment lengths.
+  size_t AddLine(RailLine line);
+
+  const std::vector<Station>& stations() const { return stations_; }
+  const std::vector<RailLine>& lines() const { return lines_; }
+
+  /// Metric length of line \p i in meters.
+  double LineLengthMeters(size_t i) const { return line_length_[i]; }
+
+  /// Position at \p meters along line \p i (clamped to the ends).
+  Point PositionAlong(size_t i, double meters) const;
+
+  /// Arc-length offsets (meters) of every station lying within
+  /// \p snap_meters of line \p i, sorted ascending. Used to place scheduled
+  /// stops.
+  std::vector<std::pair<double, size_t>> StationsAlong(
+      size_t i, double snap_meters = 1500.0) const;
+
+ private:
+  std::vector<Station> stations_;
+  std::vector<RailLine> lines_;
+  std::vector<double> line_length_;
+  // Per line: cumulative meters at each path vertex.
+  std::vector<std::vector<double>> cumulative_;
+};
+
+/// \brief Builds the reference network: 12 Belgian cities, 6 lines
+/// (one per train in the demo).
+RailNetwork BuildBelgianNetwork();
+
+/// \brief Populates \p registry with the demo geofences derived from the
+/// network:
+/// * a 400 m-radius station zone per station;
+/// * workshop zones + POIs near three hubs;
+/// * maintenance polygons on two line segments;
+/// * noise-sensitive neighbourhoods near the three largest cities;
+/// * high-risk (sharp-curve / construction) zones with speed limits;
+/// * a coarse grid of weather zones covering the country.
+void PopulateSncbGeofences(const RailNetwork& network,
+                           integration::GeofenceRegistry* registry);
+
+}  // namespace nebulameos::sncb

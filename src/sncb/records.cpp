@@ -1,0 +1,209 @@
+#include "sncb/records.hpp"
+
+namespace nebulameos::sncb {
+
+using nebula::GeneratorSource;
+using nebula::Schema;
+using nebula::SourcePtr;
+
+Schema GeofencingSchema() {
+  return Schema::Build()
+      .AddInt64("train_id")
+      .AddTimestamp("ts")
+      .AddDouble("lon")
+      .AddDouble("lat")
+      .AddDouble("speed_ms")
+      .AddDouble("noise_db")
+      .AddDouble("brake_bar")
+      .AddDouble("battery_v")
+      .AddInt64("weather_condition")
+      .AddDouble("weather_intensity")
+      .AddText32("event_type")
+      .Finish();
+}
+
+Schema BatterySchema() {
+  return Schema::Build()
+      .AddInt64("train_id")
+      .AddTimestamp("ts")
+      .AddDouble("lon")
+      .AddDouble("lat")
+      .AddDouble("battery_v")
+      .AddDouble("battery_current_a")
+      .AddDouble("battery_temp_c")
+      .AddDouble("battery_soc")
+      .AddDouble("battery_nominal_v")
+      .AddBool("on_battery")
+      .AddBool("charging")
+      .AddBool("overheat")
+      .AddBool("spare_flag")
+      .Finish();
+}
+
+Schema PassengerSchema() {
+  return Schema::Build()
+      .AddInt64("train_id")
+      .AddTimestamp("ts")
+      .AddDouble("lon")
+      .AddDouble("lat")
+      .AddInt64("passengers")
+      .AddInt64("seats")
+      .AddDouble("cabin_temp_c")
+      .AddDouble("exterior_temp_c")
+      .AddDouble("co2_ppm")
+      .AddDouble("humidity_pct")
+      .AddText32("line_name")
+      .AddBool("doors_open")
+      .AddBool("hvac_on")
+      .AddBool("lights_on")
+      .Finish();
+}
+
+Schema PositionSchema() {
+  return Schema::Build()
+      .AddInt64("train_id")
+      .AddTimestamp("ts")
+      .AddDouble("lon")
+      .AddDouble("lat")
+      .AddDouble("speed_ms")
+      .Finish();
+}
+
+Schema WeatherObservationSchema() {
+  return Schema::Build()
+      .AddInt64("cell")
+      .AddTimestamp("ts")
+      .AddInt64("condition")
+      .AddDouble("intensity")
+      .AddDouble("temp_c")
+      .Finish();
+}
+
+SourcePtr MakeWeatherObservationStream(uint64_t seed, Timestamp start,
+                                       Duration span, Duration interval) {
+  // The simulator's provider is seeded with config.seed ^ 0x57EA7B17; use
+  // the same derivation so joins see identical conditions.
+  WeatherProvider provider(seed ^ 0x57EA7B17ull);
+  std::vector<std::vector<nebula::Value>> rows;
+  for (Timestamp t = start; t < start + span; t += interval) {
+    for (int64_t cell = 0; cell < 6; ++cell) {
+      const WeatherSample sample = provider.Sample(cell, t);
+      rows.push_back({nebula::Value(cell), nebula::Value(t),
+                      nebula::Value(static_cast<int64_t>(sample.condition)),
+                      nebula::Value(sample.intensity),
+                      nebula::Value(sample.temperature_c)});
+    }
+  }
+  return std::make_unique<nebula::MemorySource>(WeatherObservationSchema(),
+                                                std::move(rows), 1, "ts");
+}
+
+std::string EncodeEventType(const TrainEvent& ev) {
+  std::string type;
+  if (ev.speeding_alert && ev.equipment_alert) {
+    type = "speeding+equipment";
+  } else if (ev.speeding_alert) {
+    type = "speeding";
+  } else if (ev.equipment_alert) {
+    type = "equipment";
+  } else {
+    type = "normal";
+  }
+  if (ev.emergency_brake) type += "!";
+  return type;
+}
+
+SncbSources::SncbSources(const RailNetwork* network, FleetConfig config)
+    : sim_(std::make_shared<FleetSimulator>(network, config)) {}
+
+SourcePtr SncbSources::Geofencing(uint64_t max_events) {
+  auto sim = sim_;
+  return std::make_unique<GeneratorSource>(
+      GeofencingSchema(),
+      [sim](nebula::RecordWriter* w) {
+        const TrainEvent ev = sim->Next();
+        w->SetInt64(0, ev.train_id);
+        w->SetInt64(1, ev.ts);
+        w->SetDouble(2, ev.lon);
+        w->SetDouble(3, ev.lat);
+        w->SetDouble(4, ev.speed_ms);
+        w->SetDouble(5, ev.noise_db);
+        w->SetDouble(6, ev.brake_pressure_bar);
+        w->SetDouble(7, ev.battery_v);
+        w->SetInt64(8, ev.weather_condition);
+        w->SetDouble(9, ev.weather_intensity);
+        w->SetText(10, EncodeEventType(ev));
+        return true;
+      },
+      max_events, "ts");
+}
+
+SourcePtr SncbSources::Battery(uint64_t max_events) {
+  auto sim = sim_;
+  return std::make_unique<GeneratorSource>(
+      BatterySchema(),
+      [sim](nebula::RecordWriter* w) {
+        const TrainEvent ev = sim->Next();
+        w->SetInt64(0, ev.train_id);
+        w->SetInt64(1, ev.ts);
+        w->SetDouble(2, ev.lon);
+        w->SetDouble(3, ev.lat);
+        w->SetDouble(4, ev.battery_v);
+        w->SetDouble(5, ev.battery_current_a);
+        w->SetDouble(6, ev.battery_temp_c);
+        w->SetDouble(7, ev.battery_soc);
+        w->SetDouble(8, FleetSimulator::NominalBatteryVoltage(ev.battery_soc));
+        w->SetBool(9, ev.on_battery);
+        w->SetBool(10, ev.charging);
+        w->SetBool(11, ev.battery_temp_c > 55.0);
+        w->SetBool(12, false);
+        return true;
+      },
+      max_events, "ts");
+}
+
+SourcePtr SncbSources::Passenger(uint64_t max_events) {
+  auto sim = sim_;
+  const int seats = sim_->config().seats;
+  return std::make_unique<GeneratorSource>(
+      PassengerSchema(),
+      [sim, seats](nebula::RecordWriter* w) {
+        const TrainEvent ev = sim->Next();
+        const double load =
+            static_cast<double>(ev.passengers) / static_cast<double>(seats);
+        w->SetInt64(0, ev.train_id);
+        w->SetInt64(1, ev.ts);
+        w->SetDouble(2, ev.lon);
+        w->SetDouble(3, ev.lat);
+        w->SetInt64(4, ev.passengers);
+        w->SetInt64(5, seats);
+        w->SetDouble(6, ev.cabin_temp_c);
+        w->SetDouble(7, ev.exterior_temp_c);
+        w->SetDouble(8, 420.0 + 900.0 * load);  // occupancy-driven CO2
+        w->SetDouble(9, 40.0 + 25.0 * load);
+        w->SetText(10, "line-" + std::to_string(ev.train_id));
+        w->SetBool(11, ev.speed_ms < 0.1);
+        w->SetBool(12, true);
+        w->SetBool(13, true);
+        return true;
+      },
+      max_events, "ts");
+}
+
+SourcePtr SncbSources::Position(uint64_t max_events) {
+  auto sim = sim_;
+  return std::make_unique<GeneratorSource>(
+      PositionSchema(),
+      [sim](nebula::RecordWriter* w) {
+        const TrainEvent ev = sim->Next();
+        w->SetInt64(0, ev.train_id);
+        w->SetInt64(1, ev.ts);
+        w->SetDouble(2, ev.lon);
+        w->SetDouble(3, ev.lat);
+        w->SetDouble(4, ev.speed_ms);
+        return true;
+      },
+      max_events, "ts");
+}
+
+}  // namespace nebulameos::sncb

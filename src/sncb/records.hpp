@@ -1,0 +1,91 @@
+/// \file records.hpp
+/// \brief Per-query event schemas and the sources that feed them.
+///
+/// The paper reports one ingestion-rate/throughput pair per query family
+/// (§3.1–3.2). The MB-to-events ratios imply distinct record widths, which
+/// these schemas reproduce exactly (decimal MB):
+///
+/// | Queries | paper rate        | bytes/event | schema                  |
+/// |---------|-------------------|-------------|-------------------------|
+/// | Q1–Q4   | 2.24 MB @ 20K e/s | 112         | `GeofencingSchema()`    |
+/// | Q5      | 0.61 MB @  8K e/s | ~76         | `BatterySchema()`       |
+/// | Q6      | 3.68 MB @ 32K e/s | 115         | `PassengerSchema()`     |
+/// | Q7      | 0.40 MB @ 10K e/s | 40          | `PositionSchema()`      |
+/// | Q8      | 2.24 MB @ 20K e/s | 112         | `GeofencingSchema()`    |
+///
+/// Every source draws from one shared `FleetSimulator`, projecting each
+/// `TrainEvent` into the query's schema.
+
+#pragma once
+
+#include <memory>
+
+#include "nebula/source.hpp"
+#include "sncb/train_sim.hpp"
+
+namespace nebulameos::sncb {
+
+/// 112-byte record for the geofencing family (Q1–Q4) and Q8:
+/// train_id, ts, lon, lat, speed_ms, noise_db, brake_bar, battery_v,
+/// weather_condition, weather_intensity (10×8 B) + event_type (TEXT32)
+/// = 112 B. Booleans (alerts, emergency) are packed into event_type.
+nebula::Schema GeofencingSchema();
+
+/// 76-byte record for Q5 battery monitoring:
+/// train_id, ts, lon, lat, battery_v, battery_current_a, battery_temp_c,
+/// battery_soc, nearest_workshop_hint (9×8 B) + 4 flag bytes = 76 B.
+nebula::Schema BatterySchema();
+
+/// 115-byte record for Q6 passenger load:
+/// train_id, ts, lon, lat, passengers, seats, cabin_temp_c, exterior_temp_c,
+/// co2_ppm, humidity_pct (10×8 B) + line_name (TEXT32) + 3 flag bytes
+/// = 115 B.
+nebula::Schema PassengerSchema();
+
+/// 40-byte record for Q7 unscheduled stops:
+/// train_id, ts, lon, lat, speed_ms (5×8 B) = 40 B.
+nebula::Schema PositionSchema();
+
+/// Weather observation record (the OpenMeteo-substitute feed):
+/// cell, ts, condition, intensity, temp_c.
+nebula::Schema WeatherObservationSchema();
+
+/// \brief A bounded stream of weather observations: one record per weather
+/// cell every \p interval over [\p start, \p start + \p span), drawn from
+/// the same seeded provider the simulator uses — so a join against the
+/// train stream reproduces the conditions the trains experienced.
+nebula::SourcePtr MakeWeatherObservationStream(uint64_t seed, Timestamp start,
+                                               Duration span,
+                                               Duration interval = Minutes(15));
+
+/// Encodes the event-type/alert flags carried in `event_type`
+/// ("normal", "speeding", "equipment", "speeding+equipment", with
+/// "!" suffix while the emergency brake is active).
+std::string EncodeEventType(const TrainEvent& ev);
+
+/// \brief Source factory bundle around one shared simulator.
+class SncbSources {
+ public:
+  /// Creates the bundle with a fresh simulator (owned).
+  SncbSources(const RailNetwork* network, FleetConfig config = {});
+
+  /// Source of `GeofencingSchema()` records (Q1–Q4, Q8).
+  nebula::SourcePtr Geofencing(uint64_t max_events);
+
+  /// Source of `BatterySchema()` records (Q5).
+  nebula::SourcePtr Battery(uint64_t max_events);
+
+  /// Source of `PassengerSchema()` records (Q6).
+  nebula::SourcePtr Passenger(uint64_t max_events);
+
+  /// Source of `PositionSchema()` records (Q7).
+  nebula::SourcePtr Position(uint64_t max_events);
+
+  /// The shared simulator (one stream of truth across sources).
+  FleetSimulator* simulator() { return sim_.get(); }
+
+ private:
+  std::shared_ptr<FleetSimulator> sim_;
+};
+
+}  // namespace nebulameos::sncb

@@ -1,0 +1,291 @@
+#include "sncb/train_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nebulameos::sncb {
+
+namespace {
+
+// Stop arrival tolerance.
+constexpr double kArriveMeters = 15.0;
+
+// Time-of-day passenger demand multiplier (rush hours ~7-9 and 16-18 UTC).
+double DemandFactor(Timestamp t) {
+  const int hour = static_cast<int>((t / kMicrosPerHour) % 24);
+  if (hour >= 7 && hour < 9) return 2.2;
+  if (hour >= 16 && hour < 18) return 2.4;
+  if (hour >= 22 || hour < 5) return 0.3;
+  return 1.0;
+}
+
+}  // namespace
+
+Timestamp EffectiveStartTime(const FleetConfig& config) {
+  return config.start_time != 0 ? config.start_time
+                                : MakeTimestamp(2023, 6, 1, 8, 0, 0);
+}
+
+FleetSimulator::FleetSimulator(const RailNetwork* network, FleetConfig config)
+    : network_(network),
+      config_(config),
+      weather_(config.seed ^ 0x57EA7B17ull) {
+  config_.start_time = EffectiveStartTime(config_);
+  SplitMix64 seeder(config_.seed);
+  const size_t num_lines = network_->lines().size();
+  for (int i = 0; i < config_.num_trains; ++i) {
+    TrainState train;
+    train.line = static_cast<size_t>(i) % num_lines;
+    train.now = config_.start_time;
+    // Scheduled stops: line start, stations along the line, line end.
+    train.stops_m.push_back(0.0);
+    for (const auto& [offset, station] :
+         network_->StationsAlong(train.line)) {
+      (void)station;
+      if (offset > 500.0 &&
+          offset < network_->LineLengthMeters(train.line) - 500.0) {
+        train.stops_m.push_back(offset);
+      }
+    }
+    train.stops_m.push_back(network_->LineLengthMeters(train.line));
+    // Stagger departures along the line so trains do not move in phase.
+    train.offset_m =
+        network_->LineLengthMeters(train.line) * (0.13 * i);
+    train.offset_m = std::min(train.offset_m,
+                              network_->LineLengthMeters(train.line) * 0.9);
+    // Next stop: first stop beyond the starting offset.
+    train.next_stop = 0;
+    while (train.next_stop < train.stops_m.size() &&
+           train.stops_m[train.next_stop] <= train.offset_m + kArriveMeters) {
+      ++train.next_stop;
+    }
+    if (train.next_stop >= train.stops_m.size()) {
+      train.direction = -1;
+      train.next_stop = train.stops_m.size() - 2;
+    }
+    trains_.push_back(std::move(train));
+    rngs_.emplace_back(seeder.Next());
+  }
+}
+
+double FleetSimulator::NominalBatteryVoltage(double soc) {
+  // Lead-acid-like curve for a 24 V auxiliary pack: 23.2 V empty,
+  // ~27.6 V full, with a knee below 20% charge.
+  const double s = std::clamp(soc, 0.0, 1.0);
+  return 23.2 + 3.8 * s + 0.6 * s * s - (s < 0.2 ? (0.2 - s) * 3.0 : 0.0);
+}
+
+double FleetSimulator::TargetStopDistance(const TrainState& train) const {
+  if (train.next_stop >= train.stops_m.size()) return 1e12;
+  return std::fabs(train.stops_m[train.next_stop] - train.offset_m);
+}
+
+void FleetSimulator::AdvanceTrain(TrainState* train, Rng* rng) {
+  const double dt = ToSeconds(config_.tick);
+  const double line_len = network_->LineLengthMeters(train->line);
+
+  switch (train->phase) {
+    case Phase::kDwelling: {
+      train->speed_ms = 0.0;
+      if (train->now >= train->dwell_until) {
+        train->unscheduled_stop = false;
+        // Choose the next stop in the current direction; reverse at ends.
+        if (train->direction > 0) {
+          if (train->next_stop + 1 < train->stops_m.size()) {
+            ++train->next_stop;
+          } else {
+            train->direction = -1;
+            train->next_stop = train->stops_m.size() >= 2
+                                   ? train->stops_m.size() - 2
+                                   : 0;
+          }
+        } else {
+          if (train->next_stop > 0) {
+            --train->next_stop;
+          } else {
+            train->direction = 1;
+            train->next_stop = train->stops_m.size() >= 2 ? 1 : 0;
+          }
+        }
+        train->phase = Phase::kAccelerating;
+      }
+      break;
+    }
+    case Phase::kAccelerating: {
+      train->speed_ms =
+          std::min(config_.cruise_speed_ms, train->speed_ms +
+                                                config_.accel_ms2 * dt);
+      if (train->speed_ms >= config_.cruise_speed_ms - 0.01) {
+        train->phase = Phase::kCruising;
+      }
+      break;
+    }
+    case Phase::kCruising: {
+      // Slight overspeed wander (the raw behaviour Q3 flags in zones).
+      train->speed_ms =
+          config_.cruise_speed_ms * (1.0 + 0.04 * rng->Normal() * dt);
+      train->speed_ms = std::clamp(train->speed_ms, 0.0,
+                                   config_.cruise_speed_ms * 1.12);
+      // Rare unscheduled halt outside stations (Q7).
+      if (rng->Bernoulli(config_.unscheduled_stop_prob)) {
+        train->unscheduled_stop = true;
+        train->phase = Phase::kBraking;
+      }
+      break;
+    }
+    case Phase::kBraking: {
+      train->speed_ms =
+          std::max(0.0, train->speed_ms - config_.decel_ms2 * dt);
+      if (train->speed_ms <= 0.01) {
+        train->speed_ms = 0.0;
+        train->phase = Phase::kDwelling;
+        train->dwell_until =
+            train->now + (train->unscheduled_stop
+                              ? config_.unscheduled_stop_duration
+                              : config_.dwell_time);
+        if (!train->unscheduled_stop) {
+          // Passenger exchange at the platform.
+          const double alight = rng->Uniform(0.25, 0.65);
+          train->passengers = static_cast<int64_t>(
+              static_cast<double>(train->passengers) * (1.0 - alight));
+          const double demand = DemandFactor(train->now);
+          const int64_t boarding = static_cast<int64_t>(
+              rng->Uniform(80.0, 260.0) * demand);
+          train->passengers = std::min<int64_t>(
+              train->passengers + boarding,
+              static_cast<int64_t>(config_.seats * 1.25));
+        }
+      }
+      break;
+    }
+  }
+
+  // Braking trigger: stop ahead within braking distance (not while dwelling
+  // or already braking for an unscheduled stop).
+  if (train->phase == Phase::kCruising ||
+      train->phase == Phase::kAccelerating) {
+    const double brake_dist =
+        train->speed_ms * train->speed_ms / (2.0 * config_.decel_ms2) + 30.0;
+    if (TargetStopDistance(*train) <= brake_dist) {
+      train->phase = Phase::kBraking;
+    }
+  }
+
+  // Integrate position.
+  train->offset_m += train->direction * train->speed_ms * dt;
+  train->offset_m = std::clamp(train->offset_m, 0.0, line_len);
+
+  // Battery: the middle section of each line is non-electrified, so
+  // auxiliaries run on battery there; otherwise the pack charges.
+  const double progress = line_len <= 0.0 ? 0.0 : train->offset_m / line_len;
+  train->on_battery = progress >= 0.45 && progress < 0.65;
+  const double load = 0.5 + 0.5 * static_cast<double>(train->passengers) /
+                                static_cast<double>(config_.seats);
+  if (train->on_battery) {
+    train->soc = std::max(0.05, train->soc - 0.0008 * load * dt);
+    train->battery_temp_c =
+        std::min(70.0, train->battery_temp_c + 0.02 * load * dt);
+  } else {
+    train->soc = std::min(1.0, train->soc + 0.0012 * dt);
+    train->battery_temp_c =
+        std::max(22.0, train->battery_temp_c - 0.03 * dt);
+  }
+
+  train->now += config_.tick;
+}
+
+Timestamp FleetSimulator::CurrentTime() const {
+  return trains_[next_train_].now;
+}
+
+TrainEvent FleetSimulator::Next() {
+  const size_t idx = next_train_;
+  next_train_ = (next_train_ + 1) % trains_.size();
+  TrainState& train = trains_[idx];
+  Rng& rng = rngs_[idx];
+
+  AdvanceTrain(&train, &rng);
+
+  TrainEvent ev;
+  ev.train_id = static_cast<int64_t>(idx);
+  ev.ts = train.now;
+  const Point pos = network_->PositionAlong(train.line, train.offset_m);
+  ev.gps_valid = !rng.Bernoulli(config_.gps_dropout_prob);
+  ev.lon = pos.x + rng.Normal() * config_.gps_noise_deg;
+  ev.lat = pos.y + rng.Normal() * config_.gps_noise_deg;
+  ev.speed_ms = train.speed_ms;
+
+  // Battery sensors; the degraded train sags below the nominal curve under
+  // load and runs hot (Q5's deviation signal).
+  const bool degraded_battery =
+      static_cast<int>(idx) == config_.degraded_battery_train;
+  ev.battery_soc = train.soc;
+  ev.on_battery = train.on_battery;
+  ev.charging = !train.on_battery && train.soc < 0.999;
+  const double load_a = train.on_battery
+                            ? 30.0 + 25.0 * static_cast<double>(
+                                                train.passengers) /
+                                         static_cast<double>(config_.seats)
+                            : (ev.charging ? -14.0 * (1.1 - train.soc) : 0.0);
+  ev.battery_current_a = load_a + rng.Normal() * 0.8;
+  double sag = 0.0;
+  if (degraded_battery && train.on_battery) {
+    sag = 0.9 + 0.5 * (1.0 - train.soc);  // well past the 0.35 V alert band
+  }
+  ev.battery_v = NominalBatteryVoltage(train.soc) -
+                 0.002 * std::max(0.0, load_a) - sag + rng.Normal() * 0.03;
+  ev.battery_temp_c = train.battery_temp_c +
+                      (degraded_battery && train.on_battery ? 12.0 : 0.0) +
+                      rng.Normal() * 0.4;
+
+  // Brakes (Q8): pressure dips while braking; emergency brakes are rare but
+  // clustered on the degraded-brake train.
+  const bool degraded_brakes =
+      static_cast<int>(idx) == config_.degraded_brake_train;
+  const double nominal_bar = degraded_brakes ? 4.45 : 5.0;
+  if (train.phase == Phase::kBraking) {
+    ev.brake_pressure_bar = nominal_bar - rng.Uniform(0.6, 1.6);
+    const double emergency_prob = degraded_brakes ? 0.02 : 0.0015;
+    if (!train.emergency_latched && rng.Bernoulli(emergency_prob)) {
+      train.emergency_latched = true;
+      train.emergency_until = train.now + Seconds(8);
+    }
+  } else {
+    ev.brake_pressure_bar = nominal_bar + rng.Normal() * 0.05;
+  }
+  if (train.emergency_latched) {
+    if (train.now <= train.emergency_until) {
+      ev.emergency_brake = true;
+      ev.brake_pressure_bar = std::min(ev.brake_pressure_bar, 2.1);
+    } else {
+      train.emergency_latched = false;
+    }
+  }
+
+  // Noise (Q2): speed-correlated with occasional peaks.
+  const double speed_kmh = train.speed_ms * 3.6;
+  ev.noise_db = 52.0 + 0.16 * speed_kmh + rng.Normal() * 2.0 +
+                (rng.Bernoulli(0.01) ? 15.0 : 0.0);
+
+  // Passengers / cabin (Q6).
+  ev.passengers = train.passengers;
+  ev.cabin_temp_c = 20.0 +
+                    4.0 * static_cast<double>(train.passengers) /
+                        static_cast<double>(config_.seats) +
+                    rng.Normal() * 0.3;
+
+  // Weather (Q4) from the shared grid.
+  const WeatherSample weather =
+      weather_.Sample(WeatherCellOf(ev.lon, ev.lat), train.now);
+  ev.weather_condition = static_cast<int64_t>(weather.condition);
+  ev.weather_intensity = weather.intensity;
+  ev.exterior_temp_c = weather.temperature_c;
+
+  // Raw onboard alerts (Q1 inputs): overspeed beyond the 120 km/h service
+  // speed plus margin, and sporadic equipment warnings.
+  ev.speeding_alert = speed_kmh > 125.0;
+  ev.equipment_alert = rng.Bernoulli(0.0008);
+  return ev;
+}
+
+}  // namespace nebulameos::sncb

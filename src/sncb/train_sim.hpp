@@ -1,0 +1,139 @@
+/// \file train_sim.hpp
+/// \brief The six-train fleet simulator: kinematics + sensor models.
+///
+/// Replaces the proprietary SNCB six-month dataset with a deterministic
+/// generator whose signals exhibit exactly the behaviours the eight demo
+/// queries detect (DESIGN.md §2):
+///
+/// * **kinematics** — each train shuttles along its line with an
+///   accelerate / cruise / brake / dwell profile, stopping at stations;
+/// * **GPS** — position with configurable noise and dropout;
+/// * **battery** — voltage follows a charge/discharge curve while on
+///   battery power; one train has a degrading battery that deviates from
+///   the curve (Q5's anomaly);
+/// * **brakes** — nominal pressure with braking dips; occasional emergency
+///   brakes, more frequent on one train with degrading brakes (Q8);
+/// * **noise** — dB level correlated with speed (Q2);
+/// * **passengers** — boarding at stations by popularity and time of day,
+///   with rush-hour overload events (Q6);
+/// * **unscheduled stops** — rare mid-track halts outside any station zone
+///   (Q7).
+///
+/// All randomness flows from one seed; two simulators with equal
+/// configuration produce identical streams.
+
+#pragma once
+
+#include "common/random.hpp"
+#include "sncb/network.hpp"
+#include "sncb/weather.hpp"
+
+namespace nebulameos::sncb {
+
+/// \brief One raw sensor reading from one train (the union of every
+/// per-query schema's fields).
+struct TrainEvent {
+  int64_t train_id = 0;
+  Timestamp ts = 0;
+  double lon = 0.0;
+  double lat = 0.0;
+  double speed_ms = 0.0;
+  double battery_v = 27.0;
+  double battery_current_a = 0.0;
+  double battery_temp_c = 25.0;
+  double battery_soc = 1.0;  ///< state of charge [0, 1]
+  bool on_battery = false;
+  bool charging = false;
+  double brake_pressure_bar = 5.0;
+  bool emergency_brake = false;
+  double noise_db = 60.0;
+  int64_t passengers = 0;
+  double cabin_temp_c = 21.0;
+  double exterior_temp_c = 12.0;
+  int64_t weather_condition = 0;  ///< WeatherCondition
+  double weather_intensity = 0.0;
+  bool gps_valid = true;
+  bool speeding_alert = false;       ///< raw onboard alert (Q1 input)
+  bool equipment_alert = false;      ///< raw onboard alert (Q1 input)
+};
+
+/// \brief Simulator configuration.
+struct FleetConfig {
+  int num_trains = 6;
+  uint64_t seed = 42;
+  Timestamp start_time = 0;  ///< 0 = 2023-06-01 08:00:00 UTC
+  Duration tick = Millis(250);  ///< simulated time between a train's readings
+  double cruise_speed_ms = 33.3;      ///< ~120 km/h
+  double accel_ms2 = 0.6;
+  double decel_ms2 = 0.8;
+  Duration dwell_time = Seconds(75);  ///< station stop duration
+  double gps_noise_deg = 2e-5;        ///< ~2 m jitter
+  double gps_dropout_prob = 0.002;
+  double unscheduled_stop_prob = 2e-5;  ///< per tick, per train
+  Duration unscheduled_stop_duration = Seconds(120);
+  int seats = 600;
+  /// Train with a degrading battery (Q5 anomaly); -1 disables.
+  int degraded_battery_train = 2;
+  /// Train with degrading brakes (Q8 pattern); -1 disables.
+  int degraded_brake_train = 4;
+};
+
+/// The simulator's effective start time: `config.start_time`, defaulting
+/// to 2023-06-01 08:00:00 UTC when left at 0.
+Timestamp EffectiveStartTime(const FleetConfig& config);
+
+/// \brief Deterministic fleet simulator emitting interleaved train events.
+class FleetSimulator {
+ public:
+  FleetSimulator(const RailNetwork* network, FleetConfig config = {});
+
+  /// The next event (round-robin over trains; each visit advances that
+  /// train's clock by one tick). Never ends.
+  TrainEvent Next();
+
+  /// Simulated timestamp of the next emitted event.
+  Timestamp CurrentTime() const;
+
+  const FleetConfig& config() const { return config_; }
+
+  /// Expected battery voltage at state-of-charge \p soc for a healthy
+  /// battery — the "predefined curve" Q5 checks deviations against.
+  static double NominalBatteryVoltage(double soc);
+
+ private:
+  enum class Phase { kAccelerating, kCruising, kBraking, kDwelling };
+
+  struct TrainState {
+    size_t line = 0;
+    double offset_m = 0.0;   ///< arc-length position along the line
+    int direction = 1;       ///< +1 forward, -1 backward
+    double speed_ms = 0.0;
+    Phase phase = Phase::kAccelerating;
+    Timestamp now = 0;
+    Timestamp dwell_until = 0;
+    bool unscheduled_stop = false;
+    size_t next_stop = 0;   ///< index into stops (direction-dependent)
+    std::vector<double> stops_m;  ///< station offsets on this line
+    // Battery.
+    double soc = 1.0;
+    double battery_temp_c = 25.0;
+    bool on_battery = false;
+    // Passengers.
+    int64_t passengers = 150;
+    // Brake events.
+    bool emergency_latched = false;
+    Timestamp emergency_until = 0;
+  };
+
+  void AdvanceTrain(TrainState* train, Rng* rng);
+  double TargetStopDistance(const TrainState& train) const;
+
+  const RailNetwork* network_;
+  FleetConfig config_;
+  WeatherProvider weather_;
+  std::vector<TrainState> trains_;
+  std::vector<Rng> rngs_;
+  size_t next_train_ = 0;
+};
+
+}  // namespace nebulameos::sncb

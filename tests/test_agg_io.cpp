@@ -1,0 +1,178 @@
+// Tests for temporal aggregates (src/meos/agg) and text IO (src/meos/io).
+
+#include <gtest/gtest.h>
+
+#include "meos/agg.hpp"
+#include "meos/io.hpp"
+
+namespace nebulameos::meos {
+namespace {
+
+TGeomPointSeq PSeq(std::initializer_list<std::pair<Point, Timestamp>> vals) {
+  std::vector<TInstant<Point>> instants;
+  for (const auto& [p, t] : vals) instants.push_back({p, t});
+  auto seq = TGeomPointSeq::Make(std::move(instants));
+  EXPECT_TRUE(seq.ok());
+  return *seq;
+}
+
+TFloatSeq FSeq(std::initializer_list<std::pair<double, Timestamp>> vals,
+               Interp interp = Interp::kLinear) {
+  std::vector<TInstant<double>> instants;
+  for (const auto& [v, t] : vals) instants.push_back({v, t});
+  auto seq = TFloatSeq::Make(std::move(instants), true, true, interp);
+  EXPECT_TRUE(seq.ok());
+  return *seq;
+}
+
+TEST(ExtentAggregator, UnionsBoxes) {
+  ExtentAggregator agg;
+  EXPECT_FALSE(agg.extent().has_value());
+  agg.Add(PSeq({{{0, 0}, 0}, {{5, 5}, 100}}));
+  agg.Add(PSeq({{{-2, 3}, 50}, {{1, 9}, 200}}));
+  ASSERT_TRUE(agg.extent().has_value());
+  EXPECT_DOUBLE_EQ(agg.extent()->xmin(), -2.0);
+  EXPECT_DOUBLE_EQ(agg.extent()->ymax(), 9.0);
+  EXPECT_EQ(agg.extent()->tmin(), 0);
+  EXPECT_EQ(agg.extent()->tmax(), 200);
+}
+
+TEST(ExtentAggregator, AddPointAndMerge) {
+  ExtentAggregator a;
+  a.AddPoint({1, 1}, 10);
+  ExtentAggregator b;
+  b.AddPoint({5, -1}, 20);
+  a.Merge(b);
+  ASSERT_TRUE(a.extent().has_value());
+  EXPECT_DOUBLE_EQ(a.extent()->xmax(), 5.0);
+  EXPECT_DOUBLE_EQ(a.extent()->ymin(), -1.0);
+  EXPECT_EQ(a.extent()->tmax(), 20);
+}
+
+TEST(TwAvgAggregator, TimeWeightedAcrossSequences) {
+  TwAvgAggregator agg;
+  EXPECT_FALSE(agg.Value().has_value());
+  // 10 seconds at avg 2, then 10 seconds at avg 6.
+  agg.Add(FSeq({{2.0, 0}, {2.0, Seconds(10)}}));
+  agg.Add(FSeq({{6.0, Seconds(10)}, {6.0, Seconds(20)}}));
+  ASSERT_TRUE(agg.Value().has_value());
+  EXPECT_NEAR(*agg.Value(), 4.0, 1e-9);
+}
+
+TEST(TwAvgAggregator, InstantFallback) {
+  TwAvgAggregator agg;
+  agg.Add(FSeq({{4.0, 0}}));
+  agg.Add(FSeq({{8.0, 10}}));
+  ASSERT_TRUE(agg.Value().has_value());
+  EXPECT_DOUBLE_EQ(*agg.Value(), 6.0);
+}
+
+TEST(TwAvgAggregator, MergeCombinesIntegrals) {
+  TwAvgAggregator a, b;
+  a.Add(FSeq({{2.0, 0}, {2.0, Seconds(10)}}));
+  b.Add(FSeq({{6.0, 0}, {6.0, Seconds(30)}}));
+  a.Merge(b);
+  EXPECT_NEAR(*a.Value(), (2.0 * 10 + 6.0 * 30) / 40.0, 1e-9);
+}
+
+TEST(TCountAggregator, ProfileAndMax) {
+  TCountAggregator agg;
+  EXPECT_EQ(agg.MaxCount(), 0);
+  agg.Add(Period(0, 100));
+  agg.Add(Period(50, 150));
+  agg.Add(Period(60, 80));
+  EXPECT_EQ(agg.MaxCount(), 3);
+  auto profile = agg.Profile();
+  ASSERT_TRUE(profile.has_value());
+  EXPECT_EQ(*profile->ValueAt(10), 1);
+  EXPECT_EQ(*profile->ValueAt(70), 3);
+  EXPECT_EQ(*profile->ValueAt(120), 1);
+}
+
+TEST(MinMaxAggregator, TracksExtremes) {
+  MinMaxAggregator agg;
+  EXPECT_FALSE(agg.Min().has_value());
+  agg.Add(FSeq({{3.0, 0}, {7.0, 10}}));
+  agg.Add(FSeq({{-1.0, 20}, {2.0, 30}}));
+  EXPECT_DOUBLE_EQ(*agg.Min(), -1.0);
+  EXPECT_DOUBLE_EQ(*agg.Max(), 7.0);
+  MinMaxAggregator other;
+  other.Add(FSeq({{100.0, 0}}));
+  agg.Merge(other);
+  EXPECT_DOUBLE_EQ(*agg.Max(), 100.0);
+}
+
+TEST(Io, TFloatRoundTrip) {
+  const TFloatSeq seq = FSeq({{1.5, MakeTimestamp(2023, 6, 1, 8, 0, 0)},
+                              {2.25, MakeTimestamp(2023, 6, 1, 8, 1, 0)}});
+  const std::string text = TFloatToString(seq);
+  auto parsed = TFloatFromString(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString() << " text=" << text;
+  EXPECT_TRUE(*parsed == seq);
+}
+
+TEST(Io, TFloatStepRoundTrip) {
+  auto seq = TFloatSeq::Make({{1.0, 0}, {2.0, kMicrosPerSecond}},
+                             /*lower_inc=*/false, /*upper_inc=*/true,
+                             Interp::kStep);
+  ASSERT_TRUE(seq.ok());
+  const std::string text = TFloatToString(*seq);
+  EXPECT_NE(text.find("Interp=Step;"), std::string::npos);
+  EXPECT_EQ(text.find('['), std::string::npos);  // open lower bound -> '('
+  auto parsed = TFloatFromString(text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(*parsed == *seq);
+}
+
+TEST(Io, TPointRoundTrip) {
+  const TGeomPointSeq seq =
+      PSeq({{{4.35, 50.84}, MakeTimestamp(2023, 6, 1, 8, 0, 0)},
+            {{4.40, 50.88}, MakeTimestamp(2023, 6, 1, 8, 5, 0)}});
+  auto parsed = TPointFromString(TPointToString(seq));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(*parsed == seq);
+}
+
+TEST(Io, TPointStringShape) {
+  const TGeomPointSeq seq = PSeq({{{1, 2}, 0}});
+  const std::string text = TPointToString(seq);
+  EXPECT_NE(text.find("POINT(1 2)@"), std::string::npos);
+}
+
+TEST(Io, TBoolToString) {
+  auto seq = TBoolSeq::Make({{true, 0}, {false, kMicrosPerSecond}}, true,
+                            true, Interp::kStep);
+  ASSERT_TRUE(seq.ok());
+  const std::string text = TBoolToString(*seq);
+  EXPECT_NE(text.find("t@"), std::string::npos);
+  EXPECT_NE(text.find("f@"), std::string::npos);
+}
+
+TEST(Io, ParseRejectsMalformed) {
+  EXPECT_FALSE(TFloatFromString("1.5@2023-06-01 08:00:00").ok());  // no brackets
+  EXPECT_FALSE(TFloatFromString("[1.5 2023-06-01]").ok());         // no '@'
+  EXPECT_FALSE(TFloatFromString("[x@2023-06-01 08:00:00]").ok());  // bad value
+  EXPECT_FALSE(TPointFromString("[POINT(1)@2023-06-01 08:00:00]").ok());
+}
+
+TEST(Io, GeoJsonShape) {
+  const TGeomPointSeq seq = PSeq({{{4.35, 50.84}, 1000}, {{4.36, 50.85}, 2000}});
+  const std::string json = TPointToGeoJson(seq, "train-1");
+  EXPECT_NE(json.find("\"type\":\"Feature\""), std::string::npos);
+  EXPECT_NE(json.find("\"LineString\""), std::string::npos);
+  EXPECT_NE(json.find("\"id\":\"train-1\""), std::string::npos);
+  EXPECT_NE(json.find("\"times\":[1000,2000]"), std::string::npos);
+  EXPECT_NE(json.find("[4.35,50.84]"), std::string::npos);
+}
+
+TEST(Io, MfJsonShape) {
+  const TGeomPointSeq seq = PSeq({{{1, 2}, 0}, {{3, 4}, kMicrosPerSecond}});
+  const std::string json = TPointToMfJson(seq);
+  EXPECT_NE(json.find("\"type\":\"MovingPoint\""), std::string::npos);
+  EXPECT_NE(json.find("\"interpolation\":\"Linear\""), std::string::npos);
+  EXPECT_NE(json.find("\"lower_inc\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"datetimes\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nebulameos::meos

@@ -1,0 +1,222 @@
+// Tests for src/common: Status/Result, timestamps, strings, RNG.
+
+#include <gtest/gtest.h>
+
+#include "common/random.hpp"
+#include "common/status.hpp"
+#include "common/strings.hpp"
+#include "common/time.hpp"
+
+namespace nebulameos {
+namespace {
+
+TEST(Status, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, CarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad arg");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad arg");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad arg");
+}
+
+TEST(Status, FactoriesProduceDistinctCodes) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Cancelled("x").code(), StatusCode::kCancelled);
+  EXPECT_EQ(Status::ParseError("x").code(), StatusCode::kParseError);
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r = Status::NotFound("gone");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(Result, MoveOutValue) {
+  Result<std::string> r = std::string("hello");
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "hello");
+}
+
+Result<int> Doubled(Result<int> in) {
+  NM_ASSIGN_OR_RETURN(int v, in);
+  return v * 2;
+}
+
+TEST(Result, AssignOrReturnPropagates) {
+  EXPECT_EQ(*Doubled(21), 42);
+  EXPECT_EQ(Doubled(Status::Internal("boom")).status().code(),
+            StatusCode::kInternal);
+}
+
+TEST(Time, MakeTimestampEpoch) {
+  EXPECT_EQ(MakeTimestamp(1970, 1, 1), 0);
+  EXPECT_EQ(MakeTimestamp(1970, 1, 2), kMicrosPerDay);
+}
+
+TEST(Time, FormatKnownDate) {
+  const Timestamp ts = MakeTimestamp(2023, 6, 1, 8, 30, 15);
+  EXPECT_EQ(FormatTimestamp(ts), "2023-06-01 08:30:15");
+}
+
+TEST(Time, FormatWithMicros) {
+  const Timestamp ts = MakeTimestamp(2023, 6, 1, 8, 30, 15, 250000);
+  EXPECT_EQ(FormatTimestamp(ts), "2023-06-01 08:30:15.250000");
+}
+
+TEST(Time, ParseRoundTrip) {
+  for (const Timestamp ts :
+       {MakeTimestamp(1999, 12, 31, 23, 59, 59),
+        MakeTimestamp(2023, 6, 1, 8, 0, 0, 123456),
+        MakeTimestamp(2000, 2, 29, 0, 0, 0),  // leap day
+        MakeTimestamp(2024, 2, 29, 12, 0, 0)}) {
+    auto parsed = ParseTimestamp(FormatTimestamp(ts));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, ts);
+  }
+}
+
+TEST(Time, ParseRejectsGarbage) {
+  EXPECT_FALSE(ParseTimestamp("not a date").ok());
+  EXPECT_FALSE(ParseTimestamp("2023-13-01 00:00:00").ok());
+  EXPECT_FALSE(ParseTimestamp("2023-01-32 00:00:00").ok());
+}
+
+TEST(Time, DateOnlyParses) {
+  auto parsed = ParseTimestamp("2023-06-01");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, MakeTimestamp(2023, 6, 1));
+}
+
+TEST(Time, DurationHelpers) {
+  EXPECT_EQ(Seconds(2), 2'000'000);
+  EXPECT_EQ(Millis(3), 3'000);
+  EXPECT_EQ(Minutes(1), 60'000'000);
+  EXPECT_EQ(Hours(1), 3'600'000'000LL);
+  EXPECT_DOUBLE_EQ(ToSeconds(Millis(1500)), 1.5);
+}
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto parts = Split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(Strings, SplitSingle) {
+  const auto parts = Split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(Trim("\t\n"), "");
+  EXPECT_EQ(Trim("no-trim"), "no-trim");
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(Strings, ParseDoubleStrict) {
+  EXPECT_DOUBLE_EQ(*ParseDouble("3.25"), 3.25);
+  EXPECT_DOUBLE_EQ(*ParseDouble(" -1e3 "), -1000.0);
+  EXPECT_FALSE(ParseDouble("3.25x").ok());
+  EXPECT_FALSE(ParseDouble("").ok());
+}
+
+TEST(Strings, ParseInt64Strict) {
+  EXPECT_EQ(*ParseInt64("-42"), -42);
+  EXPECT_FALSE(ParseInt64("42.5").ok());
+  EXPECT_FALSE(ParseInt64("abc").ok());
+}
+
+TEST(Strings, FormatDoubleNoTrailingZeros) {
+  EXPECT_EQ(FormatDouble(1.5), "1.5");
+  EXPECT_EQ(FormatDouble(2.0), "2");
+  EXPECT_EQ(FormatDouble(-0.25), "-0.25");
+}
+
+TEST(Random, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(Random, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Random, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Random, UniformRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform(-2.0, 3.0);
+    EXPECT_GE(u, -2.0);
+    EXPECT_LT(u, 3.0);
+  }
+}
+
+TEST(Random, NormalMoments) {
+  Rng rng(11);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Random, BernoulliFrequency) {
+  Rng rng(13);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+}  // namespace
+}  // namespace nebulameos

@@ -1,0 +1,253 @@
+// Tests for the geometry kernel (src/meos/geo).
+
+#include <gtest/gtest.h>
+
+#include "meos/geo.hpp"
+
+namespace nebulameos::meos {
+namespace {
+
+TEST(GeoBox, EmptyAndExtend) {
+  GeoBox box = GeoBox::Empty();
+  EXPECT_TRUE(box.IsEmpty());
+  box.Extend({1.0, 2.0});
+  EXPECT_FALSE(box.IsEmpty());
+  EXPECT_TRUE(box.Contains({1.0, 2.0}));
+  box.Extend({-1.0, 4.0});
+  EXPECT_TRUE(box.Contains({0.0, 3.0}));
+  EXPECT_FALSE(box.Contains({2.0, 3.0}));
+}
+
+TEST(GeoBox, OverlapsAndExpanded) {
+  GeoBox a{0, 0, 2, 2};
+  GeoBox b{3, 3, 4, 4};
+  EXPECT_FALSE(a.Overlaps(b));
+  EXPECT_TRUE(a.Expanded(1.0).Overlaps(b));
+  GeoBox c{1, 1, 3, 3};
+  EXPECT_TRUE(a.Overlaps(c));
+  EXPECT_TRUE(c.Overlaps(a));
+}
+
+TEST(GeoBox, TouchingBoxesOverlap) {
+  GeoBox a{0, 0, 1, 1};
+  GeoBox b{1, 0, 2, 1};
+  EXPECT_TRUE(a.Overlaps(b));
+}
+
+TEST(Polygon, RejectsDegenerate) {
+  EXPECT_FALSE(Polygon::Make({{0, 0}, {1, 1}}).ok());
+  EXPECT_FALSE(Polygon::Make({{0, 0}, {0, 0}, {0, 0}, {0, 0}}).ok());
+}
+
+TEST(Polygon, AcceptsClosedRing) {
+  auto poly = Polygon::Make({{0, 0}, {1, 0}, {1, 1}, {0, 1}, {0, 0}});
+  ASSERT_TRUE(poly.ok());
+  EXPECT_EQ(poly->size(), 4u);  // closing vertex dropped
+}
+
+TEST(Polygon, ContainsInteriorExteriorBoundary) {
+  auto poly = Polygon::Make({{0, 0}, {4, 0}, {4, 4}, {0, 4}});
+  ASSERT_TRUE(poly.ok());
+  EXPECT_TRUE(poly->Contains({2, 2}));
+  EXPECT_FALSE(poly->Contains({5, 2}));
+  EXPECT_FALSE(poly->Contains({-1, -1}));
+  // Boundary points count as inside.
+  EXPECT_TRUE(poly->Contains({0, 2}));
+  EXPECT_TRUE(poly->Contains({2, 0}));
+  EXPECT_TRUE(poly->Contains({0, 0}));
+}
+
+TEST(Polygon, NonConvexContains) {
+  // L-shape.
+  auto poly =
+      Polygon::Make({{0, 0}, {4, 0}, {4, 2}, {2, 2}, {2, 4}, {0, 4}});
+  ASSERT_TRUE(poly.ok());
+  EXPECT_TRUE(poly->Contains({1, 3}));
+  EXPECT_TRUE(poly->Contains({3, 1}));
+  EXPECT_FALSE(poly->Contains({3, 3}));  // the notch
+}
+
+TEST(Polygon, SignedAreaOrientation) {
+  auto ccw = Polygon::Make({{0, 0}, {2, 0}, {2, 2}, {0, 2}});
+  auto cw = Polygon::Make({{0, 0}, {0, 2}, {2, 2}, {2, 0}});
+  ASSERT_TRUE(ccw.ok());
+  ASSERT_TRUE(cw.ok());
+  EXPECT_DOUBLE_EQ(ccw->SignedArea(), 4.0);
+  EXPECT_DOUBLE_EQ(cw->SignedArea(), -4.0);
+}
+
+TEST(Distance, Cartesian345) {
+  EXPECT_DOUBLE_EQ(CartesianDistance({0, 0}, {3, 4}), 5.0);
+}
+
+TEST(Distance, HaversineKnownPairs) {
+  // Brussels to Antwerp: ~41.5 km.
+  const Point brussels{4.3517, 50.8466};
+  const Point antwerp{4.4025, 51.2194};
+  const double d = HaversineMeters(brussels, antwerp);
+  EXPECT_NEAR(d, 41600.0, 600.0);
+  // Zero distance.
+  EXPECT_DOUBLE_EQ(HaversineMeters(brussels, brussels), 0.0);
+}
+
+TEST(Distance, HaversineSymmetry) {
+  const Point a{4.0, 50.0};
+  const Point b{5.0, 51.0};
+  EXPECT_DOUBLE_EQ(HaversineMeters(a, b), HaversineMeters(b, a));
+}
+
+TEST(Distance, OneDegreeLatitude) {
+  // ~111.2 km per degree of latitude.
+  const double d = HaversineMeters({4.0, 50.0}, {4.0, 51.0});
+  EXPECT_NEAR(d, 111195.0, 150.0);
+}
+
+TEST(LocalProjection, RoundTrips) {
+  const Point origin{4.35, 50.85};
+  const LocalProjection proj(origin, Metric::kWgs84);
+  const Point p{4.40, 50.90};
+  const Point back = proj.Unproject(proj.Project(p));
+  EXPECT_NEAR(back.x, p.x, 1e-12);
+  EXPECT_NEAR(back.y, p.y, 1e-12);
+}
+
+TEST(LocalProjection, ApproximatesHaversineLocally) {
+  const Point origin{4.35, 50.85};
+  const LocalProjection proj(origin, Metric::kWgs84);
+  const Point p{4.39, 50.87};
+  const Point q = proj.Project(p);
+  const double planar = std::sqrt(q.x * q.x + q.y * q.y);
+  const double exact = HaversineMeters(origin, p);
+  EXPECT_NEAR(planar / exact, 1.0, 0.001);
+}
+
+TEST(PointSegment, CartesianCases) {
+  const Segment s{{0, 0}, {10, 0}};
+  EXPECT_DOUBLE_EQ(PointSegmentDistance({5, 3}, s, Metric::kCartesian), 3.0);
+  EXPECT_DOUBLE_EQ(PointSegmentDistance({-3, 4}, s, Metric::kCartesian), 5.0);
+  EXPECT_DOUBLE_EQ(PointSegmentDistance({12, 0}, s, Metric::kCartesian), 2.0);
+  EXPECT_DOUBLE_EQ(PointSegmentDistance({5, 0}, s, Metric::kCartesian), 0.0);
+}
+
+TEST(PointSegment, ClosestFraction) {
+  const Segment s{{0, 0}, {10, 0}};
+  EXPECT_DOUBLE_EQ(ClosestPointFraction({5, 3}, s, Metric::kCartesian), 0.5);
+  EXPECT_DOUBLE_EQ(ClosestPointFraction({-5, 0}, s, Metric::kCartesian), 0.0);
+  EXPECT_DOUBLE_EQ(ClosestPointFraction({15, 0}, s, Metric::kCartesian), 1.0);
+}
+
+TEST(PointSegment, DegenerateSegment) {
+  const Segment s{{2, 2}, {2, 2}};
+  EXPECT_DOUBLE_EQ(PointSegmentDistance({5, 6}, s, Metric::kCartesian), 5.0);
+}
+
+TEST(SegmentIntersection, CrossingSegments) {
+  const Segment a{{0, 0}, {2, 2}};
+  const Segment b{{0, 2}, {2, 0}};
+  auto hit = SegmentIntersection(a, b);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_NEAR(hit->first, 0.5, 1e-12);
+  EXPECT_NEAR(hit->second, 0.5, 1e-12);
+}
+
+TEST(SegmentIntersection, NonCrossing) {
+  EXPECT_FALSE(
+      SegmentIntersection({{0, 0}, {1, 0}}, {{0, 1}, {1, 1}}).has_value());
+  EXPECT_FALSE(
+      SegmentIntersection({{0, 0}, {1, 1}}, {{2, 0}, {3, 1}}).has_value());
+}
+
+TEST(SegmentIntersection, EndpointTouch) {
+  auto hit = SegmentIntersection({{0, 0}, {1, 1}}, {{1, 1}, {2, 0}});
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_NEAR(hit->first, 1.0, 1e-9);
+  EXPECT_NEAR(hit->second, 0.0, 1e-9);
+}
+
+TEST(SegmentSegment, DistanceParallel) {
+  const Segment a{{0, 0}, {10, 0}};
+  const Segment b{{0, 3}, {10, 3}};
+  EXPECT_DOUBLE_EQ(SegmentSegmentDistance(a, b, Metric::kCartesian), 3.0);
+}
+
+TEST(SegmentSegment, ZeroWhenCrossing) {
+  const Segment a{{0, 0}, {2, 2}};
+  const Segment b{{0, 2}, {2, 0}};
+  EXPECT_DOUBLE_EQ(SegmentSegmentDistance(a, b, Metric::kCartesian), 0.0);
+}
+
+TEST(PointPolygon, DistanceInsideIsZero) {
+  auto poly = Polygon::Make({{0, 0}, {4, 0}, {4, 4}, {0, 4}});
+  ASSERT_TRUE(poly.ok());
+  EXPECT_DOUBLE_EQ(PointPolygonDistance({2, 2}, *poly, Metric::kCartesian),
+                   0.0);
+  EXPECT_DOUBLE_EQ(PointPolygonDistance({6, 2}, *poly, Metric::kCartesian),
+                   2.0);
+}
+
+TEST(PointCircle, Distance) {
+  const Circle c{{0, 0}, 2.0};
+  EXPECT_DOUBLE_EQ(PointCircleDistance({1, 0}, c, Metric::kCartesian), 0.0);
+  EXPECT_DOUBLE_EQ(PointCircleDistance({5, 0}, c, Metric::kCartesian), 3.0);
+}
+
+TEST(Wkt, PointRoundTrip) {
+  const Point p{4.3517, 50.8466};
+  auto parsed = PointFromWkt(PointToWkt(p));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_DOUBLE_EQ(parsed->x, p.x);
+  EXPECT_DOUBLE_EQ(parsed->y, p.y);
+}
+
+TEST(Wkt, PointParsesLooseSpacing) {
+  auto p = PointFromWkt("point( 1.5   -2.5 )");
+  ASSERT_TRUE(p.ok());
+  EXPECT_DOUBLE_EQ(p->x, 1.5);
+  EXPECT_DOUBLE_EQ(p->y, -2.5);
+}
+
+TEST(Wkt, PointRejectsMalformed) {
+  EXPECT_FALSE(PointFromWkt("POINT(1.5)").ok());
+  EXPECT_FALSE(PointFromWkt("LINESTRING(0 0, 1 1)").ok());
+  EXPECT_FALSE(PointFromWkt("POINT 1 2").ok());
+}
+
+TEST(Wkt, PolygonRoundTrip) {
+  auto poly = Polygon::Make({{0, 0}, {4, 0}, {4, 4}, {0, 4}});
+  ASSERT_TRUE(poly.ok());
+  auto parsed = PolygonFromWkt(PolygonToWkt(*poly));
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), poly->size());
+  for (size_t i = 0; i < poly->size(); ++i) {
+    EXPECT_DOUBLE_EQ(parsed->ring()[i].x, poly->ring()[i].x);
+    EXPECT_DOUBLE_EQ(parsed->ring()[i].y, poly->ring()[i].y);
+  }
+}
+
+TEST(Wkt, PolygonRejectsMalformed) {
+  EXPECT_FALSE(PolygonFromWkt("POLYGON(0 0, 1 1, 2 2)").ok());
+  EXPECT_FALSE(PolygonFromWkt("POLYGON((0 0, 1 1))").ok());
+}
+
+// Property sweep: distance functions agree between metrics after local
+// projection at rail-corridor scale.
+class MetricAgreement : public ::testing::TestWithParam<int> {};
+
+TEST_P(MetricAgreement, HaversineMatchesProjectedCartesian) {
+  const int i = GetParam();
+  const Point a{4.0 + 0.01 * i, 50.5 + 0.005 * i};
+  const Point b{4.0 + 0.013 * i, 50.5 + 0.004 * i};
+  const LocalProjection proj(a, Metric::kWgs84);
+  const Point pa = proj.Project(a);
+  const Point pb = proj.Project(b);
+  const double planar = CartesianDistance(pa, pb);
+  const double exact = HaversineMeters(a, b);
+  if (exact > 1.0) {
+    EXPECT_NEAR(planar / exact, 1.0, 0.002) << "i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MetricAgreement, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace nebulameos::meos

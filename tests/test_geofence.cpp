@@ -1,0 +1,163 @@
+// Tests for the geofence registry (src/nebulameos/geofence).
+
+#include <gtest/gtest.h>
+
+#include "nebulameos/geofence.hpp"
+#include "sncb/network.hpp"
+
+namespace nebulameos::integration {
+namespace {
+
+Polygon Rect(double x0, double y0, double x1, double y1) {
+  auto poly = Polygon::Make({{x0, y0}, {x1, y0}, {x1, y1}, {x0, y1}});
+  EXPECT_TRUE(poly.ok());
+  return *poly;
+}
+
+TEST(Zone, PolygonContainsAndDistance) {
+  Zone zone;
+  zone.shape = Rect(4.0, 50.0, 4.1, 50.1);
+  EXPECT_TRUE(zone.Contains({4.05, 50.05}));
+  EXPECT_FALSE(zone.Contains({4.2, 50.05}));
+  EXPECT_DOUBLE_EQ(zone.DistanceTo({4.05, 50.05}), 0.0);
+  EXPECT_GT(zone.DistanceTo({4.2, 50.05}), 1000.0);  // ~7 km east
+}
+
+TEST(Zone, CircleContainsMetricRadius) {
+  Zone zone;
+  zone.shape = Circle{{4.35, 50.85}, 500.0};
+  EXPECT_TRUE(zone.Contains({4.35, 50.85}));
+  // ~400 m north (0.0036 deg lat).
+  EXPECT_TRUE(zone.Contains({4.35, 50.8536}));
+  // 0.01 deg ≈ 1112 m north: outside the 500 m radius by ~612 m.
+  EXPECT_FALSE(zone.Contains({4.35, 50.86}));
+  EXPECT_NEAR(zone.DistanceTo({4.35, 50.86}), 1112.0 - 500.0, 30.0);
+}
+
+TEST(Zone, BoundingBoxCoversCircle) {
+  Zone zone;
+  zone.shape = Circle{{4.35, 50.85}, 500.0};
+  const meos::GeoBox box = zone.BoundingBox();
+  EXPECT_TRUE(box.Contains({4.35, 50.8545}));
+  EXPECT_LT(box.xmin, 4.35);
+  EXPECT_GT(box.xmax, 4.35);
+}
+
+class RegistryTest : public ::testing::Test {
+ protected:
+  RegistryTest() {
+    maintenance_id_ = registry_.AddPolygonZone(
+        "maint-1", ZoneKind::kMaintenance, Rect(4.0, 50.0, 4.1, 50.1), 40.0);
+    station_id_ = registry_.AddCircleZone(
+        "station-1", ZoneKind::kStation, Circle{{4.35, 50.85}, 400.0}, 30.0);
+    risk_id_ = registry_.AddCircleZone(
+        "curve-1", ZoneKind::kHighRisk, Circle{{4.05, 50.05}, 8000.0}, 80.0);
+    workshop_poi_ = registry_.AddPoi("ws-1", "workshop", {4.37, 50.88});
+    registry_.AddPoi("depot-1", "depot", {4.50, 50.90});
+  }
+
+  GeofenceRegistry registry_;
+  int64_t maintenance_id_ = 0;
+  int64_t station_id_ = 0;
+  int64_t risk_id_ = 0;
+  int64_t workshop_poi_ = 0;
+};
+
+TEST_F(RegistryTest, FindByNameAndId) {
+  ASSERT_NE(registry_.FindZone("maint-1"), nullptr);
+  EXPECT_EQ(registry_.FindZone("maint-1")->id, maintenance_id_);
+  EXPECT_EQ(registry_.FindZone(station_id_)->name, "station-1");
+  EXPECT_EQ(registry_.FindZone("nope"), nullptr);
+  EXPECT_EQ(registry_.FindZone(999), nullptr);
+  ASSERT_NE(registry_.FindPoi("ws-1"), nullptr);
+  EXPECT_EQ(registry_.FindPoi("nope"), nullptr);
+}
+
+TEST_F(RegistryTest, ZonesContainingWithKindFilter) {
+  // (4.05, 50.05) is inside both the maintenance rect and the risk circle.
+  auto all = registry_.ZonesContaining({4.05, 50.05});
+  EXPECT_EQ(all.size(), 2u);
+  auto maint =
+      registry_.ZonesContaining({4.05, 50.05}, ZoneKind::kMaintenance);
+  ASSERT_EQ(maint.size(), 1u);
+  EXPECT_EQ(maint[0]->id, maintenance_id_);
+  EXPECT_TRUE(
+      registry_.ZonesContaining({4.05, 50.05}, ZoneKind::kStation).empty());
+}
+
+TEST_F(RegistryTest, InAnyZoneAndZoneIdAt) {
+  EXPECT_TRUE(registry_.InAnyZone({4.05, 50.05}));
+  EXPECT_TRUE(registry_.InAnyZone({4.05, 50.05}, ZoneKind::kHighRisk));
+  EXPECT_FALSE(registry_.InAnyZone({5.5, 49.0}));
+  EXPECT_EQ(registry_.ZoneIdAt({4.05, 50.05}, ZoneKind::kMaintenance),
+            maintenance_id_);
+  EXPECT_EQ(registry_.ZoneIdAt({5.5, 49.0}), -1);
+}
+
+TEST_F(RegistryTest, SpeedLimitTakesMinimum) {
+  // Inside both maintenance (40) and high-risk (80): min wins.
+  EXPECT_DOUBLE_EQ(registry_.SpeedLimitAt({4.05, 50.05}, 120.0), 40.0);
+  // Outside all zones: default.
+  EXPECT_DOUBLE_EQ(registry_.SpeedLimitAt({5.5, 49.0}, 120.0), 120.0);
+}
+
+TEST_F(RegistryTest, NearestPoiByKind) {
+  double dist = 0.0;
+  const Poi* poi = registry_.NearestPoi({4.36, 50.87}, "workshop", &dist);
+  ASSERT_NE(poi, nullptr);
+  EXPECT_EQ(poi->id, workshop_poi_);
+  EXPECT_LT(dist, 2000.0);
+  // Kind filter: no "garage" POIs.
+  EXPECT_EQ(registry_.NearestPoi({4.36, 50.87}, "garage", &dist), nullptr);
+  EXPECT_TRUE(std::isinf(dist));
+  // Empty kind matches everything.
+  EXPECT_NE(registry_.NearestPoi({4.49, 50.90}, "", &dist), nullptr);
+}
+
+TEST_F(RegistryTest, IndexAndLinearScanAgree) {
+  // Property: containment answers must not depend on the grid index.
+  for (int i = 0; i < 200; ++i) {
+    const Point p{3.9 + 0.002 * i, 49.95 + 0.0015 * i};
+    registry_.SetIndexEnabled(true);
+    const bool indexed = registry_.InAnyZone(p);
+    const int64_t id_indexed = registry_.ZoneIdAt(p);
+    registry_.SetIndexEnabled(false);
+    EXPECT_EQ(registry_.InAnyZone(p), indexed) << "i=" << i;
+    EXPECT_EQ(registry_.ZoneIdAt(p), id_indexed) << "i=" << i;
+  }
+  registry_.SetIndexEnabled(true);
+}
+
+TEST(SncbGeofences, PopulatesAllKinds) {
+  const sncb::RailNetwork network = sncb::BuildBelgianNetwork();
+  GeofenceRegistry registry;
+  sncb::PopulateSncbGeofences(network, &registry);
+  EXPECT_GE(registry.NumZones(), 20u);
+  EXPECT_GE(registry.NumPois(), 3u);
+  int counts[6] = {0};
+  for (const Zone& z : registry.zones()) {
+    counts[static_cast<int>(z.kind)]++;
+  }
+  EXPECT_EQ(counts[static_cast<int>(ZoneKind::kStation)], 12);
+  EXPECT_EQ(counts[static_cast<int>(ZoneKind::kWorkshop)], 3);
+  EXPECT_EQ(counts[static_cast<int>(ZoneKind::kMaintenance)], 2);
+  EXPECT_EQ(counts[static_cast<int>(ZoneKind::kNoiseSensitive)], 3);
+  EXPECT_EQ(counts[static_cast<int>(ZoneKind::kHighRisk)], 3);
+  EXPECT_EQ(counts[static_cast<int>(ZoneKind::kWeather)], 6);
+  // Brussels-Midi station zone contains its own center.
+  const Zone* bm = registry.FindZone("station:Brussels-Midi");
+  ASSERT_NE(bm, nullptr);
+  EXPECT_TRUE(bm->Contains({4.3355, 50.8357}));
+}
+
+TEST(ZoneKindName, AllNamed) {
+  EXPECT_STREQ(ZoneKindName(ZoneKind::kMaintenance), "maintenance");
+  EXPECT_STREQ(ZoneKindName(ZoneKind::kStation), "station");
+  EXPECT_STREQ(ZoneKindName(ZoneKind::kWorkshop), "workshop");
+  EXPECT_STREQ(ZoneKindName(ZoneKind::kNoiseSensitive), "noise_sensitive");
+  EXPECT_STREQ(ZoneKindName(ZoneKind::kHighRisk), "high_risk");
+  EXPECT_STREQ(ZoneKindName(ZoneKind::kWeather), "weather");
+}
+
+}  // namespace
+}  // namespace nebulameos::integration

@@ -1,0 +1,242 @@
+// Cross-module property sweeps over the mobility engine: invariants that
+// must hold for arbitrary trajectories and sequences, checked over seeded
+// pseudo-random inputs (TEST_P).
+
+#include <gtest/gtest.h>
+
+#include "common/random.hpp"
+#include "meos/io.hpp"
+#include "meos/tgeompoint.hpp"
+
+namespace nebulameos::meos {
+namespace {
+
+// Deterministic pseudo-random trajectory: `n` instants of bounded step
+// length around Brussels, 10 s apart.
+TGeomPointSeq RandomTrajectory(uint64_t seed, size_t n = 64) {
+  Rng rng(seed);
+  std::vector<TInstant<Point>> instants;
+  double lon = 4.35, lat = 50.85;
+  for (size_t i = 0; i < n; ++i) {
+    instants.push_back({Point{lon, lat}, static_cast<Timestamp>(i) * Seconds(10)});
+    lon += rng.Uniform(-0.002, 0.002);
+    lat += rng.Uniform(-0.002, 0.002);
+  }
+  auto seq = TGeomPointSeq::Make(std::move(instants));
+  EXPECT_TRUE(seq.ok());
+  return *seq;
+}
+
+TFloatSeq RandomFloatSeq(uint64_t seed, size_t n = 32) {
+  Rng rng(seed);
+  std::vector<TInstant<double>> instants;
+  for (size_t i = 0; i < n; ++i) {
+    instants.push_back(
+        {rng.Uniform(-10.0, 10.0), static_cast<Timestamp>(i) * Seconds(5)});
+  }
+  auto seq = TFloatSeq::Make(std::move(instants));
+  EXPECT_TRUE(seq.ok());
+  return *seq;
+}
+
+class TrajectoryProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TrajectoryProperty, SimplifyPreservesEndpointsAndBound) {
+  const TGeomPointSeq traj = RandomTrajectory(GetParam());
+  const double epsilon = 50.0;  // meters
+  const TGeomPointSeq simple = Simplify(traj, epsilon, Metric::kWgs84);
+  ASSERT_GE(simple.size(), 2u);
+  ASSERT_LE(simple.size(), traj.size());
+  EXPECT_TRUE(simple.StartValue() == traj.StartValue());
+  EXPECT_TRUE(simple.EndValue() == traj.EndValue());
+  EXPECT_EQ(simple.StartTime(), traj.StartTime());
+  EXPECT_EQ(simple.EndTime(), traj.EndTime());
+  // Every kept instant exists in the original (subset property).
+  for (const auto& ins : simple.instants()) {
+    const auto original = traj.ValueAt(ins.t);
+    ASSERT_TRUE(original.has_value());
+    EXPECT_TRUE(*original == ins.value);
+  }
+  // Every dropped instant lies within epsilon of the simplified path
+  // (with slack for the local-projection approximation).
+  for (const auto& ins : traj.instants()) {
+    double best = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i + 1 < simple.size(); ++i) {
+      best = std::min(best, PointSegmentDistance(
+                                ins.value,
+                                Segment{simple.instant(i).value,
+                                        simple.instant(i + 1).value},
+                                Metric::kWgs84));
+    }
+    EXPECT_LE(best, epsilon * 1.05) << "seed=" << GetParam();
+  }
+  // Simplification never lengthens the path.
+  EXPECT_LE(Length(simple, Metric::kWgs84),
+            Length(traj, Metric::kWgs84) + 1e-6);
+}
+
+TEST_P(TrajectoryProperty, SpeedIntegratesToLength) {
+  const TGeomPointSeq traj = RandomTrajectory(GetParam());
+  auto speed = Speed(traj, Metric::kWgs84);
+  ASSERT_TRUE(speed.ok());
+  // The step-speed integral equals the trajectory length.
+  EXPECT_NEAR(Integral(*speed), Length(traj, Metric::kWgs84),
+              Length(traj, Metric::kWgs84) * 1e-9 + 1e-6);
+}
+
+TEST_P(TrajectoryProperty, CumulativeLengthEndsAtLength) {
+  const TGeomPointSeq traj = RandomTrajectory(GetParam());
+  const TFloatSeq cum = CumulativeLength(traj, Metric::kWgs84);
+  EXPECT_NEAR(cum.EndValue(), Length(traj, Metric::kWgs84), 1e-9);
+  // Monotone non-decreasing.
+  for (size_t i = 1; i < cum.size(); ++i) {
+    EXPECT_GE(cum.instant(i).value, cum.instant(i - 1).value);
+  }
+}
+
+TEST_P(TrajectoryProperty, InsideAndComplementPartitionPeriod) {
+  const TGeomPointSeq traj = RandomTrajectory(GetParam());
+  const GeoBox box{4.34, 50.84, 4.37, 50.87};
+  const PeriodSet inside = WhenInsideBox(traj, box);
+  auto st_box = STBox::MakeSpatial(box.xmin, box.ymin, box.xmax, box.ymax);
+  ASSERT_TRUE(st_box.ok());
+  const auto outside = MinusStbox(traj, *st_box);
+  Duration outside_total = 0;
+  for (const auto& part : outside) outside_total += part.DurationMicros();
+  // Inside + outside cover the whole period (microsecond rounding slack,
+  // one per crossing).
+  EXPECT_NEAR(static_cast<double>(inside.TotalDuration() + outside_total),
+              static_cast<double>(traj.DurationMicros()),
+              static_cast<double>(traj.size()) * 2.0)
+      << "seed=" << GetParam();
+}
+
+TEST_P(TrajectoryProperty, TPointTextRoundTrip) {
+  const TGeomPointSeq traj = RandomTrajectory(GetParam(), 16);
+  auto parsed = TPointFromString(TPointToString(traj));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->size(), traj.size());
+  for (size_t i = 0; i < traj.size(); ++i) {
+    EXPECT_EQ(parsed->instant(i).t, traj.instant(i).t);
+    EXPECT_NEAR(parsed->instant(i).value.x, traj.instant(i).value.x, 1e-9);
+    EXPECT_NEAR(parsed->instant(i).value.y, traj.instant(i).value.y, 1e-9);
+  }
+}
+
+TEST_P(TrajectoryProperty, NearestApproachConsistentWithEverDWithin) {
+  const TGeomPointSeq traj = RandomTrajectory(GetParam());
+  const Point target{4.36, 50.86};
+  const double nad = NearestApproachDistance(traj, target, Metric::kWgs84);
+  EXPECT_TRUE(EverDWithin(traj, target, nad * 1.0001 + 0.001,
+                          Metric::kWgs84));
+  if (nad > 1.0) {
+    EXPECT_FALSE(EverDWithin(traj, target, nad * 0.99, Metric::kWgs84));
+  }
+  // The temporal distance attains the nearest approach (to within the
+  // microsecond grid and local-projection approximation: ~1 mm).
+  auto dist = DistanceToPoint(traj, target, Metric::kWgs84);
+  ASSERT_TRUE(dist.ok());
+  EXPECT_NEAR(MinValue(*dist), nad, nad * 1e-4 + 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TrajectoryProperty,
+                         ::testing::Range<uint64_t>(1, 21));
+
+class FloatSeqProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FloatSeqProperty, CmpConstAgreesWithDenseSampling) {
+  const TFloatSeq seq = RandomFloatSeq(GetParam());
+  const double c = 1.5;
+  const TBoolSeq tb = CmpConst(seq, CmpOp::kGt, c);
+  // Sample densely away from crossing instants and compare.
+  for (Timestamp t = seq.StartTime(); t <= seq.EndTime(); t += Seconds(1)) {
+    const auto v = seq.ValueAt(t);
+    const auto b = tb.ValueAt(t);
+    ASSERT_TRUE(v.has_value());
+    ASSERT_TRUE(b.has_value());
+    // Within 2 µs of a crossing the rounded boolean may differ; skip.
+    if (std::fabs(*v - c) < 1e-4) continue;
+    EXPECT_EQ(*b, *v > c) << "t=" << t << " seed=" << GetParam();
+  }
+}
+
+TEST_P(FloatSeqProperty, AtRangeValuesWithinRange) {
+  const TFloatSeq seq = RandomFloatSeq(GetParam());
+  for (const auto& part : AtRange(seq, -2.0, 3.0)) {
+    for (const auto& ins : part.instants()) {
+      EXPECT_GE(ins.value, -2.0 - 1e-6);
+      EXPECT_LE(ins.value, 3.0 + 1e-6);
+    }
+  }
+}
+
+TEST_P(FloatSeqProperty, TwAvgBetweenMinAndMax) {
+  const TFloatSeq seq = RandomFloatSeq(GetParam());
+  const double avg = TwAvg(seq);
+  EXPECT_GE(avg, MinValue(seq) - 1e-9);
+  EXPECT_LE(avg, MaxValue(seq) + 1e-9);
+}
+
+TEST_P(FloatSeqProperty, DerivativeOfCumulativeIsSpeedLike) {
+  // d/dt of a linear sequence reconstructs the segment slopes.
+  const TFloatSeq seq = RandomFloatSeq(GetParam());
+  auto deriv = Derivative(seq);
+  ASSERT_TRUE(deriv.ok());
+  for (size_t i = 0; i + 1 < seq.size(); ++i) {
+    const double slope = (seq.instant(i + 1).value - seq.instant(i).value) /
+                         ToSeconds(seq.instant(i + 1).t - seq.instant(i).t);
+    EXPECT_NEAR(deriv->instant(i).value, slope, 1e-9);
+  }
+}
+
+TEST_P(FloatSeqProperty, TFloatTextRoundTrip) {
+  const TFloatSeq seq = RandomFloatSeq(GetParam(), 12);
+  auto parsed = TFloatFromString(TFloatToString(seq));
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), seq.size());
+  for (size_t i = 0; i < seq.size(); ++i) {
+    EXPECT_NEAR(parsed->instant(i).value, seq.instant(i).value, 1e-9);
+    EXPECT_EQ(parsed->instant(i).t, seq.instant(i).t);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FloatSeqProperty,
+                         ::testing::Range<uint64_t>(100, 115));
+
+TEST(Simplify, CollinearPointsCollapse) {
+  // Straight east-bound line: everything between the endpoints drops.
+  std::vector<TInstant<Point>> instants;
+  for (int i = 0; i < 20; ++i) {
+    instants.push_back({Point{4.35 + 0.001 * i, 50.85},
+                        static_cast<Timestamp>(i) * Seconds(10)});
+  }
+  auto traj = TGeomPointSeq::Make(std::move(instants));
+  ASSERT_TRUE(traj.ok());
+  const TGeomPointSeq simple = Simplify(*traj, 5.0, Metric::kWgs84);
+  EXPECT_EQ(simple.size(), 2u);
+  EXPECT_NEAR(Length(simple, Metric::kWgs84),
+              Length(*traj, Metric::kWgs84), 1.0);
+}
+
+TEST(Simplify, SharpCornerSurvives) {
+  // An L-shaped path: the corner displaces far more than epsilon.
+  auto traj = TGeomPointSeq::Make({{Point{4.35, 50.85}, 0},
+                                   {Point{4.36, 50.85}, Seconds(10)},
+                                   {Point{4.36, 50.86}, Seconds(20)}});
+  ASSERT_TRUE(traj.ok());
+  const TGeomPointSeq simple = Simplify(*traj, 10.0, Metric::kWgs84);
+  EXPECT_EQ(simple.size(), 3u);
+}
+
+TEST(Simplify, TinyTrajectoriesUntouched) {
+  auto two = TGeomPointSeq::Make(
+      {{Point{0, 0}, 0}, {Point{1, 1}, Seconds(1)}});
+  ASSERT_TRUE(two.ok());
+  EXPECT_EQ(Simplify(*two, 100.0, Metric::kCartesian).size(), 2u);
+  auto one = TGeomPointSeq::Make({{Point{0, 0}, 0}});
+  ASSERT_TRUE(one.ok());
+  EXPECT_EQ(Simplify(*one, 100.0, Metric::kCartesian).size(), 1u);
+}
+
+}  // namespace
+}  // namespace nebulameos::meos

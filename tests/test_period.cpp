@@ -1,0 +1,233 @@
+// Tests for the time algebra (src/meos/period).
+
+#include <gtest/gtest.h>
+
+#include "meos/period.hpp"
+
+namespace nebulameos::meos {
+namespace {
+
+Period P(Timestamp lo, Timestamp hi, bool li = true, bool ui = true) {
+  auto p = Period::Make(lo, hi, li, ui);
+  EXPECT_TRUE(p.ok());
+  return *p;
+}
+
+TEST(Period, MakeValidation) {
+  EXPECT_FALSE(Period::Make(10, 5).ok());
+  EXPECT_FALSE(Period::Make(5, 5, true, false).ok());
+  EXPECT_FALSE(Period::Make(5, 5, false, true).ok());
+  EXPECT_TRUE(Period::Make(5, 5, true, true).ok());
+  EXPECT_TRUE(Period::Make(0, 10, false, false).ok());
+}
+
+TEST(Period, ContainsRespectsBounds) {
+  const Period closed = P(10, 20);
+  EXPECT_TRUE(closed.Contains(10));
+  EXPECT_TRUE(closed.Contains(20));
+  EXPECT_TRUE(closed.Contains(15));
+  EXPECT_FALSE(closed.Contains(9));
+  EXPECT_FALSE(closed.Contains(21));
+
+  const Period open = P(10, 20, false, false);
+  EXPECT_FALSE(open.Contains(10));
+  EXPECT_FALSE(open.Contains(20));
+  EXPECT_TRUE(open.Contains(11));
+}
+
+TEST(Period, ContainsPeriod) {
+  const Period outer = P(0, 100);
+  EXPECT_TRUE(outer.ContainsPeriod(P(10, 90)));
+  EXPECT_TRUE(outer.ContainsPeriod(outer));
+  EXPECT_FALSE(outer.ContainsPeriod(P(10, 101)));
+  // Open outer cannot contain closed touching bound.
+  const Period open_outer = P(0, 100, false, true);
+  EXPECT_FALSE(open_outer.ContainsPeriod(P(0, 50)));
+  EXPECT_TRUE(open_outer.ContainsPeriod(P(0, 50, false, true)));
+}
+
+TEST(Period, OverlapsBoundCases) {
+  EXPECT_TRUE(P(0, 10).Overlaps(P(10, 20)));            // closed touch
+  EXPECT_FALSE(P(0, 10, true, false).Overlaps(P(10, 20)));  // open touch
+  EXPECT_FALSE(P(0, 10).Overlaps(P(10, 20, false, true)));
+  EXPECT_TRUE(P(0, 10).Overlaps(P(5, 20)));
+  EXPECT_FALSE(P(0, 10).Overlaps(P(11, 20)));
+}
+
+TEST(Period, Adjacency) {
+  EXPECT_TRUE(P(0, 10, true, false).IsAdjacent(P(10, 20)));
+  EXPECT_TRUE(P(10, 20).IsAdjacent(P(0, 10, true, false)));
+  EXPECT_FALSE(P(0, 10).IsAdjacent(P(10, 20)));  // both closed: overlap
+  EXPECT_FALSE(P(0, 10, true, false).IsAdjacent(P(10, 20, false, true)));
+}
+
+TEST(Period, Intersection) {
+  auto inter = P(0, 10).Intersection(P(5, 20));
+  ASSERT_TRUE(inter.has_value());
+  EXPECT_EQ(inter->lower(), 5);
+  EXPECT_EQ(inter->upper(), 10);
+  EXPECT_FALSE(P(0, 4).Intersection(P(5, 20)).has_value());
+  // Touch with open bound: empty.
+  EXPECT_FALSE(P(0, 5, true, false).Intersection(P(5, 9)).has_value());
+  // Touch closed-closed: instantaneous period.
+  auto touch = P(0, 5).Intersection(P(5, 9));
+  ASSERT_TRUE(touch.has_value());
+  EXPECT_EQ(touch->lower(), 5);
+  EXPECT_EQ(touch->upper(), 5);
+}
+
+TEST(Period, IntersectionBoundFlags) {
+  auto inter = P(0, 10, false, true).Intersection(P(0, 10, true, false));
+  ASSERT_TRUE(inter.has_value());
+  EXPECT_FALSE(inter->lower_inc());
+  EXPECT_FALSE(inter->upper_inc());
+}
+
+TEST(Period, UnionExtent) {
+  const Period u = P(0, 5).Union(P(10, 20, true, false));
+  EXPECT_EQ(u.lower(), 0);
+  EXPECT_EQ(u.upper(), 20);
+  EXPECT_TRUE(u.lower_inc());
+  EXPECT_FALSE(u.upper_inc());
+}
+
+TEST(Period, Shifted) {
+  const Period p = P(10, 20).Shifted(5);
+  EXPECT_EQ(p.lower(), 15);
+  EXPECT_EQ(p.upper(), 25);
+}
+
+TEST(Period, ToStringShape) {
+  const std::string s = P(0, kMicrosPerHour, true, false).ToString();
+  EXPECT_EQ(s.front(), '[');
+  EXPECT_EQ(s.back(), ')');
+}
+
+TEST(TimestampSet, SortsAndDedupes) {
+  TimestampSet set({30, 10, 20, 10});
+  ASSERT_EQ(set.size(), 3u);
+  EXPECT_EQ(set.times()[0], 10);
+  EXPECT_EQ(set.times()[2], 30);
+  EXPECT_TRUE(set.Contains(20));
+  EXPECT_FALSE(set.Contains(15));
+  EXPECT_EQ(set.Extent().lower(), 10);
+  EXPECT_EQ(set.Extent().upper(), 30);
+}
+
+TEST(PeriodSet, NormalizesOverlapping) {
+  PeriodSet set({P(0, 10), P(5, 15), P(20, 30)});
+  ASSERT_EQ(set.size(), 2u);
+  EXPECT_EQ(set.periods()[0].lower(), 0);
+  EXPECT_EQ(set.periods()[0].upper(), 15);
+  EXPECT_EQ(set.periods()[1].lower(), 20);
+}
+
+TEST(PeriodSet, MergesAdjacent) {
+  PeriodSet set({P(0, 10, true, false), P(10, 20)});
+  ASSERT_EQ(set.size(), 1u);
+  EXPECT_EQ(set.periods()[0].lower(), 0);
+  EXPECT_EQ(set.periods()[0].upper(), 20);
+}
+
+TEST(PeriodSet, KeepsDisjointOpenTouch) {
+  // (0,10) and (10,20): both open at 10 → not adjacent (gap of one point).
+  PeriodSet set({P(0, 10, true, false), P(10, 20, false, true)});
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(PeriodSet, ContainsBinarySearch) {
+  PeriodSet set({P(0, 10), P(20, 30), P(40, 50)});
+  EXPECT_TRUE(set.Contains(5));
+  EXPECT_TRUE(set.Contains(20));
+  EXPECT_TRUE(set.Contains(50));
+  EXPECT_FALSE(set.Contains(15));
+  EXPECT_FALSE(set.Contains(35));
+  EXPECT_FALSE(set.Contains(51));
+}
+
+TEST(PeriodSet, TotalDuration) {
+  PeriodSet set({P(0, 10), P(20, 25)});
+  EXPECT_EQ(set.TotalDuration(), 15);
+}
+
+TEST(PeriodSet, UnionWith) {
+  PeriodSet a({P(0, 10)});
+  PeriodSet b({P(5, 20), P(30, 40)});
+  PeriodSet u = a.UnionWith(b);
+  ASSERT_EQ(u.size(), 2u);
+  EXPECT_EQ(u.periods()[0].upper(), 20);
+  EXPECT_EQ(u.TotalDuration(), 30);
+}
+
+TEST(PeriodSet, IntersectionWith) {
+  PeriodSet a({P(0, 10), P(20, 30)});
+  PeriodSet b({P(5, 25)});
+  PeriodSet inter = a.IntersectionWith(b);
+  ASSERT_EQ(inter.size(), 2u);
+  EXPECT_EQ(inter.periods()[0].lower(), 5);
+  EXPECT_EQ(inter.periods()[0].upper(), 10);
+  EXPECT_EQ(inter.periods()[1].lower(), 20);
+  EXPECT_EQ(inter.periods()[1].upper(), 25);
+}
+
+TEST(PeriodSet, DifferenceCarvesMiddle) {
+  PeriodSet base({P(0, 100)});
+  PeriodSet cut({P(40, 60)});
+  PeriodSet diff = base.Difference(cut);
+  ASSERT_EQ(diff.size(), 2u);
+  EXPECT_EQ(diff.periods()[0].lower(), 0);
+  EXPECT_EQ(diff.periods()[0].upper(), 40);
+  EXPECT_FALSE(diff.periods()[0].upper_inc());  // flipped inclusivity
+  EXPECT_EQ(diff.periods()[1].lower(), 60);
+  EXPECT_FALSE(diff.periods()[1].lower_inc());
+}
+
+TEST(PeriodSet, DifferenceRemovesAll) {
+  PeriodSet base({P(10, 20)});
+  PeriodSet cut({P(0, 100)});
+  EXPECT_TRUE(base.Difference(cut).empty());
+}
+
+TEST(PeriodSet, DifferenceDisjointKeepsAll) {
+  PeriodSet base({P(10, 20)});
+  PeriodSet cut({P(30, 40)});
+  PeriodSet diff = base.Difference(cut);
+  ASSERT_EQ(diff.size(), 1u);
+  EXPECT_TRUE(diff.periods()[0] == P(10, 20));
+}
+
+// Property: for random period arrangements, Difference + Intersection
+// partition the base duration.
+class PeriodSetPartition : public ::testing::TestWithParam<int> {};
+
+TEST_P(PeriodSetPartition, DifferencePlusIntersectionCoversBase) {
+  const int seed = GetParam();
+  // Deterministic pseudo-random periods from the seed.
+  auto next = [state = static_cast<uint64_t>(seed * 2654435761u + 1)]() mutable {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<Timestamp>((state >> 33) % 1000);
+  };
+  std::vector<Period> base_periods, cut_periods;
+  for (int i = 0; i < 5; ++i) {
+    Timestamp a = next(), b = next();
+    if (a > b) std::swap(a, b);
+    if (a == b) b = a + 1;
+    base_periods.push_back(P(a, b));
+    a = next();
+    b = next();
+    if (a > b) std::swap(a, b);
+    if (a == b) b = a + 1;
+    cut_periods.push_back(P(a, b));
+  }
+  PeriodSet base(base_periods);
+  PeriodSet cut(cut_periods);
+  const Duration total = base.TotalDuration();
+  const Duration kept = base.Difference(cut).TotalDuration();
+  const Duration removed = base.IntersectionWith(cut).TotalDuration();
+  EXPECT_EQ(kept + removed, total) << "seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PeriodSetPartition, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace nebulameos::meos

@@ -1,0 +1,180 @@
+// Tests for the stream runtime: schema, tuple buffers, buffer manager.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "nebula/buffer_manager.hpp"
+#include "nebula/schema.hpp"
+#include "nebula/tuple_buffer.hpp"
+
+namespace nebulameos::nebula {
+namespace {
+
+Schema TestSchema() {
+  return Schema::Build()
+      .AddInt64("id")
+      .AddTimestamp("ts")
+      .AddDouble("lon")
+      .AddDouble("lat")
+      .AddBool("flag")
+      .AddText16("tag")
+      .Finish();
+}
+
+TEST(DataType, Sizes) {
+  EXPECT_EQ(DataTypeSize(DataType::kBool), 1u);
+  EXPECT_EQ(DataTypeSize(DataType::kInt64), 8u);
+  EXPECT_EQ(DataTypeSize(DataType::kDouble), 8u);
+  EXPECT_EQ(DataTypeSize(DataType::kTimestamp), 8u);
+  EXPECT_EQ(DataTypeSize(DataType::kText16), 16u);
+  EXPECT_EQ(DataTypeSize(DataType::kText32), 32u);
+}
+
+TEST(Schema, OffsetsAndRecordSize) {
+  const Schema s = TestSchema();
+  EXPECT_EQ(s.num_fields(), 6u);
+  EXPECT_EQ(s.offset(0), 0u);
+  EXPECT_EQ(s.offset(1), 8u);
+  EXPECT_EQ(s.offset(4), 32u);
+  EXPECT_EQ(s.offset(5), 33u);
+  EXPECT_EQ(s.record_size(), 49u);
+}
+
+TEST(Schema, MakeRejectsDuplicatesAndEmpty) {
+  EXPECT_FALSE(Schema::Make({{"a", DataType::kInt64},
+                             {"a", DataType::kDouble}})
+                   .ok());
+  EXPECT_FALSE(Schema::Make({{"", DataType::kInt64}}).ok());
+}
+
+TEST(Schema, IndexOfAndHasField) {
+  const Schema s = TestSchema();
+  EXPECT_EQ(*s.IndexOf("lat"), 3u);
+  EXPECT_FALSE(s.IndexOf("missing").ok());
+  EXPECT_TRUE(s.HasField("flag"));
+  EXPECT_FALSE(s.HasField("nope"));
+}
+
+TEST(Schema, EqualityAndToString) {
+  EXPECT_TRUE(TestSchema() == TestSchema());
+  Schema other = Schema::Build().AddInt64("id").Finish();
+  EXPECT_FALSE(TestSchema() == other);
+  EXPECT_NE(TestSchema().ToString().find("lon:DOUBLE"), std::string::npos);
+}
+
+TEST(TupleBuffer, AppendAndRead) {
+  TupleBuffer buf(TestSchema(), 4);
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(buf.capacity(), 4u);
+  RecordWriter w = buf.Append();
+  w.SetInt64(0, 7);
+  w.SetInt64(1, 1000);
+  w.SetDouble(2, 4.35);
+  w.SetDouble(3, 50.85);
+  w.SetBool(4, true);
+  w.SetText(5, "hello");
+  ASSERT_EQ(buf.size(), 1u);
+  const RecordView r = buf.At(0);
+  EXPECT_EQ(r.GetInt64(0), 7);
+  EXPECT_EQ(r.GetInt64(1), 1000);
+  EXPECT_DOUBLE_EQ(r.GetDouble(2), 4.35);
+  EXPECT_TRUE(r.GetBool(4));
+  EXPECT_EQ(r.GetText(5), "hello");
+}
+
+TEST(TupleBuffer, TextTruncatesToFieldWidth) {
+  TupleBuffer buf(TestSchema(), 1);
+  RecordWriter w = buf.Append();
+  w.SetText(5, "0123456789abcdefOVERFLOW");
+  EXPECT_EQ(buf.At(0).GetText(5), "0123456789abcdef");
+}
+
+TEST(TupleBuffer, GetNumericWidens) {
+  TupleBuffer buf(TestSchema(), 1);
+  RecordWriter w = buf.Append();
+  w.SetInt64(0, 42);
+  w.SetDouble(2, 1.5);
+  EXPECT_DOUBLE_EQ(buf.At(0).GetNumeric(0), 42.0);
+  EXPECT_DOUBLE_EQ(buf.At(0).GetNumeric(2), 1.5);
+}
+
+TEST(TupleBuffer, CopyFrom) {
+  TupleBuffer buf(TestSchema(), 2);
+  RecordWriter w = buf.Append();
+  w.SetInt64(0, 1);
+  w.SetText(5, "abc");
+  RecordWriter w2 = buf.Append();
+  w2.CopyFrom(buf.At(0));
+  EXPECT_EQ(buf.At(1).GetInt64(0), 1);
+  EXPECT_EQ(buf.At(1).GetText(5), "abc");
+}
+
+TEST(TupleBuffer, FullClearPopBack) {
+  TupleBuffer buf(TestSchema(), 2);
+  buf.Append();
+  buf.Append();
+  EXPECT_TRUE(buf.full());
+  buf.PopBack();
+  EXPECT_EQ(buf.size(), 1u);
+  buf.Clear();
+  EXPECT_TRUE(buf.empty());
+}
+
+TEST(TupleBuffer, MetadataAndSizeBytes) {
+  TupleBuffer buf(TestSchema(), 4);
+  buf.Append();
+  buf.Append();
+  EXPECT_EQ(buf.SizeBytes(), 2 * TestSchema().record_size());
+  buf.set_sequence_number(9);
+  buf.set_watermark(12345);
+  EXPECT_EQ(buf.sequence_number(), 9u);
+  EXPECT_EQ(buf.watermark(), 12345);
+  buf.Reset();
+  EXPECT_EQ(buf.sequence_number(), 0u);
+  EXPECT_EQ(buf.watermark(), 0);
+  EXPECT_TRUE(buf.empty());
+}
+
+TEST(BufferManager, AcquireRecycle) {
+  auto mgr = BufferManager::Create(TestSchema(), 16, 2);
+  EXPECT_EQ(mgr->available(), 2u);
+  {
+    TupleBufferPtr a = mgr->Acquire();
+    TupleBufferPtr b = mgr->Acquire();
+    EXPECT_EQ(mgr->available(), 0u);
+    EXPECT_EQ(mgr->TryAcquire(), nullptr);
+  }
+  // Handles went out of scope -> buffers returned.
+  EXPECT_EQ(mgr->available(), 2u);
+}
+
+TEST(BufferManager, RecycledBuffersAreReset) {
+  auto mgr = BufferManager::Create(TestSchema(), 16, 1);
+  {
+    TupleBufferPtr a = mgr->Acquire();
+    a->Append();
+    a->set_watermark(99);
+  }
+  TupleBufferPtr b = mgr->Acquire();
+  EXPECT_TRUE(b->empty());
+  EXPECT_EQ(b->watermark(), 0);
+}
+
+TEST(BufferManager, AcquireBlocksUntilRecycle) {
+  auto mgr = BufferManager::Create(TestSchema(), 16, 1);
+  TupleBufferPtr held = mgr->Acquire();
+  std::atomic<bool> got{false};
+  std::thread waiter([&] {
+    TupleBufferPtr b = mgr->Acquire();  // blocks until `held` released
+    got.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(got.load());
+  held.reset();
+  waiter.join();
+  EXPECT_TRUE(got.load());
+}
+
+}  // namespace
+}  // namespace nebulameos::nebula

@@ -1,0 +1,206 @@
+// Tests for the temporal-type core (src/meos/temporal.hpp).
+
+#include <gtest/gtest.h>
+
+#include "meos/temporal.hpp"
+
+namespace nebulameos::meos {
+namespace {
+
+TFloatSeq FSeq(std::initializer_list<std::pair<double, Timestamp>> vals,
+               bool li = true, bool ui = true,
+               Interp interp = Interp::kLinear) {
+  std::vector<TInstant<double>> instants;
+  for (const auto& [v, t] : vals) instants.push_back({v, t});
+  auto seq = TFloatSeq::Make(std::move(instants), li, ui, interp);
+  EXPECT_TRUE(seq.ok()) << seq.status().ToString();
+  return *seq;
+}
+
+TEST(TSequence, MakeValidation) {
+  EXPECT_FALSE(TFloatSeq::Make({}).ok());
+  EXPECT_FALSE(TFloatSeq::Make({{1.0, 10}, {2.0, 10}}).ok());
+  EXPECT_FALSE(TFloatSeq::Make({{1.0, 10}, {2.0, 5}}).ok());
+  EXPECT_FALSE(TFloatSeq::Make({{1.0, 10}}, false, true).ok());
+  EXPECT_TRUE(TFloatSeq::Make({{1.0, 10}}).ok());
+}
+
+TEST(TSequence, LinearForcedOffForBool) {
+  auto seq = TBoolSeq::Make({{true, 0}, {false, 10}}, true, true,
+                            Interp::kLinear);
+  EXPECT_FALSE(seq.ok());
+  EXPECT_TRUE(
+      TBoolSeq::Make({{true, 0}, {false, 10}}, true, true, Interp::kStep)
+          .ok());
+}
+
+TEST(TSequence, Accessors) {
+  const TFloatSeq seq = FSeq({{1.0, 0}, {3.0, 10}, {2.0, 20}});
+  EXPECT_EQ(seq.size(), 3u);
+  EXPECT_DOUBLE_EQ(seq.StartValue(), 1.0);
+  EXPECT_DOUBLE_EQ(seq.EndValue(), 2.0);
+  EXPECT_EQ(seq.StartTime(), 0);
+  EXPECT_EQ(seq.EndTime(), 20);
+  EXPECT_EQ(seq.DurationMicros(), 20);
+  EXPECT_TRUE(seq.period().Contains(10));
+}
+
+TEST(TSequence, ValueAtLinearInterpolates) {
+  const TFloatSeq seq = FSeq({{0.0, 0}, {10.0, 100}});
+  EXPECT_DOUBLE_EQ(*seq.ValueAt(0), 0.0);
+  EXPECT_DOUBLE_EQ(*seq.ValueAt(50), 5.0);
+  EXPECT_DOUBLE_EQ(*seq.ValueAt(100), 10.0);
+  EXPECT_DOUBLE_EQ(*seq.ValueAt(25), 2.5);
+}
+
+TEST(TSequence, ValueAtStepHoldsLeft) {
+  const TFloatSeq seq =
+      FSeq({{1.0, 0}, {5.0, 100}}, true, true, Interp::kStep);
+  EXPECT_DOUBLE_EQ(*seq.ValueAt(0), 1.0);
+  EXPECT_DOUBLE_EQ(*seq.ValueAt(99), 1.0);
+  EXPECT_DOUBLE_EQ(*seq.ValueAt(100), 5.0);
+}
+
+TEST(TSequence, ValueAtRespectsBounds) {
+  const TFloatSeq seq = FSeq({{0.0, 0}, {10.0, 100}}, false, false);
+  EXPECT_FALSE(seq.ValueAt(0).has_value());
+  EXPECT_FALSE(seq.ValueAt(100).has_value());
+  EXPECT_TRUE(seq.ValueAt(1).has_value());
+  EXPECT_FALSE(seq.ValueAt(-5).has_value());
+  EXPECT_FALSE(seq.ValueAt(105).has_value());
+}
+
+TEST(TSequence, AtPeriodInterpolatesBoundaries) {
+  const TFloatSeq seq = FSeq({{0.0, 0}, {10.0, 100}});
+  auto sub = seq.AtPeriod(Period(25, 75));
+  ASSERT_TRUE(sub.has_value());
+  EXPECT_EQ(sub->size(), 2u);
+  EXPECT_DOUBLE_EQ(sub->StartValue(), 2.5);
+  EXPECT_DOUBLE_EQ(sub->EndValue(), 7.5);
+  EXPECT_EQ(sub->StartTime(), 25);
+  EXPECT_EQ(sub->EndTime(), 75);
+}
+
+TEST(TSequence, AtPeriodKeepsInteriorInstants) {
+  const TFloatSeq seq = FSeq({{0.0, 0}, {10.0, 50}, {0.0, 100}});
+  auto sub = seq.AtPeriod(Period(25, 75));
+  ASSERT_TRUE(sub.has_value());
+  ASSERT_EQ(sub->size(), 3u);
+  EXPECT_DOUBLE_EQ(sub->instant(1).value, 10.0);
+  EXPECT_EQ(sub->instant(1).t, 50);
+}
+
+TEST(TSequence, AtPeriodDisjointIsEmpty) {
+  const TFloatSeq seq = FSeq({{0.0, 0}, {10.0, 100}});
+  EXPECT_FALSE(seq.AtPeriod(Period(200, 300)).has_value());
+}
+
+TEST(TSequence, AtPeriodInstantaneous) {
+  const TFloatSeq seq = FSeq({{0.0, 0}, {10.0, 100}});
+  auto sub = seq.AtPeriod(Period::Instant(50));
+  ASSERT_TRUE(sub.has_value());
+  EXPECT_EQ(sub->size(), 1u);
+  EXPECT_DOUBLE_EQ(sub->StartValue(), 5.0);
+}
+
+TEST(TSequence, AtPeriodSetSplits) {
+  const TFloatSeq seq = FSeq({{0.0, 0}, {10.0, 100}});
+  PeriodSet ps({Period(0, 20), Period(80, 100)});
+  auto parts = seq.AtPeriodSet(ps);
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_DOUBLE_EQ(parts[0].EndValue(), 2.0);
+  EXPECT_DOUBLE_EQ(parts[1].StartValue(), 8.0);
+}
+
+TEST(TSequence, MinusPeriodSet) {
+  const TFloatSeq seq = FSeq({{0.0, 0}, {10.0, 100}});
+  PeriodSet cut({Period(40, 60)});
+  auto parts = seq.MinusPeriodSet(cut);
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0].StartTime(), 0);
+  EXPECT_EQ(parts[0].EndTime(), 40);
+  EXPECT_FALSE(parts[0].upper_inc());
+  EXPECT_EQ(parts[1].StartTime(), 60);
+  EXPECT_FALSE(parts[1].lower_inc());
+  // Durations partition.
+  EXPECT_EQ(parts[0].DurationMicros() + parts[1].DurationMicros() + 20, 100);
+}
+
+TEST(TSequence, EverAlwaysValueEq) {
+  const TFloatSeq seq = FSeq({{1.0, 0}, {2.0, 10}, {1.0, 20}});
+  EXPECT_TRUE(seq.EverValueEq(2.0));
+  EXPECT_FALSE(seq.EverValueEq(3.0));
+  EXPECT_FALSE(seq.AlwaysValueEq(1.0));
+  const TFloatSeq constant = FSeq({{5.0, 0}, {5.0, 10}});
+  EXPECT_TRUE(constant.AlwaysValueEq(5.0));
+}
+
+TEST(TSequence, Shifted) {
+  const TFloatSeq seq = FSeq({{1.0, 0}, {2.0, 10}}).Shifted(100);
+  EXPECT_EQ(seq.StartTime(), 100);
+  EXPECT_EQ(seq.EndTime(), 110);
+}
+
+TEST(TSequence, AppendMaintainsInvariant) {
+  TFloatSeq seq = FSeq({{1.0, 0}});
+  EXPECT_TRUE(seq.Append({2.0, 10}).ok());
+  EXPECT_EQ(seq.size(), 2u);
+  EXPECT_FALSE(seq.Append({3.0, 10}).ok());
+  EXPECT_FALSE(seq.Append({3.0, 5}).ok());
+  EXPECT_TRUE(seq.Append({3.0, 11}).ok());
+}
+
+TEST(TSequence, FromValues) {
+  auto seq = TFloatSeq::FromValues({1.0, 2.0}, {0, 10});
+  ASSERT_TRUE(seq.ok());
+  EXPECT_EQ(seq->size(), 2u);
+  EXPECT_FALSE(TFloatSeq::FromValues({1.0}, {0, 10}).ok());
+}
+
+TEST(TSequence, PointSequenceInterpolation) {
+  auto seq = TSequence<Point>::Make(
+      {{Point{0, 0}, 0}, {Point{10, 20}, 100}});
+  ASSERT_TRUE(seq.ok());
+  const Point mid = *seq->ValueAt(50);
+  EXPECT_DOUBLE_EQ(mid.x, 5.0);
+  EXPECT_DOUBLE_EQ(mid.y, 10.0);
+}
+
+TEST(TSequence, SeqSetDuration) {
+  TSeqSet<double> set = {FSeq({{0.0, 0}, {1.0, 10}}),
+                         FSeq({{0.0, 20}, {1.0, 50}})};
+  EXPECT_EQ(SeqSetDuration(set), 40);
+}
+
+// Property: AtPeriod never yields values outside the original range and
+// always stays within the requested period.
+class AtPeriodProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(AtPeriodProperty, RestrictionStaysInBounds) {
+  const int k = GetParam();
+  const TFloatSeq seq =
+      FSeq({{0.0, 0}, {8.0, 40}, {-4.0, 80}, {2.0, 120}});
+  const Timestamp lo = k * 7 % 130;
+  const Timestamp hi = lo + 1 + (k * 13) % 40;
+  auto sub = seq.AtPeriod(Period(lo, hi));
+  if (!sub.has_value()) {
+    // Disjoint request.
+    EXPECT_TRUE(hi < seq.StartTime() || lo > seq.EndTime());
+    return;
+  }
+  EXPECT_GE(sub->StartTime(), lo);
+  EXPECT_LE(sub->EndTime(), hi);
+  EXPECT_GE(sub->StartTime(), seq.StartTime());
+  EXPECT_LE(sub->EndTime(), seq.EndTime());
+  for (const auto& ins : sub->instants()) {
+    EXPECT_GE(ins.value, -4.0);
+    EXPECT_LE(ins.value, 8.0);
+    // Restriction agrees with direct evaluation.
+    EXPECT_DOUBLE_EQ(ins.value, seq.ValueAtUnchecked(ins.t));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AtPeriodProperty, ::testing::Range(0, 30));
+
+}  // namespace
+}  // namespace nebulameos::meos

@@ -1,0 +1,271 @@
+// Tests for the temporal float/bool algebra (src/meos/tfloat_ops).
+
+#include <gtest/gtest.h>
+
+#include "meos/tfloat_ops.hpp"
+
+namespace nebulameos::meos {
+namespace {
+
+TFloatSeq FSeq(std::initializer_list<std::pair<double, Timestamp>> vals,
+               Interp interp = Interp::kLinear, bool li = true,
+               bool ui = true) {
+  std::vector<TInstant<double>> instants;
+  for (const auto& [v, t] : vals) instants.push_back({v, t});
+  auto seq = TFloatSeq::Make(std::move(instants), li, ui, interp);
+  EXPECT_TRUE(seq.ok()) << seq.status().ToString();
+  return *seq;
+}
+
+TEST(Arith, AddMulConst) {
+  const TFloatSeq seq = FSeq({{1.0, 0}, {2.0, 10}});
+  const TFloatSeq plus = AddConst(seq, 5.0);
+  EXPECT_DOUBLE_EQ(plus.StartValue(), 6.0);
+  EXPECT_DOUBLE_EQ(plus.EndValue(), 7.0);
+  const TFloatSeq times = MulConst(seq, 3.0);
+  EXPECT_DOUBLE_EQ(times.StartValue(), 3.0);
+  EXPECT_DOUBLE_EQ(times.EndValue(), 6.0);
+}
+
+TEST(Arith, SynchronizeAlignsInstants) {
+  const TFloatSeq a = FSeq({{0.0, 0}, {10.0, 100}});
+  const TFloatSeq b = FSeq({{5.0, 50}, {5.0, 150}});
+  auto sync = Synchronize(a, b);
+  ASSERT_TRUE(sync.has_value());
+  // Common period [50, 100]; union instants {50, 100}.
+  EXPECT_EQ(sync->first.StartTime(), 50);
+  EXPECT_EQ(sync->first.EndTime(), 100);
+  EXPECT_DOUBLE_EQ(sync->first.StartValue(), 5.0);
+  EXPECT_DOUBLE_EQ(sync->second.StartValue(), 5.0);
+}
+
+TEST(Arith, AddSequences) {
+  const TFloatSeq a = FSeq({{0.0, 0}, {10.0, 100}});
+  const TFloatSeq b = FSeq({{1.0, 0}, {1.0, 100}});
+  auto sum = Add(a, b);
+  ASSERT_TRUE(sum.has_value());
+  EXPECT_DOUBLE_EQ(sum->StartValue(), 1.0);
+  EXPECT_DOUBLE_EQ(sum->EndValue(), 11.0);
+  EXPECT_DOUBLE_EQ(*sum->ValueAt(50), 6.0);
+}
+
+TEST(Arith, SubDisjointIsNull) {
+  const TFloatSeq a = FSeq({{0.0, 0}, {1.0, 10}});
+  const TFloatSeq b = FSeq({{0.0, 20}, {1.0, 30}});
+  EXPECT_FALSE(Sub(a, b).has_value());
+}
+
+TEST(CmpConst, StepSequenceSwitchesAtInstants) {
+  const TFloatSeq seq =
+      FSeq({{1.0, 0}, {5.0, 10}, {2.0, 20}}, Interp::kStep);
+  const TBoolSeq tb = CmpConst(seq, CmpOp::kGt, 3.0);
+  // true exactly on [10, 20).
+  EXPECT_FALSE(*tb.ValueAt(5));
+  EXPECT_TRUE(*tb.ValueAt(10));
+  EXPECT_TRUE(*tb.ValueAt(19));
+  EXPECT_FALSE(*tb.ValueAt(20));
+}
+
+TEST(CmpConst, LinearCrossingExact) {
+  // 0 at t=0 rising to 10 at t=100; crosses 5 at t=50.
+  const TFloatSeq seq = FSeq({{0.0, 0}, {10.0, 100}});
+  const TBoolSeq tb = CmpConst(seq, CmpOp::kGe, 5.0);
+  const PeriodSet when = WhenTrue(tb);
+  ASSERT_EQ(when.size(), 1u);
+  EXPECT_EQ(when.periods()[0].lower(), 50);
+  EXPECT_EQ(when.periods()[0].upper(), 100);
+}
+
+TEST(CmpConst, DoubleCrossing) {
+  // Rise above 5 then fall below: true on the middle segment only.
+  const TFloatSeq seq = FSeq({{0.0, 0}, {10.0, 100}, {0.0, 200}});
+  const PeriodSet when = WhenCmp(seq, CmpOp::kGt, 5.0);
+  ASSERT_EQ(when.size(), 1u);
+  EXPECT_EQ(when.periods()[0].lower(), 50);
+  EXPECT_EQ(when.periods()[0].upper(), 150);
+  // Total true time = 100 of 200.
+  EXPECT_EQ(when.TotalDuration(), 100);
+}
+
+TEST(CmpConst, NeverTrue) {
+  const TFloatSeq seq = FSeq({{0.0, 0}, {1.0, 100}});
+  EXPECT_TRUE(WhenCmp(seq, CmpOp::kGt, 5.0).empty());
+  EXPECT_EQ(WhenCmp(seq, CmpOp::kLt, 5.0).TotalDuration(), 100);
+}
+
+TEST(EverAlways, BasicComparisons) {
+  const TFloatSeq seq = FSeq({{1.0, 0}, {9.0, 100}});
+  EXPECT_TRUE(Ever(seq, CmpOp::kGt, 8.0));
+  EXPECT_TRUE(Ever(seq, CmpOp::kLt, 2.0));
+  EXPECT_TRUE(Ever(seq, CmpOp::kEq, 5.0));  // attained by interpolation
+  EXPECT_FALSE(Ever(seq, CmpOp::kGt, 9.0));
+  EXPECT_TRUE(Ever(seq, CmpOp::kGe, 9.0));
+  EXPECT_TRUE(Always(seq, CmpOp::kGe, 1.0));
+  EXPECT_FALSE(Always(seq, CmpOp::kGt, 1.0));
+  EXPECT_TRUE(Always(seq, CmpOp::kLe, 9.0));
+}
+
+TEST(EverAlways, OpenBoundsExcludeEndpointValues) {
+  // Value 9 only at the (excluded) upper bound.
+  const TFloatSeq seq = FSeq({{1.0, 0}, {9.0, 100}}, Interp::kLinear, true,
+                             /*ui=*/false);
+  EXPECT_FALSE(Ever(seq, CmpOp::kGe, 9.0));
+  EXPECT_TRUE(Ever(seq, CmpOp::kGt, 8.999));
+  // Value 1 at the included lower bound.
+  EXPECT_TRUE(Ever(seq, CmpOp::kLe, 1.0));
+}
+
+TEST(EverAlways, ConstantSegment) {
+  const TFloatSeq seq = FSeq({{5.0, 0}, {5.0, 100}});
+  EXPECT_TRUE(Ever(seq, CmpOp::kEq, 5.0));
+  EXPECT_TRUE(Always(seq, CmpOp::kEq, 5.0));
+  EXPECT_FALSE(Ever(seq, CmpOp::kNe, 5.0));
+}
+
+TEST(EverAlways, SingleInstant) {
+  const TFloatSeq seq = FSeq({{3.0, 0}});
+  EXPECT_TRUE(Ever(seq, CmpOp::kEq, 3.0));
+  EXPECT_FALSE(Ever(seq, CmpOp::kGt, 3.0));
+  EXPECT_TRUE(Always(seq, CmpOp::kLe, 3.0));
+}
+
+TEST(MinMax, OverInstants) {
+  const TFloatSeq seq = FSeq({{3.0, 0}, {-2.0, 10}, {7.0, 20}});
+  EXPECT_DOUBLE_EQ(MinValue(seq), -2.0);
+  EXPECT_DOUBLE_EQ(MaxValue(seq), 7.0);
+}
+
+TEST(AtRange, RestrictsByValue) {
+  const TFloatSeq seq = FSeq({{0.0, 0}, {10.0, 100}});
+  const auto parts = AtRange(seq, 2.0, 4.0);
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0].StartTime(), 20);
+  EXPECT_EQ(parts[0].EndTime(), 40);
+  EXPECT_DOUBLE_EQ(parts[0].StartValue(), 2.0);
+  EXPECT_DOUBLE_EQ(parts[0].EndValue(), 4.0);
+}
+
+TEST(AtRange, MultipleSegments) {
+  // W-shape dips into [0,1] twice.
+  const TFloatSeq seq =
+      FSeq({{2.0, 0}, {0.0, 50}, {2.0, 100}, {0.0, 150}, {2.0, 200}});
+  const auto parts = AtRange(seq, 0.0, 1.0);
+  EXPECT_EQ(parts.size(), 2u);
+}
+
+TEST(Integral, LinearTrapezoid) {
+  const TFloatSeq seq = FSeq({{0.0, 0}, {10.0, Seconds(10)}});
+  EXPECT_NEAR(Integral(seq), 50.0, 1e-9);  // triangle: 10*10/2
+}
+
+TEST(Integral, StepRectangles) {
+  const TFloatSeq seq =
+      FSeq({{2.0, 0}, {4.0, Seconds(5)}, {0.0, Seconds(10)}}, Interp::kStep);
+  EXPECT_NEAR(Integral(seq), 2.0 * 5 + 4.0 * 5, 1e-9);
+}
+
+TEST(TwAvg, WeightsByTime) {
+  // 0 for 9 seconds, then jumps to 10 for 1 second (step).
+  const TFloatSeq seq =
+      FSeq({{0.0, 0}, {10.0, Seconds(9)}, {10.0, Seconds(10)}}, Interp::kStep);
+  EXPECT_NEAR(TwAvg(seq), 1.0, 1e-9);
+}
+
+TEST(TwAvg, InstantaneousFallsBackToValue) {
+  const TFloatSeq seq = FSeq({{7.0, 0}});
+  EXPECT_DOUBLE_EQ(TwAvg(seq), 7.0);
+}
+
+TEST(Derivative, SlopesPerSegment) {
+  const TFloatSeq seq =
+      FSeq({{0.0, 0}, {10.0, Seconds(10)}, {10.0, Seconds(20)}});
+  auto deriv = Derivative(seq);
+  ASSERT_TRUE(deriv.ok());
+  EXPECT_EQ(deriv->interp(), Interp::kStep);
+  EXPECT_NEAR(*deriv->ValueAt(Seconds(5)), 1.0, 1e-9);
+  EXPECT_NEAR(*deriv->ValueAt(Seconds(15)), 0.0, 1e-9);
+}
+
+TEST(Derivative, RequiresLinear) {
+  const TFloatSeq step = FSeq({{0.0, 0}, {1.0, 10}}, Interp::kStep);
+  EXPECT_FALSE(Derivative(step).ok());
+  const TFloatSeq single = FSeq({{0.0, 0}});
+  EXPECT_FALSE(Derivative(single).ok());
+}
+
+TEST(BoolOps, AndOrNot) {
+  auto a = TBoolSeq::Make({{true, 0}, {false, 50}, {true, 100}}, true, true,
+                          Interp::kStep);
+  auto b = TBoolSeq::Make({{true, 0}, {true, 100}}, true, true, Interp::kStep);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  auto both = TAnd(*a, *b);
+  ASSERT_TRUE(both.has_value());
+  EXPECT_TRUE(*both->ValueAt(10));
+  EXPECT_FALSE(*both->ValueAt(60));
+  auto either = TOr(*a, *b);
+  ASSERT_TRUE(either.has_value());
+  EXPECT_TRUE(*either->ValueAt(60));
+  const TBoolSeq neg = TNot(*a);
+  EXPECT_FALSE(*neg.ValueAt(10));
+  EXPECT_TRUE(*neg.ValueAt(60));
+}
+
+TEST(BoolOps, WhenTrueStepSemantics) {
+  auto tb = TBoolSeq::Make({{true, 0}, {false, 50}, {true, 100}}, true, true,
+                           Interp::kStep);
+  ASSERT_TRUE(tb.ok());
+  const PeriodSet when = WhenTrue(*tb);
+  // True on [0, 50) plus the final inclusive instant [100, 100].
+  ASSERT_EQ(when.size(), 2u);
+  EXPECT_EQ(when.periods()[0].lower(), 0);
+  EXPECT_EQ(when.periods()[0].upper(), 50);
+  EXPECT_FALSE(when.periods()[0].upper_inc());
+  EXPECT_EQ(when.periods()[1].lower(), 100);
+  EXPECT_EQ(when.periods()[1].upper(), 100);
+}
+
+TEST(BoolOps, EverAlwaysTrue) {
+  auto all_true =
+      TBoolSeq::Make({{true, 0}, {true, 10}}, true, true, Interp::kStep);
+  ASSERT_TRUE(all_true.ok());
+  EXPECT_TRUE(EverTrue(*all_true));
+  EXPECT_TRUE(AlwaysTrue(*all_true));
+  auto mixed = TBoolSeq::Make({{false, 0}, {true, 10}}, true, /*ui=*/false,
+                              Interp::kStep);
+  ASSERT_TRUE(mixed.ok());
+  // Final true value is never attained (open upper bound).
+  EXPECT_FALSE(EverTrue(*mixed));
+}
+
+TEST(Cmp, BetweenSequences) {
+  const TFloatSeq a = FSeq({{0.0, 0}, {10.0, 100}});
+  const TFloatSeq b = FSeq({{5.0, 0}, {5.0, 100}});
+  auto tb = Cmp(a, CmpOp::kGt, b);
+  ASSERT_TRUE(tb.has_value());
+  const PeriodSet when = WhenTrue(*tb);
+  ASSERT_EQ(when.size(), 1u);
+  EXPECT_EQ(when.periods()[0].lower(), 50);
+}
+
+// Property: WhenCmp(kGe, c) and WhenCmp(kLt, c) partition the period.
+class CmpPartition : public ::testing::TestWithParam<double> {};
+
+TEST_P(CmpPartition, GeAndLtPartitionTime) {
+  const double c = GetParam();
+  const TFloatSeq seq =
+      FSeq({{3.0, 0}, {-1.0, 40}, {6.0, 90}, {2.0, 130}});
+  const Duration above = WhenCmp(seq, CmpOp::kGe, c).TotalDuration();
+  const Duration below = WhenCmp(seq, CmpOp::kLt, c).TotalDuration();
+  // Allow 1 microsecond of rounding per crossing (up to 3 crossings).
+  EXPECT_NEAR(static_cast<double>(above + below),
+              static_cast<double>(seq.DurationMicros()), 3.0)
+      << "c=" << c;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CmpPartition,
+                         ::testing::Values(-2.0, -1.0, 0.0, 0.5, 1.5, 2.0,
+                                           3.0, 4.5, 5.999, 6.0, 7.0));
+
+}  // namespace
+}  // namespace nebulameos::meos

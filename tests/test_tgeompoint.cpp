@@ -1,0 +1,313 @@
+// Tests for the temporal-point operations (src/meos/tgeompoint) —
+// including the paper's two named operators, edwithin and tpoint_at_stbox.
+
+#include <gtest/gtest.h>
+
+#include "meos/stbox.hpp"
+#include "meos/tgeompoint.hpp"
+
+namespace nebulameos::meos {
+namespace {
+
+TGeomPointSeq PSeq(std::initializer_list<std::pair<Point, Timestamp>> vals) {
+  std::vector<TInstant<Point>> instants;
+  for (const auto& [p, t] : vals) instants.push_back({p, t});
+  auto seq = TGeomPointSeq::Make(std::move(instants));
+  EXPECT_TRUE(seq.ok()) << seq.status().ToString();
+  return *seq;
+}
+
+TEST(StBox, MakeAndContains) {
+  auto box = STBox::Make(0, 0, 10, 10, Period(0, 100));
+  ASSERT_TRUE(box.ok());
+  EXPECT_TRUE(box->Contains({5, 5}, 50));
+  EXPECT_FALSE(box->Contains({5, 5}, 150));
+  EXPECT_FALSE(box->Contains({11, 5}, 50));
+  EXPECT_FALSE(STBox::Make(10, 0, 0, 10, Period(0, 1)).ok());
+}
+
+TEST(StBox, SpatialOnlyIgnoresTime) {
+  auto box = STBox::MakeSpatial(0, 0, 10, 10);
+  ASSERT_TRUE(box.ok());
+  EXPECT_TRUE(box->ContainsTime(999999));
+  EXPECT_TRUE(box->Contains({1, 1}, -5));
+}
+
+TEST(StBox, OverlapsAndUnion) {
+  auto a = STBox::Make(0, 0, 10, 10, Period(0, 100));
+  auto b = STBox::Make(5, 5, 20, 20, Period(50, 200));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(a->Overlaps(*b));
+  const STBox u = a->Union(*b);
+  EXPECT_DOUBLE_EQ(u.xmax(), 20.0);
+  EXPECT_EQ(u.tmax(), 200);
+  auto far = STBox::Make(50, 50, 60, 60, Period(0, 100));
+  ASSERT_TRUE(far.ok());
+  EXPECT_FALSE(a->Overlaps(*far));
+  // Time-disjoint boxes do not overlap even when spatially nested.
+  auto later = STBox::Make(0, 0, 10, 10, Period(200, 300));
+  ASSERT_TRUE(later.ok());
+  EXPECT_FALSE(a->Overlaps(*later));
+}
+
+TEST(StBox, ContainsBoxAndExpand) {
+  auto outer = STBox::Make(0, 0, 10, 10, Period(0, 100));
+  auto inner = STBox::Make(2, 2, 8, 8, Period(10, 90));
+  ASSERT_TRUE(outer.ok());
+  ASSERT_TRUE(inner.ok());
+  EXPECT_TRUE(outer->ContainsBox(*inner));
+  EXPECT_FALSE(inner->ContainsBox(*outer));
+  const STBox grown = inner->Expanded(2.0, 10);
+  EXPECT_TRUE(grown.ContainsBox(*outer));
+}
+
+TEST(TPoint, BoundingBox) {
+  const auto seq = PSeq({{{0, 0}, 0}, {{10, 5}, 100}});
+  const STBox box = BoundingBox(seq);
+  EXPECT_DOUBLE_EQ(box.xmin(), 0.0);
+  EXPECT_DOUBLE_EQ(box.xmax(), 10.0);
+  EXPECT_DOUBLE_EQ(box.ymax(), 5.0);
+  EXPECT_EQ(box.tmin(), 0);
+  EXPECT_EQ(box.tmax(), 100);
+}
+
+TEST(TPoint, LengthCartesian) {
+  const auto seq = PSeq({{{0, 0}, 0}, {{3, 4}, 50}, {{3, 4}, 100}});
+  EXPECT_DOUBLE_EQ(Length(seq, Metric::kCartesian), 5.0);
+}
+
+TEST(TPoint, CumulativeLengthMonotone) {
+  const auto seq = PSeq({{{0, 0}, 0}, {{3, 4}, 50}, {{6, 8}, 100}});
+  const TFloatSeq cum = CumulativeLength(seq, Metric::kCartesian);
+  EXPECT_DOUBLE_EQ(cum.StartValue(), 0.0);
+  EXPECT_DOUBLE_EQ(cum.EndValue(), 10.0);
+  EXPECT_DOUBLE_EQ(*cum.ValueAt(25), 2.5);
+}
+
+TEST(TPoint, SpeedStepSequence) {
+  // 10 units in 10 seconds then stationary.
+  const auto seq = PSeq(
+      {{{0, 0}, 0}, {{10, 0}, Seconds(10)}, {{10, 0}, Seconds(20)}});
+  auto speed = Speed(seq, Metric::kCartesian);
+  ASSERT_TRUE(speed.ok());
+  EXPECT_NEAR(*speed->ValueAt(Seconds(5)), 1.0, 1e-9);
+  EXPECT_NEAR(*speed->ValueAt(Seconds(15)), 0.0, 1e-9);
+  const auto single = PSeq({{{0, 0}, 0}});
+  EXPECT_FALSE(Speed(single, Metric::kCartesian).ok());
+}
+
+TEST(TPoint, TwCentroidWeightsTime) {
+  // Dwell at (0,0) for 90, then move to (10,0) during 10.
+  const auto seq =
+      PSeq({{{0, 0}, 0}, {{0, 0}, 90}, {{10, 0}, 100}});
+  const Point c = TwCentroid(seq);
+  EXPECT_NEAR(c.x, 0.5, 1e-9);  // 0*0.9 + 5*0.1
+  EXPECT_NEAR(c.y, 0.0, 1e-9);
+}
+
+TEST(TPoint, WhenInsideBoxExactCrossings) {
+  // Straight run through box x in [2, 8] over t in [0, 100].
+  const auto seq = PSeq({{{0, 5}, 0}, {{10, 5}, 100}});
+  const PeriodSet inside = WhenInsideBox(seq, GeoBox{2, 0, 8, 10});
+  ASSERT_EQ(inside.size(), 1u);
+  EXPECT_EQ(inside.periods()[0].lower(), 20);
+  EXPECT_EQ(inside.periods()[0].upper(), 80);
+}
+
+TEST(TPoint, WhenInsideBoxMiss) {
+  const auto seq = PSeq({{{0, 20}, 0}, {{10, 20}, 100}});
+  EXPECT_TRUE(WhenInsideBox(seq, GeoBox{2, 0, 8, 10}).empty());
+}
+
+TEST(TPoint, AtStboxSplitsReentry) {
+  // Zig-zag: inside x in [0,10] only while y <= 5; enters twice.
+  const auto seq = PSeq({{{5, 0}, 0},
+                         {{5, 10}, 100},   // leaves at y=5 (t=50)
+                         {{5, 0}, 200}});  // re-enters at y=5 (t=150)
+  auto box = STBox::MakeSpatial(0, 0, 10, 5);
+  ASSERT_TRUE(box.ok());
+  const auto parts = AtStbox(seq, *box);
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0].StartTime(), 0);
+  EXPECT_EQ(parts[0].EndTime(), 50);
+  EXPECT_EQ(parts[1].StartTime(), 150);
+  EXPECT_EQ(parts[1].EndTime(), 200);
+  // Boundary instants interpolate onto the box edge.
+  EXPECT_NEAR(parts[0].EndValue().y, 5.0, 1e-9);
+  EXPECT_NEAR(parts[1].StartValue().y, 5.0, 1e-9);
+}
+
+TEST(TPoint, AtStboxAppliesTimeFirst) {
+  const auto seq = PSeq({{{0, 0}, 0}, {{10, 0}, 100}});
+  auto box = STBox::Make(0, -1, 10, 1, Period(25, 75));
+  ASSERT_TRUE(box.ok());
+  const auto parts = AtStbox(seq, *box);
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0].StartTime(), 25);
+  EXPECT_EQ(parts[0].EndTime(), 75);
+  EXPECT_NEAR(parts[0].StartValue().x, 2.5, 1e-9);
+}
+
+TEST(TPoint, AtStboxTemporalOnly) {
+  const auto seq = PSeq({{{0, 0}, 0}, {{10, 0}, 100}});
+  const STBox box = STBox::MakeTemporal(Period(10, 20));
+  const auto parts = AtStbox(seq, box);
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0].StartTime(), 10);
+  EXPECT_EQ(parts[0].EndTime(), 20);
+}
+
+TEST(TPoint, MinusStboxComplements) {
+  const auto seq = PSeq({{{0, 5}, 0}, {{10, 5}, 100}});
+  auto box = STBox::MakeSpatial(2, 0, 8, 10);
+  ASSERT_TRUE(box.ok());
+  const auto inside = AtStbox(seq, *box);
+  const auto outside = MinusStbox(seq, *box);
+  Duration total = 0;
+  for (const auto& s : inside) total += s.DurationMicros();
+  for (const auto& s : outside) total += s.DurationMicros();
+  EXPECT_NEAR(static_cast<double>(total), 100.0, 2.0);
+}
+
+TEST(TPoint, AtGeometryTriangle) {
+  auto poly = Polygon::Make({{2, 0}, {8, 0}, {5, 6}});
+  ASSERT_TRUE(poly.ok());
+  const auto seq = PSeq({{{0, 2}, 0}, {{10, 2}, 100}});
+  const auto parts = AtGeometry(seq, *poly);
+  ASSERT_EQ(parts.size(), 1u);
+  // Crossing the triangle edges at y=2: x in [3, 7] -> t in [30, 70].
+  EXPECT_NEAR(static_cast<double>(parts[0].StartTime()), 30.0, 1.0);
+  EXPECT_NEAR(static_cast<double>(parts[0].EndTime()), 70.0, 1.0);
+}
+
+TEST(TPoint, WhenInsidePolygonNonConvexSplits) {
+  // U-shape: passes through both prongs.
+  auto poly = Polygon::Make(
+      {{0, 0}, {10, 0}, {10, 10}, {7, 10}, {7, 3}, {3, 3}, {3, 10}, {0, 10}});
+  ASSERT_TRUE(poly.ok());
+  const auto seq = PSeq({{{-1, 5}, 0}, {{11, 5}, 120}});
+  const PeriodSet inside = WhenInsidePolygon(seq, *poly);
+  EXPECT_EQ(inside.size(), 2u);
+}
+
+TEST(TPoint, EverDWithinPointTarget) {
+  const auto seq = PSeq({{{0, 0}, 0}, {{10, 0}, 100}});
+  EXPECT_TRUE(EverDWithin(seq, Point{5, 3}, 3.0, Metric::kCartesian));
+  EXPECT_FALSE(EverDWithin(seq, Point{5, 3}, 2.9, Metric::kCartesian));
+  // Pruning path: far target.
+  EXPECT_FALSE(EverDWithin(seq, Point{100, 100}, 5.0, Metric::kCartesian));
+}
+
+TEST(TPoint, EverDWithinInterpolatedApproach) {
+  // Closest approach between instants: passes within 1 of (5, 1) at t=50.
+  const auto seq = PSeq({{{0, 0}, 0}, {{10, 0}, 100}});
+  EXPECT_TRUE(EverDWithin(seq, Point{5, 1}, 1.0, Metric::kCartesian));
+  EXPECT_FALSE(EverDWithin(seq, Point{5, 1}, 0.5, Metric::kCartesian));
+}
+
+TEST(TPoint, EverDWithinPolygonTarget) {
+  auto poly = Polygon::Make({{20, -1}, {22, -1}, {22, 1}, {20, 1}});
+  ASSERT_TRUE(poly.ok());
+  const auto seq = PSeq({{{0, 0}, 0}, {{10, 0}, 100}});
+  EXPECT_TRUE(EverDWithin(seq, *poly, 10.0, Metric::kCartesian));
+  EXPECT_FALSE(EverDWithin(seq, *poly, 9.0, Metric::kCartesian));
+  // Crossing the polygon: distance 0.
+  const auto through = PSeq({{{19, 0}, 0}, {{23, 0}, 100}});
+  EXPECT_TRUE(EverDWithin(through, *poly, 0.0, Metric::kCartesian));
+}
+
+TEST(TPoint, EverDWithinMovingMoving) {
+  // Two objects crossing paths at t=50.
+  const auto a = PSeq({{{0, 0}, 0}, {{10, 0}, 100}});
+  const auto b = PSeq({{{10, 0.5}, 0}, {{0, 0.5}, 100}});
+  EXPECT_TRUE(EverDWithin(a, b, 0.5, Metric::kCartesian));
+  EXPECT_FALSE(EverDWithin(a, b, 0.4, Metric::kCartesian));
+  // Parallel objects at constant distance 3.
+  const auto c = PSeq({{{0, 3}, 0}, {{10, 3}, 100}});
+  EXPECT_TRUE(EverDWithin(a, c, 3.0, Metric::kCartesian));
+  EXPECT_FALSE(EverDWithin(a, c, 2.5, Metric::kCartesian));
+}
+
+TEST(TPoint, TDwithinCrossingTimes) {
+  // Enters the radius-3 disc around (5,0) at x=2 (t=20), leaves at x=8.
+  const auto seq = PSeq({{{0, 0}, 0}, {{10, 0}, 100}});
+  auto tb = TDwithin(seq, Point{5, 0}, 3.0, Metric::kCartesian);
+  ASSERT_TRUE(tb.ok());
+  const PeriodSet when = WhenTrue(*tb);
+  ASSERT_EQ(when.size(), 1u);
+  EXPECT_NEAR(static_cast<double>(when.periods()[0].lower()), 20.0, 1.0);
+  EXPECT_NEAR(static_cast<double>(when.periods()[0].upper()), 80.0, 1.0);
+}
+
+TEST(TPoint, TDwithinNeverInside) {
+  const auto seq = PSeq({{{0, 10}, 0}, {{10, 10}, 100}});
+  auto tb = TDwithin(seq, Point{5, 0}, 3.0, Metric::kCartesian);
+  ASSERT_TRUE(tb.ok());
+  EXPECT_TRUE(WhenTrue(*tb).empty());
+}
+
+TEST(TPoint, DistanceToPointIncludesClosestApproach) {
+  const auto seq = PSeq({{{0, 0}, 0}, {{10, 0}, 100}});
+  auto dist = DistanceToPoint(seq, Point{5, 2}, Metric::kCartesian);
+  ASSERT_TRUE(dist.ok());
+  // Minimum value is the exact nearest-approach distance (2 at t=50).
+  EXPECT_NEAR(MinValue(*dist), 2.0, 1e-9);
+  EXPECT_TRUE(dist->ValueAt(50).has_value());
+}
+
+TEST(TPoint, NearestApproach) {
+  const auto seq = PSeq({{{0, 0}, 0}, {{10, 0}, 100}});
+  EXPECT_NEAR(NearestApproachDistance(seq, Point{7, 4}, Metric::kCartesian),
+              4.0, 1e-9);
+  EXPECT_EQ(NearestApproachInstant(seq, Point{7, 4}, Metric::kCartesian), 70);
+}
+
+TEST(TPoint, EverIntersects) {
+  auto poly = Polygon::Make({{4, -1}, {6, -1}, {6, 1}, {4, 1}});
+  ASSERT_TRUE(poly.ok());
+  EXPECT_TRUE(
+      EverIntersects(PSeq({{{0, 0}, 0}, {{10, 0}, 100}}), *poly));
+  EXPECT_FALSE(
+      EverIntersects(PSeq({{{0, 5}, 0}, {{10, 5}, 100}}), *poly));
+}
+
+// Property sweep: every sub-sequence of AtStbox lies inside the box, and
+// the restriction is idempotent.
+class AtStboxProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(AtStboxProperty, ResultInsideBoxAndIdempotent) {
+  const int k = GetParam();
+  // A jagged path whose shape depends on k.
+  std::vector<TInstant<Point>> instants;
+  for (int i = 0; i < 8; ++i) {
+    const double x = (i * (k % 5 + 1)) % 13 - 2.0;
+    const double y = (i * (k % 3 + 2)) % 9 - 1.0;
+    instants.push_back({Point{x, y}, static_cast<Timestamp>(i * 100)});
+  }
+  auto seq = TGeomPointSeq::Make(std::move(instants));
+  ASSERT_TRUE(seq.ok());
+  auto box = STBox::Make(0, 0, 6, 5, Period(50, 650));
+  ASSERT_TRUE(box.ok());
+  const auto parts = AtStbox(*seq, *box);
+  for (const auto& part : parts) {
+    for (const auto& ins : part.instants()) {
+      EXPECT_GE(ins.value.x, box->xmin() - 1e-6);
+      EXPECT_LE(ins.value.x, box->xmax() + 1e-6);
+      EXPECT_GE(ins.value.y, box->ymin() - 1e-6);
+      EXPECT_LE(ins.value.y, box->ymax() + 1e-6);
+      EXPECT_TRUE(box->ContainsTime(ins.t));
+    }
+    // Idempotence: restricting again changes nothing but rounding.
+    const auto again = AtStbox(part, *box);
+    Duration d = 0;
+    for (const auto& s : again) d += s.DurationMicros();
+    EXPECT_NEAR(static_cast<double>(d),
+                static_cast<double>(part.DurationMicros()), 4.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AtStboxProperty, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace nebulameos::meos

@@ -1,0 +1,152 @@
+// Tests for the topology simulation (src/nebula/topology) — Figure 1's
+// edge architecture as a measurable model.
+
+#include <gtest/gtest.h>
+
+#include "nebula/topology.hpp"
+
+namespace nebulameos::nebula {
+namespace {
+
+TEST(Topology, AddNodeRejectsDuplicates) {
+  Topology topo;
+  EXPECT_TRUE(topo.AddNode({1, NodeKind::kEdgeWorker, "a", 1.0}).ok());
+  EXPECT_FALSE(topo.AddNode({1, NodeKind::kCloudWorker, "b", 1.0}).ok());
+}
+
+TEST(Topology, AddLinkValidatesEndpointsAndBandwidth) {
+  Topology topo;
+  ASSERT_TRUE(topo.AddNode({1, NodeKind::kEdgeWorker, "a", 1.0}).ok());
+  ASSERT_TRUE(topo.AddNode({2, NodeKind::kCloudWorker, "b", 1.0}).ok());
+  EXPECT_FALSE(topo.AddLink({1, 3, 1e6, 0}).ok());
+  EXPECT_FALSE(topo.AddLink({1, 2, 0.0, 0}).ok());
+  EXPECT_TRUE(topo.AddLink({1, 2, 1e6, Millis(10)}).ok());
+  EXPECT_TRUE(topo.GetLink(1, 2).ok());
+  EXPECT_FALSE(topo.GetLink(2, 1).ok());
+}
+
+TEST(Topology, SncbReferenceShape) {
+  const Topology topo = Topology::SncbReference(6, 1e6, Millis(50));
+  // Coordinator + cloud worker + 6 trains.
+  EXPECT_EQ(topo.nodes().size(), 8u);
+  int edges = 0, clouds = 0, coords = 0;
+  for (const auto& node : topo.nodes()) {
+    switch (node.kind) {
+      case NodeKind::kEdgeWorker:
+        ++edges;
+        break;
+      case NodeKind::kCloudWorker:
+        ++clouds;
+        break;
+      case NodeKind::kCoordinator:
+        ++coords;
+        break;
+    }
+  }
+  EXPECT_EQ(edges, 6);
+  EXPECT_EQ(clouds, 1);
+  EXPECT_EQ(coords, 1);
+  // Every train has an uplink to the cloud worker.
+  for (const auto& node : topo.nodes()) {
+    if (node.kind == NodeKind::kEdgeWorker) {
+      EXPECT_TRUE(topo.GetLink(node.id, 1).ok());
+      EXPECT_TRUE(topo.GetLink(1, node.id).ok());
+    }
+  }
+}
+
+// A measured chain: filter keeping 1% (selectivity), then the sink.
+std::vector<std::pair<std::string, OperatorStats>> MeasuredChain(
+    uint64_t source_bytes) {
+  OperatorStats filter;
+  filter.events_in = 100'000;
+  filter.bytes_in = source_bytes;
+  filter.events_out = 1'000;
+  filter.bytes_out = source_bytes / 100;
+  OperatorStats sink;
+  sink.events_in = filter.events_out;
+  sink.bytes_in = filter.bytes_out;
+  return {{"Filter", filter}, {"CollectSink", sink}};
+}
+
+TEST(Deployment, EdgePushdownShipsOnlyResults) {
+  const Topology topo = Topology::SncbReference(1, 1e6, Millis(50));
+  const uint64_t source_bytes = 10'000'000;
+  const auto chain = MeasuredChain(source_bytes);
+  const Placement placement = EdgePushdownPlacement(chain.size(), 2, 1);
+  auto report = SimulateDeployment(topo, chain, source_bytes, placement);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  // Only the filter's output crosses the uplink.
+  EXPECT_EQ(report->uplink_bytes, source_bytes / 100);
+}
+
+TEST(Deployment, CloudPlacementShipsRawStream) {
+  const Topology topo = Topology::SncbReference(1, 1e6, Millis(50));
+  const uint64_t source_bytes = 10'000'000;
+  const auto chain = MeasuredChain(source_bytes);
+  const Placement placement = CloudPlacement(chain.size(), 2, 1);
+  auto report = SimulateDeployment(topo, chain, source_bytes, placement);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->uplink_bytes, source_bytes);
+  // Edge pushdown wins by the filter's selectivity.
+  const auto pushdown = SimulateDeployment(
+      topo, chain, source_bytes, EdgePushdownPlacement(chain.size(), 2, 1));
+  ASSERT_TRUE(pushdown.ok());
+  EXPECT_GT(report->uplink_bytes, pushdown->uplink_bytes * 50);
+  EXPECT_GT(report->total_transfer_seconds,
+            pushdown->total_transfer_seconds);
+}
+
+TEST(Deployment, TransferTimeUsesBandwidthAndLatency) {
+  Topology topo;
+  ASSERT_TRUE(topo.AddNode({1, NodeKind::kEdgeWorker, "edge", 1.0}).ok());
+  ASSERT_TRUE(topo.AddNode({2, NodeKind::kCloudWorker, "cloud", 1.0}).ok());
+  ASSERT_TRUE(topo.AddLink({1, 2, 1000.0, Millis(500)}).ok());
+  OperatorStats sink;
+  std::vector<std::pair<std::string, OperatorStats>> chain = {
+      {"CountingSink", sink}};
+  Placement placement;
+  placement.node_of[-1] = 1;
+  placement.node_of[0] = 2;
+  auto report = SimulateDeployment(topo, chain, 2000, placement);
+  ASSERT_TRUE(report.ok());
+  // 2000 bytes at 1000 B/s + 0.5 s latency = 2.5 s.
+  EXPECT_NEAR(report->total_transfer_seconds, 2.5, 1e-9);
+  EXPECT_EQ(report->uplink_bytes, 2000u);
+}
+
+TEST(Deployment, MissingLinkOrPlacementErrors) {
+  Topology topo;
+  ASSERT_TRUE(topo.AddNode({1, NodeKind::kEdgeWorker, "edge", 1.0}).ok());
+  ASSERT_TRUE(topo.AddNode({2, NodeKind::kCloudWorker, "cloud", 1.0}).ok());
+  OperatorStats sink;
+  std::vector<std::pair<std::string, OperatorStats>> chain = {
+      {"CountingSink", sink}};
+  Placement placement;
+  placement.node_of[-1] = 1;
+  placement.node_of[0] = 2;
+  // No link between 1 and 2.
+  EXPECT_FALSE(SimulateDeployment(topo, chain, 100, placement).ok());
+  // Missing operator in placement.
+  Placement incomplete;
+  incomplete.node_of[-1] = 1;
+  EXPECT_FALSE(SimulateDeployment(topo, chain, 100, incomplete).ok());
+}
+
+TEST(Deployment, SameNodeTransfersAreFree) {
+  Topology topo;
+  ASSERT_TRUE(topo.AddNode({1, NodeKind::kEdgeWorker, "edge", 1.0}).ok());
+  OperatorStats sink;
+  std::vector<std::pair<std::string, OperatorStats>> chain = {
+      {"CountingSink", sink}};
+  Placement placement;
+  placement.node_of[-1] = 1;
+  placement.node_of[0] = 1;
+  auto report = SimulateDeployment(topo, chain, 1'000'000, placement);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->uplink_bytes, 0u);
+  EXPECT_DOUBLE_EQ(report->total_transfer_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace nebulameos::nebula
