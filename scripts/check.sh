@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Tier-1 verify: configure + build + test in one command (ROADMAP.md).
+#   scripts/check.sh [build-dir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j
+cd "$BUILD_DIR" && ctest --output-on-failure -j

@@ -4,7 +4,8 @@
 ///
 /// The paper's dataset comes from six SNCB trains running on the Belgian
 /// network for six months — proprietary data we substitute with a
-/// deterministic model (DESIGN.md §2). Coordinates approximate real Belgian
+/// deterministic model (docs/ARCHITECTURE.md, "SNCB fleet simulation").
+/// Coordinates approximate real Belgian
 /// cities so Figure-2-style exports render plausibly; geometry is what the
 /// queries exercise (zone crossings, station stops, curve segments), not
 /// the exact track alignment.

@@ -3,7 +3,7 @@
 ///
 /// Replaces the proprietary SNCB six-month dataset with a deterministic
 /// generator whose signals exhibit exactly the behaviours the eight demo
-/// queries detect (DESIGN.md §2):
+/// queries detect (docs/ARCHITECTURE.md, "SNCB fleet simulation"):
 ///
 /// * **kinematics** — each train shuttles along its line with an
 ///   accelerate / cruise / brake / dwell profile, stopping at stations;

@@ -3,7 +3,8 @@
 ///
 /// Q4 joins the train stream with per-zone weather. The live OpenMeteo API
 /// is replaced by a seeded generator producing hour-stable conditions per
-/// weather zone (DESIGN.md §2): every (zone, hour) hashes to a condition
+/// weather zone (docs/ARCHITECTURE.md, "SNCB fleet simulation"): every
+/// (zone, hour) hashes to a condition
 /// and intensity, so runs are reproducible and the join path is exercised
 /// identically.
 
