@@ -35,7 +35,7 @@ void ReportQuery(const DemoEnvironment& env, int number, uint64_t events,
     return;
   }
   NodeEngine engine;
-  auto id = engine.Submit(std::move(built->query));
+  auto id = engine.Submit(std::move(built->plan));
   if (!id.ok() || !engine.RunToCompletion(*id).ok()) {
     std::fprintf(stderr, "run failed\n");
     return;

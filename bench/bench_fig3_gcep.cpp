@@ -30,7 +30,7 @@ std::vector<std::vector<Value>> RunCollect(const DemoEnvironment& env,
     return {};
   }
   NodeEngine engine;
-  auto id = engine.Submit(std::move(built->query));
+  auto id = engine.Submit(std::move(built->plan));
   if (!id.ok() || !engine.RunToCompletion(*id).ok()) return {};
   return built->collect->Rows();
 }

@@ -6,9 +6,13 @@
 /// second". Record widths reproduce the paper's MB↔events ratios exactly
 /// (records.hpp), so the MB/s : ke/s ratio per row must match the paper; the
 /// absolute rates depend on the host (the authors ran an Intel Atom edge
-/// device). The final column reports measured-vs-paper speedup.
+/// device). Each query runs twice — plan optimizer on and off — so the
+/// rewriter's contribution is visible per query, and the full report is
+/// also written as machine-readable JSON (`BENCH_t1.json`, override with
+/// argv[2]) to track the perf trajectory across PRs.
 
 #include <cstdio>
+#include <string>
 
 #include "queries/queries.hpp"
 
@@ -26,7 +30,8 @@ struct Row {
   uint64_t emitted;
 };
 
-Row RunQuery(const DemoEnvironment& env, int number, uint64_t max_events) {
+Row RunQuery(const DemoEnvironment& env, int number, uint64_t max_events,
+             bool optimize) {
   QueryOptions options;
   options.max_events = max_events;
   options.sink = SinkMode::kCounting;
@@ -36,8 +41,10 @@ Row RunQuery(const DemoEnvironment& env, int number, uint64_t max_events) {
                  built.status().ToString().c_str());
     return {number, 0, 0, 0, 0, 0};
   }
-  nebula::NodeEngine engine;
-  auto id = engine.Submit(std::move(built->query));
+  nebula::EngineOptions engine_options;
+  engine_options.optimizer.enable = optimize;
+  nebula::NodeEngine engine(engine_options);
+  auto id = engine.Submit(std::move(built->plan));
   if (!id.ok() || !engine.RunToCompletion(*id).ok()) {
     std::fprintf(stderr, "run Q%d failed\n", number);
     return {number, 0, 0, 0, 0, 0};
@@ -58,6 +65,7 @@ Row RunQuery(const DemoEnvironment& env, int number, uint64_t max_events) {
 int main(int argc, char** argv) {
   uint64_t events = 400'000;
   if (argc > 1) events = std::strtoull(argv[1], nullptr, 10);
+  const std::string json_path = argc > 2 ? argv[2] : "BENCH_t1.json";
 
   auto env = DemoEnvironment::Create();
   if (!env.ok()) {
@@ -71,21 +79,25 @@ int main(int argc, char** argv) {
   std::printf("events per query: %llu (override: argv[1])\n\n",
               static_cast<unsigned long long>(events));
   std::printf(
-      "%-30s %9s %9s | %9s %9s | %9s %9s | %8s %8s\n", "query", "paper",
-      "paper", "measured", "measured", "ratio", "ratio", "elapsed", "out");
+      "%-30s %9s %9s | %9s %9s %9s | %9s %9s | %8s %8s\n", "query", "paper",
+      "paper", "measured", "measured", "no-opt", "ratio", "ratio", "elapsed",
+      "out");
   std::printf(
-      "%-30s %9s %9s | %9s %9s | %9s %9s | %8s %8s\n", "", "ke/s", "MB/s",
-      "ke/s", "MB/s", "MB/ke", "MB/ke", "s", "events");
+      "%-30s %9s %9s | %9s %9s %9s | %9s %9s | %8s %8s\n", "", "ke/s", "MB/s",
+      "ke/s", "MB/s", "ke/s", "MB/ke", "MB/ke", "s", "events");
   std::printf(
-      "%-30s %9s %9s | %9s %9s | %9s %9s | %8s %8s\n", "", "", "", "", "",
-      "paper", "measured", "", "");
+      "%-30s %9s %9s | %9s %9s %9s | %9s %9s | %8s %8s\n", "", "", "", "", "",
+      "", "paper", "measured", "", "");
   std::printf("-------------------------------------------------------------"
-              "----------------------------------------------------\n");
+              "----------------------------------------------------------\n");
 
   double min_speedup = 1e30, max_speedup = 0.0;
+  Row optimized[9] = {}, verbatim[9] = {};
   for (int q = 1; q <= 8; ++q) {
     const PaperThroughput paper = PaperReportedThroughput(q);
-    const Row row = RunQuery(**env, q, events);
+    optimized[q] = RunQuery(**env, q, events, /*optimize=*/true);
+    verbatim[q] = RunQuery(**env, q, events, /*optimize=*/false);
+    const Row& row = optimized[q];
     const double paper_ratio =
         paper.megabytes_per_s / paper.kilo_events_per_s;
     const double measured_ratio =
@@ -96,17 +108,53 @@ int main(int argc, char** argv) {
     min_speedup = std::min(min_speedup, speedup);
     max_speedup = std::max(max_speedup, speedup);
     std::printf(
-        "%-30s %9.2f %9.2f | %9.1f %9.2f | %9.4f %9.4f | %8.2f %8llu\n",
+        "%-30s %9.2f %9.2f | %9.1f %9.2f %9.1f | %9.4f %9.4f | %8.2f %8llu\n",
         QueryName(q), paper.kilo_events_per_s, paper.megabytes_per_s,
-        row.ke_per_s, row.mb_per_s, paper_ratio, measured_ratio, row.seconds,
+        row.ke_per_s, row.mb_per_s, verbatim[q].ke_per_s, paper_ratio,
+        measured_ratio, row.seconds,
         static_cast<unsigned long long>(row.emitted));
   }
   std::printf("\nShape check: the MB/ke ratio per row is fixed by the record"
               " width and must match\nthe paper's ratio exactly (0.112,"
               " 0.0763, 0.115, 0.040, 0.112). Absolute rates scale\nwith the"
               " host: this machine runs %.0fx-%.0fx faster than the paper's"
-              " Intel Atom edge device.\n",
+              " Intel Atom edge device.\nThe no-opt column reruns each query"
+              " with the plan rewriter disabled.\n",
               min_speedup, max_speedup);
+
+  // Machine-readable trajectory record (one JSON object per run).
+  if (FILE* json = std::fopen(json_path.c_str(), "w")) {
+    std::fprintf(json,
+                 "{\n  \"bench\": \"t1_query_throughput\",\n"
+                 "  \"events_per_query\": %llu,\n  \"queries\": [\n",
+                 static_cast<unsigned long long>(events));
+    for (int q = 1; q <= 8; ++q) {
+      const PaperThroughput paper = PaperReportedThroughput(q);
+      const Row& row = optimized[q];
+      std::fprintf(
+          json,
+          "    {\"query\": %d, \"name\": \"%s\", \"events\": %llu,\n"
+          "     \"seconds\": %.4f, \"ke_per_s\": %.2f, \"mb_per_s\": %.3f,\n"
+          "     \"ke_per_s_unoptimized\": %.2f, \"events_emitted\": %llu,\n"
+          "     \"paper_ke_per_s\": %.2f, \"paper_mb_per_s\": %.2f,\n"
+          "     \"speedup_vs_paper\": %.2f, \"optimizer_gain\": %.4f}%s\n",
+          q, QueryName(q), static_cast<unsigned long long>(row.events),
+          row.seconds, row.ke_per_s, row.mb_per_s, verbatim[q].ke_per_s,
+          static_cast<unsigned long long>(row.emitted),
+          paper.kilo_events_per_s, paper.megabytes_per_s,
+          paper.kilo_events_per_s > 0
+              ? row.ke_per_s / paper.kilo_events_per_s
+              : 0.0,
+          verbatim[q].ke_per_s > 0 ? row.ke_per_s / verbatim[q].ke_per_s
+                                   : 0.0,
+          q < 8 ? "," : "");
+    }
+    std::fprintf(json, "  ]\n}\n");
+    std::fclose(json);
+    std::printf("\nwrote %s\n", json_path.c_str());
+  } else {
+    std::fprintf(stderr, "could not write %s\n", json_path.c_str());
+  }
 
   // Second pass: offered load paced to the paper's exact rates — the
   // engine must sustain every row of the paper's report (achieved ≈ paper).
@@ -128,7 +176,7 @@ int main(int argc, char** argv) {
     auto built = BuildQuery(q, **env, options);
     if (!built.ok()) continue;
     nebula::NodeEngine engine;
-    auto id = engine.Submit(std::move(built->query));
+    auto id = engine.Submit(std::move(built->plan));
     if (!id.ok() || !engine.RunToCompletion(*id).ok()) continue;
     auto stats = engine.Stats(*id);
     const double achieved_ke = stats->EventsPerSecond() / 1e3;

@@ -50,7 +50,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   NodeEngine engine;
-  auto id = engine.Submit(std::move(built->query));
+  auto id = engine.Submit(std::move(built->plan));
   if (!id.ok() || !engine.RunToCompletion(*id).ok()) {
     std::fprintf(stderr, "run failed\n");
     return 1;

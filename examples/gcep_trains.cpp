@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
   {
     auto built = BuildQ5BatteryMonitoring(**env, options);
     NodeEngine engine;
-    auto id = engine.Submit(std::move(built->query));
+    auto id = engine.Submit(std::move(built->plan));
     (void)engine.RunToCompletion(*id);
     const auto rows = built->collect->Rows();
     std::printf("Q5 battery monitoring: %zu deviation alerts\n", rows.size());
@@ -55,7 +55,7 @@ int main(int argc, char** argv) {
   {
     auto built = BuildQ6HeavyLoad(**env, options);
     NodeEngine engine;
-    auto id = engine.Submit(std::move(built->query));
+    auto id = engine.Submit(std::move(built->plan));
     (void)engine.RunToCompletion(*id);
     const auto rows = built->collect->Rows();
     std::printf("\nQ6 heavy passenger load: %zu overload windows "
@@ -76,7 +76,7 @@ int main(int argc, char** argv) {
     stop_options.fleet.unscheduled_stop_prob = 4e-4;
     auto built = BuildQ7UnscheduledStops(**env, stop_options);
     NodeEngine engine;
-    auto id = engine.Submit(std::move(built->query));
+    auto id = engine.Submit(std::move(built->plan));
     (void)engine.RunToCompletion(*id);
     const auto rows = built->collect->Rows();
     std::printf("\nQ7 unscheduled stops: %zu flagged\n", rows.size());
@@ -93,7 +93,7 @@ int main(int argc, char** argv) {
   {
     auto built = BuildQ8BrakeMonitoring(**env, options);
     NodeEngine engine;
-    auto id = engine.Submit(std::move(built->query));
+    auto id = engine.Submit(std::move(built->plan));
     (void)engine.RunToCompletion(*id);
     const auto rows = built->collect->Rows();
     std::printf("\nQ8 brake monitoring: %zu repeated-emergency alerts\n",

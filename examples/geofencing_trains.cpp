@@ -46,7 +46,7 @@ int main(int argc, char** argv) {
   {
     auto built = BuildQ1AlertFiltering(**env, options);
     NodeEngine engine;
-    auto id = engine.Submit(std::move(built->query));
+    auto id = engine.Submit(std::move(built->plan));
     (void)engine.RunToCompletion(*id);
     const auto rows = built->collect->Rows();
     std::printf("Q1 location-based alert filtering: %zu alerts kept\n",
@@ -62,7 +62,7 @@ int main(int argc, char** argv) {
   {
     auto built = BuildQ2NoiseMonitoring(**env, options);
     NodeEngine engine;
-    auto id = engine.Submit(std::move(built->query));
+    auto id = engine.Submit(std::move(built->plan));
     (void)engine.RunToCompletion(*id);
     const auto rows = built->collect->Rows();
     std::printf("\nQ2 noise monitoring: %zu 30s zone-windows\n", rows.size());
@@ -77,7 +77,7 @@ int main(int argc, char** argv) {
   {
     auto built = BuildQ3DynamicSpeedLimit(**env, options);
     NodeEngine engine;
-    auto id = engine.Submit(std::move(built->query));
+    auto id = engine.Submit(std::move(built->plan));
     (void)engine.RunToCompletion(*id);
     const auto rows = built->collect->Rows();
     std::printf("\nQ3 dynamic speed limit: %zu violations\n", rows.size());
@@ -90,7 +90,7 @@ int main(int argc, char** argv) {
   {
     auto built = BuildQ4WeatherSpeedZones(**env, options);
     NodeEngine engine;
-    auto id = engine.Submit(std::move(built->query));
+    auto id = engine.Submit(std::move(built->plan));
     (void)engine.RunToCompletion(*id);
     const auto rows = built->collect->Rows();
     std::printf("\nQ4 weather-based speed zones: %zu advisories\n",

@@ -95,27 +95,31 @@ int main(int argc, char** argv) {
       And(Lt(Attribute("speed_kn"), Lit(0.5)),
           Not(Fn("in_zone", {Attribute("lon"), Attribute("lat"),
                              Lit(std::string("anchorage"))})));
-  Query q = Query::From(std::move(source))
-                .KeyBy("mmsi")
-                .ThresholdWindow(loitering, Minutes(3), "ts")
-                .Aggregate({AggregateSpec::Avg("lon", "lon"),
-                            AggregateSpec::Avg("lat", "lat"),
-                            AggregateSpec::Count("reports")})
-                .Map("office_dist_m",
-                     Fn("nearest_poi_distance",
-                        {Attribute("lon"), Attribute("lat"),
-                         Lit(std::string("workshop"))}));
-  auto chain = CompilePlan(schema, q);
-  if (!chain.ok()) {
-    std::fprintf(stderr, "compile: %s\n",
-                 chain.status().ToString().c_str());
+  auto plan = Query::From(std::move(source))
+                  .KeyBy("mmsi")
+                  .ThresholdWindow(loitering, Minutes(3), "ts")
+                  .Aggregate({AggregateSpec::Avg("lon", "lon"),
+                              AggregateSpec::Avg("lat", "lat"),
+                              AggregateSpec::Count("reports")})
+                  .Map("office_dist_m",
+                       Fn("nearest_poi_distance",
+                          {Attribute("lon"), Attribute("lat"),
+                           Lit(std::string("workshop"))}))
+                  .Build();
+  if (!plan.ok()) {
+    std::fprintf(stderr, "build: %s\n", plan.status().ToString().c_str());
     return 1;
   }
-  auto sink = std::make_shared<CollectSink>(chain->back()->output_schema());
-  (void)std::move(q).To(sink);
+  auto out = plan->OutputSchema();
+  if (!out.ok()) {
+    std::fprintf(stderr, "compile: %s\n", out.status().ToString().c_str());
+    return 1;
+  }
+  auto sink = std::make_shared<CollectSink>(*out);
+  plan->SetSink(sink);
 
   NodeEngine engine;
-  auto id = engine.Submit(std::move(q));
+  auto id = engine.Submit(std::move(*plan));
   if (!id.ok() || !engine.RunToCompletion(*id).ok()) {
     std::fprintf(stderr, "run failed\n");
     return 1;

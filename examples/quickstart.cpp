@@ -54,22 +54,33 @@ int main() {
   auto box = meos::STBox::Make(4.30, 50.80, 4.42, 50.90,
                                meos::Period(t0, t0 + Minutes(1)));
   auto sink = std::make_shared<CollectSink>(schema);
-  Query query =
+  auto plan =
       Query::From(std::move(source))
           .Filter(integration::MeosAtStboxExpression::FromBox(
               Attribute("lon"), Attribute("lat"), Attribute("ts"), *box))
           .Filter(Fn("edwithin", {Attribute("lon"), Attribute("lat"),
                                   Lit(std::string("workshop:Schaarbeek")),
-                                  Lit(5000.0)}));
-  (void)std::move(query).To(sink);
+                                  Lit(5000.0)}))
+          .To(sink)
+          .Build();
+  if (!plan.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 plan.status().ToString().c_str());
+    return 1;
+  }
 
-  // 4. Run it.
+  // 4. Run it (the engine validates, optimizes — here fusing the two
+  //    filters into one — and lowers the plan).
   NodeEngine engine;
-  auto id = engine.Submit(std::move(query));
+  auto id = engine.Submit(std::move(*plan));
   if (!id.ok()) {
     std::fprintf(stderr, "submit failed: %s\n",
                  id.status().ToString().c_str());
     return 1;
+  }
+  if (auto text = engine.Explain(*id); text.ok()) {
+    std::printf("logical plan:\n%soptimized plan:\n%s",
+                text->logical.c_str(), text->optimized.c_str());
   }
   st = engine.RunToCompletion(*id);
   if (!st.ok()) {

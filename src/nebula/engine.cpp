@@ -76,6 +76,9 @@ struct NodeEngine::RunningQuery {
   int64_t started_at = 0;
   int64_t finished_at = 0;
 
+  // Plan renderings captured at submission (the plan is consumed).
+  QueryPlanText plan_text;
+
   // Pushes a buffer through operators [from..] and into the sink.
   Status PushThrough(size_t from, const TupleBufferPtr& buf) {
     if (from >= operators.size()) {
@@ -118,18 +121,19 @@ NodeEngine::~NodeEngine() {
   for (int id : ids) (void)Cancel(id);
 }
 
-Result<int> NodeEngine::Submit(Query query) {
-  if (query.source() == nullptr) {
-    return Status::InvalidArgument("query has no source");
-  }
-  if (!query.sink()) {
-    return Status::InvalidArgument("query has no sink");
-  }
+Result<int> NodeEngine::Submit(LogicalPlan plan) {
+  NM_RETURN_NOT_OK(plan.Validate());
   auto rq = std::make_unique<RunningQuery>();
+  rq->plan_text.logical = plan.Explain();
+  if (options_.optimizer.enable) {
+    const PlanRewriter rewriter = PlanRewriter::Default(options_.optimizer);
+    NM_RETURN_NOT_OK(rewriter.Rewrite(&plan));
+  }
+  rq->plan_text.optimized = plan.Explain();
   NM_ASSIGN_OR_RETURN(rq->operators,
-                      CompilePlan(query.source()->schema(), query));
-  rq->sink = query.sink();
-  rq->source = query.TakeSource();
+                      CompilePlan(plan.source()->schema(), plan));
+  rq->sink = plan.sink();
+  rq->source = plan.TakeSource();
   rq->ctx = std::make_unique<ExecutionContext>(options_.tuples_per_buffer,
                                                options_.pool_size);
   for (OperatorPtr& op : rq->operators) {
@@ -141,6 +145,20 @@ Result<int> NodeEngine::Submit(Query query) {
   rq->id = id;
   queries_[id] = std::move(rq);
   return id;
+}
+
+Result<int> NodeEngine::Submit(Query query) {
+  NM_ASSIGN_OR_RETURN(LogicalPlan plan, std::move(query).Build());
+  return Submit(std::move(plan));
+}
+
+Result<QueryPlanText> NodeEngine::Explain(int query_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = queries_.find(query_id);
+  if (it == queries_.end()) {
+    return Status::NotFound("unknown query id");
+  }
+  return it->second->plan_text;
 }
 
 void NodeEngine::SourceLoop(RunningQuery* rq) {

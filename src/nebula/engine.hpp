@@ -18,6 +18,7 @@
 #include <atomic>
 #include <thread>
 
+#include "nebula/optimizer.hpp"
 #include "nebula/query.hpp"
 
 namespace nebulameos::nebula {
@@ -56,6 +57,16 @@ struct EngineOptions {
   size_t pool_size = 128;           ///< buffers per schema pool
   bool pipelined = false;           ///< source and pipeline on two threads
   size_t queue_capacity = 8;        ///< hand-off queue depth (pipelined)
+  /// Logical-plan rewrite configuration; `optimizer.enable = false`
+  /// submits plans verbatim (A/B benchmarking, debugging).
+  OptimizerOptions optimizer;
+};
+
+/// \brief `Explain` renderings of a submitted query's plan, captured at
+/// submission (the plan itself is consumed by compilation).
+struct QueryPlanText {
+  std::string logical;    ///< as submitted, pre-optimization
+  std::string optimized;  ///< after the rewrite pipeline
 };
 
 /// \brief Compiles, runs and tracks queries on one (simulated) node.
@@ -67,8 +78,11 @@ class NodeEngine {
   NodeEngine(const NodeEngine&) = delete;
   NodeEngine& operator=(const NodeEngine&) = delete;
 
-  /// Compiles and registers a query; returns its id. The query must have a
-  /// source and a sink.
+  /// Validates, optimizes (per `EngineOptions::optimizer`) and compiles a
+  /// plan; returns its query id. The plan must have a source and a sink.
+  Result<int> Submit(LogicalPlan plan);
+
+  /// Convenience: builds the fluent query and submits the emitted plan.
   Result<int> Submit(Query query);
 
   /// Starts the query's worker thread(s).
@@ -87,6 +101,10 @@ class NodeEngine {
   /// Statistics snapshot (valid after Wait/Cancel; in-flight reads see the
   /// latest completed buffer counts).
   Result<QueryStats> Stats(int query_id) const;
+
+  /// The query's plan renderings (pre- and post-optimization), captured at
+  /// submission — plan introspection for tests, demos and debugging.
+  Result<QueryPlanText> Explain(int query_id) const;
 
   /// Number of registered queries.
   size_t NumQueries() const;

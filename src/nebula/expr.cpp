@@ -95,6 +95,11 @@ class FieldExpr : public Expression {
   DataType output_type() const override { return type_; }
   std::string ToString() const override { return name_; }
 
+  bool ReferencedFields(std::vector<std::string>* out) const override {
+    out->push_back(name_);
+    return true;
+  }
+
  private:
   std::string name_;
   size_t index_ = 0;
@@ -113,6 +118,9 @@ class LiteralExpr : public Expression {
   DataType output_type() const override { return type_; }
   std::string ToString() const override { return ValueToString(value_); }
   std::optional<Value> ConstantValue() const override { return value_; }
+  bool ReferencedFields(std::vector<std::string>*) const override {
+    return true;  // reads nothing
+  }
 
  private:
   Value value_;
@@ -181,6 +189,10 @@ class ArithExpr : public Expression {
            rhs_->ToString() + ")";
   }
 
+  bool ReferencedFields(std::vector<std::string>* out) const override {
+    return lhs_->ReferencedFields(out) && rhs_->ReferencedFields(out);
+  }
+
  private:
   ArithOp op_;
   ExprPtr lhs_;
@@ -220,6 +232,10 @@ class CompareExpr : public Expression {
     static const char* kOps[] = {"<", "<=", ">", ">=", "==", "!="};
     return "(" + lhs_->ToString() + " " + kOps[static_cast<int>(op_)] + " " +
            rhs_->ToString() + ")";
+  }
+
+  bool ReferencedFields(std::vector<std::string>* out) const override {
+    return lhs_->ReferencedFields(out) && rhs_->ReferencedFields(out);
   }
 
  private:
@@ -280,6 +296,10 @@ class LogicalExpr : public Expression {
            (kind_ == Kind::kAnd ? " AND " : " OR ") + rhs_->ToString() + ")";
   }
 
+  bool ReferencedFields(std::vector<std::string>* out) const override {
+    return lhs_->ReferencedFields(out) && rhs_->ReferencedFields(out);
+  }
+
  private:
   Kind kind_;
   ExprPtr lhs_;
@@ -299,6 +319,10 @@ class NotExpr : public Expression {
   DataType output_type() const override { return DataType::kBool; }
   std::string ToString() const override {
     return "NOT " + inner_->ToString();
+  }
+
+  bool ReferencedFields(std::vector<std::string>* out) const override {
+    return inner_->ReferencedFields(out);
   }
 
  private:
@@ -430,6 +454,17 @@ std::string FunctionExpression::ToString() const {
   }
   out += ")";
   return out;
+}
+
+bool FunctionExpression::ReferencedFields(std::vector<std::string>* out) const {
+  // Function expressions read only through their argument expressions, so
+  // every subclass — including the MEOS extension suite and runtime-
+  // registered lambdas — participates in optimizer dependency analysis
+  // without any extra code.
+  for (const ExprPtr& arg : args_) {
+    if (!arg->ReferencedFields(out)) return false;
+  }
+  return true;
 }
 
 // --- Registry -------------------------------------------------------------------

@@ -63,6 +63,17 @@ class Expression {
   /// Extension functions use this to resolve configuration arguments (zone
   /// names, box bounds) once at bind time.
   virtual std::optional<Value> ConstantValue() const { return std::nullopt; }
+
+  /// Appends the names of the record fields this expression (transitively)
+  /// reads to \p out and returns true. Returns false when the read set
+  /// cannot be determined — the conservative default for extension nodes
+  /// that do not override it — in which case optimizer passes must treat
+  /// the expression as reading *every* field and leave it in place.
+  /// Built-in nodes and every `FunctionExpression` subclass report exactly.
+  virtual bool ReferencedFields(std::vector<std::string>* out) const {
+    (void)out;
+    return false;
+  }
 };
 
 // --- Node constructors -------------------------------------------------------
@@ -130,6 +141,7 @@ class FunctionExpression : public Expression {
   Value Eval(const RecordView& rec) const override;
   DataType output_type() const override { return output_type_; }
   std::string ToString() const override;
+  bool ReferencedFields(std::vector<std::string>* out) const override;
 
   const std::string& name() const { return name_; }
   const std::vector<ExprPtr>& args() const { return args_; }

@@ -1,0 +1,337 @@
+#include "nebula/logical_plan.hpp"
+
+namespace nebulameos::nebula {
+
+namespace {
+
+// Durations render in the largest unit that divides them evenly.
+std::string FormatDurationText(Duration d) {
+  if (d >= Minutes(1) && d % Minutes(1) == 0) {
+    return std::to_string(d / Minutes(1)) + "m";
+  }
+  if (d >= Seconds(1) && d % Seconds(1) == 0) {
+    return std::to_string(d / Seconds(1)) + "s";
+  }
+  return std::to_string(d) + "us";
+}
+
+const char* AggKindName(AggKind kind) {
+  switch (kind) {
+    case AggKind::kCount:
+      return "count";
+    case AggKind::kSum:
+      return "sum";
+    case AggKind::kAvg:
+      return "avg";
+    case AggKind::kMin:
+      return "min";
+    case AggKind::kMax:
+      return "max";
+    case AggKind::kFirst:
+      return "first";
+    case AggKind::kLast:
+      return "last";
+  }
+  return "?";
+}
+
+std::string FormatAggregates(
+    const std::vector<AggregateSpec>& aggs,
+    const std::vector<CustomAggregatorFactory>& customs) {
+  std::string out = "[";
+  for (size_t i = 0; i < aggs.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += AggKindName(aggs[i].kind);
+    out += "(" + aggs[i].field + ") AS " + aggs[i].output_name;
+  }
+  out += "]";
+  if (!customs.empty()) {
+    out += " +" + std::to_string(customs.size()) + " custom";
+  }
+  return out;
+}
+
+std::string FormatWindowSpec(const WindowSpec& spec) {
+  if (const auto* t = std::get_if<TumblingWindowSpec>(&spec)) {
+    return "tumbling " + FormatDurationText(t->size);
+  }
+  if (const auto* s = std::get_if<SlidingWindowSpec>(&spec)) {
+    return "sliding " + FormatDurationText(s->size) + " by " +
+           FormatDurationText(s->slide);
+  }
+  return "threshold";
+}
+
+}  // namespace
+
+std::string FilterNode::ToString() const {
+  return "Filter(" + (predicate_ ? predicate_->ToString() : "<null>") + ")";
+}
+
+std::string MapNode::ToString() const {
+  std::string out = "Map(";
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += specs_[i].name + " := " +
+           (specs_[i].expr ? specs_[i].expr->ToString() : "<null>");
+  }
+  return out + ")";
+}
+
+std::string ProjectNode::ToString() const {
+  std::string out = "Project(";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += fields_[i];
+  }
+  return out + ")";
+}
+
+std::string WindowAggNode::ToString() const {
+  std::string out = "WindowAgg(" + FormatWindowSpec(options_.window);
+  if (!options_.key_field.empty()) out += ", key=" + options_.key_field;
+  out += ", time=" + options_.time_field;
+  out += ", aggs=" +
+         FormatAggregates(options_.aggregates, options_.custom_aggregators);
+  return out + ")";
+}
+
+std::string ThresholdWindowNode::ToString() const {
+  std::string out = "ThresholdWindow(";
+  out += options_.predicate ? options_.predicate->ToString() : "<null>";
+  if (options_.min_duration > 0) {
+    out += ", min=" + FormatDurationText(options_.min_duration);
+  }
+  if (!options_.key_field.empty()) out += ", key=" + options_.key_field;
+  out += ", time=" + options_.time_field;
+  out += ", aggs=" +
+         FormatAggregates(options_.aggregates, options_.custom_aggregators);
+  return out + ")";
+}
+
+std::string CepNode::ToString() const {
+  std::string out = "CEP(";
+  for (size_t i = 0; i < pattern_.steps.size(); ++i) {
+    const PatternStep& step = pattern_.steps[i];
+    if (i > 0) out += " ; ";
+    if (step.negated) out += "!";
+    out += step.name;
+    if (step.one_or_more) out += "+";
+  }
+  if (pattern_.within > 0) {
+    out += " within " + FormatDurationText(pattern_.within);
+  }
+  if (!pattern_.key_field.empty()) out += ", key=" + pattern_.key_field;
+  out += ", " + std::to_string(measures_.size()) + " measures";
+  return out + ")";
+}
+
+std::string LookupJoinNode::ToString() const {
+  std::string out = "TemporalLookupJoin(";
+  out += options_.left_key + " = " + options_.right_key;
+  out += ", nearest " + options_.left_time + "~" + options_.right_time;
+  if (options_.max_age > 0) {
+    out += " within " + FormatDurationText(options_.max_age);
+  }
+  return out + ")";
+}
+
+std::string SinkNode::ToString() const {
+  return "Sink(" + (sink_ ? sink_->name() : "<null>") + ")";
+}
+
+void LogicalPlan::SetSink(std::shared_ptr<SinkOperator> sink) {
+  if (!ops_.empty() && ops_.back()->kind() == LogicalOperator::Kind::kSink) {
+    ops_.pop_back();
+  }
+  ops_.push_back(std::make_unique<SinkNode>(std::move(sink)));
+}
+
+std::shared_ptr<SinkOperator> LogicalPlan::sink() const {
+  if (ops_.empty() || ops_.back()->kind() != LogicalOperator::Kind::kSink) {
+    return nullptr;
+  }
+  return static_cast<const SinkNode*>(ops_.back().get())->sink();
+}
+
+Status LogicalPlan::Validate() const {
+  if (source_ == nullptr) {
+    return Status::InvalidArgument("plan has no source");
+  }
+  if (ops_.empty() || ops_.back()->kind() != LogicalOperator::Kind::kSink) {
+    return Status::InvalidArgument("plan has no sink");
+  }
+  for (size_t i = 0; i < ops_.size(); ++i) {
+    const LogicalOperator& op = *ops_[i];
+    switch (op.kind()) {
+      case LogicalOperator::Kind::kSink: {
+        if (i + 1 != ops_.size()) {
+          return Status::InvalidArgument(
+              "sink must be the terminal node of the plan");
+        }
+        if (static_cast<const SinkNode&>(op).sink() == nullptr) {
+          return Status::InvalidArgument("plan has a null sink");
+        }
+        break;
+      }
+      case LogicalOperator::Kind::kKeyBy: {
+        const auto& key = static_cast<const KeyByNode&>(op);
+        if (key.field().empty()) {
+          return Status::InvalidArgument("KeyBy with an empty field");
+        }
+        const LogicalOperator::Kind next =
+            i + 1 < ops_.size() ? ops_[i + 1]->kind()
+                                : LogicalOperator::Kind::kSink;
+        if (next != LogicalOperator::Kind::kWindowAgg &&
+            next != LogicalOperator::Kind::kThresholdWindow &&
+            next != LogicalOperator::Kind::kCep) {
+          return Status::InvalidArgument(
+              "KeyBy(" + key.field() +
+              ") is never consumed: it must be immediately followed by a "
+              "window aggregation or CEP step");
+        }
+        break;
+      }
+      case LogicalOperator::Kind::kWindowAgg: {
+        const auto& node = static_cast<const WindowAggNode&>(op);
+        if (node.options().aggregates.empty() &&
+            node.options().custom_aggregators.empty()) {
+          return Status::InvalidArgument(
+              "window aggregation without aggregates (missing Aggregate?)");
+        }
+        break;
+      }
+      case LogicalOperator::Kind::kThresholdWindow: {
+        const auto& node = static_cast<const ThresholdWindowNode&>(op);
+        if (node.options().aggregates.empty() &&
+            node.options().custom_aggregators.empty()) {
+          return Status::InvalidArgument(
+              "threshold window without aggregates (missing Aggregate?)");
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+std::string LogicalPlan::Explain() const {
+  std::string out = "Source: ";
+  if (source_ != nullptr) {
+    out += source_->name() + "(" + source_->schema().ToString() + ")";
+  } else {
+    out += "<none>";
+  }
+  out += "\n";
+  for (const LogicalOperatorPtr& op : ops_) {
+    out += "  -> " + op->ToString() + "\n";
+  }
+  return out;
+}
+
+Result<Schema> LogicalPlan::OutputSchema() const {
+  if (source_ == nullptr) {
+    return Status::InvalidArgument("plan has no source");
+  }
+  NM_ASSIGN_OR_RETURN(auto chain, CompilePlan(source_->schema(), *this));
+  return chain.empty() ? source_->schema() : chain.back()->output_schema();
+}
+
+Result<std::vector<OperatorPtr>> CompilePlan(const Schema& source_schema,
+                                             const LogicalPlan& plan) {
+  std::vector<OperatorPtr> chain;
+  Schema current = source_schema;
+  // A KeyBy node's field is folded into the node it precedes.
+  std::string pending_key;
+  for (const LogicalOperatorPtr& node : plan.ops()) {
+    OperatorPtr op;
+    switch (node->kind()) {
+      case LogicalOperator::Kind::kFilter: {
+        const auto& filter = static_cast<const FilterNode&>(*node);
+        NM_ASSIGN_OR_RETURN(op,
+                            FilterOperator::Make(current, filter.predicate()));
+        break;
+      }
+      case LogicalOperator::Kind::kMap: {
+        const auto& map = static_cast<const MapNode&>(*node);
+        NM_ASSIGN_OR_RETURN(op, MapOperator::Make(current, map.specs()));
+        break;
+      }
+      case LogicalOperator::Kind::kProject: {
+        const auto& project = static_cast<const ProjectNode&>(*node);
+        NM_ASSIGN_OR_RETURN(op,
+                            ProjectOperator::Make(current, project.fields()));
+        break;
+      }
+      case LogicalOperator::Kind::kKeyBy: {
+        const auto& key = static_cast<const KeyByNode&>(*node);
+        if (!pending_key.empty()) {
+          return Status::InvalidArgument(
+              "KeyBy(" + pending_key + ") is never consumed");
+        }
+        pending_key = key.field();
+        continue;  // marker node: no physical operator
+      }
+      case LogicalOperator::Kind::kWindowAgg: {
+        const auto& win = static_cast<const WindowAggNode&>(*node);
+        WindowAggOptions options = win.options();
+        if (!pending_key.empty()) {
+          options.key_field = pending_key;
+          pending_key.clear();
+        }
+        NM_ASSIGN_OR_RETURN(
+            op, WindowAggOperator::Make(current, std::move(options)));
+        break;
+      }
+      case LogicalOperator::Kind::kThresholdWindow: {
+        const auto& win = static_cast<const ThresholdWindowNode&>(*node);
+        ThresholdWindowOptions options = win.options();
+        if (!pending_key.empty()) {
+          options.key_field = pending_key;
+          pending_key.clear();
+        }
+        NM_ASSIGN_OR_RETURN(
+            op, ThresholdWindowOperator::Make(current, std::move(options)));
+        break;
+      }
+      case LogicalOperator::Kind::kCep: {
+        const auto& cep = static_cast<const CepNode&>(*node);
+        Pattern pattern = cep.pattern();
+        if (!pending_key.empty()) {
+          if (pattern.key_field.empty()) pattern.key_field = pending_key;
+          pending_key.clear();
+        }
+        NM_ASSIGN_OR_RETURN(
+            op, CepOperator::Make(current, std::move(pattern),
+                                  cep.measures()));
+        break;
+      }
+      case LogicalOperator::Kind::kLookupJoin: {
+        const auto& join = static_cast<const LookupJoinNode&>(*node);
+        NM_ASSIGN_OR_RETURN(
+            op, TemporalLookupJoinOperator::Make(current, join.options()));
+        break;
+      }
+      case LogicalOperator::Kind::kSink: {
+        // The engine drives the sink; lowering stops here.
+        continue;
+      }
+    }
+    if (!pending_key.empty()) {
+      return Status::InvalidArgument(
+          "KeyBy(" + pending_key +
+          ") must be immediately followed by a window or CEP step");
+    }
+    current = op->output_schema();
+    chain.push_back(std::move(op));
+  }
+  if (!pending_key.empty()) {
+    return Status::InvalidArgument(
+        "KeyBy(" + pending_key + ") is never consumed");
+  }
+  return chain;
+}
+
+}  // namespace nebulameos::nebula

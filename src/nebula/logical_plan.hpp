@@ -1,0 +1,273 @@
+/// \file logical_plan.hpp
+/// \brief The first-class logical plan IR sitting between the fluent
+/// `Query` builder and physical compilation.
+///
+/// Mirrors NebulaStream's layering (`nes-logical-operators` →
+/// `nes-query-optimizer` → physical lowering): a query is first expressed
+/// as a `LogicalPlan` — a linear chain of `LogicalOperator` nodes from one
+/// source to one sink — which can be *inspected* (`Explain`), *validated*
+/// (`Validate`), *rewritten* (optimizer.hpp) and only then *lowered* to
+/// physical operators (`CompilePlan`). Nothing in the engine touches the
+/// builder; `Query` is sugar that emits this IR.
+
+#pragma once
+
+#include "nebula/cep.hpp"
+#include "nebula/join.hpp"
+#include "nebula/operators.hpp"
+#include "nebula/source.hpp"
+
+namespace nebulameos::nebula {
+
+/// \brief Base class of all logical plan nodes.
+///
+/// Nodes are pure descriptions — no schemas, no bound expressions, no
+/// runtime state — so optimizer passes can reorder, merge and drop them
+/// freely before lowering binds anything.
+class LogicalOperator {
+ public:
+  enum class Kind {
+    kFilter,
+    kMap,
+    kProject,
+    kKeyBy,
+    kWindowAgg,
+    kThresholdWindow,
+    kCep,
+    kLookupJoin,
+    kSink,
+  };
+
+  virtual ~LogicalOperator() = default;
+
+  virtual Kind kind() const = 0;
+
+  /// Display name ("Filter", "WindowAgg", ...).
+  virtual std::string name() const = 0;
+
+  /// One-line rendering used by `LogicalPlan::Explain`, e.g.
+  /// "Filter((speed_kmh > limit_kmh))".
+  virtual std::string ToString() const = 0;
+};
+
+using LogicalOperatorPtr = std::unique_ptr<LogicalOperator>;
+
+/// \brief Emits only records satisfying `predicate`.
+class FilterNode : public LogicalOperator {
+ public:
+  explicit FilterNode(ExprPtr predicate) : predicate_(std::move(predicate)) {}
+
+  Kind kind() const override { return Kind::kFilter; }
+  std::string name() const override { return "Filter"; }
+  std::string ToString() const override;
+
+  const ExprPtr& predicate() const { return predicate_; }
+  void set_predicate(ExprPtr p) { predicate_ = std::move(p); }
+
+ private:
+  ExprPtr predicate_;
+};
+
+/// \brief Adds or replaces computed fields. All specs evaluate against the
+/// node's *input* record (specs never see each other's outputs).
+class MapNode : public LogicalOperator {
+ public:
+  explicit MapNode(std::vector<MapSpec> specs) : specs_(std::move(specs)) {}
+
+  Kind kind() const override { return Kind::kMap; }
+  std::string name() const override { return "Map"; }
+  std::string ToString() const override;
+
+  const std::vector<MapSpec>& specs() const { return specs_; }
+  std::vector<MapSpec>& mutable_specs() { return specs_; }
+
+ private:
+  std::vector<MapSpec> specs_;
+};
+
+/// \brief Keeps only the named fields, in order.
+class ProjectNode : public LogicalOperator {
+ public:
+  explicit ProjectNode(std::vector<std::string> fields)
+      : fields_(std::move(fields)) {}
+
+  Kind kind() const override { return Kind::kProject; }
+  std::string name() const override { return "Project"; }
+  std::string ToString() const override;
+
+  const std::vector<std::string>& fields() const { return fields_; }
+
+ private:
+  std::vector<std::string> fields_;
+};
+
+/// \brief Marks the partitioning key of the *next* node, which must be a
+/// window aggregation or CEP step (enforced by `LogicalPlan::Validate`).
+class KeyByNode : public LogicalOperator {
+ public:
+  explicit KeyByNode(std::string field) : field_(std::move(field)) {}
+
+  Kind kind() const override { return Kind::kKeyBy; }
+  std::string name() const override { return "KeyBy"; }
+  std::string ToString() const override { return "KeyBy(" + field_ + ")"; }
+
+  const std::string& field() const { return field_; }
+
+ private:
+  std::string field_;
+};
+
+/// \brief Keyed time-window aggregation (tumbling or sliding).
+class WindowAggNode : public LogicalOperator {
+ public:
+  explicit WindowAggNode(WindowAggOptions options)
+      : options_(std::move(options)) {}
+
+  Kind kind() const override { return Kind::kWindowAgg; }
+  std::string name() const override { return "WindowAgg"; }
+  std::string ToString() const override;
+
+  const WindowAggOptions& options() const { return options_; }
+  WindowAggOptions& mutable_options() { return options_; }
+
+ private:
+  WindowAggOptions options_;
+};
+
+/// \brief Keyed threshold-window aggregation.
+class ThresholdWindowNode : public LogicalOperator {
+ public:
+  explicit ThresholdWindowNode(ThresholdWindowOptions options)
+      : options_(std::move(options)) {}
+
+  Kind kind() const override { return Kind::kThresholdWindow; }
+  std::string name() const override { return "ThresholdWindow"; }
+  std::string ToString() const override;
+
+  const ThresholdWindowOptions& options() const { return options_; }
+  ThresholdWindowOptions& mutable_options() { return options_; }
+
+ private:
+  ThresholdWindowOptions options_;
+};
+
+/// \brief CEP pattern detection.
+class CepNode : public LogicalOperator {
+ public:
+  CepNode(Pattern pattern, std::vector<Measure> measures)
+      : pattern_(std::move(pattern)), measures_(std::move(measures)) {}
+
+  Kind kind() const override { return Kind::kCep; }
+  std::string name() const override { return "CEP"; }
+  std::string ToString() const override;
+
+  const Pattern& pattern() const { return pattern_; }
+  Pattern& mutable_pattern() { return pattern_; }
+  const std::vector<Measure>& measures() const { return measures_; }
+
+ private:
+  Pattern pattern_;
+  std::vector<Measure> measures_;
+};
+
+/// \brief Temporal lookup join against a bounded side stream.
+class LookupJoinNode : public LogicalOperator {
+ public:
+  explicit LookupJoinNode(TemporalLookupJoinOptions options)
+      : options_(std::move(options)) {}
+
+  Kind kind() const override { return Kind::kLookupJoin; }
+  std::string name() const override { return "TemporalLookupJoin"; }
+  std::string ToString() const override;
+
+  const TemporalLookupJoinOptions& options() const { return options_; }
+
+ private:
+  TemporalLookupJoinOptions options_;
+};
+
+/// \brief Terminal node holding the sink (shared so callers can read
+/// results after the run).
+class SinkNode : public LogicalOperator {
+ public:
+  explicit SinkNode(std::shared_ptr<SinkOperator> sink)
+      : sink_(std::move(sink)) {}
+
+  Kind kind() const override { return Kind::kSink; }
+  std::string name() const override { return "Sink"; }
+  std::string ToString() const override;
+
+  const std::shared_ptr<SinkOperator>& sink() const { return sink_; }
+
+ private:
+  std::shared_ptr<SinkOperator> sink_;
+};
+
+/// \brief A complete logical query: source → operator chain → sink.
+///
+/// Move-only (owns its source). The ops vector excludes nothing — the sink,
+/// when attached, is the last node. Rewriter passes mutate `mutable_ops`.
+class LogicalPlan {
+ public:
+  LogicalPlan() = default;
+  LogicalPlan(LogicalPlan&&) = default;
+  LogicalPlan& operator=(LogicalPlan&&) = default;
+  LogicalPlan(const LogicalPlan&) = delete;
+  LogicalPlan& operator=(const LogicalPlan&) = delete;
+
+  // --- Construction ---
+
+  void SetSource(SourcePtr source) { source_ = std::move(source); }
+  void Append(LogicalOperatorPtr op) { ops_.push_back(std::move(op)); }
+
+  /// Attaches \p sink as the terminal node (replaces an existing one).
+  void SetSink(std::shared_ptr<SinkOperator> sink);
+
+  // --- Introspection ---
+
+  Source* source() const { return source_.get(); }
+  SourcePtr TakeSource() { return std::move(source_); }
+  const std::vector<LogicalOperatorPtr>& ops() const { return ops_; }
+  std::vector<LogicalOperatorPtr>& mutable_ops() { return ops_; }
+
+  /// The sink when a `SinkNode` terminates the plan, nullptr otherwise.
+  std::shared_ptr<SinkOperator> sink() const;
+
+  /// Structural validation, before any schema is known:
+  /// - a source is present;
+  /// - the plan ends in exactly one sink node;
+  /// - every `KeyBy` is immediately consumed by a window/CEP node (a
+  ///   dangling key is a hard error, not a silent drop);
+  /// - window nodes carry at least one aggregate (i.e. the builder's
+  ///   `Aggregate` was called).
+  Status Validate() const;
+
+  /// Textual rendering of the plan, one node per line:
+  ///
+  /// ```
+  /// Source: MemorySource(key:INT64, ts:TIMESTAMP, value:DOUBLE)
+  ///   -> Filter((value >= 5))
+  ///   -> Project(value, key)
+  ///   -> Sink(CollectSink)
+  /// ```
+  std::string Explain() const;
+
+  /// Schema of the records entering the sink, inferred by lowering the
+  /// chain against the source's schema (binding only — cheap, and the
+  /// source is not consumed).
+  Result<Schema> OutputSchema() const;
+
+ private:
+  SourcePtr source_;
+  std::vector<LogicalOperatorPtr> ops_;
+};
+
+/// \brief Lowers a validated plan to the physical operator chain (schemas
+/// propagate source → sink; expressions bind along the way). `KeyBy` nodes
+/// are folded into the key field of the node they precede; the sink node,
+/// when present, is not part of the returned chain (the engine drives it
+/// separately). The plan's source is *not* consumed.
+Result<std::vector<OperatorPtr>> CompilePlan(const Schema& source_schema,
+                                             const LogicalPlan& plan);
+
+}  // namespace nebulameos::nebula

@@ -1,0 +1,251 @@
+#include "nebula/optimizer.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace nebulameos::nebula {
+
+namespace {
+
+// The read set of an expression, or nullopt when it cannot be proven
+// (treat as "reads everything": never move the node across a producer).
+std::optional<std::set<std::string>> ReadSetOf(const ExprPtr& expr) {
+  if (!expr) return std::nullopt;
+  std::vector<std::string> fields;
+  if (!expr->ReferencedFields(&fields)) return std::nullopt;
+  return std::set<std::string>(fields.begin(), fields.end());
+}
+
+std::set<std::string> WrittenNamesOf(const MapNode& map) {
+  std::set<std::string> names;
+  for (const MapSpec& spec : map.specs()) names.insert(spec.name);
+  return names;
+}
+
+bool Disjoint(const std::set<std::string>& a, const std::set<std::string>& b) {
+  return std::none_of(a.begin(), a.end(),
+                      [&b](const std::string& x) { return b.count(x) != 0; });
+}
+
+bool IsSubset(const std::set<std::string>& sub,
+              const std::vector<std::string>& super) {
+  return std::all_of(sub.begin(), sub.end(), [&super](const std::string& x) {
+    return std::find(super.begin(), super.end(), x) != super.end();
+  });
+}
+
+// --- Predicate pushdown ------------------------------------------------------
+
+class PredicatePushdownPass : public RewritePass {
+ public:
+  std::string name() const override { return "predicate-pushdown"; }
+
+  Status Apply(LogicalPlan* plan, bool* changed) override {
+    auto& ops = plan->mutable_ops();
+    bool swapped = true;
+    while (swapped) {  // bubble filters as far down as they can go
+      swapped = false;
+      for (size_t i = 1; i < ops.size(); ++i) {
+        if (ops[i]->kind() != LogicalOperator::Kind::kFilter) continue;
+        const auto& filter = static_cast<const FilterNode&>(*ops[i]);
+        const auto reads = ReadSetOf(filter.predicate());
+        if (!reads) continue;  // unknown read set: leave in place
+        const LogicalOperator& prev = *ops[i - 1];
+        bool can_swap = false;
+        if (prev.kind() == LogicalOperator::Kind::kMap) {
+          // Safe iff the map writes nothing the filter reads.
+          can_swap = Disjoint(*reads,
+                              WrittenNamesOf(static_cast<const MapNode&>(prev)));
+        } else if (prev.kind() == LogicalOperator::Kind::kProject) {
+          // Projected fields exist before the projection with identical
+          // values, so a filter over them commutes with it.
+          can_swap = IsSubset(
+              *reads, static_cast<const ProjectNode&>(prev).fields());
+        }
+        if (can_swap) {
+          std::swap(ops[i - 1], ops[i]);
+          swapped = true;
+          *changed = true;
+        }
+      }
+    }
+    return Status::OK();
+  }
+};
+
+// --- Filter fusion -----------------------------------------------------------
+
+class FilterFusionPass : public RewritePass {
+ public:
+  std::string name() const override { return "filter-fusion"; }
+
+  Status Apply(LogicalPlan* plan, bool* changed) override {
+    auto& ops = plan->mutable_ops();
+    for (size_t i = 1; i < ops.size();) {
+      if (ops[i - 1]->kind() == LogicalOperator::Kind::kFilter &&
+          ops[i]->kind() == LogicalOperator::Kind::kFilter) {
+        auto& first = static_cast<FilterNode&>(*ops[i - 1]);
+        auto& second = static_cast<FilterNode&>(*ops[i]);
+        // Upstream predicate on the left: And short-circuits in the same
+        // order the separate operators evaluated.
+        first.set_predicate(And(first.predicate(), second.predicate()));
+        ops.erase(ops.begin() + static_cast<std::ptrdiff_t>(i));
+        *changed = true;
+      } else {
+        ++i;
+      }
+    }
+    return Status::OK();
+  }
+};
+
+// --- Map fusion --------------------------------------------------------------
+
+class MapFusionPass : public RewritePass {
+ public:
+  std::string name() const override { return "map-fusion"; }
+
+  Status Apply(LogicalPlan* plan, bool* changed) override {
+    auto& ops = plan->mutable_ops();
+    for (size_t i = 1; i < ops.size();) {
+      if (ops[i - 1]->kind() == LogicalOperator::Kind::kMap &&
+          ops[i]->kind() == LogicalOperator::Kind::kMap &&
+          CanFuse(static_cast<const MapNode&>(*ops[i - 1]),
+                  static_cast<const MapNode&>(*ops[i]))) {
+        auto& first = static_cast<MapNode&>(*ops[i - 1]);
+        auto& second = static_cast<MapNode&>(*ops[i]);
+        for (MapSpec& spec : second.mutable_specs()) {
+          first.mutable_specs().push_back(std::move(spec));
+        }
+        ops.erase(ops.begin() + static_cast<std::ptrdiff_t>(i));
+        *changed = true;
+      } else {
+        ++i;
+      }
+    }
+    return Status::OK();
+  }
+
+ private:
+  // Specs within one Map all evaluate against the node's input record, so
+  // fusing is sound only when the second map neither reads nor rewrites
+  // anything the first one writes.
+  static bool CanFuse(const MapNode& first, const MapNode& second) {
+    const std::set<std::string> written = WrittenNamesOf(first);
+    for (const MapSpec& spec : second.specs()) {
+      if (written.count(spec.name) != 0) return false;
+      const auto reads = ReadSetOf(spec.expr);
+      if (!reads || !Disjoint(*reads, written)) return false;
+    }
+    return true;
+  }
+};
+
+// --- Projection pushdown -----------------------------------------------------
+
+class ProjectionPushdownPass : public RewritePass {
+ public:
+  std::string name() const override { return "projection-pushdown"; }
+
+  Status Apply(LogicalPlan* plan, bool* changed) override {
+    auto& ops = plan->mutable_ops();
+    for (size_t i = 1; i < ops.size();) {
+      if (ops[i]->kind() != LogicalOperator::Kind::kProject) {
+        ++i;
+        continue;
+      }
+      const auto& project = static_cast<const ProjectNode&>(*ops[i]);
+      if (ops[i - 1]->kind() == LogicalOperator::Kind::kProject) {
+        // Adjacent projections collapse to the outer one (its fields are a
+        // subset of the inner's in any valid plan; verified to be safe).
+        const auto& inner = static_cast<const ProjectNode&>(*ops[i - 1]);
+        const std::set<std::string> outer_set(project.fields().begin(),
+                                              project.fields().end());
+        if (IsSubset(outer_set, inner.fields())) {
+          ops[i - 1] = std::make_unique<ProjectNode>(project.fields());
+          ops.erase(ops.begin() + static_cast<std::ptrdiff_t>(i));
+          *changed = true;
+          continue;
+        }
+      } else if (ops[i - 1]->kind() == LogicalOperator::Kind::kMap) {
+        // Push the projection's field set into the map: computed fields the
+        // projection drops are dead and never evaluated.
+        auto& map = static_cast<MapNode&>(*ops[i - 1]);
+        auto& specs = map.mutable_specs();
+        const size_t before = specs.size();
+        specs.erase(
+            std::remove_if(specs.begin(), specs.end(),
+                           [&project](const MapSpec& spec) {
+                             const auto& kept = project.fields();
+                             return std::find(kept.begin(), kept.end(),
+                                              spec.name) == kept.end();
+                           }),
+            specs.end());
+        if (specs.size() != before) *changed = true;
+        if (specs.empty()) {
+          ops.erase(ops.begin() + static_cast<std::ptrdiff_t>(i - 1));
+          *changed = true;
+          // The projection slid to index i-1; step back so it is
+          // re-examined against its new left neighbour.
+          if (i > 1) --i;
+          continue;
+        }
+      }
+      ++i;
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+RewritePassPtr MakePredicatePushdownPass() {
+  return std::make_unique<PredicatePushdownPass>();
+}
+
+RewritePassPtr MakeFilterFusionPass() {
+  return std::make_unique<FilterFusionPass>();
+}
+
+RewritePassPtr MakeMapFusionPass() {
+  return std::make_unique<MapFusionPass>();
+}
+
+RewritePassPtr MakeProjectionPushdownPass() {
+  return std::make_unique<ProjectionPushdownPass>();
+}
+
+PlanRewriter PlanRewriter::Default(const OptimizerOptions& options) {
+  PlanRewriter rewriter;
+  rewriter.max_iterations_ = options.max_iterations;
+  if (!options.enable) return rewriter;
+  if (options.predicate_pushdown) {
+    rewriter.AddPass(MakePredicatePushdownPass());
+  }
+  if (options.filter_fusion) rewriter.AddPass(MakeFilterFusionPass());
+  if (options.map_fusion) rewriter.AddPass(MakeMapFusionPass());
+  if (options.projection_pushdown) {
+    rewriter.AddPass(MakeProjectionPushdownPass());
+  }
+  return rewriter;
+}
+
+PlanRewriter& PlanRewriter::AddPass(RewritePassPtr pass) {
+  passes_.push_back(std::move(pass));
+  return *this;
+}
+
+Status PlanRewriter::Rewrite(LogicalPlan* plan) const {
+  for (size_t iter = 0; iter < max_iterations_; ++iter) {
+    bool any_changed = false;
+    for (const RewritePassPtr& pass : passes_) {
+      bool changed = false;
+      NM_RETURN_NOT_OK(pass->Apply(plan, &changed));
+      any_changed = any_changed || changed;
+    }
+    if (!any_changed) break;
+  }
+  return Status::OK();
+}
+
+}  // namespace nebulameos::nebula

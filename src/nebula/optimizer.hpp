@@ -1,0 +1,97 @@
+/// \file optimizer.hpp
+/// \brief The logical plan optimizer: a pipeline of rewrite passes over
+/// `LogicalPlan` run before physical lowering.
+///
+/// Mirrors NebulaStream's `nes-query-optimizer` layer: each pass is a
+/// small, independently testable plan-to-plan rewrite, and the
+/// `PlanRewriter` drives them to a fixpoint. All rewrites are
+/// dependency-sound: they consult `Expression::ReferencedFields` and leave
+/// nodes in place whenever an expression's read set cannot be proven
+/// (extension expressions that don't report their reads are never moved
+/// across a producer).
+///
+/// Built-in passes (all on by default, individually togglable through
+/// `OptimizerOptions`, reachable via `EngineOptions::optimizer`):
+///
+/// * **predicate pushdown** — filters move below adjacent maps that do not
+///   feed them and below projections, so rows are dropped before compute
+///   and narrowing work is spent on them;
+/// * **filter fusion** — adjacent filters AND-combine into one operator
+///   (one pipeline stage and one stats node instead of two);
+/// * **map fusion** — adjacent independent maps merge into one `Map` with
+///   the union of their specs (single buffer pass);
+/// * **projection pushdown** — the projection's field set is pushed into
+///   the map below it, deleting computed fields the query never outputs,
+///   and adjacent projections collapse.
+
+#pragma once
+
+#include "nebula/logical_plan.hpp"
+
+namespace nebulameos::nebula {
+
+/// \brief Optimizer configuration (a member of `EngineOptions`).
+struct OptimizerOptions {
+  bool enable = true;  ///< master switch: false = submit plans verbatim
+  bool predicate_pushdown = true;
+  bool filter_fusion = true;
+  bool map_fusion = true;
+  bool projection_pushdown = true;
+  /// Fixpoint guard: maximum full pipeline iterations.
+  size_t max_iterations = 8;
+};
+
+/// \brief One plan rewrite. Implementations must preserve query semantics
+/// for every valid plan they are given.
+class RewritePass {
+ public:
+  virtual ~RewritePass() = default;
+
+  /// Display name ("predicate-pushdown", ...).
+  virtual std::string name() const = 0;
+
+  /// Applies the pass once over the whole plan; sets \p *changed to true
+  /// when the plan was modified.
+  virtual Status Apply(LogicalPlan* plan, bool* changed) = 0;
+};
+
+using RewritePassPtr = std::unique_ptr<RewritePass>;
+
+/// Moves filters earlier past maps that don't feed them and past
+/// projections.
+RewritePassPtr MakePredicatePushdownPass();
+/// AND-combines adjacent filters.
+RewritePassPtr MakeFilterFusionPass();
+/// Merges adjacent independent maps into one.
+RewritePassPtr MakeMapFusionPass();
+/// Collapses adjacent projections and deletes map outputs the following
+/// projection drops.
+RewritePassPtr MakeProjectionPushdownPass();
+
+/// \brief The pass pipeline. Runs its passes in registration order,
+/// repeating the whole pipeline until no pass reports a change (bounded by
+/// `max_iterations`).
+class PlanRewriter {
+ public:
+  PlanRewriter() = default;
+  PlanRewriter(PlanRewriter&&) = default;
+  PlanRewriter& operator=(PlanRewriter&&) = default;
+
+  /// The default pipeline for \p options (only enabled passes are added;
+  /// an all-false options set yields an empty, no-op rewriter).
+  static PlanRewriter Default(const OptimizerOptions& options = {});
+
+  /// Appends a pass; returns *this for chaining.
+  PlanRewriter& AddPass(RewritePassPtr pass);
+
+  /// Rewrites \p plan in place to a fixpoint.
+  Status Rewrite(LogicalPlan* plan) const;
+
+  size_t NumPasses() const { return passes_.size(); }
+
+ private:
+  std::vector<RewritePassPtr> passes_;
+  size_t max_iterations_ = 8;
+};
+
+}  // namespace nebulameos::nebula

@@ -4,167 +4,140 @@ namespace nebulameos::nebula {
 
 Query Query::From(SourcePtr source) {
   Query q;
-  q.source_ = std::move(source);
+  q.plan_.SetSource(std::move(source));
   return q;
 }
 
+void Query::Fail(const std::string& message) {
+  if (error_.ok()) error_ = Status::InvalidArgument(message);
+}
+
+void Query::AppendStep(LogicalOperatorPtr node, const char* what) {
+  if (pending_window_ != nullptr) {
+    Fail(std::string(what) +
+         " after a window that was not completed with Aggregate()");
+    return;
+  }
+  plan_.Append(std::move(node));
+}
+
+void Query::SetPendingWindow(LogicalOperatorPtr node, const char* what) {
+  if (pending_window_ != nullptr) {
+    Fail(std::string(what) +
+         " after a window that was not completed with Aggregate()");
+    return;
+  }
+  pending_window_ = std::move(node);
+}
+
 Query&& Query::Filter(ExprPtr predicate) && {
-  LogicalStep step;
-  step.kind = LogicalStep::Kind::kFilter;
-  step.predicate = std::move(predicate);
-  steps_.push_back(std::move(step));
+  AppendStep(std::make_unique<FilterNode>(std::move(predicate)), "Filter");
   return std::move(*this);
 }
 
 Query&& Query::Map(std::string name, ExprPtr expr) && {
-  LogicalStep step;
-  step.kind = LogicalStep::Kind::kMap;
-  step.map_specs.push_back({std::move(name), std::move(expr)});
-  steps_.push_back(std::move(step));
+  std::vector<MapSpec> specs;
+  specs.push_back({std::move(name), std::move(expr)});
+  AppendStep(std::make_unique<MapNode>(std::move(specs)), "Map");
   return std::move(*this);
 }
 
 Query&& Query::MapAll(std::vector<MapSpec> specs) && {
-  LogicalStep step;
-  step.kind = LogicalStep::Kind::kMap;
-  step.map_specs = std::move(specs);
-  steps_.push_back(std::move(step));
+  AppendStep(std::make_unique<MapNode>(std::move(specs)), "MapAll");
   return std::move(*this);
 }
 
 Query&& Query::Project(std::vector<std::string> fields) && {
-  LogicalStep step;
-  step.kind = LogicalStep::Kind::kProject;
-  step.project_fields = std::move(fields);
-  steps_.push_back(std::move(step));
+  AppendStep(std::make_unique<ProjectNode>(std::move(fields)), "Project");
   return std::move(*this);
 }
 
 Query&& Query::KeyBy(std::string field) && {
-  pending_key_ = std::move(field);
+  AppendStep(std::make_unique<KeyByNode>(std::move(field)), "KeyBy");
   return std::move(*this);
 }
 
 Query&& Query::TumblingWindow(Duration size, std::string time_field) && {
-  LogicalStep step;
-  step.kind = LogicalStep::Kind::kWindowAgg;
-  step.window_options.window = TumblingWindowSpec{size};
-  step.window_options.time_field = std::move(time_field);
-  step.window_options.key_field = pending_key_;
-  pending_window_ = std::move(step);
+  WindowAggOptions options;
+  options.window = TumblingWindowSpec{size};
+  options.time_field = std::move(time_field);
+  SetPendingWindow(std::make_unique<WindowAggNode>(std::move(options)),
+                   "TumblingWindow");
   return std::move(*this);
 }
 
 Query&& Query::SlidingWindow(Duration size, Duration slide,
                              std::string time_field) && {
-  LogicalStep step;
-  step.kind = LogicalStep::Kind::kWindowAgg;
-  step.window_options.window = SlidingWindowSpec{size, slide};
-  step.window_options.time_field = std::move(time_field);
-  step.window_options.key_field = pending_key_;
-  pending_window_ = std::move(step);
+  WindowAggOptions options;
+  options.window = SlidingWindowSpec{size, slide};
+  options.time_field = std::move(time_field);
+  SetPendingWindow(std::make_unique<WindowAggNode>(std::move(options)),
+                   "SlidingWindow");
   return std::move(*this);
 }
 
 Query&& Query::ThresholdWindow(ExprPtr predicate, Duration min_duration,
                                std::string time_field) && {
-  LogicalStep step;
-  step.kind = LogicalStep::Kind::kThresholdWindow;
-  step.threshold_options.predicate = std::move(predicate);
-  step.threshold_options.min_duration = min_duration;
-  step.threshold_options.time_field = std::move(time_field);
-  step.threshold_options.key_field = pending_key_;
-  pending_window_ = std::move(step);
+  ThresholdWindowOptions options;
+  options.predicate = std::move(predicate);
+  options.min_duration = min_duration;
+  options.time_field = std::move(time_field);
+  SetPendingWindow(std::make_unique<ThresholdWindowNode>(std::move(options)),
+                   "ThresholdWindow");
   return std::move(*this);
 }
 
 Query&& Query::Aggregate(std::vector<AggregateSpec> aggs,
                          std::vector<CustomAggregatorFactory> customs) && {
-  if (pending_window_) {
-    if (pending_window_->kind == LogicalStep::Kind::kWindowAgg) {
-      pending_window_->window_options.aggregates = std::move(aggs);
-      pending_window_->window_options.custom_aggregators = std::move(customs);
-    } else {
-      pending_window_->threshold_options.aggregates = std::move(aggs);
-      pending_window_->threshold_options.custom_aggregators =
-          std::move(customs);
-    }
-    steps_.push_back(std::move(*pending_window_));
-    pending_window_.reset();
-    pending_key_.clear();
+  if (pending_window_ == nullptr) {
+    Fail("Aggregate() without a pending window "
+         "(call TumblingWindow/SlidingWindow/ThresholdWindow first)");
+    return std::move(*this);
   }
+  if (pending_window_->kind() == LogicalOperator::Kind::kWindowAgg) {
+    auto& options =
+        static_cast<WindowAggNode&>(*pending_window_).mutable_options();
+    options.aggregates = std::move(aggs);
+    options.custom_aggregators = std::move(customs);
+  } else {
+    auto& options =
+        static_cast<ThresholdWindowNode&>(*pending_window_).mutable_options();
+    options.aggregates = std::move(aggs);
+    options.custom_aggregators = std::move(customs);
+  }
+  plan_.Append(std::move(pending_window_));
   return std::move(*this);
 }
 
 Query&& Query::Detect(Pattern pattern, std::vector<Measure> measures) && {
-  if (pattern.key_field.empty()) pattern.key_field = pending_key_;
-  pending_key_.clear();
-  LogicalStep step;
-  step.kind = LogicalStep::Kind::kCep;
-  step.pattern = std::move(pattern);
-  step.measures = std::move(measures);
-  steps_.push_back(std::move(step));
+  AppendStep(
+      std::make_unique<CepNode>(std::move(pattern), std::move(measures)),
+      "Detect");
   return std::move(*this);
 }
 
 Query&& Query::JoinLookup(TemporalLookupJoinOptions options) && {
-  LogicalStep step;
-  step.kind = LogicalStep::Kind::kLookupJoin;
-  step.join_options = std::move(options);
-  steps_.push_back(std::move(step));
+  AppendStep(std::make_unique<LookupJoinNode>(std::move(options)),
+             "JoinLookup");
   return std::move(*this);
 }
 
 Query&& Query::To(std::shared_ptr<SinkOperator> sink) && {
-  sink_ = std::move(sink);
+  if (pending_window_ != nullptr) {
+    Fail("To() after a window that was not completed with Aggregate()");
+    return std::move(*this);
+  }
+  plan_.SetSink(std::move(sink));
   return std::move(*this);
 }
 
-Result<std::vector<OperatorPtr>> CompilePlan(const Schema& source_schema,
-                                             const Query& query) {
-  std::vector<OperatorPtr> chain;
-  Schema current = source_schema;
-  for (const LogicalStep& step : query.steps()) {
-    OperatorPtr op;
-    switch (step.kind) {
-      case LogicalStep::Kind::kFilter: {
-        NM_ASSIGN_OR_RETURN(op, FilterOperator::Make(current, step.predicate));
-        break;
-      }
-      case LogicalStep::Kind::kMap: {
-        NM_ASSIGN_OR_RETURN(op, MapOperator::Make(current, step.map_specs));
-        break;
-      }
-      case LogicalStep::Kind::kProject: {
-        NM_ASSIGN_OR_RETURN(
-            op, ProjectOperator::Make(current, step.project_fields));
-        break;
-      }
-      case LogicalStep::Kind::kWindowAgg: {
-        NM_ASSIGN_OR_RETURN(
-            op, WindowAggOperator::Make(current, step.window_options));
-        break;
-      }
-      case LogicalStep::Kind::kThresholdWindow: {
-        NM_ASSIGN_OR_RETURN(op, ThresholdWindowOperator::Make(
-                                    current, step.threshold_options));
-        break;
-      }
-      case LogicalStep::Kind::kCep: {
-        NM_ASSIGN_OR_RETURN(
-            op, CepOperator::Make(current, step.pattern, step.measures));
-        break;
-      }
-      case LogicalStep::Kind::kLookupJoin: {
-        NM_ASSIGN_OR_RETURN(
-            op, TemporalLookupJoinOperator::Make(current, step.join_options));
-        break;
-      }
-    }
-    current = op->output_schema();
-    chain.push_back(std::move(op));
+Result<LogicalPlan> Query::Build() && {
+  NM_RETURN_NOT_OK(error_);
+  if (pending_window_ != nullptr) {
+    return Status::InvalidArgument(
+        "query ends in a window that was not completed with Aggregate()");
   }
-  return chain;
+  return std::move(plan_);
 }
 
 }  // namespace nebulameos::nebula

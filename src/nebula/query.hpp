@@ -1,57 +1,36 @@
 /// \file query.hpp
-/// \brief The declarative query API: a fluent builder producing a logical
-/// plan.
+/// \brief The declarative query API: a fluent builder that emits a
+/// `LogicalPlan` (logical_plan.hpp).
 ///
 /// Mirrors NebulaStream's query interface:
 ///
 /// ```cpp
-/// Query q = Query::From(std::move(source))
-///               .Filter(Lt(Attribute("speed"), Lit(22.2)))
-///               .Map("speed_kmh", Mul(Attribute("speed"), Lit(3.6)))
-///               .KeyBy("train_id")
-///               .TumblingWindow(Minutes(1), "ts")
-///               .Aggregate({AggregateSpec::Avg("speed", "avg_speed")})
-///               .To(sink);
+/// Result<LogicalPlan> plan =
+///     Query::From(std::move(source))
+///         .Filter(Lt(Attribute("speed"), Lit(22.2)))
+///         .Map("speed_kmh", Mul(Attribute("speed"), Lit(3.6)))
+///         .KeyBy("train_id")
+///         .TumblingWindow(Minutes(1), "ts")
+///         .Aggregate({AggregateSpec::Avg("speed", "avg_speed")})
+///         .To(sink)
+///         .Build();
 /// ```
 ///
-/// The plan is compiled into physical operators by the `NodeEngine`
-/// (engine.hpp). Compilation is where schemas propagate and expressions
-/// bind, so invalid plans are rejected at submission.
+/// The builder is *thin*: every step appends a node to the plan IR, and
+/// `Build()` surfaces misuse — `Aggregate` without a pending window, a
+/// window never completed with `Aggregate`, `KeyBy` never consumed — as
+/// `Result` errors instead of silently misbehaving at submission. The
+/// emitted plan can be inspected (`Explain`), optimized (optimizer.hpp)
+/// and lowered (`CompilePlan`); `NodeEngine::Submit` accepts either a
+/// finished plan or the builder itself.
 
 #pragma once
 
-#include "nebula/cep.hpp"
-#include "nebula/join.hpp"
-#include "nebula/operators.hpp"
-#include "nebula/source.hpp"
+#include "nebula/logical_plan.hpp"
 
 namespace nebulameos::nebula {
 
-/// \brief One logical step of a query plan.
-struct LogicalStep {
-  enum class Kind {
-    kFilter,
-    kMap,
-    kProject,
-    kWindowAgg,
-    kThresholdWindow,
-    kCep,
-    kLookupJoin,
-  };
-
-  Kind kind;
-  // Populated according to kind:
-  ExprPtr predicate;                       // kFilter
-  std::vector<MapSpec> map_specs;          // kMap
-  std::vector<std::string> project_fields; // kProject
-  WindowAggOptions window_options;         // kWindowAgg
-  ThresholdWindowOptions threshold_options;// kThresholdWindow
-  Pattern pattern;                         // kCep
-  std::vector<Measure> measures;           // kCep
-  TemporalLookupJoinOptions join_options;  // kLookupJoin
-};
-
-/// \brief A complete logical query: source → steps → sink.
+/// \brief Fluent builder producing a `LogicalPlan`.
 class Query {
  public:
   /// Starts a query from a source (takes ownership).
@@ -69,7 +48,8 @@ class Query {
   /// Keeps only the named fields.
   Query&& Project(std::vector<std::string> fields) &&;
 
-  /// Sets the partitioning key for the next window/CEP step.
+  /// Sets the partitioning key for the next window/CEP step. A key that is
+  /// not consumed by the immediately following step is a build error.
   Query&& KeyBy(std::string field) &&;
 
   /// Starts a tumbling-window aggregation (finish with `Aggregate`).
@@ -84,7 +64,7 @@ class Query {
                           std::string time_field) &&;
 
   /// Completes the pending window with aggregates (and optional custom
-  /// aggregators).
+  /// aggregators). Calling this without a pending window is a build error.
   Query&& Aggregate(std::vector<AggregateSpec> aggs,
                     std::vector<CustomAggregatorFactory> customs = {}) &&;
 
@@ -99,28 +79,28 @@ class Query {
   /// results after the run).
   Query&& To(std::shared_ptr<SinkOperator> sink) &&;
 
-  // --- Accessors used by the engine ---
-
-  Source* source() const { return source_.get(); }
-  SourcePtr TakeSource() { return std::move(source_); }
-  const std::vector<LogicalStep>& steps() const { return steps_; }
-  const std::shared_ptr<SinkOperator>& sink() const { return sink_; }
+  /// Emits the logical plan. Fails when the fluent chain was misused
+  /// (`Aggregate` without a window, a window left open, ...); structural
+  /// plan checks — missing sink, dangling `KeyBy` — live in
+  /// `LogicalPlan::Validate` and run at submission.
+  Result<LogicalPlan> Build() &&;
 
  private:
   Query() = default;
 
-  SourcePtr source_;
-  std::vector<LogicalStep> steps_;
-  std::shared_ptr<SinkOperator> sink_;
-  std::string pending_key_;
-  // Pending window awaiting Aggregate().
-  std::optional<LogicalStep> pending_window_;
-};
+  // Records the first misuse; later steps keep appending so the error
+  // message refers to the earliest problem.
+  void Fail(const std::string& message);
+  // Appends a node unless a window is pending (steps between a window and
+  // its Aggregate are a misuse).
+  void AppendStep(LogicalOperatorPtr node, const char* what);
+  // Parks a window node awaiting Aggregate(), with the same guard.
+  void SetPendingWindow(LogicalOperatorPtr node, const char* what);
 
-/// \brief Compiles a logical query into a physical operator chain
-/// (schemas propagate source → sink; expressions bind along the way).
-/// On success the query's source has been consumed.
-Result<std::vector<OperatorPtr>> CompilePlan(const Schema& source_schema,
-                                             const Query& query);
+  LogicalPlan plan_;
+  // Window awaiting Aggregate(); appended to the plan on completion.
+  LogicalOperatorPtr pending_window_;
+  Status error_;
+};
 
 }  // namespace nebulameos::nebula

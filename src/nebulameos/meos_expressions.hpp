@@ -19,6 +19,11 @@
 /// Configuration arguments (zone names, box bounds, distances) must be
 /// literals: they are const-folded and resolved once at bind time, so the
 /// per-record path touches no registry.
+///
+/// Because every class here is a `FunctionExpression`, its field read set
+/// is visible to the plan optimizer (`Expression::ReferencedFields`), so
+/// filters over MEOS predicates participate in predicate pushdown and
+/// filter fusion like any built-in expression (see nebula/optimizer.hpp).
 
 #pragma once
 

@@ -32,32 +32,19 @@ using nebula::ValueAsDouble;
 
 namespace {
 
-// Attaches a sink of the requested mode to `query`.
-BuiltQuery Terminate(Query query, const Schema& sink_schema,
-                     SinkMode mode) {
+// Emits the builder's plan and terminates it with a sink of the requested
+// mode, shaped by the plan's inferred output schema.
+Result<BuiltQuery> Finish(Query query, SinkMode mode) {
+  NM_ASSIGN_OR_RETURN(nebula::LogicalPlan plan, std::move(query).Build());
+  NM_ASSIGN_OR_RETURN(Schema sink_schema, plan.OutputSchema());
   if (mode == SinkMode::kCollect) {
     auto sink = std::make_shared<CollectSink>(sink_schema);
-    (void)std::move(query).To(sink);  // sets the sink in place
-    return BuiltQuery(std::move(query), sink, nullptr);
+    plan.SetSink(sink);
+    return BuiltQuery(std::move(plan), sink, nullptr);
   }
   auto sink = std::make_shared<CountingSink>(sink_schema);
-  (void)std::move(query).To(sink);
-  return BuiltQuery(std::move(query), nullptr, sink);
-}
-
-// Output schema after compiling the steps so far — we reconstruct it by
-// compiling against the source schema (cheap: binding only).
-Result<Schema> SinkSchemaOf(const Query& query, const Schema& source_schema) {
-  NM_ASSIGN_OR_RETURN(auto chain,
-                      nebula::CompilePlan(source_schema, query));
-  return chain.empty() ? source_schema : chain.back()->output_schema();
-}
-
-Result<BuiltQuery> Finish(Query query, const Schema& source_schema,
-                          SinkMode mode) {
-  NM_ASSIGN_OR_RETURN(Schema sink_schema,
-                      SinkSchemaOf(query, source_schema));
-  return Terminate(std::move(query), sink_schema, mode);
+  plan.SetSink(sink);
+  return BuiltQuery(std::move(plan), nullptr, sink);
 }
 
 // Applies offered-load pacing when requested.
@@ -107,7 +94,6 @@ Result<std::shared_ptr<DemoEnvironment>> DemoEnvironment::Create() {
 Result<BuiltQuery> BuildQ1AlertFiltering(const DemoEnvironment& env,
                                          const QueryOptions& options) {
   sncb::SncbSources sources(&env.network(), options.fleet);
-  const Schema schema = sncb::GeofencingSchema();
   Query q =
       Query::From(MaybePace(sources.Geofencing(options.max_events), options))
           .Filter(And(Ne(Attribute("event_type"), Lit(std::string("normal"))),
@@ -115,7 +101,7 @@ Result<BuiltQuery> BuildQ1AlertFiltering(const DemoEnvironment& env,
                              {Attribute("lon"), Attribute("lat"),
                               Lit(std::string("maintenance"))}))))
           .Project({"train_id", "ts", "lon", "lat", "speed_ms", "event_type"});
-  return Finish(std::move(q), schema, options.sink);
+  return Finish(std::move(q), options.sink);
 }
 
 // --- Q2 ------------------------------------------------------------------
@@ -123,7 +109,6 @@ Result<BuiltQuery> BuildQ1AlertFiltering(const DemoEnvironment& env,
 Result<BuiltQuery> BuildQ2NoiseMonitoring(const DemoEnvironment& env,
                                           const QueryOptions& options) {
   sncb::SncbSources sources(&env.network(), options.fleet);
-  const Schema schema = sncb::GeofencingSchema();
   Query q =
       Query::From(MaybePace(sources.Geofencing(options.max_events), options))
           .Filter(Fn("in_zone_kind", {Attribute("lon"), Attribute("lat"),
@@ -135,7 +120,7 @@ Result<BuiltQuery> BuildQ2NoiseMonitoring(const DemoEnvironment& env,
           .Aggregate({AggregateSpec::Avg("noise_db", "avg_noise_db"),
                       AggregateSpec::Max("noise_db", "max_noise_db"),
                       AggregateSpec::Count("events")});
-  return Finish(std::move(q), schema, options.sink);
+  return Finish(std::move(q), options.sink);
 }
 
 // --- Q3 ------------------------------------------------------------------
@@ -143,7 +128,6 @@ Result<BuiltQuery> BuildQ2NoiseMonitoring(const DemoEnvironment& env,
 Result<BuiltQuery> BuildQ3DynamicSpeedLimit(const DemoEnvironment& env,
                                             const QueryOptions& options) {
   sncb::SncbSources sources(&env.network(), options.fleet);
-  const Schema schema = sncb::GeofencingSchema();
   Query q =
       Query::From(MaybePace(sources.Geofencing(options.max_events), options))
           .Map("speed_kmh", Mul(Attribute("speed_ms"), Lit(3.6)))
@@ -154,7 +138,7 @@ Result<BuiltQuery> BuildQ3DynamicSpeedLimit(const DemoEnvironment& env,
           .Filter(Gt(Attribute("speed_kmh"),
                      Add(Attribute("limit_kmh"), Lit(5.0))))
           .Project({"train_id", "ts", "lon", "lat", "speed_kmh", "limit_kmh"});
-  return Finish(std::move(q), schema, options.sink);
+  return Finish(std::move(q), options.sink);
 }
 
 // --- Q4 ------------------------------------------------------------------
@@ -162,7 +146,6 @@ Result<BuiltQuery> BuildQ3DynamicSpeedLimit(const DemoEnvironment& env,
 Result<BuiltQuery> BuildQ4WeatherSpeedZones(const DemoEnvironment& env,
                                             const QueryOptions& options) {
   sncb::SncbSources sources(&env.network(), options.fleet);
-  const Schema schema = sncb::GeofencingSchema();
   Query q =
       Query::From(MaybePace(sources.Geofencing(options.max_events), options))
           .Map("zone_limit_kmh", Fn("zone_speed_limit", {Attribute("lon"),
@@ -180,13 +163,12 @@ Result<BuiltQuery> BuildQ4WeatherSpeedZones(const DemoEnvironment& env,
                          Attribute("zone_limit_kmh"))))
           .Project({"train_id", "ts", "lon", "lat", "speed_kmh", "limit_kmh",
                     "weather_condition", "weather_intensity"});
-  return Finish(std::move(q), schema, options.sink);
+  return Finish(std::move(q), options.sink);
 }
 
 Result<BuiltQuery> BuildQ4WeatherJoin(const DemoEnvironment& env,
                                       const QueryOptions& options) {
   sncb::SncbSources sources(&env.network(), options.fleet);
-  const Schema schema = sncb::GeofencingSchema();
   // The weather side: 24 h of observations for every grid cell, from the
   // same seeded provider the fleet experiences.
   nebula::TemporalLookupJoinOptions join;
@@ -215,7 +197,7 @@ Result<BuiltQuery> BuildQ4WeatherJoin(const DemoEnvironment& env,
                          Attribute("zone_limit_kmh"))))
           .Project({"train_id", "ts", "lon", "lat", "speed_kmh", "limit_kmh",
                     "condition", "intensity"});
-  return Finish(std::move(q), schema, options.sink);
+  return Finish(std::move(q), options.sink);
 }
 
 // --- Q5 ------------------------------------------------------------------
@@ -223,7 +205,6 @@ Result<BuiltQuery> BuildQ4WeatherJoin(const DemoEnvironment& env,
 Result<BuiltQuery> BuildQ5BatteryMonitoring(const DemoEnvironment& env,
                                             const QueryOptions& options) {
   sncb::SncbSources sources(&env.network(), options.fleet);
-  const Schema schema = sncb::BatterySchema();
   Query q =
       Query::From(MaybePace(sources.Battery(options.max_events), options))
           .Map("deviation_v",
@@ -245,7 +226,7 @@ Result<BuiltQuery> BuildQ5BatteryMonitoring(const DemoEnvironment& env,
           .Map("workshop_dist_m",
                Fn("nearest_poi_distance", {Attribute("lon"), Attribute("lat"),
                                            Lit(std::string("workshop"))}));
-  return Finish(std::move(q), schema, options.sink);
+  return Finish(std::move(q), options.sink);
 }
 
 // --- Q6 ------------------------------------------------------------------
@@ -253,7 +234,6 @@ Result<BuiltQuery> BuildQ5BatteryMonitoring(const DemoEnvironment& env,
 Result<BuiltQuery> BuildQ6HeavyLoad(const DemoEnvironment& env,
                                     const QueryOptions& options) {
   sncb::SncbSources sources(&env.network(), options.fleet);
-  const Schema schema = sncb::PassengerSchema();
   Query q =
       Query::From(MaybePace(sources.Passenger(options.max_events), options))
           .KeyBy("train_id")
@@ -264,7 +244,7 @@ Result<BuiltQuery> BuildQ6HeavyLoad(const DemoEnvironment& env,
                       AggregateSpec::Avg("cabin_temp_c", "avg_cabin_temp_c"),
                       AggregateSpec::Count("samples")})
           .Filter(Gt(Attribute("avg_passengers"), Attribute("seats")));
-  return Finish(std::move(q), schema, options.sink);
+  return Finish(std::move(q), options.sink);
 }
 
 // --- Q7 ------------------------------------------------------------------
@@ -272,7 +252,6 @@ Result<BuiltQuery> BuildQ6HeavyLoad(const DemoEnvironment& env,
 Result<BuiltQuery> BuildQ7UnscheduledStops(const DemoEnvironment& env,
                                            const QueryOptions& options) {
   sncb::SncbSources sources(&env.network(), options.fleet);
-  const Schema schema = sncb::PositionSchema();
   // Halted outside any station or workshop zone.
   auto stopped_outside =
       And(Lt(Attribute("speed_ms"), Lit(0.5)),
@@ -303,7 +282,7 @@ Result<BuiltQuery> BuildQ7UnscheduledStops(const DemoEnvironment& env,
   Query q = Query::From(MaybePace(sources.Position(options.max_events), options))
                 .Detect(std::move(pattern), std::move(measures))
                 .Filter(Ge(Attribute("stop_events"), Lit(120)));
-  return Finish(std::move(q), schema, options.sink);
+  return Finish(std::move(q), options.sink);
 }
 
 // --- Q8 ------------------------------------------------------------------
@@ -311,7 +290,6 @@ Result<BuiltQuery> BuildQ7UnscheduledStops(const DemoEnvironment& env,
 Result<BuiltQuery> BuildQ8BrakeMonitoring(const DemoEnvironment& env,
                                           const QueryOptions& options) {
   sncb::SncbSources sources(&env.network(), options.fleet);
-  const Schema schema = sncb::GeofencingSchema();
   // Emergency braking shows as pressure collapsing below 2.2 bar; a
   // recovery above 3 bar separates distinct events (hysteresis: ordinary
   // service braking sits between ~2.9 and ~4.4 bar).
@@ -336,7 +314,7 @@ Result<BuiltQuery> BuildQ8BrakeMonitoring(const DemoEnvironment& env,
   };
   Query q = Query::From(MaybePace(sources.Geofencing(options.max_events), options))
                 .Detect(std::move(pattern), std::move(measures));
-  return Finish(std::move(q), schema, options.sink);
+  return Finish(std::move(q), options.sink);
 }
 
 // --- Dispatch ----------------------------------------------------------------

@@ -2,8 +2,8 @@
 /// \brief The paper's eight demonstration queries (§3.1 geofencing,
 /// §3.2 geospatial complex event processing), built on the public API.
 ///
-/// Each builder returns a ready-to-submit `nebula::Query` plus a handle to
-/// its sink. Queries Q1–Q4 run on the 112-byte geofencing stream, Q5 on the
+/// Each builder returns a ready-to-submit `nebula::LogicalPlan` plus a
+/// handle to its sink. Queries Q1–Q4 run on the 112-byte geofencing stream, Q5 on the
 /// 76-byte battery stream, Q6 on the 115-byte passenger stream, Q7 on the
 /// 40-byte position stream and Q8 on the geofencing stream again — matching
 /// the paper's per-query throughput ratios (records.hpp).
@@ -53,16 +53,17 @@ struct QueryOptions {
   double pace_events_per_second = 0.0;
 };
 
-/// \brief A built query plus its sink handles (exactly one is non-null,
-/// matching `QueryOptions::sink`).
+/// \brief A built query — as a ready-to-submit logical plan — plus its
+/// sink handles (exactly one is non-null, matching `QueryOptions::sink`).
+/// The plan can be inspected (`plan.Explain()`) before submission.
 struct BuiltQuery {
-  nebula::Query query;
+  nebula::LogicalPlan plan;
   std::shared_ptr<nebula::CollectSink> collect;
   std::shared_ptr<nebula::CountingSink> counting;
 
-  BuiltQuery(nebula::Query q, std::shared_ptr<nebula::CollectSink> c,
+  BuiltQuery(nebula::LogicalPlan p, std::shared_ptr<nebula::CollectSink> c,
              std::shared_ptr<nebula::CountingSink> n)
-      : query(std::move(q)), collect(std::move(c)), counting(std::move(n)) {}
+      : plan(std::move(p)), collect(std::move(c)), counting(std::move(n)) {}
 };
 
 /// Q1 — location-based alert filtering: onboard alerts survive unless the

@@ -1,5 +1,6 @@
-// End-to-end engine tests: query API, plan compilation, operators through
-// the NodeEngine, pipelined mode, cancellation, statistics.
+// End-to-end engine tests: query API, plan emission and compilation,
+// operators through the NodeEngine, pipelined mode, cancellation,
+// statistics, plan introspection.
 
 #include <gtest/gtest.h>
 
@@ -39,10 +40,9 @@ TEST(Engine, SubmitRequiresSourceAndSink) {
 TEST(Engine, FilterQuery) {
   NodeEngine engine;
   auto sink = std::make_shared<CollectSink>(EventSchema());
-  Query q = Query::From(MakeSource(10))
-                .Filter(Ge(Attribute("value"), Lit(5.0)));
-  (void)std::move(q).To(sink);
-  auto id = engine.Submit(std::move(q));
+  auto id = engine.Submit(Query::From(MakeSource(10))
+                              .Filter(Ge(Attribute("value"), Lit(5.0)))
+                              .To(sink));
   ASSERT_TRUE(id.ok()) << id.status().ToString();
   ASSERT_TRUE(engine.RunToCompletion(*id).ok());
   EXPECT_EQ(sink->RowCount(), 5u);
@@ -53,18 +53,19 @@ TEST(Engine, FilterQuery) {
 
 TEST(Engine, MapAddsAndReplacesFields) {
   NodeEngine engine;
-  Query q = Query::From(MakeSource(4))
-                .Map("double_value", Mul(Attribute("value"), Lit(2.0)))
-                .Map("value", Add(Attribute("value"), Lit(100.0)));
-  auto chain = CompilePlan(EventSchema(), q);
-  ASSERT_TRUE(chain.ok());
-  const Schema& out = chain->back()->output_schema();
-  EXPECT_TRUE(out.HasField("double_value"));
-  EXPECT_EQ(out.num_fields(), 4u);  // value replaced in place
+  auto plan = Query::From(MakeSource(4))
+                  .Map("double_value", Mul(Attribute("value"), Lit(2.0)))
+                  .Map("value", Add(Attribute("value"), Lit(100.0)))
+                  .Build();
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  auto out = plan->OutputSchema();
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_TRUE(out->HasField("double_value"));
+  EXPECT_EQ(out->num_fields(), 4u);  // value replaced in place
 
-  auto sink = std::make_shared<CollectSink>(out);
-  (void)std::move(q).To(sink);
-  auto id = engine.Submit(std::move(q));
+  auto sink = std::make_shared<CollectSink>(*out);
+  plan->SetSink(sink);
+  auto id = engine.Submit(std::move(*plan));
   ASSERT_TRUE(id.ok());
   ASSERT_TRUE(engine.RunToCompletion(*id).ok());
   const auto rows = sink->Rows();
@@ -75,8 +76,9 @@ TEST(Engine, MapAddsAndReplacesFields) {
 }
 
 TEST(Engine, ProjectReordersFields) {
-  Query q = Query::From(MakeSource(2)).Project({"value", "key"});
-  auto chain = CompilePlan(EventSchema(), q);
+  auto plan = Query::From(MakeSource(2)).Project({"value", "key"}).Build();
+  ASSERT_TRUE(plan.ok());
+  auto chain = CompilePlan(EventSchema(), *plan);
   ASSERT_TRUE(chain.ok());
   const Schema& out = chain->back()->output_schema();
   ASSERT_EQ(out.num_fields(), 2u);
@@ -86,27 +88,46 @@ TEST(Engine, ProjectReordersFields) {
 
 TEST(Engine, CompileRejectsBadPlans) {
   {
-    Query q = Query::From(MakeSource(2)).Filter(Gt(Attribute("nope"), Lit(1)));
-    EXPECT_FALSE(CompilePlan(EventSchema(), q).ok());
+    auto plan =
+        Query::From(MakeSource(2)).Filter(Gt(Attribute("nope"), Lit(1))).Build();
+    ASSERT_TRUE(plan.ok());
+    EXPECT_FALSE(CompilePlan(EventSchema(), *plan).ok());
   }
   {
-    Query q = Query::From(MakeSource(2)).Project({"nope"});
-    EXPECT_FALSE(CompilePlan(EventSchema(), q).ok());
+    auto plan = Query::From(MakeSource(2)).Project({"nope"}).Build();
+    ASSERT_TRUE(plan.ok());
+    EXPECT_FALSE(CompilePlan(EventSchema(), *plan).ok());
   }
+}
+
+TEST(Engine, KeyByWithoutWindowIsRejected) {
+  // Regression: a dangling KeyBy used to be silently dropped; it is now a
+  // hard validation error at submission.
+  NodeEngine engine;
+  auto sink = std::make_shared<CountingSink>(EventSchema());
+  auto id = engine.Submit(Query::From(MakeSource(4))
+                              .KeyBy("key")
+                              .Filter(Ge(Attribute("value"), Lit(0.0)))
+                              .To(sink));
+  ASSERT_FALSE(id.ok());
+  EXPECT_NE(id.status().message().find("KeyBy"), std::string::npos)
+      << id.status().ToString();
 }
 
 TEST(Engine, WindowAggThroughEngine) {
   NodeEngine engine;
-  Query q = Query::From(MakeSource(10))
-                .KeyBy("key")
-                .TumblingWindow(Seconds(5), "ts")
-                .Aggregate({AggregateSpec::Count("n"),
-                            AggregateSpec::Sum("value", "total")});
-  auto chain = CompilePlan(EventSchema(), q);
-  ASSERT_TRUE(chain.ok());
-  auto sink = std::make_shared<CollectSink>(chain->back()->output_schema());
-  (void)std::move(q).To(sink);
-  auto id = engine.Submit(std::move(q));
+  auto plan = Query::From(MakeSource(10))
+                  .KeyBy("key")
+                  .TumblingWindow(Seconds(5), "ts")
+                  .Aggregate({AggregateSpec::Count("n"),
+                              AggregateSpec::Sum("value", "total")})
+                  .Build();
+  ASSERT_TRUE(plan.ok());
+  auto out = plan->OutputSchema();
+  ASSERT_TRUE(out.ok());
+  auto sink = std::make_shared<CollectSink>(*out);
+  plan->SetSink(sink);
+  auto id = engine.Submit(std::move(*plan));
   ASSERT_TRUE(id.ok());
   ASSERT_TRUE(engine.RunToCompletion(*id).ok());
   // 10 events at 1 e/s over keys {0,1,2}: windows [0,5) and [5,10).
@@ -123,17 +144,19 @@ TEST(Engine, WindowAggThroughEngine) {
 
 TEST(Engine, ChainedFilterMapWindow) {
   NodeEngine engine;
-  Query q = Query::From(MakeSource(20))
-                .Filter(Ge(Attribute("value"), Lit(10.0)))
-                .Map("scaled", Mul(Attribute("value"), Lit(0.5)))
-                .KeyBy("key")
-                .TumblingWindow(Seconds(100), "ts")
-                .Aggregate({AggregateSpec::Max("scaled", "peak")});
-  auto chain = CompilePlan(EventSchema(), q);
-  ASSERT_TRUE(chain.ok());
-  auto sink = std::make_shared<CollectSink>(chain->back()->output_schema());
-  (void)std::move(q).To(sink);
-  auto id = engine.Submit(std::move(q));
+  auto plan = Query::From(MakeSource(20))
+                  .Filter(Ge(Attribute("value"), Lit(10.0)))
+                  .Map("scaled", Mul(Attribute("value"), Lit(0.5)))
+                  .KeyBy("key")
+                  .TumblingWindow(Seconds(100), "ts")
+                  .Aggregate({AggregateSpec::Max("scaled", "peak")})
+                  .Build();
+  ASSERT_TRUE(plan.ok());
+  auto out = plan->OutputSchema();
+  ASSERT_TRUE(out.ok());
+  auto sink = std::make_shared<CollectSink>(*out);
+  plan->SetSink(sink);
+  auto id = engine.Submit(std::move(*plan));
   ASSERT_TRUE(id.ok());
   ASSERT_TRUE(engine.RunToCompletion(*id).ok());
   double max_peak = 0.0;
@@ -143,12 +166,51 @@ TEST(Engine, ChainedFilterMapWindow) {
   EXPECT_DOUBLE_EQ(max_peak, 9.5);  // value 19 scaled
 }
 
+TEST(Engine, ExplainReportsSubmittedAndOptimizedPlan) {
+  NodeEngine engine;
+  auto sink = std::make_shared<CountingSink>(EventSchema());
+  auto id = engine.Submit(Query::From(MakeSource(10))
+                              .Map("scaled", Mul(Attribute("value"), Lit(2.0)))
+                              .Filter(Ge(Attribute("value"), Lit(5.0)))
+                              .Project({"key", "ts", "value"})
+                              .To(sink));
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  auto text = engine.Explain(*id);
+  ASSERT_TRUE(text.ok());
+  // Pre-optimization: the plan as submitted (Map before Filter).
+  EXPECT_NE(text->logical.find("Map(scaled :="), std::string::npos)
+      << text->logical;
+  EXPECT_LT(text->logical.find("Map(scaled"), text->logical.find("Filter"));
+  // Post-optimization: the filter was pushed below the map, and the dead
+  // "scaled" field (projected away) was eliminated with its map.
+  EXPECT_EQ(text->optimized.find("Map("), std::string::npos)
+      << text->optimized;
+  EXPECT_NE(text->optimized.find("Filter"), std::string::npos);
+  ASSERT_TRUE(engine.RunToCompletion(*id).ok());
+  EXPECT_EQ(sink->events(), 5u);
+}
+
+TEST(Engine, OptimizerDisableSubmitsVerbatim) {
+  EngineOptions opts;
+  opts.optimizer.enable = false;
+  NodeEngine engine(opts);
+  auto sink = std::make_shared<CountingSink>(EventSchema());
+  auto id = engine.Submit(Query::From(MakeSource(10))
+                              .Filter(Ge(Attribute("value"), Lit(5.0)))
+                              .Filter(Lt(Attribute("value"), Lit(8.0)))
+                              .To(sink));
+  ASSERT_TRUE(id.ok());
+  auto text = engine.Explain(*id);
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(text->logical, text->optimized);
+  ASSERT_TRUE(engine.RunToCompletion(*id).ok());
+  EXPECT_EQ(sink->events(), 3u);  // values 5, 6, 7
+}
+
 TEST(Engine, StatsCountEventsAndBytes) {
   NodeEngine engine;
   auto sink = std::make_shared<CountingSink>(EventSchema());
-  Query q = Query::From(MakeSource(100));
-  (void)std::move(q).To(sink);
-  auto id = engine.Submit(std::move(q));
+  auto id = engine.Submit(Query::From(MakeSource(100)).To(sink));
   ASSERT_TRUE(id.ok());
   ASSERT_TRUE(engine.RunToCompletion(*id).ok());
   auto stats = engine.Stats(*id);
@@ -168,9 +230,7 @@ TEST(Engine, StatsCountEventsAndBytes) {
 TEST(Engine, MultipleRoundsRepeatData) {
   NodeEngine engine;
   auto sink = std::make_shared<CountingSink>(EventSchema());
-  Query q = Query::From(MakeSource(10, /*rounds=*/3));
-  (void)std::move(q).To(sink);
-  auto id = engine.Submit(std::move(q));
+  auto id = engine.Submit(Query::From(MakeSource(10, /*rounds=*/3)).To(sink));
   ASSERT_TRUE(id.ok());
   ASSERT_TRUE(engine.RunToCompletion(*id).ok());
   EXPECT_EQ(sink->events(), 30u);
@@ -181,10 +241,9 @@ TEST(Engine, PipelinedModeMatchesSynchronous) {
   opts.pipelined = true;
   NodeEngine engine(opts);
   auto sink = std::make_shared<CollectSink>(EventSchema());
-  Query q = Query::From(MakeSource(50))
-                .Filter(Lt(Attribute("value"), Lit(25.0)));
-  (void)std::move(q).To(sink);
-  auto id = engine.Submit(std::move(q));
+  auto id = engine.Submit(Query::From(MakeSource(50))
+                              .Filter(Lt(Attribute("value"), Lit(25.0)))
+                              .To(sink));
   ASSERT_TRUE(id.ok());
   ASSERT_TRUE(engine.RunToCompletion(*id).ok());
   EXPECT_EQ(sink->RowCount(), 25u);
@@ -205,9 +264,7 @@ TEST(Engine, GeneratorSourceUnboundedWithMax) {
       },
       /*max_events=*/500, "ts");
   auto sink = std::make_shared<CountingSink>(schema);
-  Query q = Query::From(std::move(source));
-  (void)std::move(q).To(sink);
-  auto id = engine.Submit(std::move(q));
+  auto id = engine.Submit(Query::From(std::move(source)).To(sink));
   ASSERT_TRUE(id.ok());
   ASSERT_TRUE(engine.RunToCompletion(*id).ok());
   EXPECT_EQ(sink->events(), 500u);
@@ -229,9 +286,7 @@ TEST(Engine, GeneratorEndsStream) {
       },
       /*max_events=*/0, "ts");
   auto sink = std::make_shared<CountingSink>(schema);
-  Query q = Query::From(std::move(source));
-  (void)std::move(q).To(sink);
-  auto id = engine.Submit(std::move(q));
+  auto id = engine.Submit(Query::From(std::move(source)).To(sink));
   ASSERT_TRUE(id.ok());
   ASSERT_TRUE(engine.RunToCompletion(*id).ok());
   EXPECT_EQ(sink->events(), 7u);
@@ -250,9 +305,7 @@ TEST(Engine, CancelStopsLongRun) {
       },
       /*max_events=*/0, "");
   auto sink = std::make_shared<CountingSink>(schema);
-  Query q = Query::From(std::move(source));
-  (void)std::move(q).To(sink);
-  auto id = engine.Submit(std::move(q));
+  auto id = engine.Submit(Query::From(std::move(source)).To(sink));
   ASSERT_TRUE(id.ok());
   ASSERT_TRUE(engine.Start(*id).ok());
   std::this_thread::sleep_for(std::chrono::milliseconds(30));
@@ -265,6 +318,7 @@ TEST(Engine, UnknownQueryIdErrors) {
   EXPECT_FALSE(engine.Start(42).ok());
   EXPECT_FALSE(engine.Wait(42).ok());
   EXPECT_FALSE(engine.Stats(42).ok());
+  EXPECT_FALSE(engine.Explain(42).ok());
 }
 
 TEST(Engine, ConcurrentQueries) {
@@ -273,9 +327,7 @@ TEST(Engine, ConcurrentQueries) {
   std::vector<int> ids;
   for (int k = 0; k < 4; ++k) {
     auto sink = std::make_shared<CountingSink>(EventSchema());
-    Query q = Query::From(MakeSource(1000));
-    (void)std::move(q).To(sink);
-    auto id = engine.Submit(std::move(q));
+    auto id = engine.Submit(Query::From(MakeSource(1000)).To(sink));
     ASSERT_TRUE(id.ok());
     ids.push_back(*id);
     sinks.push_back(sink);
@@ -292,9 +344,7 @@ TEST(Engine, CsvRoundTrip) {
     auto sink = CsvSink::Open(EventSchema(), path);
     ASSERT_TRUE(sink.ok());
     NodeEngine engine;
-    Query q = Query::From(MakeSource(5));
-    (void)std::move(q).To(*sink);
-    auto id = engine.Submit(std::move(q));
+    auto id = engine.Submit(Query::From(MakeSource(5)).To(*sink));
     ASSERT_TRUE(id.ok());
     ASSERT_TRUE(engine.RunToCompletion(*id).ok());
   }
@@ -303,9 +353,7 @@ TEST(Engine, CsvRoundTrip) {
   ASSERT_TRUE(source.ok());
   NodeEngine engine;
   auto sink = std::make_shared<CollectSink>(EventSchema());
-  Query q = Query::From(std::move(*source));
-  (void)std::move(q).To(sink);
-  auto id = engine.Submit(std::move(q));
+  auto id = engine.Submit(Query::From(std::move(*source)).To(sink));
   ASSERT_TRUE(id.ok());
   ASSERT_TRUE(engine.RunToCompletion(*id).ok());
   const auto rows = sink->Rows();

@@ -49,9 +49,9 @@ TEST(EngineFailures, SourceErrorPropagatesFromWait) {
   SetLogLevel(LogLevel::kOff);  // keep the expected error quiet
   NodeEngine engine;
   auto sink = std::make_shared<CountingSink>(EventSchema());
-  Query q = Query::From(std::make_unique<FailingSource>(EventSchema(), 100));
-  (void)std::move(q).To(sink);
-  auto id = engine.Submit(std::move(q));
+  auto id = engine.Submit(
+      Query::From(std::make_unique<FailingSource>(EventSchema(), 100))
+          .To(sink));
   ASSERT_TRUE(id.ok());
   const Status status = engine.RunToCompletion(*id);
   EXPECT_FALSE(status.ok());
@@ -65,9 +65,9 @@ TEST(EngineFailures, SourceErrorPropagatesInPipelinedMode) {
   options.pipelined = true;
   NodeEngine engine(options);
   auto sink = std::make_shared<CountingSink>(EventSchema());
-  Query q = Query::From(std::make_unique<FailingSource>(EventSchema(), 100));
-  (void)std::move(q).To(sink);
-  auto id = engine.Submit(std::move(q));
+  auto id = engine.Submit(
+      Query::From(std::make_unique<FailingSource>(EventSchema(), 100))
+          .To(sink));
   ASSERT_TRUE(id.ok());
   // The pipelined source thread hits the error; the pipeline drains what
   // arrived and the error surfaces from Wait.
@@ -148,10 +148,9 @@ TEST(EngineFailures, EmptySourceCompletesCleanly) {
   auto source = std::make_unique<MemorySource>(
       EventSchema(), std::vector<std::vector<Value>>{}, 1, "ts");
   auto sink = std::make_shared<CountingSink>(EventSchema());
-  Query q = Query::From(std::move(source))
-                .Filter(Gt(Attribute("value"), Lit(0.0)));
-  (void)std::move(q).To(sink);
-  auto id = engine.Submit(std::move(q));
+  auto id = engine.Submit(Query::From(std::move(source))
+                              .Filter(Gt(Attribute("value"), Lit(0.0)))
+                              .To(sink));
   ASSERT_TRUE(id.ok());
   EXPECT_TRUE(engine.RunToCompletion(*id).ok());
   EXPECT_EQ(sink->events(), 0u);
@@ -165,9 +164,7 @@ TEST(EngineFailures, DoubleStartRejected) {
                                                       Value(1.0)}},
       1, "ts");
   auto sink = std::make_shared<CountingSink>(EventSchema());
-  Query q = Query::From(std::move(source));
-  (void)std::move(q).To(sink);
-  auto id = engine.Submit(std::move(q));
+  auto id = engine.Submit(Query::From(std::move(source)).To(sink));
   ASSERT_TRUE(id.ok());
   ASSERT_TRUE(engine.Start(*id).ok());
   EXPECT_FALSE(engine.Start(*id).ok());

@@ -185,15 +185,17 @@ TEST(TemporalLookupJoin, ThroughQueryApi) {
     right_rows.emplace_back(0, Minutes(m), m / 10, 0.5);
     right_rows.emplace_back(1, Minutes(m), m / 10 + 100, 0.5);
   }
-  Query q = Query::From(std::move(left))
-                .JoinLookup(Options(MakeRight(right_rows)))
-                .Filter(Ge(Attribute("condition"), Lit(100)));
-  auto chain = CompilePlan(LeftSchema(), q);
-  ASSERT_TRUE(chain.ok()) << chain.status().ToString();
-  auto sink = std::make_shared<CollectSink>(chain->back()->output_schema());
-  (void)std::move(q).To(sink);
+  auto plan = Query::From(std::move(left))
+                  .JoinLookup(Options(MakeRight(right_rows)))
+                  .Filter(Ge(Attribute("condition"), Lit(100)))
+                  .Build();
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  auto out = plan->OutputSchema();
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  auto sink = std::make_shared<CollectSink>(*out);
+  plan->SetSink(sink);
   NodeEngine engine;
-  auto id = engine.Submit(std::move(q));
+  auto id = engine.Submit(std::move(*plan));
   ASSERT_TRUE(id.ok());
   ASSERT_TRUE(engine.RunToCompletion(*id).ok());
   // Only cell-1 rows pass the condition filter: 50 of 100.
@@ -220,13 +222,14 @@ TEST(TemporalLookupJoin, WeatherStreamJoinsFleet) {
   }
   auto left =
       std::make_unique<MemorySource>(LeftSchema(), std::move(rows), 1, "ts");
-  Query q = Query::From(std::move(left)).JoinLookup(options);
-  auto chain = CompilePlan(LeftSchema(), q);
-  ASSERT_TRUE(chain.ok());
-  auto sink = std::make_shared<CountingSink>(chain->back()->output_schema());
-  (void)std::move(q).To(sink);
+  auto plan = Query::From(std::move(left)).JoinLookup(options).Build();
+  ASSERT_TRUE(plan.ok());
+  auto out = plan->OutputSchema();
+  ASSERT_TRUE(out.ok());
+  auto sink = std::make_shared<CountingSink>(*out);
+  plan->SetSink(sink);
   NodeEngine engine;
-  auto id = engine.Submit(std::move(q));
+  auto id = engine.Submit(std::move(*plan));
   ASSERT_TRUE(id.ok());
   ASSERT_TRUE(engine.RunToCompletion(*id).ok());
   EXPECT_EQ(sink->events(), 60u);  // every position matched an observation

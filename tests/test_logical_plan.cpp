@@ -1,0 +1,233 @@
+// Tier-2 tests of the LogicalPlan IR: builder emission, structural
+// validation (missing sink, dangling KeyBy, incomplete windows), Explain
+// rendering, schema inference and CompilePlan error paths.
+
+#include <gtest/gtest.h>
+
+#include "nebula/engine.hpp"
+
+namespace nebulameos::nebula {
+namespace {
+
+Schema EventSchema() {
+  return Schema::Build()
+      .AddInt64("key")
+      .AddTimestamp("ts")
+      .AddDouble("value")
+      .Finish();
+}
+
+SourcePtr MakeSource(int n = 4) {
+  std::vector<std::vector<Value>> rows;
+  for (int i = 0; i < n; ++i) {
+    rows.push_back({Value(int64_t{i % 2}), Value(Seconds(i)),
+                    Value(static_cast<double>(i))});
+  }
+  return std::make_unique<MemorySource>(EventSchema(), std::move(rows), 1,
+                                        "ts");
+}
+
+TEST(LogicalPlan, BuilderEmitsNodesInOrder) {
+  auto plan = Query::From(MakeSource())
+                  .Filter(Gt(Attribute("value"), Lit(1.0)))
+                  .Map("doubled", Mul(Attribute("value"), Lit(2.0)))
+                  .Project({"key", "doubled"})
+                  .To(std::make_shared<CountingSink>(EventSchema()))
+                  .Build();
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  const auto& ops = plan->ops();
+  ASSERT_EQ(ops.size(), 4u);
+  EXPECT_EQ(ops[0]->kind(), LogicalOperator::Kind::kFilter);
+  EXPECT_EQ(ops[1]->kind(), LogicalOperator::Kind::kMap);
+  EXPECT_EQ(ops[2]->kind(), LogicalOperator::Kind::kProject);
+  EXPECT_EQ(ops[3]->kind(), LogicalOperator::Kind::kSink);
+  EXPECT_TRUE(plan->Validate().ok());
+}
+
+TEST(LogicalPlan, ValidateRequiresSource) {
+  LogicalPlan plan;
+  plan.SetSink(std::make_shared<CountingSink>(EventSchema()));
+  const Status st = plan.Validate();
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("source"), std::string::npos);
+}
+
+TEST(LogicalPlan, ValidateRequiresSink) {
+  auto plan = Query::From(MakeSource())
+                  .Filter(Gt(Attribute("value"), Lit(1.0)))
+                  .Build();
+  ASSERT_TRUE(plan.ok());
+  const Status st = plan->Validate();
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("sink"), std::string::npos);
+}
+
+TEST(LogicalPlan, DanglingKeyByIsAHardError) {
+  // Regression for the silent pending_key_ drop: KeyBy not followed by a
+  // window/CEP step must fail validation, not vanish.
+  auto plan = Query::From(MakeSource())
+                  .KeyBy("key")
+                  .Project({"value"})
+                  .To(std::make_shared<CountingSink>(EventSchema()))
+                  .Build();
+  ASSERT_TRUE(plan.ok());
+  const Status st = plan->Validate();
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("KeyBy(key)"), std::string::npos)
+      << st.ToString();
+  // CompilePlan refuses it too, independently of Validate.
+  EXPECT_FALSE(CompilePlan(EventSchema(), *plan).ok());
+}
+
+TEST(LogicalPlan, KeyByAtEndOfPlanIsRejected) {
+  auto plan = Query::From(MakeSource())
+                  .KeyBy("key")
+                  .To(std::make_shared<CountingSink>(EventSchema()))
+                  .Build();
+  ASSERT_TRUE(plan.ok());
+  EXPECT_FALSE(plan->Validate().ok());
+}
+
+TEST(LogicalPlan, AggregateWithoutWindowFailsBuild) {
+  auto plan = Query::From(MakeSource())
+                  .Aggregate({AggregateSpec::Count("n")})
+                  .Build();
+  ASSERT_FALSE(plan.ok());
+  EXPECT_NE(plan.status().message().find("Aggregate"), std::string::npos)
+      << plan.status().ToString();
+}
+
+TEST(LogicalPlan, WindowWithoutAggregateFailsBuild) {
+  auto plan = Query::From(MakeSource())
+                  .KeyBy("key")
+                  .TumblingWindow(Seconds(5), "ts")
+                  .Build();
+  ASSERT_FALSE(plan.ok());
+  EXPECT_NE(plan.status().message().find("Aggregate"), std::string::npos);
+}
+
+TEST(LogicalPlan, StepBetweenWindowAndAggregateFailsBuild) {
+  auto plan = Query::From(MakeSource())
+                  .TumblingWindow(Seconds(5), "ts")
+                  .Filter(Gt(Attribute("value"), Lit(0.0)))
+                  .Build();
+  ASSERT_FALSE(plan.ok());
+}
+
+TEST(LogicalPlan, WindowNodeWithoutAggregatesFailsValidate) {
+  // Direct IR construction can skip the builder's checks; Validate still
+  // catches the empty aggregate list.
+  LogicalPlan plan;
+  plan.SetSource(MakeSource());
+  WindowAggOptions options;
+  options.window = TumblingWindowSpec{Seconds(5)};
+  options.time_field = "ts";
+  plan.Append(std::make_unique<WindowAggNode>(std::move(options)));
+  plan.SetSink(std::make_shared<CountingSink>(EventSchema()));
+  const Status st = plan.Validate();
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("aggregates"), std::string::npos);
+}
+
+TEST(LogicalPlan, CompileRejectsUnknownProjectField) {
+  auto plan = Query::From(MakeSource()).Project({"no_such_field"}).Build();
+  ASSERT_TRUE(plan.ok());
+  const auto chain = CompilePlan(EventSchema(), *plan);
+  EXPECT_FALSE(chain.ok());
+}
+
+TEST(LogicalPlan, CompileRejectsUnknownFilterField) {
+  auto plan = Query::From(MakeSource())
+                  .Filter(Gt(Attribute("no_such_field"), Lit(1)))
+                  .Build();
+  ASSERT_TRUE(plan.ok());
+  EXPECT_FALSE(CompilePlan(EventSchema(), *plan).ok());
+}
+
+TEST(LogicalPlan, CompileFoldsKeyByIntoWindow) {
+  auto plan = Query::From(MakeSource())
+                  .KeyBy("key")
+                  .TumblingWindow(Seconds(5), "ts")
+                  .Aggregate({AggregateSpec::Count("n")})
+                  .Build();
+  ASSERT_TRUE(plan.ok());
+  auto chain = CompilePlan(EventSchema(), *plan);
+  ASSERT_TRUE(chain.ok()) << chain.status().ToString();
+  // KeyBy is a marker, not a physical operator: one WindowAgg only, and
+  // its output schema leads with the key column.
+  ASSERT_EQ(chain->size(), 1u);
+  EXPECT_EQ((*chain)[0]->name(), "WindowAgg");
+  EXPECT_EQ((*chain)[0]->output_schema().field(0).name, "key");
+}
+
+TEST(LogicalPlan, SinkNodeIsNotLowered) {
+  auto plan = Query::From(MakeSource())
+                  .Filter(Gt(Attribute("value"), Lit(0.0)))
+                  .To(std::make_shared<CountingSink>(EventSchema()))
+                  .Build();
+  ASSERT_TRUE(plan.ok());
+  auto chain = CompilePlan(EventSchema(), *plan);
+  ASSERT_TRUE(chain.ok());
+  EXPECT_EQ(chain->size(), 1u);  // just the filter; the engine owns the sink
+  EXPECT_NE(plan->sink(), nullptr);
+}
+
+TEST(LogicalPlan, OutputSchemaInfersThroughTheChain) {
+  auto plan = Query::From(MakeSource())
+                  .Map("scaled", Mul(Attribute("value"), Lit(0.5)))
+                  .Project({"scaled", "ts"})
+                  .Build();
+  ASSERT_TRUE(plan.ok());
+  auto out = plan->OutputSchema();
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->num_fields(), 2u);
+  EXPECT_EQ(out->field(0).name, "scaled");
+  EXPECT_EQ(out->field(1).name, "ts");
+  // Inference does not consume the source.
+  EXPECT_NE(plan->source(), nullptr);
+}
+
+TEST(LogicalPlan, ExplainRendersEveryNode) {
+  auto plan = Query::From(MakeSource())
+                  .Filter(Gt(Attribute("value"), Lit(1.0)))
+                  .Map("doubled", Mul(Attribute("value"), Lit(2.0)))
+                  .KeyBy("key")
+                  .TumblingWindow(Minutes(1), "ts")
+                  .Aggregate({AggregateSpec::Avg("doubled", "avg_doubled")})
+                  .To(std::make_shared<CountingSink>(EventSchema()))
+                  .Build();
+  ASSERT_TRUE(plan.ok());
+  const std::string text = plan->Explain();
+  EXPECT_NE(text.find("Source: MemorySource"), std::string::npos) << text;
+  EXPECT_NE(text.find("-> Filter((value > 1))"), std::string::npos) << text;
+  EXPECT_NE(text.find("-> Map(doubled := (value * 2))"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("-> KeyBy(key)"), std::string::npos) << text;
+  EXPECT_NE(text.find("-> WindowAgg(tumbling 1m, time=ts, "
+                      "aggs=[avg(doubled) AS avg_doubled])"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("-> Sink(CountingSink)"), std::string::npos) << text;
+}
+
+TEST(LogicalPlan, ExplainRendersCepAndJoinNodes) {
+  Pattern pattern;
+  pattern.steps = {
+      PatternStep{"a", Gt(Attribute("value"), Lit(1.0)), false, false},
+      PatternStep{"b", Lt(Attribute("value"), Lit(1.0)), false, true},
+  };
+  pattern.within = Minutes(5);
+  pattern.time_field = "ts";
+  auto plan = Query::From(MakeSource())
+                  .KeyBy("key")
+                  .Detect(std::move(pattern),
+                          {Measure::Count("b", "n_b")})
+                  .Build();
+  ASSERT_TRUE(plan.ok());
+  const std::string text = plan->Explain();
+  EXPECT_NE(text.find("-> CEP(a ; b+ within 5m"), std::string::npos) << text;
+  EXPECT_NE(text.find("1 measures"), std::string::npos) << text;
+}
+
+}  // namespace
+}  // namespace nebulameos::nebula

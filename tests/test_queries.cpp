@@ -27,7 +27,7 @@ class QueriesTest : public ::testing::Test {
   std::vector<std::vector<Value>> Run(Result<BuiltQuery> built) {
     EXPECT_TRUE(built.ok()) << built.status().ToString();
     NodeEngine engine;
-    auto id = engine.Submit(std::move(built->query));
+    auto id = engine.Submit(std::move(built->plan));
     EXPECT_TRUE(id.ok()) << id.status().ToString();
     EXPECT_TRUE(engine.RunToCompletion(*id).ok());
     return built->collect ? built->collect->Rows()
@@ -211,7 +211,7 @@ TEST_F(QueriesTest, PacedSourceHoldsOfferedLoad) {
   auto built = BuildQ1AlertFiltering(*env_, options);
   ASSERT_TRUE(built.ok());
   nebula::NodeEngine engine;
-  auto id = engine.Submit(std::move(built->query));
+  auto id = engine.Submit(std::move(built->plan));
   ASSERT_TRUE(id.ok());
   ASSERT_TRUE(engine.RunToCompletion(*id).ok());
   auto stats = engine.Stats(*id);
@@ -232,7 +232,7 @@ TEST_F(QueriesTest, CountingSinkModeWorks) {
   ASSERT_NE(built->counting, nullptr);
   EXPECT_EQ(built->collect, nullptr);
   NodeEngine engine;
-  auto id = engine.Submit(std::move(built->query));
+  auto id = engine.Submit(std::move(built->plan));
   ASSERT_TRUE(id.ok());
   ASSERT_TRUE(engine.RunToCompletion(*id).ok());
   auto stats = engine.Stats(*id);
