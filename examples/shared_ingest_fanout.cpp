@@ -1,0 +1,83 @@
+/// \file shared_ingest_fanout.cpp
+/// \brief Multi-sink DAG plans: one SNCB ingest serving two workloads.
+///
+/// The paper's deployment story is a single train-telemetry stream feeding
+/// several concurrent mobility workloads on one constrained edge node.
+/// This example submits ONE plan whose shared geofencing ingest fans out
+/// to (branch 0) a Q1-style geofence-alert sink and (branch 1) a Q2-style
+/// windowed noise aggregate for archival, prints the DAG `Explain`
+/// rendering, and proves from the engine's statistics that the shared
+/// prefix executed once — the combined plan ingests one stream's worth of
+/// events where two independent submissions would ingest it twice.
+
+#include <cstdio>
+
+#include "queries/queries.hpp"
+
+using namespace nebulameos;           // NOLINT
+using namespace nebulameos::queries;  // NOLINT
+
+int main() {
+  auto env = DemoEnvironment::Create();
+  if (!env.ok()) {
+    std::fprintf(stderr, "environment: %s\n", env.status().ToString().c_str());
+    return 1;
+  }
+
+  QueryOptions options;
+  options.max_events = 100'000;
+  options.sink = SinkMode::kCollect;
+
+  // 1. One DAG plan: shared ingest -> FanOut -> {alerts, archive}.
+  auto built = BuildSharedIngestFanOut(**env, options);
+  if (!built.ok()) {
+    std::fprintf(stderr, "build: %s\n", built.status().ToString().c_str());
+    return 1;
+  }
+
+  nebula::NodeEngine engine;
+  auto id = engine.Submit(std::move(built->plan));
+  if (!id.ok()) {
+    std::fprintf(stderr, "submit: %s\n", id.status().ToString().c_str());
+    return 1;
+  }
+
+  // 2. The DAG rendering: shared prefix annotated, one subtree per branch.
+  if (auto text = engine.Explain(*id); text.ok()) {
+    std::printf("submitted plan:\n%s\noptimized plan:\n%s\n",
+                text->logical.c_str(), text->optimized.c_str());
+  }
+
+  if (Status st = engine.RunToCompletion(*id); !st.ok()) {
+    std::fprintf(stderr, "run: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  // 3. Per-sink results from one ingest.
+  const auto& alerts = built->collects[0];
+  const auto& archive = built->collects[1];
+  std::printf("branch 0 (geofence alerts):   %zu rows\n", alerts->RowCount());
+  std::printf("branch 1 (noise archive):     %zu rows\n", archive->RowCount());
+
+  // 4. The fan-out win, from the engine's own counters: ingested events
+  //    equal ONE stream's worth, and the per-operator stats are keyed by
+  //    DAG path ("" = shared prefix, "0/..." and "1/..." = branches).
+  auto stats = engine.Stats(*id);
+  if (!stats.ok()) return 1;
+  std::printf("\ningested %llu events for %zu sinks (%.0f e/s)\n",
+              static_cast<unsigned long long>(stats->events_ingested),
+              stats->sink_stats.size(), stats->EventsPerSecond());
+  std::printf("%-28s %12s %12s\n", "operator (by DAG path)", "events_in",
+              "events_out");
+  for (const auto& [name, op] : stats->operator_stats) {
+    std::printf("%-28s %12llu %12llu\n", name.c_str(),
+                static_cast<unsigned long long>(op.events_in),
+                static_cast<unsigned long long>(op.events_out));
+  }
+  for (const auto& sink : stats->sink_stats) {
+    std::printf("sink[%s] %s emitted %llu events\n", sink.path.c_str(),
+                sink.name.c_str(),
+                static_cast<unsigned long long>(sink.events_emitted));
+  }
+  return 0;
+}

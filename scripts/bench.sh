@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Perf trajectory one-liner: build and run the T1 throughput bench,
+# leaving BENCH_t1.json in the repo root (CI uploads it as an artifact).
+#   scripts/bench.sh [events-per-query] [json-path]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build}"
+EVENTS="${1:-400000}"
+JSON="${2:-BENCH_t1.json}"
+
+cmake -B "$BUILD_DIR" -S . > /dev/null
+cmake --build "$BUILD_DIR" -j --target bench_t1_query_throughput > /dev/null
+"$BUILD_DIR/bench/bench_t1_query_throughput" "$EVENTS" "$JSON"

@@ -55,8 +55,7 @@ class BoundedQueue {
 struct NodeEngine::RunningQuery {
   int id = 0;
   SourcePtr source;
-  std::vector<OperatorPtr> operators;  // chain excluding sink
-  std::shared_ptr<SinkOperator> sink;
+  CompiledPipeline pipeline;  // operator tree; sinks at the leaves
   std::unique_ptr<ExecutionContext> ctx;
   std::unique_ptr<BoundedQueue> queue;  // pipelined mode only
 
@@ -79,32 +78,70 @@ struct NodeEngine::RunningQuery {
   // Plan renderings captured at submission (the plan is consumed).
   QueryPlanText plan_text;
 
-  // Pushes a buffer through operators [from..] and into the sink.
-  Status PushThrough(size_t from, const TupleBufferPtr& buf) {
-    if (from >= operators.size()) {
-      return sink->Process(buf, [](const TupleBufferPtr&) {});
+  // Pushes a buffer through segment operators [from..] and onward: into
+  // the sink at a leaf, or once into each branch at a fan-out (the first
+  // branch reuses the buffer, the others get isolated copies — the shared
+  // prefix ran exactly once).
+  Status PushThrough(CompiledPipeline* seg, size_t from,
+                     const TupleBufferPtr& buf) {
+    if (from >= seg->operators.size()) {
+      if (seg->branches.empty()) {
+        return seg->sink->Process(buf, [](const TupleBufferPtr&) {});
+      }
+      for (size_t b = 0; b < seg->branches.size(); ++b) {
+        TupleBufferPtr handoff = buf;
+        if (b > 0) {
+          handoff = ctx->Allocate(buf->schema());
+          if (!handoff->CopyContentsFrom(*buf)) {
+            return Status::Internal(
+                "fan-out hand-off buffer too small for " +
+                std::to_string(buf->size()) + " records");
+          }
+        }
+        NM_RETURN_NOT_OK(PushThrough(&seg->branches[b], 0, handoff));
+      }
+      return Status::OK();
     }
     Status inner = Status::OK();
-    Status s = operators[from]->Process(
-        buf, [this, from, &inner](const TupleBufferPtr& out) {
-          Status st = PushThrough(from + 1, out);
+    Status s = seg->operators[from]->Process(
+        buf, [this, seg, from, &inner](const TupleBufferPtr& out) {
+          Status st = PushThrough(seg, from + 1, out);
           if (!st.ok() && inner.ok()) inner = st;
         });
     if (!s.ok()) return s;
     return inner;
   }
 
-  // End-of-stream: cascade Finish through the chain.
-  Status FinishAll() {
-    for (size_t i = 0; i < operators.size(); ++i) {
+  // End-of-stream: cascade Finish through the segment's chain (flushed
+  // state flows through the rest of the chain and into the branches), then
+  // finish each branch pipeline.
+  Status FinishSegment(CompiledPipeline* seg) {
+    for (size_t i = 0; i < seg->operators.size(); ++i) {
       Status inner = Status::OK();
-      Status s = operators[i]->Finish(
-          [this, i, &inner](const TupleBufferPtr& out) {
-            Status st = PushThrough(i + 1, out);
+      Status s = seg->operators[i]->Finish(
+          [this, seg, i, &inner](const TupleBufferPtr& out) {
+            Status st = PushThrough(seg, i + 1, out);
             if (!st.ok() && inner.ok()) inner = st;
           });
       if (!s.ok()) return s;
       if (!inner.ok()) return inner;
+    }
+    for (CompiledPipeline& branch : seg->branches) {
+      NM_RETURN_NOT_OK(FinishSegment(&branch));
+    }
+    return Status::OK();
+  }
+
+  Status FinishAll() { return FinishSegment(&pipeline); }
+
+  // Opens every operator and sink in the tree.
+  Status OpenAll(CompiledPipeline* seg) {
+    for (OperatorPtr& op : seg->operators) {
+      NM_RETURN_NOT_OK(op->Open(ctx.get()));
+    }
+    if (seg->sink) NM_RETURN_NOT_OK(seg->sink->Open(ctx.get()));
+    for (CompiledPipeline& branch : seg->branches) {
+      NM_RETURN_NOT_OK(OpenAll(&branch));
     }
     return Status::OK();
   }
@@ -130,16 +167,12 @@ Result<int> NodeEngine::Submit(LogicalPlan plan) {
     NM_RETURN_NOT_OK(rewriter.Rewrite(&plan));
   }
   rq->plan_text.optimized = plan.Explain();
-  NM_ASSIGN_OR_RETURN(rq->operators,
+  NM_ASSIGN_OR_RETURN(rq->pipeline,
                       CompilePlan(plan.source()->schema(), plan));
-  rq->sink = plan.sink();
   rq->source = plan.TakeSource();
   rq->ctx = std::make_unique<ExecutionContext>(options_.tuples_per_buffer,
                                                options_.pool_size);
-  for (OperatorPtr& op : rq->operators) {
-    NM_RETURN_NOT_OK(op->Open(rq->ctx.get()));
-  }
-  NM_RETURN_NOT_OK(rq->sink->Open(rq->ctx.get()));
+  NM_RETURN_NOT_OK(rq->OpenAll(&rq->pipeline));
   std::lock_guard<std::mutex> lock(mutex_);
   const int id = next_id_++;
   rq->id = id;
@@ -185,7 +218,7 @@ void NodeEngine::RunLoop(RunningQuery* rq) {
     while (true) {
       TupleBufferPtr buf = rq->queue->Pop();
       if (!buf) break;
-      status = rq->PushThrough(0, buf);
+      status = rq->PushThrough(&rq->pipeline, 0, buf);
       if (!status.ok() || rq->cancel.load()) break;
     }
     // The queue only closes after the source thread recorded its status.
@@ -203,7 +236,7 @@ void NodeEngine::RunLoop(RunningQuery* rq) {
       rq->events_ingested.fetch_add(buf->size());
       rq->bytes_ingested.fetch_add(buf->SizeBytes());
       if (!buf->empty()) {
-        status = rq->PushThrough(0, buf);
+        status = rq->PushThrough(&rq->pipeline, 0, buf);
         if (!status.ok()) break;
       }
       if (!*more) break;
@@ -291,17 +324,34 @@ Result<QueryStats> NodeEngine::Stats(int query_id) const {
   QueryStats stats;
   stats.events_ingested = rq->events_ingested.load();
   stats.bytes_ingested = rq->bytes_ingested.load();
-  stats.events_emitted = rq->sink->stats().events_in;
-  stats.bytes_emitted = rq->sink->stats().bytes_in;
   if (rq->finished.load()) {
     stats.elapsed_micros = rq->finished_at - rq->started_at;
   } else if (rq->started.load()) {
     stats.elapsed_micros = MonotonicNowMicros() - rq->started_at;
   }
-  for (const OperatorPtr& op : rq->operators) {
-    stats.operator_stats.emplace_back(op->name(), op->stats());
-  }
-  stats.operator_stats.emplace_back(rq->sink->name(), rq->sink->stats());
+  // Depth-first over the pipeline tree: operators keyed by DAG path, one
+  // SinkStats entry per leaf, emitted totals summed across sinks.
+  const std::function<void(const CompiledPipeline&)> collect =
+      [&](const CompiledPipeline& seg) {
+        const std::string prefix = seg.path.empty() ? "" : seg.path + "/";
+        for (const OperatorPtr& op : seg.operators) {
+          stats.operator_stats.emplace_back(prefix + op->name(), op->stats());
+        }
+        if (seg.sink) {
+          stats.operator_stats.emplace_back(prefix + seg.sink->name(),
+                                            seg.sink->stats());
+          SinkStats sink_stats;
+          sink_stats.path = seg.path;
+          sink_stats.name = seg.sink->name();
+          sink_stats.events_emitted = seg.sink->stats().events_in;
+          sink_stats.bytes_emitted = seg.sink->stats().bytes_in;
+          stats.events_emitted += sink_stats.events_emitted;
+          stats.bytes_emitted += sink_stats.bytes_emitted;
+          stats.sink_stats.push_back(std::move(sink_stats));
+        }
+        for (const CompiledPipeline& branch : seg.branches) collect(branch);
+      };
+  collect(rq->pipeline);
   return stats;
 }
 

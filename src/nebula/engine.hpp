@@ -1,17 +1,21 @@
 /// \file engine.hpp
 /// \brief The node engine: compiles logical queries and executes them.
 ///
-/// Each submitted query compiles into one fused pipeline (source → operator
-/// chain → sink). Execution is pull-based: the query's worker thread fills
-/// a buffer from the source and pushes it through the chain without
-/// intermediate queueing — NebulaStream's pipeline model. An optional
-/// *pipelined* mode decouples source and processing onto two threads with a
-/// bounded hand-off queue (backpressure). Multiple queries run concurrently
-/// on their own threads.
+/// Each submitted query compiles into one fused pipeline tree (source →
+/// operator chain → sink, or → fan-out → branch pipelines). Execution is
+/// pull-based: the query's worker thread fills a buffer from the source
+/// and pushes it through the chain without intermediate queueing —
+/// NebulaStream's pipeline model. At a fan-out the shared prefix executes
+/// *once* per buffer; each branch pipeline receives its own copy of the
+/// prefix output, so several sinks (alerting + archival) ride one ingest.
+/// An optional *pipelined* mode decouples source and processing onto two
+/// threads with a bounded hand-off queue (backpressure). Multiple queries
+/// run concurrently on their own threads.
 ///
 /// The engine tracks per-query statistics — events/bytes ingested and
-/// emitted, wall-clock time, derived e/s and MB/s — which the benchmark
-/// harness reports against the paper's Table T1 numbers.
+/// emitted, wall-clock time, derived e/s and MB/s, per-operator flow keyed
+/// by DAG path and per-sink emitted counts — which the benchmark harness
+/// reports against the paper's Table T1 numbers.
 
 #pragma once
 
@@ -23,10 +27,20 @@
 
 namespace nebulameos::nebula {
 
+/// \brief Flow counters of one terminal sink, keyed by its DAG path ("" on
+/// a linear plan, "0"/"1"/... for fan-out branches, "1.0" nested).
+struct SinkStats {
+  std::string path;
+  std::string name;
+  uint64_t events_emitted = 0;
+  uint64_t bytes_emitted = 0;
+};
+
 /// \brief Post-run (or in-flight) statistics of one query.
 struct QueryStats {
   uint64_t events_ingested = 0;
   uint64_t bytes_ingested = 0;
+  /// Summed over every sink of the plan.
   uint64_t events_emitted = 0;
   uint64_t bytes_emitted = 0;
   int64_t elapsed_micros = 0;
@@ -47,8 +61,14 @@ struct QueryStats {
                      (static_cast<double>(elapsed_micros) / 1e6);
   }
 
-  /// Per-operator flow counters in chain order (name, stats).
+  /// Per-operator flow counters in pipeline (depth-first) order. The key
+  /// is the operator name prefixed by its DAG path — plain "Filter" in the
+  /// shared prefix or a linear plan, "0/WindowAgg" inside branch 0 — so
+  /// shared-prefix work is distinguishable from per-branch work.
   std::vector<std::pair<std::string, OperatorStats>> operator_stats;
+
+  /// Per-sink emitted counts in DAG-path order (one entry on linear plans).
+  std::vector<SinkStats> sink_stats;
 };
 
 /// \brief Engine configuration.
@@ -79,7 +99,8 @@ class NodeEngine {
   NodeEngine& operator=(const NodeEngine&) = delete;
 
   /// Validates, optimizes (per `EngineOptions::optimizer`) and compiles a
-  /// plan; returns its query id. The plan must have a source and a sink.
+  /// plan; returns its query id. The plan must have a source and a sink on
+  /// every root-to-leaf path.
   Result<int> Submit(LogicalPlan plan);
 
   /// Convenience: builds the fluent query and submits the emitted plan.

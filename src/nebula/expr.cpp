@@ -95,6 +95,8 @@ class FieldExpr : public Expression {
   DataType output_type() const override { return type_; }
   std::string ToString() const override { return name_; }
 
+  const std::string& field_name() const { return name_; }
+
   bool ReferencedFields(std::vector<std::string>* out) const override {
     out->push_back(name_);
     return true;
@@ -193,6 +195,10 @@ class ArithExpr : public Expression {
     return lhs_->ReferencedFields(out) && rhs_->ReferencedFields(out);
   }
 
+  ArithOp op() const { return op_; }
+  const ExprPtr& lhs() const { return lhs_; }
+  const ExprPtr& rhs() const { return rhs_; }
+
  private:
   ArithOp op_;
   ExprPtr lhs_;
@@ -261,6 +267,12 @@ class CompareExpr : public Expression {
     return false;
   }
 
+ public:
+  CompareOp op() const { return op_; }
+  const ExprPtr& lhs() const { return lhs_; }
+  const ExprPtr& rhs() const { return rhs_; }
+
+ private:
   CompareOp op_;
   ExprPtr lhs_;
   ExprPtr rhs_;
@@ -300,6 +312,10 @@ class LogicalExpr : public Expression {
     return lhs_->ReferencedFields(out) && rhs_->ReferencedFields(out);
   }
 
+  Kind logical_kind() const { return kind_; }
+  const ExprPtr& lhs() const { return lhs_; }
+  const ExprPtr& rhs() const { return rhs_; }
+
  private:
   Kind kind_;
   ExprPtr lhs_;
@@ -324,6 +340,8 @@ class NotExpr : public Expression {
   bool ReferencedFields(std::vector<std::string>* out) const override {
     return inner_->ReferencedFields(out);
   }
+
+  const ExprPtr& inner() const { return inner_; }
 
  private:
   ExprPtr inner_;
@@ -589,6 +607,170 @@ void RegisterBuiltinFunctions() {
                         ValueAsDouble(v[2]));
     });
   });
+}
+
+// --- Structural equality ------------------------------------------------------
+
+bool StructurallyEqual(const ExprPtr& a, const ExprPtr& b) {
+  if (a == b) return true;
+  if (!a || !b) return false;
+  if (const auto* fa = dynamic_cast<const FieldExpr*>(a.get())) {
+    const auto* fb = dynamic_cast<const FieldExpr*>(b.get());
+    return fb != nullptr && fa->field_name() == fb->field_name();
+  }
+  if (dynamic_cast<const LiteralExpr*>(a.get()) != nullptr) {
+    // Literal vs literal: same value AND same static type (an int64 1 and
+    // a double 1.0 are distinct variant alternatives and compare unequal,
+    // which is what we want — they widen differently downstream).
+    if (dynamic_cast<const LiteralExpr*>(b.get()) == nullptr) return false;
+    return a->output_type() == b->output_type() &&
+           *a->ConstantValue() == *b->ConstantValue();
+  }
+  if (const auto* aa = dynamic_cast<const ArithExpr*>(a.get())) {
+    const auto* ab = dynamic_cast<const ArithExpr*>(b.get());
+    return ab != nullptr && aa->op() == ab->op() &&
+           StructurallyEqual(aa->lhs(), ab->lhs()) &&
+           StructurallyEqual(aa->rhs(), ab->rhs());
+  }
+  if (const auto* ca = dynamic_cast<const CompareExpr*>(a.get())) {
+    const auto* cb = dynamic_cast<const CompareExpr*>(b.get());
+    return cb != nullptr && ca->op() == cb->op() &&
+           StructurallyEqual(ca->lhs(), cb->lhs()) &&
+           StructurallyEqual(ca->rhs(), cb->rhs());
+  }
+  if (const auto* la = dynamic_cast<const LogicalExpr*>(a.get())) {
+    const auto* lb = dynamic_cast<const LogicalExpr*>(b.get());
+    return lb != nullptr && la->logical_kind() == lb->logical_kind() &&
+           StructurallyEqual(la->lhs(), lb->lhs()) &&
+           StructurallyEqual(la->rhs(), lb->rhs());
+  }
+  if (const auto* na = dynamic_cast<const NotExpr*>(a.get())) {
+    const auto* nb = dynamic_cast<const NotExpr*>(b.get());
+    return nb != nullptr && StructurallyEqual(na->inner(), nb->inner());
+  }
+  if (const auto* ga = dynamic_cast<const FunctionExpression*>(a.get())) {
+    const auto* gb = dynamic_cast<const FunctionExpression*>(b.get());
+    if (gb == nullptr || ga->name() != gb->name() ||
+        ga->args().size() != gb->args().size()) {
+      return false;
+    }
+    for (size_t i = 0; i < ga->args().size(); ++i) {
+      if (!StructurallyEqual(ga->args()[i], gb->args()[i])) return false;
+    }
+    return true;
+  }
+  // Unknown extension node: semantics unprovable, never equal.
+  return false;
+}
+
+// --- Constant folding ---------------------------------------------------------
+
+namespace {
+
+// Literal of the node's own output type, so folding never changes the
+// downstream schema (an int-typed arithmetic result stays an int literal).
+ExprPtr LiteralOf(const Value& v, DataType type) {
+  switch (type) {
+    case DataType::kBool:
+      return Lit(ValueAsBool(v));
+    case DataType::kInt64:
+    case DataType::kTimestamp:
+      return Lit(ValueAsInt64(v));
+    case DataType::kDouble:
+      return Lit(ValueAsDouble(v));
+    case DataType::kText16:
+    case DataType::kText32:
+      return Lit(ValueToString(v));
+  }
+  return Lit(ValueAsDouble(v));
+}
+
+bool IsConst(const ExprPtr& e) { return e->ConstantValue().has_value(); }
+
+// Evaluates a pure node whose children are all literals: binding against
+// the empty schema succeeds (no field references) and Eval never touches
+// the record.
+ExprPtr EvalPure(ExprPtr node) {
+  static const Schema kEmpty;
+  if (!node->Bind(kEmpty).ok()) return node;
+  const Value v = node->Eval(RecordView(&kEmpty, nullptr));
+  return LiteralOf(v, node->output_type());
+}
+
+}  // namespace
+
+namespace {
+
+// Folds a rebuilt pure node with all-literal children into a literal via
+// EvalPure; reports `changed` only when a literal actually came out (a
+// Bind refusal leaves the rebuilt node alone — any real type error still
+// surfaces at CompilePlan).
+ExprPtr FoldOrKeep(ExprPtr rebuilt, bool* changed) {
+  ExprPtr folded = EvalPure(rebuilt);
+  if (IsConst(folded)) {
+    *changed = true;
+    return folded;
+  }
+  return rebuilt;
+}
+
+}  // namespace
+
+ExprPtr FoldConstants(const ExprPtr& expr, bool* changed) {
+  if (!expr || IsConst(expr)) return expr;
+  if (const auto* a = dynamic_cast<const ArithExpr*>(expr.get())) {
+    const ExprPtr lhs = FoldConstants(a->lhs(), changed);
+    const ExprPtr rhs = FoldConstants(a->rhs(), changed);
+    if (IsConst(lhs) && IsConst(rhs)) {
+      return FoldOrKeep(Arith(a->op(), lhs, rhs), changed);
+    }
+    if (lhs != a->lhs() || rhs != a->rhs()) return Arith(a->op(), lhs, rhs);
+    return expr;
+  }
+  if (const auto* c = dynamic_cast<const CompareExpr*>(expr.get())) {
+    const ExprPtr lhs = FoldConstants(c->lhs(), changed);
+    const ExprPtr rhs = FoldConstants(c->rhs(), changed);
+    if (IsConst(lhs) && IsConst(rhs)) {
+      return FoldOrKeep(Compare(c->op(), lhs, rhs), changed);
+    }
+    if (lhs != c->lhs() || rhs != c->rhs()) return Compare(c->op(), lhs, rhs);
+    return expr;
+  }
+  if (const auto* l = dynamic_cast<const LogicalExpr*>(expr.get())) {
+    const bool is_and = l->logical_kind() == LogicalExpr::Kind::kAnd;
+    const ExprPtr lhs = FoldConstants(l->lhs(), changed);
+    const ExprPtr rhs = FoldConstants(l->rhs(), changed);
+    // Short-circuit simplification: a constant side either decides the
+    // result or drops out (expressions are pure reads, so eliding the
+    // other side preserves semantics).
+    const auto lc = lhs->ConstantValue();
+    const auto rc = rhs->ConstantValue();
+    if (lc) {
+      *changed = true;
+      const bool b = ValueAsBool(*lc);
+      if (is_and) return b ? rhs : Lit(false);
+      return b ? Lit(true) : rhs;
+    }
+    if (rc) {
+      *changed = true;
+      const bool b = ValueAsBool(*rc);
+      if (is_and) return b ? lhs : Lit(false);
+      return b ? Lit(true) : lhs;
+    }
+    if (lhs != l->lhs() || rhs != l->rhs()) {
+      return is_and ? And(lhs, rhs) : Or(lhs, rhs);
+    }
+    return expr;
+  }
+  if (const auto* n = dynamic_cast<const NotExpr*>(expr.get())) {
+    const ExprPtr inner = FoldConstants(n->inner(), changed);
+    if (IsConst(inner)) {
+      return FoldOrKeep(Not(inner), changed);
+    }
+    if (inner != n->inner()) return Not(inner);
+    return expr;
+  }
+  return expr;
 }
 
 }  // namespace nebulameos::nebula

@@ -209,4 +209,24 @@ Status RegisterLambdaFunction(
 /// "greatest", "clamp"). Called once from the engine; safe to call again.
 void RegisterBuiltinFunctions();
 
+/// \brief True when \p a and \p b are structurally identical expressions
+/// with identical semantics: same node kinds, operators, field names,
+/// literal values/types, and (for function expressions) the same function
+/// name with structurally equal arguments — registry names identify
+/// semantics, so two instantiations of one registered function compare
+/// equal. Conservative: any node kind the comparison does not understand
+/// (extension expressions subclassing `Expression` directly) compares
+/// unequal. Used by the optimizer to prove a filter is demanded by every
+/// fan-out branch before hoisting it.
+bool StructurallyEqual(const ExprPtr& a, const ExprPtr& b);
+
+/// \brief Structurally rebuilds \p expr with every constant subtree
+/// pre-evaluated into a literal (e.g. `(3.6 * 2)` → `7.2`), setting
+/// \p *changed when anything folded. Only pure built-in nodes fold —
+/// arithmetic, comparisons, AND/OR/NOT; function expressions and extension
+/// nodes are left in place (they may read global state such as the active
+/// geofence catalog). Folding reuses the nodes' own `Eval`, so semantics
+/// (integer widening, division-by-zero behaviour) match runtime exactly.
+ExprPtr FoldConstants(const ExprPtr& expr, bool* changed);
+
 }  // namespace nebulameos::nebula

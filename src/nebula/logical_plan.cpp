@@ -1,5 +1,8 @@
 #include "nebula/logical_plan.hpp"
 
+#include <type_traits>
+#include <utility>
+
 namespace nebulameos::nebula {
 
 namespace {
@@ -140,55 +143,98 @@ std::string SinkNode::ToString() const {
   return "Sink(" + (sink_ ? sink_->name() : "<null>") + ")";
 }
 
-void LogicalPlan::SetSink(std::shared_ptr<SinkOperator> sink) {
-  if (!ops_.empty() && ops_.back()->kind() == LogicalOperator::Kind::kSink) {
-    ops_.pop_back();
-  }
-  ops_.push_back(std::make_unique<SinkNode>(std::move(sink)));
+namespace {
+
+using Chain = std::vector<LogicalOperatorPtr>;
+
+// The path of branch `i` under `parent` ("" → "0", "1" → "1.0").
+std::string BranchPath(const std::string& parent, size_t i) {
+  return parent.empty() ? std::to_string(i)
+                        : parent + "." + std::to_string(i);
 }
 
-std::shared_ptr<SinkOperator> LogicalPlan::sink() const {
-  if (ops_.empty() || ops_.back()->kind() != LogicalOperator::Kind::kSink) {
-    return nullptr;
+// Depth-first visit of every leaf chain (a chain not ending in a fan-out),
+// carrying its DAG path. Returns false to stop early. Templated on the
+// chain's constness so read-only traversals (NumLeaves, Sinks) stay const
+// all the way down.
+template <typename ChainT, typename Fn>
+bool ForEachLeafChain(ChainT& chain, const std::string& path, const Fn& fn) {
+  if (!chain.empty() &&
+      chain.back()->kind() == LogicalOperator::Kind::kFanOut) {
+    if constexpr (std::is_const_v<ChainT>) {
+      const auto& fan = static_cast<const FanOutNode&>(*chain.back());
+      const auto& branches = fan.branches();
+      for (size_t i = 0; i < branches.size(); ++i) {
+        if (!ForEachLeafChain(branches[i], BranchPath(path, i), fn)) {
+          return false;
+        }
+      }
+    } else {
+      auto& fan = static_cast<FanOutNode&>(*chain.back());
+      auto& branches = fan.mutable_branches();
+      for (size_t i = 0; i < branches.size(); ++i) {
+        if (!ForEachLeafChain(branches[i], BranchPath(path, i), fn)) {
+          return false;
+        }
+      }
+    }
+    return true;
   }
-  return static_cast<const SinkNode*>(ops_.back().get())->sink();
+  return fn(chain, path);
 }
 
-Status LogicalPlan::Validate() const {
-  if (source_ == nullptr) {
-    return Status::InvalidArgument("plan has no source");
+// Structural checks shared by the root chain and every branch chain.
+Status ValidateChain(const Chain& ops, const std::string& path) {
+  const std::string where =
+      path.empty() ? std::string() : " (branch " + path + ")";
+  if (ops.empty() || (ops.back()->kind() != LogicalOperator::Kind::kSink &&
+                      ops.back()->kind() != LogicalOperator::Kind::kFanOut)) {
+    return Status::InvalidArgument("plan has no sink" + where);
   }
-  if (ops_.empty() || ops_.back()->kind() != LogicalOperator::Kind::kSink) {
-    return Status::InvalidArgument("plan has no sink");
-  }
-  for (size_t i = 0; i < ops_.size(); ++i) {
-    const LogicalOperator& op = *ops_[i];
+  for (size_t i = 0; i < ops.size(); ++i) {
+    const LogicalOperator& op = *ops[i];
     switch (op.kind()) {
       case LogicalOperator::Kind::kSink: {
-        if (i + 1 != ops_.size()) {
+        if (i + 1 != ops.size()) {
           return Status::InvalidArgument(
-              "sink must be the terminal node of the plan");
+              "sink must be the terminal node of its chain" + where);
         }
         if (static_cast<const SinkNode&>(op).sink() == nullptr) {
-          return Status::InvalidArgument("plan has a null sink");
+          return Status::InvalidArgument("plan has a null sink" + where);
+        }
+        break;
+      }
+      case LogicalOperator::Kind::kFanOut: {
+        if (i + 1 != ops.size()) {
+          return Status::InvalidArgument(
+              "fan-out must be the terminal node of its chain" + where);
+        }
+        const auto& fan = static_cast<const FanOutNode&>(op);
+        if (fan.branches().size() < 2) {
+          return Status::InvalidArgument(
+              "fan-out needs at least two branches" + where);
+        }
+        for (size_t b = 0; b < fan.branches().size(); ++b) {
+          NM_RETURN_NOT_OK(ValidateChain(fan.branches()[b],
+                                         BranchPath(path, b)));
         }
         break;
       }
       case LogicalOperator::Kind::kKeyBy: {
         const auto& key = static_cast<const KeyByNode&>(op);
         if (key.field().empty()) {
-          return Status::InvalidArgument("KeyBy with an empty field");
+          return Status::InvalidArgument("KeyBy with an empty field" + where);
         }
         const LogicalOperator::Kind next =
-            i + 1 < ops_.size() ? ops_[i + 1]->kind()
-                                : LogicalOperator::Kind::kSink;
+            i + 1 < ops.size() ? ops[i + 1]->kind()
+                               : LogicalOperator::Kind::kSink;
         if (next != LogicalOperator::Kind::kWindowAgg &&
             next != LogicalOperator::Kind::kThresholdWindow &&
             next != LogicalOperator::Kind::kCep) {
           return Status::InvalidArgument(
               "KeyBy(" + key.field() +
               ") is never consumed: it must be immediately followed by a "
-              "window aggregation or CEP step");
+              "window aggregation or CEP step" + where);
         }
         break;
       }
@@ -197,7 +243,8 @@ Status LogicalPlan::Validate() const {
         if (node.options().aggregates.empty() &&
             node.options().custom_aggregators.empty()) {
           return Status::InvalidArgument(
-              "window aggregation without aggregates (missing Aggregate?)");
+              "window aggregation without aggregates (missing Aggregate?)" +
+              where);
         }
         break;
       }
@@ -206,7 +253,8 @@ Status LogicalPlan::Validate() const {
         if (node.options().aggregates.empty() &&
             node.options().custom_aggregators.empty()) {
           return Status::InvalidArgument(
-              "threshold window without aggregates (missing Aggregate?)");
+              "threshold window without aggregates (missing Aggregate?)" +
+              where);
         }
         break;
       }
@@ -217,35 +265,38 @@ Status LogicalPlan::Validate() const {
   return Status::OK();
 }
 
-std::string LogicalPlan::Explain() const {
-  std::string out = "Source: ";
-  if (source_ != nullptr) {
-    out += source_->name() + "(" + source_->schema().ToString() + ")";
-  } else {
-    out += "<none>";
+// Renders one chain. `indent` prefixes every line; nodes of a chain that
+// ends in a fan-out are annotated as the shared prefix of its branches.
+void ExplainChain(const Chain& ops, const std::string& indent,
+                  const std::string& path, std::string* out) {
+  const bool fans_out =
+      !ops.empty() && ops.back()->kind() == LogicalOperator::Kind::kFanOut;
+  for (const LogicalOperatorPtr& op : ops) {
+    *out += indent + "-> " + op->ToString();
+    if (fans_out && op->kind() != LogicalOperator::Kind::kFanOut) {
+      *out += "  [shared]";
+    }
+    *out += "\n";
+    if (op->kind() == LogicalOperator::Kind::kFanOut) {
+      const auto& fan = static_cast<const FanOutNode&>(*op);
+      for (size_t b = 0; b < fan.branches().size(); ++b) {
+        const std::string branch_path = BranchPath(path, b);
+        *out += indent + "   [branch " + branch_path + "]\n";
+        ExplainChain(fan.branches()[b], indent + "   ", branch_path, out);
+      }
+    }
   }
-  out += "\n";
-  for (const LogicalOperatorPtr& op : ops_) {
-    out += "  -> " + op->ToString() + "\n";
-  }
-  return out;
 }
 
-Result<Schema> LogicalPlan::OutputSchema() const {
-  if (source_ == nullptr) {
-    return Status::InvalidArgument("plan has no source");
-  }
-  NM_ASSIGN_OR_RETURN(auto chain, CompilePlan(source_->schema(), *this));
-  return chain.empty() ? source_->schema() : chain.back()->output_schema();
-}
-
-Result<std::vector<OperatorPtr>> CompilePlan(const Schema& source_schema,
-                                             const LogicalPlan& plan) {
-  std::vector<OperatorPtr> chain;
-  Schema current = source_schema;
+// Lowers one chain into `pipe`, recursing at a fan-out. `current` is the
+// schema entering the chain.
+Status CompileChain(const Chain& ops, const Schema& current_in,
+                    const std::string& path, CompiledPipeline* pipe) {
+  Schema current = current_in;
+  pipe->path = path;
   // A KeyBy node's field is folded into the node it precedes.
   std::string pending_key;
-  for (const LogicalOperatorPtr& node : plan.ops()) {
+  for (const LogicalOperatorPtr& node : ops) {
     OperatorPtr op;
     switch (node->kind()) {
       case LogicalOperator::Kind::kFilter: {
@@ -314,8 +365,24 @@ Result<std::vector<OperatorPtr>> CompilePlan(const Schema& source_schema,
             op, TemporalLookupJoinOperator::Make(current, join.options()));
         break;
       }
+      case LogicalOperator::Kind::kFanOut: {
+        if (!pending_key.empty()) {
+          return Status::InvalidArgument(
+              "KeyBy(" + pending_key + ") is never consumed");
+        }
+        const auto& fan = static_cast<const FanOutNode&>(*node);
+        for (size_t b = 0; b < fan.branches().size(); ++b) {
+          CompiledPipeline branch;
+          NM_RETURN_NOT_OK(CompileChain(fan.branches()[b], current,
+                                        BranchPath(path, b), &branch));
+          pipe->branches.push_back(std::move(branch));
+        }
+        pipe->output_schema = current;
+        return Status::OK();  // fan-out terminates the chain
+      }
       case LogicalOperator::Kind::kSink: {
         // The engine drives the sink; lowering stops here.
+        pipe->sink = static_cast<const SinkNode&>(*node).sink();
         continue;
       }
     }
@@ -325,13 +392,142 @@ Result<std::vector<OperatorPtr>> CompilePlan(const Schema& source_schema,
           ") must be immediately followed by a window or CEP step");
     }
     current = op->output_schema();
-    chain.push_back(std::move(op));
+    pipe->operators.push_back(std::move(op));
   }
   if (!pending_key.empty()) {
     return Status::InvalidArgument(
         "KeyBy(" + pending_key + ") is never consumed");
   }
-  return chain;
+  pipe->output_schema = current;
+  return Status::OK();
+}
+
+}  // namespace
+
+void LogicalPlan::SetSink(std::shared_ptr<SinkOperator> sink) {
+  if (!ops_.empty() && ops_.back()->kind() == LogicalOperator::Kind::kSink) {
+    ops_.pop_back();
+  }
+  ops_.push_back(std::make_unique<SinkNode>(std::move(sink)));
+}
+
+Status LogicalPlan::SetLeafSinks(
+    std::vector<std::shared_ptr<SinkOperator>> sinks) {
+  // Validate the count before touching anything, so a mismatch leaves the
+  // plan exactly as it was.
+  if (sinks.size() != NumLeaves()) {
+    return Status::InvalidArgument(
+        "SetLeafSinks: " + std::to_string(sinks.size()) + " sinks for " +
+        std::to_string(NumLeaves()) + " plan leaves");
+  }
+  size_t next = 0;
+  ForEachLeafChain(ops_, "", [&](Chain& chain, const std::string&) {
+    if (!chain.empty() &&
+        chain.back()->kind() == LogicalOperator::Kind::kSink) {
+      chain.pop_back();
+    }
+    chain.push_back(std::make_unique<SinkNode>(std::move(sinks[next++])));
+    return true;
+  });
+  return Status::OK();
+}
+
+bool LogicalPlan::HasFanOut() const {
+  return !ops_.empty() &&
+         ops_.back()->kind() == LogicalOperator::Kind::kFanOut;
+}
+
+size_t LogicalPlan::NumLeaves() const {
+  size_t n = 0;
+  ForEachLeafChain(std::as_const(ops_), "",
+                   [&n](const Chain&, const std::string&) {
+                     ++n;
+                     return true;
+                   });
+  return n;
+}
+
+std::shared_ptr<SinkOperator> LogicalPlan::sink() const {
+  if (ops_.empty() || ops_.back()->kind() != LogicalOperator::Kind::kSink) {
+    return nullptr;
+  }
+  return static_cast<const SinkNode*>(ops_.back().get())->sink();
+}
+
+std::vector<std::pair<std::string, std::shared_ptr<SinkOperator>>>
+LogicalPlan::Sinks() const {
+  std::vector<std::pair<std::string, std::shared_ptr<SinkOperator>>> out;
+  ForEachLeafChain(std::as_const(ops_), "",
+                   [&out](const Chain& chain, const std::string& path) {
+                     if (!chain.empty() &&
+                         chain.back()->kind() ==
+                             LogicalOperator::Kind::kSink) {
+                       out.emplace_back(
+                           path,
+                           static_cast<const SinkNode&>(*chain.back()).sink());
+                     }
+                     return true;
+                   });
+  return out;
+}
+
+Status LogicalPlan::Validate() const {
+  if (source_ == nullptr) {
+    return Status::InvalidArgument("plan has no source");
+  }
+  return ValidateChain(ops_, "");
+}
+
+std::string LogicalPlan::Explain() const {
+  std::string out = "Source: ";
+  if (source_ != nullptr) {
+    out += source_->name() + "(" + source_->schema().ToString() + ")";
+  } else {
+    out += "<none>";
+  }
+  out += "\n";
+  ExplainChain(ops_, "  ", "", &out);
+  return out;
+}
+
+Result<Schema> LogicalPlan::OutputSchema() const {
+  if (HasFanOut()) {
+    return Status::InvalidArgument(
+        "plan fans out to several sinks; use OutputSchemas()");
+  }
+  if (source_ == nullptr) {
+    return Status::InvalidArgument("plan has no source");
+  }
+  NM_ASSIGN_OR_RETURN(CompiledPipeline pipe,
+                      CompilePlan(source_->schema(), *this));
+  return pipe.output_schema;
+}
+
+Result<std::vector<std::pair<std::string, Schema>>>
+LogicalPlan::OutputSchemas() const {
+  if (source_ == nullptr) {
+    return Status::InvalidArgument("plan has no source");
+  }
+  NM_ASSIGN_OR_RETURN(CompiledPipeline root,
+                      CompilePlan(source_->schema(), *this));
+  std::vector<std::pair<std::string, Schema>> out;
+  const std::function<void(const CompiledPipeline&)> collect =
+      [&](const CompiledPipeline& pipe) {
+        if (pipe.branches.empty()) {
+          out.emplace_back(pipe.path, pipe.output_schema);
+          return;
+        }
+        for (const CompiledPipeline& branch : pipe.branches) collect(branch);
+      };
+  collect(root);
+  return out;
+}
+
+Result<CompiledPipeline> CompilePlan(const Schema& source_schema,
+                                     const LogicalPlan& plan) {
+  CompiledPipeline root;
+  NM_RETURN_NOT_OK(CompileChain(plan.ops(), source_schema, "", &root));
+  return root;
 }
 
 }  // namespace nebulameos::nebula

@@ -4,11 +4,18 @@
 ///
 /// Mirrors NebulaStream's layering (`nes-logical-operators` →
 /// `nes-query-optimizer` → physical lowering): a query is first expressed
-/// as a `LogicalPlan` — a linear chain of `LogicalOperator` nodes from one
-/// source to one sink — which can be *inspected* (`Explain`), *validated*
-/// (`Validate`), *rewritten* (optimizer.hpp) and only then *lowered* to
-/// physical operators (`CompilePlan`). Nothing in the engine touches the
-/// builder; `Query` is sugar that emits this IR.
+/// as a `LogicalPlan` — a DAG of `LogicalOperator` nodes rooted at one
+/// source — which can be *inspected* (`Explain`), *validated* (`Validate`),
+/// *rewritten* (optimizer.hpp) and only then *lowered* to physical
+/// operators (`CompilePlan`). Nothing in the engine touches the builder;
+/// `Query` is sugar that emits this IR.
+///
+/// A plan is a chain of operators that either terminates in one `SinkNode`
+/// (a linear plan) or in a `FanOutNode` whose branches are themselves
+/// chains with the same structure — so one ingest pipeline can feed
+/// several sinks (alerting + archival) while the shared prefix executes
+/// once. Branch chains are addressed by *DAG path*: "" is the shared
+/// prefix, "0"/"1"/... the fan-out's branches, "1.0" a nested branch.
 
 #pragma once
 
@@ -35,6 +42,7 @@ class LogicalOperator {
     kThresholdWindow,
     kCep,
     kLookupJoin,
+    kFanOut,
     kSink,
   };
 
@@ -186,6 +194,33 @@ class LookupJoinNode : public LogicalOperator {
   TemporalLookupJoinOptions options_;
 };
 
+/// \brief Fans the stream out to several concurrent downstream branches.
+///
+/// The node is terminal within its own chain; each branch is a chain of
+/// nodes with the same structure as the plan's top-level ops (ending in a
+/// `SinkNode` or a nested `FanOutNode`). At runtime every branch sees the
+/// full output of the shared upstream prefix, which executes once.
+class FanOutNode : public LogicalOperator {
+ public:
+  /// One downstream chain.
+  using Branch = std::vector<LogicalOperatorPtr>;
+
+  explicit FanOutNode(std::vector<Branch> branches)
+      : branches_(std::move(branches)) {}
+
+  Kind kind() const override { return Kind::kFanOut; }
+  std::string name() const override { return "FanOut"; }
+  std::string ToString() const override {
+    return "FanOut(" + std::to_string(branches_.size()) + " branches)";
+  }
+
+  const std::vector<Branch>& branches() const { return branches_; }
+  std::vector<Branch>& mutable_branches() { return branches_; }
+
+ private:
+  std::vector<Branch> branches_;
+};
+
 /// \brief Terminal node holding the sink (shared so callers can read
 /// results after the run).
 class SinkNode : public LogicalOperator {
@@ -203,10 +238,12 @@ class SinkNode : public LogicalOperator {
   std::shared_ptr<SinkOperator> sink_;
 };
 
-/// \brief A complete logical query: source → operator chain → sink.
+/// \brief A complete logical query: source → operator DAG → sink(s).
 ///
-/// Move-only (owns its source). The ops vector excludes nothing — the sink,
-/// when attached, is the last node. Rewriter passes mutate `mutable_ops`.
+/// Move-only (owns its source). The ops vector is the root chain; a
+/// trailing `FanOutNode` makes the plan a DAG whose branches are the
+/// fan-out's chains. Rewriter passes mutate `mutable_ops` (and recurse
+/// into fan-out branches).
 class LogicalPlan {
  public:
   LogicalPlan() = default;
@@ -220,8 +257,15 @@ class LogicalPlan {
   void SetSource(SourcePtr source) { source_ = std::move(source); }
   void Append(LogicalOperatorPtr op) { ops_.push_back(std::move(op)); }
 
-  /// Attaches \p sink as the terminal node (replaces an existing one).
+  /// Attaches \p sink as the terminal node of the root chain (replaces an
+  /// existing one). Linear plans only — fan-out plans attach sinks per
+  /// branch (`SetLeafSinks`, or `To` on each branch builder).
   void SetSink(std::shared_ptr<SinkOperator> sink);
+
+  /// Attaches one sink per leaf chain in DAG-path order, replacing
+  /// existing terminal sinks. Fails when the count does not match the
+  /// number of leaves.
+  Status SetLeafSinks(std::vector<std::shared_ptr<SinkOperator>> sinks);
 
   // --- Introspection ---
 
@@ -230,44 +274,81 @@ class LogicalPlan {
   const std::vector<LogicalOperatorPtr>& ops() const { return ops_; }
   std::vector<LogicalOperatorPtr>& mutable_ops() { return ops_; }
 
-  /// The sink when a `SinkNode` terminates the plan, nullptr otherwise.
+  /// True when the plan contains a `FanOutNode` (multi-sink DAG).
+  bool HasFanOut() const;
+
+  /// Number of leaf chains (1 for a linear plan).
+  size_t NumLeaves() const;
+
+  /// The sink when a single `SinkNode` terminates a linear plan, nullptr
+  /// otherwise (no sink yet, or the plan fans out).
   std::shared_ptr<SinkOperator> sink() const;
+
+  /// Every terminal sink in DAG-path order with its path ("" for a linear
+  /// plan). Leaves without a sink are skipped.
+  std::vector<std::pair<std::string, std::shared_ptr<SinkOperator>>> Sinks()
+      const;
 
   /// Structural validation, before any schema is known:
   /// - a source is present;
-  /// - the plan ends in exactly one sink node;
+  /// - every root-to-leaf path ends in exactly one sink node;
+  /// - fan-out nodes are terminal in their chain and have >= 2 non-empty
+  ///   branches;
   /// - every `KeyBy` is immediately consumed by a window/CEP node (a
   ///   dangling key is a hard error, not a silent drop);
   /// - window nodes carry at least one aggregate (i.e. the builder's
   ///   `Aggregate` was called).
   Status Validate() const;
 
-  /// Textual rendering of the plan, one node per line:
+  /// Textual rendering of the plan, one node per line. Linear plans render
+  /// as a chain; fan-out plans render as a tree with the shared prefix
+  /// annotated:
   ///
   /// ```
   /// Source: MemorySource(key:INT64, ts:TIMESTAMP, value:DOUBLE)
-  ///   -> Filter((value >= 5))
-  ///   -> Project(value, key)
-  ///   -> Sink(CollectSink)
+  ///   -> Filter((value >= 5))  [shared]
+  ///   -> FanOut(2 branches)
+  ///      [branch 0]
+  ///      -> Project(value, key)
+  ///      -> Sink(CollectSink)
+  ///      [branch 1]
+  ///      -> Sink(CountingSink)
   /// ```
   std::string Explain() const;
 
-  /// Schema of the records entering the sink, inferred by lowering the
-  /// chain against the source's schema (binding only — cheap, and the
-  /// source is not consumed).
+  /// Schema of the records entering the sink of a *linear* plan, inferred
+  /// by lowering the chain against the source's schema (binding only —
+  /// cheap, and the source is not consumed). Fails on fan-out plans; use
+  /// `OutputSchemas`.
   Result<Schema> OutputSchema() const;
+
+  /// Schema at every leaf, paired with its DAG path, in path order.
+  /// Works for plans whose leaves do not have sinks attached yet.
+  Result<std::vector<std::pair<std::string, Schema>>> OutputSchemas() const;
 
  private:
   SourcePtr source_;
   std::vector<LogicalOperatorPtr> ops_;
 };
 
-/// \brief Lowers a validated plan to the physical operator chain (schemas
-/// propagate source → sink; expressions bind along the way). `KeyBy` nodes
-/// are folded into the key field of the node they precede; the sink node,
-/// when present, is not part of the returned chain (the engine drives it
+/// \brief The physical form of one plan segment: a lowered operator chain
+/// followed by either a sink (leaf) or several downstream branches
+/// (fan-out). `path` addresses the segment in the DAG ("" for the shared
+/// prefix, "0"/"1"/... for branches, "1.0" for nested fan-outs).
+struct CompiledPipeline {
+  std::vector<OperatorPtr> operators;
+  std::shared_ptr<SinkOperator> sink;      ///< non-null at a sink leaf
+  std::vector<CompiledPipeline> branches;  ///< non-empty at a fan-out
+  Schema output_schema;                    ///< schema after `operators`
+  std::string path;
+};
+
+/// \brief Lowers a validated plan to its physical pipeline tree (schemas
+/// propagate source → sinks; expressions bind along the way). `KeyBy`
+/// nodes are folded into the key field of the node they precede; sink
+/// nodes become `CompiledPipeline::sink` (the engine drives them
 /// separately). The plan's source is *not* consumed.
-Result<std::vector<OperatorPtr>> CompilePlan(const Schema& source_schema,
-                                             const LogicalPlan& plan);
+Result<CompiledPipeline> CompilePlan(const Schema& source_schema,
+                                     const LogicalPlan& plan);
 
 }  // namespace nebulameos::nebula

@@ -7,6 +7,8 @@ namespace nebulameos::nebula {
 
 namespace {
 
+using Chain = std::vector<LogicalOperatorPtr>;
+
 // The read set of an expression, or nullopt when it cannot be proven
 // (treat as "reads everything": never move the node across a producer).
 std::optional<std::set<std::string>> ReadSetOf(const ExprPtr& expr) {
@@ -34,14 +36,119 @@ bool IsSubset(const std::set<std::string>& sub,
   });
 }
 
+/// \brief Base of all built-in passes: applies a chain-local rewrite to
+/// the plan's root chain and recursively to every fan-out branch, so each
+/// pass is DAG-aware by construction. Cross-boundary rules (hoisting into
+/// the shared prefix) see the fan-out node as the last element of the
+/// chain they are given.
+class ChainRewritePass : public RewritePass {
+ public:
+  Status Apply(LogicalPlan* plan, bool* changed) override {
+    return ApplyRecursive(&plan->mutable_ops(), changed);
+  }
+
+ protected:
+  virtual Status ApplyChain(Chain* ops, bool* changed) = 0;
+
+ private:
+  Status ApplyRecursive(Chain* ops, bool* changed) {
+    NM_RETURN_NOT_OK(ApplyChain(ops, changed));
+    for (LogicalOperatorPtr& op : *ops) {
+      if (op->kind() != LogicalOperator::Kind::kFanOut) continue;
+      auto& fan = static_cast<FanOutNode&>(*op);
+      for (Chain& branch : fan.mutable_branches()) {
+        NM_RETURN_NOT_OK(ApplyRecursive(&branch, changed));
+      }
+    }
+    return Status::OK();
+  }
+};
+
+// --- Constant folding --------------------------------------------------------
+
+class ConstantFoldingPass : public ChainRewritePass {
+ public:
+  std::string name() const override { return "constant-folding"; }
+
+ protected:
+  Status ApplyChain(Chain* ops, bool* changed) override {
+    for (size_t i = 0; i < ops->size();) {
+      LogicalOperator& op = *(*ops)[i];
+      switch (op.kind()) {
+        case LogicalOperator::Kind::kFilter: {
+          auto& filter = static_cast<FilterNode&>(op);
+          bool folded = false;
+          ExprPtr pred = FoldConstants(filter.predicate(), &folded);
+          if (folded) {
+            *changed = true;
+            const auto constant = pred->ConstantValue();
+            if (constant && ValueAsBool(*constant)) {
+              // Always-true filter: a full no-op stage, delete it. (An
+              // always-false filter stays — it still legitimately drops
+              // every row.)
+              ops->erase(ops->begin() + static_cast<std::ptrdiff_t>(i));
+              continue;
+            }
+            filter.set_predicate(std::move(pred));
+          }
+          break;
+        }
+        case LogicalOperator::Kind::kMap: {
+          auto& map = static_cast<MapNode&>(op);
+          for (MapSpec& spec : map.mutable_specs()) {
+            bool folded = false;
+            ExprPtr expr = FoldConstants(spec.expr, &folded);
+            if (folded) {
+              *changed = true;
+              spec.expr = std::move(expr);
+            }
+          }
+          break;
+        }
+        case LogicalOperator::Kind::kThresholdWindow: {
+          auto& win = static_cast<ThresholdWindowNode&>(op);
+          bool folded = false;
+          ExprPtr pred = FoldConstants(win.options().predicate, &folded);
+          if (folded) {
+            *changed = true;
+            win.mutable_options().predicate = std::move(pred);
+          }
+          break;
+        }
+        case LogicalOperator::Kind::kCep: {
+          auto& cep = static_cast<CepNode&>(op);
+          for (PatternStep& step : cep.mutable_pattern().steps) {
+            bool folded = false;
+            ExprPtr pred = FoldConstants(step.predicate, &folded);
+            if (folded) {
+              *changed = true;
+              step.predicate = std::move(pred);
+            }
+          }
+          break;
+        }
+        default:
+          break;
+      }
+      ++i;
+    }
+    return Status::OK();
+  }
+};
+
 // --- Predicate pushdown ------------------------------------------------------
 
-class PredicatePushdownPass : public RewritePass {
+class PredicatePushdownPass : public ChainRewritePass {
  public:
   std::string name() const override { return "predicate-pushdown"; }
 
-  Status Apply(LogicalPlan* plan, bool* changed) override {
-    auto& ops = plan->mutable_ops();
+ protected:
+  Status ApplyChain(Chain* opsp, bool* changed) override {
+    Chain& ops = *opsp;
+    // A filter demanded by *every* branch of a trailing fan-out hoists
+    // into the shared prefix, where it drops rows once instead of once
+    // per branch.
+    HoistSharedBranchFilter(opsp, changed);
     bool swapped = true;
     while (swapped) {  // bubble filters as far down as they can go
       swapped = false;
@@ -71,16 +178,64 @@ class PredicatePushdownPass : public RewritePass {
     }
     return Status::OK();
   }
+
+ private:
+  // Hoisting is sound when every branch *leads* with the same filter:
+  // running it before the fan-out sees exactly the records every branch
+  // copy would have seen. Identity is proven structurally
+  // (`StructurallyEqual` — node kinds, operators, field names, literal
+  // values; extension nodes it cannot introspect never compare equal),
+  // and every predicate's read set must additionally be provable.
+  static void HoistSharedBranchFilter(Chain* opsp, bool* changed) {
+    Chain& ops = *opsp;
+    if (ops.empty() || ops.back()->kind() != LogicalOperator::Kind::kFanOut) {
+      return;
+    }
+    auto& fan = static_cast<FanOutNode&>(*ops.back());
+    auto& branches = fan.mutable_branches();
+    if (branches.size() < 2) return;
+    bool hoisted = true;
+    while (hoisted) {  // several common filters hoist one at a time
+      hoisted = false;
+      const ExprPtr* first_predicate = nullptr;
+      bool all_lead_with_same_filter = true;
+      for (const Chain& branch : branches) {
+        if (branch.empty() ||
+            branch.front()->kind() != LogicalOperator::Kind::kFilter) {
+          all_lead_with_same_filter = false;
+          break;
+        }
+        const auto& filter = static_cast<const FilterNode&>(*branch.front());
+        if (!ReadSetOf(filter.predicate())) {
+          all_lead_with_same_filter = false;
+          break;
+        }
+        if (first_predicate == nullptr) {
+          first_predicate = &filter.predicate();
+        } else if (!StructurallyEqual(*first_predicate, filter.predicate())) {
+          all_lead_with_same_filter = false;
+          break;
+        }
+      }
+      if (!all_lead_with_same_filter) break;
+      LogicalOperatorPtr shared = std::move(branches[0].front());
+      for (Chain& branch : branches) branch.erase(branch.begin());
+      ops.insert(ops.end() - 1, std::move(shared));
+      hoisted = true;
+      *changed = true;
+    }
+  }
 };
 
 // --- Filter fusion -----------------------------------------------------------
 
-class FilterFusionPass : public RewritePass {
+class FilterFusionPass : public ChainRewritePass {
  public:
   std::string name() const override { return "filter-fusion"; }
 
-  Status Apply(LogicalPlan* plan, bool* changed) override {
-    auto& ops = plan->mutable_ops();
+ protected:
+  Status ApplyChain(Chain* opsp, bool* changed) override {
+    Chain& ops = *opsp;
     for (size_t i = 1; i < ops.size();) {
       if (ops[i - 1]->kind() == LogicalOperator::Kind::kFilter &&
           ops[i]->kind() == LogicalOperator::Kind::kFilter) {
@@ -101,12 +256,13 @@ class FilterFusionPass : public RewritePass {
 
 // --- Map fusion --------------------------------------------------------------
 
-class MapFusionPass : public RewritePass {
+class MapFusionPass : public ChainRewritePass {
  public:
   std::string name() const override { return "map-fusion"; }
 
-  Status Apply(LogicalPlan* plan, bool* changed) override {
-    auto& ops = plan->mutable_ops();
+ protected:
+  Status ApplyChain(Chain* opsp, bool* changed) override {
+    Chain& ops = *opsp;
     for (size_t i = 1; i < ops.size();) {
       if (ops[i - 1]->kind() == LogicalOperator::Kind::kMap &&
           ops[i]->kind() == LogicalOperator::Kind::kMap &&
@@ -143,12 +299,14 @@ class MapFusionPass : public RewritePass {
 
 // --- Projection pushdown -----------------------------------------------------
 
-class ProjectionPushdownPass : public RewritePass {
+class ProjectionPushdownPass : public ChainRewritePass {
  public:
   std::string name() const override { return "projection-pushdown"; }
 
-  Status Apply(LogicalPlan* plan, bool* changed) override {
-    auto& ops = plan->mutable_ops();
+ protected:
+  Status ApplyChain(Chain* opsp, bool* changed) override {
+    Chain& ops = *opsp;
+    NarrowFanOutToUnionDemand(opsp, changed);
     for (size_t i = 1; i < ops.size();) {
       if (ops[i]->kind() != LogicalOperator::Kind::kProject) {
         ++i;
@@ -195,9 +353,55 @@ class ProjectionPushdownPass : public RewritePass {
     }
     return Status::OK();
   }
+
+ private:
+  // When every branch of a trailing fan-out *leads* with a projection, the
+  // shared prefix only needs the union of their field demands: insert that
+  // union projection before the fan-out (each branch keeps its exact
+  // projection, so per-branch schemas are unchanged) — the per-branch
+  // buffer hand-off then carries narrower records.
+  static void NarrowFanOutToUnionDemand(Chain* opsp, bool* changed) {
+    Chain& ops = *opsp;
+    if (ops.empty() || ops.back()->kind() != LogicalOperator::Kind::kFanOut) {
+      return;
+    }
+    const auto& fan = static_cast<const FanOutNode&>(*ops.back());
+    if (fan.branches().size() < 2) return;
+    std::vector<std::string> unioned;
+    for (const Chain& branch : fan.branches()) {
+      if (branch.empty() ||
+          branch.front()->kind() != LogicalOperator::Kind::kProject) {
+        return;
+      }
+      for (const std::string& field :
+           static_cast<const ProjectNode&>(*branch.front()).fields()) {
+        if (std::find(unioned.begin(), unioned.end(), field) ==
+            unioned.end()) {
+          unioned.push_back(field);
+        }
+      }
+    }
+    // Already narrowed (field sets equal, any order): nothing to do — this
+    // is also the termination guard for the rewriter's fixpoint loop.
+    if (ops.size() >= 2 &&
+        ops[ops.size() - 2]->kind() == LogicalOperator::Kind::kProject) {
+      const auto& prev = static_cast<const ProjectNode&>(*ops[ops.size() - 2]);
+      const std::set<std::string> prev_set(prev.fields().begin(),
+                                           prev.fields().end());
+      if (prev_set.size() == unioned.size() && IsSubset(prev_set, unioned)) {
+        return;
+      }
+    }
+    ops.insert(ops.end() - 1, std::make_unique<ProjectNode>(unioned));
+    *changed = true;
+  }
 };
 
 }  // namespace
+
+RewritePassPtr MakeConstantFoldingPass() {
+  return std::make_unique<ConstantFoldingPass>();
+}
 
 RewritePassPtr MakePredicatePushdownPass() {
   return std::make_unique<PredicatePushdownPass>();
@@ -219,6 +423,7 @@ PlanRewriter PlanRewriter::Default(const OptimizerOptions& options) {
   PlanRewriter rewriter;
   rewriter.max_iterations_ = options.max_iterations;
   if (!options.enable) return rewriter;
+  if (options.constant_folding) rewriter.AddPass(MakeConstantFoldingPass());
   if (options.predicate_pushdown) {
     rewriter.AddPass(MakePredicatePushdownPass());
   }

@@ -13,6 +13,9 @@
 /// Built-in passes (all on by default, individually togglable through
 /// `OptimizerOptions`, reachable via `EngineOptions::optimizer`):
 ///
+/// * **constant folding** — constant expression subtrees pre-evaluate into
+///   literals (`Mul(Lit(3.6), Lit(2))` → `7.2`) and always-true filters
+///   disappear;
 /// * **predicate pushdown** — filters move below adjacent maps that do not
 ///   feed them and below projections, so rows are dropped before compute
 ///   and narrowing work is spent on them;
@@ -23,6 +26,15 @@
 /// * **projection pushdown** — the projection's field set is pushed into
 ///   the map below it, deleting computed fields the query never outputs,
 ///   and adjacent projections collapse.
+///
+/// Every pass is DAG-aware: it rewrites the shared prefix and recurses
+/// into each fan-out branch. Two rules act *across* the fan-out boundary:
+/// predicate pushdown hoists a filter above a fan-out only when **every**
+/// branch leads with a structurally identical filter (the shared prefix
+/// then drops rows once instead of once per branch), and projection
+/// pushdown narrows the shared prefix to the **union** of all branches'
+/// leading projection demands (buffer copies per branch get cheaper while
+/// each branch keeps its exact field set).
 
 #pragma once
 
@@ -33,6 +45,7 @@ namespace nebulameos::nebula {
 /// \brief Optimizer configuration (a member of `EngineOptions`).
 struct OptimizerOptions {
   bool enable = true;  ///< master switch: false = submit plans verbatim
+  bool constant_folding = true;
   bool predicate_pushdown = true;
   bool filter_fusion = true;
   bool map_fusion = true;
@@ -57,15 +70,20 @@ class RewritePass {
 
 using RewritePassPtr = std::unique_ptr<RewritePass>;
 
+/// Pre-evaluates constant expression subtrees into literals and removes
+/// filters whose predicate folds to `true`.
+RewritePassPtr MakeConstantFoldingPass();
 /// Moves filters earlier past maps that don't feed them and past
-/// projections.
+/// projections; hoists a filter shared by every fan-out branch into the
+/// shared prefix.
 RewritePassPtr MakePredicatePushdownPass();
 /// AND-combines adjacent filters.
 RewritePassPtr MakeFilterFusionPass();
 /// Merges adjacent independent maps into one.
 RewritePassPtr MakeMapFusionPass();
 /// Collapses adjacent projections and deletes map outputs the following
-/// projection drops.
+/// projection drops; narrows the prefix above a fan-out to the union of
+/// the branches' leading projection demands.
 RewritePassPtr MakeProjectionPushdownPass();
 
 /// \brief The pass pipeline. Runs its passes in registration order,

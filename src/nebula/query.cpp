@@ -8,6 +8,8 @@ Query Query::From(SourcePtr source) {
   return q;
 }
 
+Query Query::Branch() { return Query(); }
+
 void Query::Fail(const std::string& message) {
   if (error_.ok()) error_ = Status::InvalidArgument(message);
 }
@@ -131,6 +133,41 @@ Query&& Query::To(std::shared_ptr<SinkOperator> sink) && {
   return std::move(*this);
 }
 
+Query&& Query::FanOut(std::vector<Query> branches) && {
+  if (pending_window_ != nullptr) {
+    Fail("FanOut() after a window that was not completed with Aggregate()");
+    return std::move(*this);
+  }
+  std::vector<FanOutNode::Branch> chains;
+  chains.reserve(branches.size());
+  for (Query& branch : branches) {
+    if (!branch.error_.ok()) {
+      Fail("fan-out branch: " + branch.error_.message());
+      continue;
+    }
+    if (branch.pending_window_ != nullptr) {
+      Fail("fan-out branch ends in a window that was not completed with "
+           "Aggregate()");
+      continue;
+    }
+    if (branch.plan_.source() != nullptr) {
+      Fail("fan-out branches must be built with Query::Branch() "
+           "(a branch cannot have its own source)");
+      continue;
+    }
+    chains.push_back(std::move(branch.plan_.mutable_ops()));
+  }
+  plan_.Append(std::make_unique<FanOutNode>(std::move(chains)));
+  return std::move(*this);
+}
+
+SplitQuery Query::Split(size_t n) && {
+  if (n < 2) Fail("Split() needs at least two branches");
+  std::vector<Query> branches;
+  for (size_t i = 0; i < n; ++i) branches.push_back(Query::Branch());
+  return SplitQuery(std::move(*this), std::move(branches));
+}
+
 Result<LogicalPlan> Query::Build() && {
   NM_RETURN_NOT_OK(error_);
   if (pending_window_ != nullptr) {
@@ -138,6 +175,12 @@ Result<LogicalPlan> Query::Build() && {
         "query ends in a window that was not completed with Aggregate()");
   }
   return std::move(plan_);
+}
+
+Query& SplitQuery::operator[](size_t i) { return branches_.at(i); }
+
+Result<LogicalPlan> SplitQuery::Build() && {
+  return std::move(trunk_).FanOut(std::move(branches_)).Build();
 }
 
 }  // namespace nebulameos::nebula

@@ -23,6 +23,25 @@
 /// emitted plan can be inspected (`Explain`), optimized (optimizer.hpp)
 /// and lowered (`CompilePlan`); `NodeEngine::Submit` accepts either a
 /// finished plan or the builder itself.
+///
+/// Queries can *branch*: `FanOut` terminates the shared prefix with
+/// several sub-queries built via `Query::Branch()`, each ending in its own
+/// `To(sink)`, and `Split(n)` is the handle-style sugar over it:
+///
+/// ```cpp
+/// SplitQuery split = Query::From(std::move(source))
+///                        .Map("speed_kmh", Mul(Attribute("speed"), Lit(3.6)))
+///                        .Split(2);
+/// std::move(split[0]).Filter(alert_condition).To(alert_sink);
+/// std::move(split[1]).KeyBy("zone")
+///     .TumblingWindow(Seconds(30), "ts")
+///     .Aggregate({AggregateSpec::Avg("noise_db", "avg_noise")})
+///     .To(archive_sink);
+/// Result<LogicalPlan> plan = std::move(split).Build();
+/// ```
+///
+/// The shared prefix (source + Map above) executes once per buffer at
+/// runtime; each branch consumes its full output.
 
 #pragma once
 
@@ -30,11 +49,18 @@
 
 namespace nebulameos::nebula {
 
+class SplitQuery;
+
 /// \brief Fluent builder producing a `LogicalPlan`.
 class Query {
  public:
   /// Starts a query from a source (takes ownership).
   static Query From(SourcePtr source);
+
+  /// Starts a sourceless sub-query describing one fan-out branch (consumed
+  /// by `FanOut`). Branches support every fluent step and must terminate
+  /// in `To` (or a nested `FanOut`).
+  static Query Branch();
 
   /// Adds a filter step.
   Query&& Filter(ExprPtr predicate) &&;
@@ -79,6 +105,16 @@ class Query {
   /// results after the run).
   Query&& To(std::shared_ptr<SinkOperator> sink) &&;
 
+  /// Terminates the query with a fan-out into \p branches (each built with
+  /// `Query::Branch()` and ending in its own `To`). The steps before this
+  /// call become the branches' shared prefix, executed once at runtime.
+  Query&& FanOut(std::vector<Query> branches) &&;
+
+  /// Splits the query into \p n branches sharing every step added so far.
+  /// Sugar over `Branch`/`FanOut`: continue each `split[i]` fluently,
+  /// terminate it in `To`, then `std::move(split).Build()`.
+  SplitQuery Split(size_t n) &&;
+
   /// Emits the logical plan. Fails when the fluent chain was misused
   /// (`Aggregate` without a window, a window left open, ...); structural
   /// plan checks — missing sink, dangling `KeyBy` — live in
@@ -86,6 +122,8 @@ class Query {
   Result<LogicalPlan> Build() &&;
 
  private:
+  friend class SplitQuery;
+
   Query() = default;
 
   // Records the first misuse; later steps keep appending so the error
@@ -101,6 +139,34 @@ class Query {
   // Window awaiting Aggregate(); appended to the plan on completion.
   LogicalOperatorPtr pending_window_;
   Status error_;
+};
+
+/// \brief The result of `Query::Split`: the shared trunk plus `n` fluent
+/// branch builders. Fluent steps on `split[i]` mutate the stored branch in
+/// place (the `&&`-qualified methods return a reference to the same
+/// object), so the idiom is `std::move(split[i]).Filter(...).To(sink);`.
+class SplitQuery {
+ public:
+  SplitQuery(SplitQuery&&) = default;
+  SplitQuery& operator=(SplitQuery&&) = default;
+
+  /// Branch builder \p i (fails hard on out-of-range).
+  Query& operator[](size_t i);
+
+  /// Number of branches.
+  size_t size() const { return branches_.size(); }
+
+  /// Assembles trunk + fan-out and emits the logical plan.
+  Result<LogicalPlan> Build() &&;
+
+ private:
+  friend class Query;
+
+  SplitQuery(Query trunk, std::vector<Query> branches)
+      : trunk_(std::move(trunk)), branches_(std::move(branches)) {}
+
+  Query trunk_;
+  std::vector<Query> branches_;
 };
 
 }  // namespace nebulameos::nebula

@@ -40,12 +40,8 @@ GeneratorSource::GeneratorSource(Schema schema, GenerateFn generate,
                                  uint64_t max_events, std::string time_field)
     : schema_(std::move(schema)),
       generate_(std::move(generate)),
-      max_events_(max_events) {
-  if (!time_field.empty()) {
-    auto idx = schema_.IndexOf(time_field);
-    if (idx.ok()) time_index_ = static_cast<int>(*idx);
-  }
-}
+      max_events_(max_events),
+      stamper_(schema_, time_field) {}
 
 Result<bool> GeneratorSource::Fill(TupleBuffer* buffer) {
   if (done_) return false;
@@ -61,12 +57,9 @@ Result<bool> GeneratorSource::Fill(TupleBuffer* buffer) {
       break;
     }
     ++produced_;
-    if (time_index_ >= 0) {
-      max_time_ = std::max(max_time_, w.View().GetInt64(time_index_));
-    }
+    stamper_.Observe(w.View());
   }
-  buffer->set_sequence_number(next_sequence_++);
-  if (time_index_ >= 0) buffer->set_watermark(max_time_);
+  stamper_.Stamp(buffer);
   return !done_;
 }
 
@@ -74,13 +67,10 @@ Result<bool> GeneratorSource::Fill(TupleBuffer* buffer) {
 
 MemorySource::MemorySource(Schema schema, std::vector<std::vector<Value>> data,
                            size_t rounds, std::string time_field)
-    : schema_(std::move(schema)), data_(std::move(data)), rounds_(rounds) {
-  if (rounds_ == 0) rounds_ = 1;
-  if (!time_field.empty()) {
-    auto idx = schema_.IndexOf(time_field);
-    if (idx.ok()) time_index_ = static_cast<int>(*idx);
-  }
-}
+    : schema_(std::move(schema)),
+      data_(std::move(data)),
+      rounds_(rounds == 0 ? 1 : rounds),
+      stamper_(schema_, time_field) {}
 
 Result<bool> MemorySource::Fill(TupleBuffer* buffer) {
   while (!buffer->full()) {
@@ -94,12 +84,9 @@ Result<bool> MemorySource::Fill(TupleBuffer* buffer) {
     for (size_t f = 0; f < schema_.num_fields() && f < row.size(); ++f) {
       WriteValue(&w, schema_, f, row[f]);
     }
-    if (time_index_ >= 0) {
-      max_time_ = std::max(max_time_, w.View().GetInt64(time_index_));
-    }
+    stamper_.Observe(w.View());
   }
-  buffer->set_sequence_number(next_sequence_++);
-  if (time_index_ >= 0) buffer->set_watermark(max_time_);
+  stamper_.Stamp(buffer);
   return round_ < rounds_ && !data_.empty();
 }
 
@@ -157,13 +144,6 @@ CsvSource::~CsvSource() {
 }
 
 Result<bool> CsvSource::Fill(TupleBuffer* buffer) {
-  if (!resolved_time_) {
-    resolved_time_ = true;
-    if (!time_field_.empty()) {
-      auto idx = schema_.IndexOf(time_field_);
-      if (idx.ok()) time_index_ = static_cast<int>(*idx);
-    }
-  }
   if (file_ == nullptr) return false;
   char line[4096];
   while (!buffer->full()) {
@@ -202,12 +182,9 @@ Result<bool> CsvSource::Fill(TupleBuffer* buffer) {
           break;
       }
     }
-    if (time_index_ >= 0) {
-      max_time_ = std::max(max_time_, w.View().GetInt64(time_index_));
-    }
+    stamper_.Observe(w.View());
   }
-  buffer->set_sequence_number(next_sequence_++);
-  if (time_index_ >= 0) buffer->set_watermark(max_time_);
+  stamper_.Stamp(buffer);
   return file_ != nullptr;
 }
 

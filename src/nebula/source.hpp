@@ -9,12 +9,53 @@
 
 #pragma once
 
+#include <algorithm>
 #include <functional>
 
 #include "nebula/expr.hpp"
 #include "nebula/tuple_buffer.hpp"
 
 namespace nebulameos::nebula {
+
+/// \brief Shared event-time and sequence bookkeeping for sources.
+///
+/// Every source stamps each outgoing buffer with a monotonically
+/// increasing sequence number and — when an event-time field is
+/// configured — a watermark equal to the maximum event time produced so
+/// far. This helper centralises that state (previously copy-pasted across
+/// the concrete sources): resolve the time field once, observe each
+/// written record, stamp each buffer.
+class StreamStamper {
+ public:
+  StreamStamper() = default;
+
+  /// Resolves \p time_field against \p schema ("" or an unknown name
+  /// disables watermarking).
+  StreamStamper(const Schema& schema, const std::string& time_field) {
+    if (time_field.empty()) return;
+    auto idx = schema.IndexOf(time_field);
+    if (idx.ok()) time_index_ = static_cast<int>(*idx);
+  }
+
+  /// Tracks the event time of a just-written record.
+  void Observe(const RecordView& rec) {
+    if (time_index_ >= 0) {
+      max_time_ = std::max(max_time_, rec.GetInt64(time_index_));
+    }
+  }
+
+  /// Stamps \p buffer with the next sequence number and, when
+  /// watermarking, the current high-water event time.
+  void Stamp(TupleBuffer* buffer) {
+    buffer->set_sequence_number(next_sequence_++);
+    if (time_index_ >= 0) buffer->set_watermark(max_time_);
+  }
+
+ private:
+  int time_index_ = -1;
+  Timestamp max_time_ = 0;
+  uint64_t next_sequence_ = 0;
+};
 
 /// \brief Abstract pull-based source.
 class Source {
@@ -62,9 +103,7 @@ class GeneratorSource : public Source {
   GenerateFn generate_;
   uint64_t max_events_;
   uint64_t produced_ = 0;
-  int time_index_ = -1;
-  Timestamp max_time_ = 0;
-  uint64_t next_sequence_ = 0;
+  StreamStamper stamper_;
   bool done_ = false;
 };
 
@@ -86,9 +125,7 @@ class MemorySource : public Source {
   size_t rounds_;
   size_t round_ = 0;
   size_t pos_ = 0;
-  int time_index_ = -1;
-  Timestamp max_time_ = 0;
-  uint64_t next_sequence_ = 0;
+  StreamStamper stamper_;
 };
 
 /// \brief Rate-paces an inner source to a target events/second (token
@@ -128,18 +165,14 @@ class CsvSource : public Source {
   std::string name() const override { return "CsvSource"; }
 
  private:
-  CsvSource(Schema schema, FILE* file, std::string time_field)
+  CsvSource(Schema schema, FILE* file, const std::string& time_field)
       : schema_(std::move(schema)),
         file_(file),
-        time_field_(std::move(time_field)) {}
+        stamper_(schema_, time_field) {}
 
   Schema schema_;
   FILE* file_;
-  std::string time_field_;
-  int time_index_ = -1;
-  Timestamp max_time_ = 0;
-  uint64_t next_sequence_ = 0;
-  bool resolved_time_ = false;
+  StreamStamper stamper_;
 };
 
 }  // namespace nebulameos::nebula

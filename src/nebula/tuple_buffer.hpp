@@ -157,6 +157,22 @@ class TupleBuffer {
     if (size_ > 0) --size_;
   }
 
+  /// Replaces this buffer's records and stream metadata with a copy of
+  /// \p src (same record layout required). Returns false — copying
+  /// nothing — when this buffer's capacity cannot hold every record:
+  /// truncation is never silent, because branch pipelines fed from a
+  /// fan-out must all see identical data. Used by the engine's fan-out
+  /// hand-off so branch pipelines own isolated buffers.
+  [[nodiscard]] bool CopyContentsFrom(const TupleBuffer& src) {
+    if (src.size_ > capacity_) return false;
+    size_ = src.size_;
+    std::memcpy(bytes_.data(), src.bytes_.data(),
+                size_ * schema_.record_size());
+    sequence_number_ = src.sequence_number_;
+    watermark_ = src.watermark_;
+    return true;
+  }
+
   /// Resets records and metadata (pool reuse).
   void Reset() {
     size_ = 0;

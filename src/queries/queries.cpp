@@ -317,6 +317,91 @@ Result<BuiltQuery> BuildQ8BrakeMonitoring(const DemoEnvironment& env,
   return Finish(std::move(q), options.sink);
 }
 
+// --- Shared-ingest fan-out ----------------------------------------------------
+
+namespace {
+
+// The shared prefix of the fan-out plan: one geofencing ingest plus the
+// speed enrichment both workloads read. (The fluent steps mutate the
+// builder in place and return a reference to it.)
+Query&& AddSharedIngestPrefix(Query&& q) {
+  return std::move(q).Map("speed_kmh", Mul(Attribute("speed_ms"), Lit(3.6)));
+}
+
+// Branch 0 — Q1-style geofence alerting: onboard alerts outside
+// maintenance zones, narrowed for the alert channel.
+Query&& AddAlertBranchSteps(Query&& q) {
+  return std::move(q)
+      .Filter(And(Ne(Attribute("event_type"), Lit(std::string("normal"))),
+                  Not(Fn("in_zone_kind",
+                         {Attribute("lon"), Attribute("lat"),
+                          Lit(std::string("maintenance"))}))))
+      .Project({"train_id", "ts", "lon", "lat", "speed_kmh", "event_type"});
+}
+
+// Branch 1 — Q2-style archival: per-zone tumbling-window noise stats in
+// noise-sensitive neighbourhoods.
+Query&& AddArchiveBranchSteps(Query&& q) {
+  return std::move(q)
+      .Filter(Fn("in_zone_kind", {Attribute("lon"), Attribute("lat"),
+                                  Lit(std::string("noise_sensitive"))}))
+      .Map("zone", Fn("zone_id", {Attribute("lon"), Attribute("lat"),
+                                  Lit(std::string("noise_sensitive"))}))
+      .KeyBy("zone")
+      .TumblingWindow(Seconds(30), "ts")
+      .Aggregate({AggregateSpec::Avg("noise_db", "avg_noise_db"),
+                  AggregateSpec::Max("noise_db", "max_noise_db"),
+                  AggregateSpec::Count("events")});
+}
+
+}  // namespace
+
+Result<BuiltQuery> BuildSharedIngestBranch(const DemoEnvironment& env,
+                                           const QueryOptions& options,
+                                           int branch) {
+  if (branch != 0 && branch != 1) {
+    return Status::InvalidArgument("shared-ingest branch must be 0 or 1");
+  }
+  sncb::SncbSources sources(&env.network(), options.fleet);
+  Query q = AddSharedIngestPrefix(
+      Query::From(MaybePace(sources.Geofencing(options.max_events), options)));
+  if (branch == 0) {
+    AddAlertBranchSteps(std::move(q));
+  } else {
+    AddArchiveBranchSteps(std::move(q));
+  }
+  return Finish(std::move(q), options.sink);
+}
+
+Result<BuiltFanOutQuery> BuildSharedIngestFanOut(const DemoEnvironment& env,
+                                                 const QueryOptions& options) {
+  sncb::SncbSources sources(&env.network(), options.fleet);
+  nebula::SplitQuery split =
+      AddSharedIngestPrefix(Query::From(
+          MaybePace(sources.Geofencing(options.max_events), options)))
+          .Split(2);
+  AddAlertBranchSteps(std::move(split[0]));
+  AddArchiveBranchSteps(std::move(split[1]));
+  NM_ASSIGN_OR_RETURN(nebula::LogicalPlan plan, std::move(split).Build());
+  NM_ASSIGN_OR_RETURN(auto leaf_schemas, plan.OutputSchemas());
+  BuiltFanOutQuery built{std::move(plan), {}, {}};
+  std::vector<std::shared_ptr<nebula::SinkOperator>> sinks;
+  for (const auto& [path, schema] : leaf_schemas) {
+    (void)path;
+    if (options.sink == SinkMode::kCollect) {
+      auto sink = std::make_shared<CollectSink>(schema);
+      built.collects.push_back(sink);
+      sinks.push_back(std::move(sink));
+    } else {
+      auto sink = std::make_shared<CountingSink>(schema);
+      built.countings.push_back(sink);
+      sinks.push_back(std::move(sink));
+    }
+  }
+  NM_RETURN_NOT_OK(built.plan.SetLeafSinks(std::move(sinks)));
+  return built;
+}
+
 // --- Dispatch ----------------------------------------------------------------
 
 Result<BuiltQuery> BuildQuery(int number, const DemoEnvironment& env,

@@ -112,6 +112,33 @@ Result<BuiltQuery> BuildQ7UnscheduledStops(const DemoEnvironment& env,
 Result<BuiltQuery> BuildQ8BrakeMonitoring(const DemoEnvironment& env,
                                           const QueryOptions& options);
 
+/// \brief A built fan-out query: one shared-ingest DAG plan with several
+/// sinks, in DAG-path order. Per `QueryOptions::sink` exactly one of the
+/// two vectors is populated (one handle per branch).
+struct BuiltFanOutQuery {
+  nebula::LogicalPlan plan;
+  std::vector<std::shared_ptr<nebula::CollectSink>> collects;
+  std::vector<std::shared_ptr<nebula::CountingSink>> countings;
+};
+
+/// Shared-ingest fan-out — the paper's multi-workload edge deployment as
+/// ONE plan: a single SNCB geofencing stream (plus a shared speed
+/// enrichment) fans out to (branch 0) the Q1-style geofence-alert filter
+/// and (branch 1) the Q2-style per-zone windowed noise aggregate for
+/// archival. The shared prefix executes once per buffer, so the combined
+/// plan ingests one stream's worth of events where two independent
+/// submissions of Q1 and Q2 would ingest it twice.
+Result<BuiltFanOutQuery> BuildSharedIngestFanOut(const DemoEnvironment& env,
+                                                 const QueryOptions& options);
+
+/// One branch of the shared-ingest fan-out (0 = alerts, 1 = archive) as a
+/// standalone *linear* plan over its own ingest — identical operators to
+/// the corresponding DAG branch, so benchmarks can compare the fan-out
+/// plan against the exact same workloads submitted independently.
+Result<BuiltQuery> BuildSharedIngestBranch(const DemoEnvironment& env,
+                                           const QueryOptions& options,
+                                           int branch);
+
 /// Builds query \p number (1–8).
 Result<BuiltQuery> BuildQuery(int number, const DemoEnvironment& env,
                               const QueryOptions& options);

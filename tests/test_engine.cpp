@@ -78,9 +78,9 @@ TEST(Engine, MapAddsAndReplacesFields) {
 TEST(Engine, ProjectReordersFields) {
   auto plan = Query::From(MakeSource(2)).Project({"value", "key"}).Build();
   ASSERT_TRUE(plan.ok());
-  auto chain = CompilePlan(EventSchema(), *plan);
-  ASSERT_TRUE(chain.ok());
-  const Schema& out = chain->back()->output_schema();
+  auto pipe = CompilePlan(EventSchema(), *plan);
+  ASSERT_TRUE(pipe.ok());
+  const Schema& out = pipe->operators.back()->output_schema();
   ASSERT_EQ(out.num_fields(), 2u);
   EXPECT_EQ(out.field(0).name, "value");
   EXPECT_EQ(out.field(1).name, "key");

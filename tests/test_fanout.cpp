@@ -1,0 +1,441 @@
+// Tier-2 tests of multi-sink DAG plans: the Branch/FanOut/Split builder
+// surface, DAG-aware validation, tree-rendered Explain, shared-prefix
+// execution through the engine (per-path operator stats, per-sink emitted
+// counts), DAG-aware optimizer rules (filter hoisting, union projection),
+// and optimized-vs-verbatim result equivalence.
+
+#include <gtest/gtest.h>
+
+#include "nebula/engine.hpp"
+
+namespace nebulameos::nebula {
+namespace {
+
+Schema EventSchema() {
+  return Schema::Build()
+      .AddInt64("key")
+      .AddTimestamp("ts")
+      .AddDouble("value")
+      .Finish();
+}
+
+std::vector<std::vector<Value>> MakeRows(int n) {
+  std::vector<std::vector<Value>> rows;
+  for (int i = 0; i < n; ++i) {
+    rows.push_back({Value(int64_t{i % 3}), Value(Seconds(i)),
+                    Value(static_cast<double>(i))});
+  }
+  return rows;
+}
+
+SourcePtr MakeSource(int n = 10) {
+  return std::make_unique<MemorySource>(EventSchema(), MakeRows(n), 1, "ts");
+}
+
+// Builds the canonical two-branch plan used across these tests: a shared
+// filter prefix, branch 0 keeps high values, branch 1 counts per key.
+Result<LogicalPlan> MakeFanOutPlan(int n,
+                                   std::shared_ptr<CollectSink>* high_sink,
+                                   std::shared_ptr<CollectSink>* agg_sink) {
+  *high_sink = std::make_shared<CollectSink>(
+      Schema::Build().AddInt64("key").AddDouble("value").Finish());
+  *agg_sink = std::make_shared<CollectSink>(Schema::Build()
+                                                .AddInt64("key")
+                                                .AddTimestamp("window_start")
+                                                .AddTimestamp("window_end")
+                                                .AddInt64("n")
+                                                .Finish());
+  SplitQuery split = Query::From(MakeSource(n))
+                         .Filter(Ge(Attribute("value"), Lit(2.0)))
+                         .Split(2);
+  std::move(split[0])
+      .Filter(Ge(Attribute("value"), Lit(6.0)))
+      .Project({"key", "value"})
+      .To(*high_sink);
+  std::move(split[1])
+      .KeyBy("key")
+      .TumblingWindow(Seconds(100), "ts")
+      .Aggregate({AggregateSpec::Count("n")})
+      .To(*agg_sink);
+  return std::move(split).Build();
+}
+
+TEST(FanOutBuilder, BranchAndFanOutEmitDagPlan) {
+  auto alert = std::make_shared<CountingSink>(EventSchema());
+  auto archive = std::make_shared<CountingSink>(EventSchema());
+  std::vector<Query> branches;
+  branches.push_back(std::move(Query::Branch())
+                         .Filter(Ge(Attribute("value"), Lit(5.0)))
+                         .To(alert));
+  branches.push_back(std::move(Query::Branch()).To(archive));
+  auto plan = Query::From(MakeSource())
+                  .Map("scaled", Mul(Attribute("value"), Lit(2.0)))
+                  .FanOut(std::move(branches))
+                  .Build();
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_TRUE(plan->HasFanOut());
+  EXPECT_EQ(plan->NumLeaves(), 2u);
+  EXPECT_TRUE(plan->Validate().ok()) << plan->Validate().ToString();
+  // The root chain: Map then the terminal FanOut.
+  ASSERT_EQ(plan->ops().size(), 2u);
+  EXPECT_EQ(plan->ops()[0]->kind(), LogicalOperator::Kind::kMap);
+  EXPECT_EQ(plan->ops()[1]->kind(), LogicalOperator::Kind::kFanOut);
+  // Sinks are addressable by DAG path.
+  const auto sinks = plan->Sinks();
+  ASSERT_EQ(sinks.size(), 2u);
+  EXPECT_EQ(sinks[0].first, "0");
+  EXPECT_EQ(sinks[0].second.get(), alert.get());
+  EXPECT_EQ(sinks[1].first, "1");
+  EXPECT_EQ(sinks[1].second.get(), archive.get());
+  // A fan-out plan has no single sink or single output schema.
+  EXPECT_EQ(plan->sink(), nullptr);
+  EXPECT_FALSE(plan->OutputSchema().ok());
+}
+
+TEST(FanOutBuilder, SplitIsSugarOverBranchFanOut) {
+  std::shared_ptr<CollectSink> high, agg;
+  auto plan = MakeFanOutPlan(10, &high, &agg);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_TRUE(plan->Validate().ok());
+  EXPECT_EQ(plan->NumLeaves(), 2u);
+}
+
+TEST(FanOutBuilder, BranchWithOwnSourceIsRejected) {
+  std::vector<Query> branches;
+  branches.push_back(std::move(Query::From(MakeSource()))
+                         .To(std::make_shared<CountingSink>(EventSchema())));
+  branches.push_back(std::move(Query::Branch())
+                         .To(std::make_shared<CountingSink>(EventSchema())));
+  auto plan = Query::From(MakeSource()).FanOut(std::move(branches)).Build();
+  ASSERT_FALSE(plan.ok());
+  EXPECT_NE(plan.status().message().find("Branch()"), std::string::npos)
+      << plan.status().ToString();
+}
+
+TEST(FanOutBuilder, OpenWindowInBranchIsRejected) {
+  std::vector<Query> branches;
+  branches.push_back(std::move(Query::Branch())
+                         .TumblingWindow(Seconds(5), "ts"));
+  branches.push_back(std::move(Query::Branch())
+                         .To(std::make_shared<CountingSink>(EventSchema())));
+  auto plan = Query::From(MakeSource()).FanOut(std::move(branches)).Build();
+  ASSERT_FALSE(plan.ok());
+  EXPECT_NE(plan.status().message().find("Aggregate"), std::string::npos);
+}
+
+TEST(FanOutValidate, EveryPathNeedsASink) {
+  std::vector<Query> branches;
+  branches.push_back(std::move(Query::Branch())
+                         .To(std::make_shared<CountingSink>(EventSchema())));
+  branches.push_back(
+      std::move(Query::Branch()).Filter(Ge(Attribute("value"), Lit(0.0))));
+  auto plan = Query::From(MakeSource()).FanOut(std::move(branches)).Build();
+  ASSERT_TRUE(plan.ok());
+  const Status st = plan->Validate();
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("no sink"), std::string::npos) << st.ToString();
+  EXPECT_NE(st.message().find("branch 1"), std::string::npos) << st.ToString();
+}
+
+TEST(FanOutValidate, FanOutNeedsTwoBranches) {
+  std::vector<Query> branches;
+  branches.push_back(std::move(Query::Branch())
+                         .To(std::make_shared<CountingSink>(EventSchema())));
+  auto plan = Query::From(MakeSource()).FanOut(std::move(branches)).Build();
+  ASSERT_TRUE(plan.ok());
+  EXPECT_FALSE(plan->Validate().ok());
+}
+
+TEST(FanOutValidate, FanOutMustBeTerminal) {
+  // Direct IR construction can place nodes after a fan-out; Validate
+  // rejects it.
+  LogicalPlan plan;
+  plan.SetSource(MakeSource());
+  std::vector<FanOutNode::Branch> branches(2);
+  branches[0].push_back(std::make_unique<SinkNode>(
+      std::make_shared<CountingSink>(EventSchema())));
+  branches[1].push_back(std::make_unique<SinkNode>(
+      std::make_shared<CountingSink>(EventSchema())));
+  plan.Append(std::make_unique<FanOutNode>(std::move(branches)));
+  plan.SetSink(std::make_shared<CountingSink>(EventSchema()));
+  const Status st = plan.Validate();
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("terminal"), std::string::npos) << st.ToString();
+}
+
+TEST(FanOutValidate, DanglingKeyByInsideBranchIsCaught) {
+  std::vector<Query> branches;
+  branches.push_back(std::move(Query::Branch())
+                         .KeyBy("key")
+                         .Project({"value"})
+                         .To(std::make_shared<CountingSink>(EventSchema())));
+  branches.push_back(std::move(Query::Branch())
+                         .To(std::make_shared<CountingSink>(EventSchema())));
+  auto plan = Query::From(MakeSource()).FanOut(std::move(branches)).Build();
+  ASSERT_TRUE(plan.ok());
+  const Status st = plan->Validate();
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("KeyBy(key)"), std::string::npos)
+      << st.ToString();
+}
+
+TEST(FanOutExplain, RendersTreeWithSharedPrefixAnnotation) {
+  std::shared_ptr<CollectSink> high, agg;
+  auto plan = MakeFanOutPlan(10, &high, &agg);
+  ASSERT_TRUE(plan.ok());
+  const std::string text = plan->Explain();
+  EXPECT_NE(text.find("-> Filter((value >= 2))  [shared]"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("-> FanOut(2 branches)"), std::string::npos) << text;
+  EXPECT_NE(text.find("[branch 0]"), std::string::npos) << text;
+  EXPECT_NE(text.find("[branch 1]"), std::string::npos) << text;
+  // Branch nodes are indented under their branch label.
+  EXPECT_NE(text.find("   -> Filter((value >= 6))"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("   -> WindowAgg("), std::string::npos) << text;
+}
+
+TEST(FanOutSchemas, OutputSchemasReportEveryLeaf) {
+  std::shared_ptr<CollectSink> high, agg;
+  auto plan = MakeFanOutPlan(10, &high, &agg);
+  ASSERT_TRUE(plan.ok());
+  auto schemas = plan->OutputSchemas();
+  ASSERT_TRUE(schemas.ok()) << schemas.status().ToString();
+  ASSERT_EQ(schemas->size(), 2u);
+  EXPECT_EQ((*schemas)[0].first, "0");
+  EXPECT_EQ((*schemas)[0].second.field(1).name, "value");
+  EXPECT_EQ((*schemas)[1].first, "1");
+  EXPECT_EQ((*schemas)[1].second.field(3).name, "n");
+}
+
+TEST(FanOutSchemas, SetLeafSinksRejectsCountMismatch) {
+  std::shared_ptr<CollectSink> high, agg;
+  auto plan = MakeFanOutPlan(10, &high, &agg);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_FALSE(
+      plan->SetLeafSinks({std::make_shared<CountingSink>(EventSchema())})
+          .ok());
+}
+
+// The acceptance scenario: one submission, shared prefix executed once,
+// per-path stats, per-sink emitted counts.
+TEST(FanOutEngine, SharedPrefixExecutesOncePerBuffer) {
+  std::shared_ptr<CollectSink> high, agg;
+  auto plan = MakeFanOutPlan(10, &high, &agg);
+  ASSERT_TRUE(plan.ok());
+  NodeEngine engine;
+  auto id = engine.Submit(std::move(*plan));
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  ASSERT_TRUE(engine.RunToCompletion(*id).ok());
+
+  // Branch 0: values 6..9. Branch 1: count of values 2..9 per key.
+  ASSERT_EQ(high->RowCount(), 4u);
+  int64_t total_counted = 0;
+  for (const auto& row : agg->Rows()) total_counted += ValueAsInt64(row[3]);
+  EXPECT_EQ(total_counted, 8);
+
+  auto stats = engine.Stats(*id);
+  ASSERT_TRUE(stats.ok());
+  // One stream's worth ingested — not one per branch.
+  EXPECT_EQ(stats->events_ingested, 10u);
+  // The shared prefix filter ran once over all 10 events; each branch
+  // operator is keyed by its DAG path and saw the prefix output (8).
+  ASSERT_FALSE(stats->operator_stats.empty());
+  EXPECT_EQ(stats->operator_stats[0].first, "Filter");
+  EXPECT_EQ(stats->operator_stats[0].second.events_in, 10u);
+  EXPECT_EQ(stats->operator_stats[0].second.events_out, 8u);
+  uint64_t branch_filter_in = 0, branch_window_in = 0;
+  for (const auto& [name, op] : stats->operator_stats) {
+    if (name == "0/Filter") branch_filter_in = op.events_in;
+    if (name == "1/WindowAgg") branch_window_in = op.events_in;
+  }
+  EXPECT_EQ(branch_filter_in, 8u);
+  EXPECT_EQ(branch_window_in, 8u);
+  // Per-sink emitted counts, keyed by path; the scalar total sums them.
+  ASSERT_EQ(stats->sink_stats.size(), 2u);
+  EXPECT_EQ(stats->sink_stats[0].path, "0");
+  EXPECT_EQ(stats->sink_stats[0].events_emitted, 4u);
+  EXPECT_EQ(stats->sink_stats[1].path, "1");
+  EXPECT_EQ(stats->sink_stats[1].events_emitted, agg->RowCount());
+  EXPECT_EQ(stats->events_emitted,
+            stats->sink_stats[0].events_emitted +
+                stats->sink_stats[1].events_emitted);
+}
+
+TEST(FanOutEngine, OptimizedAndVerbatimSinkContentsAgree) {
+  auto run = [](bool optimize) {
+    EngineOptions options;
+    options.optimizer.enable = optimize;
+    NodeEngine engine(options);
+    std::shared_ptr<CollectSink> high, agg;
+    auto plan = MakeFanOutPlan(30, &high, &agg);
+    EXPECT_TRUE(plan.ok());
+    auto id = engine.Submit(std::move(*plan));
+    EXPECT_TRUE(id.ok()) << id.status().ToString();
+    EXPECT_TRUE(engine.RunToCompletion(*id).ok());
+    return std::make_pair(high->Rows(), agg->Rows());
+  };
+  const auto optimized = run(true);
+  const auto verbatim = run(false);
+  ASSERT_EQ(optimized.first.size(), verbatim.first.size());
+  ASSERT_EQ(optimized.second.size(), verbatim.second.size());
+  // Variant equality compares text cells for real (ValueAsDouble would
+  // map every string to 0.0 and pass vacuously).
+  for (size_t i = 0; i < optimized.first.size(); ++i) {
+    ASSERT_EQ(optimized.first[i].size(), verbatim.first[i].size());
+    for (size_t j = 0; j < optimized.first[i].size(); ++j) {
+      EXPECT_TRUE(optimized.first[i][j] == verbatim.first[i][j])
+          << "alert row " << i << " col " << j;
+    }
+  }
+  for (size_t i = 0; i < optimized.second.size(); ++i) {
+    ASSERT_EQ(optimized.second[i].size(), verbatim.second[i].size());
+    for (size_t j = 0; j < optimized.second[i].size(); ++j) {
+      EXPECT_TRUE(optimized.second[i][j] == verbatim.second[i][j])
+          << "agg row " << i << " col " << j;
+    }
+  }
+}
+
+TEST(FanOutEngine, NestedFanOutExecutes) {
+  auto a = std::make_shared<CountingSink>(EventSchema());
+  auto b = std::make_shared<CountingSink>(EventSchema());
+  auto c = std::make_shared<CountingSink>(EventSchema());
+  std::vector<Query> inner;
+  inner.push_back(std::move(Query::Branch())
+                      .Filter(Ge(Attribute("value"), Lit(8.0)))
+                      .To(b));
+  inner.push_back(std::move(Query::Branch()).To(c));
+  std::vector<Query> outer;
+  outer.push_back(std::move(Query::Branch()).To(a));
+  outer.push_back(std::move(Query::Branch())
+                      .Filter(Ge(Attribute("value"), Lit(5.0)))
+                      .FanOut(std::move(inner)));
+  auto plan = Query::From(MakeSource(10)).FanOut(std::move(outer)).Build();
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(plan->NumLeaves(), 3u);
+  NodeEngine engine;
+  auto id = engine.Submit(std::move(*plan));
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  ASSERT_TRUE(engine.RunToCompletion(*id).ok());
+  EXPECT_EQ(a->events(), 10u);
+  EXPECT_EQ(b->events(), 2u);  // values 8, 9
+  EXPECT_EQ(c->events(), 5u);  // values 5..9
+  auto stats = engine.Stats(*id);
+  ASSERT_TRUE(stats.ok());
+  ASSERT_EQ(stats->sink_stats.size(), 3u);
+  EXPECT_EQ(stats->sink_stats[0].path, "0");
+  EXPECT_EQ(stats->sink_stats[1].path, "1.0");
+  EXPECT_EQ(stats->sink_stats[2].path, "1.1");
+}
+
+TEST(FanOutOptimizer, FilterDemandedByEveryBranchHoistsAboveFanOut) {
+  std::vector<Query> branches;
+  branches.push_back(std::move(Query::Branch())
+                         .Filter(Ge(Attribute("value"), Lit(3.0)))
+                         .Project({"key"})
+                         .To(std::make_shared<CountingSink>(EventSchema())));
+  branches.push_back(std::move(Query::Branch())
+                         .Filter(Ge(Attribute("value"), Lit(3.0)))
+                         .Project({"value"})
+                         .To(std::make_shared<CountingSink>(EventSchema())));
+  auto plan = Query::From(MakeSource()).FanOut(std::move(branches)).Build();
+  ASSERT_TRUE(plan.ok());
+  const PlanRewriter rewriter = PlanRewriter::Default();
+  ASSERT_TRUE(rewriter.Rewrite(&*plan).ok());
+  const std::string after = plan->Explain();
+  // The filter now sits in the shared prefix (annotated), and neither
+  // branch re-evaluates it.
+  EXPECT_NE(after.find("Filter((value >= 3))  [shared]"), std::string::npos)
+      << after;
+  EXPECT_EQ(after.find("   -> Filter"), std::string::npos) << after;
+}
+
+TEST(FanOutOptimizer, HoistingProvesIdentityStructurallyNotByRendering) {
+  // A field reference and a string literal with the same spelling render
+  // identically ("(value == ts)"), but are semantically different; the
+  // hoist must compare structure, not text.
+  std::vector<Query> branches;
+  branches.push_back(std::move(Query::Branch())
+                         .Filter(Eq(Attribute("value"), Attribute("ts")))
+                         .To(std::make_shared<CountingSink>(EventSchema())));
+  branches.push_back(std::move(Query::Branch())
+                         .Filter(Eq(Attribute("value"),
+                                    Lit(std::string("ts"))))
+                         .To(std::make_shared<CountingSink>(EventSchema())));
+  auto plan = Query::From(MakeSource()).FanOut(std::move(branches)).Build();
+  ASSERT_TRUE(plan.ok());
+  const PlanRewriter rewriter = PlanRewriter::Default();
+  ASSERT_TRUE(rewriter.Rewrite(&*plan).ok());
+  EXPECT_EQ(plan->Explain().find("[shared]"), std::string::npos)
+      << plan->Explain();
+}
+
+TEST(FanOutOptimizer, DivergentBranchFiltersStayPut) {
+  std::vector<Query> branches;
+  branches.push_back(std::move(Query::Branch())
+                         .Filter(Ge(Attribute("value"), Lit(3.0)))
+                         .To(std::make_shared<CountingSink>(EventSchema())));
+  branches.push_back(std::move(Query::Branch())
+                         .Filter(Ge(Attribute("value"), Lit(7.0)))
+                         .To(std::make_shared<CountingSink>(EventSchema())));
+  auto plan = Query::From(MakeSource()).FanOut(std::move(branches)).Build();
+  ASSERT_TRUE(plan.ok());
+  const PlanRewriter rewriter = PlanRewriter::Default();
+  ASSERT_TRUE(rewriter.Rewrite(&*plan).ok());
+  const std::string after = plan->Explain();
+  // Only one branch demands each predicate: nothing hoists.
+  EXPECT_EQ(after.find("[shared]"), std::string::npos) << after;
+  EXPECT_NE(after.find("   -> Filter((value >= 3))"), std::string::npos)
+      << after;
+  EXPECT_NE(after.find("   -> Filter((value >= 7))"), std::string::npos)
+      << after;
+}
+
+TEST(FanOutOptimizer, ProjectionUnionNarrowsTheSharedPrefix) {
+  std::vector<Query> branches;
+  branches.push_back(std::move(Query::Branch())
+                         .Project({"key", "value"})
+                         .To(std::make_shared<CountingSink>(EventSchema())));
+  branches.push_back(std::move(Query::Branch())
+                         .Project({"value", "ts"})
+                         .To(std::make_shared<CountingSink>(EventSchema())));
+  auto plan = Query::From(MakeSource()).FanOut(std::move(branches)).Build();
+  ASSERT_TRUE(plan.ok());
+  const PlanRewriter rewriter = PlanRewriter::Default();
+  ASSERT_TRUE(rewriter.Rewrite(&*plan).ok());
+  const std::string after = plan->Explain();
+  // The shared prefix narrows to the union of branch demands; each branch
+  // keeps its exact projection (order matters per branch).
+  EXPECT_NE(after.find("-> Project(key, value, ts)  [shared]"),
+            std::string::npos)
+      << after;
+  EXPECT_NE(after.find("   -> Project(key, value)"), std::string::npos)
+      << after;
+  EXPECT_NE(after.find("   -> Project(value, ts)"), std::string::npos)
+      << after;
+}
+
+TEST(FanOutOptimizer, OptimizerRecursesIntoBranches) {
+  // Two adjacent filters inside one branch fuse even though they sit
+  // below a fan-out.
+  std::vector<Query> branches;
+  branches.push_back(std::move(Query::Branch())
+                         .Filter(Ge(Attribute("value"), Lit(1.0)))
+                         .Filter(Lt(Attribute("value"), Lit(9.0)))
+                         .To(std::make_shared<CountingSink>(EventSchema())));
+  branches.push_back(std::move(Query::Branch())
+                         .To(std::make_shared<CountingSink>(EventSchema())));
+  auto plan = Query::From(MakeSource()).FanOut(std::move(branches)).Build();
+  ASSERT_TRUE(plan.ok());
+  const PlanRewriter rewriter = PlanRewriter::Default();
+  ASSERT_TRUE(rewriter.Rewrite(&*plan).ok());
+  EXPECT_NE(plan->Explain().find(
+                "Filter(((value >= 1) AND (value < 9)))"),
+            std::string::npos)
+      << plan->Explain();
+}
+
+}  // namespace
+}  // namespace nebulameos::nebula

@@ -151,13 +151,13 @@ TEST(LogicalPlan, CompileFoldsKeyByIntoWindow) {
                   .Aggregate({AggregateSpec::Count("n")})
                   .Build();
   ASSERT_TRUE(plan.ok());
-  auto chain = CompilePlan(EventSchema(), *plan);
-  ASSERT_TRUE(chain.ok()) << chain.status().ToString();
+  auto pipe = CompilePlan(EventSchema(), *plan);
+  ASSERT_TRUE(pipe.ok()) << pipe.status().ToString();
   // KeyBy is a marker, not a physical operator: one WindowAgg only, and
   // its output schema leads with the key column.
-  ASSERT_EQ(chain->size(), 1u);
-  EXPECT_EQ((*chain)[0]->name(), "WindowAgg");
-  EXPECT_EQ((*chain)[0]->output_schema().field(0).name, "key");
+  ASSERT_EQ(pipe->operators.size(), 1u);
+  EXPECT_EQ(pipe->operators[0]->name(), "WindowAgg");
+  EXPECT_EQ(pipe->operators[0]->output_schema().field(0).name, "key");
 }
 
 TEST(LogicalPlan, SinkNodeIsNotLowered) {
@@ -166,9 +166,11 @@ TEST(LogicalPlan, SinkNodeIsNotLowered) {
                   .To(std::make_shared<CountingSink>(EventSchema()))
                   .Build();
   ASSERT_TRUE(plan.ok());
-  auto chain = CompilePlan(EventSchema(), *plan);
-  ASSERT_TRUE(chain.ok());
-  EXPECT_EQ(chain->size(), 1u);  // just the filter; the engine owns the sink
+  auto pipe = CompilePlan(EventSchema(), *plan);
+  ASSERT_TRUE(pipe.ok());
+  // Just the filter; the sink rides along for the engine to drive.
+  EXPECT_EQ(pipe->operators.size(), 1u);
+  EXPECT_NE(pipe->sink, nullptr);
   EXPECT_NE(plan->sink(), nullptr);
 }
 

@@ -237,6 +237,69 @@ TEST(ProjectionPushdown, AdjacentProjectionsCollapse) {
       << plan->Explain();
 }
 
+TEST(ConstantFolding, PreEvaluatesConstantSubtrees) {
+  // The ROADMAP example: Mul(Lit(3.6), Lit(2)) folds to one literal before
+  // lowering, so no per-record arithmetic is spent on it.
+  auto plan = Query::From(MakeSource())
+                  .Map("scaled", Mul(Attribute("value"),
+                                     Mul(Lit(3.6), Lit(2))))
+                  .Filter(Gt(Add(Lit(1.0), Lit(2.0)), Lit(0.0)))
+                  .Build();
+  ASSERT_TRUE(plan.ok());
+  auto pass = MakeConstantFoldingPass();
+  EXPECT_TRUE(ApplyOnce(pass, &*plan));
+  const std::string after = plan->Explain();
+  // The map's constant factor is a single literal now.
+  EXPECT_EQ(after.find("3.6"), std::string::npos) << after;
+  EXPECT_NE(after.find("scaled := (value * 7.2)"), std::string::npos) << after;
+  // The always-true filter disappeared entirely.
+  EXPECT_EQ(after.find("Filter"), std::string::npos) << after;
+  // Fixpoint: a second application is a no-op.
+  EXPECT_FALSE(ApplyOnce(pass, &*plan));
+}
+
+TEST(ConstantFolding, ShortCircuitsConstantConjunctSides) {
+  auto plan = Query::From(MakeSource())
+                  .Filter(And(Gt(Attribute("value"), Lit(1.0)),
+                              Lt(Lit(1.0), Lit(2.0))))
+                  .Build();
+  ASSERT_TRUE(plan.ok());
+  auto pass = MakeConstantFoldingPass();
+  EXPECT_TRUE(ApplyOnce(pass, &*plan));
+  // The always-true conjunct dropped out; the data-dependent side stays.
+  EXPECT_NE(plan->Explain().find("Filter((value > 1))"), std::string::npos)
+      << plan->Explain();
+}
+
+TEST(ConstantFolding, IntegerSemanticsArePreserved) {
+  // 7 / 2 evaluates as a double at runtime (kDiv never stays integral);
+  // folding must produce the same 3.5, not 3.
+  auto plan = Query::From(MakeSource())
+                  .Map("q", Div(Lit(7), Lit(2)))
+                  .Map("m", Mul(Lit(3), Lit(4)))
+                  .Build();
+  ASSERT_TRUE(plan.ok());
+  auto pass = MakeConstantFoldingPass();
+  EXPECT_TRUE(ApplyOnce(pass, &*plan));
+  const std::string after = plan->Explain();
+  EXPECT_NE(after.find("q := 3.5"), std::string::npos) << after;
+  EXPECT_NE(after.find("m := 12"), std::string::npos) << after;
+}
+
+TEST(ConstantFolding, LeavesFunctionExpressionsAlone) {
+  // Extension/function calls may read global state (geofence catalogs);
+  // they never fold, even over constant arguments.
+  RegisterBuiltinFunctions();
+  auto plan = Query::From(MakeSource())
+                  .Map("a", Fn("abs", {Lit(-3.0)}))
+                  .Build();
+  ASSERT_TRUE(plan.ok());
+  auto pass = MakeConstantFoldingPass();
+  EXPECT_FALSE(ApplyOnce(pass, &*plan));
+  EXPECT_NE(plan->Explain().find("abs("), std::string::npos)
+      << plan->Explain();
+}
+
 TEST(PlanRewriter, DefaultPipelineReachesFixpoint) {
   // Map feeds nothing downstream that survives the projection; filters
   // split across the maps fuse once pushdown brings them together.
@@ -259,6 +322,7 @@ TEST(PlanRewriter, DefaultPipelineReachesFixpoint) {
 
 TEST(PlanRewriter, TogglesDisableIndividualPasses) {
   OptimizerOptions options;
+  options.constant_folding = false;
   options.filter_fusion = false;
   options.predicate_pushdown = false;
   const PlanRewriter rewriter = PlanRewriter::Default(options);

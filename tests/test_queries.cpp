@@ -241,5 +241,82 @@ TEST_F(QueriesTest, CountingSinkModeWorks) {
   EXPECT_EQ(stats->bytes_ingested, 50'000u * 112u);
 }
 
+// The multi-sink acceptance scenario: ONE plan whose shared SNCB ingest
+// prefix fans out to a geofence-alert sink and a windowed-aggregate
+// archival sink. Per-operator stats prove the prefix executed once, the
+// Explain rendering shows the DAG, and the optimizer does not change the
+// sink contents.
+TEST_F(QueriesTest, SharedIngestFanOutServesAlertsAndArchiveFromOneStream) {
+  const uint64_t kEvents = 120'000;
+  auto run = [&](bool optimize) {
+    QueryOptions options;
+    options.max_events = kEvents;
+    options.sink = SinkMode::kCollect;
+    auto built = BuildSharedIngestFanOut(*env_, options);
+    EXPECT_TRUE(built.ok()) << built.status().ToString();
+    nebula::EngineOptions engine_options;
+    engine_options.optimizer.enable = optimize;
+    NodeEngine engine(engine_options);
+    auto id = engine.Submit(std::move(built->plan));
+    EXPECT_TRUE(id.ok()) << id.status().ToString();
+    if (optimize) {
+      // The DAG rendering: annotated shared prefix, one subtree per branch.
+      auto text = engine.Explain(*id);
+      EXPECT_TRUE(text.ok());
+      EXPECT_NE(text->logical.find("[shared]"), std::string::npos)
+          << text->logical;
+      EXPECT_NE(text->logical.find("FanOut(2 branches)"), std::string::npos);
+      EXPECT_NE(text->logical.find("[branch 0]"), std::string::npos);
+      EXPECT_NE(text->logical.find("[branch 1]"), std::string::npos);
+    }
+    EXPECT_TRUE(engine.RunToCompletion(*id).ok());
+    auto stats = engine.Stats(*id);
+    EXPECT_TRUE(stats.ok());
+    // The shared prefix executed once: ingested events equal ONE stream's
+    // worth, and the shared Map saw each event exactly once.
+    EXPECT_EQ(stats->events_ingested, kEvents);
+    bool found_shared_map = false;
+    for (const auto& [name, op] : stats->operator_stats) {
+      if (name == "Map") {
+        found_shared_map = true;
+        EXPECT_EQ(op.events_in, kEvents);
+      }
+    }
+    EXPECT_TRUE(found_shared_map);
+    // Both branch sinks fed from that one ingest, keyed by DAG path.
+    EXPECT_EQ(stats->sink_stats.size(), 2u);
+    EXPECT_EQ(built->collects.size(), 2u);
+    return std::make_pair(built->collects[0]->Rows(),
+                          built->collects[1]->Rows());
+  };
+  const auto [opt_alerts, opt_archive] = run(true);
+  const auto [raw_alerts, raw_archive] = run(false);
+  // The alert branch behaves like Q1 (alerts outside maintenance zones),
+  // the archive branch like Q2 (noise stats in noise-sensitive zones).
+  EXPECT_FALSE(opt_alerts.empty());
+  EXPECT_FALSE(opt_archive.empty());
+  for (const auto& row : opt_alerts) {
+    EXPECT_NE(std::get<std::string>(row[5]), "normal");
+  }
+  // Optimizer on/off produce identical sink contents. Variant equality
+  // compares text cells (event_type) for real.
+  ASSERT_EQ(opt_alerts.size(), raw_alerts.size());
+  ASSERT_EQ(opt_archive.size(), raw_archive.size());
+  for (size_t i = 0; i < opt_alerts.size(); ++i) {
+    ASSERT_EQ(opt_alerts[i].size(), raw_alerts[i].size());
+    for (size_t j = 0; j < opt_alerts[i].size(); ++j) {
+      EXPECT_TRUE(opt_alerts[i][j] == raw_alerts[i][j])
+          << "alert row " << i << " col " << j;
+    }
+  }
+  for (size_t i = 0; i < opt_archive.size(); ++i) {
+    ASSERT_EQ(opt_archive[i].size(), raw_archive[i].size());
+    for (size_t j = 0; j < opt_archive[i].size(); ++j) {
+      EXPECT_TRUE(opt_archive[i][j] == raw_archive[i][j])
+          << "archive row " << i << " col " << j;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace nebulameos::queries

@@ -1,0 +1,138 @@
+// Tier-2 tests of the stream sources: CsvSource error paths (missing
+// file, ragged rows, unparsable fields), shared StreamStamper bookkeeping,
+// and PacedSource pacing bounds.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "nebula/engine.hpp"
+
+namespace nebulameos::nebula {
+namespace {
+
+Schema EventSchema() {
+  return Schema::Build()
+      .AddInt64("key")
+      .AddTimestamp("ts")
+      .AddDouble("value")
+      .Finish();
+}
+
+// Writes `content` to a fresh temp file and returns its path.
+std::string WriteTempCsv(const std::string& name, const std::string& content) {
+  const std::string path = "/tmp/nm_source_test_" + name + ".csv";
+  std::ofstream out(path, std::ios::trunc);
+  out << content;
+  return path;
+}
+
+TEST(CsvSource, MissingFileFailsAtOpen) {
+  auto source = CsvSource::Open(EventSchema(),
+                                "/tmp/nm_source_test_does_not_exist.csv");
+  ASSERT_FALSE(source.ok());
+  EXPECT_NE(source.status().message().find("not found"), std::string::npos)
+      << source.status().ToString();
+}
+
+TEST(CsvSource, RaggedRowFailsAtFill) {
+  const std::string path =
+      WriteTempCsv("ragged", "key,ts,value\n1,1000,2.5\n2,2000\n");
+  auto source = CsvSource::Open(EventSchema(), path, /*skip_header=*/true);
+  ASSERT_TRUE(source.ok());
+  TupleBuffer buffer(EventSchema(), 16);
+  auto more = (*source)->Fill(&buffer);
+  ASSERT_FALSE(more.ok());
+  EXPECT_NE(more.status().message().find("too few cells"), std::string::npos)
+      << more.status().ToString();
+  std::remove(path.c_str());
+}
+
+TEST(CsvSource, UnparsableFieldFailsAtFill) {
+  const std::string path =
+      WriteTempCsv("unparsable", "key,ts,value\n1,not_a_number,2.5\n");
+  auto source = CsvSource::Open(EventSchema(), path, /*skip_header=*/true);
+  ASSERT_TRUE(source.ok());
+  TupleBuffer buffer(EventSchema(), 16);
+  EXPECT_FALSE((*source)->Fill(&buffer).ok());
+  std::remove(path.c_str());
+}
+
+TEST(CsvSource, BlankLinesAreSkippedAndStreamEnds) {
+  const std::string path =
+      WriteTempCsv("blank", "key,ts,value\n1,1000,2.5\n\n2,2000,3.5\n\n");
+  auto source =
+      CsvSource::Open(EventSchema(), path, /*skip_header=*/true, "ts");
+  ASSERT_TRUE(source.ok());
+  TupleBuffer buffer(EventSchema(), 16);
+  auto more = (*source)->Fill(&buffer);
+  ASSERT_TRUE(more.ok());
+  EXPECT_FALSE(*more);  // file exhausted within one buffer
+  ASSERT_EQ(buffer.size(), 2u);
+  EXPECT_EQ(buffer.At(1).GetInt64(0), 2);
+  // The shared stamper watermarked the buffer with the max event time.
+  EXPECT_EQ(buffer.watermark(), 2000);
+  std::remove(path.c_str());
+}
+
+TEST(CsvSource, SequenceNumbersIncreasePerBuffer) {
+  std::string content = "key,ts,value\n";
+  for (int i = 0; i < 10; ++i) {
+    content += std::to_string(i) + "," + std::to_string(i * 100) + ",1.0\n";
+  }
+  const std::string path = WriteTempCsv("sequence", content);
+  auto source =
+      CsvSource::Open(EventSchema(), path, /*skip_header=*/true, "ts");
+  ASSERT_TRUE(source.ok());
+  TupleBuffer first(EventSchema(), 4), second(EventSchema(), 4);
+  ASSERT_TRUE((*source)->Fill(&first).ok());
+  ASSERT_TRUE((*source)->Fill(&second).ok());
+  EXPECT_EQ(first.sequence_number(), 0u);
+  EXPECT_EQ(second.sequence_number(), 1u);
+  EXPECT_GT(second.watermark(), first.watermark());
+  std::remove(path.c_str());
+}
+
+TEST(PacedSource, DeliversEverythingNoFasterThanTheTargetRate) {
+  // 300 events at 3000 e/s must take at least ~100 ms of wall clock (and
+  // lose nothing). The upper bound is deliberately loose — CI machines
+  // stall — the *lower* bound is the pacing contract.
+  const int kEvents = 300;
+  const double kRate = 3000.0;
+  std::vector<std::vector<Value>> rows;
+  for (int i = 0; i < kEvents; ++i) {
+    rows.push_back({Value(int64_t{i}), Value(Seconds(i)), Value(1.0)});
+  }
+  auto inner = std::make_unique<MemorySource>(EventSchema(), std::move(rows),
+                                              1, "ts");
+  PacedSource paced(std::move(inner), kRate);
+  const int64_t started = MonotonicNowMicros();
+  uint64_t delivered = 0;
+  while (true) {
+    TupleBuffer buffer(EventSchema(), 64);
+    auto more = paced.Fill(&buffer);
+    ASSERT_TRUE(more.ok());
+    delivered += buffer.size();
+    if (!*more) break;
+  }
+  const double elapsed_s =
+      static_cast<double>(MonotonicNowMicros() - started) / 1e6;
+  EXPECT_EQ(delivered, static_cast<uint64_t>(kEvents));
+  // Token bucket: the last event is not released before (kEvents/kRate)
+  // seconds, modulo one buffer's worth of slack.
+  EXPECT_GE(elapsed_s, 0.8 * kEvents / kRate);
+  const double achieved = static_cast<double>(delivered) / elapsed_s;
+  EXPECT_LE(achieved, kRate * 1.25) << "paced source overshot its rate";
+}
+
+TEST(PacedSource, PropagatesInnerSchemaAndName) {
+  auto inner = std::make_unique<MemorySource>(
+      EventSchema(), std::vector<std::vector<Value>>{}, 1);
+  PacedSource paced(std::move(inner), 100.0);
+  EXPECT_EQ(paced.schema().num_fields(), 3u);
+  EXPECT_EQ(paced.name(), "PacedSource");
+}
+
+}  // namespace
+}  // namespace nebulameos::nebula
