@@ -1,14 +1,19 @@
 #!/usr/bin/env bash
-# Perf trajectory one-liner: build and run the T1 throughput bench,
-# leaving BENCH_t1.json in the repo root (CI uploads it as an artifact).
-#   scripts/bench.sh [events-per-query] [json-path]
+# Perf trajectory one-liner: build and run the T1 throughput bench and the
+# Fig.1 placed edge-vs-cloud bench, leaving BENCH_t1.json and
+# BENCH_fig1.json in the repo root (CI uploads both as artifacts).
+#   scripts/bench.sh [events-per-query] [t1-json-path] [fig1-json-path]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${BUILD_DIR:-build}"
 EVENTS="${1:-400000}"
 JSON="${2:-BENCH_t1.json}"
+FIG1_JSON="${3:-BENCH_fig1.json}"
 
 cmake -B "$BUILD_DIR" -S . > /dev/null
-cmake --build "$BUILD_DIR" -j --target bench_t1_query_throughput > /dev/null
+cmake --build "$BUILD_DIR" -j \
+  --target bench_t1_query_throughput --target bench_fig1_edge_vs_cloud \
+  > /dev/null
 "$BUILD_DIR/bench/bench_t1_query_throughput" "$EVENTS" "$JSON"
+"$BUILD_DIR/bench/bench_fig1_edge_vs_cloud" "$EVENTS" "$FIG1_JSON"

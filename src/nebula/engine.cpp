@@ -50,6 +50,15 @@ class BoundedQueue {
   bool closed_ = false;
 };
 
+/// Depth-first visit of every segment of a compiled pipeline tree.
+template <typename Fn>
+void ForEachSegment(const CompiledPipeline& seg, const Fn& fn) {
+  fn(seg);
+  for (const CompiledPipeline& branch : seg.branches) {
+    ForEachSegment(branch, fn);
+  }
+}
+
 }  // namespace
 
 struct NodeEngine::RunningQuery {
@@ -162,13 +171,19 @@ Result<int> NodeEngine::Submit(LogicalPlan plan) {
   NM_RETURN_NOT_OK(plan.Validate());
   auto rq = std::make_unique<RunningQuery>();
   rq->plan_text.logical = plan.Explain();
-  if (options_.optimizer.enable) {
+  // Placed plans submit verbatim: placement annotations are tied to the
+  // exact plan shape they were computed for, and rewrite passes create
+  // and move nodes without carrying annotations — rewriting here would
+  // silently shift the lowered channel boundaries. (The placement flow
+  // rewrites to fixpoint *before* annotating.)
+  if (options_.optimizer.enable && !plan.IsPlaced()) {
     const PlanRewriter rewriter = PlanRewriter::Default(options_.optimizer);
     NM_RETURN_NOT_OK(rewriter.Rewrite(&plan));
   }
   rq->plan_text.optimized = plan.Explain();
   NM_ASSIGN_OR_RETURN(rq->pipeline,
-                      CompilePlan(plan.source()->schema(), plan));
+                      CompilePlan(plan.source()->schema(), plan,
+                                  options_.topology));
   rq->source = plan.TakeSource();
   rq->ctx = std::make_unique<ExecutionContext>(options_.tuples_per_buffer,
                                                options_.pool_size);
@@ -331,28 +346,44 @@ Result<QueryStats> NodeEngine::Stats(int query_id) const {
   }
   // Depth-first over the pipeline tree: operators keyed by DAG path, one
   // SinkStats entry per leaf, emitted totals summed across sinks.
-  const std::function<void(const CompiledPipeline&)> collect =
-      [&](const CompiledPipeline& seg) {
-        const std::string prefix = seg.path.empty() ? "" : seg.path + "/";
-        for (const OperatorPtr& op : seg.operators) {
-          stats.operator_stats.emplace_back(prefix + op->name(), op->stats());
-        }
-        if (seg.sink) {
-          stats.operator_stats.emplace_back(prefix + seg.sink->name(),
-                                            seg.sink->stats());
-          SinkStats sink_stats;
-          sink_stats.path = seg.path;
-          sink_stats.name = seg.sink->name();
-          sink_stats.events_emitted = seg.sink->stats().events_in;
-          sink_stats.bytes_emitted = seg.sink->stats().bytes_in;
-          stats.events_emitted += sink_stats.events_emitted;
-          stats.bytes_emitted += sink_stats.bytes_emitted;
-          stats.sink_stats.push_back(std::move(sink_stats));
-        }
-        for (const CompiledPipeline& branch : seg.branches) collect(branch);
-      };
-  collect(rq->pipeline);
+  ForEachSegment(rq->pipeline, [&stats](const CompiledPipeline& seg) {
+    const std::string prefix = seg.path.empty() ? "" : seg.path + "/";
+    for (const OperatorPtr& op : seg.operators) {
+      stats.operator_stats.emplace_back(prefix + op->name(), op->stats());
+    }
+    if (seg.sink) {
+      stats.operator_stats.emplace_back(prefix + seg.sink->name(),
+                                        seg.sink->stats());
+      SinkStats sink_stats;
+      sink_stats.path = seg.path;
+      sink_stats.name = seg.sink->name();
+      sink_stats.events_emitted = seg.sink->stats().events_in;
+      sink_stats.bytes_emitted = seg.sink->stats().bytes_in;
+      stats.events_emitted += sink_stats.events_emitted;
+      stats.bytes_emitted += sink_stats.bytes_emitted;
+      stats.sink_stats.push_back(std::move(sink_stats));
+    }
+  });
   return stats;
+}
+
+Result<DeploymentReport> NodeEngine::Deployment(int query_id) const {
+  const RunningQuery* rq = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = queries_.find(query_id);
+    if (it == queries_.end()) {
+      return Status::NotFound("unknown query id");
+    }
+    rq = it->second.get();
+  }
+  // Every channel lowered anywhere in the pipeline tree, depth-first.
+  std::vector<std::shared_ptr<NetworkChannel>> channels;
+  ForEachSegment(rq->pipeline, [&channels](const CompiledPipeline& seg) {
+    channels.insert(channels.end(), seg.channels.begin(),
+                    seg.channels.end());
+  });
+  return MeasureDeployment(channels);
 }
 
 size_t NodeEngine::NumQueries() const {

@@ -80,6 +80,13 @@ struct EngineOptions {
   /// Logical-plan rewrite configuration; `optimizer.enable = false`
   /// submits plans verbatim (A/B benchmarking, debugging).
   OptimizerOptions optimizer;
+  /// Simulated topology for placed plans (non-owning; must outlive the
+  /// engine). When set, submitted plans carrying placement annotations
+  /// lower their node transitions to network-channel operator pairs and
+  /// `Deployment` reports the traffic those channels measured. When null
+  /// (the default), placement annotations are ignored and every plan
+  /// executes single-node.
+  const Topology* topology = nullptr;
 };
 
 /// \brief `Explain` renderings of a submitted query's plan, captured at
@@ -100,7 +107,10 @@ class NodeEngine {
 
   /// Validates, optimizes (per `EngineOptions::optimizer`) and compiles a
   /// plan; returns its query id. The plan must have a source and a sink on
-  /// every root-to-leaf path.
+  /// every root-to-leaf path. Plans carrying placement annotations are
+  /// submitted verbatim — placement is computed against a specific
+  /// (already-optimized) plan shape, so the rewriter never runs over a
+  /// placed plan.
   Result<int> Submit(LogicalPlan plan);
 
   /// Convenience: builds the fluent query and submits the emitted plan.
@@ -126,6 +136,14 @@ class NodeEngine {
   /// The query's plan renderings (pre- and post-optimization), captured at
   /// submission — plan introspection for tests, demos and debugging.
   Result<QueryPlanText> Explain(int query_id) const;
+
+  /// The deployment report *measured* from the query's network-channel
+  /// traffic (valid after Wait; in-flight reads see the traffic so far).
+  /// A query compiled without placement (or without a topology) has no
+  /// channels and reports zero traffic — the whole pipeline ran on one
+  /// node. Replaces the post-hoc `SimulateDeployment` pricing for placed
+  /// plans.
+  Result<DeploymentReport> Deployment(int query_id) const;
 
   /// Number of registered queries.
   size_t NumQueries() const;

@@ -143,14 +143,18 @@ std::string SinkNode::ToString() const {
   return "Sink(" + (sink_ ? sink_->name() : "<null>") + ")";
 }
 
+std::string DagBranchPath(const std::string& parent, size_t index) {
+  return parent.empty() ? std::to_string(index)
+                        : parent + "." + std::to_string(index);
+}
+
 namespace {
 
 using Chain = std::vector<LogicalOperatorPtr>;
 
-// The path of branch `i` under `parent` ("" → "0", "1" → "1.0").
+// Local alias keeping the traversal helpers terse.
 std::string BranchPath(const std::string& parent, size_t i) {
-  return parent.empty() ? std::to_string(i)
-                        : parent + "." + std::to_string(i);
+  return DagBranchPath(parent, i);
 }
 
 // Depth-first visit of every leaf chain (a chain not ending in a fan-out),
@@ -266,13 +270,17 @@ Status ValidateChain(const Chain& ops, const std::string& path) {
 }
 
 // Renders one chain. `indent` prefixes every line; nodes of a chain that
-// ends in a fan-out are annotated as the shared prefix of its branches.
+// ends in a fan-out are annotated as the shared prefix of its branches;
+// placed nodes show their target topology node.
 void ExplainChain(const Chain& ops, const std::string& indent,
                   const std::string& path, std::string* out) {
   const bool fans_out =
       !ops.empty() && ops.back()->kind() == LogicalOperator::Kind::kFanOut;
   for (const LogicalOperatorPtr& op : ops) {
     *out += indent + "-> " + op->ToString();
+    if (op->placement() != LogicalOperator::kUnplaced) {
+      *out += "  @node" + std::to_string(op->placement());
+    }
     if (fans_out && op->kind() != LogicalOperator::Kind::kFanOut) {
       *out += "  [shared]";
     }
@@ -288,15 +296,47 @@ void ExplainChain(const Chain& ops, const std::string& indent,
   }
 }
 
+// Lowers a placement transition from `from_node` to `to_node`: a
+// `NetworkChannelSink`/`NetworkChannelSource` pair sharing one channel,
+// appended to `pipe` so every record crossing the boundary travels as a
+// serialized wire frame over the (possibly multi-hop) route.
+Status LowerTransition(const Topology& topology, int from_node, int to_node,
+                       const Schema& schema, CompiledPipeline* pipe) {
+  NM_ASSIGN_OR_RETURN(std::shared_ptr<NetworkChannel> channel,
+                      NetworkChannel::Connect(topology, from_node, to_node));
+  NM_ASSIGN_OR_RETURN(OperatorPtr channel_sink,
+                      NetworkChannelSink::Make(schema, channel));
+  NM_ASSIGN_OR_RETURN(OperatorPtr channel_source,
+                      NetworkChannelSource::Make(schema, channel));
+  pipe->operators.push_back(std::move(channel_sink));
+  pipe->operators.push_back(std::move(channel_source));
+  pipe->channels.push_back(std::move(channel));
+  return Status::OK();
+}
+
 // Lowers one chain into `pipe`, recursing at a fan-out. `current` is the
-// schema entering the chain.
+// schema entering the chain. `current_node` tracks which topology node
+// the pipeline is on (kUnplaced for single-node compilation); when a
+// placed node differs, the transition lowers to a channel pair first.
 Status CompileChain(const Chain& ops, const Schema& current_in,
-                    const std::string& path, CompiledPipeline* pipe) {
+                    const std::string& path, CompiledPipeline* pipe,
+                    const Topology* topology, int current_node) {
   Schema current = current_in;
   pipe->path = path;
   // A KeyBy node's field is folded into the node it precedes.
   std::string pending_key;
   for (const LogicalOperatorPtr& node : ops) {
+    // Placement lowering (KeyBy is a marker folded into its consumer, so
+    // it never moves the pipeline on its own).
+    if (topology != nullptr &&
+        node->kind() != LogicalOperator::Kind::kKeyBy &&
+        node->placement() != LogicalOperator::kUnplaced &&
+        current_node != LogicalOperator::kUnplaced &&
+        node->placement() != current_node) {
+      NM_RETURN_NOT_OK(LowerTransition(*topology, current_node,
+                                       node->placement(), current, pipe));
+      current_node = node->placement();
+    }
     OperatorPtr op;
     switch (node->kind()) {
       case LogicalOperator::Kind::kFilter: {
@@ -374,7 +414,8 @@ Status CompileChain(const Chain& ops, const Schema& current_in,
         for (size_t b = 0; b < fan.branches().size(); ++b) {
           CompiledPipeline branch;
           NM_RETURN_NOT_OK(CompileChain(fan.branches()[b], current,
-                                        BranchPath(path, b), &branch));
+                                        BranchPath(path, b), &branch,
+                                        topology, current_node));
           pipe->branches.push_back(std::move(branch));
         }
         pipe->output_schema = current;
@@ -437,6 +478,27 @@ bool LogicalPlan::HasFanOut() const {
          ops_.back()->kind() == LogicalOperator::Kind::kFanOut;
 }
 
+namespace {
+
+bool AnyPlaced(const Chain& chain) {
+  for (const LogicalOperatorPtr& op : chain) {
+    if (op->placement() != LogicalOperator::kUnplaced) return true;
+    if (op->kind() == LogicalOperator::Kind::kFanOut) {
+      for (const Chain& branch :
+           static_cast<const FanOutNode&>(*op).branches()) {
+        if (AnyPlaced(branch)) return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool LogicalPlan::IsPlaced() const {
+  return source_placement_ != LogicalOperator::kUnplaced || AnyPlaced(ops_);
+}
+
 size_t LogicalPlan::NumLeaves() const {
   size_t n = 0;
   ForEachLeafChain(std::as_const(ops_), "",
@@ -485,6 +547,9 @@ std::string LogicalPlan::Explain() const {
   } else {
     out += "<none>";
   }
+  if (source_placement_ != LogicalOperator::kUnplaced) {
+    out += "  @node" + std::to_string(source_placement_);
+  }
   out += "\n";
   ExplainChain(ops_, "  ", "", &out);
   return out;
@@ -524,9 +589,11 @@ LogicalPlan::OutputSchemas() const {
 }
 
 Result<CompiledPipeline> CompilePlan(const Schema& source_schema,
-                                     const LogicalPlan& plan) {
+                                     const LogicalPlan& plan,
+                                     const Topology* topology) {
   CompiledPipeline root;
-  NM_RETURN_NOT_OK(CompileChain(plan.ops(), source_schema, "", &root));
+  NM_RETURN_NOT_OK(CompileChain(plan.ops(), source_schema, "", &root,
+                                topology, plan.source_placement()));
   return root;
 }
 

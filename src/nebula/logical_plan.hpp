@@ -46,6 +46,9 @@ class LogicalOperator {
     kSink,
   };
 
+  /// Placement annotation value meaning "not placed on any node".
+  static constexpr int kUnplaced = -1;
+
   virtual ~LogicalOperator() = default;
 
   virtual Kind kind() const = 0;
@@ -56,6 +59,17 @@ class LogicalOperator {
   /// One-line rendering used by `LogicalPlan::Explain`, e.g.
   /// "Filter((speed_kmh > limit_kmh))".
   virtual std::string ToString() const = 0;
+
+  /// Target topology node of this operator (`kUnplaced` when the plan has
+  /// not been placed). Written by the optimizer's placement pass (or the
+  /// `Annotate*Placement` helpers); consumed by `CompilePlan`, which
+  /// lowers every node transition along a chain to a network-channel
+  /// operator pair.
+  int placement() const { return placement_; }
+  void set_placement(int node_id) { placement_ = node_id; }
+
+ private:
+  int placement_ = kUnplaced;
 };
 
 using LogicalOperatorPtr = std::unique_ptr<LogicalOperator>;
@@ -238,6 +252,12 @@ class SinkNode : public LogicalOperator {
   std::shared_ptr<SinkOperator> sink_;
 };
 
+/// The DAG path of branch \p index under \p parent ("" → "0", "1" →
+/// "1.0") — the single addressing scheme shared by `CompiledPipeline`
+/// paths, `QueryStats::operator_stats` keys, and the optimizer's
+/// placement pass.
+std::string DagBranchPath(const std::string& parent, size_t index);
+
 /// \brief A complete logical query: source → operator DAG → sink(s).
 ///
 /// Move-only (owns its source). The ops vector is the root chain; a
@@ -274,8 +294,20 @@ class LogicalPlan {
   const std::vector<LogicalOperatorPtr>& ops() const { return ops_; }
   std::vector<LogicalOperatorPtr>& mutable_ops() { return ops_; }
 
+  /// Topology node the source runs on (`LogicalOperator::kUnplaced` when
+  /// the plan is not placed). Sensors sit on the edge device, so the
+  /// placement pass pins this to the edge worker.
+  int source_placement() const { return source_placement_; }
+  void set_source_placement(int node_id) { source_placement_ = node_id; }
+
   /// True when the plan contains a `FanOutNode` (multi-sink DAG).
   bool HasFanOut() const;
+
+  /// True when the plan carries any placement annotation (source or
+  /// operator). Placement is tied to the exact plan shape it was
+  /// computed for, so the engine submits placed plans verbatim instead
+  /// of re-running the rewriter over them.
+  bool IsPlaced() const;
 
   /// Number of leaf chains (1 for a linear plan).
   size_t NumLeaves() const;
@@ -329,6 +361,7 @@ class LogicalPlan {
  private:
   SourcePtr source_;
   std::vector<LogicalOperatorPtr> ops_;
+  int source_placement_ = LogicalOperator::kUnplaced;
 };
 
 /// \brief The physical form of one plan segment: a lowered operator chain
@@ -341,6 +374,10 @@ struct CompiledPipeline {
   std::vector<CompiledPipeline> branches;  ///< non-empty at a fan-out
   Schema output_schema;                    ///< schema after `operators`
   std::string path;
+  /// Network channels lowered into this segment (one per node transition
+  /// along the chain, in chain order). The engine aggregates these into
+  /// the measured `DeploymentReport`.
+  std::vector<std::shared_ptr<NetworkChannel>> channels;
 };
 
 /// \brief Lowers a validated plan to its physical pipeline tree (schemas
@@ -348,7 +385,16 @@ struct CompiledPipeline {
 /// nodes are folded into the key field of the node they precede; sink
 /// nodes become `CompiledPipeline::sink` (the engine drives them
 /// separately). The plan's source is *not* consumed.
+///
+/// When \p topology is non-null and the plan carries placement
+/// annotations, every transition between differently-placed neighbours
+/// lowers to a `NetworkChannelSink`/`NetworkChannelSource` pair over a
+/// `NetworkChannel` connecting the two nodes (multi-hop routes resolve
+/// through the topology) — the executable form of the paper's edge/cloud
+/// split. A null \p topology ignores annotations and compiles the plan
+/// for single-node execution.
 Result<CompiledPipeline> CompilePlan(const Schema& source_schema,
-                                     const LogicalPlan& plan);
+                                     const LogicalPlan& plan,
+                                     const Topology* topology = nullptr);
 
 }  // namespace nebulameos::nebula

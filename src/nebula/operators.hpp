@@ -13,6 +13,7 @@
 #include <mutex>
 
 #include "nebula/operator.hpp"
+#include "nebula/topology.hpp"
 #include "nebula/window.hpp"
 
 namespace nebulameos::nebula {
@@ -191,6 +192,63 @@ class ThresholdWindowOperator : public Operator {
   std::vector<size_t> agg_field_index_;
   size_t custom_first_field_ = 0;
   std::map<KeyValue, OpenWindow> open_;
+};
+
+// --- Network channel pair ---------------------------------------------------
+
+/// \brief Upstream half of a lowered node transition: serializes each
+/// input buffer into a wire frame (24-byte header carrying record count,
+/// sequence number and watermark, then the raw record bytes) and sends it
+/// over the `NetworkChannel`.
+///
+/// `CompilePlan` always places the paired `NetworkChannelSource`
+/// immediately downstream; the buffer this operator emits is only the
+/// scheduling hand-off that drives the pair within the fused pipeline —
+/// the *data* the rest of the chain sees travels through the serialized
+/// frame. Stats: `bytes_in` counts record payload, `bytes_out` counts
+/// serialized wire bytes.
+class NetworkChannelSink : public Operator {
+ public:
+  static Result<OperatorPtr> Make(const Schema& input,
+                                  std::shared_ptr<NetworkChannel> channel);
+
+  std::string name() const override { return "NetworkChannelSink"; }
+  const Schema& output_schema() const override { return schema_; }
+  Status Process(const TupleBufferPtr& input, const EmitFn& emit) override;
+
+  const std::shared_ptr<NetworkChannel>& channel() const { return channel_; }
+
+ private:
+  NetworkChannelSink(Schema schema, std::shared_ptr<NetworkChannel> channel)
+      : schema_(std::move(schema)), channel_(std::move(channel)) {}
+  Schema schema_;
+  std::shared_ptr<NetworkChannel> channel_;
+};
+
+/// \brief Downstream half of a node transition: drains its channel,
+/// deserializes each wire frame into freshly allocated buffers (restoring
+/// sequence numbers and watermarks) and emits them. The input buffer it
+/// receives from the paired `NetworkChannelSink` is ignored — it only
+/// schedules the drain. Stats: `bytes_in` counts wire bytes, `bytes_out`
+/// the reconstructed record payload.
+class NetworkChannelSource : public Operator {
+ public:
+  static Result<OperatorPtr> Make(const Schema& schema,
+                                  std::shared_ptr<NetworkChannel> channel);
+
+  std::string name() const override { return "NetworkChannelSource"; }
+  const Schema& output_schema() const override { return schema_; }
+  Status Process(const TupleBufferPtr& input, const EmitFn& emit) override;
+  Status Finish(const EmitFn& emit) override;
+
+ private:
+  NetworkChannelSource(Schema schema, std::shared_ptr<NetworkChannel> channel)
+      : schema_(std::move(schema)), channel_(std::move(channel)) {}
+
+  Status Drain(const EmitFn& emit);
+
+  Schema schema_;
+  std::shared_ptr<NetworkChannel> channel_;
 };
 
 // --- Sinks -------------------------------------------------------------------

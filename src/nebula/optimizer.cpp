@@ -1,6 +1,7 @@
 #include "nebula/optimizer.hpp"
 
 #include <algorithm>
+#include <map>
 #include <set>
 
 namespace nebulameos::nebula {
@@ -397,7 +398,229 @@ class ProjectionPushdownPass : public ChainRewritePass {
   }
 };
 
+// --- Placement ---------------------------------------------------------------
+
+// Flattens every placement annotation of `chain` (and nested branches)
+// in a deterministic order. `Apply` compares snapshots taken before and
+// after placing to report `changed` truthfully — the recursive solver
+// may annotate a branch edge-side and later overwrite it cloud-side when
+// a prefix cut wins, which must not count as a change when the final
+// state matches the input.
+void SnapshotPlacements(const Chain& chain, std::vector<int>* out) {
+  for (const LogicalOperatorPtr& op : chain) {
+    out->push_back(op->placement());
+    if (op->kind() == LogicalOperator::Kind::kFanOut) {
+      for (const Chain& branch :
+           static_cast<const FanOutNode&>(*op).branches()) {
+        SnapshotPlacements(branch, out);
+      }
+    }
+  }
+}
+
+class PlacementPass : public RewritePass {
+ public:
+  explicit PlacementPass(PlacementPassOptions options)
+      : options_(std::move(options)) {}
+
+  std::string name() const override { return "placement"; }
+
+  Status Apply(LogicalPlan* plan, bool* changed) override {
+    if (options_.topology == nullptr) {
+      return Status::InvalidArgument("placement pass without a topology");
+    }
+    // The cut decision needs a reachable cloud; resolving the route up
+    // front also surfaces topology mistakes as a pass error instead of a
+    // lowering error later.
+    NM_RETURN_NOT_OK(options_.topology
+                         ->ShortestPath(options_.edge_node,
+                                        options_.cloud_node)
+                         .status());
+    flows_.clear();
+    for (const auto& [key, stats] : options_.measured) {
+      // Keys are "<path>/<OperatorName>" ("<OperatorName>" in the shared
+      // prefix); operator names never contain '/'.
+      const size_t slash = key.rfind('/');
+      const std::string path =
+          slash == std::string::npos ? std::string() : key.substr(0, slash);
+      const std::string op_name =
+          slash == std::string::npos ? key : key.substr(slash + 1);
+      // Stats measured from an already-placed run include the lowered
+      // channel pairs; they are transparent relays, so dropping their
+      // entries re-aligns the flow with the logical operators (this is
+      // what lets a deployment re-place itself from live traffic).
+      if (op_name == "NetworkChannelSink" ||
+          op_name == "NetworkChannelSource") {
+        continue;
+      }
+      flows_[path].push_back(stats.bytes_out);
+    }
+    std::vector<int> before{plan->source_placement()};
+    SnapshotPlacements(plan->ops(), &before);
+    NM_RETURN_NOT_OK(
+        PlaceChain(&plan->mutable_ops(), "", options_.source_bytes).status());
+    plan->set_source_placement(options_.edge_node);
+    std::vector<int> after{plan->source_placement()};
+    SnapshotPlacements(plan->ops(), &after);
+    if (after != before) *changed = true;
+    return Status::OK();
+  }
+
+ private:
+  // Annotates every node of `chain` (and nested branches) with the cloud
+  // node — used when a shared-prefix cut moves a whole subtree off the
+  // edge.
+  void AnnotateSubtreeCloud(Chain* chain) {
+    for (LogicalOperatorPtr& op : *chain) {
+      op->set_placement(options_.cloud_node);
+      if (op->kind() == LogicalOperator::Kind::kFanOut) {
+        auto& fan = static_cast<FanOutNode&>(*op);
+        for (Chain& branch : fan.mutable_branches()) {
+          AnnotateSubtreeCloud(&branch);
+        }
+      }
+    }
+  }
+
+  // Annotates the non-terminal nodes of `chain` for a cut after physical
+  // operator index `cut` (-1: everything cloud-side): the first `cut`+1
+  // physical operators (and the KeyBy markers they consume) stay on the
+  // edge, the rest move to the cloud. Sinks and fan-outs are handled by
+  // the caller.
+  void AnnotateChainCut(Chain* chain, int cut) {
+    int next_physical = 0;
+    for (LogicalOperatorPtr& op : *chain) {
+      if (op->kind() == LogicalOperator::Kind::kSink ||
+          op->kind() == LogicalOperator::Kind::kFanOut) {
+        continue;
+      }
+      op->set_placement(next_physical <= cut ? options_.edge_node
+                                             : options_.cloud_node);
+      // KeyBy is a marker folded into the next physical operator, so it
+      // shares that operator's index and does not advance it.
+      if (op->kind() != LogicalOperator::Kind::kKeyBy) ++next_physical;
+    }
+  }
+
+  // Chooses and annotates the optimal cut(s) for `chain` (entered on the
+  // edge carrying `in_bytes`), recursing into fan-out branches. Returns
+  // the bytes the chosen placement ships edge -> cloud for this subtree.
+  Result<uint64_t> PlaceChain(Chain* chain, const std::string& path,
+                              uint64_t in_bytes) {
+    // Measured bytes_out per physical operator of this chain segment, in
+    // chain order. Leaf segments carry exactly one trailing sink entry
+    // (the cut never uses it); fan-out segments carry none — anything
+    // else is a shape mismatch.
+    const std::vector<uint64_t>& flow = flows_[path];
+    size_t num_physical = 0;
+    for (const LogicalOperatorPtr& op : *chain) {
+      if (op->kind() != LogicalOperator::Kind::kKeyBy &&
+          op->kind() != LogicalOperator::Kind::kSink &&
+          op->kind() != LogicalOperator::Kind::kFanOut) {
+        ++num_physical;
+      }
+    }
+    const bool fans_out =
+        !chain->empty() &&
+        chain->back()->kind() == LogicalOperator::Kind::kFanOut;
+    const size_t expected = num_physical + (fans_out ? 0u : 1u);
+    if (flow.size() != expected) {
+      return Status::InvalidArgument(
+          "measured stats do not match the plan shape at path '" + path +
+          "': expected " + std::to_string(expected) + " entries, got " +
+          std::to_string(flow.size()) + " — measure a run of the same "
+          "optimized plan first");
+    }
+    // Cut after physical operator c ships that operator's measured output
+    // (c == -1 ships the chain input). Ties break toward the deepest cut:
+    // maximal pushdown, the paper's Figure 1 point.
+    int best_cut = -1;
+    uint64_t best_bytes = in_bytes;
+    for (size_t c = 0; c < num_physical; ++c) {
+      if (flow[c] <= best_bytes) {
+        best_bytes = flow[c];
+        best_cut = static_cast<int>(c);
+      }
+    }
+    const uint64_t prefix_out =
+        num_physical == 0 ? in_bytes : flow[num_physical - 1];
+
+    if (!fans_out) {
+      // Leaf chain: one cut; the sink stays in the cloud.
+      AnnotateChainCut(chain, best_cut);
+      if (!chain->empty() &&
+          chain->back()->kind() == LogicalOperator::Kind::kSink) {
+        chain->back()->set_placement(options_.cloud_node);
+      }
+      return best_bytes;
+    }
+    // Fan-out segment: first let every branch choose its own cut (the
+    // prefix-on-edge hypothesis), then compare against the best single
+    // prefix cut, which ships the stream once and runs the fan-out and
+    // all branches in the cloud. A tie keeps the per-branch cuts —
+    // deeper pushdown.
+    auto& fan = static_cast<FanOutNode&>(*chain->back());
+    uint64_t branch_sum = 0;
+    for (size_t b = 0; b < fan.mutable_branches().size(); ++b) {
+      NM_ASSIGN_OR_RETURN(
+          const uint64_t branch_bytes,
+          PlaceChain(&fan.mutable_branches()[b], DagBranchPath(path, b),
+                     prefix_out));
+      branch_sum += branch_bytes;
+    }
+    if (best_bytes < branch_sum) {
+      AnnotateChainCut(chain, best_cut);
+      chain->back()->set_placement(options_.cloud_node);
+      for (Chain& branch : fan.mutable_branches()) {
+        AnnotateSubtreeCloud(&branch);
+      }
+      return best_bytes;
+    }
+    AnnotateChainCut(chain, static_cast<int>(num_physical) - 1);
+    chain->back()->set_placement(options_.edge_node);
+    return branch_sum;
+  }
+
+  PlacementPassOptions options_;
+  std::map<std::string, std::vector<uint64_t>> flows_;
+};
+
+// Shared walker of the two fixed-placement helpers: operators (and
+// fan-outs) onto `op_node`, sinks onto `sink_node`.
+void AnnotateChainFixed(std::vector<LogicalOperatorPtr>* chain, int op_node,
+                        int sink_node) {
+  for (LogicalOperatorPtr& op : *chain) {
+    if (op->kind() == LogicalOperator::Kind::kSink) {
+      op->set_placement(sink_node);
+      continue;
+    }
+    op->set_placement(op_node);
+    if (op->kind() == LogicalOperator::Kind::kFanOut) {
+      auto& fan = static_cast<FanOutNode&>(*op);
+      for (auto& branch : fan.mutable_branches()) {
+        AnnotateChainFixed(&branch, op_node, sink_node);
+      }
+    }
+  }
+}
+
 }  // namespace
+
+void AnnotateEdgePushdownPlacement(LogicalPlan* plan, int edge_node,
+                                   int cloud_node) {
+  plan->set_source_placement(edge_node);
+  AnnotateChainFixed(&plan->mutable_ops(), edge_node, cloud_node);
+}
+
+void AnnotateCloudPlacement(LogicalPlan* plan, int edge_node,
+                            int cloud_node) {
+  plan->set_source_placement(edge_node);
+  AnnotateChainFixed(&plan->mutable_ops(), cloud_node, cloud_node);
+}
+
+RewritePassPtr MakePlacementPass(PlacementPassOptions options) {
+  return std::make_unique<PlacementPass>(std::move(options));
+}
 
 RewritePassPtr MakeConstantFoldingPass() {
   return std::make_unique<ConstantFoldingPass>();

@@ -86,6 +86,54 @@ RewritePassPtr MakeMapFusionPass();
 /// the branches' leading projection demands.
 RewritePassPtr MakeProjectionPushdownPass();
 
+/// \brief Inputs of the placement pass: the topology to place onto and
+/// the measured flow of a prior run of the *same* (already-optimized)
+/// plan shape.
+struct PlacementPassOptions {
+  /// Topology to place onto (non-owning; must outlive the pass). A route
+  /// from `edge_node` to `cloud_node` must exist (multi-hop allowed).
+  const Topology* topology = nullptr;
+  int edge_node = 0;   ///< node running the source (sensors on the train)
+  int cloud_node = 0;  ///< node running the sinks (operations center)
+  /// Measured per-operator flow (`QueryStats::operator_stats`): path-keyed
+  /// operator names in depth-first pipeline order, from a prior run of a
+  /// structurally identical plan.
+  std::vector<std::pair<std::string, OperatorStats>> measured;
+  /// Bytes the source produced in that run (`QueryStats::bytes_ingested`).
+  uint64_t source_bytes = 0;
+};
+
+/// \brief The per-branch placement pass — `OptimizeCutPlacement`
+/// generalized from one cut of a linear chain to one cut per DAG path.
+///
+/// Annotates every `LogicalOperator` with a target node id: each
+/// root-to-leaf path gets the edge→cloud cut that ships the fewest bytes
+/// over the topology's cheapest edge→cloud route, weighted by measured
+/// per-operator flow. A cut inside the shared prefix moves the fan-out
+/// and every branch to the cloud (the stream crosses once); leaving the
+/// prefix on the edge lets each branch cut independently — e.g. the
+/// ingest prefix stays on the train while an archival aggregation branch
+/// ships its (tiny) aggregates and an alerting branch ships filtered
+/// alerts. Byte ties break toward the deepest cut (maximal pushdown).
+/// Sinks always land on `cloud_node` — results must reach the operations
+/// center. `CompilePlan` then lowers each annotated transition to a
+/// network-channel pair.
+///
+/// Unlike the always-on rewrites, this pass needs runtime inputs (a
+/// topology and measured stats), so it is not part of
+/// `PlanRewriter::Default`; add it explicitly or `Apply` it directly.
+RewritePassPtr MakePlacementPass(PlacementPassOptions options);
+
+/// Annotates \p plan with the paper's full edge pushdown: source and
+/// every operator on \p edge_node, sinks on \p cloud_node.
+void AnnotateEdgePushdownPlacement(LogicalPlan* plan, int edge_node,
+                                   int cloud_node);
+
+/// Annotates \p plan with the ship-raw baseline: source on \p edge_node,
+/// every operator and sink on \p cloud_node (the raw stream crosses the
+/// uplink once, before any processing).
+void AnnotateCloudPlacement(LogicalPlan* plan, int edge_node, int cloud_node);
+
 /// \brief The pass pipeline. Runs its passes in registration order,
 /// repeating the whole pipeline until no pass reports a change (bounded by
 /// `max_iterations`).

@@ -1,5 +1,8 @@
 #include "nebula/topology.hpp"
 
+#include <algorithm>
+#include <limits>
+
 namespace nebulameos::nebula {
 
 Status Topology::AddNode(TopologyNode node) {
@@ -20,6 +23,11 @@ Status Topology::AddLink(TopologyLink link) {
   if (!GetNode(link.from).ok() || !GetNode(link.to).ok()) {
     return Status::InvalidArgument("link endpoint unknown");
   }
+  if (GetLink(link.from, link.to).ok()) {
+    return Status::AlreadyExists("duplicate link " +
+                                 std::to_string(link.from) + "->" +
+                                 std::to_string(link.to));
+  }
   links_.push_back(link);
   return Status::OK();
 }
@@ -37,6 +45,75 @@ Result<TopologyLink> Topology::GetLink(int from, int to) const {
   }
   return Status::NotFound("no link " + std::to_string(from) + "->" +
                           std::to_string(to));
+}
+
+Result<std::vector<TopologyLink>> Topology::ShortestPath(int from,
+                                                         int to) const {
+  NM_RETURN_NOT_OK(GetNode(from).status());
+  NM_RETURN_NOT_OK(GetNode(to).status());
+  if (from == to) return std::vector<TopologyLink>{};
+  // Dijkstra over the (small) node set. Hop weight: the transfer time of
+  // a nominal 1 KB frame, so a 1 GB/s datacenter hop beats a cellular hop
+  // even when their latencies match. Ties resolve toward fewer hops, then
+  // the lower predecessor id, making routes deterministic.
+  struct Best {
+    double cost = std::numeric_limits<double>::infinity();
+    int hops = std::numeric_limits<int>::max();
+    int prev = -1;           // predecessor node id
+    int via = -1;            // index into links_ of the arriving link
+    bool settled = false;
+  };
+  constexpr double kNominalFrameBytes = 1024.0;
+  std::map<int, Best> best;
+  best[from] = Best{0.0, 0, -1, -1, false};
+  while (true) {
+    // Pick the cheapest unsettled node (lowest cost, then hops, then id).
+    int current = -1;
+    for (const auto& [id, b] : best) {
+      if (b.settled) continue;
+      if (current < 0) {
+        current = id;
+        continue;
+      }
+      const Best& c = best[current];
+      if (b.cost < c.cost || (b.cost == c.cost && b.hops < c.hops)) {
+        current = id;
+      }
+    }
+    if (current < 0) break;
+    if (current == to) break;
+    Best& settled = best[current];
+    settled.settled = true;
+    for (size_t i = 0; i < links_.size(); ++i) {
+      const TopologyLink& link = links_[i];
+      if (link.from != current) continue;
+      const double hop_cost = kNominalFrameBytes / link.bandwidth_bytes_per_sec +
+                              ToSeconds(link.latency);
+      const double cost = settled.cost + hop_cost;
+      const int hops = settled.hops + 1;
+      Best& b = best[link.to];  // default-inserts at infinity
+      if (cost < b.cost || (cost == b.cost && hops < b.hops) ||
+          (cost == b.cost && hops == b.hops && current < b.prev)) {
+        b.cost = cost;
+        b.hops = hops;
+        b.prev = current;
+        b.via = static_cast<int>(i);
+      }
+    }
+  }
+  const auto it = best.find(to);
+  if (it == best.end() || it->second.via < 0) {
+    return Status::NotFound("no route " + std::to_string(from) + "->" +
+                            std::to_string(to));
+  }
+  std::vector<TopologyLink> route;
+  for (int node = to; node != from;) {
+    const Best& b = best[node];
+    route.push_back(links_[static_cast<size_t>(b.via)]);
+    node = b.prev;
+  }
+  std::reverse(route.begin(), route.end());
+  return route;
 }
 
 Topology Topology::SncbReference(int num_trains, double uplink_bytes_per_sec,
@@ -75,24 +152,98 @@ Result<DeploymentReport> SimulateDeployment(
                                      std::to_string(i));
     }
     if (from_it->second == to_it->second) continue;  // same node: free
-    NM_ASSIGN_OR_RETURN(TopologyLink link,
-                        topology.GetLink(from_it->second, to_it->second));
+    // Nodes without a direct link still communicate: data relays over the
+    // cheapest multi-hop route (e.g. train -> cloud worker -> coordinator
+    // in the SNCB reference topology, whose trains only link to the cloud
+    // worker).
+    NM_ASSIGN_OR_RETURN(std::vector<TopologyLink> route,
+                        topology.ShortestPath(from_it->second, to_it->second));
     const uint64_t bytes = i < 0
                                ? source_bytes
                                : op_stats[static_cast<size_t>(i)].second.bytes_out;
-    const auto key = std::make_pair(link.from, link.to);
-    report.link_bytes[key] += bytes;
-    const double seconds = static_cast<double>(bytes) /
-                               link.bandwidth_bytes_per_sec +
-                           ToSeconds(link.latency);
-    report.link_seconds[key] += seconds;
-    report.total_transfer_seconds += seconds;
-    NM_ASSIGN_OR_RETURN(TopologyNode from_node,
-                        topology.GetNode(link.from));
+    for (const TopologyLink& link : route) {
+      const auto key = std::make_pair(link.from, link.to);
+      report.link_bytes[key] += bytes;
+      const double seconds = static_cast<double>(bytes) /
+                                 link.bandwidth_bytes_per_sec +
+                             ToSeconds(link.latency);
+      report.link_seconds[key] += seconds;
+      report.total_transfer_seconds += seconds;
+      NM_ASSIGN_OR_RETURN(TopologyNode from_node,
+                          topology.GetNode(link.from));
+      NM_ASSIGN_OR_RETURN(TopologyNode to_node, topology.GetNode(link.to));
+      if (from_node.kind == NodeKind::kEdgeWorker &&
+          to_node.kind != NodeKind::kEdgeWorker) {
+        report.uplink_bytes += bytes;
+      }
+    }
+  }
+  return report;
+}
+
+Result<std::shared_ptr<NetworkChannel>> NetworkChannel::Connect(
+    const Topology& topology, int from, int to) {
+  if (from == to) {
+    return Status::InvalidArgument("channel endpoints must differ (node " +
+                                   std::to_string(from) + ")");
+  }
+  NM_ASSIGN_OR_RETURN(std::vector<TopologyLink> route,
+                      topology.ShortestPath(from, to));
+  std::vector<bool> hop_is_uplink;
+  hop_is_uplink.reserve(route.size());
+  for (const TopologyLink& link : route) {
+    NM_ASSIGN_OR_RETURN(TopologyNode from_node, topology.GetNode(link.from));
     NM_ASSIGN_OR_RETURN(TopologyNode to_node, topology.GetNode(link.to));
-    if (from_node.kind == NodeKind::kEdgeWorker &&
-        to_node.kind != NodeKind::kEdgeWorker) {
-      report.uplink_bytes += bytes;
+    hop_is_uplink.push_back(from_node.kind == NodeKind::kEdgeWorker &&
+                            to_node.kind != NodeKind::kEdgeWorker);
+  }
+  return std::shared_ptr<NetworkChannel>(new NetworkChannel(
+      from, to, std::move(route), std::move(hop_is_uplink)));
+}
+
+void NetworkChannel::Send(std::vector<uint8_t> frame, uint64_t payload_bytes,
+                          uint64_t events) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  frames_ += 1;
+  events_ += events;
+  payload_bytes_ += payload_bytes;
+  wire_bytes_ += frame.size();
+  for (const TopologyLink& link : route_) {
+    transfer_seconds_ += static_cast<double>(frame.size()) /
+                             link.bandwidth_bytes_per_sec +
+                         ToSeconds(link.latency);
+  }
+  in_flight_.push_back(std::move(frame));
+}
+
+bool NetworkChannel::Receive(std::vector<uint8_t>* frame) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (in_flight_.empty()) return false;
+  *frame = std::move(in_flight_.front());
+  in_flight_.pop_front();
+  return true;
+}
+
+Result<DeploymentReport> MeasureDeployment(
+    const std::vector<std::shared_ptr<NetworkChannel>>& channels) {
+  DeploymentReport report;
+  for (const std::shared_ptr<NetworkChannel>& channel : channels) {
+    if (!channel) return Status::InvalidArgument("null channel");
+    std::lock_guard<std::mutex> lock(channel->mutex_);
+    report.wire_bytes += channel->wire_bytes_;
+    report.frames += channel->frames_;
+    report.total_transfer_seconds += channel->transfer_seconds_;
+    for (size_t h = 0; h < channel->route_.size(); ++h) {
+      const TopologyLink& link = channel->route_[h];
+      const auto key = std::make_pair(link.from, link.to);
+      report.link_bytes[key] += channel->payload_bytes_;
+      report.link_seconds[key] +=
+          static_cast<double>(channel->wire_bytes_) /
+              link.bandwidth_bytes_per_sec +
+          static_cast<double>(channel->frames_) * ToSeconds(link.latency);
+      if (channel->hop_is_uplink_[h]) {
+        report.uplink_bytes += channel->payload_bytes_;
+      }
     }
   }
   return report;
@@ -133,7 +284,10 @@ Placement OptimizeCutPlacement(
   uint64_t best_bytes = source_bytes;
   for (int cut = 0; cut <= n - 2; ++cut) {
     const uint64_t bytes = op_stats[static_cast<size_t>(cut)].second.bytes_out;
-    if (bytes < best_bytes) {
+    // <= not <: a tie moves the cut deeper, keeping the tied operator on
+    // the edge (maximal pushdown) instead of shipping the same bytes and
+    // spending cloud compute on work the train could have done.
+    if (bytes <= best_bytes) {
       best_bytes = bytes;
       best_cut = cut;
     }

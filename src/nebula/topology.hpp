@@ -1,19 +1,30 @@
 /// \file topology.hpp
 /// \brief Simulated IoT topology: coordinator, edge and cloud workers,
-/// links, and operator placement.
+/// links, multi-hop routes, operator placement, and network channels.
 ///
 /// The paper's architecture (Figure 1) runs NebulaMEOS on an Intel-Atom
 /// edge device aboard the train, shipping only processed results to a
 /// server. This module reproduces that architecture as a measurable
-/// simulation: a topology of nodes and links, a placement of a compiled
-/// query's operators onto nodes, and a deployment report that prices the
-/// traffic each link carries using the engine's per-operator flow counters.
-/// The `bench_fig1_edge_vs_cloud` benchmark compares edge pushdown against
-/// ship-everything-to-cloud on exactly this model.
+/// simulation: a topology of nodes and links, shortest-path routing
+/// between any two nodes, and `NetworkChannel` — a simulated connection
+/// that carries serialized tuple frames between two placed pipeline
+/// segments while counting every byte. The optimizer's `PlacementPass`
+/// (optimizer.hpp) annotates a plan with target nodes, `CompilePlan`
+/// lowers node transitions to `NetworkChannelSink`/`NetworkChannelSource`
+/// pairs over these channels, and `NodeEngine::Deployment` reports the
+/// traffic each channel actually carried.
+///
+/// The older post-hoc pricing path (`SimulateDeployment` over a
+/// chain-indexed `Placement`) is kept for linear chains and as the
+/// reference the measured channel counters are tested against.
 
 #pragma once
 
+#include <cstdint>
+#include <deque>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -49,7 +60,9 @@ class Topology {
   /// Adds a node; fails on duplicate id.
   Status AddNode(TopologyNode node);
 
-  /// Adds a link; fails when an endpoint is unknown or bandwidth <= 0.
+  /// Adds a link; fails when an endpoint is unknown, bandwidth <= 0, or a
+  /// link with the same (from, to) pair already exists (`AlreadyExists` —
+  /// a silent duplicate would make `GetLink` ambiguous).
   Status AddLink(TopologyLink link);
 
   const std::vector<TopologyNode>& nodes() const { return nodes_; }
@@ -60,6 +73,13 @@ class Topology {
 
   /// Direct link from \p from to \p to.
   Result<TopologyLink> GetLink(int from, int to) const;
+
+  /// Cheapest multi-hop route from \p from to \p to (Dijkstra; hop weight
+  /// is the transfer time of a nominal 1 KB frame, so latency and
+  /// bandwidth both count). Empty when \p from == \p to; `NotFound` when
+  /// no route exists. Deterministic: ties resolve toward fewer hops, then
+  /// lower node ids.
+  Result<std::vector<TopologyLink>> ShortestPath(int from, int to) const;
 
   /// Builds the paper's reference topology: one coordinator (cloud), one
   /// cloud worker, and \p num_trains edge workers, each connected to the
@@ -82,23 +102,127 @@ struct Placement {
 };
 
 /// \brief Traffic and latency accounting of one deployed query.
+///
+/// Produced two ways: *priced* after the fact by `SimulateDeployment`
+/// (record payload bytes only, one transfer per chain edge), or *measured*
+/// from executed `NetworkChannel` traffic by `NodeEngine::Deployment`
+/// (payload bytes per hop plus serialized wire bytes and frame counts).
 struct DeploymentReport {
-  /// Bytes crossing each used link, keyed by (from, to).
+  /// Record payload bytes crossing each used link, keyed by (from, to).
   std::map<std::pair<int, int>, uint64_t> link_bytes;
   /// Serialization+propagation seconds per link.
   std::map<std::pair<int, int>, double> link_seconds;
-  /// Total bytes entering cloud nodes from edge nodes.
+  /// Total record payload bytes entering non-edge nodes from edge nodes.
   uint64_t uplink_bytes = 0;
   /// Sum over links of bytes/bandwidth + latency (sequential path model).
   double total_transfer_seconds = 0.0;
+  /// Serialized bytes including frame headers (measured reports only;
+  /// stays 0 for priced reports, which know nothing about framing).
+  uint64_t wire_bytes = 0;
+  /// Frames shipped across all channels (measured reports only).
+  uint64_t frames = 0;
 };
+
+/// \brief One simulated network connection between two placed pipeline
+/// segments, following the (possibly multi-hop) cheapest route between
+/// its endpoints.
+///
+/// A `NetworkChannelSink` serializes each tuple buffer into a wire frame
+/// and pushes it here; the paired `NetworkChannelSource` pops and
+/// deserializes (operators.hpp). The channel accounts every transfer —
+/// frames, record payload bytes, serialized wire bytes, and the transfer
+/// seconds implied by each hop's bandwidth and latency — so a deployment
+/// report can be *measured* instead of priced.
+class NetworkChannel {
+ public:
+  /// Resolves the cheapest route from \p from to \p to in \p topology and
+  /// pre-classifies which hops are cellular uplink (edge → non-edge).
+  /// Fails when an endpoint is unknown or no route exists.
+  static Result<std::shared_ptr<NetworkChannel>> Connect(
+      const Topology& topology, int from, int to);
+
+  int from_node() const { return from_; }
+  int to_node() const { return to_; }
+  const std::vector<TopologyLink>& route() const { return route_; }
+
+  /// Enqueues one serialized frame of \p payload_bytes record bytes
+  /// carrying \p events records, accounting the transfer on every hop.
+  void Send(std::vector<uint8_t> frame, uint64_t payload_bytes,
+            uint64_t events);
+
+  /// Pops the next in-flight frame; false when the channel is drained.
+  bool Receive(std::vector<uint8_t>* frame);
+
+  // --- Traffic counters (readable while the query runs; each accessor
+  // takes the channel lock the sender writes under) ---
+
+  uint64_t frames() const { return Locked(frames_); }
+  uint64_t events() const { return Locked(events_); }
+  /// Record payload bytes shipped (comparable to `SimulateDeployment`
+  /// link pricing, which also counts record bytes).
+  uint64_t payload_bytes() const { return Locked(payload_bytes_); }
+  /// Serialized bytes shipped, frame headers included.
+  uint64_t wire_bytes() const { return Locked(wire_bytes_); }
+  /// Sum over frames and hops of wire_bytes/bandwidth + latency.
+  double transfer_seconds() const { return Locked(transfer_seconds_); }
+  /// True when any hop leaves an edge worker for a non-edge node.
+  bool crosses_uplink() const { return crosses_uplink_; }
+
+ private:
+  NetworkChannel(int from, int to, std::vector<TopologyLink> route,
+                 std::vector<bool> hop_is_uplink)
+      : from_(from),
+        to_(to),
+        route_(std::move(route)),
+        hop_is_uplink_(std::move(hop_is_uplink)) {
+    for (const bool uplink : hop_is_uplink_) {
+      crosses_uplink_ = crosses_uplink_ || uplink;
+    }
+  }
+
+  friend Result<DeploymentReport> MeasureDeployment(
+      const std::vector<std::shared_ptr<NetworkChannel>>& channels);
+
+  template <typename T>
+  T Locked(const T& counter) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return counter;
+  }
+
+  int from_ = 0;
+  int to_ = 0;
+  std::vector<TopologyLink> route_;
+  std::vector<bool> hop_is_uplink_;
+  bool crosses_uplink_ = false;
+
+  mutable std::mutex mutex_;
+  std::deque<std::vector<uint8_t>> in_flight_;
+  uint64_t frames_ = 0;
+  uint64_t events_ = 0;
+  uint64_t payload_bytes_ = 0;
+  uint64_t wire_bytes_ = 0;
+  double transfer_seconds_ = 0.0;
+};
+
+/// \brief Aggregates the traffic a set of executed channels carried into
+/// one `DeploymentReport` (per-hop payload bytes and seconds, uplink
+/// bytes, wire bytes, frames). The measured counterpart of
+/// `SimulateDeployment`.
+Result<DeploymentReport> MeasureDeployment(
+    const std::vector<std::shared_ptr<NetworkChannel>>& channels);
 
 /// \brief Prices a placement using measured per-operator flow.
 ///
 /// \p op_stats is the engine's chain-ordered stats (operators then sink);
 /// \p source_bytes is what the source produced. Each chain edge whose two
 /// endpoints are placed on different nodes ships the upstream operator's
-/// output bytes across the connecting link.
+/// output bytes across the cheapest (possibly multi-hop) route between
+/// the two nodes.
+///
+/// \deprecated Linear chains and post-hoc pricing only. New code should
+/// annotate the plan (`MakePlacementPass`, optimizer.hpp), execute it on
+/// an engine with a topology, and read the *measured* report from
+/// `NodeEngine::Deployment`.
 Result<DeploymentReport> SimulateDeployment(
     const Topology& topology,
     const std::vector<std::pair<std::string, OperatorStats>>& op_stats,
@@ -116,12 +240,16 @@ Placement CloudPlacement(size_t chain_length, int edge_node, int cloud_node);
 /// \brief Incremental placement optimization: chooses the pipeline cut
 /// (edge prefix → cloud suffix) that minimizes uplink bytes, using the
 /// measured per-operator flow. The sink (final chain element) stays in the
-/// cloud — results must reach the operations center. Returns the placement
-/// and, through \p out_uplink_bytes (optional), its uplink cost.
+/// cloud — results must reach the operations center. Byte-count ties break
+/// toward the *deepest* cut (maximal edge pushdown — the paper's Figure 1
+/// point: keep operators on the train whenever the uplink pays nothing
+/// for it). Returns the placement and, through \p out_uplink_bytes
+/// (optional), its uplink cost.
 ///
 /// This is the decision NebulaStream's incremental query placement makes
 /// per operator; here it reduces to the optimal single cut of a linear
-/// chain.
+/// chain. The DAG-aware generalization (one cut per fan-out branch) lives
+/// in the optimizer as `MakePlacementPass`.
 Placement OptimizeCutPlacement(
     const std::vector<std::pair<std::string, OperatorStats>>& op_stats,
     uint64_t source_bytes, int edge_node, int cloud_node,

@@ -138,6 +138,15 @@ class TupleBuffer {
     return w;
   }
 
+  /// Appends \p count records in one copy from \p src, which must point
+  /// at contiguous records of this buffer's exact layout (e.g. a network
+  /// frame payload). The records must fit: `size() + count <= capacity()`.
+  void AppendRecords(const uint8_t* src, size_t count) {
+    std::memcpy(bytes_.data() + size_ * schema_.record_size(), src,
+                count * schema_.record_size());
+    size_ += count;
+  }
+
   /// View of record \p i.
   RecordView At(size_t i) const {
     return RecordView(&schema_, bytes_.data() + i * schema_.record_size());

@@ -127,7 +127,10 @@ struct BuiltFanOutQuery {
 /// and (branch 1) the Q2-style per-zone windowed noise aggregate for
 /// archival. The shared prefix executes once per buffer, so the combined
 /// plan ingests one stream's worth of events where two independent
-/// submissions of Q1 and Q2 would ingest it twice.
+/// submissions of Q1 and Q2 would ingest it twice. This plan is also the
+/// substrate of `bench_fig1_edge_vs_cloud`: the optimizer's placement
+/// pass keeps the shared prefix on the train and cuts each branch
+/// independently, executing the split over network channels.
 Result<BuiltFanOutQuery> BuildSharedIngestFanOut(const DemoEnvironment& env,
                                                  const QueryOptions& options);
 

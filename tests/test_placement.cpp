@@ -1,0 +1,333 @@
+// Tier-2 tests of the placement pass and its network-channel lowering:
+// per-branch cuts on fan-out plans, prefix cuts when every branch would
+// ship more than the raw stream, placement on/off result equivalence
+// through real channel execution, and measured channel byte counters
+// matching the legacy post-hoc SimulateDeployment pricing on a linear
+// chain.
+
+#include <gtest/gtest.h>
+
+#include "nebula/engine.hpp"
+
+namespace nebulameos::nebula {
+namespace {
+
+constexpr int kEdge = 2;   // train-0 in the SNCB reference topology
+constexpr int kCloud = 1;  // cloud worker
+
+Schema EventSchema() {
+  return Schema::Build()
+      .AddInt64("key")
+      .AddTimestamp("ts")
+      .AddDouble("value")
+      .Finish();
+}
+
+std::vector<std::vector<Value>> MakeRows(int n) {
+  std::vector<std::vector<Value>> rows;
+  for (int i = 0; i < n; ++i) {
+    rows.push_back({Value(int64_t{i % 3}), Value(Seconds(i)),
+                    Value(static_cast<double>(i))});
+  }
+  return rows;
+}
+
+SourcePtr MakeSource(int n) {
+  return std::make_unique<MemorySource>(EventSchema(), MakeRows(n), 1, "ts");
+}
+
+// The canonical two-branch plan: shared selective filter, branch 0 keeps
+// high values narrowed to two fields, branch 1 aggregates per key.
+Result<LogicalPlan> MakeFanOutPlan(int n,
+                                   std::shared_ptr<CollectSink>* high_sink,
+                                   std::shared_ptr<CollectSink>* agg_sink) {
+  *high_sink = std::make_shared<CollectSink>(
+      Schema::Build().AddInt64("key").AddDouble("value").Finish());
+  *agg_sink = std::make_shared<CollectSink>(Schema::Build()
+                                                .AddInt64("key")
+                                                .AddTimestamp("window_start")
+                                                .AddTimestamp("window_end")
+                                                .AddInt64("n")
+                                                .Finish());
+  SplitQuery split = Query::From(MakeSource(n))
+                         .Filter(Ge(Attribute("value"), Lit(2.0)))
+                         .Split(2);
+  std::move(split[0])
+      .Filter(Ge(Attribute("value"), Lit(6.0)))
+      .Project({"key", "value"})
+      .To(*high_sink);
+  std::move(split[1])
+      .KeyBy("key")
+      .TumblingWindow(Seconds(100), "ts")
+      .Aggregate({AggregateSpec::Count("n")})
+      .To(*agg_sink);
+  return std::move(split).Build();
+}
+
+// Runs `plan` to completion on a fresh engine (optimizer off so the
+// compiled shape matches the logical plan 1:1) and returns its stats.
+Result<QueryStats> MeasureRun(LogicalPlan plan,
+                              const Topology* topology = nullptr) {
+  EngineOptions options;
+  options.optimizer.enable = false;
+  options.topology = topology;
+  NodeEngine engine(options);
+  NM_ASSIGN_OR_RETURN(const int id, engine.Submit(std::move(plan)));
+  NM_RETURN_NOT_OK(engine.RunToCompletion(id));
+  return engine.Stats(id);
+}
+
+TEST(PlacementPass, PerBranchCutsOnFanOutPlan) {
+  // Measure a run of the plan shape first.
+  std::shared_ptr<CollectSink> high, agg;
+  auto measured_plan = MakeFanOutPlan(10, &high, &agg);
+  ASSERT_TRUE(measured_plan.ok()) << measured_plan.status().ToString();
+  auto stats = MeasureRun(std::move(*measured_plan));
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+
+  const Topology topo = Topology::SncbReference(1, 1e6, Millis(50));
+  PlacementPassOptions options;
+  options.topology = &topo;
+  options.edge_node = kEdge;
+  options.cloud_node = kCloud;
+  options.measured = stats->operator_stats;
+  options.source_bytes = stats->bytes_ingested;
+
+  auto plan = MakeFanOutPlan(10, &high, &agg);
+  ASSERT_TRUE(plan.ok());
+  RewritePassPtr pass = MakePlacementPass(std::move(options));
+  bool changed = false;
+  ASSERT_TRUE(pass->Apply(&*plan, &changed).ok());
+  EXPECT_TRUE(changed);
+
+  // Both branches ship less than the shared prefix's output, so the
+  // prefix and every branch operator stay on the edge; only sinks move.
+  EXPECT_EQ(plan->source_placement(), kEdge);
+  const auto& ops = plan->ops();
+  ASSERT_EQ(ops.size(), 2u);
+  EXPECT_EQ(ops[0]->placement(), kEdge);  // shared filter
+  EXPECT_EQ(ops[1]->placement(), kEdge);  // fan-out node
+  const auto& fan = static_cast<const FanOutNode&>(*ops[1]);
+  const auto& alerts = fan.branches()[0];
+  ASSERT_EQ(alerts.size(), 3u);
+  EXPECT_EQ(alerts[0]->placement(), kEdge);   // Filter(value >= 6)
+  EXPECT_EQ(alerts[1]->placement(), kEdge);   // Project
+  EXPECT_EQ(alerts[2]->placement(), kCloud);  // Sink
+  const auto& archive = fan.branches()[1];
+  ASSERT_EQ(archive.size(), 3u);
+  EXPECT_EQ(archive[0]->placement(), kEdge);   // KeyBy marker
+  EXPECT_EQ(archive[1]->placement(), kEdge);   // WindowAgg
+  EXPECT_EQ(archive[2]->placement(), kCloud);  // Sink
+  // Explain renders the annotations.
+  EXPECT_NE(plan->Explain().find("@node2"), std::string::npos);
+  // A second application is a fixpoint no-op.
+  changed = false;
+  ASSERT_TRUE(pass->Apply(&*plan, &changed).ok());
+  EXPECT_FALSE(changed);
+}
+
+TEST(PlacementPass, PrefixCutWhenEveryBranchExpands) {
+  // Both branches immediately widen every record, so each branch's best
+  // cut is its own entry — shipping the prefix output once (one prefix
+  // cut) beats shipping it once per branch.
+  auto build = [](std::shared_ptr<CollectSink>* s0,
+                  std::shared_ptr<CollectSink>* s1) {
+    const Schema wide = Schema::Build()
+                            .AddInt64("key")
+                            .AddTimestamp("ts")
+                            .AddDouble("value")
+                            .AddDouble("scaled")
+                            .Finish();
+    *s0 = std::make_shared<CollectSink>(wide);
+    *s1 = std::make_shared<CollectSink>(wide);
+    SplitQuery split = Query::From(MakeSource(10))
+                           .Filter(Ge(Attribute("value"), Lit(2.0)))
+                           .Split(2);
+    std::move(split[0])
+        .Map("scaled", Mul(Attribute("value"), Lit(2.0)))
+        .To(*s0);
+    std::move(split[1])
+        .Map("scaled", Mul(Attribute("value"), Lit(3.0)))
+        .To(*s1);
+    return std::move(split).Build();
+  };
+  std::shared_ptr<CollectSink> s0, s1;
+  auto measured_plan = build(&s0, &s1);
+  ASSERT_TRUE(measured_plan.ok());
+  auto stats = MeasureRun(std::move(*measured_plan));
+  ASSERT_TRUE(stats.ok());
+
+  const Topology topo = Topology::SncbReference(1, 1e6, Millis(50));
+  PlacementPassOptions options;
+  options.topology = &topo;
+  options.edge_node = kEdge;
+  options.cloud_node = kCloud;
+  options.measured = stats->operator_stats;
+  options.source_bytes = stats->bytes_ingested;
+
+  auto plan = build(&s0, &s1);
+  ASSERT_TRUE(plan.ok());
+  RewritePassPtr pass = MakePlacementPass(std::move(options));
+  bool changed = false;
+  ASSERT_TRUE(pass->Apply(&*plan, &changed).ok());
+  EXPECT_TRUE(changed);
+  // Cut after the shared filter: fan-out and both branches in the cloud.
+  const auto& ops = plan->ops();
+  EXPECT_EQ(ops[0]->placement(), kEdge);   // shared filter
+  EXPECT_EQ(ops[1]->placement(), kCloud);  // fan-out
+  const auto& fan = static_cast<const FanOutNode&>(*ops[1]);
+  for (const auto& branch : fan.branches()) {
+    for (const auto& op : branch) {
+      EXPECT_EQ(op->placement(), kCloud);
+    }
+  }
+  // Idempotence holds on this path too, even though the solver first
+  // tries per-branch cuts before the prefix cut overwrites them.
+  changed = false;
+  ASSERT_TRUE(pass->Apply(&*plan, &changed).ok());
+  EXPECT_FALSE(changed);
+}
+
+TEST(Placement, SubmitDoesNotRewritePlacedPlans) {
+  // Two adjacent filters would normally fuse; on a placed plan the
+  // rewriter must not run — placement annotations are tied to the exact
+  // plan shape they were computed for.
+  auto sink = std::make_shared<CountingSink>(EventSchema());
+  auto plan = Query::From(MakeSource(10))
+                  .Filter(Ge(Attribute("value"), Lit(2.0)))
+                  .Filter(Ge(Attribute("value"), Lit(4.0)))
+                  .To(sink)
+                  .Build();
+  ASSERT_TRUE(plan.ok());
+  AnnotateEdgePushdownPlacement(&*plan, kEdge, kCloud);
+  const Topology topo = Topology::SncbReference(1, 1e6, Millis(50));
+  EngineOptions options;  // optimizer ON (the default)
+  options.topology = &topo;
+  NodeEngine engine(options);
+  auto id = engine.Submit(std::move(*plan));
+  ASSERT_TRUE(id.ok());
+  auto text = engine.Explain(*id);
+  ASSERT_TRUE(text.ok());
+  // Both filters survive, still carrying their placement annotations.
+  const std::string& optimized = text->optimized;
+  size_t first = optimized.find("Filter(");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_NE(optimized.find("Filter(", first + 1), std::string::npos);
+  EXPECT_NE(optimized.find("@node2"), std::string::npos);
+  ASSERT_TRUE(engine.RunToCompletion(*id).ok());
+  EXPECT_EQ(sink->events(), 6u);  // values 4..9
+}
+
+TEST(PlacementPass, RejectsMismatchedMeasurements) {
+  const Topology topo = Topology::SncbReference(1, 1e6, Millis(50));
+  PlacementPassOptions options;
+  options.topology = &topo;
+  options.edge_node = kEdge;
+  options.cloud_node = kCloud;
+  options.source_bytes = 240;  // no measured operator entries at all
+  std::shared_ptr<CollectSink> high, agg;
+  auto plan = MakeFanOutPlan(10, &high, &agg);
+  ASSERT_TRUE(plan.ok());
+  bool changed = false;
+  const Status st =
+      MakePlacementPass(std::move(options))->Apply(&*plan, &changed);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Placement, PlacedAndUnplacedRunsAgree) {
+  // Reference: the fan-out plan without any placement.
+  std::shared_ptr<CollectSink> high_ref, agg_ref;
+  auto ref_plan = MakeFanOutPlan(40, &high_ref, &agg_ref);
+  ASSERT_TRUE(ref_plan.ok());
+  ASSERT_TRUE(MeasureRun(std::move(*ref_plan)).ok());
+
+  // Placed: full edge pushdown, executed over real network channels.
+  const Topology topo = Topology::SncbReference(1, 1e6, Millis(50));
+  std::shared_ptr<CollectSink> high, agg;
+  auto placed_plan = MakeFanOutPlan(40, &high, &agg);
+  ASSERT_TRUE(placed_plan.ok());
+  AnnotateEdgePushdownPlacement(&*placed_plan, kEdge, kCloud);
+  ASSERT_TRUE(MeasureRun(std::move(*placed_plan), &topo).ok());
+
+  // Every row of every sink must match: the channels serialized,
+  // shipped and reconstructed the exact same records (watermarks
+  // included — the window aggregate fires identically).
+  EXPECT_EQ(high->Rows(), high_ref->Rows());
+  EXPECT_EQ(agg->Rows(), agg_ref->Rows());
+  EXPECT_FALSE(agg->Rows().empty());
+}
+
+TEST(Placement, ChannelCountersMatchLegacyPricingOnLinearChain) {
+  auto build = [](std::shared_ptr<CollectSink>* sink) {
+    auto plan = Query::From(MakeSource(100))
+                    .Filter(Ge(Attribute("value"), Lit(2.0)))
+                    .Map("scaled", Mul(Attribute("value"), Lit(2.0)))
+                    .Build();
+    if (!plan.ok()) return plan;
+    auto schema = plan->OutputSchema();
+    if (!schema.ok()) return Result<LogicalPlan>(schema.status());
+    *sink = std::make_shared<CollectSink>(*schema);
+    plan->SetSink(*sink);
+    return plan;
+  };
+  std::shared_ptr<CollectSink> sink;
+  auto measured_plan = build(&sink);
+  ASSERT_TRUE(measured_plan.ok()) << measured_plan.status().ToString();
+  auto stats = MeasureRun(std::move(*measured_plan));
+  ASSERT_TRUE(stats.ok());
+
+  // Legacy post-hoc pricing of the cut after the filter.
+  const Topology topo = Topology::SncbReference(1, 1e6, Millis(50));
+  Placement cut_after_filter;
+  cut_after_filter.node_of[-1] = kEdge;
+  cut_after_filter.node_of[0] = kEdge;   // Filter
+  cut_after_filter.node_of[1] = kCloud;  // Map
+  cut_after_filter.node_of[2] = kCloud;  // Sink
+  auto priced = SimulateDeployment(topo, stats->operator_stats,
+                                   stats->bytes_ingested, cut_after_filter);
+  ASSERT_TRUE(priced.ok()) << priced.status().ToString();
+
+  // Executed deployment of the same cut, measured from channel traffic.
+  auto placed_plan = build(&sink);
+  ASSERT_TRUE(placed_plan.ok());
+  placed_plan->set_source_placement(kEdge);
+  placed_plan->mutable_ops()[0]->set_placement(kEdge);
+  placed_plan->mutable_ops()[1]->set_placement(kCloud);
+  placed_plan->mutable_ops()[2]->set_placement(kCloud);
+  EngineOptions engine_options;
+  engine_options.optimizer.enable = false;
+  engine_options.topology = &topo;
+  NodeEngine engine(engine_options);
+  auto id = engine.Submit(std::move(*placed_plan));
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  ASSERT_TRUE(engine.RunToCompletion(*id).ok());
+  auto measured = engine.Deployment(*id);
+  ASSERT_TRUE(measured.ok()) << measured.status().ToString();
+
+  // Channel payload byte counters reproduce the legacy pricing exactly.
+  EXPECT_EQ(measured->link_bytes, priced->link_bytes);
+  EXPECT_EQ(measured->uplink_bytes, priced->uplink_bytes);
+  EXPECT_GT(measured->uplink_bytes, 0u);
+  // The wire adds exactly one frame header per shipped frame.
+  ASSERT_GT(measured->frames, 0u);
+  EXPECT_EQ(measured->wire_bytes,
+            measured->uplink_bytes + measured->frames * 24);
+}
+
+TEST(Placement, UnplacedQueryReportsNoTraffic) {
+  std::shared_ptr<CollectSink> high, agg;
+  auto plan = MakeFanOutPlan(10, &high, &agg);
+  ASSERT_TRUE(plan.ok());
+  NodeEngine engine;
+  auto id = engine.Submit(std::move(*plan));
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(engine.RunToCompletion(*id).ok());
+  auto report = engine.Deployment(*id);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->uplink_bytes, 0u);
+  EXPECT_EQ(report->frames, 0u);
+  EXPECT_TRUE(report->link_bytes.empty());
+}
+
+}  // namespace
+}  // namespace nebulameos::nebula

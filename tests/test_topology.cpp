@@ -133,6 +133,84 @@ TEST(Deployment, MissingLinkOrPlacementErrors) {
   EXPECT_FALSE(SimulateDeployment(topo, chain, 100, incomplete).ok());
 }
 
+// Regression: AddLink used to accept duplicate (from, to) pairs, leaving
+// GetLink to silently return whichever was registered first.
+TEST(Topology, AddLinkRejectsDuplicates) {
+  Topology topo;
+  ASSERT_TRUE(topo.AddNode({1, NodeKind::kEdgeWorker, "a", 1.0}).ok());
+  ASSERT_TRUE(topo.AddNode({2, NodeKind::kCloudWorker, "b", 1.0}).ok());
+  ASSERT_TRUE(topo.AddLink({1, 2, 1e6, Millis(10)}).ok());
+  const Status dup = topo.AddLink({1, 2, 5e6, Millis(1)});
+  EXPECT_EQ(dup.code(), StatusCode::kAlreadyExists);
+  // The reverse direction is a different link and stays addable.
+  EXPECT_TRUE(topo.AddLink({2, 1, 1e6, Millis(10)}).ok());
+  ASSERT_EQ(topo.links().size(), 2u);
+  EXPECT_DOUBLE_EQ(topo.GetLink(1, 2)->bandwidth_bytes_per_sec, 1e6);
+}
+
+TEST(Topology, ShortestPathFindsMultiHopRoute) {
+  const Topology topo = Topology::SncbReference(2, 1e6, Millis(60));
+  // Train (2) reaches the coordinator (0) only via the cloud worker (1).
+  auto route = topo.ShortestPath(2, 0);
+  ASSERT_TRUE(route.ok()) << route.status().ToString();
+  ASSERT_EQ(route->size(), 2u);
+  EXPECT_EQ((*route)[0].from, 2);
+  EXPECT_EQ((*route)[0].to, 1);
+  EXPECT_EQ((*route)[1].from, 1);
+  EXPECT_EQ((*route)[1].to, 0);
+  // Train-to-train relays through the cloud worker (2 -> 1 -> 3).
+  auto relay = topo.ShortestPath(2, 3);
+  ASSERT_TRUE(relay.ok()) << relay.status().ToString();
+  EXPECT_EQ(relay->size(), 2u);
+  // Unknown endpoints fail; self-routes are empty.
+  EXPECT_FALSE(topo.ShortestPath(2, 99).ok());
+  auto self = topo.ShortestPath(1, 1);
+  ASSERT_TRUE(self.ok());
+  EXPECT_TRUE(self->empty());
+}
+
+// Regression: SimulateDeployment returned NotFound whenever two placed
+// operators lacked a *direct* link — any placement on the coordinator
+// failed because SncbReference only links trains to the cloud worker.
+TEST(Deployment, RoutesOverMultiHopPaths) {
+  const Topology topo = Topology::SncbReference(1, 1e6, Millis(50));
+  const uint64_t source_bytes = 1'000'000;
+  OperatorStats sink;
+  std::vector<std::pair<std::string, OperatorStats>> chain = {
+      {"CountingSink", sink}};
+  Placement placement;
+  placement.node_of[-1] = 2;  // train
+  placement.node_of[0] = 0;   // coordinator: no direct train link
+  auto report = SimulateDeployment(topo, chain, source_bytes, placement);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  // Both hops carried the stream; the cellular hop counts as uplink once.
+  EXPECT_EQ(report->link_bytes.at({2, 1}), source_bytes);
+  EXPECT_EQ(report->link_bytes.at({1, 0}), source_bytes);
+  EXPECT_EQ(report->uplink_bytes, source_bytes);
+  // Transfer time: 1 MB at 1 MB/s + 50 ms, then 1 MB at 1 GB/s + 1 ms.
+  EXPECT_NEAR(report->total_transfer_seconds, 1.0 + 0.05 + 0.001 + 0.001,
+              1e-9);
+}
+
+// Regression: byte-count ties used to break toward the earliest cut,
+// keeping operators in the cloud when a deeper cut ships the same bytes.
+TEST(Topology, OptimizeCutPrefersDeepestTiedCut) {
+  // Filter and Map both emit exactly 100 KB: cutting after either ships
+  // the same bytes, so the map belongs on the edge too.
+  OperatorStats filter;
+  filter.bytes_out = 100'000;
+  OperatorStats map;
+  map.bytes_out = 100'000;
+  std::vector<std::pair<std::string, OperatorStats>> chain = {
+      {"Filter", filter}, {"Map", map}, {"CountingSink", OperatorStats{}}};
+  uint64_t uplink = 0;
+  const Placement p = OptimizeCutPlacement(chain, 10'000'000, 2, 1, &uplink);
+  EXPECT_EQ(uplink, 100'000u);
+  EXPECT_EQ(p.NodeOf(0), 2);  // filter on the edge
+  EXPECT_EQ(p.NodeOf(1), 2);  // tied map pushed down too
+  EXPECT_EQ(p.NodeOf(2), 1);  // sink in the cloud
+}
+
 TEST(Deployment, SameNodeTransfersAreFree) {
   Topology topo;
   ASSERT_TRUE(topo.AddNode({1, NodeKind::kEdgeWorker, "edge", 1.0}).ok());
