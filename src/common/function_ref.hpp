@@ -1,0 +1,53 @@
+/// \file function_ref.hpp
+/// \brief A non-owning, trivially-copyable callable reference.
+///
+/// `FunctionRef<R(Args...)>` is two words: a pointer to the referenced
+/// callable and a thunk that invokes it. Unlike `std::function` it never
+/// allocates, never copies the target, and costs one indirect call — which
+/// is why the engine's per-emit hand-off between pipeline operators uses it
+/// (operator.hpp): the emit callable used to be re-wrapped into a
+/// `std::function` on every operator hop of every buffer.
+///
+/// The referenced callable must outlive the `FunctionRef`. Binding a
+/// temporary lambda at a call site is safe (temporaries live to the end of
+/// the full expression); *storing* a `FunctionRef` beyond the statement
+/// that created it is not.
+
+#pragma once
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace nebulameos {
+
+template <typename Signature>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit by design, like
+  // std::function — call sites pass lambdas directly.
+  FunctionRef(F&& f)
+      : obj_(const_cast<void*>(
+            static_cast<const void*>(std::addressof(f)))),
+        invoke_([](void* obj, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(obj))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return invoke_(obj_, std::forward<Args>(args)...);
+  }
+
+ private:
+  void* obj_;
+  R (*invoke_)(void*, Args...);
+};
+
+}  // namespace nebulameos

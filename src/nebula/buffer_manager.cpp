@@ -26,6 +26,7 @@ TupleBufferPtr BufferManager::Acquire() {
   cv_.wait(lock, [this] { return !free_.empty(); });
   auto buf = std::move(free_.back());
   free_.pop_back();
+  ++total_acquired_;
   lock.unlock();
   return Wrap(std::move(buf));
 }
@@ -35,6 +36,7 @@ TupleBufferPtr BufferManager::TryAcquire() {
   if (free_.empty()) return nullptr;
   auto buf = std::move(free_.back());
   free_.pop_back();
+  ++total_acquired_;
   lock.unlock();
   return Wrap(std::move(buf));
 }
@@ -42,6 +44,11 @@ TupleBufferPtr BufferManager::TryAcquire() {
 size_t BufferManager::available() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return free_.size();
+}
+
+uint64_t BufferManager::total_acquired() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_acquired_;
 }
 
 TupleBufferPtr BufferManager::Wrap(std::unique_ptr<TupleBuffer> buf) {

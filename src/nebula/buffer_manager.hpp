@@ -33,6 +33,12 @@ class BufferManager : public std::enable_shared_from_this<BufferManager> {
   /// Buffers currently available in the pool.
   size_t available() const;
 
+  /// Total `Acquire`/`TryAcquire` hand-outs over the pool's lifetime —
+  /// the pool-accounting counter behind the zero-copy fan-out tests: a
+  /// branch hand-off must not draw new buffers, so this must not scale
+  /// with branch count.
+  uint64_t total_acquired() const;
+
   /// Total buffers owned by the pool.
   size_t pool_size() const { return pool_size_; }
 
@@ -51,6 +57,7 @@ class BufferManager : public std::enable_shared_from_this<BufferManager> {
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::vector<std::unique_ptr<TupleBuffer>> free_;
+  uint64_t total_acquired_ = 0;
 };
 
 }  // namespace nebulameos::nebula

@@ -87,36 +87,28 @@ struct NodeEngine::RunningQuery {
   // Plan renderings captured at submission (the plan is consumed).
   QueryPlanText plan_text;
 
-  // Pushes a buffer through segment operators [from..] and onward: into
-  // the sink at a leaf, or once into each branch at a fan-out (the first
-  // branch reuses the buffer, the others get isolated copies — the shared
-  // prefix ran exactly once).
+  // Pushes a batch through segment operators [from..] and onward: into
+  // the sink at a leaf, or once into each branch at a fan-out. Every
+  // branch receives the *same* sealed batch — buffers are immutable after
+  // seal and branch filters refine selection vectors instead of mutating,
+  // so the hand-off is zero-copy (no per-branch copies, no pool draw).
   Status PushThrough(CompiledPipeline* seg, size_t from,
-                     const TupleBufferPtr& buf) {
+                     const exec::Batch& batch) {
     if (from >= seg->operators.size()) {
       if (seg->branches.empty()) {
-        return seg->sink->Process(buf, [](const TupleBufferPtr&) {});
+        return seg->sink->ProcessBatch(batch, [](const exec::Batch&) {});
       }
-      for (size_t b = 0; b < seg->branches.size(); ++b) {
-        TupleBufferPtr handoff = buf;
-        if (b > 0) {
-          handoff = ctx->Allocate(buf->schema());
-          if (!handoff->CopyContentsFrom(*buf)) {
-            return Status::Internal(
-                "fan-out hand-off buffer too small for " +
-                std::to_string(buf->size()) + " records");
-          }
-        }
-        NM_RETURN_NOT_OK(PushThrough(&seg->branches[b], 0, handoff));
+      for (CompiledPipeline& branch : seg->branches) {
+        NM_RETURN_NOT_OK(PushThrough(&branch, 0, batch));
       }
       return Status::OK();
     }
     Status inner = Status::OK();
-    Status s = seg->operators[from]->Process(
-        buf, [this, seg, from, &inner](const TupleBufferPtr& out) {
-          Status st = PushThrough(seg, from + 1, out);
-          if (!st.ok() && inner.ok()) inner = st;
-        });
+    auto forward = [this, seg, from, &inner](const exec::Batch& out) {
+      Status st = PushThrough(seg, from + 1, out);
+      if (!st.ok() && inner.ok()) inner = st;
+    };
+    Status s = seg->operators[from]->ProcessBatch(batch, forward);
     if (!s.ok()) return s;
     return inner;
   }
@@ -127,11 +119,12 @@ struct NodeEngine::RunningQuery {
   Status FinishSegment(CompiledPipeline* seg) {
     for (size_t i = 0; i < seg->operators.size(); ++i) {
       Status inner = Status::OK();
-      Status s = seg->operators[i]->Finish(
-          [this, seg, i, &inner](const TupleBufferPtr& out) {
-            Status st = PushThrough(seg, i + 1, out);
-            if (!st.ok() && inner.ok()) inner = st;
-          });
+      auto forward = [this, seg, i, &inner](const TupleBufferPtr& out) {
+        out->Seal();
+        Status st = PushThrough(seg, i + 1, exec::Batch(out));
+        if (!st.ok() && inner.ok()) inner = st;
+      };
+      Status s = seg->operators[i]->Finish(forward);
       if (!s.ok()) return s;
       if (!inner.ok()) return inner;
     }
@@ -181,9 +174,11 @@ Result<int> NodeEngine::Submit(LogicalPlan plan) {
     NM_RETURN_NOT_OK(rewriter.Rewrite(&plan));
   }
   rq->plan_text.optimized = plan.Explain();
+  CompileOptions compile_options;
+  compile_options.compiled_kernels = options_.compiled_kernels;
   NM_ASSIGN_OR_RETURN(rq->pipeline,
                       CompilePlan(plan.source()->schema(), plan,
-                                  options_.topology));
+                                  options_.topology, compile_options));
   rq->source = plan.TakeSource();
   rq->ctx = std::make_unique<ExecutionContext>(options_.tuples_per_buffer,
                                                options_.pool_size);
@@ -220,7 +215,10 @@ void NodeEngine::SourceLoop(RunningQuery* rq) {
     }
     rq->events_ingested.fetch_add(buf->size());
     rq->bytes_ingested.fetch_add(buf->SizeBytes());
-    if (!buf->empty()) rq->queue->Push(std::move(buf));
+    if (!buf->empty()) {
+      buf->Seal();
+      rq->queue->Push(std::move(buf));
+    }
     if (!*more) break;
   }
   rq->queue->Close();
@@ -233,7 +231,7 @@ void NodeEngine::RunLoop(RunningQuery* rq) {
     while (true) {
       TupleBufferPtr buf = rq->queue->Pop();
       if (!buf) break;
-      status = rq->PushThrough(&rq->pipeline, 0, buf);
+      status = rq->PushThrough(&rq->pipeline, 0, exec::Batch(std::move(buf)));
       if (!status.ok() || rq->cancel.load()) break;
     }
     // The queue only closes after the source thread recorded its status.
@@ -251,7 +249,9 @@ void NodeEngine::RunLoop(RunningQuery* rq) {
       rq->events_ingested.fetch_add(buf->size());
       rq->bytes_ingested.fetch_add(buf->SizeBytes());
       if (!buf->empty()) {
-        status = rq->PushThrough(&rq->pipeline, 0, buf);
+        buf->Seal();
+        status =
+            rq->PushThrough(&rq->pipeline, 0, exec::Batch(std::move(buf)));
         if (!status.ok()) break;
       }
       if (!*more) break;
@@ -344,12 +344,15 @@ Result<QueryStats> NodeEngine::Stats(int query_id) const {
   } else if (rq->started.load()) {
     stats.elapsed_micros = MonotonicNowMicros() - rq->started_at;
   }
+  stats.buffers_acquired = rq->ctx->TotalBuffersAcquired();
   // Depth-first over the pipeline tree: operators keyed by DAG path, one
-  // SinkStats entry per leaf, emitted totals summed across sinks.
+  // SinkStats entry per leaf, emitted totals summed across sinks. Fused
+  // batch-kernel operators expand to one entry per fused stage, so the
+  // sequence matches the logical plan shape either way.
   ForEachSegment(rq->pipeline, [&stats](const CompiledPipeline& seg) {
     const std::string prefix = seg.path.empty() ? "" : seg.path + "/";
     for (const OperatorPtr& op : seg.operators) {
-      stats.operator_stats.emplace_back(prefix + op->name(), op->stats());
+      op->AppendStats(prefix, &stats.operator_stats);
     }
     if (seg.sink) {
       stats.operator_stats.emplace_back(prefix + seg.sink->name(),

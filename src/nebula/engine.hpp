@@ -3,11 +3,14 @@
 ///
 /// Each submitted query compiles into one fused pipeline tree (source →
 /// operator chain → sink, or → fan-out → branch pipelines). Execution is
-/// pull-based: the query's worker thread fills a buffer from the source
-/// and pushes it through the chain without intermediate queueing —
+/// pull-based: the query's worker thread fills a buffer from the source,
+/// seals it, and pushes it through the chain as a *batch* (buffer +
+/// selection vector, exec/batch.hpp) without intermediate queueing —
 /// NebulaStream's pipeline model. At a fan-out the shared prefix executes
-/// *once* per buffer; each branch pipeline receives its own copy of the
-/// prefix output, so several sinks (alerting + archival) ride one ingest.
+/// *once* per buffer and every branch receives the *same* sealed batch
+/// (zero-copy; selection vectors keep branch filtering independent), so
+/// several sinks (alerting + archival) ride one ingest without the
+/// hand-off copies the engine used to pay per branch.
 /// An optional *pipelined* mode decouples source and processing onto two
 /// threads with a bounded hand-off queue (backpressure). Multiple queries
 /// run concurrently on their own threads.
@@ -44,6 +47,11 @@ struct QueryStats {
   uint64_t events_emitted = 0;
   uint64_t bytes_emitted = 0;
   int64_t elapsed_micros = 0;
+  /// Pooled buffers drawn across every schema pool of the query — the
+  /// allocation-accounting number: zero-copy fan-out means this does not
+  /// scale with branch count, and selection-vector filtering means
+  /// filters draw nothing at all.
+  uint64_t buffers_acquired = 0;
 
   /// Ingested events per second of wall-clock run time.
   double EventsPerSecond() const {
@@ -80,6 +88,12 @@ struct EngineOptions {
   /// Logical-plan rewrite configuration; `optimizer.enable = false`
   /// submits plans verbatim (A/B benchmarking, debugging).
   OptimizerOptions optimizer;
+  /// Lower Filter→Map→Project runs to fused batch kernels at compile time
+  /// (`CompileOptions::compiled_kernels`). False forces the interpreted
+  /// `Expression::Eval` path everywhere — the A/B switch the benches use
+  /// to quantify the compiled-kernel win. Expressions the compiler
+  /// refuses fall back to the interpreter either way.
+  bool compiled_kernels = true;
   /// Simulated topology for placed plans (non-owning; must outlive the
   /// engine). When set, submitted plans carrying placement annotations
   /// lower their node transitions to network-channel operator pairs and

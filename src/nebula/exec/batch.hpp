@@ -1,0 +1,92 @@
+/// \file batch.hpp
+/// \brief The selection-vector batch contract between pipeline operators.
+///
+/// A `Batch` is the unit the engine pushes through a compiled pipeline: a
+/// shared, sealed `TupleBuffer` plus an optional *selection vector* naming
+/// the surviving row indices. Filters refine the selection instead of
+/// copying survivors into a fresh buffer (DuckDB-style vectorized
+/// filtering), and a fan-out hands the *same* batch to every branch — the
+/// immutable-after-seal buffer contract (tuple_buffer.hpp) is what makes
+/// that sharing safe without copies.
+///
+/// Selection-aware operators consume batches natively; legacy operators
+/// fall back to `Operator::ProcessBatch`'s default, which materializes a
+/// partial selection into a pooled buffer first (one gather, the same cost
+/// the old copy-per-operator path paid on every hop).
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "nebula/tuple_buffer.hpp"
+
+namespace nebulameos::nebula {
+class ExecutionContext;
+}  // namespace nebulameos::nebula
+
+namespace nebulameos::nebula::exec {
+
+/// Row indices into a `TupleBuffer`, ascending. Shared read-only across
+/// fan-out branches.
+using SelectionVector = std::vector<uint32_t>;
+using SelectionPtr = std::shared_ptr<const SelectionVector>;
+
+/// \brief One unit of batch data flow: a sealed buffer plus the selection
+/// of rows that are logically present (null selection = every row).
+struct Batch {
+  TupleBufferPtr data;
+  SelectionPtr selection;
+
+  Batch() = default;
+  explicit Batch(TupleBufferPtr d, SelectionPtr sel = nullptr)
+      : data(std::move(d)), selection(std::move(sel)) {}
+
+  /// True when every row of `data` is selected.
+  bool IsFull() const { return selection == nullptr; }
+
+  /// Number of logically present rows.
+  size_t NumRows() const {
+    return selection ? selection->size() : (data ? data->size() : 0);
+  }
+
+  /// Physical row index of logical row \p i.
+  size_t RowAt(size_t i) const {
+    return selection ? (*selection)[i] : i;
+  }
+
+  /// Bytes occupied by the selected rows (the flow-accounting size).
+  size_t SizeBytes() const {
+    return data ? NumRows() * data->schema().record_size() : 0;
+  }
+};
+
+/// Moves a *partial* selection out of \p scratch into a batch sharing
+/// \p in's buffer, leaving \p scratch empty and reusable — the one
+/// allocation a selection-refining filter pays, and only when the result
+/// is neither empty nor fully selective (callers handle those cases
+/// first, allocation-free).
+inline Batch TakePartialSelection(SelectionVector* scratch, const Batch& in) {
+  Batch out(in.data,
+            std::make_shared<SelectionVector>(std::move(*scratch)));
+  *scratch = SelectionVector();
+  return out;
+}
+
+/// Allocates a pooled output buffer of \p out_schema sized to hold every
+/// selected row of \p batch, with the batch's stream metadata (sequence
+/// number, watermark) carried over — the shared preamble of every
+/// materialization. Fails when the rows exceed the pool's buffer shape.
+/// The caller fills the buffer and seals it before emitting.
+Result<TupleBufferPtr> AllocateOutputFor(const Batch& batch,
+                                         const Schema& out_schema,
+                                         ExecutionContext* ctx);
+
+/// Gathers \p batch's selected rows into a fresh pooled buffer of the same
+/// schema (metadata copied, buffer sealed) — the bridge legacy operators
+/// pay when a partial selection reaches them.
+Result<TupleBufferPtr> MaterializeBatch(const Batch& batch,
+                                        ExecutionContext* ctx);
+
+}  // namespace nebulameos::nebula::exec

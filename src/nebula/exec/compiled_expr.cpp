@@ -1,0 +1,513 @@
+#include "nebula/exec/compiled_expr.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <cstring>
+#include <type_traits>
+
+#include "nebula/exec/batch.hpp"
+
+namespace nebulameos::nebula::exec {
+
+RowSpan SpanOf(const TupleBuffer& buffer, const SelectionVector* sel) {
+  RowSpan span;
+  span.base = buffer.empty() ? nullptr : buffer.At(0).data();
+  span.stride = buffer.schema().record_size();
+  span.sel = sel != nullptr ? sel->data() : nullptr;
+  span.count = sel != nullptr ? sel->size() : buffer.size();
+  return span;
+}
+
+void ScalarKernel::EvalBool(const RowSpan&, uint8_t*) const {
+  assert(false && "kernel is not bool-typed");
+}
+void ScalarKernel::EvalInt64(const RowSpan&, int64_t*) const {
+  assert(false && "kernel is not int64-typed");
+}
+void ScalarKernel::EvalDouble(const RowSpan&, double*) const {
+  assert(false && "kernel is not double-typed");
+}
+
+namespace {
+
+template <typename T>
+T* Retype(std::vector<uint8_t>* bytes, size_t count) {
+  bytes->resize(count * sizeof(T));
+  return reinterpret_cast<T*>(bytes->data());
+}
+
+}  // namespace
+
+void ScalarKernel::EvalAsDouble(const RowSpan& rows, double* out) const {
+  switch (type_) {
+    case KernelType::kDouble:
+      EvalDouble(rows, out);
+      return;
+    case KernelType::kInt64: {
+      int64_t* tmp = Retype<int64_t>(&convert_scratch_, rows.count);
+      EvalInt64(rows, tmp);
+      for (size_t i = 0; i < rows.count; ++i) {
+        out[i] = static_cast<double>(tmp[i]);
+      }
+      return;
+    }
+    case KernelType::kBool: {
+      uint8_t* tmp = Retype<uint8_t>(&convert_scratch_, rows.count);
+      EvalBool(rows, tmp);
+      for (size_t i = 0; i < rows.count; ++i) {
+        out[i] = tmp[i] != 0 ? 1.0 : 0.0;
+      }
+      return;
+    }
+  }
+}
+
+void ScalarKernel::EvalAsInt64(const RowSpan& rows, int64_t* out) const {
+  switch (type_) {
+    case KernelType::kInt64:
+      EvalInt64(rows, out);
+      return;
+    case KernelType::kDouble: {
+      double* tmp = Retype<double>(&convert_scratch_, rows.count);
+      EvalDouble(rows, tmp);
+      for (size_t i = 0; i < rows.count; ++i) {
+        out[i] = static_cast<int64_t>(tmp[i]);
+      }
+      return;
+    }
+    case KernelType::kBool: {
+      uint8_t* tmp = Retype<uint8_t>(&convert_scratch_, rows.count);
+      EvalBool(rows, tmp);
+      for (size_t i = 0; i < rows.count; ++i) {
+        out[i] = tmp[i] != 0 ? 1 : 0;
+      }
+      return;
+    }
+  }
+}
+
+void ScalarKernel::EvalAsBool(const RowSpan& rows, uint8_t* out) const {
+  switch (type_) {
+    case KernelType::kBool:
+      EvalBool(rows, out);
+      return;
+    case KernelType::kInt64: {
+      int64_t* tmp = Retype<int64_t>(&convert_scratch_, rows.count);
+      EvalInt64(rows, tmp);
+      for (size_t i = 0; i < rows.count; ++i) {
+        out[i] = tmp[i] != 0 ? 1 : 0;
+      }
+      return;
+    }
+    case KernelType::kDouble: {
+      double* tmp = Retype<double>(&convert_scratch_, rows.count);
+      EvalDouble(rows, tmp);
+      for (size_t i = 0; i < rows.count; ++i) {
+        out[i] = tmp[i] != 0.0 ? 1 : 0;
+      }
+      return;
+    }
+  }
+}
+
+namespace {
+
+// --- Leaves -----------------------------------------------------------------
+
+class LoadBoolKernel final : public ScalarKernel {
+ public:
+  explicit LoadBoolKernel(size_t offset)
+      : ScalarKernel(KernelType::kBool), offset_(offset) {}
+
+  void EvalBool(const RowSpan& rows, uint8_t* out) const override {
+    if (rows.sel == nullptr) {
+      const uint8_t* p = rows.base + offset_;
+      for (size_t i = 0; i < rows.count; ++i, p += rows.stride) {
+        out[i] = *p != 0 ? 1 : 0;
+      }
+      return;
+    }
+    for (size_t i = 0; i < rows.count; ++i) {
+      out[i] = *(rows.Row(i) + offset_) != 0 ? 1 : 0;
+    }
+  }
+
+ private:
+  size_t offset_;
+};
+
+// Tight strided load shared by the typed leaf kernels. Each kernel
+// overrides only its native Eval method, so a type-mismatched call still
+// hits the asserting ScalarKernel default.
+template <typename T>
+void LoadColumn(const RowSpan& rows, size_t offset, T* out) {
+  if (rows.sel == nullptr) {
+    const uint8_t* p = rows.base + offset;
+    for (size_t i = 0; i < rows.count; ++i, p += rows.stride) {
+      std::memcpy(&out[i], p, sizeof(T));
+    }
+    return;
+  }
+  for (size_t i = 0; i < rows.count; ++i) {
+    std::memcpy(&out[i], rows.Row(i) + offset, sizeof(T));
+  }
+}
+
+class LoadInt64Kernel final : public ScalarKernel {
+ public:
+  explicit LoadInt64Kernel(size_t offset)
+      : ScalarKernel(KernelType::kInt64), offset_(offset) {}
+  void EvalInt64(const RowSpan& rows, int64_t* out) const override {
+    LoadColumn(rows, offset_, out);
+  }
+
+ private:
+  size_t offset_;
+};
+
+class LoadDoubleKernel final : public ScalarKernel {
+ public:
+  explicit LoadDoubleKernel(size_t offset)
+      : ScalarKernel(KernelType::kDouble), offset_(offset) {}
+  void EvalDouble(const RowSpan& rows, double* out) const override {
+    LoadColumn(rows, offset_, out);
+  }
+
+ private:
+  size_t offset_;
+};
+
+class ConstBoolKernel final : public ScalarKernel {
+ public:
+  explicit ConstBoolKernel(bool v)
+      : ScalarKernel(KernelType::kBool), v_(v ? 1 : 0) {}
+  void EvalBool(const RowSpan& rows, uint8_t* out) const override {
+    std::memset(out, v_, rows.count);
+  }
+
+ private:
+  uint8_t v_;
+};
+
+class ConstInt64Kernel final : public ScalarKernel {
+ public:
+  explicit ConstInt64Kernel(int64_t v)
+      : ScalarKernel(KernelType::kInt64), v_(v) {}
+  void EvalInt64(const RowSpan& rows, int64_t* out) const override {
+    for (size_t i = 0; i < rows.count; ++i) out[i] = v_;
+  }
+
+ private:
+  int64_t v_;
+};
+
+class ConstDoubleKernel final : public ScalarKernel {
+ public:
+  explicit ConstDoubleKernel(double v)
+      : ScalarKernel(KernelType::kDouble), v_(v) {}
+  void EvalDouble(const RowSpan& rows, double* out) const override {
+    for (size_t i = 0; i < rows.count; ++i) out[i] = v_;
+  }
+
+ private:
+  double v_;
+};
+
+// --- Arithmetic -------------------------------------------------------------
+
+class ArithInt64Kernel final : public ScalarKernel {
+ public:
+  ArithInt64Kernel(ArithOp op, KernelPtr lhs, KernelPtr rhs)
+      : ScalarKernel(KernelType::kInt64),
+        op_(op),
+        lhs_(std::move(lhs)),
+        rhs_(std::move(rhs)) {}
+
+  void EvalInt64(const RowSpan& rows, int64_t* out) const override {
+    a_.resize(rows.count);
+    b_.resize(rows.count);
+    lhs_->EvalAsInt64(rows, a_.data());
+    rhs_->EvalAsInt64(rows, b_.data());
+    switch (op_) {
+      case ArithOp::kAdd:
+        for (size_t i = 0; i < rows.count; ++i) out[i] = a_[i] + b_[i];
+        return;
+      case ArithOp::kSub:
+        for (size_t i = 0; i < rows.count; ++i) out[i] = a_[i] - b_[i];
+        return;
+      case ArithOp::kMul:
+        for (size_t i = 0; i < rows.count; ++i) out[i] = a_[i] * b_[i];
+        return;
+      case ArithOp::kMod:
+        for (size_t i = 0; i < rows.count; ++i) {
+          out[i] = b_[i] == 0 ? 0 : a_[i] % b_[i];
+        }
+        return;
+      case ArithOp::kDiv:
+        // int_result_ is never true for division (ArithExpr::Bind).
+        assert(false && "integer division kernel");
+        return;
+    }
+  }
+
+ private:
+  ArithOp op_;
+  KernelPtr lhs_;
+  KernelPtr rhs_;
+  mutable std::vector<int64_t> a_, b_;
+};
+
+class ArithDoubleKernel final : public ScalarKernel {
+ public:
+  ArithDoubleKernel(ArithOp op, KernelPtr lhs, KernelPtr rhs)
+      : ScalarKernel(KernelType::kDouble),
+        op_(op),
+        lhs_(std::move(lhs)),
+        rhs_(std::move(rhs)) {}
+
+  void EvalDouble(const RowSpan& rows, double* out) const override {
+    a_.resize(rows.count);
+    b_.resize(rows.count);
+    lhs_->EvalAsDouble(rows, a_.data());
+    rhs_->EvalAsDouble(rows, b_.data());
+    switch (op_) {
+      case ArithOp::kAdd:
+        for (size_t i = 0; i < rows.count; ++i) out[i] = a_[i] + b_[i];
+        return;
+      case ArithOp::kSub:
+        for (size_t i = 0; i < rows.count; ++i) out[i] = a_[i] - b_[i];
+        return;
+      case ArithOp::kMul:
+        for (size_t i = 0; i < rows.count; ++i) out[i] = a_[i] * b_[i];
+        return;
+      case ArithOp::kDiv:
+        for (size_t i = 0; i < rows.count; ++i) {
+          out[i] = b_[i] == 0.0 ? 0.0 : a_[i] / b_[i];
+        }
+        return;
+      case ArithOp::kMod:
+        for (size_t i = 0; i < rows.count; ++i) {
+          out[i] = b_[i] == 0.0 ? 0.0 : std::fmod(a_[i], b_[i]);
+        }
+        return;
+    }
+  }
+
+ private:
+  ArithOp op_;
+  KernelPtr lhs_;
+  KernelPtr rhs_;
+  mutable std::vector<double> a_, b_;
+};
+
+// --- Comparison and logic ---------------------------------------------------
+
+class CompareKernel final : public ScalarKernel {
+ public:
+  CompareKernel(CompareOp op, KernelPtr lhs, KernelPtr rhs)
+      : ScalarKernel(KernelType::kBool),
+        op_(op),
+        lhs_(std::move(lhs)),
+        rhs_(std::move(rhs)) {}
+
+  void EvalBool(const RowSpan& rows, uint8_t* out) const override {
+    a_.resize(rows.count);
+    b_.resize(rows.count);
+    lhs_->EvalAsDouble(rows, a_.data());
+    rhs_->EvalAsDouble(rows, b_.data());
+    switch (op_) {
+      case CompareOp::kLt:
+        for (size_t i = 0; i < rows.count; ++i) out[i] = a_[i] < b_[i];
+        return;
+      case CompareOp::kLe:
+        for (size_t i = 0; i < rows.count; ++i) out[i] = a_[i] <= b_[i];
+        return;
+      case CompareOp::kGt:
+        for (size_t i = 0; i < rows.count; ++i) out[i] = a_[i] > b_[i];
+        return;
+      case CompareOp::kGe:
+        for (size_t i = 0; i < rows.count; ++i) out[i] = a_[i] >= b_[i];
+        return;
+      case CompareOp::kEq:
+        for (size_t i = 0; i < rows.count; ++i) out[i] = a_[i] == b_[i];
+        return;
+      case CompareOp::kNe:
+        for (size_t i = 0; i < rows.count; ++i) out[i] = a_[i] != b_[i];
+        return;
+    }
+  }
+
+ private:
+  CompareOp op_;
+  KernelPtr lhs_;
+  KernelPtr rhs_;
+  mutable std::vector<double> a_, b_;
+};
+
+class LogicalKernel final : public ScalarKernel {
+ public:
+  LogicalKernel(bool is_and, KernelPtr lhs, KernelPtr rhs)
+      : ScalarKernel(KernelType::kBool),
+        is_and_(is_and),
+        lhs_(std::move(lhs)),
+        rhs_(std::move(rhs)) {}
+
+  void EvalBool(const RowSpan& rows, uint8_t* out) const override {
+    a_.resize(rows.count);
+    b_.resize(rows.count);
+    // Both sides always evaluate (expressions are pure reads), which is
+    // observably identical to the interpreter's short-circuit.
+    lhs_->EvalAsBool(rows, a_.data());
+    rhs_->EvalAsBool(rows, b_.data());
+    if (is_and_) {
+      for (size_t i = 0; i < rows.count; ++i) out[i] = a_[i] & b_[i];
+    } else {
+      for (size_t i = 0; i < rows.count; ++i) out[i] = a_[i] | b_[i];
+    }
+  }
+
+ private:
+  bool is_and_;
+  KernelPtr lhs_;
+  KernelPtr rhs_;
+  mutable std::vector<uint8_t> a_, b_;
+};
+
+class NotKernel final : public ScalarKernel {
+ public:
+  explicit NotKernel(KernelPtr inner)
+      : ScalarKernel(KernelType::kBool), inner_(std::move(inner)) {}
+
+  void EvalBool(const RowSpan& rows, uint8_t* out) const override {
+    a_.resize(rows.count);
+    inner_->EvalAsBool(rows, a_.data());
+    for (size_t i = 0; i < rows.count; ++i) out[i] = a_[i] ^ 1;
+  }
+
+ private:
+  KernelPtr inner_;
+  mutable std::vector<uint8_t> a_;
+};
+
+// --- Extension-function bridge ----------------------------------------------
+
+class ScalarFnKernel final : public ScalarKernel {
+ public:
+  ScalarFnKernel(KernelType out_type, std::function<double(const double*)> fn,
+                 std::vector<KernelPtr> args, std::vector<double> const_args)
+      : ScalarKernel(out_type),
+        fn_(std::move(fn)),
+        args_(std::move(args)),
+        const_args_(std::move(const_args)),
+        cols_(args_.size()) {}
+
+  void EvalBool(const RowSpan& rows, uint8_t* out) const override {
+    EvalRows(rows, [out](size_t i, double r) { out[i] = r != 0.0 ? 1 : 0; });
+  }
+  void EvalInt64(const RowSpan& rows, int64_t* out) const override {
+    EvalRows(rows,
+             [out](size_t i, double r) { out[i] = static_cast<int64_t>(r); });
+  }
+  void EvalDouble(const RowSpan& rows, double* out) const override {
+    EvalRows(rows, [out](size_t i, double r) { out[i] = r; });
+  }
+
+ private:
+  template <typename Store>
+  void EvalRows(const RowSpan& rows, const Store& store) const {
+    const size_t arity = args_.size();
+    row_args_.resize(arity);
+    for (size_t a = 0; a < arity; ++a) {
+      if (args_[a] == nullptr) {
+        row_args_[a] = const_args_[a];
+        continue;
+      }
+      cols_[a].resize(rows.count);
+      args_[a]->EvalAsDouble(rows, cols_[a].data());
+    }
+    for (size_t i = 0; i < rows.count; ++i) {
+      for (size_t a = 0; a < arity; ++a) {
+        if (args_[a] != nullptr) row_args_[a] = cols_[a][i];
+      }
+      store(i, fn_(row_args_.data()));
+    }
+  }
+
+  std::function<double(const double*)> fn_;
+  std::vector<KernelPtr> args_;  ///< nullptr entries are constants
+  std::vector<double> const_args_;
+  mutable std::vector<std::vector<double>> cols_;
+  mutable std::vector<double> row_args_;
+};
+
+}  // namespace
+
+KernelPtr MakeLoadKernel(DataType type, size_t offset) {
+  switch (type) {
+    case DataType::kBool:
+      return std::make_unique<LoadBoolKernel>(offset);
+    case DataType::kInt64:
+    case DataType::kTimestamp:
+      return std::make_unique<LoadInt64Kernel>(offset);
+    case DataType::kDouble:
+      return std::make_unique<LoadDoubleKernel>(offset);
+    case DataType::kText16:
+    case DataType::kText32:
+      return nullptr;  // text stays on the interpreter
+  }
+  return nullptr;
+}
+
+KernelPtr MakeConstKernel(bool v) {
+  return std::make_unique<ConstBoolKernel>(v);
+}
+KernelPtr MakeConstKernel(int64_t v) {
+  return std::make_unique<ConstInt64Kernel>(v);
+}
+KernelPtr MakeConstKernel(double v) {
+  return std::make_unique<ConstDoubleKernel>(v);
+}
+
+KernelPtr MakeArithKernel(ArithOp op, bool int_result, KernelPtr lhs,
+                          KernelPtr rhs) {
+  if (lhs == nullptr || rhs == nullptr) return nullptr;
+  if (int_result) {
+    return std::make_unique<ArithInt64Kernel>(op, std::move(lhs),
+                                              std::move(rhs));
+  }
+  return std::make_unique<ArithDoubleKernel>(op, std::move(lhs),
+                                             std::move(rhs));
+}
+
+KernelPtr MakeCompareKernel(CompareOp op, KernelPtr lhs, KernelPtr rhs) {
+  if (lhs == nullptr || rhs == nullptr) return nullptr;
+  return std::make_unique<CompareKernel>(op, std::move(lhs), std::move(rhs));
+}
+
+KernelPtr MakeAndKernel(KernelPtr lhs, KernelPtr rhs) {
+  if (lhs == nullptr || rhs == nullptr) return nullptr;
+  return std::make_unique<LogicalKernel>(true, std::move(lhs),
+                                         std::move(rhs));
+}
+
+KernelPtr MakeOrKernel(KernelPtr lhs, KernelPtr rhs) {
+  if (lhs == nullptr || rhs == nullptr) return nullptr;
+  return std::make_unique<LogicalKernel>(false, std::move(lhs),
+                                         std::move(rhs));
+}
+
+KernelPtr MakeNotKernel(KernelPtr inner) {
+  if (inner == nullptr) return nullptr;
+  return std::make_unique<NotKernel>(std::move(inner));
+}
+
+KernelPtr MakeScalarFnKernel(KernelType out_type,
+                             std::function<double(const double*)> fn,
+                             std::vector<KernelPtr> arg_kernels,
+                             std::vector<double> const_args) {
+  return std::make_unique<ScalarFnKernel>(out_type, std::move(fn),
+                                          std::move(arg_kernels),
+                                          std::move(const_args));
+}
+
+}  // namespace nebulameos::nebula::exec

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "common/strings.hpp"
+#include "nebula/exec/compiled_expr.hpp"
 
 namespace nebulameos::nebula {
 
@@ -60,6 +61,10 @@ std::string ValueToString(const Value& v) {
   }
 }
 
+exec::KernelPtr Expression::CompileKernel(const Schema&) const {
+  return nullptr;  // conservative default: interpret
+}
+
 namespace {
 
 // --- Field reference --------------------------------------------------------
@@ -102,6 +107,12 @@ class FieldExpr : public Expression {
     return true;
   }
 
+  exec::KernelPtr CompileKernel(const Schema& schema) const override {
+    auto idx = schema.IndexOf(name_);
+    if (!idx.ok()) return nullptr;
+    return exec::MakeLoadKernel(schema.field(*idx).type, schema.offset(*idx));
+  }
+
  private:
   std::string name_;
   size_t index_ = 0;
@@ -122,6 +133,22 @@ class LiteralExpr : public Expression {
   std::optional<Value> ConstantValue() const override { return value_; }
   bool ReferencedFields(std::vector<std::string>*) const override {
     return true;  // reads nothing
+  }
+
+  exec::KernelPtr CompileKernel(const Schema&) const override {
+    switch (type_) {
+      case DataType::kBool:
+        return exec::MakeConstKernel(std::get<bool>(value_));
+      case DataType::kInt64:
+      case DataType::kTimestamp:
+        return exec::MakeConstKernel(ValueAsInt64(value_));
+      case DataType::kDouble:
+        return exec::MakeConstKernel(ValueAsDouble(value_));
+      case DataType::kText16:
+      case DataType::kText32:
+        return nullptr;
+    }
+    return nullptr;
   }
 
  private:
@@ -195,6 +222,12 @@ class ArithExpr : public Expression {
     return lhs_->ReferencedFields(out) && rhs_->ReferencedFields(out);
   }
 
+  exec::KernelPtr CompileKernel(const Schema& schema) const override {
+    return exec::MakeArithKernel(op_, int_result_,
+                                 lhs_->CompileKernel(schema),
+                                 rhs_->CompileKernel(schema));
+  }
+
   ArithOp op() const { return op_; }
   const ExprPtr& lhs() const { return lhs_; }
   const ExprPtr& rhs() const { return rhs_; }
@@ -242,6 +275,12 @@ class CompareExpr : public Expression {
 
   bool ReferencedFields(std::vector<std::string>* out) const override {
     return lhs_->ReferencedFields(out) && rhs_->ReferencedFields(out);
+  }
+
+  exec::KernelPtr CompileKernel(const Schema& schema) const override {
+    if (text_compare_) return nullptr;  // lexicographic stays interpreted
+    return exec::MakeCompareKernel(op_, lhs_->CompileKernel(schema),
+                                   rhs_->CompileKernel(schema));
   }
 
  private:
@@ -312,6 +351,14 @@ class LogicalExpr : public Expression {
     return lhs_->ReferencedFields(out) && rhs_->ReferencedFields(out);
   }
 
+  exec::KernelPtr CompileKernel(const Schema& schema) const override {
+    exec::KernelPtr lhs = lhs_->CompileKernel(schema);
+    exec::KernelPtr rhs = rhs_->CompileKernel(schema);
+    return kind_ == Kind::kAnd
+               ? exec::MakeAndKernel(std::move(lhs), std::move(rhs))
+               : exec::MakeOrKernel(std::move(lhs), std::move(rhs));
+  }
+
   Kind logical_kind() const { return kind_; }
   const ExprPtr& lhs() const { return lhs_; }
   const ExprPtr& rhs() const { return rhs_; }
@@ -341,6 +388,10 @@ class NotExpr : public Expression {
     return inner_->ReferencedFields(out);
   }
 
+  exec::KernelPtr CompileKernel(const Schema& schema) const override {
+    return exec::MakeNotKernel(inner_->CompileKernel(schema));
+  }
+
   const ExprPtr& inner() const { return inner_; }
 
  private:
@@ -351,17 +402,27 @@ class NotExpr : public Expression {
 
 class MathFn : public FunctionExpression {
  public:
-  using Impl = std::function<double(const std::vector<Value>&)>;
+  /// Scalar implementation over pre-widened doubles — both the boxed
+  /// `EvalFn` and the compiled batch kernel dispatch to it, so the
+  /// interpreter and the kernel cannot drift.
+  using Impl = double (*)(const double*);
 
   MathFn(std::string name, std::vector<ExprPtr> args, Impl impl)
       : FunctionExpression(std::move(name), std::move(args),
                            DataType::kDouble),
-        impl_(std::move(impl)) {}
+        impl_(impl) {}
 
  protected:
   Value EvalFn(const std::vector<Value>& args) const override {
-    return impl_(args);
+    double widened[3] = {0.0, 0.0, 0.0};
+    for (size_t i = 0; i < args.size() && i < 3; ++i) {
+      widened[i] = ValueAsDouble(args[i]);
+    }
+    return impl_(widened);
   }
+
+  bool ScalarEvaluable() const override { return true; }
+  double EvalScalar(const double* args) const override { return impl_(args); }
 
  private:
   Impl impl_;
@@ -485,6 +546,46 @@ bool FunctionExpression::ReferencedFields(std::vector<std::string>* out) const {
   return true;
 }
 
+exec::KernelPtr FunctionExpression::CompileKernel(const Schema& schema) const {
+  if (!ScalarEvaluable()) return nullptr;
+  exec::KernelType out_type;
+  switch (output_type_) {
+    case DataType::kBool:
+      out_type = exec::KernelType::kBool;
+      break;
+    case DataType::kInt64:
+    case DataType::kTimestamp:
+      out_type = exec::KernelType::kInt64;
+      break;
+    case DataType::kDouble:
+      out_type = exec::KernelType::kDouble;
+      break;
+    case DataType::kText16:
+    case DataType::kText32:
+      return nullptr;
+  }
+  std::vector<exec::KernelPtr> arg_kernels;
+  std::vector<double> const_args;
+  arg_kernels.reserve(args_.size());
+  const_args.reserve(args_.size());
+  for (const ExprPtr& arg : args_) {
+    if (auto cv = arg->ConstantValue()) {
+      // Bind-time configuration (zone names, bounds): widened once, never
+      // re-evaluated per row.
+      arg_kernels.push_back(nullptr);
+      const_args.push_back(ValueAsDouble(*cv));
+      continue;
+    }
+    exec::KernelPtr k = arg->CompileKernel(schema);
+    if (k == nullptr) return nullptr;
+    arg_kernels.push_back(std::move(k));
+    const_args.push_back(0.0);
+  }
+  return exec::MakeScalarFnKernel(
+      out_type, [this](const double* a) { return EvalScalar(a); },
+      std::move(arg_kernels), std::move(const_args));
+}
+
 // --- Registry -------------------------------------------------------------------
 
 ExpressionRegistry& ExpressionRegistry::Global() {
@@ -582,29 +683,25 @@ void RegisterBuiltinFunctions() {
   auto& reg = ExpressionRegistry::Global();
   if (reg.Contains("abs")) return;  // already registered
   (void)reg.Register("abs", [](std::vector<ExprPtr> args) {
-    return MakeMathFn("abs", std::move(args), 1, [](const auto& v) {
-      return std::fabs(ValueAsDouble(v[0]));
-    });
+    return MakeMathFn("abs", std::move(args), 1,
+                      [](const double* v) { return std::fabs(v[0]); });
   });
   (void)reg.Register("sqrt", [](std::vector<ExprPtr> args) {
-    return MakeMathFn("sqrt", std::move(args), 1, [](const auto& v) {
-      return std::sqrt(std::max(0.0, ValueAsDouble(v[0])));
+    return MakeMathFn("sqrt", std::move(args), 1, [](const double* v) {
+      return std::sqrt(std::max(0.0, v[0]));
     });
   });
   (void)reg.Register("least", [](std::vector<ExprPtr> args) {
-    return MakeMathFn("least", std::move(args), 2, [](const auto& v) {
-      return std::min(ValueAsDouble(v[0]), ValueAsDouble(v[1]));
-    });
+    return MakeMathFn("least", std::move(args), 2,
+                      [](const double* v) { return std::min(v[0], v[1]); });
   });
   (void)reg.Register("greatest", [](std::vector<ExprPtr> args) {
-    return MakeMathFn("greatest", std::move(args), 2, [](const auto& v) {
-      return std::max(ValueAsDouble(v[0]), ValueAsDouble(v[1]));
-    });
+    return MakeMathFn("greatest", std::move(args), 2,
+                      [](const double* v) { return std::max(v[0], v[1]); });
   });
   (void)reg.Register("clamp", [](std::vector<ExprPtr> args) {
-    return MakeMathFn("clamp", std::move(args), 3, [](const auto& v) {
-      return std::clamp(ValueAsDouble(v[0]), ValueAsDouble(v[1]),
-                        ValueAsDouble(v[2]));
+    return MakeMathFn("clamp", std::move(args), 3, [](const double* v) {
+      return std::clamp(v[0], v[1], v[2]);
     });
   });
 }

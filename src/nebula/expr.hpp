@@ -25,6 +25,11 @@
 
 namespace nebulameos::nebula {
 
+namespace exec {
+class ScalarKernel;
+using KernelPtr = std::unique_ptr<ScalarKernel>;
+}  // namespace exec
+
 /// Runtime value produced by expression evaluation.
 using Value = std::variant<bool, int64_t, double, std::string>;
 
@@ -74,6 +79,16 @@ class Expression {
     (void)out;
     return false;
   }
+
+  /// Lowers this expression to a type-specialized batch kernel whose field
+  /// leaves read fixed offsets of \p schema's record layout
+  /// (exec/compiled_expr.hpp). Returns nullptr when the node or any
+  /// subtree cannot be compiled (text comparisons, extension nodes without
+  /// a scalar hook) — callers fall back to interpreted `Eval`. Must be
+  /// called after `Bind(schema)` with the same schema, and the returned
+  /// kernel may reference this expression: keep the tree alive for the
+  /// kernel's lifetime.
+  virtual exec::KernelPtr CompileKernel(const Schema& schema) const;
 };
 
 // --- Node constructors -------------------------------------------------------
@@ -143,12 +158,38 @@ class FunctionExpression : public Expression {
   std::string ToString() const override;
   bool ReferencedFields(std::vector<std::string>* out) const override;
 
+  /// Generic batch compilation for registered functions: when the subclass
+  /// opts in (`ScalarEvaluable`), every runtime argument compiles to a
+  /// kernel column and `EvalScalar` runs once per row over unboxed
+  /// doubles — no `Value` boxing, no per-row vector allocation.
+  exec::KernelPtr CompileKernel(const Schema& schema) const override;
+
   const std::string& name() const { return name_; }
   const std::vector<ExprPtr>& args() const { return args_; }
 
  protected:
   /// Implements the function over already-evaluated argument values.
   virtual Value EvalFn(const std::vector<Value>& args) const = 0;
+
+  /// Batch-compiler opt-in: true when `EvalScalar` implements this
+  /// function over unboxed numeric arguments (bind-time configuration
+  /// already resolved). Default false: the function only interprets.
+  virtual bool ScalarEvaluable() const { return false; }
+
+  /// Unboxed per-record evaluation: `args[i]` is the i-th argument widened
+  /// to double (`ValueAsDouble` semantics; constant text arguments widen
+  /// to 0 — they are bind-time configuration, not runtime inputs).
+  /// Booleans return 0/1; integer results must be integral-valued.
+  ///
+  /// Precision contract: integer/timestamp arguments round-trip through
+  /// double, so they are exact only up to 2^53. Microsecond-epoch
+  /// timestamps stay exact until the year 2255; a function whose integer
+  /// arguments can exceed 2^53 must not opt in (leave `ScalarEvaluable`
+  /// false — the interpreter keeps int64 exact).
+  virtual double EvalScalar(const double* args) const {
+    (void)args;
+    return 0.0;
+  }
 
   /// Hook called at the end of `Bind` (argument types are known).
   virtual Status OnBind(const Schema& schema);

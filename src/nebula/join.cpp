@@ -97,8 +97,7 @@ TemporalLookupJoinOperator::FindNearest(int64_t key, Timestamp ts) const {
 Status TemporalLookupJoinOperator::Process(const TupleBufferPtr& input,
                                            const EmitFn& emit) {
   CountIn(*input);
-  TupleBufferPtr out = ctx_->Allocate(output_schema_);
-  out->set_watermark(input->watermark());
+  TupleBufferPtr out;  // allocated on the first match only
   const size_t left_fields = input_schema_.num_fields();
   for (size_t i = 0; i < input->size(); ++i) {
     const RecordView rec = input->At(i);
@@ -109,11 +108,16 @@ Status TemporalLookupJoinOperator::Process(const TupleBufferPtr& input,
       ++unmatched_;
       continue;
     }
-    if (out->full()) {
+    if (!out) {
+      out = ctx_->Allocate(output_schema_);
+      out->set_watermark(input->watermark());
+      out->set_sequence_number(input->sequence_number());
+    } else if (out->full()) {
       CountOut(*out);
       emit(out);
       out = ctx_->Allocate(output_schema_);
       out->set_watermark(input->watermark());
+      out->set_sequence_number(input->sequence_number());
     }
     RecordWriter w = out->Append();
     // Left fields verbatim, then right payload.
@@ -140,7 +144,9 @@ Status TemporalLookupJoinOperator::Process(const TupleBufferPtr& input,
       }
     }
   }
-  if (!out->empty() || input->watermark() > 0) {
+  // No matches → no emit: a watermark-only advance must not draw a pooled
+  // buffer (windows fire on event times, not buffer watermarks).
+  if (out) {
     CountOut(*out);
     emit(out);
   }

@@ -1,7 +1,10 @@
 #include "nebula/logical_plan.hpp"
 
+#include <optional>
 #include <type_traits>
 #include <utility>
+
+#include "nebula/exec/kernels.hpp"
 
 namespace nebulameos::nebula {
 
@@ -318,25 +321,77 @@ Status LowerTransition(const Topology& topology, int from_node, int to_node,
 // schema entering the chain. `current_node` tracks which topology node
 // the pipeline is on (kUnplaced for single-node compilation); when a
 // placed node differs, the transition lowers to a channel pair first.
+//
+// With `copts.compiled_kernels` on, maximal runs of Filter/Map/Project
+// nodes whose expressions lower to batch kernels fuse into one
+// `exec::BatchKernelOperator`; a refused expression, any other node kind,
+// or a placement transition ends the run and lowering continues with the
+// interpreted operators.
 Status CompileChain(const Chain& ops, const Schema& current_in,
                     const std::string& path, CompiledPipeline* pipe,
-                    const Topology* topology, int current_node) {
+                    const Topology* topology, int current_node,
+                    const CompileOptions& copts) {
   Schema current = current_in;
   pipe->path = path;
   // A KeyBy node's field is folded into the node it precedes.
   std::string pending_key;
+  // The in-flight fused run (engaged while consecutive nodes absorb).
+  std::optional<exec::BatchKernelCompiler> fuser;
+  const auto flush_fused = [&]() {
+    if (!fuser.has_value()) return;
+    if (fuser->num_stages() > 0) {
+      OperatorPtr op = std::move(*fuser).Finish();
+      current = op->output_schema();
+      pipe->operators.push_back(std::move(op));
+    }
+    fuser.reset();
+  };
   for (const LogicalOperatorPtr& node : ops) {
     // Placement lowering (KeyBy is a marker folded into its consumer, so
-    // it never moves the pipeline on its own).
+    // it never moves the pipeline on its own). A transition is a fusion
+    // barrier: kernels never span two placement segments.
     if (topology != nullptr &&
         node->kind() != LogicalOperator::Kind::kKeyBy &&
         node->placement() != LogicalOperator::kUnplaced &&
         current_node != LogicalOperator::kUnplaced &&
         node->placement() != current_node) {
+      flush_fused();
       NM_RETURN_NOT_OK(LowerTransition(*topology, current_node,
                                        node->placement(), current, pipe));
       current_node = node->placement();
     }
+    if (copts.compiled_kernels && pending_key.empty()) {
+      bool absorbed = false;
+      switch (node->kind()) {
+        case LogicalOperator::Kind::kFilter: {
+          if (!fuser.has_value()) fuser.emplace(current);
+          absorbed = fuser->AddFilter(
+              static_cast<const FilterNode&>(*node).predicate());
+          break;
+        }
+        case LogicalOperator::Kind::kMap: {
+          if (!fuser.has_value()) fuser.emplace(current);
+          absorbed =
+              fuser->AddMap(static_cast<const MapNode&>(*node).specs());
+          break;
+        }
+        case LogicalOperator::Kind::kProject: {
+          if (!fuser.has_value()) fuser.emplace(current);
+          absorbed = fuser->AddProject(
+              static_cast<const ProjectNode&>(*node).fields());
+          break;
+        }
+        default:
+          break;
+      }
+      if (absorbed) {
+        current = fuser->current_schema();
+        continue;
+      }
+    }
+    // Not (or no longer) fusable: close the run before the interpreted
+    // operator binds against the run's output schema.
+    flush_fused();
     OperatorPtr op;
     switch (node->kind()) {
       case LogicalOperator::Kind::kFilter: {
@@ -415,7 +470,7 @@ Status CompileChain(const Chain& ops, const Schema& current_in,
           CompiledPipeline branch;
           NM_RETURN_NOT_OK(CompileChain(fan.branches()[b], current,
                                         BranchPath(path, b), &branch,
-                                        topology, current_node));
+                                        topology, current_node, copts));
           pipe->branches.push_back(std::move(branch));
         }
         pipe->output_schema = current;
@@ -439,6 +494,7 @@ Status CompileChain(const Chain& ops, const Schema& current_in,
     return Status::InvalidArgument(
         "KeyBy(" + pending_key + ") is never consumed");
   }
+  flush_fused();
   pipe->output_schema = current;
   return Status::OK();
 }
@@ -590,10 +646,11 @@ LogicalPlan::OutputSchemas() const {
 
 Result<CompiledPipeline> CompilePlan(const Schema& source_schema,
                                      const LogicalPlan& plan,
-                                     const Topology* topology) {
+                                     const Topology* topology,
+                                     const CompileOptions& options) {
   CompiledPipeline root;
   NM_RETURN_NOT_OK(CompileChain(plan.ops(), source_schema, "", &root,
-                                topology, plan.source_placement()));
+                                topology, plan.source_placement(), options));
   return root;
 }
 

@@ -380,6 +380,16 @@ struct CompiledPipeline {
   std::vector<std::shared_ptr<NetworkChannel>> channels;
 };
 
+/// \brief Physical lowering configuration.
+struct CompileOptions {
+  /// Lower maximal Filter→Map→Project runs (within one placement segment)
+  /// whose expressions compile to batch kernels into a single fused
+  /// `exec::BatchKernelOperator` pass. Nodes whose expressions refuse to
+  /// compile fall back to the interpreted operators; false interprets
+  /// everything (A/B benchmarking).
+  bool compiled_kernels = true;
+};
+
 /// \brief Lowers a validated plan to its physical pipeline tree (schemas
 /// propagate source → sinks; expressions bind along the way). `KeyBy`
 /// nodes are folded into the key field of the node they precede; sink
@@ -395,6 +405,7 @@ struct CompiledPipeline {
 /// for single-node execution.
 Result<CompiledPipeline> CompilePlan(const Schema& source_schema,
                                      const LogicalPlan& plan,
-                                     const Topology* topology = nullptr);
+                                     const Topology* topology = nullptr,
+                                     const CompileOptions& options = {});
 
 }  // namespace nebulameos::nebula

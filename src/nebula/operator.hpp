@@ -15,7 +15,9 @@
 
 #include <map>
 
+#include "common/function_ref.hpp"
 #include "nebula/buffer_manager.hpp"
+#include "nebula/exec/batch.hpp"
 #include "nebula/expr.hpp"
 
 namespace nebulameos::nebula {
@@ -51,10 +53,16 @@ class ExecutionContext {
 
   size_t tuples_per_buffer() const { return tuples_per_buffer_; }
 
+  /// Total buffers handed out across every pool of this context — the
+  /// pool-accounting number behind the zero-copy fan-out acceptance: a
+  /// branch hand-off shares the batch instead of drawing a copy, so this
+  /// must not scale with branch count.
+  uint64_t TotalBuffersAcquired() const;
+
  private:
   size_t tuples_per_buffer_;
   size_t pool_size_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::map<std::string, std::shared_ptr<BufferManager>> pools_;
 };
 
@@ -62,7 +70,15 @@ class ExecutionContext {
 class Operator {
  public:
   /// Downstream hand-off: the operator calls this for each output buffer.
-  using EmitFn = std::function<void(const TupleBufferPtr&)>;
+  /// A non-owning `FunctionRef` (not `std::function`): the emit callable
+  /// lives on the caller's stack for the duration of `Process`, and the
+  /// compiled pipeline's inner loop crosses this hop once per buffer per
+  /// operator — it must not pay a type-erased copy each time.
+  using EmitFn = FunctionRef<void(const TupleBufferPtr&)>;
+
+  /// Batch-path hand-off: output batches may share the input buffer with
+  /// a selection vector (zero-copy).
+  using BatchEmitFn = FunctionRef<void(const exec::Batch&)>;
 
   virtual ~Operator() = default;
 
@@ -81,11 +97,31 @@ class Operator {
   /// Processes one input buffer, emitting zero or more output buffers.
   virtual Status Process(const TupleBufferPtr& input, const EmitFn& emit) = 0;
 
+  /// Batch-at-a-time path driven by the engine: \p input may carry a
+  /// selection vector over a shared, sealed buffer. The default bridges to
+  /// `Process` — a partial selection is first materialized into a pooled
+  /// buffer (one gather), a full batch passes its buffer straight through.
+  /// Selection-aware operators (filters, compiled kernel runs, sinks)
+  /// override this to consume or refine the selection without the copy.
+  virtual Status ProcessBatch(const exec::Batch& input,
+                              const BatchEmitFn& emit);
+
   /// End-of-stream: flush any remaining state (window panes, open runs).
   virtual Status Finish(const EmitFn& /*emit*/) { return Status::OK(); }
 
   /// Flow counters.
   const OperatorStats& stats() const { return stats_; }
+
+  /// Appends this operator's flow counters to \p out keyed by
+  /// `prefix + name()`. Fused batch-kernel operators expand to one entry
+  /// per fused logical stage, in chain order, so plan-shaped consumers
+  /// (`QueryStats::operator_stats`, the placement pass) see the same
+  /// sequence whether or not the chain was fused.
+  virtual void AppendStats(
+      const std::string& prefix,
+      std::vector<std::pair<std::string, OperatorStats>>* out) const {
+    out->emplace_back(prefix + name(), stats_);
+  }
 
  protected:
   /// Records an input buffer in the stats.
@@ -94,10 +130,22 @@ class Operator {
     stats_.bytes_in += buf.SizeBytes();
   }
 
+  /// Records an input batch (selected rows only) in the stats.
+  void CountIn(const exec::Batch& batch) {
+    stats_.events_in += batch.NumRows();
+    stats_.bytes_in += batch.SizeBytes();
+  }
+
   /// Records an output buffer in the stats.
   void CountOut(const TupleBuffer& buf) {
     stats_.events_out += buf.size();
     stats_.bytes_out += buf.SizeBytes();
+  }
+
+  /// Records an output batch (selected rows only) in the stats.
+  void CountOut(const exec::Batch& batch) {
+    stats_.events_out += batch.NumRows();
+    stats_.bytes_out += batch.SizeBytes();
   }
 
   ExecutionContext* ctx_ = nullptr;

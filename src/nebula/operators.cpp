@@ -20,6 +20,53 @@ TupleBufferPtr ExecutionContext::Allocate(const Schema& schema) {
   return pool->Acquire();
 }
 
+uint64_t ExecutionContext::TotalBuffersAcquired() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t total = 0;
+  for (const auto& [key, pool] : pools_) total += pool->total_acquired();
+  return total;
+}
+
+// --- Operator batch bridge ----------------------------------------------------
+
+namespace {
+
+// Shared interpreted-materialization loop of MapOperator::ProcessBatch and
+// ProjectOperator::ProcessBatch: allocate one output buffer, write one
+// record per selected row, seal. `write` receives (input record, writer).
+template <typename WriteFn>
+Result<exec::Batch> MaterializeRows(ExecutionContext* ctx,
+                                    const Schema& out_schema,
+                                    const exec::Batch& input,
+                                    const WriteFn& write) {
+  NM_ASSIGN_OR_RETURN(TupleBufferPtr out,
+                      exec::AllocateOutputFor(input, out_schema, ctx));
+  for (size_t i = 0; i < input.NumRows(); ++i) {
+    const RecordView rec = input.data->At(input.RowAt(i));
+    RecordWriter w = out->Append();
+    write(rec, &w);
+  }
+  out->Seal();
+  return exec::Batch(std::move(out));
+}
+
+}  // namespace
+
+Status Operator::ProcessBatch(const exec::Batch& input,
+                              const BatchEmitFn& emit) {
+  TupleBufferPtr buf = input.data;
+  if (!input.IsFull()) {
+    // Legacy operator fed a partial selection: one gather, then the
+    // record-at-a-time path runs unchanged.
+    NM_ASSIGN_OR_RETURN(buf, exec::MaterializeBatch(input, ctx_));
+  }
+  auto forward = [&emit](const TupleBufferPtr& out) {
+    out->Seal();
+    emit(exec::Batch(out));
+  };
+  return Process(buf, forward);
+}
+
 // --- Filter -------------------------------------------------------------------
 
 Result<OperatorPtr> FilterOperator::Make(const Schema& input,
@@ -32,34 +79,62 @@ Result<OperatorPtr> FilterOperator::Make(const Schema& input,
 Status FilterOperator::Process(const TupleBufferPtr& input,
                                const EmitFn& emit) {
   CountIn(*input);
-  TupleBufferPtr out = ctx_->Allocate(schema_);
-  out->set_watermark(input->watermark());
-  out->set_sequence_number(input->sequence_number());
+  TupleBufferPtr out;  // allocated on the first survivor only
   for (size_t i = 0; i < input->size(); ++i) {
     const RecordView rec = input->At(i);
     if (!ValueAsBool(predicate_->Eval(rec))) continue;
-    if (out->full()) {
+    if (!out) {
+      out = ctx_->Allocate(schema_);
+      out->set_watermark(input->watermark());
+      out->set_sequence_number(input->sequence_number());
+    } else if (out->full()) {
       CountOut(*out);
       emit(out);
       out = ctx_->Allocate(schema_);
       out->set_watermark(input->watermark());
+      out->set_sequence_number(input->sequence_number());
     }
     out->Append().CopyFrom(rec);
   }
-  if (!out->empty() || input->watermark() > 0) {
+  // No survivors → no emit: watermark-only advance must not draw a pooled
+  // buffer (windows fire on event times, not buffer watermarks).
+  if (out) {
     CountOut(*out);
     emit(out);
   }
   return Status::OK();
 }
 
+Status FilterOperator::ProcessBatch(const exec::Batch& input,
+                                    const BatchEmitFn& emit) {
+  CountIn(input);
+  const size_t n = input.NumRows();
+  if (n == 0) return Status::OK();
+  scratch_sel_.clear();
+  for (size_t i = 0; i < n; ++i) {
+    const size_t row = input.RowAt(i);
+    if (ValueAsBool(predicate_->Eval(input.data->At(row)))) {
+      scratch_sel_.push_back(static_cast<uint32_t>(row));
+    }
+  }
+  if (scratch_sel_.size() == n) {
+    // Fully selective: the input batch passes through untouched.
+    CountOut(input);
+    emit(input);
+    return Status::OK();
+  }
+  if (scratch_sel_.empty()) return Status::OK();
+  const exec::Batch out = exec::TakePartialSelection(&scratch_sel_, input);
+  CountOut(out);
+  emit(out);
+  return Status::OK();
+}
+
 // --- Map ----------------------------------------------------------------------
 
-Result<OperatorPtr> MapOperator::Make(const Schema& input,
-                                      std::vector<MapSpec> specs) {
+Result<MapLayout> PlanMapLayout(const Schema& input,
+                                std::vector<MapSpec> specs) {
   if (specs.empty()) return Status::InvalidArgument("map without specs");
-  auto op = std::unique_ptr<MapOperator>(new MapOperator());
-  op->input_schema_ = input;
   // Bind expressions against the *input* schema.
   for (MapSpec& spec : specs) {
     if (!spec.expr) return Status::InvalidArgument("map spec without expr");
@@ -67,91 +142,127 @@ Result<OperatorPtr> MapOperator::Make(const Schema& input,
   }
   // Output schema: input fields (possibly replaced), then new fields in
   // spec order.
+  MapLayout layout;
   std::vector<Field> fields = input.fields();
-  std::vector<int> copy_from(fields.size());
-  std::vector<int> expr_of(fields.size(), -1);
-  for (size_t i = 0; i < fields.size(); ++i) copy_from[i] = static_cast<int>(i);
+  layout.copy_from.resize(fields.size());
+  layout.expr_of.assign(fields.size(), -1);
+  for (size_t i = 0; i < fields.size(); ++i) {
+    layout.copy_from[i] = static_cast<int>(i);
+  }
   for (size_t s = 0; s < specs.size(); ++s) {
     const MapSpec& spec = specs[s];
     bool replaced = false;
     for (size_t i = 0; i < fields.size(); ++i) {
       if (fields[i].name == spec.name) {
         fields[i].type = spec.expr->output_type();
-        copy_from[i] = -1;
-        expr_of[i] = static_cast<int>(s);
+        layout.copy_from[i] = -1;
+        layout.expr_of[i] = static_cast<int>(s);
         replaced = true;
         break;
       }
     }
     if (!replaced) {
       fields.push_back({spec.name, spec.expr->output_type()});
-      copy_from.push_back(-1);
-      expr_of.push_back(static_cast<int>(s));
+      layout.copy_from.push_back(-1);
+      layout.expr_of.push_back(static_cast<int>(s));
     }
   }
-  NM_ASSIGN_OR_RETURN(op->output_schema_, Schema::Make(std::move(fields)));
-  op->copy_from_ = std::move(copy_from);
-  op->expr_of_ = std::move(expr_of);
-  for (MapSpec& spec : specs) op->exprs_.push_back(std::move(spec.expr));
+  NM_ASSIGN_OR_RETURN(layout.output_schema, Schema::Make(std::move(fields)));
+  for (MapSpec& spec : specs) layout.exprs.push_back(std::move(spec.expr));
+  return layout;
+}
+
+Result<OperatorPtr> MapOperator::Make(const Schema& input,
+                                      std::vector<MapSpec> specs) {
+  auto op = std::unique_ptr<MapOperator>(new MapOperator());
+  op->input_schema_ = input;
+  NM_ASSIGN_OR_RETURN(op->layout_, PlanMapLayout(input, std::move(specs)));
   return OperatorPtr(std::move(op));
+}
+
+void MapOperator::WriteRecord(const RecordView& rec, RecordWriter* w) const {
+  const Schema& out_schema = layout_.output_schema;
+  for (size_t f = 0; f < out_schema.num_fields(); ++f) {
+    if (layout_.copy_from[f] >= 0) {
+      const size_t src = static_cast<size_t>(layout_.copy_from[f]);
+      switch (out_schema.field(f).type) {
+        case DataType::kBool:
+          w->SetBool(f, rec.GetBool(src));
+          break;
+        case DataType::kInt64:
+        case DataType::kTimestamp:
+          w->SetInt64(f, rec.GetInt64(src));
+          break;
+        case DataType::kDouble:
+          w->SetDouble(f, rec.GetDouble(src));
+          break;
+        case DataType::kText16:
+        case DataType::kText32:
+          w->SetText(f, rec.GetText(src));
+          break;
+      }
+      continue;
+    }
+    const Value v = layout_.exprs[layout_.expr_of[f]]->Eval(rec);
+    switch (out_schema.field(f).type) {
+      case DataType::kBool:
+        w->SetBool(f, ValueAsBool(v));
+        break;
+      case DataType::kInt64:
+      case DataType::kTimestamp:
+        w->SetInt64(f, ValueAsInt64(v));
+        break;
+      case DataType::kDouble:
+        w->SetDouble(f, ValueAsDouble(v));
+        break;
+      case DataType::kText16:
+      case DataType::kText32:
+        w->SetText(f, ValueToString(v));
+        break;
+    }
+  }
 }
 
 Status MapOperator::Process(const TupleBufferPtr& input, const EmitFn& emit) {
   CountIn(*input);
-  TupleBufferPtr out = ctx_->Allocate(output_schema_);
-  out->set_watermark(input->watermark());
-  out->set_sequence_number(input->sequence_number());
+  TupleBufferPtr out;  // allocated on the first record only
   for (size_t i = 0; i < input->size(); ++i) {
     const RecordView rec = input->At(i);
-    if (out->full()) {
+    if (!out) {
+      out = ctx_->Allocate(layout_.output_schema);
+      out->set_watermark(input->watermark());
+      out->set_sequence_number(input->sequence_number());
+    } else if (out->full()) {
       CountOut(*out);
       emit(out);
-      out = ctx_->Allocate(output_schema_);
+      out = ctx_->Allocate(layout_.output_schema);
       out->set_watermark(input->watermark());
+      out->set_sequence_number(input->sequence_number());
     }
     RecordWriter w = out->Append();
-    for (size_t f = 0; f < output_schema_.num_fields(); ++f) {
-      if (copy_from_[f] >= 0) {
-        const size_t src = static_cast<size_t>(copy_from_[f]);
-        switch (output_schema_.field(f).type) {
-          case DataType::kBool:
-            w.SetBool(f, rec.GetBool(src));
-            break;
-          case DataType::kInt64:
-          case DataType::kTimestamp:
-            w.SetInt64(f, rec.GetInt64(src));
-            break;
-          case DataType::kDouble:
-            w.SetDouble(f, rec.GetDouble(src));
-            break;
-          case DataType::kText16:
-          case DataType::kText32:
-            w.SetText(f, rec.GetText(src));
-            break;
-        }
-        continue;
-      }
-      const Value v = exprs_[expr_of_[f]]->Eval(rec);
-      switch (output_schema_.field(f).type) {
-        case DataType::kBool:
-          w.SetBool(f, ValueAsBool(v));
-          break;
-        case DataType::kInt64:
-        case DataType::kTimestamp:
-          w.SetInt64(f, ValueAsInt64(v));
-          break;
-        case DataType::kDouble:
-          w.SetDouble(f, ValueAsDouble(v));
-          break;
-        case DataType::kText16:
-        case DataType::kText32:
-          w.SetText(f, ValueToString(v));
-          break;
-      }
-    }
+    WriteRecord(rec, &w);
   }
-  CountOut(*out);
-  emit(out);
+  if (out) {
+    CountOut(*out);
+    emit(out);
+  }
+  return Status::OK();
+}
+
+Status MapOperator::ProcessBatch(const exec::Batch& input,
+                                 const BatchEmitFn& emit) {
+  CountIn(input);
+  if (input.NumRows() == 0) return Status::OK();
+  // Interpreted map over the selection: computes only surviving rows, no
+  // intermediate materialization of the input.
+  NM_ASSIGN_OR_RETURN(
+      exec::Batch result,
+      MaterializeRows(ctx_, layout_.output_schema, input,
+                      [this](const RecordView& rec, RecordWriter* w) {
+                        WriteRecord(rec, w);
+                      }));
+  CountOut(result);
+  emit(result);
   return Status::OK();
 }
 
@@ -171,42 +282,68 @@ Result<OperatorPtr> ProjectOperator::Make(const Schema& input,
   return OperatorPtr(std::move(op));
 }
 
+void ProjectOperator::WriteRecord(const RecordView& rec,
+                                  RecordWriter* w) const {
+  for (size_t f = 0; f < indices_.size(); ++f) {
+    const size_t src = indices_[f];
+    switch (output_schema_.field(f).type) {
+      case DataType::kBool:
+        w->SetBool(f, rec.GetBool(src));
+        break;
+      case DataType::kInt64:
+      case DataType::kTimestamp:
+        w->SetInt64(f, rec.GetInt64(src));
+        break;
+      case DataType::kDouble:
+        w->SetDouble(f, rec.GetDouble(src));
+        break;
+      case DataType::kText16:
+      case DataType::kText32:
+        w->SetText(f, rec.GetText(src));
+        break;
+    }
+  }
+}
+
 Status ProjectOperator::Process(const TupleBufferPtr& input,
                                 const EmitFn& emit) {
   CountIn(*input);
-  TupleBufferPtr out = ctx_->Allocate(output_schema_);
-  out->set_watermark(input->watermark());
+  TupleBufferPtr out;  // allocated on the first record only
   for (size_t i = 0; i < input->size(); ++i) {
     const RecordView rec = input->At(i);
-    if (out->full()) {
+    if (!out) {
+      out = ctx_->Allocate(output_schema_);
+      out->set_watermark(input->watermark());
+      out->set_sequence_number(input->sequence_number());
+    } else if (out->full()) {
       CountOut(*out);
       emit(out);
       out = ctx_->Allocate(output_schema_);
       out->set_watermark(input->watermark());
+      out->set_sequence_number(input->sequence_number());
     }
     RecordWriter w = out->Append();
-    for (size_t f = 0; f < indices_.size(); ++f) {
-      const size_t src = indices_[f];
-      switch (output_schema_.field(f).type) {
-        case DataType::kBool:
-          w.SetBool(f, rec.GetBool(src));
-          break;
-        case DataType::kInt64:
-        case DataType::kTimestamp:
-          w.SetInt64(f, rec.GetInt64(src));
-          break;
-        case DataType::kDouble:
-          w.SetDouble(f, rec.GetDouble(src));
-          break;
-        case DataType::kText16:
-        case DataType::kText32:
-          w.SetText(f, rec.GetText(src));
-          break;
-      }
-    }
+    WriteRecord(rec, &w);
   }
-  CountOut(*out);
-  emit(out);
+  if (out) {
+    CountOut(*out);
+    emit(out);
+  }
+  return Status::OK();
+}
+
+Status ProjectOperator::ProcessBatch(const exec::Batch& input,
+                                     const BatchEmitFn& emit) {
+  CountIn(input);
+  if (input.NumRows() == 0) return Status::OK();
+  NM_ASSIGN_OR_RETURN(
+      exec::Batch result,
+      MaterializeRows(ctx_, output_schema_, input,
+                      [this](const RecordView& rec, RecordWriter* w) {
+                        WriteRecord(rec, w);
+                      }));
+  CountOut(result);
+  emit(result);
   return Status::OK();
 }
 
@@ -660,8 +797,15 @@ Status NetworkChannelSource::Finish(const EmitFn& emit) {
 // --- Sinks -------------------------------------------------------------------
 
 Status SinkOperator::Process(const TupleBufferPtr& input, const EmitFn&) {
-  CountIn(*input);
-  return Consume(*input);
+  const exec::Batch batch(input);
+  CountIn(batch);
+  return Consume(batch);
+}
+
+Status SinkOperator::ProcessBatch(const exec::Batch& input,
+                                  const BatchEmitFn&) {
+  CountIn(input);
+  return Consume(input);
 }
 
 std::vector<std::vector<Value>> CollectSink::Rows() const {
@@ -674,13 +818,13 @@ size_t CollectSink::RowCount() const {
   return rows_.size();
 }
 
-Status CollectSink::Consume(const TupleBuffer& buffer) {
+Status CollectSink::Consume(const exec::Batch& batch) {
   std::lock_guard<std::mutex> lock(mutex_);
-  for (size_t i = 0; i < buffer.size(); ++i) {
+  for (size_t i = 0; i < batch.NumRows(); ++i) {
     if (rows_.size() >= max_rows_) {
       return Status::ResourceExhausted("collect sink row cap reached");
     }
-    const RecordView rec = buffer.At(i);
+    const RecordView rec = batch.data->At(batch.RowAt(i));
     std::vector<Value> row;
     row.reserve(schema_.num_fields());
     for (size_t f = 0; f < schema_.num_fields(); ++f) {
@@ -706,9 +850,9 @@ Status CollectSink::Consume(const TupleBuffer& buffer) {
   return Status::OK();
 }
 
-Status CountingSink::Consume(const TupleBuffer& buffer) {
-  events_.fetch_add(buffer.size());
-  bytes_.fetch_add(buffer.SizeBytes());
+Status CountingSink::Consume(const exec::Batch& batch) {
+  events_.fetch_add(batch.NumRows());
+  bytes_.fetch_add(batch.SizeBytes());
   return Status::OK();
 }
 
@@ -733,11 +877,11 @@ CsvSink::~CsvSink() {
   if (file_ != nullptr) std::fclose(file_);
 }
 
-Status CsvSink::Consume(const TupleBuffer& buffer) {
+Status CsvSink::Consume(const exec::Batch& batch) {
   std::lock_guard<std::mutex> lock(mutex_);
   std::string line;
-  for (size_t i = 0; i < buffer.size(); ++i) {
-    const RecordView rec = buffer.At(i);
+  for (size_t i = 0; i < batch.NumRows(); ++i) {
+    const RecordView rec = batch.data->At(batch.RowAt(i));
     line.clear();
     for (size_t f = 0; f < schema_.num_fields(); ++f) {
       if (f > 0) line += ',';

@@ -21,6 +21,10 @@ namespace nebulameos::nebula {
 // --- Filter -------------------------------------------------------------------
 
 /// \brief Emits only records for which the predicate evaluates true.
+///
+/// The interpreted fallback for predicates the batch compiler refuses.
+/// Still selection-aware: `ProcessBatch` evaluates per record but emits
+/// the input buffer with a refined selection vector — no survivor copies.
 class FilterOperator : public Operator {
  public:
   static Result<OperatorPtr> Make(const Schema& input, ExprPtr predicate);
@@ -28,12 +32,17 @@ class FilterOperator : public Operator {
   std::string name() const override { return "Filter"; }
   const Schema& output_schema() const override { return schema_; }
   Status Process(const TupleBufferPtr& input, const EmitFn& emit) override;
+  Status ProcessBatch(const exec::Batch& input,
+                      const BatchEmitFn& emit) override;
 
  private:
   FilterOperator(Schema schema, ExprPtr predicate)
       : schema_(std::move(schema)), predicate_(std::move(predicate)) {}
   Schema schema_;
   ExprPtr predicate_;
+  /// Selection scratch: only a *partial* result takes ownership of it
+  /// (one allocation); fully-selective and empty results allocate nothing.
+  exec::SelectionVector scratch_sel_;
 };
 
 // --- Map ----------------------------------------------------------------------
@@ -44,30 +53,49 @@ struct MapSpec {
   ExprPtr expr;
 };
 
-/// \brief Adds or replaces computed fields.
+/// \brief Resolved layout of a map: the output schema plus, per output
+/// field, either the input field to copy (`copy_from[i] >= 0`) or the
+/// bound spec expression to evaluate (`exprs[expr_of[i]]`). Shared by the
+/// interpreted `MapOperator` and the compiled `exec::CompiledMap`, so the
+/// two paths cannot disagree about the layout.
+struct MapLayout {
+  Schema output_schema;
+  std::vector<int> copy_from;
+  std::vector<int> expr_of;
+  std::vector<ExprPtr> exprs;  ///< bound against the input schema
+};
+
+/// Binds \p specs against \p input and derives the map layout.
+Result<MapLayout> PlanMapLayout(const Schema& input,
+                                std::vector<MapSpec> specs);
+
+/// \brief Adds or replaces computed fields (interpreted fallback).
 class MapOperator : public Operator {
  public:
   static Result<OperatorPtr> Make(const Schema& input,
                                   std::vector<MapSpec> specs);
 
   std::string name() const override { return "Map"; }
-  const Schema& output_schema() const override { return output_schema_; }
+  const Schema& output_schema() const override {
+    return layout_.output_schema;
+  }
   Status Process(const TupleBufferPtr& input, const EmitFn& emit) override;
+  Status ProcessBatch(const exec::Batch& input,
+                      const BatchEmitFn& emit) override;
 
  private:
   MapOperator() = default;
+
+  void WriteRecord(const RecordView& rec, RecordWriter* w) const;
+
   Schema input_schema_;
-  Schema output_schema_;
-  // For each output field: either copy input field `copy_from[i]` (>= 0) or
-  // evaluate `exprs[expr_of[i]]`.
-  std::vector<int> copy_from_;
-  std::vector<int> expr_of_;
-  std::vector<ExprPtr> exprs_;
+  MapLayout layout_;
 };
 
 // --- Project ------------------------------------------------------------------
 
-/// \brief Keeps only the named fields, in the given order.
+/// \brief Keeps only the named fields, in the given order (interpreted
+/// fallback).
 class ProjectOperator : public Operator {
  public:
   static Result<OperatorPtr> Make(const Schema& input,
@@ -76,9 +104,14 @@ class ProjectOperator : public Operator {
   std::string name() const override { return "Project"; }
   const Schema& output_schema() const override { return output_schema_; }
   Status Process(const TupleBufferPtr& input, const EmitFn& emit) override;
+  Status ProcessBatch(const exec::Batch& input,
+                      const BatchEmitFn& emit) override;
 
  private:
   ProjectOperator() = default;
+
+  void WriteRecord(const RecordView& rec, RecordWriter* w) const;
+
   Schema output_schema_;
   std::vector<size_t> indices_;
 };
@@ -254,15 +287,19 @@ class NetworkChannelSource : public Operator {
 // --- Sinks -------------------------------------------------------------------
 
 /// \brief Terminal operator; consumes buffers. Concrete sinks override
-/// `Consume`.
+/// `Consume`, which receives a batch so sinks read through the selection
+/// vector directly — the leaf of the zero-copy path never materializes.
 class SinkOperator : public Operator {
  public:
   const Schema& output_schema() const override { return schema_; }
   Status Process(const TupleBufferPtr& input, const EmitFn& emit) override;
+  Status ProcessBatch(const exec::Batch& input,
+                      const BatchEmitFn& emit) override;
 
  protected:
   explicit SinkOperator(Schema schema) : schema_(std::move(schema)) {}
-  virtual Status Consume(const TupleBuffer& buffer) = 0;
+  /// Consumes the selected rows (`batch.data->At(batch.RowAt(i))`).
+  virtual Status Consume(const exec::Batch& batch) = 0;
   Schema schema_;
 };
 
@@ -280,7 +317,7 @@ class CollectSink : public SinkOperator {
   size_t RowCount() const;
 
  protected:
-  Status Consume(const TupleBuffer& buffer) override;
+  Status Consume(const exec::Batch& batch) override;
 
  private:
   mutable std::mutex mutex_;
@@ -298,7 +335,7 @@ class CountingSink : public SinkOperator {
   uint64_t bytes() const { return bytes_.load(); }
 
  protected:
-  Status Consume(const TupleBuffer& buffer) override;
+  Status Consume(const exec::Batch& batch) override;
 
  private:
   std::atomic<uint64_t> events_{0};
@@ -314,7 +351,7 @@ class CsvSink : public SinkOperator {
   std::string name() const override { return "CsvSink"; }
 
  protected:
-  Status Consume(const TupleBuffer& buffer) override;
+  Status Consume(const exec::Batch& batch) override;
 
  private:
   CsvSink(Schema schema, FILE* file)

@@ -11,6 +11,7 @@
 
 #pragma once
 
+#include <cassert>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -133,6 +134,7 @@ class TupleBuffer {
   /// Appends a record slot and returns a writer for it. Buffer must not be
   /// full.
   RecordWriter Append() {
+    assert(!sealed_ && "append to a sealed buffer");
     RecordWriter w(&schema_, bytes_.data() + size_ * schema_.record_size());
     ++size_;
     return w;
@@ -142,6 +144,7 @@ class TupleBuffer {
   /// at contiguous records of this buffer's exact layout (e.g. a network
   /// frame payload). The records must fit: `size() + count <= capacity()`.
   void AppendRecords(const uint8_t* src, size_t count) {
+    assert(!sealed_ && "append to a sealed buffer");
     std::memcpy(bytes_.data() + size_ * schema_.record_size(), src,
                 count * schema_.record_size());
     size_ += count;
@@ -154,40 +157,39 @@ class TupleBuffer {
 
   /// Writer for existing record \p i.
   RecordWriter MutableAt(size_t i) {
+    assert(!sealed_ && "mutating a sealed buffer");
     return RecordWriter(&schema_, bytes_.data() + i * schema_.record_size());
   }
 
   /// Drops all records (metadata kept).
-  void Clear() { size_ = 0; }
+  void Clear() {
+    assert(!sealed_ && "clearing a sealed buffer");
+    size_ = 0;
+  }
 
   /// Removes the most recently appended record (used by sources that
   /// discover end-of-stream after reserving a slot).
   void PopBack() {
+    assert(!sealed_ && "mutating a sealed buffer");
     if (size_ > 0) --size_;
   }
 
-  /// Replaces this buffer's records and stream metadata with a copy of
-  /// \p src (same record layout required). Returns false — copying
-  /// nothing — when this buffer's capacity cannot hold every record:
-  /// truncation is never silent, because branch pipelines fed from a
-  /// fan-out must all see identical data. Used by the engine's fan-out
-  /// hand-off so branch pipelines own isolated buffers.
-  [[nodiscard]] bool CopyContentsFrom(const TupleBuffer& src) {
-    if (src.size_ > capacity_) return false;
-    size_ = src.size_;
-    std::memcpy(bytes_.data(), src.bytes_.data(),
-                size_ * schema_.record_size());
-    sequence_number_ = src.sequence_number_;
-    watermark_ = src.watermark_;
-    return true;
-  }
-
-  /// Resets records and metadata (pool reuse).
+  /// Resets records and metadata, lifting any seal (pool reuse).
   void Reset() {
     size_ = 0;
     sequence_number_ = 0;
     watermark_ = 0;
+    sealed_ = false;
   }
+
+  /// Marks the buffer immutable: any later append or in-place write is a
+  /// contract violation (asserted in debug builds). The engine seals every
+  /// buffer before pushing it into a pipeline — sealing is what lets a
+  /// fan-out share one buffer across branches (with per-branch selection
+  /// vectors) instead of copying it per branch. `Reset` lifts the seal
+  /// when the pool recycles the buffer.
+  void Seal() { sealed_ = true; }
+  bool sealed() const { return sealed_; }
 
   /// Monotonic per-stream sequence number, set by sources.
   uint64_t sequence_number() const { return sequence_number_; }
@@ -204,6 +206,7 @@ class TupleBuffer {
   size_t size_ = 0;
   uint64_t sequence_number_ = 0;
   Timestamp watermark_ = 0;
+  bool sealed_ = false;
 };
 
 /// Shared handle used across pipeline stages.

@@ -110,6 +110,14 @@ Value EdwithinExpression::EvalFn(const std::vector<Value>& args) const {
   return meos::PointDistance(p, poi_->location, Metric::kWgs84) <= dist_m_;
 }
 
+double EdwithinExpression::EvalScalar(const double* args) const {
+  const Point p{args[0], args[1]};
+  if (zone_ != nullptr) return zone_->DistanceTo(p) <= dist_m_ ? 1.0 : 0.0;
+  return meos::PointDistance(p, poi_->location, Metric::kWgs84) <= dist_m_
+             ? 1.0
+             : 0.0;
+}
+
 // --- MeosAtStboxExpression -------------------------------------------------
 
 MeosAtStboxExpression::MeosAtStboxExpression(std::vector<ExprPtr> args)
@@ -167,6 +175,11 @@ Value MeosAtStboxExpression::EvalFn(const std::vector<Value>& args) const {
   return box_.Contains(p, t);
 }
 
+double MeosAtStboxExpression::EvalScalar(const double* args) const {
+  const Point p{args[0], args[1]};
+  return box_.Contains(p, static_cast<Timestamp>(args[2])) ? 1.0 : 0.0;
+}
+
 // --- InZoneExpression --------------------------------------------------------
 
 InZoneExpression::InZoneExpression(std::vector<ExprPtr> args)
@@ -191,6 +204,10 @@ Value InZoneExpression::EvalFn(const std::vector<Value>& args) const {
   return zone_->Contains(Point{ValueAsDouble(args[0]), ValueAsDouble(args[1])});
 }
 
+double InZoneExpression::EvalScalar(const double* args) const {
+  return zone_->Contains(Point{args[0], args[1]}) ? 1.0 : 0.0;
+}
+
 // --- InZoneKindExpression ------------------------------------------------------
 
 InZoneKindExpression::InZoneKindExpression(std::vector<ExprPtr> args)
@@ -211,6 +228,10 @@ Status InZoneKindExpression::OnBind(const nebula::Schema&) {
 Value InZoneKindExpression::EvalFn(const std::vector<Value>& args) const {
   return registry_->InAnyZone(
       Point{ValueAsDouble(args[0]), ValueAsDouble(args[1])}, kind_);
+}
+
+double InZoneKindExpression::EvalScalar(const double* args) const {
+  return registry_->InAnyZone(Point{args[0], args[1]}, kind_) ? 1.0 : 0.0;
 }
 
 // --- ZoneIdExpression ----------------------------------------------------------
@@ -235,6 +256,11 @@ Value ZoneIdExpression::EvalFn(const std::vector<Value>& args) const {
       Point{ValueAsDouble(args[0]), ValueAsDouble(args[1])}, kind_);
 }
 
+double ZoneIdExpression::EvalScalar(const double* args) const {
+  return static_cast<double>(
+      registry_->ZoneIdAt(Point{args[0], args[1]}, kind_));
+}
+
 // --- ZoneSpeedLimitExpression -----------------------------------------------------
 
 ZoneSpeedLimitExpression::ZoneSpeedLimitExpression(std::vector<ExprPtr> args)
@@ -256,6 +282,10 @@ Status ZoneSpeedLimitExpression::OnBind(const nebula::Schema&) {
 Value ZoneSpeedLimitExpression::EvalFn(const std::vector<Value>& args) const {
   return registry_->SpeedLimitAt(
       Point{ValueAsDouble(args[0]), ValueAsDouble(args[1])}, default_kmh_);
+}
+
+double ZoneSpeedLimitExpression::EvalScalar(const double* args) const {
+  return registry_->SpeedLimitAt(Point{args[0], args[1]}, default_kmh_);
 }
 
 // --- NearestPoiDistanceExpression ----------------------------------------------------
@@ -285,6 +315,12 @@ Value NearestPoiDistanceExpression::EvalFn(
   return dist;
 }
 
+double NearestPoiDistanceExpression::EvalScalar(const double* args) const {
+  double dist = 0.0;
+  registry_->NearestPoi(Point{args[0], args[1]}, kind_, &dist);
+  return dist;
+}
+
 // --- NearestPoiIdExpression ---------------------------------------------------------
 
 NearestPoiIdExpression::NearestPoiIdExpression(std::vector<ExprPtr> args)
@@ -307,6 +343,11 @@ Value NearestPoiIdExpression::EvalFn(const std::vector<Value>& args) const {
   return poi == nullptr ? int64_t{-1} : poi->id;
 }
 
+double NearestPoiIdExpression::EvalScalar(const double* args) const {
+  const Poi* poi = registry_->NearestPoi(Point{args[0], args[1]}, kind_);
+  return poi == nullptr ? -1.0 : static_cast<double>(poi->id);
+}
+
 // --- HaversineExpression -----------------------------------------------------------
 
 HaversineExpression::HaversineExpression(std::vector<ExprPtr> args)
@@ -321,6 +362,11 @@ Value HaversineExpression::EvalFn(const std::vector<Value>& args) const {
   return meos::HaversineMeters(
       Point{ValueAsDouble(args[0]), ValueAsDouble(args[1])},
       Point{ValueAsDouble(args[2]), ValueAsDouble(args[3])});
+}
+
+double HaversineExpression::EvalScalar(const double* args) const {
+  return meos::HaversineMeters(Point{args[0], args[1]},
+                               Point{args[2], args[3]});
 }
 
 }  // namespace nebulameos::integration

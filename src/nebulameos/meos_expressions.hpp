@@ -24,6 +24,12 @@
 /// is visible to the plan optimizer (`Expression::ReferencedFields`), so
 /// filters over MEOS predicates participate in predicate pushdown and
 /// filter fusion like any built-in expression (see nebula/optimizer.hpp).
+///
+/// Every class also implements the batch-compiler scalar hook
+/// (`FunctionExpression::EvalScalar`): positions arrive as unboxed
+/// doubles and configuration is already bind-resolved, so MEOS predicates
+/// compile into the engine's fused batch kernels (nebula/exec/) instead
+/// of paying per-record `Value` boxing.
 
 #pragma once
 
@@ -57,6 +63,8 @@ class EdwithinExpression : public nebula::FunctionExpression {
  protected:
   Status OnBind(const nebula::Schema& schema) override;
   nebula::Value EvalFn(const std::vector<nebula::Value>& args) const override;
+  bool ScalarEvaluable() const override { return true; }
+  double EvalScalar(const double* args) const override;
 
  private:
   const Zone* zone_ = nullptr;
@@ -83,6 +91,8 @@ class MeosAtStboxExpression : public nebula::FunctionExpression {
  protected:
   Status OnBind(const nebula::Schema& schema) override;
   nebula::Value EvalFn(const std::vector<nebula::Value>& args) const override;
+  bool ScalarEvaluable() const override { return true; }
+  double EvalScalar(const double* args) const override;
 
  private:
   meos::STBox box_;
@@ -98,6 +108,8 @@ class InZoneExpression : public nebula::FunctionExpression {
  protected:
   Status OnBind(const nebula::Schema& schema) override;
   nebula::Value EvalFn(const std::vector<nebula::Value>& args) const override;
+  bool ScalarEvaluable() const override { return true; }
+  double EvalScalar(const double* args) const override;
 
  private:
   const Zone* zone_ = nullptr;
@@ -114,6 +126,8 @@ class InZoneKindExpression : public nebula::FunctionExpression {
  protected:
   Status OnBind(const nebula::Schema& schema) override;
   nebula::Value EvalFn(const std::vector<nebula::Value>& args) const override;
+  bool ScalarEvaluable() const override { return true; }
+  double EvalScalar(const double* args) const override;
 
  private:
   std::shared_ptr<const GeofenceRegistry> registry_;
@@ -130,6 +144,8 @@ class ZoneIdExpression : public nebula::FunctionExpression {
  protected:
   Status OnBind(const nebula::Schema& schema) override;
   nebula::Value EvalFn(const std::vector<nebula::Value>& args) const override;
+  bool ScalarEvaluable() const override { return true; }
+  double EvalScalar(const double* args) const override;
 
  private:
   std::shared_ptr<const GeofenceRegistry> registry_;
@@ -146,6 +162,8 @@ class ZoneSpeedLimitExpression : public nebula::FunctionExpression {
  protected:
   Status OnBind(const nebula::Schema& schema) override;
   nebula::Value EvalFn(const std::vector<nebula::Value>& args) const override;
+  bool ScalarEvaluable() const override { return true; }
+  double EvalScalar(const double* args) const override;
 
  private:
   std::shared_ptr<const GeofenceRegistry> registry_;
@@ -162,6 +180,8 @@ class NearestPoiDistanceExpression : public nebula::FunctionExpression {
  protected:
   Status OnBind(const nebula::Schema& schema) override;
   nebula::Value EvalFn(const std::vector<nebula::Value>& args) const override;
+  bool ScalarEvaluable() const override { return true; }
+  double EvalScalar(const double* args) const override;
 
  private:
   std::shared_ptr<const GeofenceRegistry> registry_;
@@ -177,6 +197,8 @@ class NearestPoiIdExpression : public nebula::FunctionExpression {
  protected:
   Status OnBind(const nebula::Schema& schema) override;
   nebula::Value EvalFn(const std::vector<nebula::Value>& args) const override;
+  bool ScalarEvaluable() const override { return true; }
+  double EvalScalar(const double* args) const override;
 
  private:
   std::shared_ptr<const GeofenceRegistry> registry_;
@@ -191,6 +213,8 @@ class HaversineExpression : public nebula::FunctionExpression {
 
  protected:
   nebula::Value EvalFn(const std::vector<nebula::Value>& args) const override;
+  bool ScalarEvaluable() const override { return true; }
+  double EvalScalar(const double* args) const override;
 };
 
 /// Extracts a ZoneKind from its name; nullopt for "" (any).

@@ -1,0 +1,423 @@
+// Tier-2 tests of the compiled-kernel execution layer: expression kernels
+// matching the interpreter bit-for-bit, CompilePlan fusing Filter→Map→
+// Project runs into one BatchKernelOperator, zero-copy selection-vector
+// flow (fully-selective passthrough, shared-buffer fan-out, pool
+// accounting), interpreter fallback for non-compilable expressions, and
+// the placed/unplaced × compiled/interpreted equivalence regression on
+// the shared-ingest fan-out.
+
+#include <gtest/gtest.h>
+
+#include "nebula/engine.hpp"
+#include "nebula/exec/kernels.hpp"
+#include "queries/queries.hpp"
+
+namespace nebulameos::nebula {
+namespace {
+
+Schema EventSchema() {
+  return Schema::Build()
+      .AddInt64("key")
+      .AddTimestamp("ts")
+      .AddDouble("value")
+      .AddBool("flag")
+      .AddText16("label")
+      .Finish();
+}
+
+std::shared_ptr<TupleBuffer> MakeBuffer(int n) {
+  auto buf = std::make_shared<TupleBuffer>(EventSchema(), n);
+  for (int i = 0; i < n; ++i) {
+    RecordWriter w = buf->Append();
+    w.SetInt64(0, i - n / 2);  // negatives included
+    w.SetInt64(1, Seconds(i));
+    w.SetDouble(2, (i % 7) * 1.5 - 3.0);
+    w.SetBool(3, i % 3 == 0);
+    w.SetText(4, i % 2 == 0 ? "even" : "odd");
+  }
+  return buf;
+}
+
+std::vector<std::vector<Value>> MakeRows(int n) {
+  std::vector<std::vector<Value>> rows;
+  for (int i = 0; i < n; ++i) {
+    rows.push_back({Value(int64_t{i % 5}), Value(Seconds(i)),
+                    Value(static_cast<double>(i)), Value(i % 2 == 0),
+                    Value(std::string(i % 2 == 0 ? "even" : "odd"))});
+  }
+  return rows;
+}
+
+SourcePtr MakeSource(int n) {
+  return std::make_unique<MemorySource>(EventSchema(), MakeRows(n), 1, "ts");
+}
+
+// --- Kernel vs interpreter equivalence --------------------------------------
+
+TEST(CompiledExpr, KernelsMatchInterpreterExactly) {
+  RegisterBuiltinFunctions();
+  const Schema schema = EventSchema();
+  auto buf = MakeBuffer(64);
+  const std::vector<ExprPtr> exprs = {
+      Add(Attribute("key"), Lit(3)),                          // int64 + int64
+      Arith(ArithOp::kMod, Attribute("key"), Lit(3)),         // int mod
+      Arith(ArithOp::kMod, Attribute("key"), Lit(0)),         // mod by zero
+      Div(Attribute("key"), Lit(2)),                          // int div → double
+      Div(Attribute("value"), Lit(0.0)),                      // div by zero
+      Mul(Sub(Attribute("value"), Lit(1.5)), Attribute("value")),
+      Add(Attribute("key"), Attribute("value")),              // int widens
+      Lt(Attribute("value"), Lit(2.0)),
+      Ge(Attribute("key"), Lit(0)),
+      Eq(Attribute("flag"), Lit(true)),                       // bool compare
+      And(Gt(Attribute("value"), Lit(-1.0)), Not(Attribute("flag"))),
+      Or(Attribute("flag"), Ne(Attribute("key"), Lit(0))),
+      Fn("clamp", {Attribute("value"), Lit(-1.0), Lit(2.5)}),
+      Fn("abs", {Attribute("key")}),
+  };
+  for (const ExprPtr& expr : exprs) {
+    ASSERT_TRUE(expr->Bind(schema).ok()) << expr->ToString();
+    exec::KernelPtr kernel = expr->CompileKernel(schema);
+    ASSERT_NE(kernel, nullptr) << expr->ToString();
+    const exec::RowSpan span = exec::SpanOf(*buf, nullptr);
+    std::vector<double> out(buf->size());
+    kernel->EvalAsDouble(span, out.data());
+    for (size_t i = 0; i < buf->size(); ++i) {
+      const double interpreted = ValueAsDouble(expr->Eval(buf->At(i)));
+      EXPECT_EQ(out[i], interpreted)
+          << expr->ToString() << " at row " << i;
+    }
+  }
+}
+
+TEST(CompiledExpr, KernelsHonorSelectionVectors) {
+  const Schema schema = EventSchema();
+  auto buf = MakeBuffer(32);
+  ExprPtr expr = Mul(Attribute("value"), Lit(2.0));
+  ASSERT_TRUE(expr->Bind(schema).ok());
+  exec::KernelPtr kernel = expr->CompileKernel(schema);
+  ASSERT_NE(kernel, nullptr);
+  const exec::SelectionVector sel = {1, 5, 9, 30};
+  const exec::RowSpan span = exec::SpanOf(*buf, &sel);
+  std::vector<double> out(sel.size());
+  kernel->EvalAsDouble(span, out.data());
+  for (size_t i = 0; i < sel.size(); ++i) {
+    EXPECT_EQ(out[i], ValueAsDouble(expr->Eval(buf->At(sel[i]))));
+  }
+}
+
+TEST(CompiledExpr, TextExpressionsRefuseToCompile) {
+  const Schema schema = EventSchema();
+  ExprPtr text_eq = Eq(Attribute("label"), Lit(std::string("even")));
+  ASSERT_TRUE(text_eq->Bind(schema).ok());
+  EXPECT_EQ(text_eq->CompileKernel(schema), nullptr);
+  // A numeric comparison over a text field widens through the interpreter
+  // only: the field leaf refuses.
+  ExprPtr mixed = Gt(Attribute("label"), Lit(1.0));
+  ASSERT_TRUE(mixed->Bind(schema).ok());
+  EXPECT_EQ(mixed->CompileKernel(schema), nullptr);
+  // And a lambda-registered function without a scalar hook refuses.
+  ASSERT_TRUE(RegisterLambdaFunction(
+                  "test_boxed_identity", 1, DataType::kDouble,
+                  [](const std::vector<Value>& v) { return v[0]; })
+                  .ok() ||
+              ExpressionRegistry::Global().Contains("test_boxed_identity"));
+  ExprPtr boxed = Fn("test_boxed_identity", {Attribute("value")});
+  ASSERT_TRUE(boxed->Bind(schema).ok());
+  EXPECT_EQ(boxed->CompileKernel(schema), nullptr);
+}
+
+// --- Fusion shape -----------------------------------------------------------
+
+Result<LogicalPlan> MakeChainPlan(int n,
+                                  std::shared_ptr<CollectSink>* sink) {
+  *sink = std::make_shared<CollectSink>(Schema::Build()
+                                            .AddInt64("key")
+                                            .AddDouble("scaled")
+                                            .Finish());
+  return Query::From(MakeSource(n))
+      .Filter(Ge(Attribute("value"), Lit(2.0)))
+      .Map("scaled", Mul(Attribute("value"), Lit(2.0)))
+      .Project({"key", "scaled"})
+      .To(*sink)
+      .Build();
+}
+
+TEST(CompilePlanFusion, FilterMapProjectFuseIntoOneBatchPass) {
+  std::shared_ptr<CollectSink> sink;
+  auto plan = MakeChainPlan(10, &sink);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  CompileOptions compiled;
+  auto fused = CompilePlan(plan->source()->schema(), *plan, nullptr, compiled);
+  ASSERT_TRUE(fused.ok()) << fused.status().ToString();
+  ASSERT_EQ(fused->operators.size(), 1u);
+  EXPECT_EQ(fused->operators[0]->name(), "BatchKernels(Filter+Map+Project)");
+  // Stats expand per fused stage under the original operator names, in
+  // chain order — the contract the placement pass depends on.
+  std::vector<std::pair<std::string, OperatorStats>> stats;
+  fused->operators[0]->AppendStats("0/", &stats);
+  ASSERT_EQ(stats.size(), 3u);
+  EXPECT_EQ(stats[0].first, "0/Filter");
+  EXPECT_EQ(stats[1].first, "0/Map");
+  EXPECT_EQ(stats[2].first, "0/Project");
+
+  CompileOptions interpreted;
+  interpreted.compiled_kernels = false;
+  auto unfused =
+      CompilePlan(plan->source()->schema(), *plan, nullptr, interpreted);
+  ASSERT_TRUE(unfused.ok());
+  ASSERT_EQ(unfused->operators.size(), 3u);
+  // Both lowerings agree on the leaf schema.
+  EXPECT_TRUE(fused->output_schema == unfused->output_schema);
+}
+
+TEST(CompilePlanFusion, NonCompilableNodeBreaksTheRunAndFallsBack) {
+  auto sink = std::make_shared<CountingSink>(EventSchema());
+  auto plan = Query::From(MakeSource(10))
+                  .Filter(Ge(Attribute("value"), Lit(1.0)))
+                  .Filter(Eq(Attribute("label"), Lit(std::string("even"))))
+                  .Filter(Ge(Attribute("value"), Lit(2.0)))
+                  .To(sink)
+                  .Build();
+  ASSERT_TRUE(plan.ok());
+  auto pipe = CompilePlan(plan->source()->schema(), *plan);
+  ASSERT_TRUE(pipe.ok()) << pipe.status().ToString();
+  // compiled run | interpreted text filter | compiled run.
+  ASSERT_EQ(pipe->operators.size(), 3u);
+  EXPECT_EQ(pipe->operators[0]->name(), "BatchKernels(Filter)");
+  EXPECT_EQ(pipe->operators[1]->name(), "Filter");
+  EXPECT_EQ(pipe->operators[2]->name(), "BatchKernels(Filter)");
+}
+
+// --- Zero-copy batch flow ---------------------------------------------------
+
+TEST(BatchKernels, FullySelectiveFilterPassesTheInputBufferThrough) {
+  auto sink = std::make_shared<CountingSink>(EventSchema());
+  auto plan = Query::From(MakeSource(16))
+                  .Filter(Ge(Attribute("value"), Lit(-100.0)))  // all pass
+                  .To(sink)
+                  .Build();
+  ASSERT_TRUE(plan.ok());
+  auto pipe = CompilePlan(plan->source()->schema(), *plan);
+  ASSERT_TRUE(pipe.ok());
+  ASSERT_EQ(pipe->operators.size(), 1u);
+  ExecutionContext ctx;
+  ASSERT_TRUE(pipe->operators[0]->Open(&ctx).ok());
+  auto input = MakeBuffer(16);
+  input->Seal();
+  exec::Batch captured;
+  auto capture = [&captured](const exec::Batch& out) { captured = out; };
+  ASSERT_TRUE(
+      pipe->operators[0]->ProcessBatch(exec::Batch(input), capture).ok());
+  // Same buffer object, full selection — zero copies, zero pool draws.
+  EXPECT_EQ(captured.data.get(), input.get());
+  EXPECT_TRUE(captured.IsFull());
+  EXPECT_EQ(ctx.TotalBuffersAcquired(), 0u);
+}
+
+TEST(BatchKernels, PartialFilterSharesTheBufferWithASelection) {
+  auto sink = std::make_shared<CountingSink>(EventSchema());
+  auto plan = Query::From(MakeSource(16))
+                  .Filter(Ge(Attribute("value"), Lit(1.5)))
+                  .To(sink)
+                  .Build();
+  ASSERT_TRUE(plan.ok());
+  auto pipe = CompilePlan(plan->source()->schema(), *plan);
+  ASSERT_TRUE(pipe.ok());
+  ExecutionContext ctx;
+  ASSERT_TRUE(pipe->operators[0]->Open(&ctx).ok());
+  auto input = MakeBuffer(16);
+  input->Seal();
+  exec::Batch captured;
+  auto capture = [&captured](const exec::Batch& out) { captured = out; };
+  ASSERT_TRUE(
+      pipe->operators[0]->ProcessBatch(exec::Batch(input), capture).ok());
+  ASSERT_NE(captured.data, nullptr);
+  EXPECT_EQ(captured.data.get(), input.get());  // shared, not copied
+  ASSERT_FALSE(captured.IsFull());
+  // The selection names exactly the surviving rows.
+  for (size_t i = 0; i < captured.NumRows(); ++i) {
+    EXPECT_GE(captured.data->At(captured.RowAt(i)).GetDouble(2), 1.5);
+  }
+  size_t expected = 0;
+  for (size_t i = 0; i < input->size(); ++i) {
+    if (input->At(i).GetDouble(2) >= 1.5) ++expected;
+  }
+  EXPECT_EQ(captured.NumRows(), expected);
+  EXPECT_EQ(ctx.TotalBuffersAcquired(), 0u);
+}
+
+TEST(EngineZeroCopy, FanOutBranchCountDoesNotMultiplyBufferDraws) {
+  auto run = [](size_t branches) {
+    SplitQuery split = Query::From(MakeSource(5000)).Split(branches);
+    std::vector<std::shared_ptr<CountingSink>> sinks;
+    for (size_t b = 0; b < branches; ++b) {
+      sinks.push_back(std::make_shared<CountingSink>(EventSchema()));
+      std::move(split[b])
+          .Filter(Ge(Attribute("value"), Lit(10.0)))
+          .To(sinks.back());
+    }
+    auto plan = std::move(split).Build();
+    EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+    NodeEngine engine;
+    auto id = engine.Submit(std::move(*plan));
+    EXPECT_TRUE(id.ok()) << id.status().ToString();
+    EXPECT_TRUE(engine.RunToCompletion(*id).ok());
+    auto stats = engine.Stats(*id);
+    EXPECT_TRUE(stats.ok());
+    EXPECT_EQ(stats->events_ingested, 5000u);
+    return stats->buffers_acquired;
+  };
+  const uint64_t two = run(2);
+  const uint64_t four = run(4);
+  // Branch hand-offs share the sealed batch; only the source draws
+  // buffers, so doubling the branches must not change the draw count.
+  EXPECT_EQ(two, four);
+  EXPECT_GT(two, 0u);
+  // And the total is the source's own buffers, not branches × buffers.
+  EXPECT_LE(two, 5000u / 1024 + 2);
+}
+
+// --- Result equivalence through the engine ----------------------------------
+
+using RowMatrix = std::vector<std::vector<Value>>;
+
+void ExpectRowsEqual(const RowMatrix& a, const RowMatrix& b,
+                     const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].size(), b[i].size()) << what << " row " << i;
+    for (size_t j = 0; j < a[i].size(); ++j) {
+      EXPECT_TRUE(a[i][j] == b[i][j]) << what << " row " << i << " col " << j;
+    }
+  }
+}
+
+TEST(EngineCompiled, CompiledAndInterpretedRowsAgree) {
+  auto run = [](bool compiled) {
+    EngineOptions options;
+    options.compiled_kernels = compiled;
+    NodeEngine engine(options);
+    std::shared_ptr<CollectSink> sink;
+    auto plan = MakeChainPlan(200, &sink);
+    EXPECT_TRUE(plan.ok());
+    auto id = engine.Submit(std::move(*plan));
+    EXPECT_TRUE(id.ok()) << id.status().ToString();
+    EXPECT_TRUE(engine.RunToCompletion(*id).ok());
+    return sink->Rows();
+  };
+  ExpectRowsEqual(run(true), run(false), "chain");
+}
+
+TEST(EngineCompiled, FallbackExpressionsKeepResultsIdentical) {
+  // Text filter (interpreted) sandwiched between compilable stages.
+  auto run = [](bool compiled) {
+    EngineOptions options;
+    options.compiled_kernels = compiled;
+    NodeEngine engine(options);
+    auto sink = std::make_shared<CollectSink>(EventSchema());
+    auto plan = Query::From(MakeSource(100))
+                    .Filter(Ge(Attribute("value"), Lit(5.0)))
+                    .Filter(Eq(Attribute("label"), Lit(std::string("even"))))
+                    .Filter(Arith(ArithOp::kMod, Attribute("key"), Lit(2)))
+                    .To(sink)
+                    .Build();
+    EXPECT_TRUE(plan.ok());
+    auto id = engine.Submit(std::move(*plan));
+    EXPECT_TRUE(id.ok()) << id.status().ToString();
+    EXPECT_TRUE(engine.RunToCompletion(*id).ok());
+    return sink->Rows();
+  };
+  const RowMatrix compiled = run(true);
+  ExpectRowsEqual(compiled, run(false), "fallback");
+  ASSERT_FALSE(compiled.empty());
+}
+
+TEST(EngineCompiled, EmptyFilterOutputStillFlushesWindows) {
+  // A filter that drops everything feeds a window: no survivors, no
+  // watermark-only buffers, and the run still terminates cleanly with
+  // zero panes.
+  auto run = [](bool compiled) {
+    EngineOptions options;
+    options.compiled_kernels = compiled;
+    NodeEngine engine(options);
+    auto sink = std::make_shared<CollectSink>(Schema::Build()
+                                                  .AddInt64("key")
+                                                  .AddTimestamp("window_start")
+                                                  .AddTimestamp("window_end")
+                                                  .AddInt64("n")
+                                                  .Finish());
+    auto plan = Query::From(MakeSource(100))
+                    .Filter(Lt(Attribute("value"), Lit(-1.0)))  // drops all
+                    .KeyBy("key")
+                    .TumblingWindow(Seconds(10), "ts")
+                    .Aggregate({AggregateSpec::Count("n")})
+                    .To(sink)
+                    .Build();
+    EXPECT_TRUE(plan.ok());
+    auto id = engine.Submit(std::move(*plan));
+    EXPECT_TRUE(id.ok()) << id.status().ToString();
+    EXPECT_TRUE(engine.RunToCompletion(*id).ok());
+    return sink->RowCount();
+  };
+  EXPECT_EQ(run(true), 0u);
+  EXPECT_EQ(run(false), 0u);
+}
+
+// --- Shared-ingest regression: placed/unplaced × compiled/interpreted -------
+
+struct SinkTotals {
+  std::vector<uint64_t> events;
+  std::vector<uint64_t> bytes;
+};
+
+Result<SinkTotals> RunSharedIngest(const queries::DemoEnvironment& env,
+                                   bool compiled, bool placed,
+                                   const Topology* topo) {
+  queries::QueryOptions qopts;
+  qopts.max_events = 4000;
+  qopts.sink = queries::SinkMode::kCounting;
+  NM_ASSIGN_OR_RETURN(queries::BuiltFanOutQuery built,
+                      queries::BuildSharedIngestFanOut(env, qopts));
+  if (placed) {
+    AnnotateEdgePushdownPlacement(&built.plan, /*edge_node=*/2,
+                                  /*cloud_node=*/1);
+  }
+  EngineOptions options;
+  options.optimizer.enable = false;  // identical plan shape in all configs
+  options.compiled_kernels = compiled;
+  options.topology = placed ? topo : nullptr;
+  NodeEngine engine(options);
+  NM_ASSIGN_OR_RETURN(const int id, engine.Submit(std::move(built.plan)));
+  NM_RETURN_NOT_OK(engine.RunToCompletion(id));
+  NM_ASSIGN_OR_RETURN(QueryStats stats, engine.Stats(id));
+  SinkTotals totals;
+  for (const SinkStats& sink : stats.sink_stats) {
+    totals.events.push_back(sink.events_emitted);
+    totals.bytes.push_back(sink.bytes_emitted);
+  }
+  return totals;
+}
+
+TEST(SharedIngestRegression, PlacedAndCompiledVariantsEmitIdentically) {
+  auto env = queries::DemoEnvironment::Create();
+  ASSERT_TRUE(env.ok()) << env.status().ToString();
+  const Topology topo = Topology::SncbReference(1, 1e6, Millis(50));
+  auto baseline = RunSharedIngest(**env, /*compiled=*/false,
+                                  /*placed=*/false, &topo);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  ASSERT_EQ(baseline->events.size(), 2u);  // alerts + archive
+  for (const bool compiled : {false, true}) {
+    for (const bool placed : {false, true}) {
+      if (!compiled && !placed) continue;
+      auto run = RunSharedIngest(**env, compiled, placed, &topo);
+      ASSERT_TRUE(run.ok()) << run.status().ToString();
+      EXPECT_EQ(run->events, baseline->events)
+          << "compiled=" << compiled << " placed=" << placed;
+      EXPECT_EQ(run->bytes, baseline->bytes)
+          << "compiled=" << compiled << " placed=" << placed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nebulameos::nebula

@@ -79,12 +79,14 @@ class TopKHarness {
       w.SetDouble(2, lon);
       w.SetDouble(3, lat);
     }
-    EXPECT_TRUE(op_->Process(buf, Collector()).ok());
+    EXPECT_TRUE(op_->Process(buf, collector_).ok());
   }
 
-  void Finish() { EXPECT_TRUE(op_->Finish(Collector()).ok()); }
+  void Finish() { EXPECT_TRUE(op_->Finish(collector_).ok()); }
 
-  nebula::Operator::EmitFn Collector() {
+  // Stored callable: Operator::EmitFn is a non-owning FunctionRef, so the
+  // referenced callable must outlive the Process/Finish call.
+  std::function<void(const TupleBufferPtr&)> MakeCollector() {
     return [this](const TupleBufferPtr& out) {
       for (size_t i = 0; i < out->size(); ++i) {
         const auto rec = out->At(i);
@@ -101,6 +103,7 @@ class TopKHarness {
   nebula::ExecutionContext ctx_;
   nebula::OperatorPtr op_;
   std::vector<std::vector<Value>> rows_;
+  std::function<void(const TupleBufferPtr&)> collector_ = MakeCollector();
 };
 
 TopKNearestOptions Options(size_t k) {

@@ -31,12 +31,14 @@ class WindowHarness {
       w.SetInt64(1, ts);
       w.SetDouble(2, value);
     }
-    EXPECT_TRUE(op_->Process(buf, Collector()).ok());
+    EXPECT_TRUE(op_->Process(buf, collector_).ok());
   }
 
-  void Finish() { EXPECT_TRUE(op_->Finish(Collector()).ok()); }
+  void Finish() { EXPECT_TRUE(op_->Finish(collector_).ok()); }
 
-  Operator::EmitFn Collector() {
+  // Stored callable: Operator::EmitFn is a non-owning FunctionRef, so the
+  // referenced callable must outlive the Process/Finish call.
+  std::function<void(const TupleBufferPtr&)> MakeCollector() {
     return [this](const TupleBufferPtr& out) {
       for (size_t i = 0; i < out->size(); ++i) {
         const RecordView rec = out->At(i);
@@ -69,6 +71,7 @@ class WindowHarness {
   ExecutionContext ctx_;
   OperatorPtr op_;
   std::vector<std::vector<Value>> rows_;
+  std::function<void(const TupleBufferPtr&)> collector_ = MakeCollector();
 };
 
 TEST(WindowAssigner, TumblingSingleWindow) {
