@@ -19,13 +19,17 @@
 /// The acceptance bar for this PR: compiled ≥ 2x interpreted on
 /// geofence_filter and fused_filter_map.
 
+#include <atomic>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/time.hpp"
 #include "nebula/engine.hpp"
+#include "nebula/worker_pool.hpp"
 #include "nebulameos/plugin.hpp"
 
 using namespace nebulameos;          // NOLINT
@@ -159,6 +163,86 @@ Result<ModeResult> RunMode(const Workload& workload, bool compiled,
   return result;
 }
 
+// Morsel-driven thread sweep: N fresh compiled pipelines (disjoint
+// operator state), one strand each on a WorkerPool(N), sealed input
+// buffers dispatched round-robin. Measures how the compiled hot path
+// scales when the scheduler — not the kernels — is the variable.
+struct SweepResult {
+  static constexpr size_t kThreads[3] = {1, 2, 4};
+  double mrecs_per_s[3] = {0.0, 0.0, 0.0};
+  double speedup_t4 = 0.0;
+  double efficiency = 0.0;  // speedup_t4 / 4
+};
+
+Result<SweepResult> RunThreadSweep(const Workload& workload,
+                                   const std::vector<TupleBufferPtr>& inputs,
+                                   int repeats) {
+  SweepResult sweep;
+  for (int ti = 0; ti < 3; ++ti) {
+    const size_t n = SweepResult::kThreads[ti];
+    // One pipeline + context per worker: workers never share operator
+    // state, only the immutable sealed input buffers.
+    std::vector<CompiledPipeline> pipes;
+    std::vector<std::unique_ptr<ExecutionContext>> ctxs;
+    pipes.reserve(n);
+    for (size_t w = 0; w < n; ++w) {
+      NM_ASSIGN_OR_RETURN(LogicalPlan plan, workload.build());
+      CompileOptions copts;
+      copts.compiled_kernels = true;
+      NM_ASSIGN_OR_RETURN(CompiledPipeline pipe,
+                          CompilePlan(GeoSchema(), plan, nullptr, copts));
+      ctxs.push_back(std::make_unique<ExecutionContext>(
+          inputs.empty() ? 1024 : inputs[0]->capacity(), 256));
+      for (OperatorPtr& op : pipe.operators) {
+        NM_RETURN_NOT_OK(op->Open(ctxs.back().get()));
+      }
+      if (pipe.sink) NM_RETURN_NOT_OK(pipe.sink->Open(ctxs.back().get()));
+      pipes.push_back(std::move(pipe));
+    }
+    // Warmup every pipeline (scratch columns size themselves).
+    for (size_t w = 0; w < n; ++w) {
+      for (const TupleBufferPtr& buf : inputs) {
+        NM_RETURN_NOT_OK(PushBatch(&pipes[w], 0, exec::Batch(buf)));
+      }
+    }
+    std::atomic<uint64_t> errors{0};
+    uint64_t rows = 0;
+    const int64_t start = MonotonicNowMicros();
+    {
+      WorkerPool pool(n);
+      std::vector<std::unique_ptr<WorkerPool::Strand>> strands;
+      for (size_t w = 0; w < n; ++w) strands.push_back(pool.MakeStrand());
+      size_t next = 0;
+      for (int r = 0; r < repeats; ++r) {
+        for (const TupleBufferPtr& buf : inputs) {
+          rows += buf->size();
+          const size_t w = next++ % n;
+          CompiledPipeline* pipe = &pipes[w];
+          strands[w]->Post([pipe, buf, &errors] {
+            if (!PushBatch(pipe, 0, exec::Batch(buf)).ok()) {
+              errors.fetch_add(1, std::memory_order_relaxed);
+            }
+          });
+        }
+      }
+      pool.Drain();
+    }
+    const double seconds =
+        static_cast<double>(MonotonicNowMicros() - start) / 1e6;
+    if (errors.load() != 0) {
+      return Status::Internal(workload.name +
+                              ": pipeline error during thread sweep");
+    }
+    sweep.mrecs_per_s[ti] =
+        seconds > 0.0 ? static_cast<double>(rows) / 1e6 / seconds : 0.0;
+  }
+  sweep.speedup_t4 = sweep.mrecs_per_s[0] > 0.0
+                         ? sweep.mrecs_per_s[2] / sweep.mrecs_per_s[0]
+                         : 0.0;
+  sweep.efficiency = sweep.speedup_t4 / 4.0;
+  return sweep;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -267,17 +351,20 @@ int main(int argc, char** argv) {
     std::string name;
     ModeResult interp;
     ModeResult compiled;
+    SweepResult sweep;
   };
   std::vector<Row> rows;
   bool ok = true;
   for (const Workload& workload : workloads) {
     auto interp = RunMode(workload, /*compiled=*/false, inputs, repeats);
     auto compiled = RunMode(workload, /*compiled=*/true, inputs, repeats);
-    if (!interp.ok() || !compiled.ok()) {
+    auto sweep = RunThreadSweep(workload, inputs, repeats);
+    if (!interp.ok() || !compiled.ok() || !sweep.ok()) {
+      const Status& failure = !interp.ok()     ? interp.status()
+                              : !compiled.ok() ? compiled.status()
+                                               : sweep.status();
       std::fprintf(stderr, "%s failed: %s\n", workload.name.c_str(),
-                   (!interp.ok() ? interp.status() : compiled.status())
-                       .ToString()
-                       .c_str());
+                   failure.ToString().c_str());
       ok = false;
       continue;
     }
@@ -299,7 +386,21 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(compiled->emitted /
                                                 (repeats + 1)),
                 static_cast<unsigned long long>(compiled->buffers_acquired));
-    rows.push_back({workload.name, *interp, *compiled});
+    rows.push_back({workload.name, *interp, *compiled, *sweep});
+  }
+
+  // Morsel-driven scaling: compiled pipelines per worker on a
+  // WorkerPool, sealed buffers round-robin across strands.
+  std::printf("\nmorsel-driven thread sweep (compiled kernels)\n");
+  std::printf("%-18s %10s %10s %10s %9s %11s\n", "workload", "t1 Mrec/s",
+              "t2 Mrec/s", "t4 Mrec/s", "t4/t1", "efficiency");
+  std::printf("--------------------------------------------------------------"
+              "-----------\n");
+  for (const Row& row : rows) {
+    std::printf("%-18s %10.2f %10.2f %10.2f %8.2fx %10.0f%%\n",
+                row.name.c_str(), row.sweep.mrecs_per_s[0],
+                row.sweep.mrecs_per_s[1], row.sweep.mrecs_per_s[2],
+                row.sweep.speedup_t4, row.sweep.efficiency * 100.0);
   }
 
   // Acceptance self-check: >= 2x on the geofence filter and the fused
@@ -337,12 +438,19 @@ int main(int argc, char** argv) {
       std::fprintf(json,
                    "    {\"name\": \"%s\", \"interpreted_mrecs_per_s\": %.3f,"
                    " \"compiled_mrecs_per_s\": %.3f,\n"
-                   "     \"speedup\": %.3f, \"compiled_pool_draws\": %llu}%s\n",
+                   "     \"speedup\": %.3f, \"compiled_pool_draws\": %llu,\n"
+                   "     \"ke_per_s_t1\": %.1f, \"ke_per_s_t2\": %.1f,"
+                   " \"ke_per_s_t4\": %.1f,\n"
+                   "     \"scaling_speedup_t4\": %.3f,"
+                   " \"scaling_efficiency\": %.3f}%s\n",
                    row.name.c_str(), row.interp.mrecs_per_s,
                    row.compiled.mrecs_per_s, speedup,
                    static_cast<unsigned long long>(
                        row.compiled.buffers_acquired),
-                   i + 1 < rows.size() ? "," : "");
+                   row.sweep.mrecs_per_s[0] * 1e3,
+                   row.sweep.mrecs_per_s[1] * 1e3,
+                   row.sweep.mrecs_per_s[2] * 1e3, row.sweep.speedup_t4,
+                   row.sweep.efficiency, i + 1 < rows.size() ? "," : "");
     }
     std::fprintf(json, "  ]\n}\n");
     std::fclose(json);

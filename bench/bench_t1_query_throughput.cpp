@@ -13,6 +13,7 @@
 
 #include <cstdio>
 #include <string>
+#include <thread>
 
 #include "queries/queries.hpp"
 
@@ -83,6 +84,50 @@ FanOutRows RunFanOutComparison(const DemoEnvironment& env,
     out.independent_ingested += stats->events_ingested;
     out.independent_seconds +=
         static_cast<double>(stats->elapsed_micros) / 1e6;
+  }
+  return out;
+}
+
+// Morsel scaling: the shared-ingest fan-out plan swept over worker
+// counts 1/2/4. All runs are pipelined (source on its own thread), so
+// the sweep isolates what the worker pool adds: concurrent branches plus
+// the hash-partitioned window suffix.
+struct ThreadScaling {
+  static constexpr size_t kCounts[3] = {1, 2, 4};
+  double ke_per_s[3] = {0.0, 0.0, 0.0};
+  double speedup_t4 = 0.0;    // ke/s at 4 workers over 1 worker
+  double efficiency = 0.0;    // speedup_t4 / 4
+};
+
+ThreadScaling RunThreadSweep(const DemoEnvironment& env,
+                             uint64_t max_events) {
+  ThreadScaling out;
+  for (size_t i = 0; i < 3; ++i) {
+    QueryOptions options;
+    options.max_events = max_events;
+    options.sink = SinkMode::kCounting;
+    auto built = BuildSharedIngestFanOut(env, options);
+    if (!built.ok()) {
+      std::fprintf(stderr, "thread sweep build failed: %s\n",
+                   built.status().ToString().c_str());
+      return out;
+    }
+    nebula::EngineOptions engine_options;
+    engine_options.pipelined = true;
+    engine_options.worker_threads = ThreadScaling::kCounts[i];
+    nebula::NodeEngine engine(engine_options);
+    auto id = engine.Submit(std::move(built->plan));
+    if (!id.ok() || !engine.RunToCompletion(*id).ok()) {
+      std::fprintf(stderr, "thread sweep run failed at %zu workers\n",
+                   ThreadScaling::kCounts[i]);
+      return out;
+    }
+    auto stats = engine.Stats(*id);
+    out.ke_per_s[i] = stats->EventsPerSecond() / 1e3;
+  }
+  if (out.ke_per_s[0] > 0.0) {
+    out.speedup_t4 = out.ke_per_s[2] / out.ke_per_s[0];
+    out.efficiency = out.speedup_t4 / 4.0;
   }
   return out;
 }
@@ -208,6 +253,22 @@ int main(int argc, char** argv) {
                 fanout.independent_seconds / fanout.combined_seconds);
   }
 
+  // Morsel-driven scaling on the fan-out plan: worker counts 1/2/4.
+  const ThreadScaling scaling = RunThreadSweep(**env, events);
+  std::printf("\nmorsel-driven scaling (fan-out plan, pipelined source,"
+              " worker pool 1/2/4):\n");
+  std::printf("  %-10s %12s %12s\n", "workers", "ke/s", "speedup");
+  for (size_t i = 0; i < 3; ++i) {
+    std::printf("  %-10zu %12.1f %12.2fx\n", ThreadScaling::kCounts[i],
+                scaling.ke_per_s[i],
+                scaling.ke_per_s[0] > 0
+                    ? scaling.ke_per_s[i] / scaling.ke_per_s[0]
+                    : 0.0);
+  }
+  std::printf("  scaling efficiency at 4 workers: %.2f"
+              " (%u hardware threads on this host)\n",
+              scaling.efficiency, std::thread::hardware_concurrency());
+
   // Machine-readable trajectory record (one JSON object per run).
   if (FILE* json = std::fopen(json_path.c_str(), "w")) {
     std::fprintf(json,
@@ -247,11 +308,18 @@ int main(int argc, char** argv) {
         "  ],\n  \"fanout\": {\"combined_ingested\": %llu,"
         " \"combined_seconds\": %.4f,\n"
         "             \"independent_ingested\": %llu,"
-        " \"independent_seconds\": %.4f}\n",
+        " \"independent_seconds\": %.4f,\n"
+        "             \"ke_per_s_t1\": %.2f, \"ke_per_s_t2\": %.2f,"
+        " \"ke_per_s_t4\": %.2f,\n"
+        "             \"scaling_speedup_t4\": %.3f,"
+        " \"scaling_efficiency\": %.3f,\n"
+        "             \"hardware_concurrency\": %u}\n",
         static_cast<unsigned long long>(fanout.combined_ingested),
         fanout.combined_seconds,
         static_cast<unsigned long long>(fanout.independent_ingested),
-        fanout.independent_seconds);
+        fanout.independent_seconds, scaling.ke_per_s[0], scaling.ke_per_s[1],
+        scaling.ke_per_s[2], scaling.speedup_t4, scaling.efficiency,
+        std::thread::hardware_concurrency());
     std::fprintf(json, "}\n");
     std::fclose(json);
     std::printf("\nwrote %s\n", json_path.c_str());

@@ -1,9 +1,26 @@
 #!/usr/bin/env bash
 # Tier-1 verify: configure + build + test in one command (ROADMAP.md).
 #   scripts/check.sh [build-dir]
+#
+# Opt-in concurrency gate (mirrors the CI `sanitize-thread` job):
+#   CHECK_TSAN=1 scripts/check.sh
+# builds Debug + ThreadSanitizer into build-tsan/ and runs the full
+# suite with NM_WORKER_THREADS=4, forcing every engine test through the
+# morsel-driven multi-core path under the race detector.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+if [[ "${CHECK_TSAN:-0}" == "1" ]]; then
+  BUILD_DIR="${1:-build-tsan}"
+  cmake -B "$BUILD_DIR" -S . \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-sanitize-recover=all"
+  cmake --build "$BUILD_DIR" -j
+  cd "$BUILD_DIR" && NM_WORKER_THREADS=4 ctest --output-on-failure -j
+  exit 0
+fi
+
 BUILD_DIR="${1:-build}"
 
 cmake -B "$BUILD_DIR" -S .

@@ -26,7 +26,7 @@ TupleBufferPtr BufferManager::Acquire() {
   cv_.wait(lock, [this] { return !free_.empty(); });
   auto buf = std::move(free_.back());
   free_.pop_back();
-  ++total_acquired_;
+  total_acquired_.fetch_add(1, std::memory_order_relaxed);
   lock.unlock();
   return Wrap(std::move(buf));
 }
@@ -36,7 +36,7 @@ TupleBufferPtr BufferManager::TryAcquire() {
   if (free_.empty()) return nullptr;
   auto buf = std::move(free_.back());
   free_.pop_back();
-  ++total_acquired_;
+  total_acquired_.fetch_add(1, std::memory_order_relaxed);
   lock.unlock();
   return Wrap(std::move(buf));
 }
@@ -44,11 +44,6 @@ TupleBufferPtr BufferManager::TryAcquire() {
 size_t BufferManager::available() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return free_.size();
-}
-
-uint64_t BufferManager::total_acquired() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return total_acquired_;
 }
 
 TupleBufferPtr BufferManager::Wrap(std::unique_ptr<TupleBuffer> buf) {

@@ -8,6 +8,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <mutex>
 
@@ -36,8 +37,11 @@ class BufferManager : public std::enable_shared_from_this<BufferManager> {
   /// Total `Acquire`/`TryAcquire` hand-outs over the pool's lifetime —
   /// the pool-accounting counter behind the zero-copy fan-out tests: a
   /// branch hand-off must not draw new buffers, so this must not scale
-  /// with branch count.
-  uint64_t total_acquired() const;
+  /// with branch count. Atomic: workers acquire concurrently while the
+  /// engine snapshots `QueryStats::buffers_acquired` mid-run.
+  uint64_t total_acquired() const {
+    return total_acquired_.load(std::memory_order_relaxed);
+  }
 
   /// Total buffers owned by the pool.
   size_t pool_size() const { return pool_size_; }
@@ -57,7 +61,7 @@ class BufferManager : public std::enable_shared_from_this<BufferManager> {
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::vector<std::unique_ptr<TupleBuffer>> free_;
-  uint64_t total_acquired_ = 0;
+  std::atomic<uint64_t> total_acquired_{0};
 };
 
 }  // namespace nebulameos::nebula

@@ -205,8 +205,8 @@ bool CepOperator::AdvanceRun(Run* run, const RecordView& rec, Timestamp t,
   return true;
 }
 
-Status CepOperator::Process(const TupleBufferPtr& input, const EmitFn& emit) {
-  CountIn(*input);
+Status CepOperator::DoProcess(const exec::Batch& input, const EmitFn& emit) {
+  CountIn(input);
   TupleBufferPtr out;
   auto ensure_out = [&]() {
     if (!out) out = ctx_->Allocate(output_schema_);
@@ -216,8 +216,8 @@ Status CepOperator::Process(const TupleBufferPtr& input, const EmitFn& emit) {
       out = ctx_->Allocate(output_schema_);
     }
   };
-  for (size_t i = 0; i < input->size(); ++i) {
-    const RecordView rec = input->At(i);
+  for (size_t i = 0; i < input.NumRows(); ++i) {
+    const RecordView rec = input.data->At(input.RowAt(i));
     const Timestamp t = rec.GetInt64(time_index_);
     const KeyValue key = KeyOf(rec);
     std::deque<Run>& key_runs = runs_[key];
@@ -284,6 +284,19 @@ Status CepOperator::Process(const TupleBufferPtr& input, const EmitFn& emit) {
     emit(out);
   }
   return Status::OK();
+}
+
+Status CepOperator::Process(const TupleBufferPtr& input, const EmitFn& emit) {
+  return DoProcess(exec::Batch(input), emit);
+}
+
+Status CepOperator::ProcessBatch(const exec::Batch& input,
+                                 const BatchEmitFn& emit) {
+  auto forward = [&emit](const TupleBufferPtr& out) {
+    out->Seal();
+    emit(exec::Batch(out));
+  };
+  return DoProcess(input, forward);
 }
 
 size_t CepOperator::ActiveRuns() const {

@@ -1,13 +1,49 @@
 #include "nebula/engine.hpp"
 
 #include <condition_variable>
+#include <cstdlib>
 #include <deque>
+#include <functional>
 
 #include "common/logging.hpp"
+#include "nebula/worker_pool.hpp"
 
 namespace nebulameos::nebula {
 
 namespace {
+
+// Worker count resolution: an explicit option wins; otherwise the
+// NM_WORKER_THREADS environment variable (the CI/TSan toggle that forces
+// every test through the concurrent path unchanged); otherwise 1.
+size_t ResolveWorkerThreads(size_t configured) {
+  if (configured > 0) return configured;
+  if (const char* env = std::getenv("NM_WORKER_THREADS")) {
+    const long v = std::atol(env);
+    if (v > 0) return static_cast<size_t>(v);
+  }
+  return 1;
+}
+
+// splitmix64 finalizer: partition router hash for integer keys. The raw
+// key must not pick the partition directly — sequential ids would then
+// map adjacent keys to adjacent partitions and skew under stride
+// patterns.
+uint64_t HashKeyInt(int64_t v) {
+  uint64_t x = static_cast<uint64_t>(v) + 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// FNV-1a: partition router hash for text keys.
+uint64_t HashKeyText(const std::string& s) {
+  uint64_t h = 1469598103934665603ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
 
 /// Bounded blocking queue for the pipelined hand-off between the source
 /// thread and the processing thread.
@@ -81,27 +117,109 @@ struct NodeEngine::RunningQuery {
   // Ingest-side counters (source output).
   std::atomic<uint64_t> events_ingested{0};
   std::atomic<uint64_t> bytes_ingested{0};
-  int64_t started_at = 0;
-  int64_t finished_at = 0;
+  std::atomic<int64_t> started_at{0};
+  std::atomic<int64_t> finished_at{0};
 
   // Plan renderings captured at submission (the plan is consumed).
   QueryPlanText plan_text;
 
-  // Pushes a batch through segment operators [from..] and onward: into
-  // the sink at a leaf, or once into each branch at a fan-out. Every
-  // branch receives the *same* sealed batch — buffers are immutable after
-  // seal and branch filters refine selection vectors instead of mutating,
-  // so the hand-off is zero-copy (no per-branch copies, no pool draw).
+  // Morsel execution (worker_threads > 1): one strand per dispatch target
+  // (each fan-out branch, each key partition) keeps that target's
+  // stateful operators single-threaded and its buffer order intact while
+  // distinct targets run concurrently. Built in Start() before any task
+  // is posted, immutable afterwards — lock-free to read. `pool` is
+  // declared after `strands` so its destructor (which runs remaining
+  // strand tasks) fires first.
+  std::map<const CompiledPipeline*, std::unique_ptr<WorkerPool::Strand>>
+      strands;
+  std::unique_ptr<WorkerPool> pool;
+  // First task failure wins; later tasks short-circuit on `failed`.
+  std::atomic<bool> failed{false};
+  std::mutex error_mutex;
+  Status first_error;
+
+  void RecordFailure(const Status& st) {
+    {
+      std::lock_guard<std::mutex> lock(error_mutex);
+      if (first_error.ok()) first_error = st;
+    }
+    failed.store(true, std::memory_order_relaxed);
+  }
+
+  // Creates one strand per dispatch target below `seg` (the root segment
+  // itself runs on the posting thread).
+  void MakeStrands(CompiledPipeline* seg) {
+    for (CompiledPipeline& branch : seg->branches) {
+      strands[&branch] = pool->MakeStrand();
+      MakeStrands(&branch);
+    }
+    for (CompiledPipeline& part : seg->partitions) {
+      strands[&part] = pool->MakeStrand();
+      MakeStrands(&part);
+    }
+  }
+
+  // Runs `target`'s chain over `batch`: inline without a pool, else as a
+  // task on the target's strand.
+  Status Dispatch(CompiledPipeline* target, const exec::Batch& batch) {
+    if (!pool) return PushThrough(target, 0, batch);
+    strands.at(target)->Post([this, target, batch] {
+      if (failed.load(std::memory_order_relaxed)) return;
+      const Status st = PushThrough(target, 0, batch);
+      if (!st.ok()) RecordFailure(st);
+    });
+    return Status::OK();
+  }
+
+  // Routes each selected row of `batch` to the partition owning its key
+  // (hash of the key field modulo the partition count) as a selection
+  // vector over the *shared* sealed buffer — the hand-off copies row
+  // indices, never rows.
+  Status DispatchPartitions(CompiledPipeline* seg, const exec::Batch& batch) {
+    const size_t num_parts = seg->partitions.size();
+    const bool text_key = seg->partition_key_type == DataType::kText16 ||
+                          seg->partition_key_type == DataType::kText32;
+    std::vector<exec::SelectionVector> sels(num_parts);
+    for (size_t i = 0; i < batch.NumRows(); ++i) {
+      const size_t row = batch.RowAt(i);
+      const RecordView rec = batch.data->At(row);
+      const uint64_t h =
+          text_key ? HashKeyText(rec.GetText(seg->partition_key_index))
+                   : HashKeyInt(rec.GetInt64(seg->partition_key_index));
+      sels[h % num_parts].push_back(static_cast<uint32_t>(row));
+    }
+    for (size_t p = 0; p < num_parts; ++p) {
+      if (sels[p].empty()) continue;
+      const exec::Batch part(
+          batch.data,
+          std::make_shared<exec::SelectionVector>(std::move(sels[p])));
+      NM_RETURN_NOT_OK(Dispatch(&seg->partitions[p], part));
+    }
+    return Status::OK();
+  }
+
+  // End of a segment's operator chain: route the batch onward — to the
+  // key partitions, once per fan-out branch (every branch receives the
+  // *same* sealed batch; buffers are immutable after seal and filters
+  // refine selection vectors instead of mutating, so the hand-off is
+  // zero-copy), or into the sink at a leaf.
+  Status DispatchTail(CompiledPipeline* seg, const exec::Batch& batch) {
+    if (!seg->partitions.empty()) return DispatchPartitions(seg, batch);
+    if (!seg->branches.empty()) {
+      for (CompiledPipeline& branch : seg->branches) {
+        NM_RETURN_NOT_OK(Dispatch(&branch, batch));
+      }
+      return Status::OK();
+    }
+    return seg->sink->ProcessBatch(batch, [](const exec::Batch&) {});
+  }
+
+  // Pushes a batch through segment operators [from..] and onward via
+  // `DispatchTail`.
   Status PushThrough(CompiledPipeline* seg, size_t from,
                      const exec::Batch& batch) {
     if (from >= seg->operators.size()) {
-      if (seg->branches.empty()) {
-        return seg->sink->ProcessBatch(batch, [](const exec::Batch&) {});
-      }
-      for (CompiledPipeline& branch : seg->branches) {
-        NM_RETURN_NOT_OK(PushThrough(&branch, 0, batch));
-      }
-      return Status::OK();
+      return DispatchTail(seg, batch);
     }
     Status inner = Status::OK();
     auto forward = [this, seg, from, &inner](const exec::Batch& out) {
@@ -113,9 +231,22 @@ struct NodeEngine::RunningQuery {
     return inner;
   }
 
+  // Finishes `target` on its own strand (inline without a pool). Strand
+  // FIFO order makes this safe: every data task for the target was posted
+  // before the finish task, so Finish observes the complete stream.
+  Status FinishTarget(CompiledPipeline* target) {
+    if (!pool) return FinishSegment(target);
+    strands.at(target)->Post([this, target] {
+      if (failed.load(std::memory_order_relaxed)) return;
+      const Status st = FinishSegment(target);
+      if (!st.ok()) RecordFailure(st);
+    });
+    return Status::OK();
+  }
+
   // End-of-stream: cascade Finish through the segment's chain (flushed
-  // state flows through the rest of the chain and into the branches), then
-  // finish each branch pipeline.
+  // state flows through the rest of the chain and into the downstream
+  // targets), then finish each partition and branch pipeline.
   Status FinishSegment(CompiledPipeline* seg) {
     for (size_t i = 0; i < seg->operators.size(); ++i) {
       Status inner = Status::OK();
@@ -128,15 +259,20 @@ struct NodeEngine::RunningQuery {
       if (!s.ok()) return s;
       if (!inner.ok()) return inner;
     }
+    for (CompiledPipeline& part : seg->partitions) {
+      NM_RETURN_NOT_OK(FinishTarget(&part));
+    }
     for (CompiledPipeline& branch : seg->branches) {
-      NM_RETURN_NOT_OK(FinishSegment(&branch));
+      NM_RETURN_NOT_OK(FinishTarget(&branch));
     }
     return Status::OK();
   }
 
   Status FinishAll() { return FinishSegment(&pipeline); }
 
-  // Opens every operator and sink in the tree.
+  // Opens every operator and sink in the tree. Partition clones share
+  // their leaf sink, so it is opened once per clone — Open only stores
+  // the context, which is identical each time.
   Status OpenAll(CompiledPipeline* seg) {
     for (OperatorPtr& op : seg->operators) {
       NM_RETURN_NOT_OK(op->Open(ctx.get()));
@@ -145,11 +281,16 @@ struct NodeEngine::RunningQuery {
     for (CompiledPipeline& branch : seg->branches) {
       NM_RETURN_NOT_OK(OpenAll(&branch));
     }
+    for (CompiledPipeline& part : seg->partitions) {
+      NM_RETURN_NOT_OK(OpenAll(&part));
+    }
     return Status::OK();
   }
 };
 
-NodeEngine::NodeEngine(EngineOptions options) : options_(options) {}
+NodeEngine::NodeEngine(EngineOptions options)
+    : options_(options),
+      worker_threads_(ResolveWorkerThreads(options.worker_threads)) {}
 
 NodeEngine::~NodeEngine() {
   std::vector<int> ids;
@@ -176,6 +317,7 @@ Result<int> NodeEngine::Submit(LogicalPlan plan) {
   rq->plan_text.optimized = plan.Explain();
   CompileOptions compile_options;
   compile_options.compiled_kernels = options_.compiled_kernels;
+  compile_options.partitions = worker_threads_;
   NM_ASSIGN_OR_RETURN(rq->pipeline,
                       CompilePlan(plan.source()->schema(), plan,
                                   options_.topology, compile_options));
@@ -225,21 +367,24 @@ void NodeEngine::SourceLoop(RunningQuery* rq) {
 }
 
 void NodeEngine::RunLoop(RunningQuery* rq) {
-  rq->started_at = MonotonicNowMicros();
   Status status = Status::OK();
   if (options_.pipelined) {
     while (true) {
       TupleBufferPtr buf = rq->queue->Pop();
       if (!buf) break;
       status = rq->PushThrough(&rq->pipeline, 0, exec::Batch(std::move(buf)));
-      if (!status.ok() || rq->cancel.load()) break;
+      if (!status.ok() || rq->cancel.load() ||
+          rq->failed.load(std::memory_order_relaxed)) {
+        break;
+      }
     }
     // The queue only closes after the source thread recorded its status.
     if (status.ok() && !rq->source_status.ok()) {
       status = rq->source_status;
     }
   } else {
-    while (!rq->cancel.load()) {
+    while (!rq->cancel.load() &&
+           !rq->failed.load(std::memory_order_relaxed)) {
       TupleBufferPtr buf = rq->ctx->Allocate(rq->source->schema());
       auto more = rq->source->Fill(buf.get());
       if (!more.ok()) {
@@ -258,11 +403,19 @@ void NodeEngine::RunLoop(RunningQuery* rq) {
     }
   }
   if (status.ok()) status = rq->FinishAll();
+  // Run every dispatched morsel (including the finish cascades just
+  // posted) to completion before reading the task-side error slot; the
+  // drain also guarantees task-captured buffer handles have recycled.
+  if (rq->pool) rq->pool->Drain();
+  if (status.ok()) {
+    std::lock_guard<std::mutex> lock(rq->error_mutex);
+    status = rq->first_error;
+  }
   if (!status.ok()) {
     NM_LOG_ERROR() << "query " << rq->id << " failed: " << status.ToString();
   }
   rq->run_status = status;
-  rq->finished_at = MonotonicNowMicros();
+  rq->finished_at.store(MonotonicNowMicros());
   rq->finished.store(true);
 }
 
@@ -278,6 +431,15 @@ Status NodeEngine::Start(int query_id) {
   }
   if (rq->started.exchange(true)) {
     return Status::FailedPrecondition("query already started");
+  }
+  rq->started_at.store(MonotonicNowMicros());
+  if (worker_threads_ > 1) {
+    // Strand capacity = the pipelined hand-off depth: the ingest thread
+    // blocks once a target falls that many sealed batches behind
+    // (worker-side posts never block — see worker_pool.hpp).
+    rq->pool =
+        std::make_unique<WorkerPool>(worker_threads_, options_.queue_capacity);
+    rq->MakeStrands(&rq->pipeline);
   }
   if (options_.pipelined) {
     rq->queue = std::make_unique<BoundedQueue>(options_.queue_capacity);
@@ -340,33 +502,64 @@ Result<QueryStats> NodeEngine::Stats(int query_id) const {
   stats.events_ingested = rq->events_ingested.load();
   stats.bytes_ingested = rq->bytes_ingested.load();
   if (rq->finished.load()) {
-    stats.elapsed_micros = rq->finished_at - rq->started_at;
+    stats.elapsed_micros = rq->finished_at.load() - rq->started_at.load();
   } else if (rq->started.load()) {
-    stats.elapsed_micros = MonotonicNowMicros() - rq->started_at;
+    stats.elapsed_micros = MonotonicNowMicros() - rq->started_at.load();
   }
   stats.buffers_acquired = rq->ctx->TotalBuffersAcquired();
   // Depth-first over the pipeline tree: operators keyed by DAG path, one
   // SinkStats entry per leaf, emitted totals summed across sinks. Fused
   // batch-kernel operators expand to one entry per fused stage, so the
-  // sequence matches the logical plan shape either way.
-  ForEachSegment(rq->pipeline, [&stats](const CompiledPipeline& seg) {
-    const std::string prefix = seg.path.empty() ? "" : seg.path + "/";
-    for (const OperatorPtr& op : seg.operators) {
-      op->AppendStats(prefix, &stats.operator_stats);
-    }
-    if (seg.sink) {
-      stats.operator_stats.emplace_back(prefix + seg.sink->name(),
-                                        seg.sink->stats());
-      SinkStats sink_stats;
-      sink_stats.path = seg.path;
-      sink_stats.name = seg.sink->name();
-      sink_stats.events_emitted = seg.sink->stats().events_in;
-      sink_stats.bytes_emitted = seg.sink->stats().bytes_in;
-      stats.events_emitted += sink_stats.events_emitted;
-      stats.bytes_emitted += sink_stats.bytes_emitted;
-      stats.sink_stats.push_back(std::move(sink_stats));
-    }
-  });
+  // sequence matches the logical plan shape either way. Partition clones
+  // carry their segment's path and identical operator sequences, so their
+  // entries sum element-wise into one per-path sequence — and they share
+  // one sink, counted once.
+  const auto append_sink = [&stats](const CompiledPipeline& seg,
+                                    const std::string& prefix) {
+    const OperatorStats sink_flow = seg.sink->stats();
+    stats.operator_stats.emplace_back(prefix + seg.sink->name(), sink_flow);
+    SinkStats sink_stats;
+    sink_stats.path = seg.path;
+    sink_stats.name = seg.sink->name();
+    sink_stats.events_emitted = sink_flow.events_in;
+    sink_stats.bytes_emitted = sink_flow.bytes_in;
+    stats.events_emitted += sink_stats.events_emitted;
+    stats.bytes_emitted += sink_stats.bytes_emitted;
+    stats.sink_stats.push_back(std::move(sink_stats));
+  };
+  const std::function<void(const CompiledPipeline&)> visit =
+      [&](const CompiledPipeline& seg) {
+        const std::string prefix = seg.path.empty() ? "" : seg.path + "/";
+        for (const OperatorPtr& op : seg.operators) {
+          op->AppendStats(prefix, &stats.operator_stats);
+        }
+        if (!seg.partitions.empty()) {
+          std::vector<std::pair<std::string, OperatorStats>> summed;
+          for (const CompiledPipeline& part : seg.partitions) {
+            std::vector<std::pair<std::string, OperatorStats>> one;
+            for (const OperatorPtr& op : part.operators) {
+              op->AppendStats(prefix, &one);
+            }
+            if (summed.empty()) {
+              summed = std::move(one);
+            } else {
+              for (size_t i = 0; i < summed.size() && i < one.size(); ++i) {
+                summed[i].second.Add(one[i].second);
+              }
+            }
+          }
+          for (auto& entry : summed) {
+            stats.operator_stats.push_back(std::move(entry));
+          }
+          if (seg.partitions.front().sink) {
+            append_sink(seg.partitions.front(), prefix);
+          }
+          return;
+        }
+        if (seg.sink) append_sink(seg, prefix);
+        for (const CompiledPipeline& branch : seg.branches) visit(branch);
+      };
+  visit(rq->pipeline);
   return stats;
 }
 

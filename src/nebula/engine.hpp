@@ -15,6 +15,14 @@
 /// threads with a bounded hand-off queue (backpressure). Multiple queries
 /// run concurrently on their own threads.
 ///
+/// With `EngineOptions::worker_threads > 1` execution is *morsel-driven*
+/// (docs/ARCHITECTURE.md "Threading model"): a fixed worker pool pulls
+/// (dispatch-target, sealed-batch) morsels from per-target strands — each
+/// fan-out branch runs concurrently per ingested buffer, and a qualifying
+/// keyed stateful suffix is compiled once per worker and fed by hashing
+/// the key into per-partition selection vectors, so every clone owns
+/// disjoint state and per-key results match sequential execution.
+///
 /// The engine tracks per-query statistics — events/bytes ingested and
 /// emitted, wall-clock time, derived e/s and MB/s, per-operator flow keyed
 /// by DAG path and per-sink emitted counts — which the benchmark harness
@@ -85,6 +93,13 @@ struct EngineOptions {
   size_t pool_size = 128;           ///< buffers per schema pool
   bool pipelined = false;           ///< source and pipeline on two threads
   size_t queue_capacity = 8;        ///< hand-off queue depth (pipelined)
+  /// Workers in the morsel-driven pool. 1 executes every query on its own
+  /// single thread (the historical behavior); N > 1 runs fan-out branches
+  /// concurrently and hash-partitions qualifying keyed stateful suffixes
+  /// N ways. 0 (the default) resolves from the `NM_WORKER_THREADS`
+  /// environment variable, else 1 — the toggle the TSan CI job uses to
+  /// force every existing test through the concurrent path unchanged.
+  size_t worker_threads = 0;
   /// Logical-plan rewrite configuration; `optimizer.enable = false`
   /// submits plans verbatim (A/B benchmarking, debugging).
   OptimizerOptions optimizer;
@@ -169,6 +184,7 @@ class NodeEngine {
   void SourceLoop(RunningQuery* rq);
 
   EngineOptions options_;
+  size_t worker_threads_ = 1;  ///< resolved from options/env at construction
   mutable std::mutex mutex_;
   std::map<int, std::unique_ptr<RunningQuery>> queries_;
   int next_id_ = 1;

@@ -232,8 +232,7 @@ Status BatchKernelOperator::ProcessBatch(const Batch& input,
   bool alive = cur.NumRows() > 0;
   for (Stage& stage : stages_) {
     const uint64_t rows_in = alive ? cur.NumRows() : 0;
-    stage.stats.events_in += rows_in;
-    stage.stats.bytes_in += rows_in * stage.in_record_size;
+    stage.stats.AddIn(rows_in, rows_in * stage.in_record_size);
     if (alive) {
       if (stage.predicate.has_value()) {
         scratch_sel_.clear();
@@ -260,8 +259,7 @@ Status BatchKernelOperator::ProcessBatch(const Batch& input,
       }
     }
     const uint64_t rows_out = alive ? cur.NumRows() : 0;
-    stage.stats.events_out += rows_out;
-    stage.stats.bytes_out += rows_out * stage.out_record_size;
+    stage.stats.AddOut(rows_out, rows_out * stage.out_record_size);
   }
   if (!alive) return Status::OK();
   CountOut(cur);
@@ -294,7 +292,7 @@ void BatchKernelOperator::AppendStats(
     const std::string& prefix,
     std::vector<std::pair<std::string, OperatorStats>>* out) const {
   for (const Stage& stage : stages_) {
-    out->emplace_back(prefix + stage.name, stage.stats);
+    out->emplace_back(prefix + stage.name, stage.stats.Snapshot());
   }
 }
 

@@ -144,7 +144,7 @@ class BatchKernelOperator final : public Operator {
     std::optional<CompiledPredicate> predicate;
     std::optional<CompiledMap> map;
     std::optional<CompiledProjection> projection;
-    OperatorStats stats;
+    FlowCounters stats;
   };
 
   BatchKernelOperator() = default;

@@ -317,24 +317,104 @@ Status LowerTransition(const Topology& topology, int from_node, int to_node,
   return Status::OK();
 }
 
-// Lowers one chain into `pipe`, recursing at a fan-out. `current` is the
-// schema entering the chain. `current_node` tracks which topology node
-// the pipeline is on (kUnplaced for single-node compilation); when a
-// placed node differs, the transition lowers to a channel pair first.
+// The key field a keyed stateful node partitions its state by: the folded
+// KeyBy field when one is pending, else the node's own key option. Empty
+// when the node is not a keyed stateful operator (including global
+// windows). Mirrors the fold rules in `CompileChain` exactly.
+std::string StatefulKeyField(const LogicalOperator& node,
+                             const std::string& pending_key) {
+  switch (node.kind()) {
+    case LogicalOperator::Kind::kWindowAgg: {
+      const auto& opts = static_cast<const WindowAggNode&>(node).options();
+      return pending_key.empty() ? opts.key_field : pending_key;
+    }
+    case LogicalOperator::Kind::kThresholdWindow: {
+      const auto& opts =
+          static_cast<const ThresholdWindowNode&>(node).options();
+      return pending_key.empty() ? opts.key_field : pending_key;
+    }
+    case LogicalOperator::Kind::kCep: {
+      const auto& pattern = static_cast<const CepNode&>(node).pattern();
+      return pattern.key_field.empty() ? pending_key : pattern.key_field;
+    }
+    default:
+      return "";
+  }
+}
+
+// True when the chain suffix starting at the keyed stateful node at
+// `begin` may run as per-key hash partitions: nothing downstream may
+// merge keys (fan-out), hold non-key-partitioned state (lookup join),
+// re-key (KeyBy or a second stateful node), or cross a placement
+// boundary (a network channel's frame order is per-channel, not
+// per-key).
+bool SuffixPartitionable(const Chain& ops, size_t begin,
+                         const Topology* topology, int current_node) {
+  for (size_t i = begin; i < ops.size(); ++i) {
+    const LogicalOperator& node = *ops[i];
+    switch (node.kind()) {
+      case LogicalOperator::Kind::kFanOut:
+      case LogicalOperator::Kind::kLookupJoin:
+      case LogicalOperator::Kind::kKeyBy:
+        return false;
+      case LogicalOperator::Kind::kWindowAgg:
+      case LogicalOperator::Kind::kThresholdWindow:
+      case LogicalOperator::Kind::kCep:
+        if (i != begin) return false;
+        break;
+      default:
+        break;
+    }
+    if (topology != nullptr &&
+        node.placement() != LogicalOperator::kUnplaced &&
+        current_node != LogicalOperator::kUnplaced &&
+        node.placement() != current_node) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool PartitionableKeyType(DataType type) {
+  switch (type) {
+    case DataType::kInt64:
+    case DataType::kTimestamp:
+    case DataType::kText16:
+    case DataType::kText32:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Lowers one chain into `pipe` starting at node `begin`, recursing at a
+// fan-out. `current` is the schema entering the chain at `begin`;
+// `pending_key_in` seeds the folded KeyBy field (non-empty only when a
+// partition clone re-enters the chain at its stateful node).
+// `current_node` tracks which topology node the pipeline is on (kUnplaced
+// for single-node compilation); when a placed node differs, the
+// transition lowers to a channel pair first.
 //
 // With `copts.compiled_kernels` on, maximal runs of Filter/Map/Project
 // nodes whose expressions lower to batch kernels fuse into one
 // `exec::BatchKernelOperator`; a refused expression, any other node kind,
 // or a placement transition ends the run and lowering continues with the
 // interpreted operators.
-Status CompileChain(const Chain& ops, const Schema& current_in,
-                    const std::string& path, CompiledPipeline* pipe,
-                    const Topology* topology, int current_node,
-                    const CompileOptions& copts) {
+//
+// With `copts.partitions > 1`, reaching a keyed stateful node whose
+// suffix qualifies (`SuffixPartitionable`) compiles that suffix once per
+// partition into `pipe->partitions` (each clone re-entering this function
+// with partitions = 1) and records the key's index and type for the
+// engine's hash router.
+Status CompileChain(const Chain& ops, size_t begin,
+                    const std::string& pending_key_in,
+                    const Schema& current_in, const std::string& path,
+                    CompiledPipeline* pipe, const Topology* topology,
+                    int current_node, const CompileOptions& copts) {
   Schema current = current_in;
   pipe->path = path;
   // A KeyBy node's field is folded into the node it precedes.
-  std::string pending_key;
+  std::string pending_key = pending_key_in;
   // The in-flight fused run (engaged while consecutive nodes absorb).
   std::optional<exec::BatchKernelCompiler> fuser;
   const auto flush_fused = [&]() {
@@ -346,7 +426,39 @@ Status CompileChain(const Chain& ops, const Schema& current_in,
     }
     fuser.reset();
   };
-  for (const LogicalOperatorPtr& node : ops) {
+  for (size_t idx = begin; idx < ops.size(); ++idx) {
+    const LogicalOperatorPtr& node = ops[idx];
+    // Partitioned-parallel trigger: a qualifying keyed stateful node ends
+    // this segment's sequential chain; its whole suffix (through the
+    // sink) compiles once per partition. Checked before placement
+    // lowering — a transition anywhere in the suffix disqualifies it, so
+    // nothing is lowered twice.
+    if (copts.partitions > 1) {
+      const std::string key = StatefulKeyField(*node, pending_key);
+      if (!key.empty() && current.HasField(key) &&
+          SuffixPartitionable(ops, idx, topology, current_node)) {
+        NM_ASSIGN_OR_RETURN(const size_t key_index, current.IndexOf(key));
+        const DataType key_type = current.field(key_index).type;
+        if (PartitionableKeyType(key_type)) {
+          flush_fused();
+          CompileOptions sub = copts;
+          sub.partitions = 1;
+          for (size_t p = 0; p < copts.partitions; ++p) {
+            CompiledPipeline part;
+            // Clones keep this segment's path: their operators carry the
+            // same stats keys and are summed per path by the engine.
+            NM_RETURN_NOT_OK(CompileChain(ops, idx, pending_key, current,
+                                          path, &part, topology,
+                                          current_node, sub));
+            pipe->partitions.push_back(std::move(part));
+          }
+          pipe->partition_key_index = key_index;
+          pipe->partition_key_type = key_type;
+          pipe->output_schema = current;
+          return Status::OK();  // the suffix lives in the partitions
+        }
+      }
+    }
     // Placement lowering (KeyBy is a marker folded into its consumer, so
     // it never moves the pipeline on its own). A transition is a fusion
     // barrier: kernels never span two placement segments.
@@ -468,7 +580,7 @@ Status CompileChain(const Chain& ops, const Schema& current_in,
         const auto& fan = static_cast<const FanOutNode&>(*node);
         for (size_t b = 0; b < fan.branches().size(); ++b) {
           CompiledPipeline branch;
-          NM_RETURN_NOT_OK(CompileChain(fan.branches()[b], current,
+          NM_RETURN_NOT_OK(CompileChain(fan.branches()[b], 0, "", current,
                                         BranchPath(path, b), &branch,
                                         topology, current_node, copts));
           pipe->branches.push_back(std::move(branch));
@@ -649,7 +761,7 @@ Result<CompiledPipeline> CompilePlan(const Schema& source_schema,
                                      const Topology* topology,
                                      const CompileOptions& options) {
   CompiledPipeline root;
-  NM_RETURN_NOT_OK(CompileChain(plan.ops(), source_schema, "", &root,
+  NM_RETURN_NOT_OK(CompileChain(plan.ops(), 0, "", source_schema, "", &root,
                                 topology, plan.source_placement(), options));
   return root;
 }

@@ -378,6 +378,17 @@ struct CompiledPipeline {
   /// along the chain, in chain order). The engine aggregates these into
   /// the measured `DeploymentReport`.
   std::vector<std::shared_ptr<NetworkChannel>> channels;
+  /// Partitioned-parallel suffix: when `CompileOptions::partitions > 1`
+  /// and the chain reaches a keyed stateful node whose downstream suffix
+  /// qualifies, the suffix is compiled once per partition here instead of
+  /// into `operators`. Each clone owns disjoint keyed state; the engine
+  /// routes rows by hashing the key field (below) into a selection vector
+  /// per partition. All clones share the chain's terminal sink and carry
+  /// the same `path`, so per-path stats sum across clones. Mutually
+  /// exclusive with `branches` / a non-null `sink` on this segment.
+  std::vector<CompiledPipeline> partitions;
+  size_t partition_key_index = 0;  ///< key field in `operators`' output
+  DataType partition_key_type = DataType::kInt64;
 };
 
 /// \brief Physical lowering configuration.
@@ -388,6 +399,14 @@ struct CompileOptions {
   /// compile fall back to the interpreted operators; false interprets
   /// everything (A/B benchmarking).
   bool compiled_kernels = true;
+  /// Compile the suffix hanging off each qualifying keyed stateful node
+  /// (window aggregation, threshold window, CEP) this many times, one
+  /// clone per hash partition of the key (`CompiledPipeline::partitions`).
+  /// 1 (the default) compiles everything into a single sequential chain.
+  /// Suffixes containing fan-outs, joins, a second keyed stateful node,
+  /// or placement transitions stay sequential — their state or channel
+  /// ordering is not per-key-disjoint.
+  size_t partitions = 1;
 };
 
 /// \brief Lowers a validated plan to its physical pipeline tree (schemas

@@ -13,6 +13,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <map>
 
 #include "common/function_ref.hpp"
@@ -36,6 +37,64 @@ struct OperatorStats {
                : static_cast<double>(events_out) /
                      static_cast<double>(events_in);
   }
+
+  /// Element-wise accumulation — the aggregation step behind summing one
+  /// logical operator's counters over its per-partition clones.
+  void Add(const OperatorStats& other) {
+    events_in += other.events_in;
+    events_out += other.events_out;
+    bytes_in += other.bytes_in;
+    bytes_out += other.bytes_out;
+  }
+};
+
+/// \brief The live, updatable form of `OperatorStats`: relaxed atomics so
+/// an operator owned by one worker strand can count flow while another
+/// thread snapshots `Stats()` mid-run without a data race. Each counter is
+/// written by at most one thread at a time (the strand guarantee), so
+/// relaxed increments are exact; readers see a near-current snapshot.
+class FlowCounters {
+ public:
+  void AddIn(uint64_t events, uint64_t bytes) {
+    events_in_.fetch_add(events, std::memory_order_relaxed);
+    bytes_in_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+
+  void AddOut(uint64_t events, uint64_t bytes) {
+    events_out_.fetch_add(events, std::memory_order_relaxed);
+    bytes_out_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+
+  OperatorStats Snapshot() const {
+    OperatorStats s;
+    s.events_in = events_in_.load(std::memory_order_relaxed);
+    s.events_out = events_out_.load(std::memory_order_relaxed);
+    s.bytes_in = bytes_in_.load(std::memory_order_relaxed);
+    s.bytes_out = bytes_out_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  // Value-copyable (atomics are not), so structs holding counters stay
+  // movable. Only safe while no other thread is mutating `other`.
+  FlowCounters() = default;
+  FlowCounters(const FlowCounters& other) { *this = other; }
+  FlowCounters& operator=(const FlowCounters& other) {
+    events_in_.store(other.events_in_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    events_out_.store(other.events_out_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    bytes_in_.store(other.bytes_in_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+    bytes_out_.store(other.bytes_out_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    return *this;
+  }
+
+ private:
+  std::atomic<uint64_t> events_in_{0};
+  std::atomic<uint64_t> events_out_{0};
+  std::atomic<uint64_t> bytes_in_{0};
+  std::atomic<uint64_t> bytes_out_{0};
 };
 
 /// \brief Shared runtime services for one query execution.
@@ -109,47 +168,45 @@ class Operator {
   /// End-of-stream: flush any remaining state (window panes, open runs).
   virtual Status Finish(const EmitFn& /*emit*/) { return Status::OK(); }
 
-  /// Flow counters.
-  const OperatorStats& stats() const { return stats_; }
+  /// Flow counters snapshot (safe to call while the operator runs on a
+  /// different thread; see `FlowCounters`).
+  OperatorStats stats() const { return stats_.Snapshot(); }
 
   /// Appends this operator's flow counters to \p out keyed by
   /// `prefix + name()`. Fused batch-kernel operators expand to one entry
   /// per fused logical stage, in chain order, so plan-shaped consumers
   /// (`QueryStats::operator_stats`, the placement pass) see the same
-  /// sequence whether or not the chain was fused.
+  /// sequence whether or not the chain was fused. Thread-safe: counters
+  /// are snapshotted atomically per entry.
   virtual void AppendStats(
       const std::string& prefix,
       std::vector<std::pair<std::string, OperatorStats>>* out) const {
-    out->emplace_back(prefix + name(), stats_);
+    out->emplace_back(prefix + name(), stats_.Snapshot());
   }
 
  protected:
   /// Records an input buffer in the stats.
   void CountIn(const TupleBuffer& buf) {
-    stats_.events_in += buf.size();
-    stats_.bytes_in += buf.SizeBytes();
+    stats_.AddIn(buf.size(), buf.SizeBytes());
   }
 
   /// Records an input batch (selected rows only) in the stats.
   void CountIn(const exec::Batch& batch) {
-    stats_.events_in += batch.NumRows();
-    stats_.bytes_in += batch.SizeBytes();
+    stats_.AddIn(batch.NumRows(), batch.SizeBytes());
   }
 
   /// Records an output buffer in the stats.
   void CountOut(const TupleBuffer& buf) {
-    stats_.events_out += buf.size();
-    stats_.bytes_out += buf.SizeBytes();
+    stats_.AddOut(buf.size(), buf.SizeBytes());
   }
 
   /// Records an output batch (selected rows only) in the stats.
   void CountOut(const exec::Batch& batch) {
-    stats_.events_out += batch.NumRows();
-    stats_.bytes_out += batch.SizeBytes();
+    stats_.AddOut(batch.NumRows(), batch.SizeBytes());
   }
 
   ExecutionContext* ctx_ = nullptr;
-  OperatorStats stats_;
+  FlowCounters stats_;
 };
 
 using OperatorPtr = std::unique_ptr<Operator>;

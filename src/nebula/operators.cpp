@@ -519,11 +519,11 @@ Status WindowAggOperator::FireUpTo(Timestamp watermark, const EmitFn& emit) {
   return Status::OK();
 }
 
-Status WindowAggOperator::Process(const TupleBufferPtr& input,
-                                  const EmitFn& emit) {
-  CountIn(*input);
-  for (size_t i = 0; i < input->size(); ++i) {
-    const RecordView rec = input->At(i);
+Status WindowAggOperator::DoProcess(const exec::Batch& input,
+                                    const EmitFn& emit) {
+  CountIn(input);
+  for (size_t i = 0; i < input.NumRows(); ++i) {
+    const RecordView rec = input.data->At(input.RowAt(i));
     const Timestamp t = rec.GetInt64(time_index_);
     max_event_time_ = std::max(max_event_time_, t);
     assigner_.AssignWindows(t, &scratch_starts_);
@@ -543,6 +543,20 @@ Status WindowAggOperator::Process(const TupleBufferPtr& input,
     return FireUpTo(max_event_time_ - options_.allowed_lateness, emit);
   }
   return Status::OK();
+}
+
+Status WindowAggOperator::Process(const TupleBufferPtr& input,
+                                  const EmitFn& emit) {
+  return DoProcess(exec::Batch(input), emit);
+}
+
+Status WindowAggOperator::ProcessBatch(const exec::Batch& input,
+                                       const BatchEmitFn& emit) {
+  auto forward = [&emit](const TupleBufferPtr& out) {
+    out->Seal();
+    emit(exec::Batch(out));
+  };
+  return DoProcess(input, forward);
 }
 
 Status WindowAggOperator::Finish(const EmitFn& emit) {
@@ -622,12 +636,12 @@ void ThresholdWindowOperator::CloseInto(const KeyValue& key, OpenWindow& win,
   }
 }
 
-Status ThresholdWindowOperator::Process(const TupleBufferPtr& input,
-                                        const EmitFn& emit) {
-  CountIn(*input);
+Status ThresholdWindowOperator::DoProcess(const exec::Batch& input,
+                                          const EmitFn& emit) {
+  CountIn(input);
   TupleBufferPtr out;
-  for (size_t i = 0; i < input->size(); ++i) {
-    const RecordView rec = input->At(i);
+  for (size_t i = 0; i < input.NumRows(); ++i) {
+    const RecordView rec = input.data->At(input.RowAt(i));
     const Timestamp t = rec.GetInt64(time_index_);
     KeyValue key = keyed_ ? (key_type_ == DataType::kText16 ||
                                      key_type_ == DataType::kText32
@@ -665,6 +679,20 @@ Status ThresholdWindowOperator::Process(const TupleBufferPtr& input,
     emit(out);
   }
   return Status::OK();
+}
+
+Status ThresholdWindowOperator::Process(const TupleBufferPtr& input,
+                                        const EmitFn& emit) {
+  return DoProcess(exec::Batch(input), emit);
+}
+
+Status ThresholdWindowOperator::ProcessBatch(const exec::Batch& input,
+                                             const BatchEmitFn& emit) {
+  auto forward = [&emit](const TupleBufferPtr& out) {
+    out->Seal();
+    emit(exec::Batch(out));
+  };
+  return DoProcess(input, forward);
 }
 
 Status ThresholdWindowOperator::Finish(const EmitFn& emit) {
@@ -730,8 +758,7 @@ Status NetworkChannelSink::Process(const TupleBufferPtr& input,
   const uint64_t wire = frame.size();
   channel_->Send(std::move(frame), input->SizeBytes(), input->size());
   // Wire-byte accounting (CountOut would count the unserialized buffer).
-  stats_.events_out += input->size();
-  stats_.bytes_out += wire;
+  stats_.AddOut(input->size(), wire);
   // The emitted buffer only drives the paired NetworkChannelSource, which
   // reads the serialized frame from the channel instead.
   emit(input);
@@ -763,8 +790,7 @@ Status NetworkChannelSource::Drain(const EmitFn& emit) {
       return Status::Internal(
           "network frame payload does not match its record count");
     }
-    stats_.events_in += count;
-    stats_.bytes_in += frame.size();
+    stats_.AddIn(count, frame.size());
     const uint8_t* payload = frame.data() + kFrameHeaderBytes;
     // Reconstruct buffers, splitting when a frame outsizes the pool shape.
     uint64_t emitted = 0;

@@ -142,6 +142,11 @@ class WindowAggOperator : public Operator {
   std::string name() const override { return "WindowAgg"; }
   const Schema& output_schema() const override { return output_schema_; }
   Status Process(const TupleBufferPtr& input, const EmitFn& emit) override;
+  /// Selection-aware: reads selected rows through the selection vector
+  /// instead of materializing the partial batch first — a hash-partitioned
+  /// window input (engine worker strands) draws no extra pool buffers.
+  Status ProcessBatch(const exec::Batch& input,
+                      const BatchEmitFn& emit) override;
   Status Finish(const EmitFn& emit) override;
 
  private:
@@ -154,6 +159,7 @@ class WindowAggOperator : public Operator {
 
   WindowAggOperator() = default;
 
+  Status DoProcess(const exec::Batch& input, const EmitFn& emit);
   Pane MakePane() const;
   KeyValue KeyOf(const RecordView& rec) const;
   void WritePane(const PaneKey& key, Pane& pane, TupleBuffer* out) const;
@@ -199,6 +205,9 @@ class ThresholdWindowOperator : public Operator {
   std::string name() const override { return "ThresholdWindow"; }
   const Schema& output_schema() const override { return output_schema_; }
   Status Process(const TupleBufferPtr& input, const EmitFn& emit) override;
+  /// Selection-aware (see `WindowAggOperator::ProcessBatch`).
+  Status ProcessBatch(const exec::Batch& input,
+                      const BatchEmitFn& emit) override;
   Status Finish(const EmitFn& emit) override;
 
  private:
@@ -212,6 +221,7 @@ class ThresholdWindowOperator : public Operator {
 
   ThresholdWindowOperator() = default;
 
+  Status DoProcess(const exec::Batch& input, const EmitFn& emit);
   OpenWindow MakeWindow(Timestamp start) const;
   void CloseInto(const KeyValue& key, OpenWindow& win, TupleBuffer* out) const;
 

@@ -1,0 +1,93 @@
+#include "nebula/worker_pool.hpp"
+
+namespace nebulameos::nebula {
+
+WorkerPool::WorkerPool(size_t workers, size_t strand_capacity)
+    : strand_capacity_(strand_capacity) {
+  if (workers == 0) workers = 1;
+  threads_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { WorkerMain(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  ready_cv_.notify_all();
+  space_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+std::unique_ptr<WorkerPool::Strand> WorkerPool::MakeStrand() {
+  return std::unique_ptr<Strand>(new Strand(this));
+}
+
+void WorkerPool::Strand::Post(std::function<void()> task) {
+  pool_->Post(this, std::move(task));
+}
+
+void WorkerPool::Post(Strand* strand, std::function<void()> task) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  // Only external threads honour the bound: a worker blocking on a full
+  // strand could leave every worker blocked with no one left to drain.
+  if (strand_capacity_ > 0 && !OnWorkerThread()) {
+    space_cv_.wait(lock, [&] {
+      return strand->tasks_.size() < strand_capacity_ || stop_;
+    });
+  }
+  if (stop_) return;
+  strand->tasks_.push_back(std::move(task));
+  ++pending_;
+  if (!strand->scheduled_) {
+    strand->scheduled_ = true;
+    ready_.push_back(strand);
+    ready_cv_.notify_one();
+  }
+}
+
+void WorkerPool::Drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  drained_cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+bool WorkerPool::OnWorkerThread() const {
+  const std::thread::id self = std::this_thread::get_id();
+  for (const std::thread& t : threads_) {
+    if (t.get_id() == self) return true;
+  }
+  return false;
+}
+
+void WorkerPool::WorkerMain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    ready_cv_.wait(lock, [this] { return !ready_.empty() || stop_; });
+    if (ready_.empty()) {
+      if (stop_) return;  // shutdown only once every queue is dry
+      continue;
+    }
+    Strand* strand = ready_.front();
+    ready_.pop_front();
+    std::function<void()> task = std::move(strand->tasks_.front());
+    strand->tasks_.pop_front();
+    lock.unlock();
+    task();
+    // Destroy the task before acknowledging completion, so Drain() implies
+    // captured buffer handles have recycled into their pools.
+    task = nullptr;
+    lock.lock();
+    if (strand->tasks_.empty()) {
+      strand->scheduled_ = false;
+    } else {
+      ready_.push_back(strand);  // requeue at the back: strand fairness
+      ready_cv_.notify_one();
+    }
+    if (--pending_ == 0) drained_cv_.notify_all();
+    if (strand_capacity_ > 0) space_cv_.notify_all();
+  }
+}
+
+}  // namespace nebulameos::nebula

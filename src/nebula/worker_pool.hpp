@@ -1,0 +1,96 @@
+/// \file worker_pool.hpp
+/// \brief The morsel-driven worker pool behind multi-core query execution.
+///
+/// A `WorkerPool` owns a fixed set of worker threads pulling tasks from
+/// *strands* — FIFO task queues with the actor guarantee that at most one
+/// worker runs a given strand's tasks at any moment, in post order. The
+/// engine gives every dispatch target of a compiled pipeline tree (each
+/// fan-out branch, each key partition of a stateful operator) its own
+/// strand, so a stateful operator instance is only ever touched by one
+/// task at a time and per-strand buffer order is preserved, while distinct
+/// strands run concurrently across the pool.
+///
+/// Posts from outside the pool (the ingest thread) block while the target
+/// strand holds `strand_capacity` queued tasks — the bounded morsel queue
+/// that backpressures ingest against slow operators. Posts *from worker
+/// threads* (a branch task fanning out to key partitions) never block:
+/// a worker that blocked on a full queue could deadlock the pool, and the
+/// memory these posts pin is already bounded by the buffer pools backing
+/// the batches they carry.
+
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace nebulameos::nebula {
+
+/// \brief Fixed pool of worker threads executing strand-serialized tasks.
+class WorkerPool {
+ public:
+  /// \brief One FIFO task queue: tasks run in post order, never
+  /// concurrently with each other, on whichever worker picks the strand
+  /// up. Created via `WorkerPool::MakeStrand`; must not outlive the pool.
+  class Strand {
+   public:
+    Strand(const Strand&) = delete;
+    Strand& operator=(const Strand&) = delete;
+
+    /// Enqueues \p task. Blocks while the strand is at capacity, unless
+    /// the caller is itself a pool worker (worker posts never block).
+    /// Tasks posted after the pool started shutting down are dropped.
+    void Post(std::function<void()> task);
+
+   private:
+    friend class WorkerPool;
+    explicit Strand(WorkerPool* pool) : pool_(pool) {}
+
+    WorkerPool* pool_;
+    // Guarded by pool_->mutex_.
+    std::deque<std::function<void()>> tasks_;
+    bool scheduled_ = false;  // queued in ready_ or running on a worker
+  };
+
+  /// Spawns \p workers threads. \p strand_capacity bounds each strand's
+  /// queued (not yet started) tasks for non-worker posters; 0 = unbounded.
+  explicit WorkerPool(size_t workers, size_t strand_capacity = 0);
+
+  /// Runs every remaining task to completion, then joins the workers.
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Creates a new strand bound to this pool.
+  std::unique_ptr<Strand> MakeStrand();
+
+  /// Blocks until every posted task (including tasks posted by tasks)
+  /// has finished executing and released its captures.
+  void Drain();
+
+  /// True when the calling thread is one of this pool's workers.
+  bool OnWorkerThread() const;
+
+  size_t num_workers() const { return threads_.size(); }
+
+ private:
+  void Post(Strand* strand, std::function<void()> task);
+  void WorkerMain();
+
+  mutable std::mutex mutex_;
+  std::condition_variable ready_cv_;    // workers: a strand became ready
+  std::condition_variable space_cv_;    // bounded posters: capacity freed
+  std::condition_variable drained_cv_;  // Drain: pending_ hit zero
+  std::deque<Strand*> ready_;           // strands with queued tasks, FIFO
+  size_t pending_ = 0;                  // posted tasks not yet completed
+  size_t strand_capacity_;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;  // immutable after construction
+};
+
+}  // namespace nebulameos::nebula

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "nebula/engine.hpp"
 
 namespace nebulameos::nebula {
@@ -251,9 +253,15 @@ TEST(Placement, PlacedAndUnplacedRunsAgree) {
 
   // Every row of every sink must match: the channels serialized,
   // shipped and reconstructed the exact same records (watermarks
-  // included — the window aggregate fires identically).
-  EXPECT_EQ(high->Rows(), high_ref->Rows());
-  EXPECT_EQ(agg->Rows(), agg_ref->Rows());
+  // included — the window aggregate fires identically). Compared as row
+  // sets: partitioned execution (worker_threads > 1) interleaves per-key
+  // window emissions in no specified order.
+  auto sorted = [](std::vector<std::vector<Value>> rows) {
+    std::sort(rows.begin(), rows.end());
+    return rows;
+  };
+  EXPECT_EQ(sorted(high->Rows()), sorted(high_ref->Rows()));
+  EXPECT_EQ(sorted(agg->Rows()), sorted(agg_ref->Rows()));
   EXPECT_FALSE(agg->Rows().empty());
 }
 
