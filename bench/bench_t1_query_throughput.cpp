@@ -29,7 +29,40 @@ struct Row {
   double ke_per_s;
   double mb_per_s;
   uint64_t emitted;
+  nebula::metrics::MetricsSnapshot metrics;
 };
+
+// Merges every per-operator self-time histogram (`op.*.process_micros`)
+// of a snapshot into one distribution. Buckets are aligned power-of-two
+// across all histograms, so the merge is exact: the result answers "how
+// long does one operator invocation take in this plan", which is the
+// latency-percentile summary the trajectory JSON records per query.
+nebula::metrics::HistogramSnapshot MergedOpLatency(
+    const nebula::metrics::MetricsSnapshot& snap) {
+  nebula::metrics::HistogramSnapshot merged;
+  merged.buckets.assign(nebula::metrics::kHistogramBuckets, 0);
+  bool first = true;
+  const std::string suffix = ".process_micros";
+  for (const auto& [name, hist] : snap.histograms) {
+    // Only operator self-time histograms; skip batch_rows, channel and
+    // strand distributions.
+    if (name.rfind("op.", 0) != 0 || name.size() < suffix.size() ||
+        name.compare(name.size() - suffix.size(), suffix.size(), suffix) !=
+            0) {
+      continue;
+    }
+    if (hist.count == 0) continue;
+    merged.count += hist.count;
+    merged.sum += hist.sum;
+    merged.min = first ? hist.min : std::min(merged.min, hist.min);
+    merged.max = first ? hist.max : std::max(merged.max, hist.max);
+    first = false;
+    for (size_t b = 0; b < hist.buckets.size(); ++b) {
+      merged.buckets[b] += hist.buckets[b];
+    }
+  }
+  return merged;
+}
 
 // Fan-out comparison: one shared-ingest DAG plan vs the same two
 // workloads (Q1 alerts + Q2 noise archive) as independent submissions.
@@ -133,7 +166,7 @@ ThreadScaling RunThreadSweep(const DemoEnvironment& env,
 }
 
 Row RunQuery(const DemoEnvironment& env, int number, uint64_t max_events,
-             bool optimize, bool compiled = true) {
+             bool optimize, bool compiled = true, bool metrics = true) {
   QueryOptions options;
   options.max_events = max_events;
   options.sink = SinkMode::kCounting;
@@ -141,16 +174,17 @@ Row RunQuery(const DemoEnvironment& env, int number, uint64_t max_events,
   if (!built.ok()) {
     std::fprintf(stderr, "build Q%d failed: %s\n", number,
                  built.status().ToString().c_str());
-    return {number, 0, 0, 0, 0, 0};
+    return {number, 0, 0, 0, 0, 0, {}};
   }
   nebula::EngineOptions engine_options;
   engine_options.optimizer.enable = optimize;
   engine_options.compiled_kernels = compiled;
+  engine_options.metrics_enabled = metrics;
   nebula::NodeEngine engine(engine_options);
   auto id = engine.Submit(std::move(built->plan));
   if (!id.ok() || !engine.RunToCompletion(*id).ok()) {
     std::fprintf(stderr, "run Q%d failed\n", number);
-    return {number, 0, 0, 0, 0, 0};
+    return {number, 0, 0, 0, 0, 0, {}};
   }
   auto stats = engine.Stats(*id);
   Row row;
@@ -160,7 +194,37 @@ Row RunQuery(const DemoEnvironment& env, int number, uint64_t max_events,
   row.ke_per_s = stats->EventsPerSecond() / 1e3;
   row.mb_per_s = stats->MegabytesPerSecond();
   row.emitted = stats->events_emitted;
+  if (metrics) {
+    if (auto snap = engine.Metrics(*id); snap.ok()) row.metrics = *snap;
+  }
   return row;
+}
+
+// Collection overhead: the same query with the registry disabled vs the
+// default always-on instrumentation. Records the throughput delta so the
+// trajectory JSON guards the "<5% overhead" budget (CI runners are
+// noisy, so the number is a trend signal, not a gate).
+struct MetricsOverhead {
+  double ke_per_s_off = 0.0;
+  double ke_per_s_on = 0.0;
+  double overhead_pct = 0.0;
+};
+
+MetricsOverhead MeasureMetricsOverhead(const DemoEnvironment& env,
+                                       uint64_t max_events) {
+  MetricsOverhead out;
+  // Q1 (geofencing) is the widest-record, highest-rate row — the most
+  // metrics-sensitive hot path. One warm-up pass, then measure.
+  RunQuery(env, 1, max_events, /*optimize=*/true);
+  out.ke_per_s_off = RunQuery(env, 1, max_events, /*optimize=*/true,
+                              /*compiled=*/true, /*metrics=*/false)
+                         .ke_per_s;
+  out.ke_per_s_on = RunQuery(env, 1, max_events, /*optimize=*/true).ke_per_s;
+  if (out.ke_per_s_off > 0.0) {
+    out.overhead_pct =
+        (out.ke_per_s_off - out.ke_per_s_on) / out.ke_per_s_off * 100.0;
+  }
+  return out;
 }
 
 }  // namespace
@@ -169,6 +233,8 @@ int main(int argc, char** argv) {
   uint64_t events = 400'000;
   if (argc > 1) events = std::strtoull(argv[1], nullptr, 10);
   const std::string json_path = argc > 2 ? argv[2] : "BENCH_t1.json";
+  const std::string metrics_json_path =
+      argc > 3 ? argv[3] : "BENCH_t1_metrics.json";
 
   auto env = DemoEnvironment::Create();
   if (!env.ok()) {
@@ -269,6 +335,13 @@ int main(int argc, char** argv) {
               " (%u hardware threads on this host)\n",
               scaling.efficiency, std::thread::hardware_concurrency());
 
+  // Always-on instrumentation must stay within its <5% throughput budget.
+  const MetricsOverhead overhead = MeasureMetricsOverhead(**env, events);
+  std::printf("\nmetrics collection overhead (Q1, registry off vs on):"
+              " %.1f ke/s -> %.1f ke/s (%.2f%%)\n",
+              overhead.ke_per_s_off, overhead.ke_per_s_on,
+              overhead.overhead_pct);
+
   // Machine-readable trajectory record (one JSON object per run).
   if (FILE* json = std::fopen(json_path.c_str(), "w")) {
     std::fprintf(json,
@@ -287,7 +360,7 @@ int main(int argc, char** argv) {
           "     \"events_emitted\": %llu,\n"
           "     \"paper_ke_per_s\": %.2f, \"paper_mb_per_s\": %.2f,\n"
           "     \"speedup_vs_paper\": %.2f, \"optimizer_gain\": %.4f,"
-          " \"compiled_gain\": %.4f}%s\n",
+          " \"compiled_gain\": %.4f,\n",
           q, QueryName(q), static_cast<unsigned long long>(row.events),
           row.seconds, row.ke_per_s, row.mb_per_s, verbatim[q].ke_per_s,
           interpreted[q].ke_per_s,
@@ -300,8 +373,18 @@ int main(int argc, char** argv) {
                                    : 0.0,
           interpreted[q].ke_per_s > 0
               ? row.ke_per_s / interpreted[q].ke_per_s
-              : 0.0,
-          q < 8 ? "," : "");
+              : 0.0);
+      // Operator-invocation latency distribution (all op.*.process_micros
+      // histograms merged): the per-query latency summary of the run.
+      const nebula::metrics::HistogramSnapshot latency =
+          MergedOpLatency(row.metrics);
+      std::fprintf(json,
+                   "     \"op_latency_us\": {\"batches\": %llu,"
+                   " \"p50\": %.1f, \"p95\": %.1f, \"p99\": %.1f,"
+                   " \"max\": %lld}}%s\n",
+                   static_cast<unsigned long long>(latency.count),
+                   latency.P50(), latency.P95(), latency.P99(),
+                   static_cast<long long>(latency.max), q < 8 ? "," : "");
     }
     std::fprintf(
         json,
@@ -320,11 +403,35 @@ int main(int argc, char** argv) {
         fanout.independent_seconds, scaling.ke_per_s[0], scaling.ke_per_s[1],
         scaling.ke_per_s[2], scaling.speedup_t4, scaling.efficiency,
         std::thread::hardware_concurrency());
+    std::fprintf(json,
+                 "  ,\"metrics_overhead\": {\"ke_per_s_off\": %.2f,"
+                 " \"ke_per_s_on\": %.2f, \"overhead_pct\": %.2f}\n",
+                 overhead.ke_per_s_off, overhead.ke_per_s_on,
+                 overhead.overhead_pct);
     std::fprintf(json, "}\n");
     std::fclose(json);
     std::printf("\nwrote %s\n", json_path.c_str());
   } else {
     std::fprintf(stderr, "could not write %s\n", json_path.c_str());
+  }
+
+  // Full per-query metric snapshots (every instrument, not just the
+  // merged latency summary) as a separate artifact: dashboards and
+  // regression tooling diff these across PRs.
+  if (FILE* json = std::fopen(metrics_json_path.c_str(), "w")) {
+    std::fprintf(json,
+                 "{\n  \"bench\": \"t1_query_throughput\",\n"
+                 "  \"events_per_query\": %llu,\n  \"query_metrics\": {\n",
+                 static_cast<unsigned long long>(events));
+    for (int q = 1; q <= 8; ++q) {
+      std::fprintf(json, "    \"Q%d\": %s%s\n", q,
+                   optimized[q].metrics.ToJson().c_str(), q < 8 ? "," : "");
+    }
+    std::fprintf(json, "  }\n}\n");
+    std::fclose(json);
+    std::printf("wrote %s\n", metrics_json_path.c_str());
+  } else {
+    std::fprintf(stderr, "could not write %s\n", metrics_json_path.c_str());
   }
 
   // Second pass: offered load paced to the paper's exact rates — the

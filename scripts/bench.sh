@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Perf trajectory one-liner: build and run the T1 throughput bench, the
 # Fig.1 placed edge-vs-cloud bench, and the hot-path kernel microbench,
-# leaving BENCH_t1.json, BENCH_fig1.json and BENCH_hotpath.json in the
-# repo root (CI uploads all three as artifacts).
+# leaving BENCH_t1.json (+ BENCH_t1_metrics.json, the full per-query
+# metric snapshots), BENCH_fig1.json and BENCH_hotpath.json in the repo
+# root (CI uploads all four as artifacts).
 #   scripts/bench.sh [events-per-query] [t1-json] [fig1-json] [hotpath-json]
 set -euo pipefail
 
@@ -12,12 +13,13 @@ EVENTS="${1:-400000}"
 JSON="${2:-BENCH_t1.json}"
 FIG1_JSON="${3:-BENCH_fig1.json}"
 HOTPATH_JSON="${4:-BENCH_hotpath.json}"
+METRICS_JSON="${JSON%.json}_metrics.json"
 
 cmake -B "$BUILD_DIR" -S . > /dev/null
 cmake --build "$BUILD_DIR" -j \
   --target bench_t1_query_throughput --target bench_fig1_edge_vs_cloud \
   --target bench_hotpath_kernels \
   > /dev/null
-"$BUILD_DIR/bench/bench_t1_query_throughput" "$EVENTS" "$JSON"
+"$BUILD_DIR/bench/bench_t1_query_throughput" "$EVENTS" "$JSON" "$METRICS_JSON"
 "$BUILD_DIR/bench/bench_fig1_edge_vs_cloud" "$EVENTS" "$FIG1_JSON"
 "$BUILD_DIR/bench/bench_hotpath_kernels" "$HOTPATH_JSON"

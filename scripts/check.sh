@@ -26,3 +26,10 @@ BUILD_DIR="${1:-build}"
 cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j
 cd "$BUILD_DIR" && ctest --output-on-failure -j
+
+# Observability smoke: run one query with the rate sampler enabled and
+# require a populated metrics snapshot (the example exits non-zero when
+# the ingest counter, operator histograms or strand gauges are missing;
+# the grep pins the JSON export format end-to-end).
+./examples/example_metrics_observability | grep -q '"engine.events_ingested"'
+echo "metrics smoke: OK"

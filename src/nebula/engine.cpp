@@ -6,6 +6,7 @@
 #include <functional>
 
 #include "common/logging.hpp"
+#include "nebula/metrics/sampler.hpp"
 #include "nebula/worker_pool.hpp"
 
 namespace nebulameos::nebula {
@@ -123,6 +124,75 @@ struct NodeEngine::RunningQuery {
   // Plan renderings captured at submission (the plan is consumed).
   QueryPlanText plan_text;
 
+  // --- Observability (docs/ARCHITECTURE.md "Observability") ---
+  // The query's instrument registry. Instruments are resolved once at
+  // submission (BindMetricsTree) and recorded through raw pointers on the
+  // hot path — relaxed atomics, no lock, no map lookup. Declared before
+  // `pool` so in-flight worker tasks can still record while the pool
+  // destructor drains them.
+  std::unique_ptr<metrics::MetricsRegistry> metrics;
+  // Periodic rate sampler (metrics_interval > 0); declared after the
+  // registry (destroyed first) and stopped at the end of RunLoop.
+  std::unique_ptr<metrics::Sampler> sampler;
+  bool metrics_on = false;
+  // Engine-level flow counters and sampler-derived rate gauges.
+  metrics::Counter* m_events_ingested = nullptr;
+  metrics::Counter* m_bytes_ingested = nullptr;
+  metrics::Counter* m_events_emitted = nullptr;
+  metrics::Counter* m_bytes_emitted = nullptr;
+  metrics::Gauge* m_ingest_rate = nullptr;
+  metrics::Gauge* m_emit_rate = nullptr;
+  metrics::Counter* m_samples = nullptr;
+
+  // Per-dispatch-target backpressure instruments, shared per segment
+  // *path*: partition clones carry their segment's path, so a keyed
+  // suffix split N ways feeds one gauge/histogram pair — metric names do
+  // not depend on the worker count.
+  struct StrandMetrics {
+    metrics::Gauge* queue_depth = nullptr;     ///< live queued-batch count
+    metrics::Histogram* task_wait = nullptr;   ///< post → run latency
+    std::atomic<int64_t> depth{0};
+  };
+  std::map<std::string, std::unique_ptr<StrandMetrics>> strand_metrics_by_path;
+  std::map<const CompiledPipeline*, StrandMetrics*> strand_metrics;
+
+  // Resolves every instrument of the pipeline tree out of the registry:
+  // per-operator latency/batch-size histograms (DAG-path prefix, fused
+  // kernels expanding per stage), per-channel wire counters, and one
+  // strand gauge/histogram pair per segment path. Shared partition sinks
+  // re-bind to the same names — the registry returns the same pointers.
+  void BindMetricsTree(CompiledPipeline* seg) {
+    const std::string prefix = seg->path.empty() ? "" : seg->path + "/";
+    const std::string path_key = seg->path.empty() ? "root" : seg->path;
+    for (OperatorPtr& op : seg->operators) {
+      op->BindMetrics(metrics.get(), prefix);
+    }
+    if (seg->sink) seg->sink->BindMetrics(metrics.get(), prefix);
+    for (size_t i = 0; i < seg->channels.size(); ++i) {
+      const std::shared_ptr<NetworkChannel>& ch = seg->channels[i];
+      const std::string base = "channel." + path_key + "." +
+                               std::to_string(i) + "." +
+                               std::to_string(ch->from_node()) + "->" +
+                               std::to_string(ch->to_node());
+      ch->BindMetrics(metrics->GetCounter(base + ".wire_bytes"),
+                      metrics->GetCounter(base + ".frames"),
+                      metrics->GetCounter(base + ".events"),
+                      metrics->GetHistogram(base + ".transfer_micros"));
+    }
+    auto it = strand_metrics_by_path.find(path_key);
+    if (it == strand_metrics_by_path.end()) {
+      auto sm = std::make_unique<StrandMetrics>();
+      sm->queue_depth =
+          metrics->GetGauge("worker.strand." + path_key + ".queue_depth");
+      sm->task_wait = metrics->GetHistogram("worker.strand." + path_key +
+                                            ".task_wait_micros");
+      it = strand_metrics_by_path.emplace(path_key, std::move(sm)).first;
+    }
+    strand_metrics[seg] = it->second.get();
+    for (CompiledPipeline& branch : seg->branches) BindMetricsTree(&branch);
+    for (CompiledPipeline& part : seg->partitions) BindMetricsTree(&part);
+  }
+
   // Morsel execution (worker_threads > 1): one strand per dispatch target
   // (each fan-out branch, each key partition) keeps that target's
   // stateful operators single-threaded and its buffer order intact while
@@ -160,10 +230,29 @@ struct NodeEngine::RunningQuery {
   }
 
   // Runs `target`'s chain over `batch`: inline without a pool, else as a
-  // task on the target's strand.
+  // task on the target's strand. The target's strand instruments see
+  // every hand-off: queued depth on post/run, post→run wait per task
+  // (zeros inline, where nothing ever queues — so the gauge exists and
+  // reads 0 at one worker, matching the multi-worker metric names).
   Status Dispatch(CompiledPipeline* target, const exec::Batch& batch) {
-    if (!pool) return PushThrough(target, 0, batch);
-    strands.at(target)->Post([this, target, batch] {
+    StrandMetrics* sm = metrics_on ? strand_metrics.at(target) : nullptr;
+    if (!pool) {
+      if (sm) sm->task_wait->Record(0);
+      return PushThrough(target, 0, batch);
+    }
+    int64_t posted_at = 0;
+    if (sm) {
+      posted_at = MonotonicNowMicros();
+      const int64_t d = sm->depth.fetch_add(1, std::memory_order_relaxed) + 1;
+      sm->queue_depth->Set(static_cast<double>(d));
+    }
+    strands.at(target)->Post([this, target, batch, sm, posted_at] {
+      if (sm) {
+        sm->task_wait->Record(MonotonicNowMicros() - posted_at);
+        const int64_t d =
+            sm->depth.fetch_sub(1, std::memory_order_relaxed) - 1;
+        sm->queue_depth->Set(static_cast<double>(d));
+      }
       if (failed.load(std::memory_order_relaxed)) return;
       const Status st = PushThrough(target, 0, batch);
       if (!st.ok()) RecordFailure(st);
@@ -211,22 +300,57 @@ struct NodeEngine::RunningQuery {
       }
       return Status::OK();
     }
-    return seg->sink->ProcessBatch(batch, [](const exec::Batch&) {});
+    if (!metrics_on) {
+      return seg->sink->ProcessBatch(batch, [](const exec::Batch&) {});
+    }
+    const uint64_t rows = batch.NumRows();
+    const int64_t start = MonotonicNowMicros();
+    const Status st = seg->sink->ProcessBatch(batch, [](const exec::Batch&) {});
+    seg->sink->RecordProcess(MonotonicNowMicros() - start, rows);
+    m_events_emitted->Add(rows);
+    const size_t buffer_rows = batch.data->size();
+    if (buffer_rows > 0) {
+      m_bytes_emitted->Add(rows * (batch.data->SizeBytes() / buffer_rows));
+    }
+    return st;
   }
 
   // Pushes a batch through segment operators [from..] and onward via
-  // `DispatchTail`.
+  // `DispatchTail`. With metrics on, each operator's process-latency
+  // histogram records its *self* time: wall time of ProcessBatch minus
+  // the time spent inside the forward continuation (which runs the rest
+  // of the chain). Fused batch-kernel operators time their stages
+  // internally instead and leave the base histograms unbound, so the
+  // outer RecordProcess no-ops for them.
   Status PushThrough(CompiledPipeline* seg, size_t from,
                      const exec::Batch& batch) {
     if (from >= seg->operators.size()) {
       return DispatchTail(seg, batch);
     }
+    Operator* op = seg->operators[from].get();
+    if (!metrics_on) {
+      Status inner = Status::OK();
+      auto forward = [this, seg, from, &inner](const exec::Batch& out) {
+        Status st = PushThrough(seg, from + 1, out);
+        if (!st.ok() && inner.ok()) inner = st;
+      };
+      Status s = op->ProcessBatch(batch, forward);
+      if (!s.ok()) return s;
+      return inner;
+    }
+    const uint64_t rows_in = batch.NumRows();
+    int64_t child_micros = 0;
     Status inner = Status::OK();
-    auto forward = [this, seg, from, &inner](const exec::Batch& out) {
+    auto forward = [this, seg, from, &inner,
+                    &child_micros](const exec::Batch& out) {
+      const int64_t t0 = MonotonicNowMicros();
       Status st = PushThrough(seg, from + 1, out);
+      child_micros += MonotonicNowMicros() - t0;
       if (!st.ok() && inner.ok()) inner = st;
     };
-    Status s = seg->operators[from]->ProcessBatch(batch, forward);
+    const int64_t start = MonotonicNowMicros();
+    Status s = op->ProcessBatch(batch, forward);
+    op->RecordProcess(MonotonicNowMicros() - start - child_micros, rows_in);
     if (!s.ok()) return s;
     return inner;
   }
@@ -325,6 +449,18 @@ Result<int> NodeEngine::Submit(LogicalPlan plan) {
   rq->ctx = std::make_unique<ExecutionContext>(options_.tuples_per_buffer,
                                                options_.pool_size);
   NM_RETURN_NOT_OK(rq->OpenAll(&rq->pipeline));
+  rq->metrics_on = options_.metrics_enabled;
+  if (rq->metrics_on) {
+    rq->metrics = std::make_unique<metrics::MetricsRegistry>();
+    rq->m_events_ingested = rq->metrics->GetCounter("engine.events_ingested");
+    rq->m_bytes_ingested = rq->metrics->GetCounter("engine.bytes_ingested");
+    rq->m_events_emitted = rq->metrics->GetCounter("engine.events_emitted");
+    rq->m_bytes_emitted = rq->metrics->GetCounter("engine.bytes_emitted");
+    rq->m_ingest_rate = rq->metrics->GetGauge("engine.ingest_events_per_sec");
+    rq->m_emit_rate = rq->metrics->GetGauge("engine.emit_events_per_sec");
+    rq->m_samples = rq->metrics->GetCounter("engine.metric_samples");
+    rq->BindMetricsTree(&rq->pipeline);
+  }
   std::lock_guard<std::mutex> lock(mutex_);
   const int id = next_id_++;
   rq->id = id;
@@ -357,6 +493,10 @@ void NodeEngine::SourceLoop(RunningQuery* rq) {
     }
     rq->events_ingested.fetch_add(buf->size());
     rq->bytes_ingested.fetch_add(buf->SizeBytes());
+    if (rq->metrics_on) {
+      rq->m_events_ingested->Add(buf->size());
+      rq->m_bytes_ingested->Add(buf->SizeBytes());
+    }
     if (!buf->empty()) {
       buf->Seal();
       rq->queue->Push(std::move(buf));
@@ -393,6 +533,10 @@ void NodeEngine::RunLoop(RunningQuery* rq) {
       }
       rq->events_ingested.fetch_add(buf->size());
       rq->bytes_ingested.fetch_add(buf->SizeBytes());
+      if (rq->metrics_on) {
+        rq->m_events_ingested->Add(buf->size());
+        rq->m_bytes_ingested->Add(buf->SizeBytes());
+      }
       if (!buf->empty()) {
         buf->Seal();
         status =
@@ -407,6 +551,9 @@ void NodeEngine::RunLoop(RunningQuery* rq) {
   // posted) to completion before reading the task-side error slot; the
   // drain also guarantees task-captured buffer handles have recycled.
   if (rq->pool) rq->pool->Drain();
+  // Final sample covers the tail window, then the sampler thread joins —
+  // after this no thread but the caller touches the rate gauges.
+  if (rq->sampler) rq->sampler->Stop();
   if (status.ok()) {
     std::lock_guard<std::mutex> lock(rq->error_mutex);
     status = rq->first_error;
@@ -444,6 +591,25 @@ Status NodeEngine::Start(int query_id) {
   if (options_.pipelined) {
     rq->queue = std::make_unique<BoundedQueue>(options_.queue_capacity);
     rq->source_thread = std::thread([this, rq] { SourceLoop(rq); });
+  }
+  if (rq->metrics_on && options_.metrics_interval > 0) {
+    // Windowed rates: each tick divides the counter delta since the last
+    // tick by the elapsed window, so a long-running query's gauges track
+    // the *current* throughput instead of the lifetime average.
+    rq->sampler = std::make_unique<metrics::Sampler>(
+        options_.metrics_interval,
+        [rq, last_in = uint64_t{0},
+         last_out = uint64_t{0}](int64_t elapsed_micros) mutable {
+          if (elapsed_micros <= 0) return;
+          const double secs = static_cast<double>(elapsed_micros) / 1e6;
+          const uint64_t in = rq->m_events_ingested->value();
+          const uint64_t out = rq->m_events_emitted->value();
+          rq->m_ingest_rate->Set(static_cast<double>(in - last_in) / secs);
+          rq->m_emit_rate->Set(static_cast<double>(out - last_out) / secs);
+          last_in = in;
+          last_out = out;
+          rq->m_samples->Increment();
+        });
   }
   rq->worker = std::thread([this, rq] { RunLoop(rq); });
   return Status::OK();
@@ -561,6 +727,23 @@ Result<QueryStats> NodeEngine::Stats(int query_id) const {
       };
   visit(rq->pipeline);
   return stats;
+}
+
+Result<metrics::MetricsSnapshot> NodeEngine::Metrics(int query_id) const {
+  const RunningQuery* rq = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = queries_.find(query_id);
+    if (it == queries_.end()) {
+      return Status::NotFound("unknown query id");
+    }
+    rq = it->second.get();
+  }
+  if (!rq->metrics) {
+    return Status::FailedPrecondition(
+        "metrics disabled (EngineOptions::metrics_enabled = false)");
+  }
+  return rq->metrics->Snapshot();
 }
 
 Result<DeploymentReport> NodeEngine::Deployment(int query_id) const {

@@ -33,6 +33,7 @@
 #include <atomic>
 #include <thread>
 
+#include "nebula/metrics/metrics.hpp"
 #include "nebula/optimizer.hpp"
 #include "nebula/query.hpp"
 
@@ -116,6 +117,20 @@ struct EngineOptions {
   /// (the default), placement annotations are ignored and every plan
   /// executes single-node.
   const Topology* topology = nullptr;
+  /// Always-on observability (docs/ARCHITECTURE.md "Observability"): each
+  /// query owns a `metrics::MetricsRegistry` with per-operator latency and
+  /// batch-size histograms, per-channel wire counters, per-strand queue
+  /// depth/task-wait instruments and engine-level flow counters, read via
+  /// `NodeEngine::Metrics`. The record path is relaxed-atomic and cheap
+  /// (the bench gate holds measured overhead under 5%); false disables
+  /// every instrument for exact A/B comparisons.
+  bool metrics_enabled = true;
+  /// When > 0, each running query starts a sampler thread firing at this
+  /// interval: every tick derives windowed ingest/emit throughput gauges
+  /// (`engine.ingest_events_per_sec` / `engine.emit_events_per_sec`) and
+  /// bumps `engine.metric_samples`, so a live snapshot carries *current*
+  /// rates. 0 (the default) records no rates and starts no thread.
+  Duration metrics_interval = 0;
 };
 
 /// \brief `Explain` renderings of a submitted query's plan, captured at
@@ -161,6 +176,16 @@ class NodeEngine {
   /// Statistics snapshot (valid after Wait/Cancel; in-flight reads see the
   /// latest completed buffer counts).
   Result<QueryStats> Stats(int query_id) const;
+
+  /// Point-in-time value copy of the query's metrics registry — safe to
+  /// call while the query runs on any number of workers (instrument reads
+  /// are relaxed-atomic; the snapshot owns plain values). Fails with
+  /// `FailedPrecondition` when the engine was built with
+  /// `metrics_enabled = false`. Metric names are identical across worker
+  /// counts: operators key by DAG path (fused kernel stages under their
+  /// original chained names), strand instruments by dispatch-target path
+  /// (partition clones share their segment's path and its instruments).
+  Result<metrics::MetricsSnapshot> Metrics(int query_id) const;
 
   /// The query's plan renderings (pre- and post-optimization), captured at
   /// submission — plan introspection for tests, demos and debugging.

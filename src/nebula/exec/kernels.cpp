@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "common/time.hpp"
+
 namespace nebulameos::nebula::exec {
 
 Result<TupleBufferPtr> AllocateOutputFor(const Batch& batch,
@@ -230,6 +232,10 @@ Status BatchKernelOperator::ProcessBatch(const Batch& input,
   CountIn(input);
   Batch cur = input;
   bool alive = cur.NumRows() > 0;
+  // One clock read per stage *boundary* (adjacent stages share it), so the
+  // per-stage latency instrumentation costs stages+1 clock calls per batch.
+  const bool timed = !stages_.empty() && stages_.front().process_micros;
+  int64_t stage_start = timed ? MonotonicNowMicros() : 0;
   for (Stage& stage : stages_) {
     const uint64_t rows_in = alive ? cur.NumRows() : 0;
     stage.stats.AddIn(rows_in, rows_in * stage.in_record_size);
@@ -260,6 +266,12 @@ Status BatchKernelOperator::ProcessBatch(const Batch& input,
     }
     const uint64_t rows_out = alive ? cur.NumRows() : 0;
     stage.stats.AddOut(rows_out, rows_out * stage.out_record_size);
+    if (timed) {
+      const int64_t now = MonotonicNowMicros();
+      stage.process_micros->Record(now - stage_start);
+      stage.batch_rows->Record(static_cast<int64_t>(rows_in));
+      stage_start = now;
+    }
   }
   if (!alive) return Status::OK();
   CountOut(cur);
@@ -293,6 +305,16 @@ void BatchKernelOperator::AppendStats(
     std::vector<std::pair<std::string, OperatorStats>>* out) const {
   for (const Stage& stage : stages_) {
     out->emplace_back(prefix + stage.name, stage.stats.Snapshot());
+  }
+}
+
+void BatchKernelOperator::BindMetrics(metrics::MetricsRegistry* registry,
+                                      const std::string& prefix) {
+  for (Stage& stage : stages_) {
+    stage.process_micros = registry->GetHistogram(
+        "op." + prefix + stage.name + ".process_micros");
+    stage.batch_rows =
+        registry->GetHistogram("op." + prefix + stage.name + ".batch_rows");
   }
 }
 

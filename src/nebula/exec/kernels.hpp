@@ -131,6 +131,15 @@ class BatchKernelOperator final : public Operator {
       const std::string& prefix,
       std::vector<std::pair<std::string, OperatorStats>>* out) const override;
 
+  /// Binds one latency/batch-size histogram pair *per fused stage* under
+  /// the stage's original operator name (`op.<prefix>Filter.process_micros`
+  /// ...), matching the unfused chain's metric names — the same parity
+  /// `AppendStats` keeps for flow counters. The base-class whole-operator
+  /// histograms stay unbound: stages time themselves inside
+  /// `ProcessBatch`, and the engine's outer timing hook no-ops.
+  void BindMetrics(metrics::MetricsRegistry* registry,
+                   const std::string& prefix) override;
+
   size_t num_stages() const { return stages_.size(); }
 
  private:
@@ -145,6 +154,8 @@ class BatchKernelOperator final : public Operator {
     std::optional<CompiledMap> map;
     std::optional<CompiledProjection> projection;
     FlowCounters stats;
+    metrics::Histogram* process_micros = nullptr;  ///< null until bound
+    metrics::Histogram* batch_rows = nullptr;      ///< null until bound
   };
 
   BatchKernelOperator() = default;

@@ -270,4 +270,58 @@ bool StructurallyEqual(const ExprPtr& a, const ExprPtr& b);
 /// (integer widening, division-by-zero behaviour) match runtime exactly.
 ExprPtr FoldConstants(const ExprPtr& expr, bool* changed);
 
+// --- Common-subexpression elimination (interpreter path) ---------------------
+
+/// \brief Per-record memoization state backing `PlanCse`-rewritten trees:
+/// one slot per distinct shared subexpression. Invalidation is by epoch —
+/// the evaluating operator calls `BeginRecord()` before each record and
+/// stale slots simply miss; nothing is cleared. Single-evaluator state:
+/// the owning operator instance runs on one strand, so plain fields need
+/// no synchronization.
+struct CseCache {
+  struct Slot {
+    /// Initialized to a value no real epoch reaches, so the first Eval of
+    /// a slot always computes even if epochs started at 0.
+    uint64_t epoch = ~uint64_t{0};
+    Value value = false;
+  };
+
+  uint64_t epoch = 0;
+  std::vector<Slot> slots;
+
+  /// Starts a new record: previously cached values become stale.
+  void BeginRecord() { ++epoch; }
+};
+
+/// \brief Result of `PlanCse` over one operator's expression trees.
+struct CsePlan {
+  /// The rewritten trees, position-for-position with the input roots.
+  /// Rebuilt nodes are unbound — callers bind (or re-bind) against their
+  /// input schema before evaluating. Unchanged when nothing was shared.
+  std::vector<ExprPtr> roots;
+  /// The shared memoization cache; null when `num_shared == 0` (callers
+  /// then skip the per-record `BeginRecord`).
+  std::shared_ptr<CseCache> cache;
+  /// Distinct subexpressions now computed once per record.
+  size_t num_shared = 0;
+};
+
+/// \brief Memoizes repeated subexpressions across \p roots — the trees one
+/// operator evaluates per record (a filter's predicate, a map's computed
+/// fields). Every subexpression occurring more than once (by
+/// `StructurallyEqual`) is replaced with a caching wrapper evaluating the
+/// subtree once per record; later occurrences reuse the slot. Wrappers are
+/// lazy, so And/Or short-circuiting still skips whole subtrees — a skipped
+/// occurrence computes nothing, and the slot fills at the first occurrence
+/// actually reached.
+///
+/// Conservative by construction: only subtrees whose ancestors are all
+/// built-in arithmetic/comparison/logical/NOT nodes are replaced (anything
+/// below a function call would require rebuilding the enclosing function
+/// node, whose concrete subclass is unknown), and bare field references
+/// and literals are never cached (the wrapper would cost more than the
+/// read). The compiled-kernel path never sees these trees — CSE is the
+/// interpreter fallback's optimization.
+CsePlan PlanCse(std::vector<ExprPtr> roots);
+
 }  // namespace nebulameos::nebula

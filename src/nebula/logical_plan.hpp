@@ -19,6 +19,9 @@
 
 #pragma once
 
+#include <optional>
+#include <set>
+
 #include "nebula/cep.hpp"
 #include "nebula/join.hpp"
 #include "nebula/operators.hpp"
@@ -203,6 +206,29 @@ class LookupJoinNode : public LogicalOperator {
   std::string ToString() const override;
 
   const TemporalLookupJoinOptions& options() const { return options_; }
+
+  /// Field provenance: every output field name the *right* (lookup) side
+  /// can provide. Each right payload field lands in the output either
+  /// under its own name or, on collision with a left field, under
+  /// `collision_prefix + name` — collision resolution needs the left
+  /// schema, which the logical IR does not carry, so both candidates are
+  /// reported. Any output field outside this set therefore provably comes
+  /// from the probe side unchanged, which is what predicate pushdown
+  /// needs: a filter reading only such fields commutes with the (inner)
+  /// join. `nullopt` when the lookup source is absent (unknowable).
+  std::optional<std::set<std::string>> RightProvidedFields() const {
+    if (!options_.lookup) return std::nullopt;
+    std::set<std::string> provided;
+    for (const Field& field : options_.lookup->schema().fields()) {
+      if (field.name == options_.right_key ||
+          field.name == options_.right_time) {
+        continue;  // represented by the left key/time columns
+      }
+      provided.insert(field.name);
+      provided.insert(options_.collision_prefix + field.name);
+    }
+    return provided;
+  }
 
  private:
   TemporalLookupJoinOptions options_;

@@ -1,0 +1,227 @@
+#include "nebula/metrics/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace nebulameos::nebula::metrics {
+
+// --- Histogram ---------------------------------------------------------------
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot s;
+  s.buckets.resize(kHistogramBuckets);
+  for (size_t b = 0; b < kHistogramBuckets; ++b) {
+    s.buckets[b] = buckets_[b].load(std::memory_order_relaxed);
+  }
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  const int64_t min = min_.load(std::memory_order_relaxed);
+  const int64_t max = max_.load(std::memory_order_relaxed);
+  s.min = s.count == 0 ? 0 : min;
+  s.max = s.count == 0 ? 0 : max;
+  return s;
+}
+
+double HistogramSnapshot::Percentile(double p) const {
+  if (count == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  // Rank of the target observation, 1-based; ceil so p = 1.0 selects the
+  // last observation and p = 0.0 the first.
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(
+             std::ceil(p * static_cast<double>(count))));
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    if (buckets[b] == 0) continue;
+    if (cumulative + buckets[b] < rank) {
+      cumulative += buckets[b];
+      continue;
+    }
+    // Interpolate by the rank's position inside this bucket's value range.
+    const double low = static_cast<double>(HistogramBucketLow(b));
+    // The top bucket is open-ended; cap interpolation at the observed max.
+    const double high =
+        b >= kHistogramBuckets - 1
+            ? static_cast<double>(max)
+            : static_cast<double>(HistogramBucketHigh(b));
+    const double within =
+        static_cast<double>(rank - cumulative) / static_cast<double>(buckets[b]);
+    const double v = low + (high - low) * within;
+    return std::clamp(v, static_cast<double>(min), static_cast<double>(max));
+  }
+  return static_cast<double>(max);
+}
+
+// --- Export ------------------------------------------------------------------
+
+namespace {
+
+// JSON string escaping for metric names (quotes, backslashes, control
+// bytes — names are internal but an operator name can carry parentheses
+// and arbitrary user field names).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string FormatDouble(double v) {
+  if (!std::isfinite(v)) return "0";
+  std::ostringstream os;
+  os.precision(6);
+  os << std::fixed << v;
+  std::string s = os.str();
+  // Trim trailing zeros (keep one digit after the point).
+  while (s.size() > 1 && s.back() == '0' && s[s.size() - 2] != '.') {
+    s.pop_back();
+  }
+  return s;
+}
+
+// Prometheus metric names allow [a-zA-Z_:][a-zA-Z0-9_:]*.
+std::string PrometheusName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out.insert(0, "_");
+  return out;
+}
+
+std::string HistogramJson(const HistogramSnapshot& h) {
+  std::string out = "{";
+  out += "\"count\": " + std::to_string(h.count);
+  out += ", \"sum\": " + std::to_string(h.sum);
+  out += ", \"min\": " + std::to_string(h.min);
+  out += ", \"max\": " + std::to_string(h.max);
+  out += ", \"mean\": " + FormatDouble(h.Mean());
+  out += ", \"p50\": " + FormatDouble(h.P50());
+  out += ", \"p95\": " + FormatDouble(h.P95());
+  out += ", \"p99\": " + FormatDouble(h.P99());
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    out += first ? "\n" : ",\n";
+    out += "    \"" + JsonEscape(name) + "\": " + std::to_string(value);
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    out += first ? "\n" : ",\n";
+    out += "    \"" + JsonEscape(name) + "\": " + FormatDouble(value);
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, hist] : histograms) {
+    out += first ? "\n" : ",\n";
+    out += "    \"" + JsonEscape(name) + "\": " + HistogramJson(hist);
+    first = false;
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+std::string MetricsSnapshot::ToPrometheusText() const {
+  std::string out;
+  for (const auto& [name, value] : counters) {
+    const std::string pname = PrometheusName(name);
+    out += "# TYPE " + pname + " counter\n";
+    out += pname + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : gauges) {
+    const std::string pname = PrometheusName(name);
+    out += "# TYPE " + pname + " gauge\n";
+    out += pname + " " + FormatDouble(value) + "\n";
+  }
+  for (const auto& [name, hist] : histograms) {
+    const std::string pname = PrometheusName(name);
+    out += "# TYPE " + pname + " summary\n";
+    out += pname + "{quantile=\"0.5\"} " + FormatDouble(hist.P50()) + "\n";
+    out += pname + "{quantile=\"0.95\"} " + FormatDouble(hist.P95()) + "\n";
+    out += pname + "{quantile=\"0.99\"} " + FormatDouble(hist.P99()) + "\n";
+    out += pname + "_sum " + std::to_string(hist.sum) + "\n";
+    out += pname + "_count " + std::to_string(hist.count) + "\n";
+  }
+  return out;
+}
+
+// --- Registry ----------------------------------------------------------------
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  for (const auto& [name, counter] : counters_) {
+    snap.counters[name] = counter->value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges[name] = gauge->value();
+  }
+  for (const auto& [name, hist] : histograms_) {
+    snap.histograms[name] = hist->Snapshot();
+  }
+  return snap;
+}
+
+}  // namespace nebulameos::nebula::metrics

@@ -1,0 +1,59 @@
+#include "nebula/metrics/sampler.hpp"
+
+#include <chrono>
+
+namespace nebulameos::nebula::metrics {
+
+Sampler::Sampler(Duration interval,
+                 std::function<void(int64_t elapsed_micros)> tick)
+    : interval_(interval > 0 ? interval : 1),
+      tick_(std::move(tick)),
+      thread_([this] { Run(); }) {}
+
+Sampler::~Sampler() { Stop(); }
+
+void Sampler::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_) {
+      // Already stopped; the thread may even be joined.
+      if (thread_.joinable()) thread_.join();
+      return;
+    }
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+uint64_t Sampler::ticks() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ticks_;
+}
+
+void Sampler::Run() {
+  int64_t last = MonotonicNowMicros();
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    cv_.wait_for(lock, std::chrono::microseconds(interval_),
+                 [this] { return stop_; });
+    const bool stopping = stop_;
+    const int64_t now = MonotonicNowMicros();
+    const int64_t elapsed = now - last;
+    last = now;
+    // A zero-elapsed wakeup (spurious, or a Stop racing the clock's
+    // granularity) is skipped — except the final tick, which always
+    // fires so short runs publish at least once; callbacks guard
+    // elapsed <= 0 before dividing.
+    const bool fire = elapsed > 0 || stopping;
+    // Tick outside the lock: the callback may touch the registry, and
+    // `ticks()` readers must not wait on it.
+    lock.unlock();
+    if (fire) tick_(elapsed);
+    lock.lock();
+    if (fire) ++ticks_;
+    if (stopping) return;
+  }
+}
+
+}  // namespace nebulameos::nebula::metrics

@@ -1,0 +1,52 @@
+/// \file sampler.hpp
+/// \brief Periodic metrics sampler: a small stoppable thread invoking a
+/// sampling callback at a fixed interval.
+///
+/// The engine runs one sampler per query when
+/// `EngineOptions::metrics_interval > 0`; the callback derives windowed
+/// rates (ingest/emit throughput since the previous tick) into gauges, so
+/// a live snapshot carries *current* throughput, not just lifetime
+/// totals. The sampler fires one final tick on `Stop` so short runs
+/// (shorter than one interval) still publish their rates.
+
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "common/time.hpp"
+
+namespace nebulameos::nebula::metrics {
+
+/// \brief Owns the sampling thread. Construction starts it; `Stop` (or
+/// destruction) fires a final tick and joins.
+class Sampler {
+ public:
+  /// \p tick receives the elapsed microseconds since the previous tick.
+  Sampler(Duration interval, std::function<void(int64_t elapsed_micros)> tick);
+  ~Sampler();
+
+  Sampler(const Sampler&) = delete;
+  Sampler& operator=(const Sampler&) = delete;
+
+  /// Stops the thread after one final tick. Idempotent.
+  void Stop();
+
+  /// Ticks fired so far (final tick included).
+  uint64_t ticks() const;
+
+ private:
+  void Run();
+
+  Duration interval_;
+  std::function<void(int64_t)> tick_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  uint64_t ticks_ = 0;
+  std::thread thread_;  // last: starts after the state above is ready
+};
+
+}  // namespace nebulameos::nebula::metrics

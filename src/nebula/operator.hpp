@@ -20,6 +20,7 @@
 #include "nebula/buffer_manager.hpp"
 #include "nebula/exec/batch.hpp"
 #include "nebula/expr.hpp"
+#include "nebula/metrics/metrics.hpp"
 
 namespace nebulameos::nebula {
 
@@ -184,6 +185,33 @@ class Operator {
     out->emplace_back(prefix + name(), stats_.Snapshot());
   }
 
+  /// Resolves this operator's instruments from \p registry under the DAG
+  /// prefix the engine also uses for `AppendStats` keys: the default binds
+  /// the process-latency and batch-size histograms
+  /// `op.<prefix><name()>.process_micros` / `.batch_rows` that the engine
+  /// records into around each `ProcessBatch` call (self-time: downstream
+  /// time is subtracted). Fused batch-kernel operators override this to
+  /// bind one histogram pair per fused stage under the original chained
+  /// names ("Filter", "Map", ...) and time stages themselves — metric
+  /// names then match the unfused chain, the same parity contract
+  /// `AppendStats` keeps. Called once before the query starts; instrument
+  /// pointers stay valid as long as the registry (the running query).
+  virtual void BindMetrics(metrics::MetricsRegistry* registry,
+                           const std::string& prefix) {
+    process_micros_ =
+        registry->GetHistogram("op." + prefix + name() + ".process_micros");
+    batch_rows_ =
+        registry->GetHistogram("op." + prefix + name() + ".batch_rows");
+  }
+
+  /// Records one timed `ProcessBatch` call (engine-side; no-op until
+  /// `BindMetrics` ran). Lock-free.
+  void RecordProcess(int64_t self_micros, uint64_t rows_in) {
+    if (process_micros_ == nullptr) return;
+    process_micros_->Record(self_micros);
+    batch_rows_->Record(static_cast<int64_t>(rows_in));
+  }
+
  protected:
   /// Records an input buffer in the stats.
   void CountIn(const TupleBuffer& buf) {
@@ -207,6 +235,8 @@ class Operator {
 
   ExecutionContext* ctx_ = nullptr;
   FlowCounters stats_;
+  metrics::Histogram* process_micros_ = nullptr;  ///< null until bound
+  metrics::Histogram* batch_rows_ = nullptr;      ///< null until bound
 };
 
 using OperatorPtr = std::unique_ptr<Operator>;

@@ -72,8 +72,14 @@ Status Operator::ProcessBatch(const exec::Batch& input,
 Result<OperatorPtr> FilterOperator::Make(const Schema& input,
                                          ExprPtr predicate) {
   if (!predicate) return Status::InvalidArgument("filter without predicate");
+  // Memoize repeated subtrees — e.g. `f(x) > lo && f(x) < hi` evaluates
+  // f(x) once per record. Rebuilt nodes come out unbound; the Bind below
+  // covers originals and rewrites alike.
+  CsePlan cse = PlanCse({std::move(predicate)});
+  predicate = std::move(cse.roots.front());
   NM_RETURN_NOT_OK(predicate->Bind(input));
-  return OperatorPtr(new FilterOperator(input, std::move(predicate)));
+  return OperatorPtr(
+      new FilterOperator(input, std::move(predicate), std::move(cse.cache)));
 }
 
 Status FilterOperator::Process(const TupleBufferPtr& input,
@@ -82,6 +88,7 @@ Status FilterOperator::Process(const TupleBufferPtr& input,
   TupleBufferPtr out;  // allocated on the first survivor only
   for (size_t i = 0; i < input->size(); ++i) {
     const RecordView rec = input->At(i);
+    if (cse_cache_) cse_cache_->BeginRecord();
     if (!ValueAsBool(predicate_->Eval(rec))) continue;
     if (!out) {
       out = ctx_->Allocate(schema_);
@@ -113,6 +120,7 @@ Status FilterOperator::ProcessBatch(const exec::Batch& input,
   scratch_sel_.clear();
   for (size_t i = 0; i < n; ++i) {
     const size_t row = input.RowAt(i);
+    if (cse_cache_) cse_cache_->BeginRecord();
     if (ValueAsBool(predicate_->Eval(input.data->At(row)))) {
       scratch_sel_.push_back(static_cast<uint32_t>(row));
     }
@@ -176,11 +184,23 @@ Result<OperatorPtr> MapOperator::Make(const Schema& input,
                                       std::vector<MapSpec> specs) {
   auto op = std::unique_ptr<MapOperator>(new MapOperator());
   op->input_schema_ = input;
+  // Memoize subtrees repeated within or *across* the computed fields
+  // before the layout binds them (PlanMapLayout re-binds the rewritten
+  // roots). The cache spans all specs: one record, one epoch.
+  std::vector<ExprPtr> roots;
+  roots.reserve(specs.size());
+  for (MapSpec& spec : specs) roots.push_back(std::move(spec.expr));
+  CsePlan cse = PlanCse(std::move(roots));
+  for (size_t i = 0; i < specs.size(); ++i) {
+    specs[i].expr = std::move(cse.roots[i]);
+  }
+  op->cse_cache_ = std::move(cse.cache);
   NM_ASSIGN_OR_RETURN(op->layout_, PlanMapLayout(input, std::move(specs)));
   return OperatorPtr(std::move(op));
 }
 
 void MapOperator::WriteRecord(const RecordView& rec, RecordWriter* w) const {
+  if (cse_cache_) cse_cache_->BeginRecord();
   const Schema& out_schema = layout_.output_schema;
   for (size_t f = 0; f < out_schema.num_fields(); ++f) {
     if (layout_.copy_from[f] >= 0) {

@@ -36,10 +36,17 @@ class FilterOperator : public Operator {
                       const BatchEmitFn& emit) override;
 
  private:
-  FilterOperator(Schema schema, ExprPtr predicate)
-      : schema_(std::move(schema)), predicate_(std::move(predicate)) {}
+  FilterOperator(Schema schema, ExprPtr predicate,
+                 std::shared_ptr<CseCache> cse_cache)
+      : schema_(std::move(schema)),
+        predicate_(std::move(predicate)),
+        cse_cache_(std::move(cse_cache)) {}
   Schema schema_;
   ExprPtr predicate_;
+  /// Shared-subexpression memo of the `PlanCse`-rewritten predicate; null
+  /// when nothing repeats. Strand-serialized with the operator, so the
+  /// per-record epoch bump needs no synchronization.
+  std::shared_ptr<CseCache> cse_cache_;
   /// Selection scratch: only a *partial* result takes ownership of it
   /// (one allocation); fully-selective and empty results allocate nothing.
   exec::SelectionVector scratch_sel_;
@@ -90,6 +97,10 @@ class MapOperator : public Operator {
 
   Schema input_schema_;
   MapLayout layout_;
+  /// Shared-subexpression memo spanning *all* spec expressions (a subtree
+  /// repeated across two computed fields evaluates once per record); null
+  /// when nothing repeats.
+  std::shared_ptr<CseCache> cse_cache_;
 };
 
 // --- Project ------------------------------------------------------------------

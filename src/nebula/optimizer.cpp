@@ -169,6 +169,17 @@ class PredicatePushdownPass : public ChainRewritePass {
           // values, so a filter over them commutes with it.
           can_swap = IsSubset(
               *reads, static_cast<const ProjectNode&>(prev).fields());
+        } else if (prev.kind() == LogicalOperator::Kind::kLookupJoin) {
+          // A filter reading no field the lookup side can provide only
+          // touches probe-side fields, which the (inner) join forwards
+          // unchanged — filtering the probe stream first keeps exactly
+          // the rows whose join results would have survived, and skips
+          // index lookups for rows the filter drops. Field provenance is
+          // conservative (collision-prefixed names count as
+          // right-provided even when no collision occurs).
+          const auto provided =
+              static_cast<const LookupJoinNode&>(prev).RightProvidedFields();
+          can_swap = provided && Disjoint(*reads, *provided);
         }
         if (can_swap) {
           std::swap(ops[i - 1], ops[i]);

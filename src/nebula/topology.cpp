@@ -203,16 +203,26 @@ Result<std::shared_ptr<NetworkChannel>> NetworkChannel::Connect(
 
 void NetworkChannel::Send(std::vector<uint8_t> frame, uint64_t payload_bytes,
                           uint64_t events) {
+  double frame_seconds = 0.0;
+  for (const TopologyLink& link : route_) {
+    frame_seconds += static_cast<double>(frame.size()) /
+                         link.bandwidth_bytes_per_sec +
+                     ToSeconds(link.latency);
+  }
+  // Metrics record lock-free (bound before the run, immutable after).
+  if (m_wire_bytes_ != nullptr) {
+    m_wire_bytes_->Add(frame.size());
+    m_frames_->Increment();
+    m_events_->Add(events);
+    m_transfer_micros_->Record(
+        static_cast<int64_t>(frame_seconds * 1e6));
+  }
   std::lock_guard<std::mutex> lock(mutex_);
   frames_ += 1;
   events_ += events;
   payload_bytes_ += payload_bytes;
   wire_bytes_ += frame.size();
-  for (const TopologyLink& link : route_) {
-    transfer_seconds_ += static_cast<double>(frame.size()) /
-                             link.bandwidth_bytes_per_sec +
-                         ToSeconds(link.latency);
-  }
+  transfer_seconds_ += frame_seconds;
   in_flight_.push_back(std::move(frame));
 }
 

@@ -168,6 +168,20 @@ class NetworkChannel {
   /// True when any hop leaves an edge worker for a non-edge node.
   bool crosses_uplink() const { return crosses_uplink_; }
 
+  /// Resolves this channel's live instruments: wire-byte/frame/event
+  /// counters plus a per-frame transfer-latency histogram, recorded on
+  /// every `Send`. Pointers must outlive the channel (the engine binds
+  /// them out of the query's registry before the run starts). All four
+  /// must be set together; unbound channels record nothing.
+  void BindMetrics(metrics::Counter* wire_bytes, metrics::Counter* frames,
+                   metrics::Counter* events,
+                   metrics::Histogram* transfer_micros) {
+    m_wire_bytes_ = wire_bytes;
+    m_frames_ = frames;
+    m_events_ = events;
+    m_transfer_micros_ = transfer_micros;
+  }
+
  private:
   NetworkChannel(int from, int to, std::vector<TopologyLink> route,
                  std::vector<bool> hop_is_uplink)
@@ -202,6 +216,13 @@ class NetworkChannel {
   uint64_t payload_bytes_ = 0;
   uint64_t wire_bytes_ = 0;
   double transfer_seconds_ = 0.0;
+
+  // Metrics instruments (null until bound; set before the run starts and
+  // immutable afterwards, so the sender reads them without the lock).
+  metrics::Counter* m_wire_bytes_ = nullptr;
+  metrics::Counter* m_frames_ = nullptr;
+  metrics::Counter* m_events_ = nullptr;
+  metrics::Histogram* m_transfer_micros_ = nullptr;
 };
 
 /// \brief Aggregates the traffic a set of executed channels carried into

@@ -15,6 +15,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <set>
 
 #include "queries/queries.hpp"
 
@@ -28,13 +29,23 @@ using nebula::NodeEngine;
 using nebula::QueryStats;
 using nebula::Value;
 
-// One run's observable outcome: flow totals plus every sink's rows as a
-// sorted multiset.
+// One run's observable outcome: flow totals, every sink's rows as a
+// sorted multiset, and the query's final metrics snapshot.
 struct RunOutcome {
   uint64_t events_ingested = 0;
   uint64_t events_emitted = 0;
   std::vector<std::vector<std::vector<Value>>> sinks;
+  nebula::metrics::MetricsSnapshot metrics;
 };
+
+// Every registered metric name, across all three instrument kinds.
+std::set<std::string> MetricNames(const nebula::metrics::MetricsSnapshot& m) {
+  std::set<std::string> names;
+  for (const auto& [name, value] : m.counters) names.insert(name);
+  for (const auto& [name, value] : m.gauges) names.insert(name);
+  for (const auto& [name, value] : m.histograms) names.insert(name);
+  return names;
+}
 
 std::vector<std::vector<Value>> Sorted(std::vector<std::vector<Value>> rows) {
   std::sort(rows.begin(), rows.end());
@@ -76,6 +87,9 @@ class EngineConcurrencyTest : public ::testing::Test {
     RunOutcome outcome;
     outcome.events_ingested = stats->events_ingested;
     outcome.events_emitted = stats->events_emitted;
+    auto metrics = engine.Metrics(*id);
+    EXPECT_TRUE(metrics.ok()) << metrics.status().ToString();
+    if (metrics.ok()) outcome.metrics = *std::move(metrics);
     for (const auto& sink : sinks) outcome.sinks.push_back(Sorted(sink->Rows()));
     return outcome;
   }
@@ -99,16 +113,62 @@ class EngineConcurrencyTest : public ::testing::Test {
       EXPECT_EQ(sequential.sinks[s], concurrent.sinks[s])
           << label << " sink " << s;
     }
+    // Metric names are a property of the plan, not of the worker count:
+    // strand instruments key by segment path (partition clones share
+    // their segment's), fused kernel stages by their original chained
+    // names — so dashboards survive scaling the pool.
+    EXPECT_EQ(MetricNames(sequential.metrics), MetricNames(concurrent.metrics))
+        << label;
+  }
+
+  // Instrumentation floor for any completed run: engine flow counters
+  // moved, at least one per-operator latency histogram recorded samples,
+  // and every dispatch-target path published its queue-depth gauge and
+  // task-wait histogram (the backpressure signal).
+  static void ExpectInstrumented(const RunOutcome& run,
+                                 const std::string& label) {
+    EXPECT_GT(run.metrics.counters.at("engine.events_ingested"), 0u) << label;
+    // Some queries legitimately emit nothing on the test's event budget
+    // (their filters never fire); the counter must still exist.
+    EXPECT_EQ(run.metrics.counters.count("engine.events_emitted"), 1u)
+        << label;
+    bool operator_latency_recorded = false;
+    for (const auto& [name, hist] : run.metrics.histograms) {
+      if (name.rfind("op.", 0) == 0 &&
+          name.find(".process_micros") != std::string::npos && hist.count > 0) {
+        operator_latency_recorded = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(operator_latency_recorded) << label;
+    size_t strand_gauges = 0;
+    for (const auto& [name, value] : run.metrics.gauges) {
+      if (name.rfind("worker.strand.", 0) == 0 &&
+          name.find(".queue_depth") != std::string::npos) {
+        ++strand_gauges;
+        EXPECT_GE(value, 0.0) << label << " " << name;
+        // The matching task-wait histogram rides the same path key.
+        const std::string wait_name =
+            name.substr(0, name.size() - std::string(".queue_depth").size()) +
+            ".task_wait_micros";
+        EXPECT_EQ(run.metrics.histograms.count(wait_name), 1u)
+            << label << " " << wait_name;
+      }
+    }
+    EXPECT_GE(strand_gauges, 1u) << label;
   }
 
   static void CheckQueryAcrossWorkerCounts(int number) {
     const RunOutcome sequential = RunQueryWithWorkers(number, 1);
     EXPECT_GT(sequential.events_ingested, 0u) << QueryName(number);
+    ExpectInstrumented(sequential,
+                       std::string(QueryName(number)) + " @ 1 worker");
     for (const size_t workers : {size_t{2}, size_t{4}}) {
       const RunOutcome concurrent = RunQueryWithWorkers(number, workers);
-      ExpectEquivalent(sequential, concurrent,
-                       std::string(QueryName(number)) + " @ " +
-                           std::to_string(workers) + " workers");
+      const std::string label = std::string(QueryName(number)) + " @ " +
+                                std::to_string(workers) + " workers";
+      ExpectEquivalent(sequential, concurrent, label);
+      ExpectInstrumented(concurrent, label);
     }
   }
 
@@ -177,8 +237,18 @@ TEST_F(EngineConcurrencyTest, SharedIngestFanOut) {
   const RunOutcome sequential = run(1);
   ASSERT_EQ(sequential.sinks.size(), 2u);
   EXPECT_GT(sequential.events_ingested, 0u);
+  ExpectInstrumented(sequential, "fan-out @ 1 worker");
+  const RunOutcome four = run(4);
   ExpectEquivalent(sequential, run(2), "fan-out @ 2 workers");
-  ExpectEquivalent(sequential, run(4), "fan-out @ 4 workers");
+  ExpectEquivalent(sequential, four, "fan-out @ 4 workers");
+  ExpectInstrumented(four, "fan-out @ 4 workers");
+  // Both branch strands publish their own backpressure instruments.
+  EXPECT_EQ(four.metrics.gauges.count("worker.strand.0.queue_depth"), 1u);
+  EXPECT_EQ(four.metrics.gauges.count("worker.strand.1.queue_depth"), 1u);
+  // With a real pool, branch dispatches recorded actual task waits.
+  const auto& wait =
+      four.metrics.histograms.at("worker.strand.0.task_wait_micros");
+  EXPECT_GT(wait.count, 0u);
 }
 
 // A placed fan-out plan executing over simulated network channels: the
@@ -200,8 +270,33 @@ TEST_F(EngineConcurrencyTest, PlacedPlanAcrossNetworkChannels) {
   const RunOutcome sequential = run(1);
   ASSERT_EQ(sequential.sinks.size(), 2u);
   EXPECT_GT(sequential.events_ingested, 0u);
+  ExpectInstrumented(sequential, "placed fan-out @ 1 worker");
+  const RunOutcome four = run(4);
   ExpectEquivalent(sequential, run(2), "placed fan-out @ 2 workers");
-  ExpectEquivalent(sequential, run(4), "placed fan-out @ 4 workers");
+  ExpectEquivalent(sequential, four, "placed fan-out @ 4 workers");
+  ExpectInstrumented(four, "placed fan-out @ 4 workers");
+  // The lowered network channels published wire counters and carried
+  // traffic, at both worker counts under the same names.
+  for (const RunOutcome* run_ptr : {&sequential, &four}) {
+    uint64_t wire_bytes = 0;
+    uint64_t frames = 0;
+    bool transfer_hist = false;
+    for (const auto& [name, value] : run_ptr->metrics.counters) {
+      if (name.rfind("channel.", 0) != 0) continue;
+      if (name.find(".wire_bytes") != std::string::npos) wire_bytes += value;
+      if (name.find(".frames") != std::string::npos) frames += value;
+    }
+    for (const auto& [name, hist] : run_ptr->metrics.histograms) {
+      if (name.rfind("channel.", 0) == 0 &&
+          name.find(".transfer_micros") != std::string::npos &&
+          hist.count > 0) {
+        transfer_hist = true;
+      }
+    }
+    EXPECT_GT(wire_bytes, 0u);
+    EXPECT_GT(frames, 0u);
+    EXPECT_TRUE(transfer_hist);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,267 @@
+// Tests for the metrics subsystem (src/nebula/metrics): instrument
+// semantics, power-of-two histogram bucketing and percentile math,
+// registry snapshot value-copy isolation, exports, the sampler thread
+// lifecycle, and a multi-threaded record/snapshot torture test that the
+// CI `sanitize-thread` job runs under TSan as the subsystem's race gate.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/time.hpp"
+#include "nebula/metrics/metrics.hpp"
+#include "nebula/metrics/sampler.hpp"
+
+namespace nebulameos::nebula::metrics {
+namespace {
+
+TEST(MetricsCounterTest, AddAndIncrement) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(MetricsGaugeTest, SetOverwrites) {
+  Gauge g;
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  g.Set(3.5);
+  g.Set(-1.25);
+  EXPECT_DOUBLE_EQ(g.value(), -1.25);
+}
+
+TEST(MetricsHistogramTest, BucketBoundaries) {
+  // Bucket 0 holds everything <= 0; bucket b >= 1 holds [2^(b-1), 2^b - 1].
+  EXPECT_EQ(HistogramBucketOf(-5), 0u);
+  EXPECT_EQ(HistogramBucketOf(0), 0u);
+  EXPECT_EQ(HistogramBucketOf(1), 1u);
+  EXPECT_EQ(HistogramBucketOf(2), 2u);
+  EXPECT_EQ(HistogramBucketOf(3), 2u);
+  EXPECT_EQ(HistogramBucketOf(4), 3u);
+  EXPECT_EQ(HistogramBucketOf(1023), 10u);
+  EXPECT_EQ(HistogramBucketOf(1024), 11u);
+  for (size_t b = 1; b + 1 < kHistogramBuckets; ++b) {
+    EXPECT_EQ(HistogramBucketOf(HistogramBucketLow(b)), b) << b;
+    EXPECT_EQ(HistogramBucketOf(HistogramBucketHigh(b)), b) << b;
+    EXPECT_LT(HistogramBucketHigh(b), HistogramBucketLow(b + 1)) << b;
+  }
+  // The top bucket is the int64 catch-all.
+  EXPECT_EQ(HistogramBucketOf(std::numeric_limits<int64_t>::max()),
+            kHistogramBuckets - 1);
+}
+
+TEST(MetricsHistogramTest, RecordsIntoBucketsWithMinMaxSum) {
+  Histogram h;
+  h.Record(1);
+  h.Record(3);
+  h.Record(3);
+  h.Record(100);
+  const HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 4u);
+  EXPECT_EQ(snap.sum, 107);
+  EXPECT_EQ(snap.min, 1);
+  EXPECT_EQ(snap.max, 100);
+  EXPECT_DOUBLE_EQ(snap.Mean(), 107.0 / 4.0);
+  EXPECT_EQ(snap.buckets[HistogramBucketOf(1)], 1u);
+  EXPECT_EQ(snap.buckets[HistogramBucketOf(3)], 2u);
+  EXPECT_EQ(snap.buckets[HistogramBucketOf(100)], 1u);
+}
+
+TEST(MetricsHistogramTest, EmptySnapshotIsInert) {
+  Histogram h;
+  const HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.min, 0);
+  EXPECT_EQ(snap.max, 0);
+  EXPECT_DOUBLE_EQ(snap.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(snap.P50(), 0.0);
+  EXPECT_DOUBLE_EQ(snap.P99(), 0.0);
+}
+
+TEST(MetricsHistogramTest, SingleValuePercentilesCollapseToIt) {
+  Histogram h;
+  h.Record(37);
+  const HistogramSnapshot snap = h.Snapshot();
+  // min == max == 37 clamps every interpolated percentile exactly.
+  EXPECT_DOUBLE_EQ(snap.P50(), 37.0);
+  EXPECT_DOUBLE_EQ(snap.P95(), 37.0);
+  EXPECT_DOUBLE_EQ(snap.P99(), 37.0);
+}
+
+TEST(MetricsHistogramTest, PercentilesAreOrderedAndBucketAccurate) {
+  Histogram h;
+  for (int64_t v = 1; v <= 1000; ++v) h.Record(v);
+  const HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 1000u);
+  const double p50 = snap.P50();
+  const double p95 = snap.P95();
+  const double p99 = snap.P99();
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_GE(p50, 1.0);
+  EXPECT_LE(p99, 1000.0);
+  // Rank 500 lands in bucket [256, 511]; rank 950 and 990 in [512, 1000].
+  EXPECT_GE(p50, 256.0);
+  EXPECT_LE(p50, 511.0);
+  EXPECT_GE(p95, 512.0);
+  EXPECT_GE(p99, p95);
+  // Degenerate inputs clamp instead of extrapolating.
+  EXPECT_DOUBLE_EQ(snap.Percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(snap.Percentile(1.0), 1000.0);
+}
+
+TEST(MetricsHistogramTest, NonPositiveValuesLandInBucketZero) {
+  Histogram h;
+  h.Record(0);
+  h.Record(-17);
+  const HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 2u);
+  EXPECT_EQ(snap.buckets[0], 2u);
+  EXPECT_EQ(snap.min, -17);
+  EXPECT_EQ(snap.max, 0);
+}
+
+TEST(MetricsRegistryTest, InstrumentsAreStableAndNamed) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("engine.events");
+  Gauge* g = registry.GetGauge("worker.depth");
+  Histogram* h = registry.GetHistogram("op.Filter.process_micros");
+  // Same name, same instrument: bind-once semantics.
+  EXPECT_EQ(registry.GetCounter("engine.events"), c);
+  EXPECT_EQ(registry.GetGauge("worker.depth"), g);
+  EXPECT_EQ(registry.GetHistogram("op.Filter.process_micros"), h);
+  c->Add(3);
+  g->Set(2.0);
+  h->Record(10);
+  const MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_FALSE(snap.Empty());
+  EXPECT_EQ(snap.counters.at("engine.events"), 3u);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("worker.depth"), 2.0);
+  EXPECT_EQ(snap.histograms.at("op.Filter.process_micros").count, 1u);
+}
+
+TEST(MetricsRegistryTest, SnapshotIsAValueCopy) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("c");
+  Histogram* h = registry.GetHistogram("h");
+  c->Add(5);
+  h->Record(8);
+  const MetricsSnapshot before = registry.Snapshot();
+  // Later recording must not alter the copy already taken.
+  c->Add(100);
+  h->Record(1'000'000);
+  EXPECT_EQ(before.counters.at("c"), 5u);
+  EXPECT_EQ(before.histograms.at("h").count, 1u);
+  EXPECT_EQ(before.histograms.at("h").max, 8);
+  const MetricsSnapshot after = registry.Snapshot();
+  EXPECT_EQ(after.counters.at("c"), 105u);
+  EXPECT_EQ(after.histograms.at("h").count, 2u);
+}
+
+TEST(MetricsExportTest, JsonCarriesPercentilesAndEscapes) {
+  MetricsRegistry registry;
+  registry.GetCounter("engine.events_ingested")->Add(7);
+  registry.GetGauge("engine.ingest_events_per_sec")->Set(1.5);
+  Histogram* h = registry.GetHistogram("op.\"Filter\".process_micros");
+  h->Record(10);
+  h->Record(20);
+  const std::string json = registry.Snapshot().ToJson();
+  EXPECT_NE(json.find("\"engine.events_ingested\": 7"), std::string::npos);
+  EXPECT_NE(json.find("engine.ingest_events_per_sec"), std::string::npos);
+  EXPECT_NE(json.find("\\\"Filter\\\""), std::string::npos);  // escaped quote
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"p95\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 2"), std::string::npos);
+}
+
+TEST(MetricsExportTest, PrometheusTextSanitizesNames) {
+  MetricsRegistry registry;
+  registry.GetCounter("channel.root.0.2->1.wire_bytes")->Add(9);
+  registry.GetHistogram("op.Filter.process_micros")->Record(5);
+  const std::string text = registry.Snapshot().ToPrometheusText();
+  // Arrows and dots sanitize to underscores; no raw '>' survives in names.
+  EXPECT_NE(text.find("channel_root_0_2__1_wire_bytes 9"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE channel_root_0_2__1_wire_bytes counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("op_Filter_process_micros_count 1"), std::string::npos);
+  EXPECT_NE(text.find("quantile=\"0.5\""), std::string::npos);
+}
+
+TEST(MetricsSamplerTest, TicksAndStopsIdempotently) {
+  std::atomic<int> fired{0};
+  std::atomic<int64_t> last_elapsed{0};
+  Sampler sampler(Millis(5), [&](int64_t elapsed_micros) {
+    last_elapsed.store(elapsed_micros);
+    fired.fetch_add(1);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  sampler.Stop();
+  sampler.Stop();  // second stop is a no-op
+  // Stop always fires one final tick, so at least one fired even on a
+  // heavily loaded machine, and the counter matches the callback count.
+  EXPECT_GE(fired.load(), 1);
+  EXPECT_EQ(static_cast<int>(sampler.ticks()), fired.load());
+  EXPECT_GE(last_elapsed.load(), 0);
+}
+
+TEST(MetricsSamplerTest, StopWithoutTickWindowStillFiresFinalTick) {
+  std::atomic<int> fired{0};
+  {
+    Sampler sampler(Seconds(3600), [&](int64_t) { fired.fetch_add(1); });
+    sampler.Stop();
+  }
+  EXPECT_EQ(fired.load(), 1);
+}
+
+// The race gate: four writers hammer one histogram/counter pair through
+// the same instrument pointers the engine binds, while the main thread
+// snapshots concurrently. TSan (CI `sanitize-thread`) must stay silent,
+// and the final snapshot must account for every record exactly.
+TEST(MetricsConcurrencyTest, ParallelRecordAndSnapshotTorture) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50'000;
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("torture.events");
+  Histogram* histogram = registry.GetHistogram("torture.latency");
+  Gauge* gauge = registry.GetGauge("torture.depth");
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        histogram->Record((t * kPerThread + i) % 4096);
+        counter->Increment();
+        gauge->Set(static_cast<double>(i));
+      }
+    });
+  }
+  // Concurrent readers: value-copy snapshots while writers are live.
+  uint64_t last_seen = 0;
+  for (int i = 0; i < 50; ++i) {
+    const MetricsSnapshot snap = registry.Snapshot();
+    const uint64_t seen = snap.counters.at("torture.events");
+    EXPECT_GE(seen, last_seen);  // counters are monotone
+    last_seen = seen;
+  }
+  for (std::thread& w : writers) w.join();
+  const MetricsSnapshot final_snap = registry.Snapshot();
+  const uint64_t total =
+      static_cast<uint64_t>(kThreads) * static_cast<uint64_t>(kPerThread);
+  EXPECT_EQ(final_snap.counters.at("torture.events"), total);
+  const HistogramSnapshot& h = final_snap.histograms.at("torture.latency");
+  EXPECT_EQ(h.count, total);
+  uint64_t bucket_sum = 0;
+  for (const uint64_t b : h.buckets) bucket_sum += b;
+  EXPECT_EQ(bucket_sum, total);
+  EXPECT_EQ(h.min, 0);
+  EXPECT_EQ(h.max, 4095);
+}
+
+}  // namespace
+}  // namespace nebulameos::nebula::metrics

@@ -108,6 +108,77 @@ TEST(PredicatePushdown, OpaquePredicateIsNeverMoved) {
   EXPECT_LT(after.find("Map("), after.find("Filter(")) << after;
 }
 
+// Right side of a lookup join: key/ts match the left stream, plus one
+// payload field. `payload_name` lets tests provoke a collision with a
+// left field.
+SourcePtr MakeLookupSide(const std::string& payload_name = "weather") {
+  Schema schema = Schema::Build()
+                      .AddInt64("key")
+                      .AddTimestamp("ts")
+                      .AddDouble(payload_name)
+                      .Finish();
+  std::vector<std::vector<Value>> rows;
+  for (int i = 0; i < 3; ++i) {
+    rows.push_back({Value(int64_t{i}), Value(Seconds(i)), Value(0.5 * i)});
+  }
+  return std::make_unique<MemorySource>(schema, std::move(rows), 1, "ts");
+}
+
+TemporalLookupJoinOptions LookupOptions(
+    const std::string& payload_name = "weather") {
+  TemporalLookupJoinOptions options;
+  options.lookup = std::shared_ptr<Source>(MakeLookupSide(payload_name));
+  options.left_key = "key";
+  options.right_key = "key";
+  options.left_time = "ts";
+  options.right_time = "ts";
+  options.max_age = Minutes(30);
+  return options;
+}
+
+TEST(PredicatePushdown, ProbeOnlyFilterMovesBelowLookupJoin) {
+  auto plan = Query::From(MakeSource())
+                  .JoinLookup(LookupOptions())
+                  .Filter(Gt(Attribute("value"), Lit(3.0)))
+                  .Build();
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  const std::string before = plan->Explain();
+  EXPECT_LT(before.find("TemporalLookupJoin("), before.find("Filter("))
+      << before;
+
+  auto pass = MakePredicatePushdownPass();
+  EXPECT_TRUE(ApplyOnce(pass, &*plan));
+  const std::string after = plan->Explain();
+  EXPECT_LT(after.find("Filter("), after.find("TemporalLookupJoin(")) << after;
+  EXPECT_FALSE(ApplyOnce(pass, &*plan));
+}
+
+TEST(PredicatePushdown, FilterOnJoinPayloadStaysAboveLookupJoin) {
+  auto plan = Query::From(MakeSource())
+                  .JoinLookup(LookupOptions())
+                  .Filter(Gt(Attribute("weather"), Lit(0.0)))
+                  .Build();
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  auto pass = MakePredicatePushdownPass();
+  EXPECT_FALSE(ApplyOnce(pass, &*plan));
+  const std::string after = plan->Explain();
+  EXPECT_LT(after.find("TemporalLookupJoin("), after.find("Filter(")) << after;
+}
+
+TEST(PredicatePushdown, FilterOnCollisionRenamedFieldStaysAboveLookupJoin) {
+  // Right payload collides with the left's `value`, so the join emits it
+  // as `r_value`; a filter reading it depends on the join.
+  auto plan = Query::From(MakeSource())
+                  .JoinLookup(LookupOptions("value"))
+                  .Filter(Gt(Attribute("r_value"), Lit(0.0)))
+                  .Build();
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  auto pass = MakePredicatePushdownPass();
+  EXPECT_FALSE(ApplyOnce(pass, &*plan));
+  const std::string after = plan->Explain();
+  EXPECT_LT(after.find("TemporalLookupJoin("), after.find("Filter(")) << after;
+}
+
 TEST(FilterFusion, AdjacentFiltersAndCombine) {
   auto plan = Query::From(MakeSource())
                   .Filter(Gt(Attribute("value"), Lit(1.0)))
