@@ -33,3 +33,11 @@ cd "$BUILD_DIR" && ctest --output-on-failure -j
 # the grep pins the JSON export format end-to-end).
 ./examples/example_metrics_observability | grep -q '"engine.events_ingested"'
 echo "metrics smoke: OK"
+
+# Fleet serving smoke: the shared-query manager must collapse K queries
+# per train onto one host (queries-per-node ~3) and ship the uplink
+# stream once instead of K times — both are asserted by the bench itself,
+# which also leaves BENCH_fleet.json in the repo root (CI artifact).
+./bench/bench_fleet_serving 400 ../BENCH_fleet.json
+./examples/example_fleet_serving | grep -q 'fleet serving: OK'
+echo "fleet serving smoke: OK"

@@ -156,6 +156,33 @@ struct NodeEngine::RunningQuery {
   std::map<std::string, std::unique_ptr<StrandMetrics>> strand_metrics_by_path;
   std::map<const CompiledPipeline*, StrandMetrics*> strand_metrics;
 
+  // --- Dynamic branches (shared-query serving) ---
+  // A shared host's root segment ends without a sink; its tail dispatches
+  // to whatever branches are attached *at that moment*. Branches carry
+  // their own compiled pipeline (suffix chain + sink), their own strand
+  // (admitted mid-run, so they cannot live in the immutable `strands`
+  // map), and their own instruments under the `b<id>` path. In-flight
+  // tasks capture the `shared_ptr`, so a detached branch's operator state
+  // survives until its queued work drained.
+  struct DynamicBranch {
+    int id = 0;
+    std::unique_ptr<CompiledPipeline> pipeline;  ///< stable address
+    std::unique_ptr<WorkerPool::Strand> strand;  ///< null until the pool exists
+    StrandMetrics sm;                            ///< own instruments
+    std::atomic<bool> detached{false};
+  };
+  bool shared_host = false;  ///< submitted via `SubmitShared`
+  // Guards the branch vector, `next_branch_id`, and (for admission racing
+  // `Start`) pool/strand creation. Never held across engine waits.
+  mutable std::mutex dyn_mutex;
+  std::vector<std::shared_ptr<DynamicBranch>> dyn_branches;
+  // Detached branches parked until host teardown: a branch's strand may
+  // still be under a worker's post-task bookkeeping when the last task
+  // capture releases, so the strand must not die at detach time. Declared
+  // before `pool` — destroyed after the workers joined.
+  std::vector<std::shared_ptr<DynamicBranch>> retired_dyn;
+  int next_branch_id = 1;
+
   // Resolves every instrument of the pipeline tree out of the registry:
   // per-operator latency/batch-size histograms (DAG-path prefix, fused
   // kernels expanding per stage), per-channel wire counters, and one
@@ -253,7 +280,13 @@ struct NodeEngine::RunningQuery {
             sm->depth.fetch_sub(1, std::memory_order_relaxed) - 1;
         sm->queue_depth->Set(static_cast<double>(d));
       }
-      if (failed.load(std::memory_order_relaxed)) return;
+      // Cancelled queries drop queued morsels: cancel is not
+      // end-of-stream, so no further state should be built (the drain
+      // that follows only retires the captures).
+      if (failed.load(std::memory_order_relaxed) ||
+          cancel.load(std::memory_order_relaxed)) {
+        return;
+      }
       const Status st = PushThrough(target, 0, batch);
       if (!st.ok()) RecordFailure(st);
     });
@@ -300,6 +333,7 @@ struct NodeEngine::RunningQuery {
       }
       return Status::OK();
     }
+    if (seg->sink == nullptr) return DispatchDynamic(batch);
     if (!metrics_on) {
       return seg->sink->ProcessBatch(batch, [](const exec::Batch&) {});
     }
@@ -313,6 +347,80 @@ struct NodeEngine::RunningQuery {
       m_bytes_emitted->Add(rows * (batch.data->SizeBytes() / buffer_rows));
     }
     return st;
+  }
+
+  // Tail of a shared host: hand the sealed batch to every branch attached
+  // right now. The snapshot copies shared_ptrs under the lock and posts
+  // outside it, so admission/teardown never contends with branch
+  // execution, only with this per-buffer copy. Each branch runs on its
+  // own strand — the zero-copy fan-out concurrency model, for branches
+  // that appear and disappear at runtime.
+  Status DispatchDynamic(const exec::Batch& batch) {
+    std::vector<std::shared_ptr<DynamicBranch>> active;
+    {
+      std::lock_guard<std::mutex> lock(dyn_mutex);
+      active = dyn_branches;
+    }
+    for (const std::shared_ptr<DynamicBranch>& br : active) {
+      if (br->detached.load(std::memory_order_relaxed)) continue;
+      StrandMetrics* sm = metrics_on ? &br->sm : nullptr;
+      if (!pool) {
+        if (sm) sm->task_wait->Record(0);
+        NM_RETURN_NOT_OK(PushThrough(br->pipeline.get(), 0, batch));
+        continue;
+      }
+      int64_t posted_at = 0;
+      if (sm) {
+        posted_at = MonotonicNowMicros();
+        const int64_t d =
+            sm->depth.fetch_add(1, std::memory_order_relaxed) + 1;
+        sm->queue_depth->Set(static_cast<double>(d));
+      }
+      br->strand->Post([this, br, batch, sm, posted_at] {
+        if (sm) {
+          sm->task_wait->Record(MonotonicNowMicros() - posted_at);
+          const int64_t d =
+              sm->depth.fetch_sub(1, std::memory_order_relaxed) - 1;
+          sm->queue_depth->Set(static_cast<double>(d));
+        }
+        if (failed.load(std::memory_order_relaxed) ||
+            cancel.load(std::memory_order_relaxed) ||
+            br->detached.load(std::memory_order_relaxed)) {
+          return;
+        }
+        const Status st = PushThrough(br->pipeline.get(), 0, batch);
+        if (!st.ok()) RecordFailure(st);
+      });
+    }
+    return Status::OK();
+  }
+
+  // End-of-stream for a shared host's branches: finish each surviving
+  // branch on its own strand (FIFO order — every data task was posted
+  // first, so Finish observes the complete shared stream).
+  Status FinishDynamicBranches() {
+    std::vector<std::shared_ptr<DynamicBranch>> active;
+    {
+      std::lock_guard<std::mutex> lock(dyn_mutex);
+      active = dyn_branches;
+    }
+    for (const std::shared_ptr<DynamicBranch>& br : active) {
+      if (br->detached.load(std::memory_order_relaxed)) continue;
+      if (!pool) {
+        NM_RETURN_NOT_OK(FinishSegment(br->pipeline.get()));
+        continue;
+      }
+      br->strand->Post([this, br] {
+        if (failed.load(std::memory_order_relaxed) ||
+            cancel.load(std::memory_order_relaxed) ||
+            br->detached.load(std::memory_order_relaxed)) {
+          return;
+        }
+        const Status st = FinishSegment(br->pipeline.get());
+        if (!st.ok()) RecordFailure(st);
+      });
+    }
+    return Status::OK();
   }
 
   // Pushes a batch through segment operators [from..] and onward via
@@ -361,7 +469,10 @@ struct NodeEngine::RunningQuery {
   Status FinishTarget(CompiledPipeline* target) {
     if (!pool) return FinishSegment(target);
     strands.at(target)->Post([this, target] {
-      if (failed.load(std::memory_order_relaxed)) return;
+      if (failed.load(std::memory_order_relaxed) ||
+          cancel.load(std::memory_order_relaxed)) {
+        return;
+      }
       const Status st = FinishSegment(target);
       if (!st.ok()) RecordFailure(st);
     });
@@ -388,6 +499,12 @@ struct NodeEngine::RunningQuery {
     }
     for (CompiledPipeline& branch : seg->branches) {
       NM_RETURN_NOT_OK(FinishTarget(&branch));
+    }
+    if (seg->sink == nullptr && seg->partitions.empty() &&
+        seg->branches.empty()) {
+      // Shared-host leaf: end-of-stream cascades into whatever dynamic
+      // branches are attached.
+      return FinishDynamicBranches();
     }
     return Status::OK();
   }
@@ -473,6 +590,228 @@ Result<int> NodeEngine::Submit(Query query) {
   return Submit(std::move(plan));
 }
 
+Result<int> NodeEngine::SubmitShared(LogicalPlan plan, int delivery_node) {
+  if (plan.source() == nullptr) {
+    return Status::InvalidArgument("shared plan has no source");
+  }
+  for (const LogicalOperatorPtr& op : plan.ops()) {
+    if (op->kind() == LogicalOperator::Kind::kSink ||
+        op->kind() == LogicalOperator::Kind::kFanOut) {
+      return Status::InvalidArgument(
+          "shared prefix must be a sink-less linear chain; consumers "
+          "attach via AttachBranch");
+    }
+  }
+  auto rq = std::make_unique<RunningQuery>();
+  rq->shared_host = true;
+  rq->plan_text.logical = plan.Explain();
+  // Submitted verbatim: the serving manager already optimized the prefix,
+  // and rewriting here could change the shape branch suffixes were
+  // structurally matched against.
+  rq->plan_text.optimized = rq->plan_text.logical;
+  CompileOptions compile_options;
+  compile_options.compiled_kernels = options_.compiled_kernels;
+  compile_options.partitions = 1;  // the stateful tails live in branches
+  NM_ASSIGN_OR_RETURN(rq->pipeline,
+                      CompilePlan(plan.source()->schema(), plan,
+                                  options_.topology, compile_options));
+  // Fleet delivery: ship the shared stream once to the node the branches
+  // run on. Every attached branch then consumes node-local data, so the
+  // uplink cost stays flat no matter how many client queries share the
+  // host.
+  if (delivery_node != LogicalOperator::kUnplaced &&
+      options_.topology != nullptr) {
+    int end_node = plan.source_placement();
+    for (const LogicalOperatorPtr& op : plan.ops()) {
+      if (op->placement() != LogicalOperator::kUnplaced) {
+        end_node = op->placement();
+      }
+    }
+    if (end_node != LogicalOperator::kUnplaced && end_node != delivery_node) {
+      NM_ASSIGN_OR_RETURN(std::shared_ptr<NetworkChannel> channel,
+                          NetworkChannel::Connect(*options_.topology,
+                                                  end_node, delivery_node));
+      const Schema& schema = rq->pipeline.output_schema;
+      NM_ASSIGN_OR_RETURN(OperatorPtr channel_sink,
+                          NetworkChannelSink::Make(schema, channel));
+      NM_ASSIGN_OR_RETURN(OperatorPtr channel_source,
+                          NetworkChannelSource::Make(schema, channel));
+      rq->pipeline.operators.push_back(std::move(channel_sink));
+      rq->pipeline.operators.push_back(std::move(channel_source));
+      rq->pipeline.channels.push_back(std::move(channel));
+    }
+  }
+  rq->source = plan.TakeSource();
+  rq->ctx = std::make_unique<ExecutionContext>(options_.tuples_per_buffer,
+                                               options_.pool_size);
+  NM_RETURN_NOT_OK(rq->OpenAll(&rq->pipeline));
+  rq->metrics_on = options_.metrics_enabled;
+  if (rq->metrics_on) {
+    rq->metrics = std::make_unique<metrics::MetricsRegistry>();
+    rq->m_events_ingested = rq->metrics->GetCounter("engine.events_ingested");
+    rq->m_bytes_ingested = rq->metrics->GetCounter("engine.bytes_ingested");
+    rq->m_events_emitted = rq->metrics->GetCounter("engine.events_emitted");
+    rq->m_bytes_emitted = rq->metrics->GetCounter("engine.bytes_emitted");
+    rq->m_ingest_rate = rq->metrics->GetGauge("engine.ingest_events_per_sec");
+    rq->m_emit_rate = rq->metrics->GetGauge("engine.emit_events_per_sec");
+    rq->m_samples = rq->metrics->GetCounter("engine.metric_samples");
+    rq->BindMetricsTree(&rq->pipeline);
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  const int id = next_id_++;
+  rq->id = id;
+  queries_[id] = std::move(rq);
+  return id;
+}
+
+Result<int> NodeEngine::AttachBranch(
+    int host_id, std::vector<LogicalOperatorPtr> suffix_ops) {
+  RunningQuery* rq = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = queries_.find(host_id);
+    if (it == queries_.end()) {
+      return Status::NotFound("unknown query id");
+    }
+    rq = it->second.get();
+  }
+  if (!rq->shared_host) {
+    return Status::FailedPrecondition(
+        "query is not a shared host (SubmitShared)");
+  }
+  if (suffix_ops.empty() ||
+      suffix_ops.back()->kind() != LogicalOperator::Kind::kSink) {
+    return Status::InvalidArgument("branch suffix must end in a sink");
+  }
+  for (const LogicalOperatorPtr& op : suffix_ops) {
+    if (op->kind() == LogicalOperator::Kind::kFanOut) {
+      return Status::InvalidArgument(
+          "branch suffix must be linear; attach one branch per leaf");
+    }
+  }
+  auto br = std::make_shared<RunningQuery::DynamicBranch>();
+  {
+    std::lock_guard<std::mutex> lock(rq->dyn_mutex);
+    br->id = rq->next_branch_id++;
+  }
+  // Compiled single-node against the prefix's output schema: the suffix
+  // runs where the shared stream was delivered, so branch placement
+  // annotations (matched structurally by the serving layer) never open a
+  // second channel.
+  LogicalPlan suffix_plan;
+  for (LogicalOperatorPtr& op : suffix_ops) suffix_plan.Append(std::move(op));
+  CompileOptions copts;
+  copts.compiled_kernels = options_.compiled_kernels;
+  copts.partitions = 1;
+  br->pipeline = std::make_unique<CompiledPipeline>();
+  NM_ASSIGN_OR_RETURN(*br->pipeline,
+                      CompilePlan(rq->pipeline.output_schema, suffix_plan,
+                                  nullptr, copts));
+  if (br->pipeline->sink == nullptr || !br->pipeline->branches.empty()) {
+    return Status::InvalidArgument(
+        "branch suffix must compile to one linear chain ending in a sink");
+  }
+  br->pipeline->path = "b" + std::to_string(br->id);
+  for (OperatorPtr& op : br->pipeline->operators) {
+    NM_RETURN_NOT_OK(op->Open(rq->ctx.get()));
+  }
+  NM_RETURN_NOT_OK(br->pipeline->sink->Open(rq->ctx.get()));
+  if (rq->metrics_on) {
+    const std::string path_key = br->pipeline->path;
+    const std::string prefix = path_key + "/";
+    for (OperatorPtr& op : br->pipeline->operators) {
+      op->BindMetrics(rq->metrics.get(), prefix);
+    }
+    br->pipeline->sink->BindMetrics(rq->metrics.get(), prefix);
+    br->sm.queue_depth =
+        rq->metrics->GetGauge("worker.strand." + path_key + ".queue_depth");
+    br->sm.task_wait = rq->metrics->GetHistogram("worker.strand." + path_key +
+                                                 ".task_wait_micros");
+  }
+  // Publication point: the next DispatchDynamic snapshot sees the branch,
+  // so it joins the stream at a buffer boundary.
+  std::lock_guard<std::mutex> lock(rq->dyn_mutex);
+  if (rq->pool) br->strand = rq->pool->MakeStrand();
+  const int branch_id = br->id;
+  rq->dyn_branches.push_back(std::move(br));
+  return branch_id;
+}
+
+Status NodeEngine::DetachBranch(int host_id, int branch_id) {
+  RunningQuery* rq = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = queries_.find(host_id);
+    if (it == queries_.end()) {
+      return Status::NotFound("unknown query id");
+    }
+    rq = it->second.get();
+  }
+  std::lock_guard<std::mutex> lock(rq->dyn_mutex);
+  for (auto it = rq->dyn_branches.begin(); it != rq->dyn_branches.end();
+       ++it) {
+    if ((*it)->id != branch_id) continue;
+    // Flag first: tasks already queued on the branch's strand check the
+    // flag and fall through without touching operator state. The branch
+    // itself parks in `retired_dyn` rather than dying here — its strand
+    // may still be in a worker's hands — and is destroyed with the host.
+    (*it)->detached.store(true, std::memory_order_relaxed);
+    rq->retired_dyn.push_back(std::move(*it));
+    rq->dyn_branches.erase(it);
+    return Status::OK();
+  }
+  return Status::NotFound("unknown branch id");
+}
+
+Result<QueryStats> NodeEngine::BranchStats(int host_id, int branch_id) const {
+  const RunningQuery* rq = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = queries_.find(host_id);
+    if (it == queries_.end()) {
+      return Status::NotFound("unknown query id");
+    }
+    rq = it->second.get();
+  }
+  std::shared_ptr<RunningQuery::DynamicBranch> br;
+  {
+    std::lock_guard<std::mutex> lock(rq->dyn_mutex);
+    for (const auto& candidate : rq->dyn_branches) {
+      if (candidate->id == branch_id) {
+        br = candidate;
+        break;
+      }
+    }
+  }
+  if (!br) return Status::NotFound("unknown branch id");
+  QueryStats stats;
+  // Shared ingest: every branch of the host rides the same source stream.
+  stats.events_ingested = rq->events_ingested.load();
+  stats.bytes_ingested = rq->bytes_ingested.load();
+  if (rq->finished.load()) {
+    stats.elapsed_micros = rq->finished_at.load() - rq->started_at.load();
+  } else if (rq->started.load()) {
+    stats.elapsed_micros = MonotonicNowMicros() - rq->started_at.load();
+  }
+  stats.buffers_acquired = rq->ctx->TotalBuffersAcquired();
+  const std::string prefix = br->pipeline->path + "/";
+  for (const OperatorPtr& op : br->pipeline->operators) {
+    op->AppendStats(prefix, &stats.operator_stats);
+  }
+  const OperatorStats sink_flow = br->pipeline->sink->stats();
+  stats.operator_stats.emplace_back(prefix + br->pipeline->sink->name(),
+                                    sink_flow);
+  SinkStats sink_stats;
+  sink_stats.path = br->pipeline->path;
+  sink_stats.name = br->pipeline->sink->name();
+  sink_stats.events_emitted = sink_flow.events_in;
+  sink_stats.bytes_emitted = sink_flow.bytes_in;
+  stats.events_emitted = sink_stats.events_emitted;
+  stats.bytes_emitted = sink_stats.bytes_emitted;
+  stats.sink_stats.push_back(std::move(sink_stats));
+  return stats;
+}
+
 Result<QueryPlanText> NodeEngine::Explain(int query_id) const {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = queries_.find(query_id);
@@ -546,10 +885,15 @@ void NodeEngine::RunLoop(RunningQuery* rq) {
       if (!*more) break;
     }
   }
-  if (status.ok()) status = rq->FinishAll();
+  // Cancellation is not end-of-stream: a cancelled query must not flush
+  // its window/CEP state as if the stream completed, so FinishAll is
+  // skipped — partial panes are simply dropped with the query.
+  if (status.ok() && !rq->cancel.load()) status = rq->FinishAll();
   // Run every dispatched morsel (including the finish cascades just
   // posted) to completion before reading the task-side error slot; the
-  // drain also guarantees task-captured buffer handles have recycled.
+  // drain also guarantees task-captured buffer handles have recycled —
+  // on cancellation this is what keeps in-flight strand tasks from
+  // touching operator state after teardown began.
   if (rq->pool) rq->pool->Drain();
   // Final sample covers the tail window, then the sampler thread joins —
   // after this no thread but the caller touches the rate gauges.
@@ -583,10 +927,16 @@ Status NodeEngine::Start(int query_id) {
   if (worker_threads_ > 1) {
     // Strand capacity = the pipelined hand-off depth: the ingest thread
     // blocks once a target falls that many sealed batches behind
-    // (worker-side posts never block — see worker_pool.hpp).
+    // (worker-side posts never block — see worker_pool.hpp). Created
+    // under dyn_mutex so a concurrent AttachBranch either sees the pool
+    // (and makes its own strand) or is seen here (and gets one).
+    std::lock_guard<std::mutex> lock(rq->dyn_mutex);
     rq->pool =
         std::make_unique<WorkerPool>(worker_threads_, options_.queue_capacity);
     rq->MakeStrands(&rq->pipeline);
+    for (const auto& br : rq->dyn_branches) {
+      if (!br->strand) br->strand = rq->pool->MakeStrand();
+    }
   }
   if (options_.pipelined) {
     rq->queue = std::make_unique<BoundedQueue>(options_.queue_capacity);
@@ -726,6 +1076,22 @@ Result<QueryStats> NodeEngine::Stats(int query_id) const {
         for (const CompiledPipeline& branch : seg.branches) visit(branch);
       };
   visit(rq->pipeline);
+  // Shared hosts carry their attached branches' flow too, so the host
+  // view sums emitted counts across every client riding the prefix.
+  if (rq->shared_host) {
+    std::vector<std::shared_ptr<RunningQuery::DynamicBranch>> branches;
+    {
+      std::lock_guard<std::mutex> lock(rq->dyn_mutex);
+      branches = rq->dyn_branches;
+    }
+    for (const auto& br : branches) {
+      const std::string prefix = br->pipeline->path + "/";
+      for (const OperatorPtr& op : br->pipeline->operators) {
+        op->AppendStats(prefix, &stats.operator_stats);
+      }
+      append_sink(*br->pipeline, prefix);
+    }
+  }
   return stats;
 }
 

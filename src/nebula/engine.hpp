@@ -160,6 +160,50 @@ class NodeEngine {
   /// Convenience: builds the fluent query and submits the emitted plan.
   Result<int> Submit(Query query);
 
+  // --- Shared-query serving (serving/shared_query_manager.hpp) ---
+  //
+  // A *shared host* is a query whose plan is a sink-less linear operator
+  // prefix: the source and prefix execute once per buffer, and any number
+  // of *dynamic branches* — operator suffixes ending in a sink — attach
+  // below it, each receiving the same sealed output batch (the zero-copy
+  // fan-out contract, extended to branches that appear and disappear at
+  // runtime). The serving layer merges structurally prefix-equal client
+  // queries onto one host; these engine hooks are the mechanism.
+
+  /// Submits a shared host. \p prefix_plan must be linear (no fan-out) and
+  /// carry no sink; it is compiled verbatim (the serving manager
+  /// pre-optimizes — rewriting here could change the shape branch suffixes
+  /// were matched against) and never partition-parallelized (branches own
+  /// the stateful tails). When \p delivery_node names a topology node
+  /// different from the prefix's last placed node, the shared stream is
+  /// shipped there once over a single network channel — every attached
+  /// branch then consumes node-local data, which is what makes the fleet
+  /// uplink cost independent of the number of branch queries.
+  Result<int> SubmitShared(LogicalPlan prefix_plan,
+                           int delivery_node = LogicalOperator::kUnplaced);
+
+  /// Attaches \p suffix_ops (a linear chain ending in a `SinkNode`) as a
+  /// new dynamic branch of shared host \p host_id and returns the branch
+  /// id. Valid before `Start` and *while the host runs* — runtime
+  /// admission: the branch starts consuming from the next dispatched
+  /// buffer boundary, with its own strand (actor-serialized state) and its
+  /// own metrics under the `b<id>/` DAG path.
+  Result<int> AttachBranch(int host_id,
+                           std::vector<LogicalOperatorPtr> suffix_ops);
+
+  /// Detaches one dynamic branch: it stops receiving batches at the next
+  /// buffer boundary and its queued in-flight tasks drain harmlessly (the
+  /// branch's operator state outlives the detach until the last queued
+  /// task released it). The host keeps running for the remaining branches;
+  /// cancelling the host when the *last* branch leaves is the serving
+  /// layer's job.
+  Status DetachBranch(int host_id, int branch_id);
+
+  /// Per-branch statistics: the host's shared ingest counters plus the
+  /// branch's own operator and sink flow — the view a client of the
+  /// serving layer sees for its virtual query.
+  Result<QueryStats> BranchStats(int host_id, int branch_id) const;
+
   /// Starts the query's worker thread(s).
   Status Start(int query_id);
 

@@ -1,5 +1,6 @@
 #include "nebula/exec/compiled_expr.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <cstring>
@@ -440,7 +441,79 @@ class ScalarFnKernel final : public ScalarKernel {
   mutable std::vector<double> row_args_;
 };
 
+// --- Cross-stage computed-column cache (kernel-level CSE) -------------------
+
+// Caches by *physical* row index: the compute path scatters results through
+// the span's selection so that a later stage's refined selection — a subset
+// of the rows computed here — gathers the same values the inner kernel
+// would produce. Element width follows the inner kernel's native type.
+class ColumnCacheKernel final : public ScalarKernel {
+ public:
+  ColumnCacheKernel(std::shared_ptr<ColumnCache> cache, size_t slot,
+                    KernelPtr inner)
+      : ScalarKernel(inner->type()),
+        cache_(std::move(cache)),
+        slot_(slot),
+        inner_(std::move(inner)) {}
+
+  void EvalBool(const RowSpan& rows, uint8_t* out) const override {
+    Eval<uint8_t>(rows, out, [this](const RowSpan& r, uint8_t* o) {
+      inner_->EvalBool(r, o);
+    });
+  }
+  void EvalInt64(const RowSpan& rows, int64_t* out) const override {
+    Eval<int64_t>(rows, out, [this](const RowSpan& r, int64_t* o) {
+      inner_->EvalInt64(r, o);
+    });
+  }
+  void EvalDouble(const RowSpan& rows, double* out) const override {
+    Eval<double>(rows, out, [this](const RowSpan& r, double* o) {
+      inner_->EvalDouble(r, o);
+    });
+  }
+
+ private:
+  template <typename T, typename Compute>
+  void Eval(const RowSpan& rows, T* out, const Compute& compute) const {
+    ColumnCache::Slot& slot = cache_->slot(slot_);
+    if (slot.epoch == cache_->epoch()) {
+      const T* col = reinterpret_cast<const T*>(slot.data.data());
+      for (size_t i = 0; i < rows.count; ++i) {
+        out[i] = col[rows.sel != nullptr ? rows.sel[i] : i];
+      }
+      return;
+    }
+    compute(rows, out);
+    size_t max_phys = rows.count;  // sel == nullptr: indices 0..count-1
+    if (rows.sel != nullptr) {
+      max_phys = 0;
+      for (size_t i = 0; i < rows.count; ++i) {
+        max_phys = std::max<size_t>(max_phys, rows.sel[i] + 1);
+      }
+    }
+    if (slot.data.size() < max_phys * sizeof(T)) {
+      slot.data.resize(max_phys * sizeof(T));
+    }
+    T* col = reinterpret_cast<T*>(slot.data.data());
+    for (size_t i = 0; i < rows.count; ++i) {
+      col[rows.sel != nullptr ? rows.sel[i] : i] = out[i];
+    }
+    slot.epoch = cache_->epoch();
+  }
+
+  std::shared_ptr<ColumnCache> cache_;
+  size_t slot_;
+  KernelPtr inner_;
+};
+
 }  // namespace
+
+KernelPtr MakeColumnCacheKernel(std::shared_ptr<ColumnCache> cache,
+                                size_t slot, KernelPtr inner) {
+  if (inner == nullptr) return nullptr;
+  return std::make_unique<ColumnCacheKernel>(std::move(cache), slot,
+                                             std::move(inner));
+}
 
 KernelPtr MakeLoadKernel(DataType type, size_t offset) {
   switch (type) {

@@ -230,6 +230,9 @@ std::string BatchKernelOperator::name() const {
 Status BatchKernelOperator::ProcessBatch(const Batch& input,
                                          const BatchEmitFn& emit) {
   CountIn(input);
+  // New input buffer: any kernel-CSE columns cached from the previous
+  // batch are stale.
+  if (cse_cache_ != nullptr) cse_cache_->Invalidate();
   Batch cur = input;
   bool alive = cur.NumRows() > 0;
   // One clock read per stage *boundary* (adjacent stages share it), so the
@@ -360,6 +363,10 @@ bool BatchKernelCompiler::AddProject(const std::vector<std::string>& fields) {
   current_ = stage.projection->output_schema();
   op_->stages_.push_back(std::move(stage));
   return true;
+}
+
+void BatchKernelCompiler::AttachCseCache(std::shared_ptr<ColumnCache> cache) {
+  op_->cse_cache_ = std::move(cache);
 }
 
 OperatorPtr BatchKernelCompiler::Finish() && {

@@ -761,6 +761,35 @@ bool StructurallyEqual(const ExprPtr& a, const ExprPtr& b) {
   return false;
 }
 
+bool ExpressionMergeSafe(const ExprPtr& expr) {
+  if (!expr) return false;
+  if (dynamic_cast<const FieldExpr*>(expr.get()) != nullptr) return true;
+  if (dynamic_cast<const LiteralExpr*>(expr.get()) != nullptr) return true;
+  if (const auto* a = dynamic_cast<const ArithExpr*>(expr.get())) {
+    return ExpressionMergeSafe(a->lhs()) && ExpressionMergeSafe(a->rhs());
+  }
+  if (const auto* c = dynamic_cast<const CompareExpr*>(expr.get())) {
+    return ExpressionMergeSafe(c->lhs()) && ExpressionMergeSafe(c->rhs());
+  }
+  if (const auto* l = dynamic_cast<const LogicalExpr*>(expr.get())) {
+    return ExpressionMergeSafe(l->lhs()) && ExpressionMergeSafe(l->rhs());
+  }
+  if (const auto* n = dynamic_cast<const NotExpr*>(expr.get())) {
+    return ExpressionMergeSafe(n->inner());
+  }
+  if (const auto* f = dynamic_cast<const FunctionExpression*>(expr.get())) {
+    // A registered name pins process-wide semantics; an ad-hoc
+    // MakeLambdaExpr name pins nothing — two queries can use the same
+    // name for different callables, so it must not be merge material.
+    if (!ExpressionRegistry::Global().Contains(f->name())) return false;
+    for (const ExprPtr& arg : f->args()) {
+      if (!ExpressionMergeSafe(arg)) return false;
+    }
+    return true;
+  }
+  return false;
+}
+
 // --- Constant folding ---------------------------------------------------------
 
 namespace {
@@ -926,8 +955,13 @@ bool CseTrivial(const Expression* e) {
 struct CseBucket {
   ExprPtr representative;
   size_t occurrences = 0;
-  ExprPtr wrapper;  // the shared CachedExpr, built on first replacement
+  ExprPtr wrapper;  // the shared caching wrapper, built on first replacement
 };
+
+// Builds the caching wrapper for a shared subexpression — parameterizes
+// CseRewrite over the two cache models (per-record CachedExpr for the
+// interpreter, per-batch column cache for compiled kernels).
+using CseWrapperFactory = std::function<ExprPtr(const ExprPtr& rep)>;
 
 // Counts subtree occurrences over the replaceable region: every subtree
 // all of whose ancestors (within its root) are rebuildable built-ins.
@@ -957,7 +991,7 @@ void CseCount(const ExprPtr& node, std::map<std::string, CseBucket>* buckets) {
 // nodes come out unbound; PlanCse's caller re-binds.
 ExprPtr CseRewrite(const ExprPtr& node,
                    std::map<std::string, CseBucket>* buckets,
-                   const std::shared_ptr<CseCache>& cache,
+                   const CseWrapperFactory& make_wrapper,
                    size_t* num_shared) {
   if (!CseTrivial(node.get())) {
     const auto it = buckets->find(node->ToString());
@@ -965,33 +999,31 @@ ExprPtr CseRewrite(const ExprPtr& node,
         StructurallyEqual(it->second.representative, node)) {
       CseBucket& bucket = it->second;
       if (!bucket.wrapper) {
-        cache->slots.emplace_back();
-        bucket.wrapper = std::make_shared<CachedExpr>(
-            bucket.representative, cache, cache->slots.size() - 1);
+        bucket.wrapper = make_wrapper(bucket.representative);
         ++*num_shared;
       }
       return bucket.wrapper;
     }
   }
   if (const auto* a = dynamic_cast<const ArithExpr*>(node.get())) {
-    ExprPtr lhs = CseRewrite(a->lhs(), buckets, cache, num_shared);
-    ExprPtr rhs = CseRewrite(a->rhs(), buckets, cache, num_shared);
+    ExprPtr lhs = CseRewrite(a->lhs(), buckets, make_wrapper, num_shared);
+    ExprPtr rhs = CseRewrite(a->rhs(), buckets, make_wrapper, num_shared);
     if (lhs != a->lhs() || rhs != a->rhs()) {
       return Arith(a->op(), std::move(lhs), std::move(rhs));
     }
     return node;
   }
   if (const auto* c = dynamic_cast<const CompareExpr*>(node.get())) {
-    ExprPtr lhs = CseRewrite(c->lhs(), buckets, cache, num_shared);
-    ExprPtr rhs = CseRewrite(c->rhs(), buckets, cache, num_shared);
+    ExprPtr lhs = CseRewrite(c->lhs(), buckets, make_wrapper, num_shared);
+    ExprPtr rhs = CseRewrite(c->rhs(), buckets, make_wrapper, num_shared);
     if (lhs != c->lhs() || rhs != c->rhs()) {
       return Compare(c->op(), std::move(lhs), std::move(rhs));
     }
     return node;
   }
   if (const auto* l = dynamic_cast<const LogicalExpr*>(node.get())) {
-    ExprPtr lhs = CseRewrite(l->lhs(), buckets, cache, num_shared);
-    ExprPtr rhs = CseRewrite(l->rhs(), buckets, cache, num_shared);
+    ExprPtr lhs = CseRewrite(l->lhs(), buckets, make_wrapper, num_shared);
+    ExprPtr rhs = CseRewrite(l->rhs(), buckets, make_wrapper, num_shared);
     if (lhs != l->lhs() || rhs != l->rhs()) {
       return l->logical_kind() == LogicalExpr::Kind::kAnd
                  ? And(std::move(lhs), std::move(rhs))
@@ -1000,17 +1032,18 @@ ExprPtr CseRewrite(const ExprPtr& node,
     return node;
   }
   if (const auto* n = dynamic_cast<const NotExpr*>(node.get())) {
-    ExprPtr inner = CseRewrite(n->inner(), buckets, cache, num_shared);
+    ExprPtr inner = CseRewrite(n->inner(), buckets, make_wrapper, num_shared);
     if (inner != n->inner()) return Not(std::move(inner));
     return node;
   }
   return node;
 }
 
-}  // namespace
-
-CsePlan PlanCse(std::vector<ExprPtr> roots) {
-  CsePlan plan;
+// Census + rewrite shared by both CSE planners; returns the rewritten
+// roots (unchanged when nothing repeats) and the shared-wrapper count.
+std::vector<ExprPtr> CseRun(std::vector<ExprPtr> roots,
+                            const CseWrapperFactory& make_wrapper,
+                            size_t* num_shared) {
   std::map<std::string, CseBucket> buckets;
   for (const ExprPtr& root : roots) {
     if (root) CseCount(root, &buckets);
@@ -1019,16 +1052,74 @@ CsePlan PlanCse(std::vector<ExprPtr> roots) {
   for (const auto& [key, bucket] : buckets) {
     any_shared = any_shared || bucket.occurrences >= 2;
   }
-  if (!any_shared) {
-    plan.roots = std::move(roots);
-    return plan;
-  }
-  auto cache = std::make_shared<CseCache>();
-  plan.roots.reserve(roots.size());
+  if (!any_shared) return roots;
+  std::vector<ExprPtr> out;
+  out.reserve(roots.size());
   for (const ExprPtr& root : roots) {
-    plan.roots.push_back(
-        root ? CseRewrite(root, &buckets, cache, &plan.num_shared) : root);
+    out.push_back(root ? CseRewrite(root, &buckets, make_wrapper, num_shared)
+                       : root);
   }
+  return out;
+}
+
+// The wrapper `PlanKernelCse` installs: interpretation passes straight
+// through to the inner tree (per-record evaluation has its own CSE in
+// PlanCse), while `CompileKernel` wraps the inner kernel so the compiled
+// column materializes once per batch and later fused stages gather it.
+class KernelCachedExpr final : public Expression {
+ public:
+  KernelCachedExpr(ExprPtr inner, std::shared_ptr<exec::ColumnCache> cache,
+                   size_t slot)
+      : inner_(std::move(inner)), cache_(std::move(cache)), slot_(slot) {}
+
+  Status Bind(const Schema& schema) override { return inner_->Bind(schema); }
+  Value Eval(const RecordView& rec) const override {
+    return inner_->Eval(rec);
+  }
+  DataType output_type() const override { return inner_->output_type(); }
+  std::string ToString() const override { return inner_->ToString(); }
+  std::optional<Value> ConstantValue() const override {
+    return inner_->ConstantValue();
+  }
+  bool ReferencedFields(std::vector<std::string>* out) const override {
+    return inner_->ReferencedFields(out);
+  }
+  exec::KernelPtr CompileKernel(const Schema& schema) const override {
+    return exec::MakeColumnCacheKernel(cache_, slot_,
+                                       inner_->CompileKernel(schema));
+  }
+
+ private:
+  ExprPtr inner_;
+  std::shared_ptr<exec::ColumnCache> cache_;
+  size_t slot_;
+};
+
+}  // namespace
+
+CsePlan PlanCse(std::vector<ExprPtr> roots) {
+  CsePlan plan;
+  auto cache = std::make_shared<CseCache>();
+  plan.roots = CseRun(std::move(roots),
+                      [&cache](const ExprPtr& rep) -> ExprPtr {
+                        cache->slots.emplace_back();
+                        return std::make_shared<CachedExpr>(
+                            rep, cache, cache->slots.size() - 1);
+                      },
+                      &plan.num_shared);
+  if (plan.num_shared > 0) plan.cache = std::move(cache);
+  return plan;
+}
+
+KernelCsePlan PlanKernelCse(std::vector<ExprPtr> roots) {
+  KernelCsePlan plan;
+  auto cache = std::make_shared<exec::ColumnCache>();
+  plan.roots = CseRun(std::move(roots),
+                      [&cache](const ExprPtr& rep) -> ExprPtr {
+                        return std::make_shared<KernelCachedExpr>(
+                            rep, cache, cache->AddSlot());
+                      },
+                      &plan.num_shared);
   if (plan.num_shared > 0) plan.cache = std::move(cache);
   return plan;
 }

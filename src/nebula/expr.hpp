@@ -28,6 +28,7 @@ namespace nebulameos::nebula {
 namespace exec {
 class ScalarKernel;
 using KernelPtr = std::unique_ptr<ScalarKernel>;
+class ColumnCache;
 }  // namespace exec
 
 /// Runtime value produced by expression evaluation.
@@ -261,6 +262,18 @@ void RegisterBuiltinFunctions();
 /// fan-out branch before hoisting it.
 bool StructurallyEqual(const ExprPtr& a, const ExprPtr& b);
 
+/// \brief True when \p expr is safe to treat as *identified by its
+/// structure* across independently submitted plans: every node is either a
+/// built-in (field/literal/arith/compare/logical/not) or a
+/// `FunctionExpression` whose name is registered in the global
+/// `ExpressionRegistry` — registered names carry process-wide semantics, so
+/// two structurally equal trees compute the same thing. Ad-hoc
+/// `MakeLambdaExpr` nodes and unknown extension kinds return false: their
+/// names do not pin behaviour, so structural equality would not imply
+/// semantic equality. The serving layer requires this before merging
+/// operator prefixes across queries.
+bool ExpressionMergeSafe(const ExprPtr& expr);
+
 /// \brief Structurally rebuilds \p expr with every constant subtree
 /// pre-evaluated into a literal (e.g. `(3.6 * 2)` → `7.2`), setting
 /// \p *changed when anything folded. Only pure built-in nodes fold —
@@ -323,5 +336,36 @@ struct CsePlan {
 /// read). The compiled-kernel path never sees these trees — CSE is the
 /// interpreter fallback's optimization.
 CsePlan PlanCse(std::vector<ExprPtr> roots);
+
+// --- Common-subexpression elimination (compiled path) ------------------------
+
+/// \brief Result of `PlanKernelCse` over the expression roots of one fused
+/// kernel run (consecutive filter predicates plus the map specs that share
+/// their input buffer).
+struct KernelCsePlan {
+  /// Rewritten trees, position-for-position with the input roots. Shared
+  /// subtrees are wrapped so their *compiled kernels* write/read a cached
+  /// column; interpreted `Eval` of a wrapper simply delegates (the
+  /// interpreter fallback stays correct without the cache).
+  std::vector<ExprPtr> roots;
+  /// Cross-stage computed-column cache the wrappers' kernels share; null
+  /// when `num_shared == 0`. The owning `BatchKernelOperator` invalidates
+  /// it once per input batch.
+  std::shared_ptr<exec::ColumnCache> cache;
+  /// Distinct subexpressions now computed once per batch.
+  size_t num_shared = 0;
+};
+
+/// \brief Kernel-level CSE: shares repeated subexpressions across the
+/// stages of one fused `BatchKernelOperator` run. `PlanCse` covers only the
+/// interpreter path; fused batch kernels previously recomputed shared
+/// subtrees per stage. Each repeated subtree (by `StructurallyEqual`, same
+/// conservative ancestor/triviality rules as `PlanCse`) compiles into a
+/// kernel that materializes the column once per input batch — scattered by
+/// physical row index — and later occurrences gather the cached values.
+/// Sound because batch kernels evaluate every row of the span they are
+/// given (no row-level short-circuit) and stage selections only shrink, so
+/// the first evaluation always covers every row later stages revisit.
+KernelCsePlan PlanKernelCse(std::vector<ExprPtr> roots);
 
 }  // namespace nebulameos::nebula

@@ -1,5 +1,6 @@
 #include "nebula/logical_plan.hpp"
 
+#include <map>
 #include <optional>
 #include <type_traits>
 #include <utility>
@@ -149,6 +150,243 @@ std::string SinkNode::ToString() const {
 std::string DagBranchPath(const std::string& parent, size_t index) {
   return parent.empty() ? std::to_string(index)
                         : parent + "." + std::to_string(index);
+}
+
+// --- Plan-level structural identity ------------------------------------------
+
+namespace {
+
+bool AggregatesEqual(const std::vector<AggregateSpec>& a,
+                     const std::vector<AggregateSpec>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].kind != b[i].kind || a[i].field != b[i].field ||
+        a[i].output_name != b[i].output_name) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool MeasuresEqual(const std::vector<Measure>& a,
+                   const std::vector<Measure>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].kind != b[i].kind || a[i].step != b[i].step ||
+        a[i].field != b[i].field || a[i].output_name != b[i].output_name) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool WindowSpecEqual(const WindowSpec& a, const WindowSpec& b) {
+  if (a.index() != b.index()) return false;
+  if (const auto* ta = std::get_if<TumblingWindowSpec>(&a)) {
+    return ta->size == std::get<TumblingWindowSpec>(b).size;
+  }
+  if (const auto* sa = std::get_if<SlidingWindowSpec>(&a)) {
+    const auto& sb = std::get<SlidingWindowSpec>(b);
+    return sa->size == sb.size && sa->slide == sb.slide;
+  }
+  const auto& tha = std::get<ThresholdWindowSpec>(a);
+  const auto& thb = std::get<ThresholdWindowSpec>(b);
+  return tha.min_duration == thb.min_duration &&
+         StructurallyEqual(tha.predicate, thb.predicate);
+}
+
+bool PatternsEqual(const Pattern& a, const Pattern& b) {
+  if (a.steps.size() != b.steps.size() || a.within != b.within ||
+      a.key_field != b.key_field || a.time_field != b.time_field ||
+      a.suppress_duplicate_starts != b.suppress_duplicate_starts) {
+    return false;
+  }
+  for (size_t i = 0; i < a.steps.size(); ++i) {
+    const PatternStep& sa = a.steps[i];
+    const PatternStep& sb = b.steps[i];
+    if (sa.name != sb.name || sa.negated != sb.negated ||
+        sa.one_or_more != sb.one_or_more ||
+        !StructurallyEqual(sa.predicate, sb.predicate)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool StructurallyEqual(const LogicalOperator& a, const LogicalOperator& b) {
+  if (&a == &b) return true;
+  if (a.kind() != b.kind() || a.placement() != b.placement()) return false;
+  switch (a.kind()) {
+    case LogicalOperator::Kind::kFilter: {
+      const auto& fa = static_cast<const FilterNode&>(a);
+      const auto& fb = static_cast<const FilterNode&>(b);
+      return StructurallyEqual(fa.predicate(), fb.predicate());
+    }
+    case LogicalOperator::Kind::kMap: {
+      const auto& ma = static_cast<const MapNode&>(a);
+      const auto& mb = static_cast<const MapNode&>(b);
+      if (ma.specs().size() != mb.specs().size()) return false;
+      for (size_t i = 0; i < ma.specs().size(); ++i) {
+        if (ma.specs()[i].name != mb.specs()[i].name ||
+            !StructurallyEqual(ma.specs()[i].expr, mb.specs()[i].expr)) {
+          return false;
+        }
+      }
+      return true;
+    }
+    case LogicalOperator::Kind::kProject:
+      return static_cast<const ProjectNode&>(a).fields() ==
+             static_cast<const ProjectNode&>(b).fields();
+    case LogicalOperator::Kind::kKeyBy:
+      return static_cast<const KeyByNode&>(a).field() ==
+             static_cast<const KeyByNode&>(b).field();
+    case LogicalOperator::Kind::kWindowAgg: {
+      const auto& wa = static_cast<const WindowAggNode&>(a).options();
+      const auto& wb = static_cast<const WindowAggNode&>(b).options();
+      // Custom aggregators are opaque callables — two factories cannot be
+      // proven equivalent, so any custom aggregate blocks equality.
+      if (!wa.custom_aggregators.empty() || !wb.custom_aggregators.empty()) {
+        return false;
+      }
+      return wa.key_field == wb.key_field && wa.time_field == wb.time_field &&
+             wa.allowed_lateness == wb.allowed_lateness &&
+             WindowSpecEqual(wa.window, wb.window) &&
+             AggregatesEqual(wa.aggregates, wb.aggregates);
+    }
+    case LogicalOperator::Kind::kThresholdWindow: {
+      const auto& ta = static_cast<const ThresholdWindowNode&>(a).options();
+      const auto& tb = static_cast<const ThresholdWindowNode&>(b).options();
+      if (!ta.custom_aggregators.empty() || !tb.custom_aggregators.empty()) {
+        return false;
+      }
+      return ta.min_duration == tb.min_duration &&
+             ta.key_field == tb.key_field && ta.time_field == tb.time_field &&
+             StructurallyEqual(ta.predicate, tb.predicate) &&
+             AggregatesEqual(ta.aggregates, tb.aggregates);
+    }
+    case LogicalOperator::Kind::kCep: {
+      const auto& ca = static_cast<const CepNode&>(a);
+      const auto& cb = static_cast<const CepNode&>(b);
+      return PatternsEqual(ca.pattern(), cb.pattern()) &&
+             MeasuresEqual(ca.measures(), cb.measures());
+    }
+    case LogicalOperator::Kind::kLookupJoin: {
+      const auto& ja = static_cast<const LookupJoinNode&>(a).options();
+      const auto& jb = static_cast<const LookupJoinNode&>(b).options();
+      // The lookup side is an arbitrary Source — only instance identity
+      // proves the two joins probe the same data.
+      return ja.lookup == jb.lookup && ja.left_key == jb.left_key &&
+             ja.right_key == jb.right_key && ja.left_time == jb.left_time &&
+             ja.right_time == jb.right_time && ja.max_age == jb.max_age &&
+             ja.collision_prefix == jb.collision_prefix;
+    }
+    case LogicalOperator::Kind::kFanOut: {
+      const auto& fa = static_cast<const FanOutNode&>(a);
+      const auto& fb = static_cast<const FanOutNode&>(b);
+      if (fa.branches().size() != fb.branches().size()) return false;
+      for (size_t i = 0; i < fa.branches().size(); ++i) {
+        const auto& ba = fa.branches()[i];
+        const auto& bb = fb.branches()[i];
+        if (ba.size() != bb.size()) return false;
+        for (size_t j = 0; j < ba.size(); ++j) {
+          if (!StructurallyEqual(*ba[j], *bb[j])) return false;
+        }
+      }
+      return true;
+    }
+    case LogicalOperator::Kind::kSink:
+      // Sinks are stateful endpoints owned by their submitter; two plans
+      // share results only through the *same* sink instance.
+      return static_cast<const SinkNode&>(a).sink() ==
+             static_cast<const SinkNode&>(b).sink();
+  }
+  return false;
+}
+
+size_t StructuralHash(const LogicalOperator& op) {
+  // ToString renders kind + payload (expressions render structurally);
+  // placement is appended because Explain reports it separately. Equal
+  // nodes render equal, so equal nodes hash equal; collisions are resolved
+  // by callers via StructurallyEqual.
+  std::string repr = op.ToString() + "@" + std::to_string(op.placement());
+  if (op.kind() == LogicalOperator::Kind::kFanOut) {
+    // FanOut renders only its branch count — fold in the nested chains.
+    for (const auto& branch : static_cast<const FanOutNode&>(op).branches()) {
+      for (const auto& node : branch) {
+        repr += "|" + std::to_string(StructuralHash(*node));
+      }
+    }
+  }
+  return std::hash<std::string>{}(repr);
+}
+
+LogicalOperatorPtr CloneOperator(const LogicalOperator& op) {
+  LogicalOperatorPtr clone;
+  switch (op.kind()) {
+    case LogicalOperator::Kind::kFilter:
+      clone = std::make_unique<FilterNode>(
+          static_cast<const FilterNode&>(op).predicate());
+      break;
+    case LogicalOperator::Kind::kMap:
+      clone =
+          std::make_unique<MapNode>(static_cast<const MapNode&>(op).specs());
+      break;
+    case LogicalOperator::Kind::kProject:
+      clone = std::make_unique<ProjectNode>(
+          static_cast<const ProjectNode&>(op).fields());
+      break;
+    case LogicalOperator::Kind::kKeyBy:
+      clone = std::make_unique<KeyByNode>(
+          static_cast<const KeyByNode&>(op).field());
+      break;
+    case LogicalOperator::Kind::kWindowAgg: {
+      const auto& options = static_cast<const WindowAggNode&>(op).options();
+      // A custom-aggregator factory may close over shared state; a clone
+      // aliasing it could double-fold. Refuse rather than guess.
+      if (!options.custom_aggregators.empty()) return nullptr;
+      clone = std::make_unique<WindowAggNode>(options);
+      break;
+    }
+    case LogicalOperator::Kind::kThresholdWindow: {
+      const auto& options =
+          static_cast<const ThresholdWindowNode&>(op).options();
+      if (!options.custom_aggregators.empty()) return nullptr;
+      clone = std::make_unique<ThresholdWindowNode>(options);
+      break;
+    }
+    case LogicalOperator::Kind::kCep: {
+      const auto& cep = static_cast<const CepNode&>(op);
+      clone = std::make_unique<CepNode>(cep.pattern(), cep.measures());
+      break;
+    }
+    case LogicalOperator::Kind::kLookupJoin:
+      clone = std::make_unique<LookupJoinNode>(
+          static_cast<const LookupJoinNode&>(op).options());
+      break;
+    case LogicalOperator::Kind::kFanOut: {
+      std::vector<FanOutNode::Branch> branches;
+      for (const auto& branch :
+           static_cast<const FanOutNode&>(op).branches()) {
+        FanOutNode::Branch cloned;
+        for (const auto& node : branch) {
+          LogicalOperatorPtr c = CloneOperator(*node);
+          if (c == nullptr) return nullptr;
+          cloned.push_back(std::move(c));
+        }
+        branches.push_back(std::move(cloned));
+      }
+      clone = std::make_unique<FanOutNode>(std::move(branches));
+      break;
+    }
+    case LogicalOperator::Kind::kSink:
+      clone = std::make_unique<SinkNode>(
+          static_cast<const SinkNode&>(op).sink());
+      break;
+  }
+  if (clone != nullptr) clone->set_placement(op.placement());
+  return clone;
 }
 
 namespace {
@@ -387,6 +625,67 @@ bool PartitionableKeyType(DataType type) {
   }
 }
 
+// Kernel-level CSE rewrites for the fused run starting at ops[idx], keyed
+// by op index so refused stages fall back to the *original* nodes.
+struct FusedRunCse {
+  std::map<size_t, ExprPtr> filter_predicates;
+  std::map<size_t, std::vector<MapSpec>> map_specs;
+  std::shared_ptr<exec::ColumnCache> cache;  ///< null = nothing shared
+};
+
+// Plans kernel-level CSE for one fused run: collects the expression roots
+// that evaluate against the run's *input* buffer — the predicates of the
+// leading consecutive filters plus the computed fields of the map
+// immediately after them (CompiledMap kernels also read the stage's input
+// buffer, so physical row indices line up across all these roots) — and
+// rewrites repeated subtrees to share one cached column. Stops at any
+// other node kind, a second map, or a placement transition: past the first
+// materialization the rows live in a different buffer and cached physical
+// indices would be meaningless.
+FusedRunCse PlanFusedRunCse(const Chain& ops, size_t idx,
+                            const Topology* topology, int current_node) {
+  FusedRunCse out;
+  std::vector<ExprPtr> roots;
+  std::vector<size_t> filter_indices;
+  size_t map_index = ops.size();
+  for (size_t i = idx; i < ops.size(); ++i) {
+    const LogicalOperator& node = *ops[i];
+    if (topology != nullptr &&
+        node.placement() != LogicalOperator::kUnplaced &&
+        current_node != LogicalOperator::kUnplaced &&
+        node.placement() != current_node) {
+      break;  // fusion barrier: the run ends at the transition
+    }
+    if (node.kind() == LogicalOperator::Kind::kFilter) {
+      filter_indices.push_back(i);
+      roots.push_back(static_cast<const FilterNode&>(node).predicate());
+      continue;
+    }
+    if (node.kind() == LogicalOperator::Kind::kMap) {
+      map_index = i;
+      for (const MapSpec& spec : static_cast<const MapNode&>(node).specs()) {
+        roots.push_back(spec.expr);
+      }
+    }
+    break;
+  }
+  if (roots.empty()) return out;
+  KernelCsePlan plan = PlanKernelCse(std::move(roots));
+  if (plan.num_shared == 0) return out;
+  out.cache = std::move(plan.cache);
+  size_t r = 0;
+  for (size_t fi : filter_indices) {
+    out.filter_predicates[fi] = std::move(plan.roots[r++]);
+  }
+  if (map_index < ops.size()) {
+    std::vector<MapSpec> specs =
+        static_cast<const MapNode&>(*ops[map_index]).specs();
+    for (MapSpec& spec : specs) spec.expr = std::move(plan.roots[r++]);
+    out.map_specs[map_index] = std::move(specs);
+  }
+  return out;
+}
+
 // Lowers one chain into `pipe` starting at node `begin`, recursing at a
 // fan-out. `current` is the schema entering the chain at `begin`;
 // `pending_key_in` seeds the folded KeyBy field (non-empty only when a
@@ -415,8 +714,10 @@ Status CompileChain(const Chain& ops, size_t begin,
   pipe->path = path;
   // A KeyBy node's field is folded into the node it precedes.
   std::string pending_key = pending_key_in;
-  // The in-flight fused run (engaged while consecutive nodes absorb).
+  // The in-flight fused run (engaged while consecutive nodes absorb) and
+  // its kernel-CSE rewrites (planned when the run opens).
   std::optional<exec::BatchKernelCompiler> fuser;
+  FusedRunCse cse;
   const auto flush_fused = [&]() {
     if (!fuser.has_value()) return;
     if (fuser->num_stages() > 0) {
@@ -474,17 +775,33 @@ Status CompileChain(const Chain& ops, size_t begin,
     }
     if (copts.compiled_kernels && pending_key.empty()) {
       bool absorbed = false;
+      // Opening a fresh run plans kernel-level CSE across its same-buffer
+      // stages; a wrapper-carrying predicate/spec that still refuses to
+      // compile falls back to the original node below (wrappers only wrap
+      // compilation, so refusal behaviour is unchanged).
+      const auto open_run = [&]() {
+        if (fuser.has_value()) return;
+        cse = PlanFusedRunCse(ops, idx, topology, current_node);
+        fuser.emplace(current);
+        if (cse.cache != nullptr) fuser->AttachCseCache(cse.cache);
+      };
       switch (node->kind()) {
         case LogicalOperator::Kind::kFilter: {
-          if (!fuser.has_value()) fuser.emplace(current);
+          open_run();
+          const auto rewritten = cse.filter_predicates.find(idx);
           absorbed = fuser->AddFilter(
-              static_cast<const FilterNode&>(*node).predicate());
+              rewritten != cse.filter_predicates.end()
+                  ? rewritten->second
+                  : static_cast<const FilterNode&>(*node).predicate());
           break;
         }
         case LogicalOperator::Kind::kMap: {
-          if (!fuser.has_value()) fuser.emplace(current);
-          absorbed =
-              fuser->AddMap(static_cast<const MapNode&>(*node).specs());
+          open_run();
+          const auto rewritten = cse.map_specs.find(idx);
+          absorbed = fuser->AddMap(
+              rewritten != cse.map_specs.end()
+                  ? rewritten->second
+                  : static_cast<const MapNode&>(*node).specs());
           break;
         }
         case LogicalOperator::Kind::kProject: {

@@ -284,6 +284,34 @@ class SinkNode : public LogicalOperator {
 /// placement pass.
 std::string DagBranchPath(const std::string& parent, size_t index);
 
+// --- Plan-level structural identity ------------------------------------------
+
+/// \brief Extends expression-level `StructurallyEqual` to plan nodes: true
+/// when \p a and \p b are the same operator with semantically identical
+/// configuration — same kind, same placement annotation, and per-kind
+/// payload equality (predicates/specs by expression `StructurallyEqual`,
+/// field lists verbatim, window/CEP options field by field). Conservative
+/// where semantics cannot be proven: nodes carrying opaque callables
+/// (custom window aggregators) or distinct sink/lookup-source instances
+/// compare unequal. The serving layer uses this to find the longest shared
+/// operator prefix across independently submitted plans.
+bool StructurallyEqual(const LogicalOperator& a, const LogicalOperator& b);
+
+/// \brief Hash consistent with plan-level `StructurallyEqual`: equal nodes
+/// hash equal (the converse may not hold — callers bucket by hash and
+/// confirm with `StructurallyEqual`, as the expression CSE does).
+size_t StructuralHash(const LogicalOperator& op);
+
+/// \brief Deep-copies a plan node (placement annotation included).
+/// Expression trees are shared, not copied — they are immutable after
+/// `Bind`, and `Bind` is idempotent for a fixed schema, so clones bound
+/// against structurally identical inputs resolve identically. Returns
+/// nullptr for nodes that cannot be cloned faithfully (custom window
+/// aggregators' opaque factories could alias state; fan-outs clone only if
+/// every nested node does). Sinks clone to a node *sharing* the same sink
+/// instance.
+LogicalOperatorPtr CloneOperator(const LogicalOperator& op);
+
 /// \brief A complete logical query: source → operator DAG → sink(s).
 ///
 /// Move-only (owns its source). The ops vector is the root chain; a

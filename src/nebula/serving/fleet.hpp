@@ -1,0 +1,80 @@
+/// \file fleet.hpp
+/// \brief Fleet deployment helper: the paper's SNCB reference topology
+/// (coordinator + cloud worker + N train edge nodes) packaged with the
+/// per-train placement and submission conventions the serving layer uses.
+///
+/// One `FleetDeployment` owns the `Topology` every engine in the fleet
+/// runs against. Per-train queries are annotated with the paper's full
+/// edge pushdown (source and operators on the train's edge node, sinks on
+/// the cloud worker) and submitted through a `SharedQueryManager`, so the
+/// K queries of one train share that train's ingest prefix and uplink
+/// channel; the coordinator unions the per-train result streams with a
+/// `MergeNode`.
+
+#pragma once
+
+#include "nebula/optimizer.hpp"
+#include "nebula/serving/shared_query_manager.hpp"
+#include "nebula/topology.hpp"
+
+namespace nebulameos::nebula::serving {
+
+/// \brief Fleet shape and uplink characteristics.
+struct FleetOptions {
+  int num_trains = 1;
+  /// Constrained cellular uplink from each train to the cloud worker.
+  double uplink_bytes_per_sec = 64.0 * 1024.0;
+  Duration uplink_latency = Millis(50);
+};
+
+/// \brief The fleet's topology plus node-id and submission conventions.
+class FleetDeployment {
+ public:
+  explicit FleetDeployment(FleetOptions options)
+      : options_(options),
+        topology_(Topology::SncbReference(options.num_trains,
+                                          options.uplink_bytes_per_sec,
+                                          options.uplink_latency)) {}
+
+  int num_trains() const { return options_.num_trains; }
+  /// SncbReference convention: coordinator 0, cloud worker 1, trains 2+i.
+  int coordinator_node() const { return 0; }
+  int cloud_node() const { return 1; }
+  int edge_node(int train) const { return 2 + train; }
+
+  const Topology& topology() const { return topology_; }
+
+  /// Engine options wired to this fleet's topology (the deployment must
+  /// outlive every engine built from them).
+  EngineOptions MakeEngineOptions(EngineOptions base = {}) const {
+    base.topology = &topology_;
+    return base;
+  }
+
+  /// Annotates \p plan with full edge pushdown for \p train (source and
+  /// operators on `edge_node(train)`, sink on the cloud worker) and
+  /// submits it through \p manager. Queries of the same train sharing a
+  /// source and operator prefix merge onto one shared host — and one
+  /// uplink channel; different trains never merge (placements differ).
+  Result<int> SubmitTrainQuery(SharedQueryManager* manager, int train,
+                               LogicalPlan plan) const {
+    if (train < 0 || train >= options_.num_trains) {
+      return Status::InvalidArgument("train index out of range");
+    }
+    AnnotateEdgePushdownPlacement(&plan, edge_node(train), cloud_node());
+    return manager->Submit(std::move(plan));
+  }
+
+  /// Fluent-query convenience for `SubmitTrainQuery`.
+  Result<int> SubmitTrainQuery(SharedQueryManager* manager, int train,
+                               Query query) const {
+    NM_ASSIGN_OR_RETURN(LogicalPlan plan, std::move(query).Build());
+    return SubmitTrainQuery(manager, train, std::move(plan));
+  }
+
+ private:
+  FleetOptions options_;
+  Topology topology_;
+};
+
+}  // namespace nebulameos::nebula::serving

@@ -1,0 +1,158 @@
+#include "nebula/serving/merge.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace nebulameos::nebula::serving {
+
+namespace {
+
+bool RowLess(const MergeNode::Row& a, const MergeNode::Row& b) {
+  if (a.ts != b.ts) return a.ts < b.ts;
+  if (a.stream_id != b.stream_id) return a.stream_id < b.stream_id;
+  return a.seq < b.seq;
+}
+
+}  // namespace
+
+/// The per-stream sink: decodes each consumed batch into merge rows and
+/// offers them to the central state. Strand-serialized by the engine like
+/// any sink, so per-stream arrival order (the `seq` component of the
+/// ordering key) is deterministic.
+class MergeNode::Input final : public SinkOperator {
+ public:
+  Input(Schema schema, MergeNode* merge, int stream_id)
+      : SinkOperator(std::move(schema)), merge_(merge), stream_id_(stream_id) {}
+
+  std::string name() const override {
+    return "MergeInput(" + std::to_string(stream_id_) + ")";
+  }
+
+ protected:
+  Status Consume(const exec::Batch& batch) override {
+    std::vector<Row> rows;
+    rows.reserve(batch.NumRows());
+    const size_t num_fields = schema_.num_fields();
+    for (size_t i = 0; i < batch.NumRows(); ++i) {
+      const RecordView rec = batch.data->At(batch.RowAt(i));
+      Row row;
+      row.stream_id = stream_id_;
+      if (merge_->time_index_ >= 0) {
+        row.ts = rec.GetInt64(static_cast<size_t>(merge_->time_index_));
+      }
+      row.values.reserve(num_fields);
+      for (size_t f = 0; f < num_fields; ++f) {
+        switch (schema_.field(f).type) {
+          case DataType::kBool:
+            row.values.emplace_back(rec.GetBool(f));
+            break;
+          case DataType::kInt64:
+          case DataType::kTimestamp:
+            row.values.emplace_back(rec.GetInt64(f));
+            break;
+          case DataType::kDouble:
+            row.values.emplace_back(rec.GetDouble(f));
+            break;
+          default:
+            row.values.emplace_back(rec.GetText(f));
+            break;
+        }
+      }
+      rows.push_back(std::move(row));
+    }
+    merge_->Offer(stream_id_, std::move(rows));
+    return Status::OK();
+  }
+
+ private:
+  MergeNode* merge_;
+  int stream_id_;
+};
+
+MergeNode::MergeNode(Schema schema, std::string time_field)
+    : schema_(std::move(schema)) {
+  if (!time_field.empty()) {
+    auto idx = schema_.IndexOf(time_field);
+    if (idx.ok()) time_index_ = static_cast<int>(*idx);
+  }
+}
+
+std::shared_ptr<SinkOperator> MergeNode::InputFor(int stream_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = inputs_.find(stream_id);
+  if (it == inputs_.end()) {
+    it = inputs_
+             .emplace(stream_id,
+                      std::make_shared<Input>(schema_, this, stream_id))
+             .first;
+    // Open with the lowest watermark: an input that has produced nothing
+    // yet holds back the merged output (a row from any other stream could
+    // still be preceded by one of this stream's).
+    watermarks_[stream_id] = std::numeric_limits<Timestamp>::min();
+    next_seq_[stream_id] = 0;
+  }
+  return it->second;
+}
+
+void MergeNode::CloseInput(int stream_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  watermarks_.erase(stream_id);
+  ReleaseLocked();
+}
+
+void MergeNode::CloseAllInputs() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  watermarks_.clear();
+  ReleaseLocked();
+}
+
+void MergeNode::Offer(int stream_id, std::vector<Row> rows) {
+  if (rows.empty()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t& seq = next_seq_[stream_id];
+  Timestamp max_ts = std::numeric_limits<Timestamp>::min();
+  for (Row& row : rows) {
+    row.seq = seq++;
+    max_ts = std::max(max_ts, row.ts);
+    pending_.push_back(std::move(row));
+  }
+  auto wm = watermarks_.find(stream_id);
+  if (wm != watermarks_.end()) wm->second = std::max(wm->second, max_ts);
+  ReleaseLocked();
+}
+
+void MergeNode::ReleaseLocked() {
+  // The release frontier: no open input can still produce a row at or
+  // below the minimum of the open watermarks.
+  Timestamp frontier = std::numeric_limits<Timestamp>::max();
+  for (const auto& [id, wm] : watermarks_) frontier = std::min(frontier, wm);
+  auto held = std::stable_partition(
+      pending_.begin(), pending_.end(),
+      [frontier](const Row& row) { return row.ts > frontier; });
+  for (auto it = held; it != pending_.end(); ++it) {
+    released_.push_back(std::move(*it));
+  }
+  pending_.erase(held, pending_.end());
+}
+
+std::vector<MergeNode::Row> MergeNode::Rows() const {
+  std::vector<Row> out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out = released_;
+  }
+  std::sort(out.begin(), out.end(), RowLess);
+  return out;
+}
+
+size_t MergeNode::RowCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return released_.size();
+}
+
+size_t MergeNode::PendingCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pending_.size();
+}
+
+}  // namespace nebulameos::nebula::serving

@@ -1,0 +1,90 @@
+/// \file merge.hpp
+/// \brief Coordinator-side merge layer: unions N per-stream result
+/// streams (one per train in the fleet deployment) into one output with a
+/// deterministic total order.
+///
+/// Each per-train plan terminates in a sink obtained from `InputFor(id)`;
+/// the merge collects rows from all inputs concurrently and *releases*
+/// them under a watermark contract: a row becomes visible once every
+/// still-open input's watermark (the maximum event time it has produced)
+/// has passed the row's timestamp, so no earlier-timestamped row can
+/// still arrive from another stream. Ordering contract
+/// (docs/ARCHITECTURE.md "Multi-query serving"): rows order by
+/// `(event_ts, stream_id, seq)` where `seq` is the row's arrival index
+/// within its stream — deterministic across runs and worker counts,
+/// because each input sink is strand-serialized and per-stream arrival
+/// order is therefore fixed.
+
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "nebula/operators.hpp"
+
+namespace nebulameos::nebula::serving {
+
+/// \brief Merges per-stream sink outputs into one ordered row set.
+class MergeNode {
+ public:
+  /// One merged row: the decoded record plus its merge-ordering key.
+  struct Row {
+    Timestamp ts = 0;   ///< event time (from `time_field`; 0 when absent)
+    int stream_id = 0;  ///< which input produced it
+    uint64_t seq = 0;   ///< arrival index within the stream
+    std::vector<Value> values;
+  };
+
+  /// All inputs must produce \p schema; \p time_field names the event-time
+  /// column driving watermark release (an unknown or empty name stamps
+  /// every row ts=0, so rows only release when inputs close).
+  MergeNode(Schema schema, std::string time_field);
+
+  /// The sink feeding stream \p stream_id — attach it as the terminal sink
+  /// of that stream's plan. Repeated calls return the same instance. The
+  /// input starts *open*: its watermark holds back the merged output until
+  /// rows arrive or `CloseInput` is called.
+  std::shared_ptr<SinkOperator> InputFor(int stream_id);
+
+  /// Declares stream \p stream_id complete: its watermark no longer holds
+  /// back release. Closing every input releases every pending row.
+  void CloseInput(int stream_id);
+
+  /// Closes every input created so far.
+  void CloseAllInputs();
+
+  /// Released rows in `(ts, stream_id, seq)` order (sorted at read; the
+  /// order is total and deterministic).
+  std::vector<Row> Rows() const;
+
+  /// Number of released rows.
+  size_t RowCount() const;
+
+  /// Rows still held back by an open input's watermark.
+  size_t PendingCount() const;
+
+  const Schema& schema() const { return schema_; }
+
+ private:
+  class Input;
+
+  /// Called by an input sink under no lock; takes `mutex_`.
+  void Offer(int stream_id, std::vector<Row> rows);
+  /// Moves pending rows at or below the minimum open watermark into
+  /// `released_`. Caller holds `mutex_`.
+  void ReleaseLocked();
+
+  Schema schema_;
+  int time_index_ = -1;  ///< -1 = no event-time column
+
+  mutable std::mutex mutex_;
+  std::map<int, std::shared_ptr<Input>> inputs_;
+  std::map<int, Timestamp> watermarks_;  ///< per open input; erased on close
+  std::map<int, uint64_t> next_seq_;
+  std::vector<Row> pending_;
+  std::vector<Row> released_;
+};
+
+}  // namespace nebulameos::nebula::serving

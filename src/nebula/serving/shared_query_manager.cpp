@@ -1,0 +1,475 @@
+#include "nebula/serving/shared_query_manager.hpp"
+
+#include <cctype>
+
+#include "nebula/optimizer.hpp"
+
+namespace nebulameos::nebula::serving {
+
+namespace {
+
+// An operator may enter a *shared* prefix only when its semantics are
+// provable from its structure: every expression it carries must be
+// `ExpressionMergeSafe` (registered functions and built-ins only — two
+// ad-hoc lambdas can render identically yet compute different things),
+// and opaque callables (custom window aggregators) disqualify outright.
+// Sinks and fan-outs are per-client by definition.
+bool OperatorMergeSafe(const LogicalOperator& op) {
+  switch (op.kind()) {
+    case LogicalOperator::Kind::kFilter:
+      return ExpressionMergeSafe(
+          static_cast<const FilterNode&>(op).predicate());
+    case LogicalOperator::Kind::kMap: {
+      for (const MapSpec& spec : static_cast<const MapNode&>(op).specs()) {
+        if (!ExpressionMergeSafe(spec.expr)) return false;
+      }
+      return true;
+    }
+    case LogicalOperator::Kind::kProject:
+    case LogicalOperator::Kind::kKeyBy:
+      return true;
+    case LogicalOperator::Kind::kWindowAgg: {
+      const WindowAggOptions& opts =
+          static_cast<const WindowAggNode&>(op).options();
+      if (!opts.custom_aggregators.empty()) return false;
+      if (const auto* threshold =
+              std::get_if<ThresholdWindowSpec>(&opts.window)) {
+        return ExpressionMergeSafe(threshold->predicate);
+      }
+      return true;
+    }
+    case LogicalOperator::Kind::kThresholdWindow: {
+      const ThresholdWindowOptions& opts =
+          static_cast<const ThresholdWindowNode&>(op).options();
+      return opts.custom_aggregators.empty() &&
+             ExpressionMergeSafe(opts.predicate);
+    }
+    case LogicalOperator::Kind::kCep: {
+      for (const PatternStep& step :
+           static_cast<const CepNode&>(op).pattern().steps) {
+        if (!ExpressionMergeSafe(step.predicate)) return false;
+      }
+      return true;
+    }
+    case LogicalOperator::Kind::kLookupJoin:
+      // Lookup sides compare by instance identity (StructurallyEqual), so
+      // a shared lookup join is always a proven-identical join.
+      return true;
+    case LogicalOperator::Kind::kFanOut:
+    case LogicalOperator::Kind::kSink:
+      return false;
+  }
+  return false;
+}
+
+// Longest leading run of `ops` that may be shared: merge-safe, clonable,
+// and never ending on a dangling KeyBy (the key marker must stay with the
+// stateful node that consumes it).
+size_t MaxShareableLen(const std::vector<LogicalOperatorPtr>& ops) {
+  size_t len = 0;
+  while (len < ops.size() && OperatorMergeSafe(*ops[len]) &&
+         CloneOperator(*ops[len]) != nullptr) {
+    ++len;
+  }
+  while (len > 0 && ops[len - 1]->kind() == LogicalOperator::Kind::kKeyBy) {
+    --len;
+  }
+  return len;
+}
+
+// Longest common structural prefix between an existing group prefix and a
+// candidate plan's ops, bounded by the candidate's shareable length.
+size_t CommonPrefixLen(const std::vector<LogicalOperatorPtr>& prefix,
+                       const std::vector<LogicalOperatorPtr>& ops,
+                       size_t bound) {
+  size_t len = 0;
+  while (len < prefix.size() && len < bound &&
+         StructurallyEqual(*prefix[len], *ops[len])) {
+    ++len;
+  }
+  while (len > 0 &&
+         prefix[len - 1]->kind() == LogicalOperator::Kind::kKeyBy) {
+    --len;
+  }
+  return len;
+}
+
+// The topology node a branch suffix runs on: its first placement
+// annotation (suffixes never span nodes — the shared host delivers the
+// stream to one node and branches consume it there).
+int DeliveryNodeOf(const std::vector<LogicalOperatorPtr>& suffix) {
+  for (const LogicalOperatorPtr& op : suffix) {
+    if (op->placement() != LogicalOperator::kUnplaced) {
+      return op->placement();
+    }
+  }
+  return LogicalOperator::kUnplaced;
+}
+
+// True when `name` is an instrument of a dynamic branch other than
+// `own_branch` — the entries `Metrics(vid)` filters from the host
+// snapshot so one client cannot see another client's flow.
+bool IsOtherBranchMetric(const std::string& name, int own_branch) {
+  const auto tagged_branch = [&name](const std::string& prefix,
+                                     char terminator) -> int {
+    if (name.rfind(prefix, 0) != 0) return -1;
+    size_t end = prefix.size();
+    while (end < name.size() &&
+           std::isdigit(static_cast<unsigned char>(name[end]))) {
+      ++end;
+    }
+    if (end == prefix.size() || end >= name.size() ||
+        name[end] != terminator) {
+      return -1;
+    }
+    return std::stoi(name.substr(prefix.size(), end - prefix.size()));
+  };
+  int branch = tagged_branch("op.b", '/');
+  if (branch < 0) branch = tagged_branch("worker.strand.b", '.');
+  return branch >= 0 && branch != own_branch;
+}
+
+}  // namespace
+
+Result<int> SharedQueryManager::Submit(LogicalPlan plan) {
+  NM_RETURN_NOT_OK(plan.Validate());
+  // Optimize up front with the default pipeline (placed plans are shaped
+  // already and submit verbatim, mirroring the engine): structural
+  // matching must see the *final* shape, or two equal queries could
+  // diverge under rewriting after being merged.
+  if (!plan.IsPlaced()) {
+    const PlanRewriter rewriter = PlanRewriter::Default();
+    NM_RETURN_NOT_OK(rewriter.Rewrite(&plan));
+  }
+  const std::string signature =
+      plan.source() != nullptr ? plan.source()->Signature() : std::string();
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  const int vid = next_vid_++;
+
+  // Unshareable plans (unnamed source, fan-out DAG) run dedicated.
+  if (signature.empty() || plan.HasFanOut()) {
+    lock.unlock();
+    NM_ASSIGN_OR_RETURN(const int engine_id, engine_->Submit(std::move(plan)));
+    lock.lock();
+    Member member;
+    member.vid = vid;
+    member.engine_id = engine_id;
+    members_.emplace(vid, std::move(member));
+    return vid;
+  }
+
+  std::vector<LogicalOperatorPtr>& ops = plan.mutable_ops();
+  const size_t shareable = MaxShareableLen(ops);
+
+  // Find a compatible group: same source signature and source placement;
+  // a started host additionally requires the plan to extend its *entire*
+  // prefix (a running pipeline cannot shrink).
+  Group* target = nullptr;
+  size_t common = 0;
+  for (Group& group : groups_) {
+    if (group.signature != signature ||
+        group.source_placement != plan.source_placement() ||
+        group.member_vids.empty()) {
+      continue;
+    }
+    const size_t len = CommonPrefixLen(group.prefix, ops, shareable);
+    if (group.started && len < group.prefix.size()) continue;
+    target = &group;
+    common = len;
+    break;
+  }
+
+  if (target == nullptr) {
+    // Found a new group around this plan's maximal shareable prefix.
+    Group group;
+    group.signature = signature;
+    group.source_placement = plan.source_placement();
+    group.source = plan.TakeSource();
+    for (size_t i = 0; i < shareable; ++i) {
+      group.prefix.push_back(std::move(ops[i]));
+    }
+    Member member;
+    member.vid = vid;
+    member.group = static_cast<int>(groups_.size());
+    for (size_t i = shareable; i < ops.size(); ++i) {
+      member.pending_suffix.push_back(std::move(ops[i]));
+    }
+    group.delivery_node = DeliveryNodeOf(member.pending_suffix);
+    group.member_vids.push_back(vid);
+    groups_.push_back(std::move(group));
+    members_.emplace(vid, std::move(member));
+    return vid;
+  }
+
+  // Unstarted group whose prefix is longer than the common part: shrink
+  // it — the cut ops move (as clones) to the front of every existing
+  // member's suffix, so each member still computes its full plan.
+  if (!target->started && common < target->prefix.size()) {
+    for (const int member_vid : target->member_vids) {
+      Member& member = members_.at(member_vid);
+      std::vector<LogicalOperatorPtr> suffix;
+      for (size_t i = common; i < target->prefix.size(); ++i) {
+        LogicalOperatorPtr clone = CloneOperator(*target->prefix[i]);
+        if (clone == nullptr) {
+          return Status::Internal("shared prefix operator failed to clone");
+        }
+        suffix.push_back(std::move(clone));
+      }
+      for (LogicalOperatorPtr& op : member.pending_suffix) {
+        suffix.push_back(std::move(op));
+      }
+      member.pending_suffix = std::move(suffix);
+    }
+    target->prefix.resize(common);
+    target->delivery_node = DeliveryNodeOf(
+        members_.at(target->member_vids.front()).pending_suffix);
+  }
+
+  Member member;
+  member.vid = vid;
+  member.group = static_cast<int>(target - groups_.data());
+  for (size_t i = common; i < ops.size(); ++i) {
+    member.pending_suffix.push_back(std::move(ops[i]));
+  }
+  if (target->started) {
+    // Runtime admission: the host is live — attach now; the branch joins
+    // the shared stream at the next buffer boundary.
+    NM_ASSIGN_OR_RETURN(
+        member.branch_id,
+        engine_->AttachBranch(target->host_id,
+                              std::move(member.pending_suffix)));
+    member.pending_suffix.clear();
+  }
+  target->member_vids.push_back(vid);
+  members_.emplace(vid, std::move(member));
+  return vid;
+}
+
+Result<int> SharedQueryManager::Submit(Query query) {
+  NM_ASSIGN_OR_RETURN(LogicalPlan plan, std::move(query).Build());
+  return Submit(std::move(plan));
+}
+
+Status SharedQueryManager::StartGroupLocked(Group* group) {
+  if (group->started) return Status::OK();
+  LogicalPlan prefix_plan;
+  prefix_plan.SetSource(std::move(group->source));
+  prefix_plan.set_source_placement(group->source_placement);
+  // The host gets clones; the group keeps the originals for structural
+  // matching of later runtime admissions.
+  for (const LogicalOperatorPtr& op : group->prefix) {
+    LogicalOperatorPtr clone = CloneOperator(*op);
+    if (clone == nullptr) {
+      return Status::Internal("shared prefix operator failed to clone");
+    }
+    prefix_plan.Append(std::move(clone));
+  }
+  NM_ASSIGN_OR_RETURN(
+      group->host_id,
+      engine_->SubmitShared(std::move(prefix_plan), group->delivery_node));
+  for (const int member_vid : group->member_vids) {
+    Member& member = members_.at(member_vid);
+    if (member.cancelled) continue;
+    NM_ASSIGN_OR_RETURN(
+        member.branch_id,
+        engine_->AttachBranch(group->host_id,
+                              std::move(member.pending_suffix)));
+    member.pending_suffix.clear();
+  }
+  NM_RETURN_NOT_OK(engine_->Start(group->host_id));
+  group->started = true;
+  return Status::OK();
+}
+
+Status SharedQueryManager::Start(int vid) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto it = members_.find(vid);
+  if (it == members_.end()) return Status::NotFound("unknown virtual query");
+  Member& member = it->second;
+  if (member.cancelled) {
+    return Status::FailedPrecondition("virtual query was cancelled");
+  }
+  if (member.group < 0) {
+    const int engine_id = member.engine_id;
+    lock.unlock();
+    return engine_->Start(engine_id);
+  }
+  // Starting any member starts the host — and with it every member
+  // admitted so far (they share one source stream).
+  return StartGroupLocked(&groups_[member.group]);
+}
+
+Status SharedQueryManager::Wait(int vid) {
+  int engine_id = -1;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = members_.find(vid);
+    if (it == members_.end()) return Status::NotFound("unknown virtual query");
+    const Member& member = it->second;
+    if (member.cancelled) return Status::OK();
+    if (member.group < 0) {
+      engine_id = member.engine_id;
+    } else {
+      const Group& group = groups_[member.group];
+      if (!group.started) {
+        return Status::FailedPrecondition("virtual query not started");
+      }
+      engine_id = group.host_id;
+    }
+  }
+  return engine_->Wait(engine_id);
+}
+
+Status SharedQueryManager::Cancel(int vid) {
+  int engine_to_cancel = -1;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = members_.find(vid);
+    if (it == members_.end()) return Status::NotFound("unknown virtual query");
+    Member& member = it->second;
+    if (member.cancelled) return Status::OK();
+    member.cancelled = true;
+    if (member.group < 0) {
+      engine_to_cancel = member.engine_id;
+    } else {
+      Group& group = groups_[member.group];
+      auto pos = std::find(group.member_vids.begin(), group.member_vids.end(),
+                           vid);
+      if (pos != group.member_vids.end()) group.member_vids.erase(pos);
+      member.pending_suffix.clear();
+      if (group.started && member.branch_id >= 0) {
+        NM_RETURN_NOT_OK(
+            engine_->DetachBranch(group.host_id, member.branch_id));
+      }
+      // Last member out tears the whole host down.
+      if (group.started && group.member_vids.empty()) {
+        engine_to_cancel = group.host_id;
+      }
+    }
+  }
+  if (engine_to_cancel >= 0) return engine_->Cancel(engine_to_cancel);
+  return Status::OK();
+}
+
+Result<QueryStats> SharedQueryManager::Stats(int vid) const {
+  int host_id = -1;
+  int branch_id = -1;
+  int engine_id = -1;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = members_.find(vid);
+    if (it == members_.end()) return Status::NotFound("unknown virtual query");
+    const Member& member = it->second;
+    if (member.cancelled) {
+      return Status::FailedPrecondition("virtual query was cancelled");
+    }
+    if (member.group < 0) {
+      engine_id = member.engine_id;
+    } else if (member.branch_id < 0) {
+      return QueryStats{};  // admitted, host not started yet
+    } else {
+      host_id = groups_[member.group].host_id;
+      branch_id = member.branch_id;
+    }
+  }
+  if (engine_id >= 0) return engine_->Stats(engine_id);
+  return engine_->BranchStats(host_id, branch_id);
+}
+
+Result<metrics::MetricsSnapshot> SharedQueryManager::Metrics(int vid) const {
+  int host_id = -1;
+  int branch_id = -1;
+  int engine_id = -1;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = members_.find(vid);
+    if (it == members_.end()) return Status::NotFound("unknown virtual query");
+    const Member& member = it->second;
+    if (member.cancelled) {
+      return Status::FailedPrecondition("virtual query was cancelled");
+    }
+    if (member.group < 0) {
+      engine_id = member.engine_id;
+    } else if (member.branch_id < 0) {
+      return metrics::MetricsSnapshot{};
+    } else {
+      host_id = groups_[member.group].host_id;
+      branch_id = member.branch_id;
+    }
+  }
+  if (engine_id >= 0) return engine_->Metrics(engine_id);
+  NM_ASSIGN_OR_RETURN(metrics::MetricsSnapshot snapshot,
+                      engine_->Metrics(host_id));
+  const auto filter = [branch_id](auto* map) {
+    for (auto it = map->begin(); it != map->end();) {
+      if (IsOtherBranchMetric(it->first, branch_id)) {
+        it = map->erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
+  filter(&snapshot.counters);
+  filter(&snapshot.gauges);
+  filter(&snapshot.histograms);
+  return snapshot;
+}
+
+Result<DeploymentReport> SharedQueryManager::Deployment(int vid) const {
+  int engine_id = -1;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = members_.find(vid);
+    if (it == members_.end()) return Status::NotFound("unknown virtual query");
+    const Member& member = it->second;
+    if (member.cancelled) {
+      return Status::FailedPrecondition("virtual query was cancelled");
+    }
+    if (member.group < 0) {
+      engine_id = member.engine_id;
+    } else {
+      const Group& group = groups_[member.group];
+      if (!group.started) return DeploymentReport{};
+      engine_id = group.host_id;
+    }
+  }
+  return engine_->Deployment(engine_id);
+}
+
+size_t SharedQueryManager::NumClientQueries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t n = 0;
+  for (const auto& [vid, member] : members_) {
+    if (!member.cancelled) ++n;
+  }
+  return n;
+}
+
+size_t SharedQueryManager::NumHostedPlans() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t n = 0;
+  for (const Group& group : groups_) {
+    if (!group.member_vids.empty()) ++n;
+  }
+  for (const auto& [vid, member] : members_) {
+    if (!member.cancelled && member.group < 0) ++n;
+  }
+  return n;
+}
+
+std::vector<int> SharedQueryManager::Hosts() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<int> out;
+  for (const Group& group : groups_) {
+    if (group.started && !group.member_vids.empty()) {
+      out.push_back(group.host_id);
+    }
+  }
+  for (const auto& [vid, member] : members_) {
+    if (!member.cancelled && member.group < 0) out.push_back(member.engine_id);
+  }
+  return out;
+}
+
+}  // namespace nebulameos::nebula::serving

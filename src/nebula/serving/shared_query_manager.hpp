@@ -1,0 +1,144 @@
+/// \file shared_query_manager.hpp
+/// \brief Fleet-scale multi-query serving: merges independently submitted
+/// queries that share a source and an operator prefix onto one shared
+/// ingest pipeline, with runtime admission and per-branch teardown.
+///
+/// NebulaStream serves many concurrent queries per worker by *sharing*:
+/// two queries reading the same named logical source whose leading
+/// operators are structurally identical need the shared work executed
+/// only once per buffer. This manager sits above `NodeEngine::Submit` and
+/// does exactly that — clients submit ordinary `LogicalPlan`s and get
+/// back *virtual query ids*; behind the id, the plan either joined an
+/// existing *shared host* (engine `SubmitShared` + `AttachBranch`) as a
+/// branch, or founded a new one. The lifecycle:
+///
+///   Submit(plan A)  ──►  group{prefix=A[0..n)}         (host not running)
+///   Submit(plan B)  ──►  prefix shrinks to the common
+///                        structural prefix; the cut ops
+///                        move into each member's suffix
+///   Start(vidA)     ──►  SubmitShared(prefix) + AttachBranch per member
+///   Submit(plan C)  ──►  host running: C must extend the full prefix —
+///                        AttachBranch admits it mid-stream (no restart)
+///   Cancel(vidB)    ──►  DetachBranch; the host keeps running
+///   Cancel(last)    ──►  the host itself is cancelled and torn down
+///
+/// Sharing requires proof, not heuristics: sources must carry the same
+/// non-empty `Source::Signature()` (named logical source + schema), every
+/// shared operator must compare `StructurallyEqual` (placement
+/// annotations included — plans placed on different topology nodes never
+/// merge), and every shared expression must be `ExpressionMergeSafe`
+/// (ad-hoc lambda expressions have unknowable semantics and never merge).
+/// Plans that fail any gate are submitted as ordinary dedicated engine
+/// queries — the manager never refuses a valid plan, it just cannot share
+/// it.
+
+#pragma once
+
+#include <vector>
+
+#include "nebula/engine.hpp"
+
+namespace nebulameos::nebula::serving {
+
+/// \brief Serving layer above one `NodeEngine`: shared-plan admission,
+/// per-client virtual ids, branch-scoped stats/metrics, teardown.
+///
+/// Thread-compatible like the engine itself: concurrent calls on
+/// *different* managers are fine; calls on one manager serialize through
+/// an internal mutex (never held across blocking engine waits).
+class SharedQueryManager {
+ public:
+  /// \p engine is non-owning and must outlive the manager.
+  explicit SharedQueryManager(NodeEngine* engine) : engine_(engine) {}
+
+  /// Validates and optimizes \p plan, then either merges it into a group
+  /// of structurally prefix-equal plans or submits it dedicated. Returns
+  /// the client's virtual query id. Submitting to a *running* group
+  /// admits the query mid-stream: it starts consuming at the next buffer
+  /// boundary. Placed plans are only merged when their placements match
+  /// node for node.
+  Result<int> Submit(LogicalPlan plan);
+
+  /// Convenience: builds the fluent query and submits the emitted plan.
+  Result<int> Submit(Query query);
+
+  /// Starts the virtual query. For a member of an unstarted group this
+  /// submits the shared prefix (`SubmitShared`), attaches every admitted
+  /// member as a branch, and starts the host — so the first `Start` of a
+  /// group starts all of its current members.
+  Status Start(int vid);
+
+  /// Blocks until the query's host completed (shared members wait on the
+  /// host; the host finishes when its source is exhausted).
+  Status Wait(int vid);
+
+  /// Tears down one virtual query. A shared member detaches its branch —
+  /// the host and every other member keep running undisturbed; when the
+  /// *last* member of a running host leaves, the host itself is
+  /// cancelled. Dedicated queries cancel directly.
+  Status Cancel(int vid);
+
+  /// Per-client statistics: shared ingest counters plus the branch's own
+  /// operator and sink flow (`NodeEngine::BranchStats`). A member of a
+  /// not-yet-started group reports zeros.
+  Result<QueryStats> Stats(int vid) const;
+
+  /// The client's view of the host metrics: engine- and prefix-level
+  /// instruments plus the client's own branch instruments, with other
+  /// branches' (`op.b<k>/...`, `worker.strand.b<k>...`) filtered out.
+  Result<metrics::MetricsSnapshot> Metrics(int vid) const;
+
+  /// The host's measured deployment report (shared members see the whole
+  /// host's traffic — the shared channel ships once for all of them).
+  Result<DeploymentReport> Deployment(int vid) const;
+
+  // --- Introspection (tests, benchmarks, ops) ---
+
+  /// Live client queries (cancelled ones excluded).
+  size_t NumClientQueries() const;
+
+  /// Physical plans behind them: shared hosts (started or not) plus
+  /// dedicated queries. `NumClientQueries() / NumHostedPlans()` is the
+  /// sharing ratio — queries-per-node in the fleet benchmark.
+  size_t NumHostedPlans() const;
+
+  /// Engine query ids of every started host/dedicated query.
+  std::vector<int> Hosts() const;
+
+ private:
+  struct Member {
+    int vid = 0;
+    int group = -1;      ///< index into groups_; -1 = dedicated
+    int engine_id = -1;  ///< dedicated engine query id
+    int branch_id = -1;  ///< branch id once attached to the host
+    /// Suffix ops (ending in the SinkNode) awaiting host start.
+    std::vector<LogicalOperatorPtr> pending_suffix;
+    bool cancelled = false;
+  };
+
+  struct Group {
+    std::string signature;  ///< shared `Source::Signature()`
+    int source_placement = LogicalOperator::kUnplaced;
+    SourcePtr source;  ///< founder's source; consumed at host start
+    /// The shared operator prefix (owned; every member's plan carried a
+    /// structurally equal copy). Retained after start for runtime
+    /// admission matching.
+    std::vector<LogicalOperatorPtr> prefix;
+    /// Topology node branch suffixes run on (from the founder's suffix
+    /// placement); the host ships the shared stream there once.
+    int delivery_node = LogicalOperator::kUnplaced;
+    int host_id = -1;  ///< engine query id once submitted
+    bool started = false;
+    std::vector<int> member_vids;
+  };
+
+  Status StartGroupLocked(Group* group);
+
+  NodeEngine* engine_;
+  mutable std::mutex mutex_;
+  std::map<int, Member> members_;
+  std::vector<Group> groups_;
+  int next_vid_ = 1;
+};
+
+}  // namespace nebulameos::nebula::serving

@@ -72,6 +72,26 @@ class Source {
 
   /// Human-readable name for logs and plans.
   virtual std::string name() const { return "Source"; }
+
+  /// Declares this source an instance of a *named logical source*
+  /// (NebulaStream's cross-query identity): two sources carrying the same
+  /// logical name assert they produce the same stream, which lets the
+  /// serving layer merge independently submitted plans over one physical
+  /// ingest. Sources without a logical name are never shared.
+  void SetLogicalName(std::string name) { logical_name_ = std::move(name); }
+  /// The declared logical-source name ("" = unnamed, unshareable).
+  const std::string& logical_name() const { return logical_name_; }
+
+  /// Sharing signature: empty for unnamed sources (never shareable),
+  /// otherwise the logical name qualified by the produced schema so two
+  /// same-named sources with diverging schemas cannot be merged.
+  virtual std::string Signature() const {
+    if (logical_name_.empty()) return std::string();
+    return logical_name_ + "|" + schema().ToString();
+  }
+
+ private:
+  std::string logical_name_;
 };
 
 using SourcePtr = std::unique_ptr<Source>;

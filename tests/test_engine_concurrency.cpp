@@ -15,7 +15,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <set>
+#include <thread>
 
 #include "queries/queries.hpp"
 
@@ -296,6 +298,35 @@ TEST_F(EngineConcurrencyTest, PlacedPlanAcrossNetworkChannels) {
     EXPECT_GT(wire_bytes, 0u);
     EXPECT_GT(frames, 0u);
     EXPECT_TRUE(transfer_hist);
+  }
+}
+
+// Regression for cancellation during active processing on a DAG plan:
+// with 4 workers, strand tasks are in flight when `Cancel` lands. The
+// engine must drain those tasks before operator state is torn down (no
+// use-after-free — the TSan job re-runs this test) and must *not* flush
+// window/CEP state as if the stream had completed. Repeated a few times
+// to vary where in the stream the cancel lands.
+TEST_F(EngineConcurrencyTest, CancelDuringProcessingDrainsInFlightWork) {
+  for (int round = 0; round < 3; ++round) {
+    auto built = BuildSharedIngestFanOut(*env_, SmallRun(50'000'000));
+    ASSERT_TRUE(built.ok()) << built.status().ToString();
+    EngineOptions options;
+    options.worker_threads = 4;
+    NodeEngine engine(options);
+    auto id = engine.Submit(std::move(built->plan));
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
+    ASSERT_TRUE(engine.Start(*id).ok());
+    // Let real work get in flight before cancelling.
+    while (engine.Stats(*id)->events_ingested == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    ASSERT_TRUE(engine.Cancel(*id).ok());
+    // The cancelled query stays inspectable and its counters consistent.
+    auto stats = engine.Stats(*id);
+    ASSERT_TRUE(stats.ok());
+    EXPECT_GT(stats->events_ingested, 0u);
+    EXPECT_LT(stats->events_ingested, 50'000'000u);
   }
 }
 

@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+
 #include "nebula/engine.hpp"
 #include "nebula/exec/kernels.hpp"
 #include "queries/queries.hpp"
@@ -416,6 +418,166 @@ TEST(SharedIngestRegression, PlacedAndCompiledVariantsEmitIdentically) {
       EXPECT_EQ(run->bytes, baseline->bytes)
           << "compiled=" << compiled << " placed=" << placed;
     }
+  }
+}
+
+// --- Kernel-level common-subexpression elimination ---------------------
+
+TEST(KernelCse, PlanKernelCseSharesRepeatedSubtreesWithoutChangingEval) {
+  std::vector<ExprPtr> roots;
+  roots.push_back(Ge(Mul(Attribute("value"), Lit(2.0)), Lit(4.0)));
+  roots.push_back(Mul(Attribute("value"), Lit(2.0)));
+  KernelCsePlan cse = PlanKernelCse(std::move(roots));
+  EXPECT_EQ(cse.num_shared, 1u);
+  ASSERT_NE(cse.cache, nullptr);
+  ASSERT_EQ(cse.roots.size(), 2u);
+  // Interpreted Eval of the wrapped trees delegates — bit-identical to
+  // the original expressions on every record.
+  const Schema schema = EventSchema();
+  ExprPtr pred = Ge(Mul(Attribute("value"), Lit(2.0)), Lit(4.0));
+  ExprPtr scale = Mul(Attribute("value"), Lit(2.0));
+  for (const ExprPtr& e : {cse.roots[0], cse.roots[1], pred, scale}) {
+    ASSERT_TRUE(e->Bind(schema).ok());
+  }
+  auto buf = MakeBuffer(16);
+  for (size_t i = 0; i < buf->size(); ++i) {
+    const RecordView rec = buf->At(i);
+    EXPECT_EQ(cse.roots[0]->Eval(rec), pred->Eval(rec));
+    EXPECT_EQ(cse.roots[1]->Eval(rec), scale->Eval(rec));
+  }
+}
+
+TEST(KernelCse, TrivialOrUnsharedSubtreesAreNotCached) {
+  // Bare field references repeat but never cache (a wrapper would cost
+  // more than the read); distinct subtrees share nothing.
+  std::vector<ExprPtr> roots;
+  roots.push_back(Ge(Attribute("value"), Lit(1.0)));
+  roots.push_back(Mul(Attribute("value"), Lit(3.0)));
+  KernelCsePlan cse = PlanKernelCse(std::move(roots));
+  EXPECT_EQ(cse.num_shared, 0u);
+  EXPECT_EQ(cse.cache, nullptr);
+}
+
+TEST(KernelCse, FusedRunCarriesTheSharedCache) {
+  const Schema out_schema = Schema::Build()
+                                .AddInt64("key")
+                                .AddTimestamp("ts")
+                                .AddDouble("value")
+                                .AddBool("flag")
+                                .AddText16("label")
+                                .AddDouble("scaled")
+                                .Finish();
+  auto sink = std::make_shared<CollectSink>(out_schema);
+  auto plan = Query::From(MakeSource(10))
+                  .Filter(Ge(Mul(Attribute("value"), Lit(2.0)), Lit(4.0)))
+                  .Map("scaled", Mul(Attribute("value"), Lit(2.0)))
+                  .To(sink)
+                  .Build();
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  auto pipe = CompilePlan(plan->source()->schema(), *plan);
+  ASSERT_TRUE(pipe.ok()) << pipe.status().ToString();
+  ASSERT_EQ(pipe->operators.size(), 1u);
+  auto* fused = dynamic_cast<exec::BatchKernelOperator*>(
+      pipe->operators[0].get());
+  ASSERT_NE(fused, nullptr);
+  EXPECT_NE(fused->cse_cache(), nullptr);
+
+  // A run with nothing repeated attaches no cache.
+  auto sink2 = std::make_shared<CountingSink>(EventSchema());
+  auto plan2 = Query::From(MakeSource(10))
+                   .Filter(Ge(Attribute("value"), Lit(1.0)))
+                   .To(sink2)
+                   .Build();
+  ASSERT_TRUE(plan2.ok());
+  auto pipe2 = CompilePlan(plan2->source()->schema(), *plan2);
+  ASSERT_TRUE(pipe2.ok());
+  ASSERT_EQ(pipe2->operators.size(), 1u);
+  auto* unshared = dynamic_cast<exec::BatchKernelOperator*>(
+      pipe2->operators[0].get());
+  ASSERT_NE(unshared, nullptr);
+  EXPECT_EQ(unshared->cse_cache(), nullptr);
+}
+
+// A registered scalar function that counts its evaluations — the probe
+// proving the shared subtree runs once per row, not once per stage.
+std::atomic<uint64_t>& ProbeCalls() {
+  static std::atomic<uint64_t> calls{0};
+  return calls;
+}
+
+class CseProbeFn final : public FunctionExpression {
+ public:
+  explicit CseProbeFn(std::vector<ExprPtr> args)
+      : FunctionExpression("test.cse_probe", std::move(args),
+                           DataType::kDouble) {}
+
+ protected:
+  Value EvalFn(const std::vector<Value>& args) const override {
+    ProbeCalls().fetch_add(1);
+    return Value(std::get<double>(args[0]) * 3.0);
+  }
+  bool ScalarEvaluable() const override { return true; }
+  double EvalScalar(const double* args) const override {
+    ProbeCalls().fetch_add(1);
+    return args[0] * 3.0;
+  }
+};
+
+TEST(KernelCse, SharedFunctionEvaluatesOncePerRowInCompiledRun) {
+  static const bool registered = [] {
+    return ExpressionRegistry::Global()
+        .Register("test.cse_probe",
+                  [](std::vector<ExprPtr> args) -> Result<ExprPtr> {
+                    return ExprPtr(
+                        std::make_shared<CseProbeFn>(std::move(args)));
+                  })
+        .ok();
+  }();
+  ASSERT_TRUE(registered);
+
+  const int n = 64;
+  const Schema out_schema = Schema::Build()
+                                .AddInt64("key")
+                                .AddTimestamp("ts")
+                                .AddDouble("value")
+                                .AddBool("flag")
+                                .AddText16("label")
+                                .AddDouble("tripled")
+                                .Finish();
+  auto run = [&](bool compiled) {
+    auto sink = std::make_shared<CollectSink>(out_schema);
+    auto plan =
+        Query::From(MakeSource(n))
+            .Filter(Ge(Fn("test.cse_probe", {Attribute("value")}), Lit(6.0)))
+            .Map("tripled", Fn("test.cse_probe", {Attribute("value")}))
+            .To(sink)
+            .Build();
+    EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+    EngineOptions options;
+    options.worker_threads = 1;
+    options.compiled_kernels = compiled;
+    NodeEngine engine(options);
+    auto id = engine.Submit(std::move(*plan));
+    EXPECT_TRUE(id.ok()) << id.status().ToString();
+    EXPECT_TRUE(engine.Start(*id).ok());
+    EXPECT_TRUE(engine.Wait(*id).ok());
+    auto rows = sink->Rows();
+    std::sort(rows.begin(), rows.end());
+    return rows;
+  };
+
+  ProbeCalls().store(0);
+  const auto compiled_rows = run(/*compiled=*/true);
+  // The filter predicate and the map spec share one probe subtree: the
+  // compiled run computes it once per ingested row, never once per stage.
+  EXPECT_EQ(ProbeCalls().load(), static_cast<uint64_t>(n));
+
+  // And sharing does not change results: the interpreted run agrees.
+  const auto interpreted_rows = run(/*compiled=*/false);
+  EXPECT_EQ(compiled_rows, interpreted_rows);
+  for (const auto& row : compiled_rows) {
+    EXPECT_EQ(std::get<double>(row[5]), std::get<double>(row[2]) * 3.0);
+    EXPECT_GE(std::get<double>(row[5]), 6.0);
   }
 }
 
