@@ -7,9 +7,44 @@
 # builds Debug + ThreadSanitizer into build-tsan/ and runs the full
 # suite with NM_WORKER_THREADS=4, forcing every engine test through the
 # morsel-driven multi-core path under the race detector.
+#
+# Opt-in static-analysis gate (mirrors the CI `static-analysis` job):
+#   CHECK_STATIC=1 scripts/check.sh
+# builds Debug with clang and -Wthread-safety -Werror (enforcing the
+# NM_GUARDED_BY/NM_REQUIRES annotations), runs clang-tidy over src/ per
+# .clang-tidy, and runs the full suite with NM_VERIFY_EACH=1 so the
+# plan/pipeline verifiers check every rewrite pass and compiled plan.
+# Without clang installed it degrades to the verify-each Debug ctest run
+# (the annotations and tidy checks then only run in CI).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+if [[ "${CHECK_STATIC:-0}" == "1" ]]; then
+  BUILD_DIR="${1:-build-static}"
+  if command -v clang++ >/dev/null 2>&1; then
+    cmake -B "$BUILD_DIR" -S . \
+      -DCMAKE_BUILD_TYPE=Debug \
+      -DCMAKE_CXX_COMPILER=clang++
+  else
+    echo "check.sh: clang++ not found — thread-safety analysis skipped," \
+         "running the Debug verify-each suite with the default compiler" >&2
+    cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Debug
+  fi
+  cmake --build "$BUILD_DIR" -j
+  if command -v clang-tidy >/dev/null 2>&1; then
+    mapfile -t TIDY_FILES < <(git ls-files 'src/*.cpp')
+    if command -v run-clang-tidy >/dev/null 2>&1; then
+      run-clang-tidy -p "$BUILD_DIR" -quiet "${TIDY_FILES[@]}"
+    else
+      clang-tidy -p "$BUILD_DIR" --quiet "${TIDY_FILES[@]}"
+    fi
+  else
+    echo "check.sh: clang-tidy not found — tidy checks skipped" >&2
+  fi
+  cd "$BUILD_DIR" && NM_VERIFY_EACH=1 ctest --output-on-failure -j
+  exit 0
+fi
 
 if [[ "${CHECK_TSAN:-0}" == "1" ]]; then
   BUILD_DIR="${1:-build-tsan}"

@@ -1,0 +1,109 @@
+/// \file mutex.hpp
+/// \brief Capability-annotated mutex primitives for `-Wthread-safety`.
+///
+/// Thin wrappers over `std::mutex` / `std::condition_variable_any` that
+/// carry Clang capability annotations (thread_annotations.hpp), so fields
+/// can be declared `NM_GUARDED_BY(mutex_)` and internal helpers
+/// `NM_REQUIRES(mutex_)` — the CI clang build then rejects any access to
+/// guarded state without the lock. Under GCC the annotations vanish and
+/// these compile to the underlying standard types with zero overhead
+/// beyond `MutexLock`'s one bool.
+///
+///   - `Mutex`       — annotated `std::mutex` (a Clang "capability").
+///   - `MutexLock`   — scoped lock, relockable (`Unlock()`/`Lock()`), the
+///                     annotated counterpart of `std::unique_lock`.
+///   - `CondVar`     — condition variable waiting on a `Mutex`;
+///                     `Wait(mu)` requires the capability, matching the
+///                     fact that the predicate re-check touches guarded
+///                     state. Prefer explicit `while (!pred) cv.Wait(mu);`
+///                     loops over predicate lambdas: Clang analyzes a
+///                     lambda as a separate function that does not hold
+///                     the capability, so guarded reads inside one would
+///                     (rightly) fail the analysis.
+
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.hpp"
+
+namespace nebulameos {
+
+/// \brief A `std::mutex` declared as a thread-safety capability.
+class NM_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() NM_ACQUIRE() { mu_.lock(); }
+  void unlock() NM_RELEASE() { mu_.unlock(); }
+  bool try_lock() NM_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// \brief Scoped lock over `Mutex`, relockable like `std::unique_lock`:
+/// `Unlock()` drops the lock around a long operation (task execution,
+/// blocking engine calls) and `Lock()` reacquires it. The destructor
+/// releases only when currently held.
+class NM_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) NM_ACQUIRE(mu) : mu_(mu), held_(true) {
+    mu_.lock();
+  }
+
+  ~MutexLock() NM_RELEASE() {
+    if (held_) mu_.unlock();
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Reacquires after `Unlock()`.
+  void Lock() NM_ACQUIRE() {
+    mu_.lock();
+    held_ = true;
+  }
+
+  /// Temporarily releases the mutex (e.g. to run a task or call into the
+  /// engine without the lock).
+  void Unlock() NM_RELEASE() {
+    held_ = false;
+    mu_.unlock();
+  }
+
+ private:
+  Mutex& mu_;
+  bool held_;
+};
+
+/// \brief Condition variable paired with `Mutex`.
+///
+/// `Wait` atomically releases the mutex, blocks, and reacquires before
+/// returning — annotated `NM_REQUIRES(mu)` because the caller's
+/// surrounding predicate loop reads guarded state. Built on
+/// `std::condition_variable_any` so it accepts the annotated `Mutex`
+/// directly as a BasicLockable.
+class CondVar {
+ public:
+  void Wait(Mutex& mu) NM_REQUIRES(mu) { cv_.wait(mu); }
+
+  /// Timed wait; returns `std::cv_status::timeout` on expiry.
+  template <typename Rep, typename Period>
+  std::cv_status WaitFor(Mutex& mu,
+                         const std::chrono::duration<Rep, Period>& dur)
+      NM_REQUIRES(mu) {
+    return cv_.wait_for(mu, dur);
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace nebulameos

@@ -22,27 +22,27 @@ BufferManager::BufferManager(Schema schema, size_t tuples_per_buffer,
 }
 
 TupleBufferPtr BufferManager::Acquire() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  cv_.wait(lock, [this] { return !free_.empty(); });
+  MutexLock lock(mutex_);
+  while (free_.empty()) cv_.Wait(mutex_);
   auto buf = std::move(free_.back());
   free_.pop_back();
   total_acquired_.fetch_add(1, std::memory_order_relaxed);
-  lock.unlock();
+  lock.Unlock();
   return Wrap(std::move(buf));
 }
 
 TupleBufferPtr BufferManager::TryAcquire() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (free_.empty()) return nullptr;
   auto buf = std::move(free_.back());
   free_.pop_back();
   total_acquired_.fetch_add(1, std::memory_order_relaxed);
-  lock.unlock();
+  lock.Unlock();
   return Wrap(std::move(buf));
 }
 
 size_t BufferManager::available() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return free_.size();
 }
 
@@ -57,10 +57,10 @@ TupleBufferPtr BufferManager::Wrap(std::unique_ptr<TupleBuffer> buf) {
 
 void BufferManager::Recycle(std::unique_ptr<TupleBuffer> buf) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     free_.push_back(std::move(buf));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 }  // namespace nebulameos::nebula

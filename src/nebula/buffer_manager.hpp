@@ -9,9 +9,8 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
-#include <mutex>
 
+#include "common/mutex.hpp"
 #include "nebula/tuple_buffer.hpp"
 
 namespace nebulameos::nebula {
@@ -26,13 +25,13 @@ class BufferManager : public std::enable_shared_from_this<BufferManager> {
                                                size_t pool_size);
 
   /// Blocks until a buffer is available, then returns it (empty, reset).
-  TupleBufferPtr Acquire();
+  TupleBufferPtr Acquire() NM_EXCLUDES(mutex_);
 
   /// Returns a buffer if one is immediately available, else nullptr.
-  TupleBufferPtr TryAcquire();
+  TupleBufferPtr TryAcquire() NM_EXCLUDES(mutex_);
 
   /// Buffers currently available in the pool.
-  size_t available() const;
+  size_t available() const NM_EXCLUDES(mutex_);
 
   /// Total `Acquire`/`TryAcquire` hand-outs over the pool's lifetime —
   /// the pool-accounting counter behind the zero-copy fan-out tests: a
@@ -53,14 +52,14 @@ class BufferManager : public std::enable_shared_from_this<BufferManager> {
   BufferManager(Schema schema, size_t tuples_per_buffer, size_t pool_size);
 
   TupleBufferPtr Wrap(std::unique_ptr<TupleBuffer> buf);
-  void Recycle(std::unique_ptr<TupleBuffer> buf);
+  void Recycle(std::unique_ptr<TupleBuffer> buf) NM_EXCLUDES(mutex_);
 
   Schema schema_;
   size_t tuples_per_buffer_;
   size_t pool_size_;
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::vector<std::unique_ptr<TupleBuffer>> free_;
+  mutable Mutex mutex_;
+  CondVar cv_;
+  std::vector<std::unique_ptr<TupleBuffer>> free_ NM_GUARDED_BY(mutex_);
   std::atomic<uint64_t> total_acquired_{0};
 };
 

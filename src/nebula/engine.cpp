@@ -1,11 +1,12 @@
 #include "nebula/engine.hpp"
 
-#include <condition_variable>
 #include <cstdlib>
 #include <deque>
 #include <functional>
 
 #include "common/logging.hpp"
+#include "nebula/analysis/pipeline_verifier.hpp"
+#include "nebula/analysis/plan_verifier.hpp"
 #include "nebula/metrics/sampler.hpp"
 #include "nebula/worker_pool.hpp"
 
@@ -52,39 +53,39 @@ class BoundedQueue {
  public:
   explicit BoundedQueue(size_t capacity) : capacity_(capacity) {}
 
-  void Push(TupleBufferPtr buf) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    not_full_.wait(lock, [this] { return items_.size() < capacity_ || closed_; });
+  void Push(TupleBufferPtr buf) NM_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    while (items_.size() >= capacity_ && !closed_) not_full_.Wait(mutex_);
     if (closed_) return;
     items_.push_back(std::move(buf));
-    not_empty_.notify_one();
+    not_empty_.NotifyOne();
   }
 
   /// Pops the next buffer; returns nullptr when closed and drained.
-  TupleBufferPtr Pop() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    not_empty_.wait(lock, [this] { return !items_.empty() || closed_; });
+  TupleBufferPtr Pop() NM_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    while (items_.empty() && !closed_) not_empty_.Wait(mutex_);
     if (items_.empty()) return nullptr;
     TupleBufferPtr buf = std::move(items_.front());
     items_.pop_front();
-    not_full_.notify_one();
+    not_full_.NotifyOne();
     return buf;
   }
 
-  void Close() {
-    std::lock_guard<std::mutex> lock(mutex_);
+  void Close() NM_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     closed_ = true;
-    not_empty_.notify_all();
-    not_full_.notify_all();
+    not_empty_.NotifyAll();
+    not_full_.NotifyAll();
   }
 
  private:
   size_t capacity_;
-  std::mutex mutex_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::deque<TupleBufferPtr> items_;
-  bool closed_ = false;
+  Mutex mutex_;
+  CondVar not_empty_;
+  CondVar not_full_;
+  std::deque<TupleBufferPtr> items_ NM_GUARDED_BY(mutex_);
+  bool closed_ NM_GUARDED_BY(mutex_) = false;
 };
 
 /// Depth-first visit of every segment of a compiled pipeline tree.
@@ -135,6 +136,10 @@ struct NodeEngine::RunningQuery {
   // registry (destroyed first) and stopped at the end of RunLoop.
   std::unique_ptr<metrics::Sampler> sampler;
   bool metrics_on = false;
+  // Verify-each: check the batch contract (sealed buffer, ascending
+  // in-bounds selection) at every segment entry. Set from
+  // `OptimizerOptions::verify_each` at submission.
+  bool verify_batches = false;
   // Engine-level flow counters and sampler-derived rate gauges.
   metrics::Counter* m_events_ingested = nullptr;
   metrics::Counter* m_bytes_ingested = nullptr;
@@ -174,14 +179,16 @@ struct NodeEngine::RunningQuery {
   bool shared_host = false;  ///< submitted via `SubmitShared`
   // Guards the branch vector, `next_branch_id`, and (for admission racing
   // `Start`) pool/strand creation. Never held across engine waits.
-  mutable std::mutex dyn_mutex;
-  std::vector<std::shared_ptr<DynamicBranch>> dyn_branches;
+  mutable Mutex dyn_mutex;
+  std::vector<std::shared_ptr<DynamicBranch>> dyn_branches
+      NM_GUARDED_BY(dyn_mutex);
   // Detached branches parked until host teardown: a branch's strand may
   // still be under a worker's post-task bookkeeping when the last task
   // capture releases, so the strand must not die at detach time. Declared
   // before `pool` — destroyed after the workers joined.
-  std::vector<std::shared_ptr<DynamicBranch>> retired_dyn;
-  int next_branch_id = 1;
+  std::vector<std::shared_ptr<DynamicBranch>> retired_dyn
+      NM_GUARDED_BY(dyn_mutex);
+  int next_branch_id NM_GUARDED_BY(dyn_mutex) = 1;
 
   // Resolves every instrument of the pipeline tree out of the registry:
   // per-operator latency/batch-size histograms (DAG-path prefix, fused
@@ -232,12 +239,12 @@ struct NodeEngine::RunningQuery {
   std::unique_ptr<WorkerPool> pool;
   // First task failure wins; later tasks short-circuit on `failed`.
   std::atomic<bool> failed{false};
-  std::mutex error_mutex;
-  Status first_error;
+  Mutex error_mutex;
+  Status first_error NM_GUARDED_BY(error_mutex);
 
   void RecordFailure(const Status& st) {
     {
-      std::lock_guard<std::mutex> lock(error_mutex);
+      MutexLock lock(error_mutex);
       if (first_error.ok()) first_error = st;
     }
     failed.store(true, std::memory_order_relaxed);
@@ -358,7 +365,7 @@ struct NodeEngine::RunningQuery {
   Status DispatchDynamic(const exec::Batch& batch) {
     std::vector<std::shared_ptr<DynamicBranch>> active;
     {
-      std::lock_guard<std::mutex> lock(dyn_mutex);
+      MutexLock lock(dyn_mutex);
       active = dyn_branches;
     }
     for (const std::shared_ptr<DynamicBranch>& br : active) {
@@ -401,7 +408,7 @@ struct NodeEngine::RunningQuery {
   Status FinishDynamicBranches() {
     std::vector<std::shared_ptr<DynamicBranch>> active;
     {
-      std::lock_guard<std::mutex> lock(dyn_mutex);
+      MutexLock lock(dyn_mutex);
       active = dyn_branches;
     }
     for (const std::shared_ptr<DynamicBranch>& br : active) {
@@ -432,6 +439,9 @@ struct NodeEngine::RunningQuery {
   // outer RecordProcess no-ops for them.
   Status PushThrough(CompiledPipeline* seg, size_t from,
                      const exec::Batch& batch) {
+    if (verify_batches && from == 0) {
+      NM_RETURN_NOT_OK(analysis::VerifyBatch(batch));
+    }
     if (from >= seg->operators.size()) {
       return DispatchTail(seg, batch);
     }
@@ -536,7 +546,7 @@ NodeEngine::NodeEngine(EngineOptions options)
 NodeEngine::~NodeEngine() {
   std::vector<int> ids;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     for (const auto& [id, rq] : queries_) ids.push_back(id);
   }
   for (int id : ids) (void)Cancel(id);
@@ -556,12 +566,21 @@ Result<int> NodeEngine::Submit(LogicalPlan plan) {
     NM_RETURN_NOT_OK(rewriter.Rewrite(&plan));
   }
   rq->plan_text.optimized = plan.Explain();
+  if (options_.optimizer.verify_each) {
+    analysis::VerifyContext vctx;
+    vctx.topology = options_.topology;
+    NM_RETURN_NOT_OK(analysis::VerifyPlan(plan, vctx));
+  }
   CompileOptions compile_options;
   compile_options.compiled_kernels = options_.compiled_kernels;
   compile_options.partitions = worker_threads_;
   NM_ASSIGN_OR_RETURN(rq->pipeline,
                       CompilePlan(plan.source()->schema(), plan,
                                   options_.topology, compile_options));
+  if (options_.optimizer.verify_each) {
+    NM_RETURN_NOT_OK(analysis::VerifyPipeline(rq->pipeline));
+    rq->verify_batches = true;
+  }
   rq->source = plan.TakeSource();
   rq->ctx = std::make_unique<ExecutionContext>(options_.tuples_per_buffer,
                                                options_.pool_size);
@@ -578,7 +597,7 @@ Result<int> NodeEngine::Submit(LogicalPlan plan) {
     rq->m_samples = rq->metrics->GetCounter("engine.metric_samples");
     rq->BindMetricsTree(&rq->pipeline);
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const int id = next_id_++;
   rq->id = id;
   queries_[id] = std::move(rq);
@@ -609,6 +628,12 @@ Result<int> NodeEngine::SubmitShared(LogicalPlan plan, int delivery_node) {
   // and rewriting here could change the shape branch suffixes were
   // structurally matched against.
   rq->plan_text.optimized = rq->plan_text.logical;
+  if (options_.optimizer.verify_each) {
+    analysis::VerifyContext vctx;
+    vctx.topology = options_.topology;
+    vctx.shared_prefix = true;
+    NM_RETURN_NOT_OK(analysis::VerifyPlan(plan, vctx));
+  }
   CompileOptions compile_options;
   compile_options.compiled_kernels = options_.compiled_kernels;
   compile_options.partitions = 1;  // the stateful tails live in branches
@@ -641,6 +666,12 @@ Result<int> NodeEngine::SubmitShared(LogicalPlan plan, int delivery_node) {
       rq->pipeline.channels.push_back(std::move(channel));
     }
   }
+  if (options_.optimizer.verify_each) {
+    analysis::PipelineVerifyContext pctx;
+    pctx.expect_dynamic_tail = true;
+    NM_RETURN_NOT_OK(analysis::VerifyPipeline(rq->pipeline, pctx));
+    rq->verify_batches = true;
+  }
   rq->source = plan.TakeSource();
   rq->ctx = std::make_unique<ExecutionContext>(options_.tuples_per_buffer,
                                                options_.pool_size);
@@ -657,7 +688,7 @@ Result<int> NodeEngine::SubmitShared(LogicalPlan plan, int delivery_node) {
     rq->m_samples = rq->metrics->GetCounter("engine.metric_samples");
     rq->BindMetricsTree(&rq->pipeline);
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const int id = next_id_++;
   rq->id = id;
   queries_[id] = std::move(rq);
@@ -668,7 +699,7 @@ Result<int> NodeEngine::AttachBranch(
     int host_id, std::vector<LogicalOperatorPtr> suffix_ops) {
   RunningQuery* rq = nullptr;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = queries_.find(host_id);
     if (it == queries_.end()) {
       return Status::NotFound("unknown query id");
@@ -691,7 +722,7 @@ Result<int> NodeEngine::AttachBranch(
   }
   auto br = std::make_shared<RunningQuery::DynamicBranch>();
   {
-    std::lock_guard<std::mutex> lock(rq->dyn_mutex);
+    MutexLock lock(rq->dyn_mutex);
     br->id = rq->next_branch_id++;
   }
   // Compiled single-node against the prefix's output schema: the suffix
@@ -712,6 +743,11 @@ Result<int> NodeEngine::AttachBranch(
         "branch suffix must compile to one linear chain ending in a sink");
   }
   br->pipeline->path = "b" + std::to_string(br->id);
+  if (options_.optimizer.verify_each) {
+    analysis::PipelineVerifyContext pctx;
+    pctx.root_path = br->pipeline->path;
+    NM_RETURN_NOT_OK(analysis::VerifyPipeline(*br->pipeline, pctx));
+  }
   for (OperatorPtr& op : br->pipeline->operators) {
     NM_RETURN_NOT_OK(op->Open(rq->ctx.get()));
   }
@@ -730,24 +766,32 @@ Result<int> NodeEngine::AttachBranch(
   }
   // Publication point: the next DispatchDynamic snapshot sees the branch,
   // so it joins the stream at a buffer boundary.
-  std::lock_guard<std::mutex> lock(rq->dyn_mutex);
+  MutexLock lock(rq->dyn_mutex);
   if (rq->pool) br->strand = rq->pool->MakeStrand();
   const int branch_id = br->id;
   rq->dyn_branches.push_back(std::move(br));
+  if (options_.optimizer.verify_each && rq->pool) {
+    std::vector<std::pair<std::string, const void*>> owners;
+    owners.reserve(rq->dyn_branches.size());
+    for (const auto& b : rq->dyn_branches) {
+      owners.emplace_back(b->pipeline->path, b->strand.get());
+    }
+    NM_RETURN_NOT_OK(analysis::VerifyStrandOwnership(owners));
+  }
   return branch_id;
 }
 
 Status NodeEngine::DetachBranch(int host_id, int branch_id) {
   RunningQuery* rq = nullptr;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = queries_.find(host_id);
     if (it == queries_.end()) {
       return Status::NotFound("unknown query id");
     }
     rq = it->second.get();
   }
-  std::lock_guard<std::mutex> lock(rq->dyn_mutex);
+  MutexLock lock(rq->dyn_mutex);
   for (auto it = rq->dyn_branches.begin(); it != rq->dyn_branches.end();
        ++it) {
     if ((*it)->id != branch_id) continue;
@@ -766,7 +810,7 @@ Status NodeEngine::DetachBranch(int host_id, int branch_id) {
 Result<QueryStats> NodeEngine::BranchStats(int host_id, int branch_id) const {
   const RunningQuery* rq = nullptr;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = queries_.find(host_id);
     if (it == queries_.end()) {
       return Status::NotFound("unknown query id");
@@ -775,7 +819,7 @@ Result<QueryStats> NodeEngine::BranchStats(int host_id, int branch_id) const {
   }
   std::shared_ptr<RunningQuery::DynamicBranch> br;
   {
-    std::lock_guard<std::mutex> lock(rq->dyn_mutex);
+    MutexLock lock(rq->dyn_mutex);
     for (const auto& candidate : rq->dyn_branches) {
       if (candidate->id == branch_id) {
         br = candidate;
@@ -813,7 +857,7 @@ Result<QueryStats> NodeEngine::BranchStats(int host_id, int branch_id) const {
 }
 
 Result<QueryPlanText> NodeEngine::Explain(int query_id) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = queries_.find(query_id);
   if (it == queries_.end()) {
     return Status::NotFound("unknown query id");
@@ -899,7 +943,7 @@ void NodeEngine::RunLoop(RunningQuery* rq) {
   // after this no thread but the caller touches the rate gauges.
   if (rq->sampler) rq->sampler->Stop();
   if (status.ok()) {
-    std::lock_guard<std::mutex> lock(rq->error_mutex);
+    MutexLock lock(rq->error_mutex);
     status = rq->first_error;
   }
   if (!status.ok()) {
@@ -913,7 +957,7 @@ void NodeEngine::RunLoop(RunningQuery* rq) {
 Status NodeEngine::Start(int query_id) {
   RunningQuery* rq = nullptr;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = queries_.find(query_id);
     if (it == queries_.end()) {
       return Status::NotFound("unknown query id");
@@ -930,12 +974,20 @@ Status NodeEngine::Start(int query_id) {
     // (worker-side posts never block — see worker_pool.hpp). Created
     // under dyn_mutex so a concurrent AttachBranch either sees the pool
     // (and makes its own strand) or is seen here (and gets one).
-    std::lock_guard<std::mutex> lock(rq->dyn_mutex);
+    MutexLock lock(rq->dyn_mutex);
     rq->pool =
         std::make_unique<WorkerPool>(worker_threads_, options_.queue_capacity);
     rq->MakeStrands(&rq->pipeline);
     for (const auto& br : rq->dyn_branches) {
       if (!br->strand) br->strand = rq->pool->MakeStrand();
+    }
+    if (rq->verify_batches && !rq->dyn_branches.empty()) {
+      std::vector<std::pair<std::string, const void*>> owners;
+      owners.reserve(rq->dyn_branches.size());
+      for (const auto& br : rq->dyn_branches) {
+        owners.emplace_back(br->pipeline->path, br->strand.get());
+      }
+      NM_RETURN_NOT_OK(analysis::VerifyStrandOwnership(owners));
     }
   }
   if (options_.pipelined) {
@@ -968,7 +1020,7 @@ Status NodeEngine::Start(int query_id) {
 Status NodeEngine::Wait(int query_id) {
   RunningQuery* rq = nullptr;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = queries_.find(query_id);
     if (it == queries_.end()) {
       return Status::NotFound("unknown query id");
@@ -986,7 +1038,7 @@ Status NodeEngine::Wait(int query_id) {
 Status NodeEngine::Cancel(int query_id) {
   RunningQuery* rq = nullptr;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = queries_.find(query_id);
     if (it == queries_.end()) {
       return Status::NotFound("unknown query id");
@@ -1007,7 +1059,7 @@ Status NodeEngine::RunToCompletion(int query_id) {
 Result<QueryStats> NodeEngine::Stats(int query_id) const {
   const RunningQuery* rq = nullptr;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = queries_.find(query_id);
     if (it == queries_.end()) {
       return Status::NotFound("unknown query id");
@@ -1081,7 +1133,7 @@ Result<QueryStats> NodeEngine::Stats(int query_id) const {
   if (rq->shared_host) {
     std::vector<std::shared_ptr<RunningQuery::DynamicBranch>> branches;
     {
-      std::lock_guard<std::mutex> lock(rq->dyn_mutex);
+      MutexLock lock(rq->dyn_mutex);
       branches = rq->dyn_branches;
     }
     for (const auto& br : branches) {
@@ -1098,7 +1150,7 @@ Result<QueryStats> NodeEngine::Stats(int query_id) const {
 Result<metrics::MetricsSnapshot> NodeEngine::Metrics(int query_id) const {
   const RunningQuery* rq = nullptr;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = queries_.find(query_id);
     if (it == queries_.end()) {
       return Status::NotFound("unknown query id");
@@ -1115,7 +1167,7 @@ Result<metrics::MetricsSnapshot> NodeEngine::Metrics(int query_id) const {
 Result<DeploymentReport> NodeEngine::Deployment(int query_id) const {
   const RunningQuery* rq = nullptr;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = queries_.find(query_id);
     if (it == queries_.end()) {
       return Status::NotFound("unknown query id");
@@ -1132,7 +1184,7 @@ Result<DeploymentReport> NodeEngine::Deployment(int query_id) const {
 }
 
 size_t NodeEngine::NumQueries() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return queries_.size();
 }
 

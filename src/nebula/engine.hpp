@@ -33,6 +33,7 @@
 #include <atomic>
 #include <thread>
 
+#include "common/mutex.hpp"
 #include "nebula/metrics/metrics.hpp"
 #include "nebula/optimizer.hpp"
 #include "nebula/query.hpp"
@@ -254,9 +255,9 @@ class NodeEngine {
 
   EngineOptions options_;
   size_t worker_threads_ = 1;  ///< resolved from options/env at construction
-  mutable std::mutex mutex_;
-  std::map<int, std::unique_ptr<RunningQuery>> queries_;
-  int next_id_ = 1;
+  mutable nebulameos::Mutex mutex_;
+  std::map<int, std::unique_ptr<RunningQuery>> queries_ NM_GUARDED_BY(mutex_);
+  int next_id_ NM_GUARDED_BY(mutex_) = 1;
 };
 
 }  // namespace nebulameos::nebula

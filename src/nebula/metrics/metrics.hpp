@@ -35,9 +35,10 @@
 #include <limits>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/mutex.hpp"
 
 namespace nebulameos::nebula::metrics {
 
@@ -191,18 +192,20 @@ struct MetricsSnapshot {
 /// instrument's slot as nullptr-kind mismatch (callers assert).
 class MetricsRegistry {
  public:
-  Counter* GetCounter(const std::string& name);
-  Gauge* GetGauge(const std::string& name);
-  Histogram* GetHistogram(const std::string& name);
+  Counter* GetCounter(const std::string& name) NM_EXCLUDES(mutex_);
+  Gauge* GetGauge(const std::string& name) NM_EXCLUDES(mutex_);
+  Histogram* GetHistogram(const std::string& name) NM_EXCLUDES(mutex_);
 
   /// Point-in-time value copy of every registered instrument.
-  MetricsSnapshot Snapshot() const;
+  MetricsSnapshot Snapshot() const NM_EXCLUDES(mutex_);
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  mutable nebulameos::Mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      NM_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ NM_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      NM_GUARDED_BY(mutex_);
 };
 
 }  // namespace nebulameos::nebula::metrics

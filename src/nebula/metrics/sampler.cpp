@@ -14,7 +14,7 @@ Sampler::~Sampler() { Stop(); }
 
 void Sampler::Stop() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (stop_) {
       // Already stopped; the thread may even be joined.
       if (thread_.joinable()) thread_.join();
@@ -22,21 +22,30 @@ void Sampler::Stop() {
     }
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   if (thread_.joinable()) thread_.join();
 }
 
 uint64_t Sampler::ticks() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return ticks_;
 }
 
 void Sampler::Run() {
   int64_t last = MonotonicNowMicros();
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (;;) {
-    cv_.wait_for(lock, std::chrono::microseconds(interval_),
-                 [this] { return stop_; });
+    // Timed wait until `interval_` elapses or Stop signals; spurious
+    // wakeups re-wait for the remaining slice.
+    const int64_t wait_from = MonotonicNowMicros();
+    int64_t remaining = interval_;
+    while (!stop_ && remaining > 0) {
+      if (cv_.WaitFor(mutex_, std::chrono::microseconds(remaining)) ==
+          std::cv_status::timeout) {
+        break;
+      }
+      remaining = interval_ - (MonotonicNowMicros() - wait_from);
+    }
     const bool stopping = stop_;
     const int64_t now = MonotonicNowMicros();
     const int64_t elapsed = now - last;
@@ -48,9 +57,9 @@ void Sampler::Run() {
     const bool fire = elapsed > 0 || stopping;
     // Tick outside the lock: the callback may touch the registry, and
     // `ticks()` readers must not wait on it.
-    lock.unlock();
+    lock.Unlock();
     if (fire) tick_(elapsed);
-    lock.lock();
+    lock.Lock();
     if (fire) ++ticks_;
     if (stopping) return;
   }

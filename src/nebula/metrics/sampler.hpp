@@ -11,11 +11,10 @@
 
 #pragma once
 
-#include <condition_variable>
 #include <functional>
-#include <mutex>
 #include <thread>
 
+#include "common/mutex.hpp"
 #include "common/time.hpp"
 
 namespace nebulameos::nebula::metrics {
@@ -32,20 +31,20 @@ class Sampler {
   Sampler& operator=(const Sampler&) = delete;
 
   /// Stops the thread after one final tick. Idempotent.
-  void Stop();
+  void Stop() NM_EXCLUDES(mutex_);
 
   /// Ticks fired so far (final tick included).
-  uint64_t ticks() const;
+  uint64_t ticks() const NM_EXCLUDES(mutex_);
 
  private:
-  void Run();
+  void Run() NM_EXCLUDES(mutex_);
 
   Duration interval_;
   std::function<void(int64_t)> tick_;
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stop_ = false;
-  uint64_t ticks_ = 0;
+  mutable nebulameos::Mutex mutex_;
+  CondVar cv_;
+  bool stop_ NM_GUARDED_BY(mutex_) = false;
+  uint64_t ticks_ NM_GUARDED_BY(mutex_) = 0;
   std::thread thread_;  // last: starts after the state above is ready
 };
 

@@ -1,8 +1,11 @@
 #include "nebula/optimizer.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <map>
 #include <set>
+
+#include "nebula/analysis/plan_verifier.hpp"
 
 namespace nebulameos::nebula {
 
@@ -653,9 +656,21 @@ RewritePassPtr MakeProjectionPushdownPass() {
   return std::make_unique<ProjectionPushdownPass>();
 }
 
+bool VerifyEachDefault() {
+  if (const char* env = std::getenv("NM_VERIFY_EACH")) {
+    return env[0] != '0';
+  }
+#ifdef NDEBUG
+  return false;
+#else
+  return true;
+#endif
+}
+
 PlanRewriter PlanRewriter::Default(const OptimizerOptions& options) {
   PlanRewriter rewriter;
   rewriter.max_iterations_ = options.max_iterations;
+  rewriter.verify_each_ = options.verify_each;
   if (!options.enable) return rewriter;
   if (options.constant_folding) rewriter.AddPass(MakeConstantFoldingPass());
   if (options.predicate_pushdown) {
@@ -680,6 +695,18 @@ Status PlanRewriter::Rewrite(LogicalPlan* plan) const {
     for (const RewritePassPtr& pass : passes_) {
       bool changed = false;
       NM_RETURN_NOT_OK(pass->Apply(plan, &changed));
+      if (changed && verify_each_) {
+        analysis::VerifyContext vctx;
+        // Rewrite runs on plans whose sinks may attach later
+        // (`SetLeafSinks`), so termination is checked at Submit, not here.
+        vctx.allow_unterminated = true;
+        const Status verified = analysis::VerifyPlan(*plan, vctx);
+        if (!verified.ok()) {
+          return Status::Internal("verify-each: invariant violated after "
+                                  "pass '" +
+                                  pass->name() + "': " + verified.message());
+        }
+      }
       any_changed = any_changed || changed;
     }
     if (!any_changed) break;

@@ -42,6 +42,11 @@
 
 namespace nebulameos::nebula {
 
+/// The default for `OptimizerOptions::verify_each`: the `NM_VERIFY_EACH`
+/// environment variable when set ("1" on, "0" off), else on in Debug
+/// builds (`!NDEBUG`) and off in Release. CI exports `NM_VERIFY_EACH=1`.
+bool VerifyEachDefault();
+
 /// \brief Optimizer configuration (a member of `EngineOptions`).
 struct OptimizerOptions {
   bool enable = true;  ///< master switch: false = submit plans verbatim
@@ -52,6 +57,12 @@ struct OptimizerOptions {
   bool projection_pushdown = true;
   /// Fixpoint guard: maximum full pipeline iterations.
   size_t max_iterations = 8;
+  /// LLVM-style verify-each: run the plan verifier
+  /// (analysis/plan_verifier.hpp) after every rewrite pass that changed
+  /// the plan — a pass that breaks an invariant then fails at its own
+  /// boundary, named — and again at Submit/SubmitShared over plans and
+  /// compiled pipelines. Defaults per `VerifyEachDefault()`.
+  bool verify_each = VerifyEachDefault();
 };
 
 /// \brief One plan rewrite. Implementations must preserve query semantics
@@ -150,14 +161,24 @@ class PlanRewriter {
   /// Appends a pass; returns *this for chaining.
   PlanRewriter& AddPass(RewritePassPtr pass);
 
-  /// Rewrites \p plan in place to a fixpoint.
+  /// Rewrites \p plan in place to a fixpoint. With verify-each on, the
+  /// plan verifier runs after every pass application that reported a
+  /// change; a violation fails the rewrite with the pass's name.
   Status Rewrite(LogicalPlan* plan) const;
 
   size_t NumPasses() const { return passes_.size(); }
 
+  /// Toggles verify-each for this rewriter (set from
+  /// `OptimizerOptions::verify_each` by `Default`).
+  PlanRewriter& SetVerifyEach(bool on) {
+    verify_each_ = on;
+    return *this;
+  }
+
  private:
   std::vector<RewritePassPtr> passes_;
   size_t max_iterations_ = 8;
+  bool verify_each_ = false;
 };
 
 }  // namespace nebulameos::nebula

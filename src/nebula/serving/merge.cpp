@@ -78,7 +78,7 @@ MergeNode::MergeNode(Schema schema, std::string time_field)
 }
 
 std::shared_ptr<SinkOperator> MergeNode::InputFor(int stream_id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = inputs_.find(stream_id);
   if (it == inputs_.end()) {
     it = inputs_
@@ -95,20 +95,20 @@ std::shared_ptr<SinkOperator> MergeNode::InputFor(int stream_id) {
 }
 
 void MergeNode::CloseInput(int stream_id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   watermarks_.erase(stream_id);
   ReleaseLocked();
 }
 
 void MergeNode::CloseAllInputs() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   watermarks_.clear();
   ReleaseLocked();
 }
 
 void MergeNode::Offer(int stream_id, std::vector<Row> rows) {
   if (rows.empty()) return;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   uint64_t& seq = next_seq_[stream_id];
   Timestamp max_ts = std::numeric_limits<Timestamp>::min();
   for (Row& row : rows) {
@@ -138,7 +138,7 @@ void MergeNode::ReleaseLocked() {
 std::vector<MergeNode::Row> MergeNode::Rows() const {
   std::vector<Row> out;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     out = released_;
   }
   std::sort(out.begin(), out.end(), RowLess);
@@ -146,12 +146,12 @@ std::vector<MergeNode::Row> MergeNode::Rows() const {
 }
 
 size_t MergeNode::RowCount() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return released_.size();
 }
 
 size_t MergeNode::PendingCount() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return pending_.size();
 }
 

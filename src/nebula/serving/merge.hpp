@@ -19,9 +19,9 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/mutex.hpp"
 #include "nebula/operators.hpp"
 
 namespace nebulameos::nebula::serving {
@@ -71,20 +71,21 @@ class MergeNode {
   class Input;
 
   /// Called by an input sink under no lock; takes `mutex_`.
-  void Offer(int stream_id, std::vector<Row> rows);
+  void Offer(int stream_id, std::vector<Row> rows) NM_EXCLUDES(mutex_);
   /// Moves pending rows at or below the minimum open watermark into
   /// `released_`. Caller holds `mutex_`.
-  void ReleaseLocked();
+  void ReleaseLocked() NM_REQUIRES(mutex_);
 
   Schema schema_;
   int time_index_ = -1;  ///< -1 = no event-time column
 
-  mutable std::mutex mutex_;
-  std::map<int, std::shared_ptr<Input>> inputs_;
-  std::map<int, Timestamp> watermarks_;  ///< per open input; erased on close
-  std::map<int, uint64_t> next_seq_;
-  std::vector<Row> pending_;
-  std::vector<Row> released_;
+  mutable nebulameos::Mutex mutex_;
+  std::map<int, std::shared_ptr<Input>> inputs_ NM_GUARDED_BY(mutex_);
+  /// Per open input; erased on close.
+  std::map<int, Timestamp> watermarks_ NM_GUARDED_BY(mutex_);
+  std::map<int, uint64_t> next_seq_ NM_GUARDED_BY(mutex_);
+  std::vector<Row> pending_ NM_GUARDED_BY(mutex_);
+  std::vector<Row> released_ NM_GUARDED_BY(mutex_);
 };
 
 }  // namespace nebulameos::nebula::serving

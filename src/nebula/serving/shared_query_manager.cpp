@@ -2,72 +2,21 @@
 
 #include <cctype>
 
+#include "nebula/analysis/plan_verifier.hpp"
 #include "nebula/optimizer.hpp"
 
 namespace nebulameos::nebula::serving {
 
 namespace {
 
-// An operator may enter a *shared* prefix only when its semantics are
-// provable from its structure: every expression it carries must be
-// `ExpressionMergeSafe` (registered functions and built-ins only — two
-// ad-hoc lambdas can render identically yet compute different things),
-// and opaque callables (custom window aggregators) disqualify outright.
-// Sinks and fan-outs are per-client by definition.
-bool OperatorMergeSafe(const LogicalOperator& op) {
-  switch (op.kind()) {
-    case LogicalOperator::Kind::kFilter:
-      return ExpressionMergeSafe(
-          static_cast<const FilterNode&>(op).predicate());
-    case LogicalOperator::Kind::kMap: {
-      for (const MapSpec& spec : static_cast<const MapNode&>(op).specs()) {
-        if (!ExpressionMergeSafe(spec.expr)) return false;
-      }
-      return true;
-    }
-    case LogicalOperator::Kind::kProject:
-    case LogicalOperator::Kind::kKeyBy:
-      return true;
-    case LogicalOperator::Kind::kWindowAgg: {
-      const WindowAggOptions& opts =
-          static_cast<const WindowAggNode&>(op).options();
-      if (!opts.custom_aggregators.empty()) return false;
-      if (const auto* threshold =
-              std::get_if<ThresholdWindowSpec>(&opts.window)) {
-        return ExpressionMergeSafe(threshold->predicate);
-      }
-      return true;
-    }
-    case LogicalOperator::Kind::kThresholdWindow: {
-      const ThresholdWindowOptions& opts =
-          static_cast<const ThresholdWindowNode&>(op).options();
-      return opts.custom_aggregators.empty() &&
-             ExpressionMergeSafe(opts.predicate);
-    }
-    case LogicalOperator::Kind::kCep: {
-      for (const PatternStep& step :
-           static_cast<const CepNode&>(op).pattern().steps) {
-        if (!ExpressionMergeSafe(step.predicate)) return false;
-      }
-      return true;
-    }
-    case LogicalOperator::Kind::kLookupJoin:
-      // Lookup sides compare by instance identity (StructurallyEqual), so
-      // a shared lookup join is always a proven-identical join.
-      return true;
-    case LogicalOperator::Kind::kFanOut:
-    case LogicalOperator::Kind::kSink:
-      return false;
-  }
-  return false;
-}
-
-// Longest leading run of `ops` that may be shared: merge-safe, clonable,
-// and never ending on a dangling KeyBy (the key marker must stay with the
-// stateful node that consumes it).
+// Longest leading run of `ops` that may be shared: merge-safe (per
+// `analysis::OperatorMergeSafe` — the same predicate the plan verifier's
+// merge-safety rule enforces on shared prefixes), clonable, and never
+// ending on a dangling KeyBy (the key marker must stay with the stateful
+// node that consumes it).
 size_t MaxShareableLen(const std::vector<LogicalOperatorPtr>& ops) {
   size_t len = 0;
-  while (len < ops.size() && OperatorMergeSafe(*ops[len]) &&
+  while (len < ops.size() && analysis::OperatorMergeSafe(*ops[len]) &&
          CloneOperator(*ops[len]) != nullptr) {
     ++len;
   }
@@ -144,14 +93,14 @@ Result<int> SharedQueryManager::Submit(LogicalPlan plan) {
   const std::string signature =
       plan.source() != nullptr ? plan.source()->Signature() : std::string();
 
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const int vid = next_vid_++;
 
   // Unshareable plans (unnamed source, fan-out DAG) run dedicated.
   if (signature.empty() || plan.HasFanOut()) {
-    lock.unlock();
+    lock.Unlock();
     NM_ASSIGN_OR_RETURN(const int engine_id, engine_->Submit(std::move(plan)));
-    lock.lock();
+    lock.Lock();
     Member member;
     member.vid = vid;
     member.engine_id = engine_id;
@@ -283,7 +232,7 @@ Status SharedQueryManager::StartGroupLocked(Group* group) {
 }
 
 Status SharedQueryManager::Start(int vid) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = members_.find(vid);
   if (it == members_.end()) return Status::NotFound("unknown virtual query");
   Member& member = it->second;
@@ -292,7 +241,7 @@ Status SharedQueryManager::Start(int vid) {
   }
   if (member.group < 0) {
     const int engine_id = member.engine_id;
-    lock.unlock();
+    lock.Unlock();
     return engine_->Start(engine_id);
   }
   // Starting any member starts the host — and with it every member
@@ -303,7 +252,7 @@ Status SharedQueryManager::Start(int vid) {
 Status SharedQueryManager::Wait(int vid) {
   int engine_id = -1;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = members_.find(vid);
     if (it == members_.end()) return Status::NotFound("unknown virtual query");
     const Member& member = it->second;
@@ -324,7 +273,7 @@ Status SharedQueryManager::Wait(int vid) {
 Status SharedQueryManager::Cancel(int vid) {
   int engine_to_cancel = -1;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = members_.find(vid);
     if (it == members_.end()) return Status::NotFound("unknown virtual query");
     Member& member = it->second;
@@ -357,7 +306,7 @@ Result<QueryStats> SharedQueryManager::Stats(int vid) const {
   int branch_id = -1;
   int engine_id = -1;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = members_.find(vid);
     if (it == members_.end()) return Status::NotFound("unknown virtual query");
     const Member& member = it->second;
@@ -382,7 +331,7 @@ Result<metrics::MetricsSnapshot> SharedQueryManager::Metrics(int vid) const {
   int branch_id = -1;
   int engine_id = -1;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = members_.find(vid);
     if (it == members_.end()) return Status::NotFound("unknown virtual query");
     const Member& member = it->second;
@@ -419,7 +368,7 @@ Result<metrics::MetricsSnapshot> SharedQueryManager::Metrics(int vid) const {
 Result<DeploymentReport> SharedQueryManager::Deployment(int vid) const {
   int engine_id = -1;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = members_.find(vid);
     if (it == members_.end()) return Status::NotFound("unknown virtual query");
     const Member& member = it->second;
@@ -438,7 +387,7 @@ Result<DeploymentReport> SharedQueryManager::Deployment(int vid) const {
 }
 
 size_t SharedQueryManager::NumClientQueries() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   size_t n = 0;
   for (const auto& [vid, member] : members_) {
     if (!member.cancelled) ++n;
@@ -447,7 +396,7 @@ size_t SharedQueryManager::NumClientQueries() const {
 }
 
 size_t SharedQueryManager::NumHostedPlans() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   size_t n = 0;
   for (const Group& group : groups_) {
     if (!group.member_vids.empty()) ++n;
@@ -459,7 +408,7 @@ size_t SharedQueryManager::NumHostedPlans() const {
 }
 
 std::vector<int> SharedQueryManager::Hosts() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<int> out;
   for (const Group& group : groups_) {
     if (group.started && !group.member_vids.empty()) {

@@ -36,6 +36,7 @@
 
 #include <vector>
 
+#include "common/mutex.hpp"
 #include "nebula/engine.hpp"
 
 namespace nebulameos::nebula::serving {
@@ -132,13 +133,13 @@ class SharedQueryManager {
     std::vector<int> member_vids;
   };
 
-  Status StartGroupLocked(Group* group);
+  Status StartGroupLocked(Group* group) NM_REQUIRES(mutex_);
 
   NodeEngine* engine_;
-  mutable std::mutex mutex_;
-  std::map<int, Member> members_;
-  std::vector<Group> groups_;
-  int next_vid_ = 1;
+  mutable nebulameos::Mutex mutex_;
+  std::map<int, Member> members_ NM_GUARDED_BY(mutex_);
+  std::vector<Group> groups_ NM_GUARDED_BY(mutex_);
+  int next_vid_ NM_GUARDED_BY(mutex_) = 1;
 };
 
 }  // namespace nebulameos::nebula::serving

@@ -13,11 +13,11 @@ WorkerPool::WorkerPool(size_t workers, size_t strand_capacity)
 
 WorkerPool::~WorkerPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
-  ready_cv_.notify_all();
-  space_cv_.notify_all();
+  ready_cv_.NotifyAll();
+  space_cv_.NotifyAll();
   for (std::thread& t : threads_) t.join();
 }
 
@@ -30,13 +30,13 @@ void WorkerPool::Strand::Post(std::function<void()> task) {
 }
 
 void WorkerPool::Post(Strand* strand, std::function<void()> task) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   // Only external threads honour the bound: a worker blocking on a full
   // strand could leave every worker blocked with no one left to drain.
   if (strand_capacity_ > 0 && !OnWorkerThread()) {
-    space_cv_.wait(lock, [&] {
-      return strand->tasks_.size() < strand_capacity_ || stop_;
-    });
+    while (strand->tasks_.size() >= strand_capacity_ && !stop_) {
+      space_cv_.Wait(mutex_);
+    }
   }
   if (stop_) return;
   strand->tasks_.push_back(std::move(task));
@@ -44,13 +44,13 @@ void WorkerPool::Post(Strand* strand, std::function<void()> task) {
   if (!strand->scheduled_) {
     strand->scheduled_ = true;
     ready_.push_back(strand);
-    ready_cv_.notify_one();
+    ready_cv_.NotifyOne();
   }
 }
 
 void WorkerPool::Drain() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  drained_cv_.wait(lock, [this] { return pending_ == 0; });
+  MutexLock lock(mutex_);
+  while (pending_ != 0) drained_cv_.Wait(mutex_);
 }
 
 bool WorkerPool::OnWorkerThread() const {
@@ -62,9 +62,9 @@ bool WorkerPool::OnWorkerThread() const {
 }
 
 void WorkerPool::WorkerMain() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (;;) {
-    ready_cv_.wait(lock, [this] { return !ready_.empty() || stop_; });
+    while (ready_.empty() && !stop_) ready_cv_.Wait(mutex_);
     if (ready_.empty()) {
       if (stop_) return;  // shutdown only once every queue is dry
       continue;
@@ -73,20 +73,20 @@ void WorkerPool::WorkerMain() {
     ready_.pop_front();
     std::function<void()> task = std::move(strand->tasks_.front());
     strand->tasks_.pop_front();
-    lock.unlock();
+    lock.Unlock();
     task();
     // Destroy the task before acknowledging completion, so Drain() implies
     // captured buffer handles have recycled into their pools.
     task = nullptr;
-    lock.lock();
+    lock.Lock();
     if (strand->tasks_.empty()) {
       strand->scheduled_ = false;
     } else {
       ready_.push_back(strand);  // requeue at the back: strand fairness
-      ready_cv_.notify_one();
+      ready_cv_.NotifyOne();
     }
-    if (--pending_ == 0) drained_cv_.notify_all();
-    if (strand_capacity_ > 0) space_cv_.notify_all();
+    if (--pending_ == 0) drained_cv_.NotifyAll();
+    if (strand_capacity_ > 0) space_cv_.NotifyAll();
   }
 }
 

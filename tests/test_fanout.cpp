@@ -338,14 +338,19 @@ TEST(FanOutEngine, NestedFanOutExecutes) {
 
 TEST(FanOutOptimizer, FilterDemandedByEveryBranchHoistsAboveFanOut) {
   std::vector<Query> branches;
+  // Sinks declare the schema their branch actually delivers — the plan
+  // verifier's branch-schema-coherence rule (run by verify-each during
+  // Rewrite) rejects a declared/derived mismatch.
   branches.push_back(std::move(Query::Branch())
                          .Filter(Ge(Attribute("value"), Lit(3.0)))
                          .Project({"key"})
-                         .To(std::make_shared<CountingSink>(EventSchema())));
+                         .To(std::make_shared<CountingSink>(
+                             Schema::Build().AddInt64("key").Finish())));
   branches.push_back(std::move(Query::Branch())
                          .Filter(Ge(Attribute("value"), Lit(3.0)))
                          .Project({"value"})
-                         .To(std::make_shared<CountingSink>(EventSchema())));
+                         .To(std::make_shared<CountingSink>(
+                             Schema::Build().AddDouble("value").Finish())));
   auto plan = Query::From(MakeSource()).FanOut(std::move(branches)).Build();
   ASSERT_TRUE(plan.ok());
   const PlanRewriter rewriter = PlanRewriter::Default();
@@ -401,12 +406,20 @@ TEST(FanOutOptimizer, DivergentBranchFiltersStayPut) {
 
 TEST(FanOutOptimizer, ProjectionUnionNarrowsTheSharedPrefix) {
   std::vector<Query> branches;
+  // Schemas match each branch's projection (branch-schema-coherence).
   branches.push_back(std::move(Query::Branch())
                          .Project({"key", "value"})
-                         .To(std::make_shared<CountingSink>(EventSchema())));
+                         .To(std::make_shared<CountingSink>(Schema::Build()
+                                                                .AddInt64("key")
+                                                                .AddDouble("value")
+                                                                .Finish())));
   branches.push_back(std::move(Query::Branch())
                          .Project({"value", "ts"})
-                         .To(std::make_shared<CountingSink>(EventSchema())));
+                         .To(std::make_shared<CountingSink>(
+                             Schema::Build()
+                                 .AddDouble("value")
+                                 .AddTimestamp("ts")
+                                 .Finish())));
   auto plan = Query::From(MakeSource()).FanOut(std::move(branches)).Build();
   ASSERT_TRUE(plan.ok());
   const PlanRewriter rewriter = PlanRewriter::Default();
