@@ -8,6 +8,15 @@
 # suite with NM_WORKER_THREADS=4, forcing every engine test through the
 # morsel-driven multi-core path under the race detector.
 #
+# Opt-in fault-injection gate (mirrors the CI `fault-injection` job):
+#   CHECK_FAULTS=1 scripts/check.sh
+# runs the full suite with NM_FAULT_PROFILE armed (default: 1% drop,
+# 0.5% reorder, seeded), so every lowered network channel injects
+# deterministic faults the retransmit/reorder-repair machinery must
+# recover from, then runs bench_fault_tolerance and leaves
+# BENCH_faults.json in the repo root (CI artifact). Override the profile
+# via NM_FAULT_PROFILE.
+#
 # Opt-in static-analysis gate (mirrors the CI `static-analysis` job):
 #   CHECK_STATIC=1 scripts/check.sh
 # builds Debug with clang and -Wthread-safety -Werror (enforcing the
@@ -43,6 +52,20 @@ if [[ "${CHECK_STATIC:-0}" == "1" ]]; then
     echo "check.sh: clang-tidy not found — tidy checks skipped" >&2
   fi
   cd "$BUILD_DIR" && NM_VERIFY_EACH=1 ctest --output-on-failure -j
+  exit 0
+fi
+
+if [[ "${CHECK_FAULTS:-0}" == "1" ]]; then
+  BUILD_DIR="${1:-build}"
+  PROFILE="${NM_FAULT_PROFILE:-drop=0.01,reorder=0.005,seed=20250808}"
+  cmake -B "$BUILD_DIR" -S .
+  cmake --build "$BUILD_DIR" -j
+  (cd "$BUILD_DIR" && NM_FAULT_PROFILE="$PROFILE" ctest --output-on-failure -j)
+  # Loss-rate sweep: asserts lossy row sets match the fault-free
+  # reference exactly; leaves BENCH_faults.json in the repo root.
+  env -u NM_FAULT_PROFILE "$BUILD_DIR"/bench/bench_fault_tolerance 200000 \
+    BENCH_faults.json
+  echo "fault injection gate: OK (profile: $PROFILE)"
   exit 0
 fi
 

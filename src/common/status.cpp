@@ -26,6 +26,10 @@ const char* StatusCodeName(StatusCode code) {
       return "Cancelled";
     case StatusCode::kParseError:
       return "ParseError";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kDataLoss:
+      return "DataLoss";
   }
   return "Unknown";
 }

@@ -28,6 +28,8 @@ enum class StatusCode {
   kInternal,
   kCancelled,
   kParseError,
+  kUnavailable,
+  kDataLoss,
 };
 
 /// \brief Human-readable name of a status code (e.g. "InvalidArgument").
@@ -83,6 +85,14 @@ class Status {
   /// Returns a Cancelled status with \p msg.
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  /// Returns an Unavailable status with \p msg.
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  /// Returns a DataLoss status with \p msg.
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
   /// Returns a ParseError status with \p msg.
   static Status ParseError(std::string msg) {

@@ -74,6 +74,31 @@ void CheckSegment(const CompiledPipeline& pipe, const std::string& expected,
                    "wire traffic");
   }
 
+  // Fault coherence: a channel armed with loss needs recovery machinery —
+  // retained frames to retransmit from and a repair buffer to detect the
+  // gap in. Without both, every injected drop is silent data loss even
+  // under the strict kBlock policy.
+  for (size_t c = 0; c < pipe.channels.size(); ++c) {
+    const auto& ch = pipe.channels[c];
+    if (ch == nullptr) {
+      out->push_back(seg + ": channel #" + std::to_string(c) + " is null");
+      continue;
+    }
+    const FaultProfile& profile = ch->fault_profile();
+    const RetryOptions& retry = ch->retry_options();
+    if (profile.drop_rate > 0.0 &&
+        (retry.retain_limit < 1 || retry.reorder_capacity < 1)) {
+      out->push_back(seg + ": channel " + ch->EndpointsString() +
+                     " injects drops (rate " +
+                     std::to_string(profile.drop_rate) +
+                     ") but retry options disable recovery (retain_limit=" +
+                     std::to_string(retry.retain_limit) +
+                     ", reorder_capacity=" +
+                     std::to_string(retry.reorder_capacity) +
+                     ") — dropped frames could never be repaired");
+    }
+  }
+
   if (!pipe.partitions.empty()) {
     if (pipe.partition_key_index >= pipe.output_schema.num_fields()) {
       out->push_back(seg + ": partition key index " +

@@ -216,10 +216,21 @@ Status CepOperator::DoProcess(const exec::Batch& input, const EmitFn& emit) {
       out = ctx_->Allocate(output_schema_);
     }
   };
+  uint64_t shed = 0;
   for (size_t i = 0; i < input.NumRows(); ++i) {
     const RecordView rec = input.data->At(input.RowAt(i));
     const Timestamp t = rec.GetInt64(time_index_);
     const KeyValue key = KeyOf(rec);
+    // Monotonicity guard: shed records whose event time regresses behind
+    // their key's high-water mark (time runs forward through the NFA).
+    auto [hwm, first_seen] = max_time_.try_emplace(key, t);
+    if (!first_seen) {
+      if (t < hwm->second) {
+        ++shed;
+        continue;
+      }
+      hwm->second = t;
+    }
     std::deque<Run>& key_runs = runs_[key];
     // Expire runs outside the within bound.
     if (pattern_.within > 0) {
@@ -279,6 +290,7 @@ Status CepOperator::DoProcess(const exec::Batch& input, const EmitFn& emit) {
       }
     }
   }
+  if (shed > 0) CountShed(shed);
   if (out && !out->empty()) {
     CountOut(*out);
     emit(out);

@@ -103,6 +103,11 @@ class CepOperator : public Operator {
   /// pool buffers for materialization.
   Status ProcessBatch(const exec::Batch& input,
                       const BatchEmitFn& emit) override;
+  void BindMetrics(metrics::MetricsRegistry* registry,
+                   const std::string& prefix) override {
+    Operator::BindMetrics(registry, prefix);
+    BindLateShed(registry, prefix);
+  }
 
   /// Currently active partial runs (all keys) — exposed for tests and
   /// capacity monitoring.
@@ -164,6 +169,11 @@ class CepOperator : public Operator {
   size_t time_index_ = 0;
   std::map<KeyValue, std::deque<Run>> runs_;
   size_t max_runs_per_key_ = 1024;  // guard against run explosion
+  /// Per-key monotonicity guard: highest event time seen. A record with
+  /// an earlier timestamp would run the NFA's `within` expiry backwards
+  /// and corrupt partial matches, so it is shed and counted instead
+  /// (`events_shed` / `op.<path>.CEP.late_shed`).
+  std::map<KeyValue, Timestamp> max_time_;
 };
 
 }  // namespace nebulameos::nebula

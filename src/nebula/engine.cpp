@@ -175,6 +175,9 @@ struct NodeEngine::RunningQuery {
     std::unique_ptr<WorkerPool::Strand> strand;  ///< null until the pool exists
     StrandMetrics sm;                            ///< own instruments
     std::atomic<bool> detached{false};
+    /// Why the engine force-detached the branch (OK for a clean detach).
+    /// Guarded by the host's dyn_mutex.
+    Status failure;
   };
   bool shared_host = false;  ///< submitted via `SubmitShared`
   // Guards the branch vector, `next_branch_id`, and (for admission racing
@@ -212,6 +215,9 @@ struct NodeEngine::RunningQuery {
                       metrics->GetCounter(base + ".frames"),
                       metrics->GetCounter(base + ".events"),
                       metrics->GetHistogram(base + ".transfer_micros"));
+      ch->BindFaultMetrics(metrics->GetCounter(base + ".frames_dropped"),
+                           metrics->GetCounter(base + ".retransmits"),
+                           metrics->GetCounter(base + ".frames_shed"));
     }
     auto it = strand_metrics_by_path.find(path_key);
     if (it == strand_metrics_by_path.end()) {
@@ -237,17 +243,46 @@ struct NodeEngine::RunningQuery {
   std::map<const CompiledPipeline*, std::unique_ptr<WorkerPool::Strand>>
       strands;
   std::unique_ptr<WorkerPool> pool;
-  // First task failure wins; later tasks short-circuit on `failed`.
+  // Task failure handling: *every* strand/branch error is recorded with
+  // the dispatch-target path it occurred on, and `failed` makes later
+  // tasks short-circuit. The query's final status is the first *root
+  // cause*: the earliest non-Cancelled error (a worker that trips over a
+  // neighbour's teardown reports Cancelled — a symptom, not the cause),
+  // annotated with its path and the count of secondary errors it masked.
+  struct TaskError {
+    std::string path;
+    Status status;
+  };
   std::atomic<bool> failed{false};
   Mutex error_mutex;
-  Status first_error NM_GUARDED_BY(error_mutex);
+  std::vector<TaskError> errors NM_GUARDED_BY(error_mutex);
 
-  void RecordFailure(const Status& st) {
+  void RecordFailure(const Status& st) { RecordFailure("root", st); }
+
+  void RecordFailure(const std::string& path, const Status& st) {
     {
       MutexLock lock(error_mutex);
-      if (first_error.ok()) first_error = st;
+      errors.push_back({path, st});
     }
     failed.store(true, std::memory_order_relaxed);
+  }
+
+  Status FirstRootCause() NM_EXCLUDES(error_mutex) {
+    MutexLock lock(error_mutex);
+    if (errors.empty()) return Status::OK();
+    const TaskError* root = &errors.front();
+    for (const TaskError& e : errors) {
+      if (e.status.code() != StatusCode::kCancelled) {
+        root = &e;
+        break;
+      }
+    }
+    std::string msg = "[" + root->path + "] " + root->status.message();
+    if (errors.size() > 1) {
+      msg += " (+" + std::to_string(errors.size() - 1) +
+             " secondary error(s))";
+    }
+    return Status(root->status.code(), std::move(msg));
   }
 
   // Creates one strand per dispatch target below `seg` (the root segment
@@ -295,7 +330,9 @@ struct NodeEngine::RunningQuery {
         return;
       }
       const Status st = PushThrough(target, 0, batch);
-      if (!st.ok()) RecordFailure(st);
+      if (!st.ok()) {
+        RecordFailure(target->path.empty() ? "root" : target->path, st);
+      }
     });
     return Status::OK();
   }
@@ -373,7 +410,8 @@ struct NodeEngine::RunningQuery {
       StrandMetrics* sm = metrics_on ? &br->sm : nullptr;
       if (!pool) {
         if (sm) sm->task_wait->Record(0);
-        NM_RETURN_NOT_OK(PushThrough(br->pipeline.get(), 0, batch));
+        const Status st = PushThrough(br->pipeline.get(), 0, batch);
+        if (!st.ok()) FailBranch(br, st);
         continue;
       }
       int64_t posted_at = 0;
@@ -396,10 +434,30 @@ struct NodeEngine::RunningQuery {
           return;
         }
         const Status st = PushThrough(br->pipeline.get(), 0, batch);
-        if (!st.ok()) RecordFailure(st);
+        if (!st.ok()) FailBranch(br, st);
       });
     }
     return Status::OK();
+  }
+
+  // Fault isolation for shared hosts: a branch whose own operators error
+  // is force-detached with a descriptive status instead of failing the
+  // host — its siblings and the shared ingest keep running, and the
+  // branch's owner reads the failure through `BranchStatus`. Does NOT set
+  // `failed`: that flag kills the whole host.
+  void FailBranch(const std::shared_ptr<DynamicBranch>& br,
+                  const Status& st) NM_EXCLUDES(dyn_mutex) {
+    br->detached.store(true, std::memory_order_relaxed);
+    MutexLock lock(dyn_mutex);
+    br->failure = Status(st.code(), "branch " + br->pipeline->path +
+                                        " detached: " + st.message());
+    NM_LOG_ERROR() << "query " << id << " " << br->failure.ToString();
+    for (auto it = dyn_branches.begin(); it != dyn_branches.end(); ++it) {
+      if (it->get() != br.get()) continue;
+      retired_dyn.push_back(std::move(*it));
+      dyn_branches.erase(it);
+      break;
+    }
   }
 
   // End-of-stream for a shared host's branches: finish each surviving
@@ -414,7 +472,8 @@ struct NodeEngine::RunningQuery {
     for (const std::shared_ptr<DynamicBranch>& br : active) {
       if (br->detached.load(std::memory_order_relaxed)) continue;
       if (!pool) {
-        NM_RETURN_NOT_OK(FinishSegment(br->pipeline.get()));
+        const Status st = FinishSegment(br->pipeline.get());
+        if (!st.ok()) FailBranch(br, st);
         continue;
       }
       br->strand->Post([this, br] {
@@ -424,7 +483,7 @@ struct NodeEngine::RunningQuery {
           return;
         }
         const Status st = FinishSegment(br->pipeline.get());
-        if (!st.ok()) RecordFailure(st);
+        if (!st.ok()) FailBranch(br, st);
       });
     }
     return Status::OK();
@@ -484,7 +543,9 @@ struct NodeEngine::RunningQuery {
         return;
       }
       const Status st = FinishSegment(target);
-      if (!st.ok()) RecordFailure(st);
+      if (!st.ok()) {
+        RecordFailure(target->path.empty() ? "root" : target->path, st);
+      }
     });
     return Status::OK();
   }
@@ -541,7 +602,13 @@ struct NodeEngine::RunningQuery {
 
 NodeEngine::NodeEngine(EngineOptions options)
     : options_(options),
-      worker_threads_(ResolveWorkerThreads(options.worker_threads)) {}
+      worker_threads_(ResolveWorkerThreads(options.worker_threads)) {
+  // NM_FAULT_PROFILE overrides the configured channel fault profile — the
+  // CI fault-injection gate runs the whole suite lossy through this.
+  if (std::optional<FaultProfile> env = EnvFaultProfile()) {
+    options_.faults.profile = *env;
+  }
+}
 
 NodeEngine::~NodeEngine() {
   std::vector<int> ids;
@@ -574,6 +641,7 @@ Result<int> NodeEngine::Submit(LogicalPlan plan) {
   CompileOptions compile_options;
   compile_options.compiled_kernels = options_.compiled_kernels;
   compile_options.partitions = worker_threads_;
+  compile_options.faults = options_.faults;
   NM_ASSIGN_OR_RETURN(rq->pipeline,
                       CompilePlan(plan.source()->schema(), plan,
                                   options_.topology, compile_options));
@@ -637,6 +705,7 @@ Result<int> NodeEngine::SubmitShared(LogicalPlan plan, int delivery_node) {
   CompileOptions compile_options;
   compile_options.compiled_kernels = options_.compiled_kernels;
   compile_options.partitions = 1;  // the stateful tails live in branches
+  compile_options.faults = options_.faults;
   NM_ASSIGN_OR_RETURN(rq->pipeline,
                       CompilePlan(plan.source()->schema(), plan,
                                   options_.topology, compile_options));
@@ -656,6 +725,7 @@ Result<int> NodeEngine::SubmitShared(LogicalPlan plan, int delivery_node) {
       NM_ASSIGN_OR_RETURN(std::shared_ptr<NetworkChannel> channel,
                           NetworkChannel::Connect(*options_.topology,
                                                   end_node, delivery_node));
+      channel->ConfigureFaults(options_.faults.profile, options_.faults.retry);
       const Schema& schema = rq->pipeline.output_schema;
       NM_ASSIGN_OR_RETURN(OperatorPtr channel_sink,
                           NetworkChannelSink::Make(schema, channel));
@@ -734,6 +804,7 @@ Result<int> NodeEngine::AttachBranch(
   CompileOptions copts;
   copts.compiled_kernels = options_.compiled_kernels;
   copts.partitions = 1;
+  copts.faults = options_.faults;
   br->pipeline = std::make_unique<CompiledPipeline>();
   NM_ASSIGN_OR_RETURN(*br->pipeline,
                       CompilePlan(rq->pipeline.output_schema, suffix_plan,
@@ -804,6 +875,32 @@ Status NodeEngine::DetachBranch(int host_id, int branch_id) {
     rq->dyn_branches.erase(it);
     return Status::OK();
   }
+  // Already retired — either detached earlier or force-detached by the
+  // engine after a branch failure. Detaching is idempotent either way
+  // (the failure stays readable through BranchStatus).
+  for (const auto& br : rq->retired_dyn) {
+    if (br->id == branch_id) return Status::OK();
+  }
+  return Status::NotFound("unknown branch id");
+}
+
+Status NodeEngine::BranchStatus(int host_id, int branch_id) const {
+  const RunningQuery* rq = nullptr;
+  {
+    MutexLock lock(mutex_);
+    auto it = queries_.find(host_id);
+    if (it == queries_.end()) {
+      return Status::NotFound("unknown query id");
+    }
+    rq = it->second.get();
+  }
+  MutexLock lock(rq->dyn_mutex);
+  for (const auto& br : rq->dyn_branches) {
+    if (br->id == branch_id) return Status::OK();
+  }
+  for (const auto& br : rq->retired_dyn) {
+    if (br->id == branch_id) return br->failure;
+  }
   return Status::NotFound("unknown branch id");
 }
 
@@ -838,6 +935,7 @@ Result<QueryStats> NodeEngine::BranchStats(int host_id, int branch_id) const {
     stats.elapsed_micros = MonotonicNowMicros() - rq->started_at.load();
   }
   stats.buffers_acquired = rq->ctx->TotalBuffersAcquired();
+  stats.tasks_shed = rq->pool ? rq->pool->tasks_shed() : 0;
   const std::string prefix = br->pipeline->path + "/";
   for (const OperatorPtr& op : br->pipeline->operators) {
     op->AppendStats(prefix, &stats.operator_stats);
@@ -942,10 +1040,11 @@ void NodeEngine::RunLoop(RunningQuery* rq) {
   // Final sample covers the tail window, then the sampler thread joins —
   // after this no thread but the caller touches the rate gauges.
   if (rq->sampler) rq->sampler->Stop();
-  if (status.ok()) {
-    MutexLock lock(rq->error_mutex);
-    status = rq->first_error;
-  }
+  // Ingest/finish errors join the same all-errors model the strand tasks
+  // record into, so the reported status is uniformly "first root cause,
+  // tagged with its task path, plus a secondary-error count".
+  if (!status.ok()) rq->RecordFailure(status);
+  status = rq->FirstRootCause();
   if (!status.ok()) {
     NM_LOG_ERROR() << "query " << rq->id << " failed: " << status.ToString();
   }
@@ -975,8 +1074,9 @@ Status NodeEngine::Start(int query_id) {
     // under dyn_mutex so a concurrent AttachBranch either sees the pool
     // (and makes its own strand) or is seen here (and gets one).
     MutexLock lock(rq->dyn_mutex);
-    rq->pool =
-        std::make_unique<WorkerPool>(worker_threads_, options_.queue_capacity);
+    rq->pool = std::make_unique<WorkerPool>(worker_threads_,
+                                            options_.queue_capacity,
+                                            options_.faults.retry.shed_policy);
     rq->MakeStrands(&rq->pipeline);
     for (const auto& br : rq->dyn_branches) {
       if (!br->strand) br->strand = rq->pool->MakeStrand();
@@ -1075,6 +1175,7 @@ Result<QueryStats> NodeEngine::Stats(int query_id) const {
     stats.elapsed_micros = MonotonicNowMicros() - rq->started_at.load();
   }
   stats.buffers_acquired = rq->ctx->TotalBuffersAcquired();
+  stats.tasks_shed = rq->pool ? rq->pool->tasks_shed() : 0;
   // Depth-first over the pipeline tree: operators keyed by DAG path, one
   // SinkStats entry per leaf, emitted totals summed across sinks. Fused
   // batch-kernel operators expand to one entry per fused stage, so the

@@ -62,6 +62,9 @@ struct QueryStats {
   /// scale with branch count, and selection-vector filtering means
   /// filters draw nothing at all.
   uint64_t buffers_acquired = 0;
+  /// Morsel tasks shed at saturated strand queues under a degradation
+  /// shed policy (always 0 under the default `ShedPolicy::kBlock`).
+  uint64_t tasks_shed = 0;
 
   /// Ingested events per second of wall-clock run time.
   double EventsPerSecond() const {
@@ -132,6 +135,15 @@ struct EngineOptions {
   /// bumps `engine.metric_samples`, so a live snapshot carries *current*
   /// rates. 0 (the default) records no rates and starts no thread.
   Duration metrics_interval = 0;
+  /// Fault tolerance (docs/ARCHITECTURE.md "Fault model & recovery"):
+  /// `faults.profile` is injected on every lowered network channel
+  /// (combined with the per-link `TopologyLink::fault` profiles along its
+  /// route), `faults.retry` configures each channel pair's retransmit
+  /// queue, backoff and reorder-repair buffer. The `NM_FAULT_PROFILE`
+  /// environment variable, when set and parseable, overrides
+  /// `faults.profile` at engine construction — the CI fault-injection
+  /// gate's whole-suite switch.
+  FaultToleranceOptions faults = {};
 };
 
 /// \brief `Explain` renderings of a submitted query's plan, captured at
@@ -204,6 +216,13 @@ class NodeEngine {
   /// branch's own operator and sink flow — the view a client of the
   /// serving layer sees for its virtual query.
   Result<QueryStats> BranchStats(int host_id, int branch_id) const;
+
+  /// Health of one dynamic branch: OK while the branch is attached (or
+  /// was detached cleanly), or the failure that force-detached it — a
+  /// branch whose own operators error is detached by the engine with a
+  /// descriptive `Status` while its siblings and the shared ingest keep
+  /// running (fault isolation). `NotFound` for ids never attached.
+  Status BranchStatus(int host_id, int branch_id) const;
 
   /// Starts the query's worker thread(s).
   Status Start(int query_id);

@@ -540,11 +540,15 @@ void ExplainChain(const Chain& ops, const std::string& indent,
 // Lowers a placement transition from `from_node` to `to_node`: a
 // `NetworkChannelSink`/`NetworkChannelSource` pair sharing one channel,
 // appended to `pipe` so every record crossing the boundary travels as a
-// serialized wire frame over the (possibly multi-hop) route.
+// serialized wire frame over the (possibly multi-hop) route. The channel
+// arms the compile-level fault profile (combined with the route's link
+// profiles) and the retry/repair policy.
 Status LowerTransition(const Topology& topology, int from_node, int to_node,
-                       const Schema& schema, CompiledPipeline* pipe) {
+                       const Schema& schema, const FaultToleranceOptions& ft,
+                       CompiledPipeline* pipe) {
   NM_ASSIGN_OR_RETURN(std::shared_ptr<NetworkChannel> channel,
                       NetworkChannel::Connect(topology, from_node, to_node));
+  channel->ConfigureFaults(ft.profile, ft.retry);
   NM_ASSIGN_OR_RETURN(OperatorPtr channel_sink,
                       NetworkChannelSink::Make(schema, channel));
   NM_ASSIGN_OR_RETURN(OperatorPtr channel_source,
@@ -770,7 +774,8 @@ Status CompileChain(const Chain& ops, size_t begin,
         node->placement() != current_node) {
       flush_fused();
       NM_RETURN_NOT_OK(LowerTransition(*topology, current_node,
-                                       node->placement(), current, pipe));
+                                       node->placement(), current,
+                                       copts.faults, pipe));
       current_node = node->placement();
     }
     if (copts.compiled_kernels && pending_key.empty()) {

@@ -461,6 +461,11 @@ struct CompileOptions {
   /// or placement transitions stay sequential — their state or channel
   /// ordering is not per-key-disjoint.
   size_t partitions = 1;
+  /// Fault-tolerance configuration applied to every channel this compile
+  /// lowers: `faults.profile` combines with the per-link profiles along
+  /// each channel's route, `faults.retry` configures the retransmit queue
+  /// and reorder-repair buffer of every channel pair (fault.hpp).
+  FaultToleranceOptions faults = {};
 };
 
 /// \brief Lowers a validated plan to its physical pipeline tree (schemas

@@ -30,6 +30,10 @@ struct OperatorStats {
   uint64_t events_out = 0;
   uint64_t bytes_in = 0;
   uint64_t bytes_out = 0;
+  /// Records shed instead of processed: late arrivals a stateful operator
+  /// refused (its monotonicity guard) or frames dropped by a degradation
+  /// policy. 0 for operators that never shed.
+  uint64_t events_shed = 0;
 
   /// Fraction of input events that produced output (1.0 when no input).
   double Selectivity() const {
@@ -46,6 +50,7 @@ struct OperatorStats {
     events_out += other.events_out;
     bytes_in += other.bytes_in;
     bytes_out += other.bytes_out;
+    events_shed += other.events_shed;
   }
 };
 
@@ -66,12 +71,17 @@ class FlowCounters {
     bytes_out_.fetch_add(bytes, std::memory_order_relaxed);
   }
 
+  void AddShed(uint64_t events) {
+    events_shed_.fetch_add(events, std::memory_order_relaxed);
+  }
+
   OperatorStats Snapshot() const {
     OperatorStats s;
     s.events_in = events_in_.load(std::memory_order_relaxed);
     s.events_out = events_out_.load(std::memory_order_relaxed);
     s.bytes_in = bytes_in_.load(std::memory_order_relaxed);
     s.bytes_out = bytes_out_.load(std::memory_order_relaxed);
+    s.events_shed = events_shed_.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -88,6 +98,8 @@ class FlowCounters {
                     std::memory_order_relaxed);
     bytes_out_.store(other.bytes_out_.load(std::memory_order_relaxed),
                      std::memory_order_relaxed);
+    events_shed_.store(other.events_shed_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
     return *this;
   }
 
@@ -96,6 +108,7 @@ class FlowCounters {
   std::atomic<uint64_t> events_out_{0};
   std::atomic<uint64_t> bytes_in_{0};
   std::atomic<uint64_t> bytes_out_{0};
+  std::atomic<uint64_t> events_shed_{0};
 };
 
 /// \brief Shared runtime services for one query execution.
@@ -233,10 +246,27 @@ class Operator {
     stats_.AddOut(batch.NumRows(), batch.SizeBytes());
   }
 
+  /// Records \p events records shed by a monotonicity guard or
+  /// degradation policy, mirroring into the `late_shed` instrument when
+  /// one is bound (`BindLateShed`).
+  void CountShed(uint64_t events) {
+    stats_.AddShed(events);
+    if (late_shed_counter_ != nullptr) late_shed_counter_->Add(events);
+  }
+
+  /// Stateful operators with a monotonicity guard call this from their
+  /// `BindMetrics` override to surface `op.<prefix><name>.late_shed`.
+  void BindLateShed(metrics::MetricsRegistry* registry,
+                    const std::string& prefix) {
+    late_shed_counter_ =
+        registry->GetCounter("op." + prefix + name() + ".late_shed");
+  }
+
   ExecutionContext* ctx_ = nullptr;
   FlowCounters stats_;
   metrics::Histogram* process_micros_ = nullptr;  ///< null until bound
   metrics::Histogram* batch_rows_ = nullptr;      ///< null until bound
+  metrics::Counter* late_shed_counter_ = nullptr;  ///< null until bound
 };
 
 using OperatorPtr = std::unique_ptr<Operator>;

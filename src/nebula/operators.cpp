@@ -512,6 +512,7 @@ void WindowAggOperator::WritePane(const PaneKey& key, Pane& pane,
 }
 
 Status WindowAggOperator::FireUpTo(Timestamp watermark, const EmitFn& emit) {
+  fired_through_ = std::max(fired_through_, watermark);
   TupleBufferPtr out;
   auto it = panes_.begin();
   while (it != panes_.end()) {
@@ -542,13 +543,19 @@ Status WindowAggOperator::FireUpTo(Timestamp watermark, const EmitFn& emit) {
 Status WindowAggOperator::DoProcess(const exec::Batch& input,
                                     const EmitFn& emit) {
   CountIn(input);
+  uint64_t shed = 0;
   for (size_t i = 0; i < input.NumRows(); ++i) {
     const RecordView rec = input.data->At(input.RowAt(i));
     const Timestamp t = rec.GetInt64(time_index_);
     max_event_time_ = std::max(max_event_time_, t);
     assigner_.AssignWindows(t, &scratch_starts_);
     const KeyValue key = KeyOf(rec);
+    bool joined = false;
     for (Timestamp start : scratch_starts_) {
+      // Monotonicity guard: a pane whose window already fired must not be
+      // resurrected by a late record — that would emit the window twice.
+      if (start + assigner_.size() <= fired_through_) continue;
+      joined = true;
       auto [it, inserted] = panes_.try_emplace({start, key});
       if (inserted) it->second = MakePane();
       Pane& pane = it->second;
@@ -557,7 +564,9 @@ Status WindowAggOperator::DoProcess(const exec::Batch& input,
       }
       for (auto& agg : pane.customs) agg->Add(rec, t);
     }
+    if (!joined) ++shed;
   }
+  if (shed > 0) CountShed(shed);
   // Watermark: the max event time seen, minus allowed lateness.
   if (max_event_time_ != std::numeric_limits<Timestamp>::min()) {
     return FireUpTo(max_event_time_ - options_.allowed_lateness, emit);
@@ -660,6 +669,7 @@ Status ThresholdWindowOperator::DoProcess(const exec::Batch& input,
                                           const EmitFn& emit) {
   CountIn(input);
   TupleBufferPtr out;
+  uint64_t shed = 0;
   for (size_t i = 0; i < input.NumRows(); ++i) {
     const RecordView rec = input.data->At(input.RowAt(i));
     const Timestamp t = rec.GetInt64(time_index_);
@@ -671,10 +681,20 @@ Status ThresholdWindowOperator::DoProcess(const exec::Batch& input,
     const bool holds = ValueAsBool(options_.predicate->Eval(rec));
     auto it = open_.find(key);
     if (holds) {
+      // Monotonicity guard: a satisfying record at or before the last
+      // closed window of its key belongs to a window already emitted —
+      // applying it would resurrect or skew that window, so shed it.
+      auto closed = closed_through_.find(key);
+      if (closed != closed_through_.end() && t <= closed->second) {
+        ++shed;
+        continue;
+      }
       if (it == open_.end()) {
         it = open_.emplace(std::move(key), MakeWindow(t)).first;
       }
       OpenWindow& win = it->second;
+      // Repair mild disorder inside the open window: extend both bounds.
+      win.start = std::min(win.start, t);
       win.last = std::max(win.last, t);
       for (size_t a = 0; a < options_.aggregates.size(); ++a) {
         win.states[a].Add(rec.GetNumeric(agg_field_index_[a]), t);
@@ -691,9 +711,13 @@ Status ThresholdWindowOperator::DoProcess(const exec::Batch& input,
         }
         CloseInto(it->first, it->second, out.get());
       }
+      auto [closed, inserted] =
+          closed_through_.try_emplace(it->first, it->second.last);
+      if (!inserted) closed->second = std::max(closed->second, it->second.last);
       open_.erase(it);
     }
   }
+  if (shed > 0) CountShed(shed);
   if (out && !out->empty()) {
     CountOut(*out);
     emit(out);
@@ -739,23 +763,24 @@ Status ThresholdWindowOperator::Finish(const EmitFn& emit) {
 
 namespace {
 
-// Wire frame layout: [record_count u64][sequence u64][watermark i64] then
-// `record_count * record_size` raw record bytes. Records are fixed-size
-// (text fields NUL-padded), so the payload is a straight memcpy of the
-// buffer's record region.
-constexpr size_t kFrameHeaderBytes = 3 * sizeof(uint64_t);
-
-std::vector<uint8_t> SerializeFrame(const TupleBuffer& buffer) {
+// Wire frame layout: [record_count u64][buffer_seq u64][watermark i64]
+// [channel_seq u64] then `record_count * record_size` raw record bytes
+// (see `kWireFrameHeaderBytes`). Records are fixed-size (text fields
+// NUL-padded), so the payload is a straight memcpy of the buffer's record
+// region.
+std::vector<uint8_t> SerializeFrame(const TupleBuffer& buffer,
+                                    uint64_t channel_seq) {
   const size_t payload = buffer.SizeBytes();
-  std::vector<uint8_t> frame(kFrameHeaderBytes + payload);
+  std::vector<uint8_t> frame(kWireFrameHeaderBytes + payload);
   const uint64_t count = buffer.size();
-  const uint64_t sequence = buffer.sequence_number();
+  const uint64_t buffer_seq = buffer.sequence_number();
   const int64_t watermark = buffer.watermark();
   std::memcpy(frame.data(), &count, sizeof(count));
-  std::memcpy(frame.data() + 8, &sequence, sizeof(sequence));
+  std::memcpy(frame.data() + 8, &buffer_seq, sizeof(buffer_seq));
   std::memcpy(frame.data() + 16, &watermark, sizeof(watermark));
+  std::memcpy(frame.data() + 24, &channel_seq, sizeof(channel_seq));
   if (payload > 0) {
-    std::memcpy(frame.data() + kFrameHeaderBytes, buffer.At(0).data(),
+    std::memcpy(frame.data() + kWireFrameHeaderBytes, buffer.At(0).data(),
                 payload);
   }
   return frame;
@@ -774,14 +799,24 @@ Result<OperatorPtr> NetworkChannelSink::Make(
 Status NetworkChannelSink::Process(const TupleBufferPtr& input,
                                    const EmitFn& emit) {
   CountIn(*input);
-  std::vector<uint8_t> frame = SerializeFrame(*input);
+  std::vector<uint8_t> frame = SerializeFrame(*input, next_seq_);
   const uint64_t wire = frame.size();
-  channel_->Send(std::move(frame), input->SizeBytes(), input->size());
+  channel_->Send(next_seq_, std::move(frame), input->SizeBytes(),
+                 input->size());
+  ++next_seq_;
   // Wire-byte accounting (CountOut would count the unserialized buffer).
   stats_.AddOut(input->size(), wire);
   // The emitted buffer only drives the paired NetworkChannelSource, which
   // reads the serialized frame from the channel instead.
   emit(input);
+  return Status::OK();
+}
+
+Status NetworkChannelSink::Finish(const EmitFn& /*emit*/) {
+  // End of stream: nothing more will push frames past the injector's
+  // reorder slot or age its delay queue, so release them now. The paired
+  // source's Finish runs after this one (chain order) and drains them.
+  channel_->FlushFaults();
   return Status::OK();
 }
 
@@ -793,51 +828,108 @@ Result<OperatorPtr> NetworkChannelSource::Make(
   return OperatorPtr(new NetworkChannelSource(schema, std::move(channel)));
 }
 
-Status NetworkChannelSource::Drain(const EmitFn& emit) {
-  std::vector<uint8_t> frame;
-  while (channel_->Receive(&frame)) {
-    if (frame.size() < kFrameHeaderBytes) {
-      return Status::Internal("network frame shorter than its header");
-    }
-    uint64_t count = 0;
-    uint64_t sequence = 0;
-    int64_t watermark = 0;
-    std::memcpy(&count, frame.data(), sizeof(count));
-    std::memcpy(&sequence, frame.data() + 8, sizeof(sequence));
-    std::memcpy(&watermark, frame.data() + 16, sizeof(watermark));
-    const size_t record_size = schema_.record_size();
-    if (frame.size() != kFrameHeaderBytes + count * record_size) {
-      return Status::Internal(
-          "network frame payload does not match its record count");
-    }
-    stats_.AddIn(count, frame.size());
-    const uint8_t* payload = frame.data() + kFrameHeaderBytes;
-    // Reconstruct buffers, splitting when a frame outsizes the pool shape.
-    uint64_t emitted = 0;
-    do {
-      TupleBufferPtr out = ctx_->Allocate(schema_);
-      out->set_sequence_number(sequence);
-      out->set_watermark(watermark);
-      const uint64_t chunk =
-          std::min<uint64_t>(count - emitted, out->capacity());
-      out->AppendRecords(payload + emitted * record_size, chunk);
-      emitted += chunk;
-      CountOut(*out);
-      emit(out);
-    } while (emitted < count);
+Status NetworkChannelSource::StashFrame(std::vector<uint8_t> frame) {
+  if (frame.size() < kWireFrameHeaderBytes) {
+    return Status::Internal("network frame shorter than its header");
+  }
+  PendingFrame pending;
+  uint64_t channel_seq = 0;
+  std::memcpy(&pending.count, frame.data(), sizeof(pending.count));
+  std::memcpy(&pending.buffer_seq, frame.data() + 8,
+              sizeof(pending.buffer_seq));
+  std::memcpy(&pending.watermark, frame.data() + 16,
+              sizeof(pending.watermark));
+  std::memcpy(&channel_seq, frame.data() + 24, sizeof(channel_seq));
+  if (frame.size() !=
+      kWireFrameHeaderBytes + pending.count * schema_.record_size()) {
+    return Status::Internal(
+        "network frame payload does not match its record count");
+  }
+  stats_.AddIn(pending.count, frame.size());
+  // Duplicate suppression: already released, or already waiting.
+  if (channel_seq < next_seq_ || pending_.count(channel_seq) > 0) {
+    channel_->NoteDuplicateSuppressed();
+    return Status::OK();
+  }
+  pending.frame = std::move(frame);
+  pending_.emplace(channel_seq, std::move(pending));
+  return Status::OK();
+}
+
+Status NetworkChannelSource::EmitFrame(const PendingFrame& pending,
+                                       const EmitFn& emit) {
+  const size_t record_size = schema_.record_size();
+  const uint8_t* payload = pending.frame.data() + kWireFrameHeaderBytes;
+  // Clamp the watermark monotonic per channel: reorder repair restores
+  // frame order, but a retransmitted or delayed frame may still carry a
+  // watermark older than one already emitted.
+  const int64_t watermark = std::max(pending.watermark, last_watermark_);
+  last_watermark_ = watermark;
+  // Reconstruct buffers, splitting when a frame outsizes the pool shape.
+  uint64_t emitted = 0;
+  do {
+    TupleBufferPtr out = ctx_->Allocate(schema_);
+    out->set_sequence_number(pending.buffer_seq);
+    out->set_watermark(watermark);
+    const uint64_t chunk =
+        std::min<uint64_t>(pending.count - emitted, out->capacity());
+    out->AppendRecords(payload + emitted * record_size, chunk);
+    emitted += chunk;
+    CountOut(*out);
+    emit(out);
+  } while (emitted < pending.count);
+  return Status::OK();
+}
+
+Status NetworkChannelSource::ReleaseReady(const EmitFn& emit) {
+  while (!pending_.empty() && pending_.begin()->first == next_seq_) {
+    PendingFrame pending = std::move(pending_.begin()->second);
+    pending_.erase(pending_.begin());
+    NM_RETURN_NOT_OK(EmitFrame(pending, emit));
+    channel_->Ack(next_seq_);
+    ++next_seq_;
   }
   return Status::OK();
+}
+
+Status NetworkChannelSource::Drain(const EmitFn& emit, bool at_end) {
+  for (;;) {
+    std::vector<uint8_t> frame;
+    while (channel_->Receive(&frame)) {
+      NM_RETURN_NOT_OK(StashFrame(std::move(frame)));
+    }
+    NM_RETURN_NOT_OK(ReleaseReady(emit));
+    // After releasing the in-sequence prefix, anything still pending sits
+    // behind a gap at next_seq_. Repair it when the buffer overflows its
+    // bound, or at end-of-stream when the sender's tail never arrived.
+    const RetryOptions& retry = channel_->retry_options();
+    const bool overflow = pending_.size() > retry.reorder_capacity;
+    const bool tail_missing = at_end && next_seq_ < channel_->seq_end();
+    if (!overflow && !tail_missing) return Status::OK();
+    Status repair = channel_->RequestRetransmit(next_seq_);
+    if (repair.ok()) continue;  // re-sent; the next Receive round has it
+    // Unrecoverable gap: degrade by policy.
+    if (retry.shed_policy == ShedPolicy::kBlock) {
+      return Status(repair.code(), "network channel " +
+                                       channel_->EndpointsString() +
+                                       ": " + repair.message());
+    }
+    channel_->NoteFrameLost(1);
+    ++next_seq_;  // skip the gap; frames behind it release next round
+  }
 }
 
 Status NetworkChannelSource::Process(const TupleBufferPtr& input,
                                      const EmitFn& emit) {
   (void)input;  // scheduling hand-off only; data arrives via the channel
-  return Drain(emit);
+  return Drain(emit, /*at_end=*/false);
 }
 
 Status NetworkChannelSource::Finish(const EmitFn& emit) {
-  // Frames flushed by upstream Finish calls land here.
-  return Drain(emit);
+  // Frames flushed by upstream Finish calls (including the paired sink's
+  // fault flush) land here; recover any missing tail before reporting
+  // end-of-stream.
+  return Drain(emit, /*at_end=*/true);
 }
 
 // --- Sinks -------------------------------------------------------------------

@@ -145,6 +145,13 @@ struct WindowAggOptions {
 /// custom-aggregator fields. Panes fire when the watermark (max event time −
 /// allowed lateness) passes their window end; `Finish` flushes the rest in
 /// deterministic (window, key) order.
+///
+/// Monotonicity guard: a record whose every assigned pane already fired
+/// (its window end ≤ the highest watermark this operator fired up to)
+/// cannot be applied without re-emitting a closed window, so it is shed
+/// and counted (`events_shed` / `op.<path>.WindowAgg.late_shed`) instead
+/// of faulting or double-firing. Records late within `allowed_lateness`
+/// still join their live panes as before.
 class WindowAggOperator : public Operator {
  public:
   static Result<OperatorPtr> Make(const Schema& input,
@@ -159,6 +166,11 @@ class WindowAggOperator : public Operator {
   Status ProcessBatch(const exec::Batch& input,
                       const BatchEmitFn& emit) override;
   Status Finish(const EmitFn& emit) override;
+  void BindMetrics(metrics::MetricsRegistry* registry,
+                   const std::string& prefix) override {
+    Operator::BindMetrics(registry, prefix);
+    BindLateShed(registry, prefix);
+  }
 
  private:
   struct Pane {
@@ -188,6 +200,9 @@ class WindowAggOperator : public Operator {
   size_t custom_first_field_ = 0;
   std::map<PaneKey, Pane> panes_;
   Timestamp max_event_time_ = std::numeric_limits<Timestamp>::min();
+  /// Highest watermark `FireUpTo` ran with; panes ending at or before it
+  /// are closed for good (guard against late-record pane resurrection).
+  Timestamp fired_through_ = std::numeric_limits<Timestamp>::min();
   std::vector<Timestamp> scratch_starts_;
 };
 
@@ -220,6 +235,11 @@ class ThresholdWindowOperator : public Operator {
   Status ProcessBatch(const exec::Batch& input,
                       const BatchEmitFn& emit) override;
   Status Finish(const EmitFn& emit) override;
+  void BindMetrics(metrics::MetricsRegistry* registry,
+                   const std::string& prefix) override {
+    Operator::BindMetrics(registry, prefix);
+    BindLateShed(registry, prefix);
+  }
 
  private:
   struct OpenWindow {
@@ -246,14 +266,28 @@ class ThresholdWindowOperator : public Operator {
   std::vector<size_t> agg_field_index_;
   size_t custom_first_field_ = 0;
   std::map<KeyValue, OpenWindow> open_;
+  /// Per key, the `last` timestamp of the most recently closed window. A
+  /// satisfying record at or before it would resurrect a window already
+  /// emitted, so the monotonicity guard sheds it instead (counted).
+  std::map<KeyValue, Timestamp> closed_through_;
 };
 
 // --- Network channel pair ---------------------------------------------------
 
+/// Wire frame header size: `[record_count u64][buffer_seq u64]
+/// [watermark i64][channel_seq u64]`, followed by the raw record bytes.
+/// `buffer_seq`/`watermark` restore the buffer metadata downstream;
+/// `channel_seq` is the contiguous per-channel delivery sequence the
+/// retransmit/reorder-repair protocol runs on.
+inline constexpr size_t kWireFrameHeaderBytes = 4 * sizeof(uint64_t);
+
 /// \brief Upstream half of a lowered node transition: serializes each
-/// input buffer into a wire frame (24-byte header carrying record count,
-/// sequence number and watermark, then the raw record bytes) and sends it
-/// over the `NetworkChannel`.
+/// input buffer into a wire frame (32-byte header, see
+/// `kWireFrameHeaderBytes`, then the raw record bytes) and sends it over
+/// the `NetworkChannel` under a contiguous channel sequence number. The
+/// channel retains a bounded copy of each unacknowledged frame so the
+/// paired source can request retransmits; `Finish` flushes any frames the
+/// fault injector is still holding (reorder slot, delay queue).
 ///
 /// `CompilePlan` always places the paired `NetworkChannelSource`
 /// immediately downstream; the buffer this operator emits is only the
@@ -269,6 +303,7 @@ class NetworkChannelSink : public Operator {
   std::string name() const override { return "NetworkChannelSink"; }
   const Schema& output_schema() const override { return schema_; }
   Status Process(const TupleBufferPtr& input, const EmitFn& emit) override;
+  Status Finish(const EmitFn& emit) override;
 
   const std::shared_ptr<NetworkChannel>& channel() const { return channel_; }
 
@@ -277,14 +312,28 @@ class NetworkChannelSink : public Operator {
       : schema_(std::move(schema)), channel_(std::move(channel)) {}
   Schema schema_;
   std::shared_ptr<NetworkChannel> channel_;
+  uint64_t next_seq_ = 0;  ///< next channel sequence number to assign
 };
 
 /// \brief Downstream half of a node transition: drains its channel,
 /// deserializes each wire frame into freshly allocated buffers (restoring
-/// sequence numbers and watermarks) and emits them. The input buffer it
-/// receives from the paired `NetworkChannelSink` is ignored — it only
-/// schedules the drain. Stats: `bytes_in` counts wire bytes, `bytes_out`
-/// the reconstructed record payload.
+/// buffer sequence numbers and watermarks) and emits them. The input
+/// buffer it receives from the paired `NetworkChannelSink` is ignored —
+/// it only schedules the drain.
+///
+/// Delivery hardening: frames land in a bounded reorder-repair buffer
+/// keyed by channel sequence and are released strictly in sequence order;
+/// duplicates are suppressed, acknowledged frames are released from the
+/// sender's retransmit queue, and a gap (dropped frame) is repaired by
+/// requesting a retransmit — immediately when the repair buffer
+/// overflows its capacity, and at `Finish` for any missing tail. An
+/// unrecoverable gap (channel dead, frame shed from the retransmit queue,
+/// or retransmit attempts exhausted) follows the channel's shed policy:
+/// `kBlock` fails the query with a `Status` naming the channel, the drop
+/// policies skip the gap and count the frames as lost. Watermarks are
+/// clamped per channel so repair-buffer release never regresses them.
+/// Stats: `bytes_in` counts wire bytes, `bytes_out` the reconstructed
+/// record payload.
 class NetworkChannelSource : public Operator {
  public:
   static Result<OperatorPtr> Make(const Schema& schema,
@@ -296,13 +345,40 @@ class NetworkChannelSource : public Operator {
   Status Finish(const EmitFn& emit) override;
 
  private:
+  /// One parsed frame waiting in the reorder-repair buffer.
+  struct PendingFrame {
+    uint64_t count = 0;       ///< record count (parsed header)
+    uint64_t buffer_seq = 0;  ///< original buffer sequence number
+    int64_t watermark = 0;
+    std::vector<uint8_t> frame;  ///< full wire frame (payload after header)
+  };
+
   NetworkChannelSource(Schema schema, std::shared_ptr<NetworkChannel> channel)
       : schema_(std::move(schema)), channel_(std::move(channel)) {}
 
-  Status Drain(const EmitFn& emit);
+  /// Receives everything currently deliverable, repairs gaps (always under
+  /// buffer pressure; also the missing tail when \p at_end), and emits
+  /// released frames in sequence order.
+  Status Drain(const EmitFn& emit, bool at_end);
+  /// Parses one wire frame into the repair buffer (suppressing
+  /// duplicates).
+  Status StashFrame(std::vector<uint8_t> frame);
+  /// Releases the in-sequence prefix of the repair buffer and
+  /// acknowledges it.
+  Status ReleaseReady(const EmitFn& emit);
+  /// Deserializes one released frame into pooled buffers and emits them.
+  Status EmitFrame(const PendingFrame& pending, const EmitFn& emit);
 
   Schema schema_;
   std::shared_ptr<NetworkChannel> channel_;
+  /// Reorder-repair buffer keyed by channel sequence; bounded by
+  /// `retry_options().reorder_capacity` (overflow triggers gap repair).
+  std::map<uint64_t, PendingFrame> pending_;
+  uint64_t next_seq_ = 0;  ///< next channel sequence to release
+  /// Per-channel watermark clamp: emitted watermarks are monotonic even
+  /// when the repair path reconstructs frames whose stored watermarks ran
+  /// backwards.
+  int64_t last_watermark_ = std::numeric_limits<int64_t>::min();
 };
 
 // --- Sinks -------------------------------------------------------------------

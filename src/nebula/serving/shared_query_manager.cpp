@@ -251,6 +251,7 @@ Status SharedQueryManager::Start(int vid) {
 
 Status SharedQueryManager::Wait(int vid) {
   int engine_id = -1;
+  int branch_id = -1;
   {
     MutexLock lock(mutex_);
     auto it = members_.find(vid);
@@ -265,9 +266,17 @@ Status SharedQueryManager::Wait(int vid) {
         return Status::FailedPrecondition("virtual query not started");
       }
       engine_id = group.host_id;
+      branch_id = member.branch_id;
     }
   }
-  return engine_->Wait(engine_id);
+  Status host = engine_->Wait(engine_id);
+  // A branch that failed mid-run detached without failing the host (fault
+  // isolation): the host wait comes back OK, so surface the branch's own
+  // failure to the client that owns it.
+  if (host.ok() && branch_id >= 0) {
+    return engine_->BranchStatus(engine_id, branch_id);
+  }
+  return host;
 }
 
 Status SharedQueryManager::Cancel(int vid) {

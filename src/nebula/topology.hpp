@@ -30,6 +30,7 @@
 
 #include "common/status.hpp"
 #include "common/time.hpp"
+#include "nebula/fault.hpp"
 #include "nebula/operator.hpp"
 
 namespace nebulameos::nebula {
@@ -52,6 +53,10 @@ struct TopologyLink {
   int to = 0;
   double bandwidth_bytes_per_sec = 0.0;
   Duration latency = 0;
+  /// Fault behaviour of this link (default: perfectly reliable). Channels
+  /// routed over the link combine the profiles of every hop with the
+  /// engine-level profile (fault.hpp).
+  FaultProfile fault = {};
 };
 
 /// \brief A topology: nodes + links with lookup helpers.
@@ -121,6 +126,20 @@ struct DeploymentReport {
   uint64_t wire_bytes = 0;
   /// Frames shipped across all channels (measured reports only).
   uint64_t frames = 0;
+
+  // --- Fault accounting (measured reports only; all zero when every
+  // channel ran fault-free) ---
+  uint64_t frames_dropped = 0;     ///< injected in-transit losses
+  uint64_t frames_duplicated = 0;  ///< injected duplicate deliveries
+  uint64_t frames_reordered = 0;   ///< injected swaps with a later frame
+  uint64_t frames_delayed = 0;     ///< injected multi-send delays
+  uint64_t retransmits = 0;        ///< recovery re-sends that succeeded
+  uint64_t frames_shed = 0;        ///< shed by policy (retain queue or gap)
+  uint64_t duplicates_suppressed = 0;  ///< receiver-side dedup hits
+  uint64_t frames_lost = 0;  ///< unrecoverable frames skipped by policy
+  /// Worst health across the measured channels: Degraded once any fault
+  /// was observed, Disconnected once any channel died.
+  HealthState health = HealthState::kHealthy;
 };
 
 /// \brief One simulated network connection between two placed pipeline
@@ -133,25 +152,76 @@ struct DeploymentReport {
 /// frames, record payload bytes, serialized wire bytes, and the transfer
 /// seconds implied by each hop's bandwidth and latency — so a deployment
 /// report can be *measured* instead of priced.
+///
+/// Channels are reliable by default. `ConfigureFaults` arms a seeded
+/// `FaultInjector` (fault.hpp) that drops, duplicates, reorders, delays
+/// or disconnects frames deterministically, plus the retransmit machinery
+/// that repairs those faults: every `Send` retains a bounded copy of the
+/// frame keyed by its channel sequence number until the receiver `Ack`s
+/// it; a receiver that detects a gap calls `RequestRetransmit`, which
+/// re-injects the retained copy and prices the retry's exponential
+/// backoff (plus seeded jitter) into the channel's transfer seconds.
 class NetworkChannel {
  public:
   /// Resolves the cheapest route from \p from to \p to in \p topology and
   /// pre-classifies which hops are cellular uplink (edge → non-edge).
-  /// Fails when an endpoint is unknown or no route exists.
+  /// The fault profiles of the route's links combine into the channel's
+  /// base profile (reliable links leave it empty). Fails when an endpoint
+  /// is unknown or no route exists.
   static Result<std::shared_ptr<NetworkChannel>> Connect(
       const Topology& topology, int from, int to);
 
   int from_node() const { return from_; }
   int to_node() const { return to_; }
   const std::vector<TopologyLink>& route() const { return route_; }
+  std::string EndpointsString() const {
+    return std::to_string(from_) + "->" + std::to_string(to_);
+  }
+
+  /// Arms fault injection and recovery: the effective profile combines
+  /// \p profile (engine- or env-level) with the route's link profiles,
+  /// and \p retry bounds the retransmit queue and repair buffer. Call
+  /// before the first `Send`; a profile with no behaviour and default
+  /// retry options keep the channel on the zero-overhead reliable path.
+  void ConfigureFaults(const FaultProfile& profile, const RetryOptions& retry);
+
+  /// The effective fault profile (link profiles combined with whatever
+  /// `ConfigureFaults` added; empty when unconfigured and reliable).
+  const FaultProfile& fault_profile() const { return effective_profile_; }
+  const RetryOptions& retry_options() const { return retry_; }
 
   /// Enqueues one serialized frame of \p payload_bytes record bytes
-  /// carrying \p events records, accounting the transfer on every hop.
-  void Send(std::vector<uint8_t> frame, uint64_t payload_bytes,
+  /// carrying \p events records under channel sequence number \p seq
+  /// (sender-assigned, contiguous from 0), accounting the transfer on
+  /// every hop and applying the injected fault fate, if any. Sends on a
+  /// disconnected channel are silently lost (counted).
+  void Send(uint64_t seq, std::vector<uint8_t> frame, uint64_t payload_bytes,
             uint64_t events);
 
-  /// Pops the next in-flight frame; false when the channel is drained.
+  /// Pops the next in-flight frame; false when the channel is drained
+  /// (or dead).
   bool Receive(std::vector<uint8_t>* frame);
+
+  /// Receiver acknowledgement: retained copies of every frame with
+  /// sequence number <= \p up_to_seq are released.
+  void Ack(uint64_t up_to_seq);
+
+  /// Receiver-driven recovery of frame \p seq: re-injects the retained
+  /// copy (pricing the attempt's backoff into the transfer seconds) so the
+  /// next `Receive` round can pick it up. Fails `Unavailable` when the
+  /// channel is disconnected, `DataLoss` when the frame's retained copy
+  /// was shed or never retained, `ResourceExhausted` past the attempt cap.
+  Status RequestRetransmit(uint64_t seq);
+
+  /// Releases any fault-held frames (the reorder slot, delayed frames)
+  /// into the in-flight queue — the sender's end-of-stream flush, so no
+  /// frame stays parked behind a send that never comes. No-op when dead.
+  void FlushFaults();
+
+  /// Permanently kills the channel, dropping in-flight, held and retained
+  /// frames: the mid-run disconnect the degradation tests script, and the
+  /// fate a `disconnect_after_frames` profile triggers on its own.
+  void Kill();
 
   // --- Traffic counters (readable while the query runs; each accessor
   // takes the channel lock the sender writes under) ---
@@ -163,10 +233,38 @@ class NetworkChannel {
   uint64_t payload_bytes() const { return Locked(payload_bytes_); }
   /// Serialized bytes shipped, frame headers included.
   uint64_t wire_bytes() const { return Locked(wire_bytes_); }
-  /// Sum over frames and hops of wire_bytes/bandwidth + latency.
+  /// Sum over frames and hops of wire_bytes/bandwidth + latency, plus
+  /// retransmission backoff.
   double transfer_seconds() const { return Locked(transfer_seconds_); }
   /// True when any hop leaves an edge worker for a non-edge node.
   bool crosses_uplink() const { return crosses_uplink_; }
+
+  // --- Fault state (all zero / Healthy on the reliable path) ---
+
+  bool disconnected() const { return Locked(disconnected_); }
+  /// One past the highest sequence number accepted by `Send` — what the
+  /// receiver must account for before declaring end-of-stream.
+  uint64_t seq_end() const { return Locked(seq_end_); }
+  uint64_t frames_dropped() const { return Locked(dropped_); }
+  uint64_t frames_duplicated() const { return Locked(duplicated_); }
+  uint64_t frames_reordered() const { return Locked(reordered_); }
+  uint64_t frames_delayed() const { return Locked(delayed_); }
+  uint64_t retransmits() const { return Locked(retransmits_); }
+  /// Frames shed from the retain queue by policy plus gaps skipped by the
+  /// receiver's shed policy.
+  uint64_t frames_shed() const { return Locked(shed_); }
+  uint64_t duplicates_suppressed() const { return Locked(dup_suppressed_); }
+  uint64_t frames_lost() const { return Locked(lost_); }
+
+  /// `Disconnected` when dead, `Degraded` once any fault/shed/loss was
+  /// observed, else `Healthy`.
+  HealthState health() const;
+
+  /// Receiver-side bookkeeping hooks (`NetworkChannelSource`): surfaced
+  /// here so deployment reports and metrics see the full per-channel
+  /// fault story in one place.
+  void NoteDuplicateSuppressed();
+  void NoteFrameLost(uint64_t frames);
 
   /// Resolves this channel's live instruments: wire-byte/frame/event
   /// counters plus a per-frame transfer-latency histogram, recorded on
@@ -180,6 +278,16 @@ class NetworkChannel {
     m_frames_ = frames;
     m_events_ = events;
     m_transfer_micros_ = transfer_micros;
+  }
+
+  /// Fault-path instruments, bound alongside `BindMetrics` when a fault
+  /// profile is armed: injected drops, receiver retransmits, and frames
+  /// shed or lost by policy. All three set together.
+  void BindFaultMetrics(metrics::Counter* dropped, metrics::Counter* retrans,
+                        metrics::Counter* shed) {
+    m_dropped_ = dropped;
+    m_retransmits_ = retrans;
+    m_shed_ = shed;
   }
 
  private:
@@ -203,6 +311,24 @@ class NetworkChannel {
     return counter;
   }
 
+  /// A retained frame awaiting acknowledgement.
+  struct Retained {
+    std::vector<uint8_t> frame;
+    uint64_t payload_bytes = 0;
+    uint64_t events = 0;
+    uint32_t attempts = 0;  ///< retransmission attempts so far
+  };
+
+  /// Seconds one frame of \p wire_bytes takes across the whole route.
+  double RouteSeconds(size_t wire_bytes) const;
+
+  /// Appends \p frame to the in-flight queue, releasing a held reorder
+  /// slot behind it. Caller holds `mutex_`.
+  void Deliver(std::vector<uint8_t> frame);
+
+  /// Kills the channel. Caller holds `mutex_`.
+  void KillLocked();
+
   int from_ = 0;
   int to_ = 0;
   std::vector<TopologyLink> route_;
@@ -217,12 +343,44 @@ class NetworkChannel {
   uint64_t wire_bytes_ = 0;
   double transfer_seconds_ = 0.0;
 
+  // --- Fault machinery (inert until ConfigureFaults arms the injector
+  // or a link profile configures one) ---
+  FaultProfile link_profile_;       ///< combined route-link profiles
+  FaultProfile effective_profile_;  ///< link + configured profiles
+  RetryOptions retry_;
+  std::unique_ptr<FaultInjector> injector_;  ///< null = reliable fast path
+  bool retain_frames_ = false;  ///< retain copies for retransmission
+  std::map<uint64_t, Retained> retained_;
+  uint64_t seq_end_ = 0;       ///< one past the highest seq sent
+  uint64_t acked_through_ = 0;  ///< one past the highest acked seq
+  bool disconnected_ = false;
+  /// One frame held back so the next send overtakes it (reorder fate).
+  std::vector<uint8_t> reorder_slot_;
+  bool reorder_held_ = false;
+  /// Frames held back for `release_after` further sends (delay fate).
+  struct DelayedFrame {
+    std::vector<uint8_t> frame;
+    uint64_t release_after = 0;
+  };
+  std::deque<DelayedFrame> delayed_frames_;
+  uint64_t dropped_ = 0;
+  uint64_t duplicated_ = 0;
+  uint64_t reordered_ = 0;
+  uint64_t delayed_ = 0;
+  uint64_t retransmits_ = 0;
+  uint64_t shed_ = 0;
+  uint64_t dup_suppressed_ = 0;
+  uint64_t lost_ = 0;
+
   // Metrics instruments (null until bound; set before the run starts and
   // immutable afterwards, so the sender reads them without the lock).
   metrics::Counter* m_wire_bytes_ = nullptr;
   metrics::Counter* m_frames_ = nullptr;
   metrics::Counter* m_events_ = nullptr;
   metrics::Histogram* m_transfer_micros_ = nullptr;
+  metrics::Counter* m_dropped_ = nullptr;
+  metrics::Counter* m_retransmits_ = nullptr;
+  metrics::Counter* m_shed_ = nullptr;
 };
 
 /// \brief Aggregates the traffic a set of executed channels carried into

@@ -2,8 +2,9 @@
 
 namespace nebulameos::nebula {
 
-WorkerPool::WorkerPool(size_t workers, size_t strand_capacity)
-    : strand_capacity_(strand_capacity) {
+WorkerPool::WorkerPool(size_t workers, size_t strand_capacity,
+                       ShedPolicy shed_policy)
+    : strand_capacity_(strand_capacity), shed_policy_(shed_policy) {
   if (workers == 0) workers = 1;
   threads_.reserve(workers);
   for (size_t i = 0; i < workers; ++i) {
@@ -30,12 +31,25 @@ void WorkerPool::Strand::Post(std::function<void()> task) {
 }
 
 void WorkerPool::Post(Strand* strand, std::function<void()> task) {
+  // Destroyed after the lock releases: shedding the oldest morsel drops
+  // its captured buffer handles, whose recycling must not run under the
+  // pool mutex.
+  std::function<void()> shed;
   MutexLock lock(mutex_);
   // Only external threads honour the bound: a worker blocking on a full
   // strand could leave every worker blocked with no one left to drain.
   if (strand_capacity_ > 0 && !OnWorkerThread()) {
-    while (strand->tasks_.size() >= strand_capacity_ && !stop_) {
-      space_cv_.Wait(mutex_);
+    if (shed_policy_ == ShedPolicy::kBlock) {
+      while (strand->tasks_.size() >= strand_capacity_ && !stop_) {
+        space_cv_.Wait(mutex_);
+      }
+    } else if (strand->tasks_.size() >= strand_capacity_ && !stop_) {
+      // Degradation instead of backpressure: make room by policy.
+      tasks_shed_.fetch_add(1, std::memory_order_relaxed);
+      if (shed_policy_ == ShedPolicy::kDropLate) return;
+      shed = std::move(strand->tasks_.front());  // kDropOldest
+      strand->tasks_.pop_front();
+      if (--pending_ == 0) drained_cv_.NotifyAll();
     }
   }
   if (stop_) return;

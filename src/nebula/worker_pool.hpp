@@ -18,12 +18,19 @@
 /// memory these posts pin is already bounded by the buffer pools backing
 /// the batches they carry.
 ///
+/// Graceful degradation: a `ShedPolicy` other than the default `kBlock`
+/// turns saturation into load shedding instead of backpressure —
+/// `kDropOldest` evicts the oldest queued morsel of the full strand,
+/// `kDropLate` refuses the incoming one. Shed morsels are counted
+/// (`tasks_shed`), never silently lost from the accounting.
+///
 /// The locking discipline (one pool mutex guarding every strand's queue)
 /// is machine-checked: the CI clang build runs `-Wthread-safety` over the
 /// `NM_GUARDED_BY`/`NM_REQUIRES` annotations below.
 
 #pragma once
 
+#include <atomic>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -31,6 +38,7 @@
 #include <vector>
 
 #include "common/mutex.hpp"
+#include "nebula/fault.hpp"
 
 namespace nebulameos::nebula {
 
@@ -62,7 +70,11 @@ class WorkerPool {
 
   /// Spawns \p workers threads. \p strand_capacity bounds each strand's
   /// queued (not yet started) tasks for non-worker posters; 0 = unbounded.
-  explicit WorkerPool(size_t workers, size_t strand_capacity = 0);
+  /// \p shed_policy decides what a non-worker post does at the bound:
+  /// block until capacity frees (default), or shed a morsel (see file
+  /// comment). Worker posts always enqueue regardless.
+  explicit WorkerPool(size_t workers, size_t strand_capacity = 0,
+                      ShedPolicy shed_policy = ShedPolicy::kBlock);
 
   /// Runs every remaining task to completion, then joins the workers.
   ~WorkerPool();
@@ -82,6 +94,11 @@ class WorkerPool {
 
   size_t num_workers() const { return threads_.size(); }
 
+  /// Morsels shed at saturated strand queues (0 under `kBlock`).
+  uint64_t tasks_shed() const {
+    return tasks_shed_.load(std::memory_order_relaxed);
+  }
+
  private:
   void Post(Strand* strand, std::function<void()> task) NM_EXCLUDES(mutex_);
   void WorkerMain() NM_EXCLUDES(mutex_);
@@ -95,6 +112,8 @@ class WorkerPool {
   /// Posted tasks not yet completed.
   size_t pending_ NM_GUARDED_BY(mutex_) = 0;
   size_t strand_capacity_;
+  ShedPolicy shed_policy_;
+  std::atomic<uint64_t> tasks_shed_{0};
   bool stop_ NM_GUARDED_BY(mutex_) = false;
   std::vector<std::thread> threads_;  // immutable after construction
 };

@@ -1,10 +1,14 @@
 // Failure-injection and robustness tests: source errors mid-stream,
-// logging levels, execution-context pooling, CSV parse errors.
+// logging levels, execution-context pooling, CSV parse errors, the
+// all-errors root-cause model, and shared-host branch-failure isolation.
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+
 #include "common/logging.hpp"
 #include "nebula/engine.hpp"
+#include "nebula/serving/shared_query_manager.hpp"
 
 namespace nebulameos::nebula {
 namespace {
@@ -154,6 +158,111 @@ TEST(EngineFailures, EmptySourceCompletesCleanly) {
   ASSERT_TRUE(id.ok());
   EXPECT_TRUE(engine.RunToCompletion(*id).ok());
   EXPECT_EQ(sink->events(), 0u);
+}
+
+// A sink that accepts `good` events and then fails every Consume.
+class FailingSink : public SinkOperator {
+ public:
+  FailingSink(Schema schema, uint64_t good)
+      : SinkOperator(std::move(schema)), good_(good) {}
+  std::string name() const override { return "FailingSink"; }
+
+ protected:
+  Status Consume(const exec::Batch& batch) override {
+    if (consumed_.fetch_add(batch.NumRows()) >= good_) {
+      return Status::Internal("downstream store rejected the write");
+    }
+    return Status::OK();
+  }
+
+ private:
+  uint64_t good_;
+  std::atomic<uint64_t> consumed_{0};
+};
+
+std::vector<std::vector<Value>> FailureRows(int n) {
+  std::vector<std::vector<Value>> rows;
+  for (int i = 0; i < n; ++i) {
+    rows.push_back({Value(int64_t{i % 3}), Value(Seconds(i)),
+                    Value(static_cast<double>(i))});
+  }
+  return rows;
+}
+
+SourcePtr SharedNamedSource(int n) {
+  auto src = std::make_unique<MemorySource>(EventSchema(), FailureRows(n), 1,
+                                            "ts");
+  src->SetLogicalName("trains");
+  return src;
+}
+
+TEST(EngineFailures, RootCauseCarriesTaskPath) {
+  SetLogLevel(LogLevel::kOff);
+  NodeEngine engine;
+  auto sink = std::make_shared<CountingSink>(EventSchema());
+  auto id = engine.Submit(
+      Query::From(std::make_unique<FailingSource>(EventSchema(), 100))
+          .To(sink));
+  ASSERT_TRUE(id.ok());
+  const Status status = engine.RunToCompletion(*id);
+  ASSERT_FALSE(status.ok());
+  // The all-errors model tags every recorded failure with its task path
+  // and reports the first *root* cause (non-Cancelled) with that path.
+  EXPECT_NE(status.message().find("[root]"), std::string::npos)
+      << status.ToString();
+  EXPECT_NE(status.message().find("sensor bus failure"), std::string::npos);
+  SetLogLevel(LogLevel::kWarn);
+}
+
+// One member of a shared host fails mid-stream (its sink rejects writes):
+// the failed branch detaches with a descriptive Status while the sibling
+// member and the shared ingest keep running to completion.
+void RunSharedHostBranchIsolation(size_t workers) {
+  SetLogLevel(LogLevel::kOff);
+  EngineOptions options;
+  options.worker_threads = workers;
+  options.tuples_per_buffer = 8;
+  NodeEngine engine(options);
+  serving::SharedQueryManager manager(&engine);
+
+  auto healthy_sink = std::make_shared<CollectSink>(EventSchema());
+  auto healthy = manager.Submit(Query::From(SharedNamedSource(200))
+                                    .Filter(Ge(Attribute("value"), Lit(0.0)))
+                                    .To(healthy_sink));
+  ASSERT_TRUE(healthy.ok()) << healthy.status().ToString();
+  auto failing_sink = std::make_shared<FailingSink>(EventSchema(), 32);
+  auto failing = manager.Submit(Query::From(SharedNamedSource(200))
+                                    .Filter(Ge(Attribute("value"), Lit(0.0)))
+                                    .To(failing_sink));
+  ASSERT_TRUE(failing.ok()) << failing.status().ToString();
+  ASSERT_EQ(manager.NumHostedPlans(), 1u);  // one shared host for both
+
+  ASSERT_TRUE(manager.Start(*healthy).ok());
+  // The host completes despite the failed branch...
+  EXPECT_TRUE(manager.Wait(*healthy).ok());
+  // ...the healthy member saw the whole stream...
+  EXPECT_EQ(healthy_sink->RowCount(), 200u);
+  // ...and the failed member's owner sees its branch's own failure,
+  // carrying the detachment context.
+  const Status failed = manager.Wait(*failing);
+  EXPECT_FALSE(failed.ok());
+  EXPECT_NE(failed.message().find("detached"), std::string::npos)
+      << failed.ToString();
+  EXPECT_NE(failed.message().find("downstream store rejected"),
+            std::string::npos)
+      << failed.ToString();
+  // Cancelling the already-failed member is clean (idempotent detach).
+  EXPECT_TRUE(manager.Cancel(*failing).ok());
+  EXPECT_TRUE(manager.Cancel(*healthy).ok());
+  SetLogLevel(LogLevel::kWarn);
+}
+
+TEST(EngineFailures, SharedHostIsolatesFailedBranchSingleWorker) {
+  RunSharedHostBranchIsolation(1);
+}
+
+TEST(EngineFailures, SharedHostIsolatesFailedBranchFourWorkers) {
+  RunSharedHostBranchIsolation(4);
 }
 
 TEST(EngineFailures, DoubleStartRejected) {
